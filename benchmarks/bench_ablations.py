@@ -1,0 +1,59 @@
+"""Benches for the four design-choice ablations (see DESIGN.md §3)."""
+
+from repro.bench.experiments import (
+    ablation_features,
+    ablation_policy,
+    ablation_regression,
+    ablation_transfer,
+)
+
+
+def test_ablation_policy(benchmark, bench_config, report):
+    result = benchmark.pedantic(
+        lambda: ablation_policy.run(bench_config), rounds=1, iterations=1
+    )
+    report(result)
+    for row in result.rows:
+        # The tuned (M, N) rule recovers nearly all of the oracle.
+        assert row["mn_of_oracle"] > 0.9
+        # And beats both pure directions.
+        assert row["mn_s"] <= min(row["pure_td_s"], row["pure_bu_s"])
+
+
+def test_ablation_regression(benchmark, bench_config, report):
+    result = benchmark.pedantic(
+        lambda: ablation_regression.run(bench_config), rounds=1, iterations=1
+    )
+    report(result)
+    by = {r["model"]: r["frac_of_exhaustive"] for r in result.rows}
+    # Kernel methods must beat the plain linear least squares.
+    assert max(by["svr_rbf"], by["kernel_ridge"]) >= by["linear_lsq"]
+    assert by["svr_rbf"] > 0.6
+
+
+def test_ablation_features(benchmark, bench_config, report):
+    result = benchmark.pedantic(
+        lambda: ablation_features.run(bench_config), rounds=1, iterations=1
+    )
+    report(result)
+    by = {r["features"]: r["frac_of_exhaustive"] for r in result.rows}
+    # Every feature set must be usable (the optimum plateau is wide on
+    # R-MAT); the *relative* ordering is the experiment's finding — on a
+    # corpus where every graph shares the Graph 500 (A, B, C, D), the
+    # architecture block carries most of the signal, a sharper statement
+    # than the paper's "both matter" (Section III-C).  See the result
+    # notes and EXPERIMENTS.md.
+    assert all(v > 0.5 for v in by.values())
+    assert by["arch_only"] >= by["graph_only"] - 0.1
+
+
+def test_ablation_transfer(benchmark, bench_config, report):
+    result = benchmark.pedantic(
+        lambda: ablation_transfer.run(bench_config), rounds=1, iterations=1
+    )
+    report(result)
+    pcie = [r for r in result.rows if r["link"] == "pcie_gen2"]
+    assert all(r["cross_still_wins"] for r in pcie)
+    # Transfer cost must be a small fraction of the PCIe-linked run.
+    for r in pcie:
+        assert r["transfer_s"] < 0.1 * r["cross_s"]

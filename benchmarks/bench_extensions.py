@@ -1,0 +1,158 @@
+"""Benches for the extension experiments and downstream applications."""
+
+import numpy as np
+
+from repro.apps import connected_components, pseudo_diameter, st_connectivity
+from repro.bench.experiments import (
+    ext_arch_sweep,
+    ext_mistuning,
+    ext_root_features,
+    ext_sources,
+    ext_topology,
+)
+from repro.bfs.multisource import msbfs
+from repro.bfs.profiler import pick_sources
+from repro.graph.generators import rmat
+from repro.graph500 import run_graph500
+
+
+def test_ext_arch_sweep(benchmark, bench_config, report):
+    result = benchmark.pedantic(
+        lambda: ext_arch_sweep.run(bench_config), rounds=1, iterations=1
+    )
+    report(result)
+    wins = sum(r["cross_wins"] for r in result.rows)
+    assert wins >= len(result.rows) // 2
+    # The paper's own configuration must sit in the winning region.
+    base = next(
+        r
+        for r in result.rows
+        if r["gpu_bw_factor"] == 1.0 and r["cpu_cores"] == 8
+    )
+    assert base["cross_advantage"] > 1.0
+
+
+def test_ext_mistuning(benchmark, bench_config, report):
+    result = benchmark.pedantic(
+        lambda: ext_mistuning.run(bench_config), rounds=1, iterations=1
+    )
+    report(result)
+    slowdowns = np.array(result.column("slowdown"))
+    # Wide plateau, sharp cliff (order of magnitude or more).
+    assert (slowdowns < 1.05).mean() > 0.2
+    assert slowdowns.max() > 5.0
+
+
+def test_ext_topology(benchmark, bench_config, report):
+    result = benchmark.pedantic(
+        lambda: ext_topology.run(bench_config), rounds=1, iterations=1
+    )
+    report(result)
+    by = {r["topology"]: r for r in result.rows}
+    # Scale-free and flat random graphs benefit substantially.
+    assert by["rmat"]["hybrid_speedup"] > 2.0
+    assert by["erdos_renyi"]["hybrid_speedup"] > 2.0
+    # The grid's regime is overhead-bound, flagged as such.
+    assert by["grid2d"]["regime"] == "overhead"
+
+
+def test_ext_sources(benchmark, bench_config, report):
+    result = benchmark.pedantic(
+        lambda: ext_sources.run(bench_config), rounds=1, iterations=1
+    )
+    report(result)
+    regrets = result.column("max_cross_root_regret")
+    assert all(r >= 1.0 for r in regrets)
+    # The headline finding: root dependence is measurable.
+    m_values = result.column("best_m")
+    assert max(m_values) / min(m_values) > 1.5
+
+
+def test_ext_root_features(benchmark, bench_config, report):
+    result = benchmark.pedantic(
+        lambda: ext_root_features.run(bench_config), rounds=1, iterations=1
+    )
+    report(result)
+    from repro.bench.metrics import geometric_mean
+
+    gm_free = geometric_mean(result.column("frac_root_free"))
+    gm_aware = geometric_mean(result.column("frac_root_aware"))
+    # Both predictors stay usable; whether root features help is the
+    # experiment's *finding*, reported in the notes (it is seed-
+    # sensitive at these corpus sizes — see EXPERIMENTS.md).
+    assert gm_free > 0.5
+    assert gm_aware > 0.5
+    assert any("verdict" in n for n in result.notes)
+
+
+def test_app_connected_components(benchmark, bench_config):
+    graph = rmat(bench_config.base_scale - 2, 16, seed=0)
+    cc = benchmark(lambda: connected_components(graph))
+    assert cc.giant_fraction() > 0.5  # R-MAT has a giant component
+
+
+def test_app_st_connectivity(benchmark, bench_config):
+    graph = rmat(bench_config.base_scale, 16, seed=0)
+    src = pick_sources(graph, 2, seed=1)
+    result = benchmark(
+        lambda: st_connectivity(graph, int(src[0]), int(src[1]))
+    )
+    assert result.connected
+
+
+def test_app_pseudo_diameter(benchmark, bench_config):
+    graph = rmat(bench_config.base_scale - 2, 16, seed=0)
+    source = int(pick_sources(graph, 1, seed=0)[0])
+    est = benchmark(lambda: pseudo_diameter(graph, source))
+    assert est.lower_bound >= 2
+
+
+def test_app_msbfs_amortizes(benchmark, bench_config):
+    """64 searches in one batched pass must beat 64 separate runs."""
+    import time
+
+    from repro.bfs.topdown import bfs_top_down
+
+    graph = rmat(bench_config.base_scale - 3, 16, seed=0)
+    sources = pick_sources(graph, 64, seed=1)
+
+    t0 = time.perf_counter()
+    for s in sources:
+        bfs_top_down(graph, int(s))
+    separate = time.perf_counter() - t0
+
+    out = benchmark(lambda: msbfs(graph, sources))
+    assert out.num_sources == 64
+
+    t0 = time.perf_counter()
+    msbfs(graph, sources)
+    batched = time.perf_counter() - t0
+    assert batched < separate  # the whole point of the bit-parallel batch
+
+
+def test_graph500_driver(benchmark, bench_config, report):
+    result = benchmark.pedantic(
+        lambda: run_graph500(
+            bench_config.base_scale - 3, 16, num_roots=8, seed=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    from repro.bench.runner import ExperimentResult
+
+    report(
+        ExperimentResult(
+            name="graph500_driver",
+            title="Graph 500 driver (wall clock, this host)",
+            rows=[
+                {
+                    "scale": result.scale,
+                    "nbfs": result.num_roots,
+                    "harmonic_mean_gteps": result.harmonic_mean_teps / 1e9,
+                    "median_gteps": result.teps_stats.median / 1e9,
+                    "validated": result.validated,
+                }
+            ],
+        )
+    )
+    assert result.validated

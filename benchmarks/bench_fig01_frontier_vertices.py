@@ -1,0 +1,20 @@
+"""Bench for Fig. 1 — frontier vertices per level.
+
+Regenerates the figure's series and times the instrumented profiler
+(the measurement kernel behind Figs. 1-3 and every downstream
+experiment).
+"""
+
+from repro.bench.experiments import fig01_frontier_vertices
+from repro.bfs.profiler import pick_sources, profile_bfs
+from repro.graph.generators import rmat
+
+
+def test_fig01_frontier_vertices(benchmark, bench_config, report):
+    result = fig01_frontier_vertices.run(bench_config)
+    report(result)
+    assert all(r["peak_in_middle"] for r in result.rows)
+
+    graph = rmat(bench_config.base_scale - 2, 16, seed=0)
+    source = int(pick_sources(graph, 1, seed=0)[0])
+    benchmark(lambda: profile_bfs(graph, source))

@@ -1,0 +1,32 @@
+"""Bench for Fig. 2 — frontier edges per level.
+
+Regenerates the series and times the top-down step (whose work is the
+``|E|cq`` this figure plots).
+"""
+
+import numpy as np
+
+from repro.bench.experiments import fig02_frontier_edges
+from repro.bfs.profiler import pick_sources
+from repro.bfs.topdown import top_down_step
+from repro.graph.generators import rmat
+
+
+def test_fig02_frontier_edges(benchmark, bench_config, report):
+    result = fig02_frontier_edges.run(bench_config)
+    report(result)
+    assert all(r["peak_in_middle"] for r in result.rows)
+
+    graph = rmat(bench_config.base_scale - 2, 16, seed=0)
+    source = int(pick_sources(graph, 1, seed=0)[0])
+
+    def run_level():
+        parent = np.full(graph.num_vertices, -1, dtype=np.int64)
+        level = np.full(graph.num_vertices, -1, dtype=np.int64)
+        parent[source] = source
+        level[source] = 0
+        frontier = np.array([source], dtype=np.int64)
+        frontier, _ = top_down_step(graph, frontier, parent, level, 0)
+        return top_down_step(graph, frontier, parent, level, 1)
+
+    benchmark(run_level)

@@ -1,0 +1,23 @@
+"""Bench for Fig. 3 — per-level TD vs BU times (CPU model).
+
+Regenerates the two curves and times the cost model's time-matrix
+evaluation (the pricing primitive of the reproduction).
+"""
+
+from repro.arch.costmodel import CostModel
+from repro.arch.specs import CPU_SANDY_BRIDGE
+from repro.bench.experiments import fig03_level_times
+from repro.bench.workloads import WorkloadSpec, paper_scale_profile
+
+
+def test_fig03_level_times(benchmark, bench_config, report):
+    result = fig03_level_times.run(bench_config)
+    report(result)
+    winners = [r["faster"] for r in result.rows]
+    assert winners[0] == "td" and "bu" in winners
+
+    profile = paper_scale_profile(
+        WorkloadSpec(bench_config.base_scale, 16, seed=0), 22
+    )
+    model = CostModel(CPU_SANDY_BRIDGE)
+    benchmark(lambda: model.time_matrix(profile))

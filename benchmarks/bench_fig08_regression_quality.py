@@ -1,0 +1,25 @@
+"""Bench for Fig. 8 — switching-point selection quality.
+
+Regenerates the Random/Average/Regression/Exhaustive comparison and
+times the *online* path: one switching-point prediction (the paper's
+"< 0.1% of BFS execution-time" claim is about exactly this call).
+"""
+
+from repro.arch.specs import CPU_SANDY_BRIDGE, GPU_K20X
+from repro.bench.experiments import fig08_regression_quality
+from repro.bench.experiments._shared import train_default_predictor
+from repro.bench.metrics import geometric_mean
+from repro.bench.workloads import WorkloadSpec, get_graph
+
+
+def test_fig08_regression_quality(benchmark, bench_config, report):
+    result = fig08_regression_quality.run(bench_config)
+    report(result)
+    assert geometric_mean(result.column("reg_vs_exhaustive")) > 0.5
+    assert geometric_mean(result.column("reg_over_worst")) > 3.0
+
+    predictor = train_default_predictor(bench_config)
+    graph = get_graph(WorkloadSpec(bench_config.base_scale, 16, seed=900 + 16))
+    benchmark(
+        lambda: predictor.predict_mn(graph, CPU_SANDY_BRIDGE, GPU_K20X)
+    )

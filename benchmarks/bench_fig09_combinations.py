@@ -1,0 +1,23 @@
+"""Bench for Fig. 9 — combination performance per architecture."""
+
+from repro.bench.experiments import fig09_combinations
+from repro.bench.metrics import geometric_mean
+
+
+def test_fig09_combinations(benchmark, bench_config, report):
+    result = benchmark.pedantic(
+        lambda: fig09_combinations.run(bench_config),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    # Cross-architecture wins (or ties, when the optimal handoff is
+    # level 0 and the plan degenerates to the GPU combination) on every
+    # graph, most decisively over the MIC.
+    for row in result.rows:
+        assert row["cross_over_mic"] > 1.0
+        assert row["cross_over_cpu"] >= 1.0
+        assert row["cross_over_gpu"] >= 1.0
+    assert geometric_mean(result.column("cross_over_mic")) > geometric_mean(
+        result.column("cross_over_gpu")
+    )

@@ -1,0 +1,74 @@
+"""Graph I/O throughput benchmarks.
+
+Workload caching and interchange are part of the harness's critical
+path (kernel 1 of Graph 500 is construction); these benches keep the
+three formats' relative costs visible: NPZ (native, compressed),
+edge-list text and MatrixMarket.
+"""
+
+import pytest
+
+from repro.graph.generators import rmat
+from repro.graph.io import (
+    load_edgelist,
+    load_matrix_market,
+    load_npz,
+    save_edgelist,
+    save_matrix_market,
+    save_npz,
+)
+
+
+@pytest.fixture(scope="module")
+def graph(bench_config):
+    return rmat(bench_config.base_scale - 3, 16, seed=0)
+
+
+@pytest.fixture(scope="module")
+def saved(graph, tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("io")
+    paths = {
+        "npz": tmp / "g.npz",
+        "edgelist": tmp / "g.txt",
+        "mtx": tmp / "g.mtx",
+    }
+    save_npz(graph, paths["npz"])
+    save_edgelist(graph, paths["edgelist"])
+    save_matrix_market(graph, paths["mtx"])
+    return paths
+
+
+def test_io_save_npz(benchmark, graph, tmp_path):
+    benchmark(lambda: save_npz(graph, tmp_path / "g.npz"))
+
+
+def test_io_load_npz(benchmark, saved, graph):
+    loaded = benchmark(lambda: load_npz(saved["npz"]))
+    assert loaded.num_edges == graph.num_edges
+
+
+def test_io_load_edgelist(benchmark, saved, graph):
+    loaded = benchmark(
+        lambda: load_edgelist(
+            saved["edgelist"], num_vertices=graph.num_vertices
+        )
+    )
+    assert loaded.num_edges == graph.num_edges
+
+
+def test_io_load_matrix_market(benchmark, saved, graph):
+    loaded = benchmark(lambda: load_matrix_market(saved["mtx"]))
+    assert loaded.num_edges == graph.num_edges
+
+
+def test_io_csr_construction(benchmark, bench_config):
+    """Kernel 1: edge list -> CSR (the timed step of Graph 500)."""
+    from repro.graph.csr import CSRGraph
+    from repro.graph.generators import rmat_edges
+
+    scale = bench_config.base_scale - 1
+    src, dst = rmat_edges(scale, 16, seed=0)
+    graph = benchmark(
+        lambda: CSRGraph.from_edges(src, dst, 1 << scale, symmetrize=True)
+    )
+    assert graph.num_edges > 0

@@ -1,0 +1,17 @@
+"""Bench for Table II / Section III-B — RCMA vs RCMB roofline."""
+
+import pytest
+
+from repro.bench.experiments import roofline_rcmb
+
+
+def test_roofline_rcmb(benchmark, bench_config, report):
+    result = benchmark.pedantic(
+        lambda: roofline_rcmb.run(bench_config), rounds=1, iterations=1
+    )
+    report(result)
+    for row in result.rows:
+        assert row["memory_bound"]
+        assert row["rcmb_sp"] == pytest.approx(
+            row["paper_rcmb_sp"], abs=0.05
+        )

@@ -1,0 +1,17 @@
+"""Bench for Section V-D — comparisons against other implementations."""
+
+from repro.bench.experiments import sec5d_comparisons
+from repro.bench.metrics import geometric_mean
+
+
+def test_sec5d_comparisons(benchmark, bench_config, report):
+    result = benchmark.pedantic(
+        lambda: sec5d_comparisons.run(bench_config), rounds=1, iterations=1
+    )
+    report(result)
+    assert geometric_mean(result.column("ours_cpu_over_graph500")) > 2.0
+    assert geometric_mean(result.column("cross_over_graph500")) > 4.0
+    assert geometric_mean(result.column("ours_mic_over_gao")) > 2.0
+    # Parity with Beamer's oracle-tuned hybrid (paper: 1.12x).
+    beamer = geometric_mean(result.column("ours_cpu_vs_beamer"))
+    assert 0.5 < beamer < 2.0

@@ -1,0 +1,24 @@
+"""Bench for Table III — best M per graph (CPU).
+
+Regenerates the table and times the M-scan (the paper's [1, 300]
+exhaustive search, reduced to counter arithmetic here).
+"""
+
+from repro.arch.costmodel import CostModel
+from repro.arch.specs import CPU_SANDY_BRIDGE
+from repro.bench.experiments import table3_best_m
+from repro.bench.workloads import WorkloadSpec, paper_scale_profile
+from repro.tuning.search import best_m_scan
+
+
+def test_table3_best_m(benchmark, bench_config, report):
+    result = table3_best_m.run(bench_config)
+    report(result)
+    best = result.column("best_m")
+    assert max(best) / min(best) > 1.5  # no single M fits all graphs
+
+    profile = paper_scale_profile(
+        WorkloadSpec(bench_config.base_scale, 16, seed=0), 22
+    )
+    model = CostModel(CPU_SANDY_BRIDGE)
+    benchmark(lambda: best_m_scan(profile, model))

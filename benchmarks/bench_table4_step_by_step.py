@@ -1,0 +1,36 @@
+"""Bench for Table IV — the step-by-step optimization matrix.
+
+Regenerates all eight approaches on the 8M/128M graph and times a full
+plan pricing on the simulated machine.
+"""
+
+from repro.arch.machine import SimulatedMachine
+from repro.arch.specs import CPU_SANDY_BRIDGE, GPU_K20X
+from repro.bench.experiments import table4_step_by_step
+from repro.bench.workloads import WorkloadSpec, paper_scale_profile
+
+
+def test_table4_step_by_step(benchmark, bench_config, report):
+    result = table4_step_by_step.run(bench_config)
+    report(result)
+    speedups = {
+        k: v for k, v in result.rows[-1].items() if k != "level"
+    }
+    assert max(speedups, key=speedups.get) == "CPUTD+GPUCB"
+    assert speedups["GPUCB"] > 2.0
+    assert speedups["CPUTD+GPUCB"] > 10.0
+
+    machine = SimulatedMachine({"cpu": CPU_SANDY_BRIDGE, "gpu": GPU_K20X})
+    profile = paper_scale_profile(
+        WorkloadSpec(bench_config.base_scale, 16, seed=bench_config.seeds[0]),
+        23,
+    )
+    plans = table4_step_by_step.build_approaches(machine, profile)
+
+    def price_all():
+        return {
+            name: machine.run(profile, plan).total_seconds
+            for name, plan in plans.items()
+        }
+
+    benchmark(price_all)

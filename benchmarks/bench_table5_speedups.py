@@ -1,0 +1,26 @@
+"""Bench for Table V — cross-architecture speedup over GPU top-down."""
+
+from repro.arch.machine import SimulatedMachine
+from repro.arch.specs import CPU_SANDY_BRIDGE, GPU_K20X
+from repro.bench.experiments import table5_speedups
+from repro.bench.metrics import geometric_mean
+from repro.bench.workloads import WorkloadSpec, paper_scale_profile
+from repro.hetero.planner import cross_plan
+
+
+def test_table5_speedups(benchmark, bench_config, report):
+    result = table5_speedups.run(bench_config)
+    report(result)
+    speedups = result.column("speedup")
+    assert min(speedups) > 5.0
+    assert geometric_mean(speedups) > 15.0  # paper average: 64x
+
+    machine = SimulatedMachine({"cpu": CPU_SANDY_BRIDGE, "gpu": GPU_K20X})
+    profile = paper_scale_profile(
+        WorkloadSpec(bench_config.base_scale, 16, seed=0), 23
+    )
+    benchmark(
+        lambda: machine.run(
+            profile, cross_plan(profile, 50, 50, 50, 50)
+        ).total_seconds
+    )

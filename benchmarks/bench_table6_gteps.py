@@ -1,0 +1,25 @@
+"""Bench for Table VI — average GTEPS by data size and architecture."""
+
+from repro.bench.experiments import table6_gteps
+
+
+def test_table6_gteps(benchmark, bench_config, report):
+    result = benchmark.pedantic(
+        lambda: table6_gteps.run(bench_config), rounds=1, iterations=1
+    )
+    report(result)
+    by = {r["arch"]: r for r in result.rows}
+    # MIC is the slowest combination everywhere (paper: 1.3-1.6 GTEPS).
+    for label in ("2M", "4M", "8M"):
+        assert by["mic"][f"gteps_{label}"] == min(
+            by[a][f"gteps_{label}"] for a in by
+        )
+    # CPU and GPU stay within a small factor of each other at every
+    # size (paper: 3.06-6.32 GTEPS band).  The paper's size *trend*
+    # (CPU overtakes GPU at 8M) does not reproduce under this cost
+    # model — the GPU's occupancy ramp dominates its cache penalty, so
+    # the GPU improves with size instead; EXPERIMENTS.md discusses the
+    # deviation.
+    for label in ("2M", "4M", "8M"):
+        ratio = by["cpu"][f"gteps_{label}"] / by["gpu"][f"gteps_{label}"]
+        assert 0.2 < ratio < 5.0

@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*.py`` regenerates one of the paper's tables/figures: it
+runs the experiment once (printing the table and writing JSON under
+``benchmarks/results/``) and times a representative kernel with
+pytest-benchmark so regressions in the heavy code paths are visible.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — measured graph scale (default 15; raise for
+  higher fidelity, lower for speed).
+* ``REPRO_CACHE_DIR`` — workload/profile cache location.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.runner import BenchConfig
+
+
+def pytest_configure(config):
+    # Benchmarks print the regenerated tables; keep output visible.
+    config.option.verbose = max(config.option.verbose, 0)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> BenchConfig:
+    scale = int(os.environ.get("REPRO_BENCH_SCALE", "15"))
+    return BenchConfig(base_scale=scale)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    path = Path(__file__).parent / "results"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+@pytest.fixture(scope="session")
+def report(results_dir):
+    """Print an experiment result and persist it."""
+
+    def _report(result):
+        print()
+        print(result.render())
+        result.save(results_dir)
+        return result
+
+    return _report

@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""The paper end to end: train the switching-point regression offline,
+then run Algorithm 3 (CPU top-down + GPU combination) online.
+
+Walks the exact pipeline of Figs. 6-7 and Algorithm 3:
+
+1. *Offline* — profile a family of R-MAT graphs, exhaustively search
+   the best (M, N) per (graph, architecture pair) on the calibrated
+   cost models, and fit the SVR predictor on the Fig. 7 samples.
+2. *Online* — for a new, unseen graph: predict (M1, N1) and (M2, N2),
+   traverse for real with the plan Algorithm 3 builds, validate the
+   output, and compare the simulated time against single-architecture
+   combinations and the exhaustive oracle.
+
+Run:  python examples/heterogeneous_tuning.py [scale]
+"""
+
+import sys
+import time
+
+from repro.arch import (
+    CPU_SANDY_BRIDGE,
+    GPU_K20X,
+    MIC_KNC,
+    SimulatedMachine,
+)
+from repro.bfs import pick_sources, profile_bfs
+from repro.graph import rmat
+from repro.hetero import CrossArchitectureBFS, oracle_plan, run_single_device
+from repro.tuning import (
+    SwitchingPointPredictor,
+    build_training_set,
+    profile_graph,
+)
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 15
+
+    # ------------------------------------------------------------------
+    # Offline: build the training corpus (Fig. 6, right-hand path).
+    # ------------------------------------------------------------------
+    print("[offline] profiling training graphs ...")
+    t0 = time.perf_counter()
+    corpus_graphs = []
+    for s in (scale - 2, scale - 1, scale):
+        for ef in (8, 16, 32):
+            g = rmat(s, ef, seed=100 * s + ef)
+            corpus_graphs.append(profile_graph(g, seed=ef, tag=f"s{s}e{ef}"))
+    pairs = [
+        (CPU_SANDY_BRIDGE, CPU_SANDY_BRIDGE),
+        (GPU_K20X, GPU_K20X),
+        (MIC_KNC, MIC_KNC),
+        (CPU_SANDY_BRIDGE, GPU_K20X),
+    ]
+    corpus = build_training_set(corpus_graphs, pairs, seed=0)
+    print(
+        f"[offline] exhaustive-searched {len(corpus)} (graph, arch-pair) "
+        f"rows in {time.perf_counter() - t0:.1f}s "
+        f"(the paper used 140 samples)"
+    )
+
+    predictor = SwitchingPointPredictor().fit(corpus)
+    print("[offline] SVR predictor trained\n")
+
+    # ------------------------------------------------------------------
+    # Online: a new graph arrives (Algorithm 3).
+    # ------------------------------------------------------------------
+    print("[online] new graph:")
+    graph = rmat(scale, 16, seed=999)  # unseen seed
+    source = int(pick_sources(graph, 1, seed=1)[0])
+    print(f"  {graph!r}, source {source}")
+
+    machine = SimulatedMachine(
+        {"cpu": CPU_SANDY_BRIDGE, "gpu": GPU_K20X, "mic": MIC_KNC}
+    )
+    runner = CrossArchitectureBFS(machine, predictor)
+    t0 = time.perf_counter()
+    run = runner.run(graph, source)
+    predict_and_run = time.perf_counter() - t0
+    run.result.validate(graph)
+    print(
+        f"  predicted switching points: (M1, N1)=({run.m1:.0f}, {run.n1:.0f})"
+        f"  (M2, N2)=({run.m2:.0f}, {run.n2:.0f})"
+    )
+    print("  per-level placement:")
+    for row in run.report.per_level():
+        print(
+            f"    level {row['level']}: {row['direction']:>2} on "
+            f"{row['device']:<3}  {row['seconds'] * 1e3:8.3f} ms"
+            + (
+                f"  (+{row['transfer_seconds'] * 1e6:.0f} us PCIe handoff)"
+                if row["transfer_seconds"]
+                else ""
+            )
+        )
+    cross_time = run.report.total_seconds
+    print(
+        f"  simulated cross-architecture total: {cross_time * 1e3:.2f} ms "
+        f"({run.report.gteps:.2f} GTEPS); "
+        f"wall-clock incl. prediction: {predict_and_run:.2f}s\n"
+    )
+
+    # ------------------------------------------------------------------
+    # How good was the prediction?
+    # ------------------------------------------------------------------
+    profile, _ = profile_bfs(graph, source)
+    oracle = machine.run(profile, oracle_plan(machine, profile))
+    print("[comparison] simulated traversal times:")
+    for dev in ("mic", "cpu", "gpu"):
+        runs = run_single_device(machine, profile, dev, 64, 512)
+        print(
+            f"  {dev.upper():>4} combination: "
+            f"{runs.combination.total_seconds * 1e3:8.2f} ms "
+            f"(pure top-down {runs.top_down.total_seconds * 1e3:8.2f} ms)"
+        )
+    print(f"  CPU+GPU (Algorithm 3): {cross_time * 1e3:8.2f} ms")
+    print(
+        f"  per-level oracle:      {oracle.total_seconds * 1e3:8.2f} ms  "
+        f"-> regression reached "
+        f"{oracle.total_seconds / cross_time:.0%} of the oracle "
+        "(transfers excluded from the oracle)"
+    )
+    print(
+        "\nNote: the cross-architecture advantage grows with graph size — "
+        "small graphs are per-level-overhead bound, where a single device "
+        "wins; the paper-scale experiments (benchmarks/) show the 2-8x "
+        "gains of Fig. 9."
+    )
+
+
+if __name__ == "__main__":
+    main()

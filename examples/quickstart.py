@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: generate a Graph 500 R-MAT graph, traverse it with every
+engine, and see direction optimization win.
+
+Run:  python examples/quickstart.py [scale] [edgefactor]
+"""
+
+import sys
+import time
+
+from repro.bench import gteps
+from repro.bfs import (
+    bfs_bottom_up,
+    bfs_hybrid,
+    bfs_top_down,
+    pick_sources,
+)
+from repro.graph import compute_stats, rmat
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    edgefactor = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+
+    print(f"Generating R-MAT: SCALE={scale}, edgefactor={edgefactor} ...")
+    graph = rmat(scale, edgefactor, seed=1)
+    stats = compute_stats(graph)
+    print(
+        f"  |V|={stats.num_vertices:,}  |E|={stats.num_edges:,}  "
+        f"max degree={stats.max_degree:,}  "
+        f"degree Gini={stats.degree_gini:.2f} (heavy-tailed)"
+    )
+
+    # A Graph 500-style random root (not an isolated vertex).
+    source = int(pick_sources(graph, 1, seed=7)[0])
+    print(f"  BFS source: vertex {source} (degree {graph.degree(source)})\n")
+
+    engines = {
+        "top-down  (Algorithm 1)": lambda: bfs_top_down(graph, source),
+        "bottom-up (Algorithm 2)": lambda: bfs_bottom_up(graph, source),
+        "hybrid    (M=20, N=100)": lambda: bfs_hybrid(
+            graph, source, m=20, n=100
+        ),
+    }
+    results = {}
+    for name, run in engines.items():
+        run()  # warm the caches
+        t0 = time.perf_counter()
+        result = run()
+        took = time.perf_counter() - t0
+        result.validate(graph)  # Graph 500 checks: tree, levels, edges
+        results[name] = (result, took)
+        print(
+            f"{name}:  {took * 1e3:7.1f} ms   "
+            f"{gteps(result.traversed_edges(graph), took):6.4f} GTEPS   "
+            f"edges examined: {sum(result.edges_examined):,}"
+        )
+
+    hybrid, _ = results["hybrid    (M=20, N=100)"]
+    print(
+        f"\nHybrid direction per level: {hybrid.directions}"
+        f"\nFrontier sizes per level:   {hybrid.frontier_sizes().tolist()}"
+    )
+    print(
+        "\nThe hybrid switches to bottom-up exactly where the frontier "
+        "explodes, examining a fraction of the edges top-down touches — "
+        "the effect the paper's combination exploits."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Social-network analysis — the paper's motivating workload [1].
+
+BFS is the primitive behind degrees-of-separation, influence radius and
+shortest-path queries on social graphs.  This example builds a
+synthetic social network (R-MAT's skewed degrees mimic follower
+distributions), then uses the library's BFS to answer the classic
+questions:
+
+* How many hops separate two random members?  (distance distribution)
+* How far does a post propagate per hop from an influencer vs a
+  typical user?  (frontier growth)
+* What fraction of the network is unreachable?  (isolated accounts)
+
+Run:  python examples/social_network_analysis.py [scale]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.bfs import bfs_hybrid, pick_sources, profile_bfs
+from repro.graph import compute_stats, rmat
+
+
+def distance_distribution(graph, sources) -> np.ndarray:
+    """Histogram of BFS distances pooled over several sources."""
+    counts = np.zeros(64, dtype=np.int64)
+    for src in sources:
+        result = bfs_hybrid(graph, int(src), m=20, n=100)
+        levels = result.level[result.level > 0]
+        counts += np.bincount(levels, minlength=64)[:64]
+    return counts[: int(np.nonzero(counts)[0].max()) + 1]
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 15
+    print(f"Building a synthetic social network (SCALE={scale}) ...")
+    network = rmat(scale, 16, seed=42)
+    stats = compute_stats(network)
+    print(
+        f"  members: {stats.num_vertices:,}   "
+        f"friendships: {stats.num_edges:,}   "
+        f"most-connected member: {stats.max_degree:,} friends   "
+        f"inactive accounts: {stats.isolated_vertices:,}\n"
+    )
+
+    # --- degrees of separation -----------------------------------------
+    sources = pick_sources(network, 8, seed=3)
+    hist = distance_distribution(network, sources)
+    total = hist.sum()
+    print("Degrees of separation (pooled over 8 random members):")
+    cum = 0
+    for hops, count in enumerate(hist, start=1):
+        if count == 0:
+            continue
+        cum += count
+        bar = "#" * int(50 * count / hist.max())
+        print(
+            f"  {hops} hop(s): {count / total:6.1%}  "
+            f"(cumulative {cum / total:6.1%})  {bar}"
+        )
+    mean_sep = float((np.arange(1, hist.size + 1) * hist).sum() / total)
+    print(f"  mean separation: {mean_sep:.2f} hops — the small-world effect\n")
+
+    # --- influencer vs typical user propagation --------------------------
+    influencer = int(np.argmax(network.degrees))
+    typical = int(sources[0])
+    for label, member in (("influencer", influencer), ("typical", typical)):
+        profile, _ = profile_bfs(network, member)
+        reach = np.cumsum([r.claimed for r in profile])
+        frac = reach / network.num_vertices
+        print(
+            f"Post propagation from a {label} "
+            f"({network.degree(member):,} friends): "
+            + "  ".join(
+                f"hop{h + 1}={f:.1%}" for h, f in enumerate(frac[:4])
+            )
+        )
+    print(
+        "\nAn influencer saturates the network one hop sooner — and that "
+        "early frontier explosion is precisely when the library's hybrid "
+        "switches to bottom-up."
+    )
+
+    # --- reachability ------------------------------------------------------
+    result = bfs_hybrid(network, influencer, m=20, n=100)
+    unreachable = network.num_vertices - result.num_reached
+    print(
+        f"\nReachable from the influencer: {result.num_reached:,} members; "
+        f"unreachable: {unreachable:,} "
+        f"({unreachable / network.num_vertices:.1%}, mostly inactive "
+        "accounts and tiny islands)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""repro — heuristic cross-architecture combination for breadth-first search.
+
+A production-quality reproduction of You, Bader & Dehnavi (ICPP 2014):
+direction-optimizing BFS with a regression-predicted switching point and
+the first CPU+GPU cross-architecture top-down/bottom-up combination,
+evaluated on Graph 500 R-MAT workloads over calibrated architecture
+models.
+
+Public API highlights
+---------------------
+Graphs      : :func:`repro.graph.rmat`, :class:`repro.graph.CSRGraph`
+BFS         : :func:`repro.bfs.bfs_top_down`, :func:`repro.bfs.bfs_bottom_up`,
+              :func:`repro.bfs.bfs_hybrid`, :func:`repro.bfs.profile_bfs`
+Architectures: :data:`repro.arch.CPU_SANDY_BRIDGE`, :data:`repro.arch.GPU_K20X`,
+              :data:`repro.arch.MIC_KNC`, :class:`repro.arch.CostModel`
+Regression  : :class:`repro.ml.SVR`, :class:`repro.tuning.SwitchingPointPredictor`
+Heterogeneous: :func:`repro.hetero.run_cross_architecture`
+Experiments : :mod:`repro.bench.experiments` (one module per paper table/figure)
+"""
+
+from repro._version import __version__
+from repro.errors import ReproError
+
+__all__ = ["__version__", "ReproError"]

@@ -1,0 +1,15 @@
+"""Downstream applications built on the BFS library: connected
+components, st-connectivity and pseudo-diameter estimation."""
+
+from repro.apps.components import ComponentLabels, connected_components
+from repro.apps.diameter import DiameterEstimate, pseudo_diameter
+from repro.apps.stcon import STResult, st_connectivity
+
+__all__ = [
+    "connected_components",
+    "ComponentLabels",
+    "st_connectivity",
+    "STResult",
+    "pseudo_diameter",
+    "DiameterEstimate",
+]

@@ -1,0 +1,51 @@
+"""Architecture layer: device specifications (Table II), roofline
+analysis (Section III-B), the per-level cost model, the interconnect
+model and the simulated heterogeneous machine, calibrated against the
+paper's Table IV."""
+
+from repro.arch.calibration import (
+    TABLE_IV_SECONDS,
+    TABLE_IV_SPEEDUPS,
+    CalibrationReport,
+    check_calibration,
+    scale_profile,
+)
+from repro.arch.costmodel import CostModel, LevelCost
+from repro.arch.machine import PlanStep, SimReport, SimulatedMachine
+from repro.arch.roofline import RooflinePoint, analyze, rcma_spmv, rcmb
+from repro.arch.specs import (
+    CPU_SANDY_BRIDGE,
+    GPU_K20X,
+    MIC_KNC,
+    PRESETS,
+    ArchSpec,
+    arch_features,
+    sample_arch,
+)
+from repro.arch.transfer import PCIE_GEN2, TransferModel
+
+__all__ = [
+    "ArchSpec",
+    "CPU_SANDY_BRIDGE",
+    "GPU_K20X",
+    "MIC_KNC",
+    "PRESETS",
+    "arch_features",
+    "sample_arch",
+    "CostModel",
+    "LevelCost",
+    "SimulatedMachine",
+    "PlanStep",
+    "SimReport",
+    "TransferModel",
+    "PCIE_GEN2",
+    "rcma_spmv",
+    "rcmb",
+    "analyze",
+    "RooflinePoint",
+    "scale_profile",
+    "check_calibration",
+    "CalibrationReport",
+    "TABLE_IV_SECONDS",
+    "TABLE_IV_SPEEDUPS",
+]

@@ -1,0 +1,217 @@
+"""Calibration of the cost model against the paper's Table IV.
+
+Table IV reports level-by-level seconds for eight approaches on one
+graph (8M vertices, 128M edges, R-MAT ef 16).  We cannot re-measure a
+K20x or a KNC, so the kernel constants in :mod:`repro.arch.specs` were
+fitted so that, on a *measured* level profile of the same workload
+shape (scaled to 8M vertices with :func:`scale_profile`), the model
+reproduces the paper's qualitative structure:
+
+* level 1: GPU top-down beats CPU top-down (launch vs barrier floor),
+  while GPU bottom-up is catastrophically slower than CPU bottom-up
+  (the full-graph divergent scan);
+* middle levels: CPU top-down beats GPU top-down (atomics + occupancy),
+  GPU bottom-up beats CPU bottom-up (latency hiding);
+* tail levels: top-down beats bottom-up everywhere, and the GPU's
+  smaller per-level floor makes it the right tail device;
+* the resulting combination ordering — GPUCB ≫ GPUTD, CPUCB ≫ CPUTD,
+  CPUTD+GPUCB best of all — with speedup factors of the same order as
+  the paper's 16.5× / 13.0× / 36.1×.
+
+:func:`check_calibration` verifies those structural claims and returns
+the measured ratios; the unit tests pin them to tolerance bands, and
+EXPERIMENTS.md records the per-cell comparison against Table IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.costmodel import CostModel
+from repro.arch.specs import CPU_SANDY_BRIDGE, GPU_K20X, ArchSpec
+from repro.bfs.trace import LevelProfile, LevelRecord
+from repro.errors import CalibrationError
+
+__all__ = [
+    "TABLE_IV_SECONDS",
+    "TABLE_IV_SPEEDUPS",
+    "scale_profile",
+    "CalibrationReport",
+    "check_calibration",
+]
+
+#: The paper's Table IV, seconds per level (levels 1-9; zeros mark levels
+#: the traversal did not reach on that platform).
+TABLE_IV_SECONDS: dict[str, list[float]] = {
+    "GPUTD": [0.000230, 0.157750, 0.155881, 0.261753, 0.044015,
+              0.000882, 0.000233, 0.000229, 0.0],
+    "GPUBU": [0.438904, 0.131876, 0.010673, 0.002783, 0.001590,
+              0.001474, 0.001468, 0.001466, 0.001466],
+    "GPUCB": [0.000230, 0.021164, 0.008493, 0.002675, 0.001600,
+              0.001502, 0.001498, 0.000237, 0.000230],
+    "CPUTD": [0.000779, 0.001945, 0.074355, 0.072465, 0.011941,
+              0.000980, 0.000705, 0.0, 0.0],
+    "CPUBU": [0.053730, 0.032186, 0.015300, 0.012448, 0.006933,
+              0.005121, 0.004987, 0.004972, 0.0],
+    "CPUCB": [0.000728, 0.001208, 0.015643, 0.011732, 0.006914,
+              0.005515, 0.005406, 0.000716, 0.0],
+    "CPUTD+GPUBU": [0.002151, 0.002731, 0.005293, 0.002288, 0.001653,
+                    0.001601, 0.001602, 0.001599, 0.0],
+    "CPUTD+GPUCB": [0.002239, 0.002608, 0.005922, 0.002424, 0.001658,
+                    0.001596, 0.000286, 0.000234, 0.000230],
+}
+
+#: Whole-traversal speedups over GPUTD from the bottom row of Table IV.
+TABLE_IV_SPEEDUPS: dict[str, float] = {
+    "GPUTD": 1.0,
+    "GPUBU": 1.1,
+    "GPUCB": 16.5,
+    "CPUTD": 3.8,
+    "CPUBU": 4.6,
+    "CPUCB": 13.0,
+    "CPUTD+GPUBU": 32.8,
+    "CPUTD+GPUCB": 36.1,
+}
+
+
+def scale_profile(
+    profile: LevelProfile,
+    factor: float,
+    *,
+    frontier_threshold: int = 256,
+) -> LevelProfile:
+    """Scale ``profile``'s counters by ``factor``, R-MAT-faithfully.
+
+    R-MAT level structure is nearly scale-invariant at fixed edgefactor
+    (depth stays ~6-8 while the *middle* levels grow with the graph),
+    but the two ends of the traversal are absolute-size phenomena: level
+    1 always touches exactly ``deg(source)`` edges and the tail
+    wavefronts always hold a handful of vertices, no matter how large
+    the graph.  So:
+
+    * unvisited-side counters (``unvisited_*``, ``bu_edges_*``) always
+      scale — a level-1 bottom-up sweep really does stream the whole
+      bigger graph;
+    * frontier-side counters (``frontier_*``, ``claimed``) scale only
+      when the measured value exceeds ``frontier_threshold`` edges
+      (i.e. the level is part of the proportional middle).
+
+    Used to price paper-sized graphs (8M vertices / 128M edges) without
+    materializing them; fidelity is checked by
+    ``tests/bench/test_scale_invariance.py``.
+    """
+    if factor <= 0:
+        raise CalibrationError(f"factor must be positive, got {factor}")
+
+    def s(x: int) -> int:
+        """Scale one counter."""
+        return int(round(x * factor))
+
+    records = []
+    for r in profile.records:
+        proportional = r.frontier_edges > frontier_threshold
+        fscale = s if proportional else (lambda x: x)
+        checked = s(r.bu_edges_checked)
+        records.append(
+            LevelRecord(
+                level=r.level,
+                frontier_vertices=max(fscale(r.frontier_vertices), 1),
+                frontier_edges=fscale(r.frontier_edges),
+                unvisited_vertices=s(r.unvisited_vertices),
+                unvisited_edges=s(r.unvisited_edges),
+                bu_edges_checked=checked,
+                claimed=fscale(r.claimed),
+                bu_edges_failed=min(s(r.bu_edges_failed), checked),
+            )
+        )
+    return LevelProfile(
+        source=profile.source,
+        num_vertices=s(profile.num_vertices),
+        num_edges=s(profile.num_edges),
+        records=tuple(records),
+    )
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Structural claims of Table IV evaluated against the model."""
+
+    level1_gputd_faster_than_cputd: bool
+    level1_gpubu_over_cpubu: float       # paper: 0.4389 / 0.0537 ≈ 8.2
+    mid_cputd_speedup_over_gputd: float  # paper level 3: 0.156/0.074 ≈ 2.1
+    mid_gpubu_speedup_over_cpubu: float  # paper: GPU ~1.4-3x faster mid-levels
+    tail_gputd_faster_than_cputd: bool
+    gpucb_speedup_over_gputd: float      # paper: 16.5
+    cpucb_speedup_over_cputd: float      # paper: 3.4
+    cross_speedup_over_gputd: float      # paper: 36.1
+    cross_speedup_over_gpucb: float      # paper: ~2.2
+    cross_speedup_over_cpucb: float      # paper: ~2.8
+
+    def structural_claims_hold(self) -> bool:
+        """True when every directional (who-wins) claim holds."""
+        return (
+            self.level1_gputd_faster_than_cputd
+            and self.level1_gpubu_over_cpubu > 2.0
+            and self.mid_cputd_speedup_over_gputd > 1.0
+            and self.mid_gpubu_speedup_over_cpubu > 1.0
+            and self.tail_gputd_faster_than_cputd
+            and self.gpucb_speedup_over_gputd > 2.0
+            and self.cpucb_speedup_over_cputd > 1.2
+            and self.cross_speedup_over_gputd
+            > max(self.gpucb_speedup_over_gputd, 1.0)
+            and self.cross_speedup_over_gpucb > 1.0
+            and self.cross_speedup_over_cpucb > 1.0
+        )
+
+
+def check_calibration(
+    profile: LevelProfile,
+    *,
+    cpu: ArchSpec = CPU_SANDY_BRIDGE,
+    gpu: ArchSpec = GPU_K20X,
+) -> CalibrationReport:
+    """Evaluate the Table IV structural claims on ``profile``.
+
+    ``profile`` should describe (or be scaled to) a paper-sized R-MAT
+    graph; depth must be at least 4 levels.
+    """
+    if len(profile) < 4:
+        raise CalibrationError(
+            f"profile too shallow for calibration: {len(profile)} levels"
+        )
+    n = profile.num_vertices
+    cpu_m, gpu_m = CostModel(cpu), CostModel(gpu)
+    cpu_t = cpu_m.time_matrix(profile)
+    gpu_t = gpu_m.time_matrix(profile)
+    td, bu = 0, 1
+
+    mid = profile.peak_level()
+    last = len(profile) - 1
+
+    # Oracle single-device combinations: per level, min(td, bu).
+    gpu_cb = float(np.minimum(gpu_t[:, td], gpu_t[:, bu]).sum())
+    cpu_cb = float(np.minimum(cpu_t[:, td], cpu_t[:, bu]).sum())
+    gpu_td_total = float(gpu_t[:, td].sum())
+    cpu_td_total = float(cpu_t[:, td].sum())
+    # Cross-architecture: per level min over both devices and directions
+    # (transfer cost neglected here; the executor charges it for real).
+    cross = float(
+        np.minimum(
+            np.minimum(gpu_t[:, td], gpu_t[:, bu]),
+            np.minimum(cpu_t[:, td], cpu_t[:, bu]),
+        ).sum()
+    )
+    return CalibrationReport(
+        level1_gputd_faster_than_cputd=bool(gpu_t[0, td] < cpu_t[0, td]),
+        level1_gpubu_over_cpubu=float(gpu_t[0, bu] / cpu_t[0, bu]),
+        mid_cputd_speedup_over_gputd=float(gpu_t[mid, td] / cpu_t[mid, td]),
+        mid_gpubu_speedup_over_cpubu=float(cpu_t[mid, bu] / gpu_t[mid, bu]),
+        tail_gputd_faster_than_cputd=bool(gpu_t[last, td] < cpu_t[last, td]),
+        gpucb_speedup_over_gputd=gpu_td_total / gpu_cb,
+        cpucb_speedup_over_cputd=cpu_td_total / cpu_cb,
+        cross_speedup_over_gputd=gpu_td_total / cross,
+        cross_speedup_over_gpucb=gpu_cb / cross,
+        cross_speedup_over_cpucb=cpu_cb / cross,
+    )

@@ -1,0 +1,193 @@
+"""Per-level analytic cost model for both BFS directions.
+
+Maps the architecture-independent counters of a
+:class:`~repro.bfs.trace.LevelRecord` to seconds on an
+:class:`~repro.arch.specs.ArchSpec`.  The model is a roofline with
+per-level overheads, following the paper's own bottleneck analysis
+(Section III-B: BFS's RCMA ≈ 0.5 is far below every platform's RCMB, so
+levels are memory-bound except where parallelism or launch overhead
+dominates):
+
+Top-down level::
+
+    t = td_overhead
+      + max(mem_bytes / bandwidth, ops / compute_rate) / efficiency
+    mem_bytes  = |E|cq * (4 + cacheline * parent_miss_rate) + atomic traffic
+    efficiency = clip(|E|cq / saturation, floor, 1)    # Θ(Vcq / lg Vcq)
+
+The efficiency ramp is the paper's parallelism argument made
+quantitative: a GPU needs tens of millions of frontier edges to fill
+2496 cores, a CPU saturates almost immediately — which is exactly why
+the cross-architecture combination gives early levels to the CPU.
+
+Bottom-up level::
+
+    t = bu_overhead
+      + num_vertices * scan_bytes / bandwidth           # status sweep
+      + won_checks * win_cost + failed_checks * fail_cost
+
+with the win/fail split measured by the profiler.  Failed scans stream
+whole adjacency lists (fast on prefetching CPUs, divergence-penalized
+on GPUs); successful scans are short latency-bound probes (relatively
+expensive on CPUs, cheap on latency-hiding GPUs).  That asymmetry is
+what makes GPU bottom-up catastrophic at level 1 yet 3× faster than the
+CPU in the middle levels — the core phenomenon of the paper's Table IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.specs import ArchSpec
+from repro.bfs.result import Direction
+from repro.bfs.trace import LevelProfile, LevelRecord
+from repro.errors import ArchError
+
+__all__ = ["CostModel", "LevelCost"]
+
+# Model-wide constants (dtype-determined or fitted once, not per-arch).
+BYTES_EDGE_ID = 4        # int32 adjacency entry
+BYTES_PARENT = 8         # int64 parent/level entry
+OPS_PER_EDGE_TD = 10.0   # scalar ops to inspect + claim one edge, top-down
+OPS_PER_EDGE_BU = 8.0    # scalar ops per bottom-up adjacency probe
+OPS_PER_VERTEX_SCAN = 4.0  # ops per vertex of the status sweep
+
+
+@dataclass(frozen=True)
+class LevelCost:
+    """Cost breakdown of one level in one direction on one device."""
+
+    seconds: float
+    overhead_s: float
+    memory_s: float
+    compute_s: float
+    efficiency: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ArchError("negative level cost")
+
+
+class CostModel:
+    """Prices BFS levels on a specific architecture.
+
+    Stateless with respect to traversals: feed it any
+    :class:`LevelRecord` (from a live profile or a synthetic one) and a
+    total vertex count, get seconds.
+    """
+
+    def __init__(self, spec: ArchSpec) -> None:
+        self.spec = spec
+
+    # -- helpers ------------------------------------------------------------
+
+    def _bw_bytes_per_s(self) -> float:
+        return self.spec.measured_bw_gbs * 1e9
+
+    def _compute_ops_per_s(self) -> float:
+        return self.spec.compute_rate_gops * 1e9
+
+    def parent_miss_rate(self, num_vertices: int) -> float:
+        """Probability a random parent-map probe misses the last-level
+        cache (working set ``8 * |V|`` bytes vs cache capacity)."""
+        if num_vertices <= 0:
+            return 0.0
+        working = BYTES_PARENT * num_vertices
+        return float(
+            np.clip(1.0 - self.spec.cache_capacity_bytes() / working, 0.0, 1.0)
+        )
+
+    def td_efficiency(self, frontier_edges: int) -> float:
+        """Parallel efficiency of a top-down level (occupancy ramp)."""
+        if frontier_edges <= 0:
+            return 1.0
+        return float(
+            np.clip(
+                frontier_edges / self.spec.td_saturation_edges,
+                self.spec.td_efficiency_floor,
+                1.0,
+            )
+        )
+
+    # -- per-level costs -------------------------------------------------------
+
+    def top_down_seconds(self, rec: LevelRecord, num_vertices: int) -> LevelCost:
+        """Price one top-down level."""
+        spec = self.spec
+        miss = self.parent_miss_rate(num_vertices)
+        bytes_per_edge = (
+            BYTES_EDGE_ID + spec.cacheline_bytes * miss
+        )
+        mem = rec.frontier_edges * bytes_per_edge / self._bw_bytes_per_s()
+        mem += rec.frontier_edges * spec.td_atomic_ns * 1e-9
+        compute = rec.frontier_edges * OPS_PER_EDGE_TD / self._compute_ops_per_s()
+        eff = self.td_efficiency(rec.frontier_edges)
+        work = max(mem, compute) / eff
+        return LevelCost(
+            seconds=spec.td_overhead_s + work,
+            overhead_s=spec.td_overhead_s,
+            memory_s=mem,
+            compute_s=compute,
+            efficiency=eff,
+        )
+
+    def bottom_up_seconds(self, rec: LevelRecord, num_vertices: int) -> LevelCost:
+        """Price one bottom-up level."""
+        spec = self.spec
+        sweep_mem = num_vertices * spec.scan_bytes_per_vertex / self._bw_bytes_per_s()
+        sweep_cmp = num_vertices * OPS_PER_VERTEX_SCAN / self._compute_ops_per_s()
+        sweep = max(sweep_mem, sweep_cmp)
+        probes = (
+            rec.bu_edges_won * spec.bu_win_ns
+            + rec.bu_edges_failed * spec.bu_fail_ns
+        ) * 1e-9
+        probe_cmp = rec.bu_edges_checked * OPS_PER_EDGE_BU / self._compute_ops_per_s()
+        work = sweep + max(probes, probe_cmp)
+        return LevelCost(
+            seconds=spec.bu_overhead_s + work,
+            overhead_s=spec.bu_overhead_s,
+            memory_s=sweep_mem + probes,
+            compute_s=sweep_cmp + probe_cmp,
+            efficiency=1.0,
+        )
+
+    def level_seconds(
+        self, rec: LevelRecord, num_vertices: int, direction: str
+    ) -> float:
+        """Price one level in the given direction (scalar seconds)."""
+        if direction == Direction.TOP_DOWN:
+            return self.top_down_seconds(rec, num_vertices).seconds
+        if direction == Direction.BOTTOM_UP:
+            return self.bottom_up_seconds(rec, num_vertices).seconds
+        raise ArchError(f"unknown direction {direction!r}")
+
+    # -- whole-profile pricing ----------------------------------------------------
+
+    def time_matrix(self, profile: LevelProfile) -> np.ndarray:
+        """``(levels, 2)`` array of seconds: column 0 top-down, column 1
+        bottom-up.  This is the primitive every switching-point search
+        and heterogeneous plan evaluation is built on."""
+        n = profile.num_vertices
+        out = np.empty((len(profile), 2), dtype=np.float64)
+        for i, rec in enumerate(profile):
+            out[i, 0] = self.top_down_seconds(rec, n).seconds
+            out[i, 1] = self.bottom_up_seconds(rec, n).seconds
+        return out
+
+    def traversal_seconds(
+        self, profile: LevelProfile, directions: list[str] | np.ndarray
+    ) -> float:
+        """Total time for a fixed per-level direction plan on this device."""
+        if len(directions) != len(profile):
+            raise ArchError(
+                f"plan length {len(directions)} != profile depth {len(profile)}"
+            )
+        total = 0.0
+        for rec, d in zip(profile, directions):
+            total += self.level_seconds(rec, profile.num_vertices, d)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CostModel({self.spec.name})"

@@ -1,0 +1,168 @@
+"""Simulated heterogeneous machine: prices per-level execution plans.
+
+A *plan* assigns each BFS level a ``(device, direction)`` pair.  The
+machine prices every level on its device's cost model and charges the
+transfer model whenever consecutive levels run on different devices.
+Single-architecture runs are the special case of a constant device
+column.
+
+The machine never traverses a graph — it consumes a
+:class:`~repro.bfs.trace.LevelProfile`, which is why pricing the 1,000
+candidate switching points of the paper's Fig. 8 costs milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.costmodel import CostModel
+from repro.arch.specs import ArchSpec
+from repro.arch.transfer import PCIE_GEN2, TransferModel
+from repro.bfs.result import Direction
+from repro.bfs.trace import LevelProfile
+from repro.errors import PlanError
+
+__all__ = ["PlanStep", "SimReport", "SimulatedMachine"]
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One level's placement: which device, which direction."""
+
+    device: str
+    direction: str
+
+    def __post_init__(self) -> None:
+        if self.direction not in Direction.ALL:
+            raise PlanError(f"unknown direction {self.direction!r}")
+
+
+@dataclass(frozen=True)
+class SimReport:
+    """Outcome of pricing one plan over one profile."""
+
+    steps: tuple[PlanStep, ...]
+    level_seconds: np.ndarray          # per-level kernel time
+    transfer_seconds: np.ndarray       # per-level handoff cost (entering)
+    total_seconds: float
+    traversed_edges: int
+
+    @property
+    def teps(self) -> float:
+        """Traversed edges per second under the simulated timing."""
+        if self.total_seconds <= 0:
+            raise PlanError("non-positive simulated time")
+        return self.traversed_edges / self.total_seconds
+
+    @property
+    def gteps(self) -> float:
+        """TEPS in units of 10⁹ (the paper's GTEPS)."""
+        return self.teps / 1e9
+
+    def per_level(self) -> list[dict]:
+        """Row-per-level breakdown (for Table IV-style reporting)."""
+        return [
+            {
+                "level": i + 1,  # the paper numbers levels from 1
+                "device": s.device,
+                "direction": s.direction,
+                "seconds": float(self.level_seconds[i]),
+                "transfer_seconds": float(self.transfer_seconds[i]),
+            }
+            for i, s in enumerate(self.steps)
+        ]
+
+
+class SimulatedMachine:
+    """A set of devices joined by an interconnect.
+
+    Parameters
+    ----------
+    devices:
+        Mapping of device name → :class:`ArchSpec`.
+    transfer:
+        Interconnect model for device handoffs (PCIe gen 2 by default).
+    """
+
+    def __init__(
+        self,
+        devices: dict[str, ArchSpec],
+        transfer: TransferModel = PCIE_GEN2,
+    ) -> None:
+        if not devices:
+            raise PlanError("machine needs at least one device")
+        self.specs = dict(devices)
+        self.models = {name: CostModel(spec) for name, spec in devices.items()}
+        self.transfer = transfer
+
+    # -- plan construction helpers ----------------------------------------------
+
+    def constant_plan(
+        self, profile: LevelProfile, device: str, directions: list[str]
+    ) -> list[PlanStep]:
+        """A single-device plan with the given per-level directions."""
+        self._check_device(device)
+        if len(directions) != len(profile):
+            raise PlanError(
+                f"{len(directions)} directions for {len(profile)} levels"
+            )
+        return [PlanStep(device, d) for d in directions]
+
+    def _check_device(self, device: str) -> None:
+        if device not in self.models:
+            raise PlanError(
+                f"unknown device {device!r}; have {sorted(self.models)}"
+            )
+
+    # -- pricing --------------------------------------------------------------------
+
+    def run(
+        self,
+        profile: LevelProfile,
+        plan: list[PlanStep],
+        *,
+        traversed_edges: int | None = None,
+    ) -> SimReport:
+        """Price ``plan`` over ``profile``.
+
+        ``traversed_edges`` defaults to the profile's total frontier
+        edge mass / 2 (undirected edges of the traversed component),
+        which is the Graph 500 TEPS numerator.
+        """
+        if len(plan) != len(profile):
+            raise PlanError(
+                f"plan length {len(plan)} != profile depth {len(profile)}"
+            )
+        n = profile.num_vertices
+        level_s = np.zeros(len(plan), dtype=np.float64)
+        xfer_s = np.zeros(len(plan), dtype=np.float64)
+        prev_device: str | None = None
+        for i, (rec, step) in enumerate(zip(profile, plan)):
+            self._check_device(step.device)
+            model = self.models[step.device]
+            level_s[i] = model.level_seconds(rec, n, step.direction)
+            if prev_device is not None and step.device != prev_device:
+                xfer_s[i] = self.transfer.handoff_seconds(
+                    n, rec.frontier_vertices
+                )
+            prev_device = step.device
+        if traversed_edges is None:
+            traversed_edges = int(profile.frontier_edges().sum()) // 2
+        return SimReport(
+            steps=tuple(plan),
+            level_seconds=level_s,
+            transfer_seconds=xfer_s,
+            total_seconds=float(level_s.sum() + xfer_s.sum()),
+            traversed_edges=traversed_edges,
+        )
+
+    def time_matrices(
+        self, profile: LevelProfile
+    ) -> dict[str, np.ndarray]:
+        """Per-device ``(levels, 2)`` time matrices (td, bu columns)."""
+        return {
+            name: model.time_matrix(profile)
+            for name, model in self.models.items()
+        }

@@ -1,0 +1,81 @@
+"""RCMA / RCMB analysis (Section III-B of the paper).
+
+The paper frames BFS as SpMV and computes the algorithm's *ratio of
+computation to memory access* (RCMA, Equation 1), then compares it
+against each platform's *ratio of computation to memory bandwidth*
+(RCMB, Equation 2).  RCMA ≈ 0.5 ≪ RCMB everywhere, i.e. BFS is deeply
+memory-bound, and the gap is *worst* on the architectures with the
+highest RCMB — the paper's explanation of why the GPU pays a severe
+penalty on its bandwidth-hungry first bottom-up level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.specs import ArchSpec
+from repro.bfs.spmv import spmv_bytes, spmv_flops
+from repro.errors import ArchError
+
+__all__ = ["rcma_spmv", "rcmb", "RooflinePoint", "analyze"]
+
+
+def rcma_spmv(n: int, element_bytes: int = 4) -> float:
+    """RCMA of a dense n×n matrix-vector product (Equation 1).
+
+    ``n (2n - 1)`` flops over ``element_bytes (n² + n)`` bytes — tends
+    to ``0.5`` for 4-byte elements as ``n`` grows, the figure the paper
+    quotes for BFS-as-SpMV.
+    """
+    return spmv_flops(n) / spmv_bytes(n, element_bytes)
+
+
+def rcmb(spec: ArchSpec, *, precision: str = "sp") -> float:
+    """RCMB of an architecture (Equation 2): peak Gflops over theoretical
+    GB/s, in flops/byte."""
+    if precision == "sp":
+        return spec.rcmb_sp
+    if precision == "dp":
+        return spec.rcmb_dp
+    raise ArchError(f"precision must be 'sp' or 'dp', got {precision!r}")
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """Placement of a kernel on one architecture's roofline."""
+
+    arch: str
+    rcma: float
+    rcmb_sp: float
+    rcmb_dp: float
+    memory_bound: bool
+    bandwidth_gap: float  # rcmb_sp / rcma: how far below the roof
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (for reporting)."""
+        return {
+            "arch": self.arch,
+            "rcma": self.rcma,
+            "rcmb_sp": self.rcmb_sp,
+            "rcmb_dp": self.rcmb_dp,
+            "memory_bound": self.memory_bound,
+            "bandwidth_gap": self.bandwidth_gap,
+        }
+
+
+def analyze(spec: ArchSpec, n: int = 1 << 20) -> RooflinePoint:
+    """Place BFS-as-SpMV on ``spec``'s roofline.
+
+    ``memory_bound`` is True when the kernel's RCMA sits below the
+    architecture's RCMB — true for every platform in the paper, with the
+    largest gap on the GPU (Table II: RCMB 21.0 vs RCMA 0.5).
+    """
+    a = rcma_spmv(n)
+    return RooflinePoint(
+        arch=spec.name,
+        rcma=a,
+        rcmb_sp=spec.rcmb_sp,
+        rcmb_dp=spec.rcmb_dp,
+        memory_bound=a < spec.rcmb_sp,
+        bandwidth_gap=spec.rcmb_sp / a,
+    )

@@ -1,0 +1,314 @@
+"""Architecture specifications.
+
+:class:`ArchSpec` carries two groups of fields:
+
+* **catalog parameters** taken verbatim from the paper's Table II —
+  frequency, core count, peak Gflops, cache sizes, theoretical and
+  measured bandwidth.  These are also the architecture block of the
+  Fig. 7 regression feature vector.
+* **fitted kernel constants** — per-edge/per-vertex costs and per-level
+  overheads calibrated so that the cost model reproduces the paper's
+  level-by-level time matrix (Table IV); the calibration targets and the
+  fitting story live in :mod:`repro.arch.calibration`.
+
+Three presets mirror the paper's platforms (Sandy Bridge CPU, Kepler
+K20x GPU, Knights Corner MIC).  :func:`sample_arch` synthesizes
+plausible additional architectures by mixing the presets — used to
+enrich the regression training corpus beyond the paper's three
+platforms while keeping catalog features predictive of kernel costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace, fields as dc_fields
+
+import numpy as np
+
+from repro.errors import ArchError
+
+__all__ = [
+    "ArchSpec",
+    "CPU_SANDY_BRIDGE",
+    "GPU_K20X",
+    "MIC_KNC",
+    "PRESETS",
+    "arch_features",
+    "sample_arch",
+]
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """One execution architecture (device) for the cost model."""
+
+    name: str
+
+    # --- catalog parameters (the paper's Table II) -----------------------
+    freq_ghz: float
+    cores: int
+    peak_sp_gflops: float
+    peak_dp_gflops: float
+    l1_kb: float          # per core / per SM
+    l2_kb: float          # per core (CPU/MIC) or per card (GPU)
+    l3_mb: float          # 0 when absent (GPU, MIC)
+    theoretical_bw_gbs: float
+    measured_bw_gbs: float
+
+    # --- microarchitectural character ------------------------------------
+    issue_width: float      # instructions issued per cycle per core
+    ooo_factor: float       # out-of-order/cache effectiveness (in [0, 1];
+                            # the paper's Section V-C "factor of 5" for KNC)
+    cacheline_bytes: int
+
+    # --- fitted kernel constants (see repro.arch.calibration) -------------
+    td_overhead_s: float        # per-level launch/barrier cost, top-down
+    bu_overhead_s: float        # per-level launch/barrier cost, bottom-up
+    td_atomic_ns: float         # queue-claim cost per inspected edge (ns)
+    td_saturation_edges: float  # |E|cq needed to reach full efficiency
+    td_efficiency_floor: float  # minimum parallel efficiency, top-down
+    bu_win_ns: float            # per-edge cost, scans that find a parent
+    bu_fail_ns: float           # per-edge cost, scans that exhaust the list
+    scan_bytes_per_vertex: float  # next-frontier/status sweep traffic
+
+    def __post_init__(self) -> None:
+        positive = (
+            "freq_ghz",
+            "cores",
+            "peak_sp_gflops",
+            "peak_dp_gflops",
+            "l1_kb",
+            "l2_kb",
+            "theoretical_bw_gbs",
+            "measured_bw_gbs",
+            "issue_width",
+            "cacheline_bytes",
+            "td_saturation_edges",
+            "bu_win_ns",
+            "bu_fail_ns",
+            "scan_bytes_per_vertex",
+        )
+        for name in positive:
+            if getattr(self, name) <= 0:
+                raise ArchError(f"{self.name}: {name} must be positive")
+        for name in ("l3_mb", "td_overhead_s", "bu_overhead_s", "td_atomic_ns"):
+            if getattr(self, name) < 0:
+                raise ArchError(f"{self.name}: {name} must be non-negative")
+        if not 0 < self.ooo_factor <= 1:
+            raise ArchError(f"{self.name}: ooo_factor must be in (0, 1]")
+        if not 0 < self.td_efficiency_floor <= 1:
+            raise ArchError(
+                f"{self.name}: td_efficiency_floor must be in (0, 1]"
+            )
+        if self.measured_bw_gbs > self.theoretical_bw_gbs:
+            raise ArchError(
+                f"{self.name}: measured bandwidth exceeds theoretical"
+            )
+
+    # -- derived quantities --------------------------------------------------
+
+    @property
+    def compute_rate_gops(self) -> float:
+        """Scalar integer-op throughput in Gops/s: cores × freq × issue
+        × out-of-order effectiveness.  This is the roofline's compute
+        leg for BFS (graph traversal does no floating point)."""
+        return self.cores * self.freq_ghz * self.issue_width * self.ooo_factor
+
+    @property
+    def rcmb_sp(self) -> float:
+        """Single-precision ratio of computation to memory bandwidth
+        (Equation 2).  Note: the paper's Equation 2 says *theoretical*
+        bandwidth, but its Table II values (7.52 / 12.70 / 21.01) are
+        peak Gflops over **measured** bandwidth — we follow the table."""
+        return self.peak_sp_gflops / self.measured_bw_gbs
+
+    @property
+    def rcmb_dp(self) -> float:
+        """Double-precision RCMB (Equation 2, measured bandwidth as in
+        Table II)."""
+        return self.peak_dp_gflops / self.measured_bw_gbs
+
+    def cache_capacity_bytes(self) -> float:
+        """Effective capacity for the random-access working set (parent
+        map / frontier bitmap).  L3 when present; otherwise a fraction of
+        aggregate L2 — private, partitioned L2s retain less of a shared
+        working set, which is the paper's "reduced cache" MIC penalty."""
+        if self.l3_mb > 0:
+            return self.l3_mb * 1e6
+        if self.cores >= 512:
+            return self.l2_kb * 1e3  # manycore accelerators list L2 per card
+        return self.l2_kb * 1e3 * self.cores * 0.25
+
+    def with_cores(self, cores: int) -> "ArchSpec":
+        """A scaled variant for strong/weak-scaling studies.
+
+        Compute capacity scales linearly with core count; memory
+        bandwidth follows a saturating curve (half-saturation at a
+        quarter of the reference core count) normalized so the reference
+        configuration keeps its measured bandwidth; per-level barrier
+        overheads grow logarithmically with participating cores.
+        """
+        if cores < 1:
+            raise ArchError(f"cores must be >= 1, got {cores}")
+        k_half = max(self.cores / 4.0, 0.5)
+        ref_frac = self.cores / (self.cores + k_half)
+        bw_frac = cores / (cores + k_half) / ref_frac
+        barrier = np.log2(cores + 1) / np.log2(self.cores + 1)
+        return replace(
+            self,
+            name=f"{self.name}@{cores}c",
+            cores=cores,
+            measured_bw_gbs=min(
+                self.measured_bw_gbs * bw_frac, self.theoretical_bw_gbs
+            ),
+            peak_sp_gflops=self.peak_sp_gflops * cores / self.cores,
+            peak_dp_gflops=self.peak_dp_gflops * cores / self.cores,
+            td_overhead_s=self.td_overhead_s * barrier,
+            bu_overhead_s=self.bu_overhead_s * barrier,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Presets — catalog values from Table II; kernel constants fitted to Table IV
+# (see repro.arch.calibration for the targets and tolerances).
+# ---------------------------------------------------------------------------
+
+CPU_SANDY_BRIDGE = ArchSpec(
+    name="cpu-snb",
+    freq_ghz=2.00,
+    cores=8,
+    peak_sp_gflops=256.0,
+    peak_dp_gflops=128.0,
+    l1_kb=32.0,
+    l2_kb=256.0,
+    l3_mb=20.0,
+    theoretical_bw_gbs=51.2,
+    measured_bw_gbs=34.0,
+    issue_width=2.0,
+    ooo_factor=1.0,
+    cacheline_bytes=64,
+    td_overhead_s=7.0e-4,
+    bu_overhead_s=2.0e-4,
+    td_atomic_ns=0.5,
+    td_saturation_edges=1.0e5,
+    td_efficiency_floor=0.25,
+    bu_win_ns=2.4,
+    bu_fail_ns=0.20,
+    scan_bytes_per_vertex=20.0,
+)
+
+GPU_K20X = ArchSpec(
+    name="gpu-k20x",
+    freq_ghz=0.73,
+    cores=2496,
+    peak_sp_gflops=3950.0,
+    peak_dp_gflops=1320.0,
+    l1_kb=64.0,
+    l2_kb=1536.0,
+    l3_mb=0.0,
+    theoretical_bw_gbs=250.0,
+    measured_bw_gbs=188.0,
+    issue_width=1.0,
+    ooo_factor=1.0,
+    cacheline_bytes=128,
+    td_overhead_s=2.2e-4,
+    bu_overhead_s=5.0e-5,
+    td_atomic_ns=3.5,
+    td_saturation_edges=3.0e7,
+    td_efficiency_floor=0.03,
+    bu_win_ns=1.3,
+    bu_fail_ns=1.7,
+    scan_bytes_per_vertex=30.0,
+)
+
+MIC_KNC = ArchSpec(
+    name="mic-knc",
+    freq_ghz=1.09,
+    cores=61,
+    peak_sp_gflops=2020.0,
+    peak_dp_gflops=1010.0,
+    l1_kb=32.0,
+    l2_kb=512.0,
+    l3_mb=0.0,
+    theoretical_bw_gbs=352.0,
+    measured_bw_gbs=159.0,
+    issue_width=1.0,
+    # The paper's Section V-C decomposition of the 20.6x serial gap:
+    # 2x clock (explicit above), 2x no consecutive dual-issue, ~5x no
+    # L3 / in-order execution -> 1 / (2 * 5) = 0.1 effectiveness.
+    ooo_factor=0.10,
+    cacheline_bytes=64,
+    td_overhead_s=2.0e-3,
+    bu_overhead_s=8.0e-4,
+    # Atomic queue claims on an in-order P54 core with no L3 cost tens
+    # of ns each — this is what keeps MIC top-down behind both the CPU
+    # (OoO cores) and the GPU (latency hiding) at every frontier size.
+    td_atomic_ns=20.0,
+    td_saturation_edges=2.0e6,
+    td_efficiency_floor=0.10,
+    bu_win_ns=8.0,
+    bu_fail_ns=1.4,
+    scan_bytes_per_vertex=20.0,
+)
+
+PRESETS: dict[str, ArchSpec] = {
+    "cpu": CPU_SANDY_BRIDGE,
+    "gpu": GPU_K20X,
+    "mic": MIC_KNC,
+}
+
+
+def arch_features(spec: ArchSpec) -> np.ndarray:
+    """The 3-element architecture block of the Fig. 7 training sample:
+    ``[peak performance (Gflops), L1 cache (KB), memory bandwidth (GB/s)]``."""
+    return np.array(
+        [spec.peak_sp_gflops, spec.l1_kb, spec.measured_bw_gbs],
+        dtype=np.float64,
+    )
+
+
+_MIX_FIELDS = [
+    f.name
+    for f in dc_fields(ArchSpec)
+    if f.name not in ("name", "cores", "cacheline_bytes")
+]
+
+
+def sample_arch(
+    rng: np.random.Generator, *, jitter: float = 0.15, name: str | None = None
+) -> ArchSpec:
+    """Synthesize a plausible architecture by mixing the three presets.
+
+    Every field is the Dirichlet-weighted geometric mean of the presets'
+    values, then perturbed by log-normal jitter — so the catalog features
+    (what the regression sees) and the kernel constants (what determines
+    the best switching point) move *together*, exactly the property that
+    makes the switching point learnable from catalog features.
+    """
+    if jitter < 0:
+        raise ArchError(f"jitter must be non-negative, got {jitter}")
+    presets = (CPU_SANDY_BRIDGE, GPU_K20X, MIC_KNC)
+    w = rng.dirichlet(np.ones(len(presets)))
+    values: dict[str, object] = {}
+    for fname in _MIX_FIELDS:
+        vals = np.array([float(getattr(p, fname)) for p in presets])
+        if np.any(vals <= 0):
+            # Additive mix for fields that may be zero (l3_mb, overheads).
+            mixed = float(w @ vals)
+        else:
+            mixed = float(np.exp(w @ np.log(vals)))
+        mixed *= float(np.exp(rng.normal(0.0, jitter)))
+        values[fname] = mixed
+    cores = max(1, int(round(np.exp(w @ np.log([p.cores for p in presets])))))
+    values["cores"] = cores
+    values["cacheline_bytes"] = int(
+        rng.choice([p.cacheline_bytes for p in presets])
+    )
+    values["ooo_factor"] = float(np.clip(values["ooo_factor"], 0.05, 1.0))
+    values["td_efficiency_floor"] = float(
+        np.clip(values["td_efficiency_floor"], 0.01, 1.0)
+    )
+    values["measured_bw_gbs"] = min(
+        float(values["measured_bw_gbs"]), float(values["theoretical_bw_gbs"])
+    )
+    values["name"] = name or f"synthetic-{rng.integers(1 << 30):08x}"
+    return ArchSpec(**values)  # type: ignore[arg-type]

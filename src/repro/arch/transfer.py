@@ -1,0 +1,57 @@
+"""Host↔device transfer model.
+
+The cross-architecture combination (Algorithm 3) hands the traversal
+from CPU to GPU mid-run.  The graph itself is resident on both devices
+before timing starts (as in the paper, which times BFS kernels only),
+but the live state — frontier and visited/parent information — must
+cross PCIe at each device switch.  A mistuned switching point that
+ping-pongs between devices pays this cost repeatedly, one ingredient of
+the paper's 695× worst-case gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ArchError
+
+__all__ = ["TransferModel", "PCIE_GEN2"]
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Latency + bandwidth model of a host↔device interconnect."""
+
+    latency_s: float
+    bandwidth_gbs: float
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ArchError("transfer latency must be non-negative")
+        if self.bandwidth_gbs <= 0:
+            raise ArchError("transfer bandwidth must be positive")
+
+    def seconds(self, nbytes: int) -> float:
+        """Time to move ``nbytes`` across the link."""
+        if nbytes < 0:
+            raise ArchError(f"nbytes must be non-negative, got {nbytes}")
+        return self.latency_s + nbytes / (self.bandwidth_gbs * 1e9)
+
+    def handoff_seconds(
+        self, num_vertices: int, frontier_vertices: int
+    ) -> float:
+        """Cost of switching the live traversal to the other device.
+
+        Ships the visited bitmap (``|V| / 8`` bytes) plus the current
+        frontier queue (4 bytes per member) — parent/level maps stay on
+        the device that produced them and are merged after the run,
+        exactly as a real split implementation would do.
+        """
+        if num_vertices < 0 or frontier_vertices < 0:
+            raise ArchError("counts must be non-negative")
+        payload = num_vertices // 8 + 4 * frontier_vertices
+        return self.seconds(payload)
+
+
+#: PCIe gen-2 x16 (the K20x-era link): ~8 GB/s effective, 10 µs latency.
+PCIE_GEN2 = TransferModel(latency_s=1.0e-5, bandwidth_gbs=8.0)

@@ -1,0 +1,41 @@
+"""Benchmark harness: metrics, workload cache, experiment runner and
+the per-table/figure experiment registry."""
+
+from repro.bench.metrics import (
+    geometric_mean,
+    gteps,
+    harmonic_mean,
+    speedup,
+    teps,
+)
+from repro.bench.reporting import format_table, load_rows, save_rows
+from repro.bench.runner import BenchConfig, ExperimentResult
+from repro.bench.workloads import (
+    PAPER_SUITE,
+    TABLE5_GRAPHS,
+    WorkloadSpec,
+    default_cache_dir,
+    get_graph,
+    get_profile,
+    paper_scale_profile,
+)
+
+__all__ = [
+    "teps",
+    "gteps",
+    "speedup",
+    "geometric_mean",
+    "harmonic_mean",
+    "format_table",
+    "save_rows",
+    "load_rows",
+    "BenchConfig",
+    "ExperimentResult",
+    "WorkloadSpec",
+    "get_graph",
+    "get_profile",
+    "paper_scale_profile",
+    "default_cache_dir",
+    "PAPER_SUITE",
+    "TABLE5_GRAPHS",
+]

@@ -1,0 +1,71 @@
+"""One module per reproduced table/figure (plus ablations).
+
+Every module exposes ``run(config: BenchConfig) -> ExperimentResult``.
+:data:`REGISTRY` maps experiment names to those callables — the CLI and
+the pytest benchmarks both dispatch through it.
+"""
+
+from typing import Callable
+
+from repro.bench.runner import BenchConfig, ExperimentResult
+
+from repro.bench.experiments import (
+    ablation_features,
+    ablation_policy,
+    ablation_regression,
+    ablation_transfer,
+    ext_arch_sweep,
+    ext_mistuning,
+    ext_root_features,
+    ext_sources,
+    ext_topology,
+    fig01_frontier_vertices,
+    fig02_frontier_edges,
+    fig03_level_times,
+    fig08_regression_quality,
+    fig09_combinations,
+    fig10_scaling,
+    roofline_rcmb,
+    sec5d_comparisons,
+    table3_best_m,
+    table4_step_by_step,
+    table5_speedups,
+    table6_gteps,
+)
+
+__all__ = ["REGISTRY", "run_experiment"]
+
+REGISTRY: dict[str, Callable[[BenchConfig], ExperimentResult]] = {
+    "fig01": fig01_frontier_vertices.run,
+    "fig02": fig02_frontier_edges.run,
+    "fig03": fig03_level_times.run,
+    "fig08": fig08_regression_quality.run,
+    "fig09": fig09_combinations.run,
+    "fig10": fig10_scaling.run,
+    "table3": table3_best_m.run,
+    "table4": table4_step_by_step.run,
+    "table5": table5_speedups.run,
+    "table6": table6_gteps.run,
+    "sec5d": sec5d_comparisons.run,
+    "roofline": roofline_rcmb.run,
+    "ablation-policy": ablation_policy.run,
+    "ablation-regression": ablation_regression.run,
+    "ablation-features": ablation_features.run,
+    "ablation-transfer": ablation_transfer.run,
+    "ext-arch-sweep": ext_arch_sweep.run,
+    "ext-mistuning": ext_mistuning.run,
+    "ext-root-features": ext_root_features.run,
+    "ext-sources": ext_sources.run,
+    "ext-topology": ext_topology.run,
+}
+
+
+def run_experiment(
+    name: str, config: BenchConfig | None = None
+) -> ExperimentResult:
+    """Run one experiment by registry name."""
+    if name not in REGISTRY:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {sorted(REGISTRY)}"
+        )
+    return REGISTRY[name](config or BenchConfig())

@@ -1,0 +1,111 @@
+"""Ablation — which Fig. 7 feature blocks matter.
+
+Section III-C argues the best switching point depends on *both* the
+graph information and the platform information.  This ablation retrains
+the SVR with (a) the full 12 features, (b) graph block only, (c)
+architecture blocks only, and (d) a constant predictor (corpus-mean M,
+N), then measures achieved traversal time as a fraction of exhaustive
+on held-out (graph, architecture) combinations that vary in *both*
+coordinates — so dropping either block must cost accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.costmodel import CostModel
+from repro.arch.specs import CPU_SANDY_BRIDGE, GPU_K20X, MIC_KNC
+from repro.bench.experiments._shared import corpus_arch_pairs, corpus_graphs
+from repro.bench.metrics import geometric_mean
+from repro.bench.runner import BenchConfig, ExperimentResult
+from repro.bench.workloads import WorkloadSpec, get_graph, paper_scale_profile
+from repro.graph.stats import graph_features
+from repro.ml.dataset import sample_from_features
+from repro.ml.scaler import StandardScaler
+from repro.ml.svr import SVR
+from repro.tuning.search import candidate_mn_grid, evaluate_single
+from repro.tuning.training import build_training_set
+
+__all__ = ["run"]
+
+BLOCKS = {
+    "full": np.arange(12),
+    "graph_only": np.arange(6),
+    "arch_only": np.arange(6, 12),
+}
+
+
+def run(config: BenchConfig = BenchConfig()) -> ExperimentResult:
+    """Run the feature-block ablation."""
+    graphs = corpus_graphs(config)
+    pairs = corpus_arch_pairs()
+    corpus = build_training_set(graphs, pairs, seed=config.seeds[0])
+    X, log_m, log_n = corpus.as_arrays()
+
+    # Held-out evaluations: 3 graphs x 3 single-device architectures.
+    archs = {"cpu": CPU_SANDY_BRIDGE, "gpu": GPU_K20X, "mic": MIC_KNC}
+    evals = []
+    for ef, target in ((8, 21), (16, 22), (32, 23)):
+        spec = WorkloadSpec(config.base_scale, ef, seed=800 + ef)
+        profile = paper_scale_profile(
+            spec, target, cache_dir=config.cache_dir
+        )
+        gfeat = graph_features(get_graph(spec))
+        cands = candidate_mn_grid(config.candidate_count, seed=spec.seed)
+        for arch in archs.values():
+            model = CostModel(arch)
+            secs = evaluate_single(profile, model, cands)
+            feats = sample_from_features(gfeat, arch, arch)
+            evals.append((profile, model, feats, float(secs.min())))
+
+    rows: list[dict] = []
+    for name, cols in BLOCKS.items():
+        scaler = StandardScaler()
+        Xs = scaler.fit_transform(X[:, cols])
+        reg_m = SVR(c=30.0, epsilon=0.05).fit(Xs, log_m)
+        reg_n = SVR(c=30.0, epsilon=0.05).fit(Xs, log_n)
+        fracs = []
+        for profile, model, feats, best in evals:
+            fs = scaler.transform(feats[None, cols])
+            m = float(np.clip(np.exp2(reg_m.predict(fs)[0]), 1, 1000))
+            n = float(np.clip(np.exp2(reg_n.predict(fs)[0]), 1, 1000))
+            achieved = float(
+                evaluate_single(profile, model, np.array([[m, n]]))[0]
+            )
+            fracs.append(best / achieved)
+        rows.append(
+            {"features": name, "frac_of_exhaustive": geometric_mean(fracs)}
+        )
+    # Constant predictor: geometric-mean (M, N) of the corpus.
+    const_m = float(np.exp2(log_m.mean()))
+    const_n = float(np.exp2(log_n.mean()))
+    fracs = []
+    for profile, model, _, best in evals:
+        achieved = float(
+            evaluate_single(profile, model, np.array([[const_m, const_n]]))[0]
+        )
+        fracs.append(best / achieved)
+    rows.append(
+        {"features": "constant_mn", "frac_of_exhaustive": geometric_mean(fracs)}
+    )
+    result = ExperimentResult(
+        name="ablation_features",
+        title="Ablation — Fig. 7 feature blocks (fraction of exhaustive "
+        "achieved on held-out graph x arch combinations)",
+        rows=rows,
+    )
+    by = {r["features"]: r["frac_of_exhaustive"] for r in rows}
+    result.notes.append(
+        "Section III-C claims the best point depends on both graph and "
+        f"platform; measured: full={by['full']:.0%}, "
+        f"graph_only={by['graph_only']:.0%}, arch_only={by['arch_only']:.0%}, "
+        f"constant={by['constant_mn']:.0%}"
+    )
+    result.notes.append(
+        "finding: on a corpus where every graph shares the Graph 500 "
+        "(A, B, C, D), the architecture block carries most of the signal "
+        "— the graph block's V/E add little beyond the plateau width; "
+        "the paper's claim would need construction-parameter diversity "
+        "to test fully"
+    )
+    return result

@@ -1,0 +1,105 @@
+"""Ablation — what each threshold of the switching rule contributes.
+
+Compares, on the CPU model over paper-scale profiles:
+
+* pure top-down / pure bottom-up (no switching at all);
+* M-only rule (N disabled at 10⁶ — vertex test never fires);
+* N-only rule (M disabled);
+* the full (M, N) rule (each at its exhaustive best);
+* Beamer's hysteresis heuristic with its stock α=14, β=24;
+* the per-level oracle plan (upper bound).
+
+The paper takes the two-threshold rule from Beamer; this quantifies how
+much of the oracle each variant captures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.costmodel import CostModel
+from repro.arch.specs import CPU_SANDY_BRIDGE
+from repro.bench.runner import BenchConfig, ExperimentResult
+from repro.bench.workloads import WorkloadSpec, paper_scale_profile
+from repro.tuning.policy import HeuristicBeamerPolicy
+from repro.bfs.hybrid import LevelState
+from repro.tuning.search import candidate_mn_grid, evaluate_single
+
+__all__ = ["run"]
+
+
+def _beamer_directions(profile, alpha: float, beta: float) -> list[str]:
+    policy = HeuristicBeamerPolicy(alpha=alpha, beta=beta)
+    dirs = []
+    for rec in profile:
+        dirs.append(
+            policy.direction(
+                LevelState(
+                    depth=rec.level,
+                    frontier_vertices=rec.frontier_vertices,
+                    frontier_edges=rec.frontier_edges,
+                    num_vertices=profile.num_vertices,
+                    num_edges=profile.num_edges,
+                    unvisited_vertices=rec.unvisited_vertices,
+                )
+            )
+        )
+    return dirs
+
+
+def run(config: BenchConfig = BenchConfig()) -> ExperimentResult:
+    """Run the policy ablation."""
+    model = CostModel(CPU_SANDY_BRIDGE)
+    rows: list[dict] = []
+    for target_scale, ef in ((22, 16), (23, 16), (22, 32)):
+        spec = WorkloadSpec(
+            scale=config.base_scale,
+            edgefactor=ef,
+            seed=config.seeds[0] + target_scale * 100 + ef,
+        )
+        profile = paper_scale_profile(
+            spec, target_scale, cache_dir=config.cache_dir
+        )
+        times = model.time_matrix(profile)
+        oracle = float(np.minimum(times[:, 0], times[:, 1]).sum())
+        pure_td = float(times[:, 0].sum())
+        pure_bu = float(times[:, 1].sum())
+
+        grid = candidate_mn_grid(config.candidate_count, seed=spec.seed)
+        m_only = grid.copy()
+        m_only[:, 1] = 1e-6  # N test never true -> M decides alone
+        n_only = grid.copy()
+        n_only[:, 0] = 1e-6
+        best_m_only = float(evaluate_single(profile, model, m_only).min())
+        best_n_only = float(evaluate_single(profile, model, n_only).min())
+        best_mn = float(evaluate_single(profile, model, grid).min())
+        beamer = model.traversal_seconds(
+            profile, _beamer_directions(profile, 14.0, 24.0)
+        )
+        rows.append(
+            {
+                "graph": f"scale={target_scale} ef={ef}",
+                "pure_td_s": pure_td,
+                "pure_bu_s": pure_bu,
+                "m_only_s": best_m_only,
+                "n_only_s": best_n_only,
+                "mn_s": best_mn,
+                "beamer_default_s": beamer,
+                "oracle_s": oracle,
+                "mn_of_oracle": oracle / best_mn,
+                "m_only_of_oracle": oracle / best_m_only,
+            }
+        )
+    result = ExperimentResult(
+        name="ablation_policy",
+        title="Ablation — switching-rule variants vs the per-level oracle "
+        "(CPU model)",
+        rows=rows,
+    )
+    result.notes.append(
+        "the tuned (M, N) rule should recover nearly all of the oracle; "
+        "single-threshold variants may match it on these unimodal "
+        "frontiers (both counters peak together), which is itself a "
+        "finding — N guards the non-R-MAT cases"
+    )
+    return result

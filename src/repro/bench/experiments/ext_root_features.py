@@ -1,0 +1,168 @@
+"""Extension — do root features fix the source-dependence gap?
+
+``ext-sources`` found the best switching point materially depends on
+the BFS root, which the paper's Fig. 7 features cannot express.  This
+experiment trains the root-free predictor and the root-aware variant
+(two extra features: the root's degree, absolutely and relative to the
+mean) on the *same* multi-root corpus, then evaluates both on held-out
+roots of a held-out graph: achieved traversal time as a fraction of
+that root's exhaustive best.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.costmodel import CostModel
+from repro.arch.specs import CPU_SANDY_BRIDGE
+from repro.bench.metrics import geometric_mean
+from repro.bench.runner import BenchConfig, ExperimentResult
+from repro.bfs.profiler import pick_sources, profile_bfs
+from repro.graph.generators import rmat
+from repro.graph.stats import graph_features
+from repro.ml.dataset import TrainingSet, sample_from_features
+from repro.tuning.predictor import SwitchingPointPredictor
+from repro.tuning.rootaware import (
+    RootAwarePredictor,
+    build_root_training_set,
+    make_root_sample,
+    root_features,
+)
+from repro.tuning.search import candidate_mn_grid, evaluate_single
+from repro.tuning.training import ProfiledGraph, _plateau_center
+
+__all__ = ["run"]
+
+ROOTS_PER_GRAPH = 6
+
+
+def _multi_root_rows(config: BenchConfig, scales, seeds):
+    """(ProfiledGraph, source, root_block) rows over several roots."""
+    rows = []
+    factor_target = 22
+    from repro.arch.calibration import scale_profile
+
+    for scale in scales:
+        for seed in seeds:
+            graph = rmat(scale, 16, seed=7000 + 100 * scale + seed)
+            gfeat = graph_features(graph)
+            factor = 2.0 ** (factor_target - scale)
+            # Stratified roots: uniform picks plus the hub and a
+            # low-degree vertex — uniform sampling almost never draws a
+            # hub, yet hub roots are where the switching point moves.
+            uniform = pick_sources(graph, ROOTS_PER_GRAPH - 2, seed=seed)
+            hub = int(np.argmax(graph.degrees))
+            low = int(
+                np.nonzero(graph.degrees == graph.degrees[graph.degrees > 0].min())[0][0]
+            )
+            roots = np.unique(
+                np.concatenate([uniform, [hub, low]])
+            )
+            for i, root in enumerate(roots):
+                profile, _ = profile_bfs(graph, int(root))
+                pg = ProfiledGraph(
+                    graph=graph,
+                    profile=scale_profile(profile, factor),
+                    features=np.concatenate(
+                        [gfeat[:2] * factor, gfeat[2:]]
+                    ),
+                    tag=f"s{scale}r{i}",
+                )
+                rows.append((pg, int(root), root_features(graph, int(root))))
+    return rows
+
+
+def run(config: BenchConfig = BenchConfig()) -> ExperimentResult:
+    """Head-to-head: root-free vs root-aware prediction."""
+    pairs = [(CPU_SANDY_BRIDGE, CPU_SANDY_BRIDGE)]
+    model = CostModel(CPU_SANDY_BRIDGE)
+    cands = candidate_mn_grid(config.candidate_count, seed=config.seeds[0])
+
+    train_rows = _multi_root_rows(
+        config, scales=(config.base_scale - 1, config.base_scale), seeds=(0, 1)
+    )
+    # Root-aware corpus.
+    aware_corpus = build_root_training_set(
+        train_rows, pairs, candidates=cands
+    )
+    aware = RootAwarePredictor().fit(aware_corpus)
+    # Root-free corpus over the same rows (duplicate features per root —
+    # exactly the degeneracy the root block resolves).
+    free_corpus = TrainingSet()
+    for (pg, _, _), lm, ln in zip(
+        train_rows, aware_corpus.log_m, aware_corpus.log_n
+    ):
+        free_corpus.add(
+            sample_from_features(pg.features, *pairs[0]),
+            float(np.exp2(lm)),
+            float(np.exp2(ln)),
+        )
+    free = SwitchingPointPredictor().fit(free_corpus)
+
+    # Held-out graphs, held-out roots (two graphs widen root diversity —
+    # the interesting cases are atypical hub/leaf roots).
+    eval_rows = _multi_root_rows(
+        config, scales=(config.base_scale,), seeds=(8, 9)
+    )
+    rows: list[dict] = []
+    for pg, root, rblock in eval_rows:
+        secs = evaluate_single(pg.profile, model, cands)
+        best = float(secs.min())
+        mf, nf = free.predict_sample(
+            sample_from_features(pg.features, *pairs[0])
+        )
+        ma, na = aware.predict_sample(
+            np.concatenate(
+                [sample_from_features(pg.features, *pairs[0]), rblock]
+            )
+        )
+        t_free = float(
+            evaluate_single(pg.profile, model, np.array([[mf, nf]]))[0]
+        )
+        t_aware = float(
+            evaluate_single(pg.profile, model, np.array([[ma, na]]))[0]
+        )
+        rows.append(
+            {
+                "root": root,
+                "root_degree": pg.graph.degree(root),
+                "frac_root_free": best / t_free,
+                "frac_root_aware": best / t_aware,
+            }
+        )
+    result = ExperimentResult(
+        name="ext_root_features",
+        title="Extension — root-free vs root-aware switching-point "
+        "prediction (fraction of per-root exhaustive best)",
+        rows=rows,
+    )
+    gm_free = geometric_mean(r["frac_root_free"] for r in rows)
+    gm_aware = geometric_mean(r["frac_root_aware"] for r in rows)
+    worst_free = min(r["frac_root_free"] for r in rows)
+    worst_aware = min(r["frac_root_aware"] for r in rows)
+    result.notes.append(
+        f"root-free: geomean {gm_free:.0%} / worst root {worst_free:.0%} "
+        f"of the per-root exhaustive best; root-aware: {gm_aware:.0%} / "
+        f"{worst_aware:.0%}"
+    )
+    if gm_aware > gm_free + 0.02 and worst_aware >= worst_free:
+        verdict = (
+            "root features help on this corpus, concentrated on atypical "
+            "roots — two extra features, one CSR lookup at runtime"
+        )
+    elif gm_aware < gm_free - 0.02:
+        verdict = (
+            "root features HURT here: with only tens of corpus rows the "
+            "extra dimensions add variance faster than signal"
+        )
+    else:
+        verdict = (
+            "no consistent effect at this corpus size — the cross-root "
+            "regret tail (ext-sources) is real but rare, and root degree "
+            "alone does not explain it; a profile-derived feature "
+            "(measured level-1 frontier) is the next candidate"
+        )
+    result.notes.append(
+        "verdict (honest, seed-sensitive at these corpus sizes): " + verdict
+    )
+    return result

@@ -1,0 +1,100 @@
+"""Extension — how source-dependent is the best switching point?
+
+The paper trains one sample per graph, implicitly assuming the best
+(M, N) is a property of the graph.  But the level profile depends on
+the BFS root (a hub source explodes one level earlier than a leaf), and
+the Fig. 7 features contain nothing about the root.  This experiment
+quantifies the exposure: for one paper-scale graph, the best M and the
+cost of using *another root's* best point, across many roots.
+
+Measured outcome (see the result notes): the best point is materially
+root-dependent — hub roots explode a level earlier than leaf roots and
+want different thresholds, and borrowing across roots can cost several
+×.  The paper's single-root-per-graph evaluation cannot observe this;
+it is the clearest limitation this reproduction found in the feature
+design.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.calibration import scale_profile
+from repro.arch.costmodel import CostModel
+from repro.arch.specs import CPU_SANDY_BRIDGE
+from repro.bench.runner import BenchConfig, ExperimentResult
+from repro.bench.workloads import WorkloadSpec, get_graph
+from repro.bfs.profiler import pick_sources, profile_bfs
+from repro.tuning.search import candidate_mn_grid, evaluate_single
+
+__all__ = ["run"]
+
+NUM_ROOTS = 8
+
+
+def run(config: BenchConfig = BenchConfig()) -> ExperimentResult:
+    """Measure cross-root switching-point transfer."""
+    spec = WorkloadSpec(
+        scale=config.base_scale, edgefactor=16, seed=config.seeds[0]
+    )
+    graph = get_graph(spec)
+    roots = pick_sources(graph, NUM_ROOTS, seed=config.seeds[0] + 1)
+    factor = 2 ** (22 - spec.scale)
+    model = CostModel(CPU_SANDY_BRIDGE)
+    cands = candidate_mn_grid(config.candidate_count, seed=config.seeds[0])
+
+    profiles = []
+    for root in roots:
+        profile, _ = profile_bfs(graph, int(root))
+        profiles.append(scale_profile(profile, factor))
+    all_secs = [evaluate_single(p, model, cands) for p in profiles]
+    best_idx = [int(np.argmin(s)) for s in all_secs]
+
+    rows: list[dict] = []
+    for i, root in enumerate(roots):
+        own_best = float(all_secs[i][best_idx[i]])
+        # Regret of borrowing every other root's best candidate.
+        borrowed = [
+            float(all_secs[i][best_idx[j]])
+            for j in range(NUM_ROOTS)
+            if j != i
+        ]
+        rows.append(
+            {
+                "root": int(root),
+                "degree": graph.degree(int(root)),
+                "levels": len(profiles[i]),
+                "best_m": float(cands[best_idx[i], 0]),
+                "best_n": float(cands[best_idx[i], 1]),
+                "own_best_s": own_best,
+                "max_cross_root_regret": max(borrowed) / own_best,
+            }
+        )
+    result = ExperimentResult(
+        name="ext_sources",
+        title="Extension — source dependence of the best switching point "
+        f"({spec.label()} scaled to SCALE 22, {NUM_ROOTS} roots)",
+        rows=rows,
+    )
+    m_values = [r["best_m"] for r in rows]
+    regrets = [r["max_cross_root_regret"] for r in rows]
+    result.notes.append(
+        f"best M varies {min(m_values):.0f}-{max(m_values):.0f} across "
+        f"roots of the same graph; borrowing another root's best point "
+        f"costs up to {max(regrets):.2f}x (median worst-case "
+        f"{float(np.median(regrets)):.2f}x)"
+    )
+    if max(regrets) > 1.5:
+        result.notes.append(
+            "finding: the switching point is materially root-dependent, "
+            "yet the Fig. 7 sample carries no root information — a "
+            "limitation of the paper's feature design that its single-"
+            "root-per-graph evaluation cannot see; adding root degree / "
+            "first-level frontier features is the obvious fix"
+        )
+    else:
+        result.notes.append(
+            "the optimal plateaus overlap across roots, so root-free "
+            "features suffice on this workload"
+        )
+    return result

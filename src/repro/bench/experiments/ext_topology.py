@@ -1,0 +1,121 @@
+"""Extension — does direction optimization generalize off R-MAT?
+
+The paper evaluates exclusively on Graph 500 R-MAT graphs, whose
+frontier explodes within two levels.  This experiment runs the same
+machinery over structurally different topologies:
+
+* **R-MAT** — scale-free, tiny diameter (the paper's regime);
+* **Erdős–Rényi** — same density, no skew;
+* **Watts–Strogatz** — small world, bounded degree;
+* **2-D grid** — high diameter, frontier grows linearly;
+* **star** — the degenerate best case for bottom-up.
+
+For each, the measured profile is priced on the CPU model: pure
+top-down vs the best (M, N) combination vs the per-level oracle.
+Expected structure: big wins wherever the frontier has an explosive
+middle (R-MAT, ER, WS, star), collapsing to parity on the grid, whose
+frontier never exceeds a thin diagonal — direction optimization is a
+property of the *level-set profile*, not of BFS itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.costmodel import CostModel
+from repro.arch.specs import CPU_SANDY_BRIDGE
+from repro.bench.runner import BenchConfig, ExperimentResult
+from repro.bfs.profiler import pick_sources, profile_bfs
+from repro.graph.generators import (
+    erdos_renyi,
+    grid2d,
+    rmat,
+    star,
+    watts_strogatz,
+)
+from repro.tuning.search import candidate_mn_grid, evaluate_single
+
+__all__ = ["run"]
+
+
+def _workloads(scale: int, seed: int):
+    n = 1 << scale
+    side = int(np.sqrt(n))
+    return {
+        "rmat": rmat(scale, 16, seed=seed),
+        "erdos_renyi": erdos_renyi(n, 32.0, seed=seed),
+        "watts_strogatz": watts_strogatz(n, 16, 0.1, seed=seed),
+        "grid2d": grid2d(side, side),
+        "star": star(n),
+    }
+
+
+def run(config: BenchConfig = BenchConfig()) -> ExperimentResult:
+    """Price the hybrid across topologies.
+
+    The flat-degree and scale-free families have scale-invariant level
+    structure, so their measured profiles are scaled to paper size
+    (SCALE 22) like every other experiment; the grid's level count
+    grows with the side length, so it is evaluated as measured and
+    flagged as the *overhead-bound* regime (thousands of thin levels —
+    per-level launch/barrier floors decide, not edge work).
+    """
+    from repro.arch.calibration import scale_profile
+
+    scale = min(config.base_scale, 15)
+    model = CostModel(CPU_SANDY_BRIDGE)
+    cands = candidate_mn_grid(config.candidate_count, seed=config.seeds[0])
+    scaled_families = {"rmat", "erdos_renyi", "watts_strogatz", "star"}
+    rows: list[dict] = []
+    for name, graph in _workloads(scale, config.seeds[0]).items():
+        source = int(pick_sources(graph, 1, seed=config.seeds[0])[0])
+        max_levels = 200 if name == "grid2d" else None
+        profile, _ = profile_bfs(graph, source, max_levels=max_levels)
+        if name in scaled_families:
+            profile = scale_profile(profile, 2 ** (22 - scale))
+        times = model.time_matrix(profile)
+        pure_td = float(times[:, 0].sum())
+        oracle = float(np.minimum(times[:, 0], times[:, 1]).sum())
+        best_mn = float(evaluate_single(profile, model, cands).min())
+        fv = profile.frontier_vertices()
+        rows.append(
+            {
+                "topology": name,
+                "levels": len(profile),
+                "peak_frontier_frac": float(fv.max() / profile.num_vertices),
+                "hybrid_speedup": pure_td / best_mn,
+                "oracle_speedup": pure_td / oracle,
+                "mn_of_oracle": oracle / best_mn,
+                "regime": "edge-work" if name in scaled_families else "overhead",
+            }
+        )
+    result = ExperimentResult(
+        name="ext_topology",
+        title="Extension — direction optimization across topologies "
+        "(CPU model; scale-invariant families at SCALE 22)",
+        rows=rows,
+        meta={"scale": scale},
+    )
+    by = {r["topology"]: r for r in rows}
+    result.notes.append(
+        "explosive-frontier graphs benefit from direction switching "
+        f"(rmat {by['rmat']['hybrid_speedup']:.1f}x, erdos_renyi "
+        f"{by['erdos_renyi']['hybrid_speedup']:.1f}x, watts_strogatz "
+        f"{by['watts_strogatz']['hybrid_speedup']:.1f}x over pure top-down)"
+    )
+    result.notes.append(
+        "star is a boundary case for the rule itself: its single middle "
+        "level holds ALL edges, so every (M, N) with M >= 1 is forced to "
+        "switch there even when top-down is cheaper — hybrid lands at "
+        f"{by['star']['hybrid_speedup']:.2f}x, i.e. the threshold form "
+        "(not the tuning) is what costs here"
+    )
+    result.notes.append(
+        f"the grid ({by['grid2d']['levels']} thin levels) is a different "
+        "regime entirely: per-level overhead floors decide, edge work is "
+        "negligible, and any 'speedup' "
+        f"({by['grid2d']['hybrid_speedup']:.2f}x here) reflects the "
+        "BU-vs-TD barrier-cost gap, not traversal work — the paper's "
+        "technique targets low-diameter graphs and says so"
+    )
+    return result

@@ -1,0 +1,53 @@
+"""Fig. 3 — per-level top-down vs bottom-up times.
+
+Paper claim: "In the beginning bottom-up takes more time than top-down.
+In the middle bottom-up is faster than top-down.  Finally bottom-up
+becomes slower than top-down" — i.e. the two curves cross twice.
+
+Reproduced by pricing a paper-scale profile on the CPU model (the
+figure in the paper is a CPU measurement).
+"""
+
+from __future__ import annotations
+
+from repro.arch.costmodel import CostModel
+from repro.arch.specs import CPU_SANDY_BRIDGE
+from repro.bench.runner import BenchConfig, ExperimentResult
+from repro.bench.workloads import WorkloadSpec, paper_scale_profile
+
+__all__ = ["run"]
+
+
+def run(config: BenchConfig = BenchConfig()) -> ExperimentResult:
+    """Regenerate the Fig. 3 series (CPU per-level TD/BU seconds)."""
+    spec = WorkloadSpec(
+        scale=config.base_scale, edgefactor=16, seed=config.seeds[0]
+    )
+    profile = paper_scale_profile(spec, 22, cache_dir=config.cache_dir)
+    times = CostModel(CPU_SANDY_BRIDGE).time_matrix(profile)
+    rows: list[dict] = []
+    for i in range(len(profile)):
+        rows.append(
+            {
+                "level": i + 1,
+                "top_down_s": float(times[i, 0]),
+                "bottom_up_s": float(times[i, 1]),
+                "faster": "td" if times[i, 0] <= times[i, 1] else "bu",
+            }
+        )
+    winners = [r["faster"] for r in rows]
+    crossings = sum(
+        1 for a, b in zip(winners, winners[1:]) if a != b
+    )
+    result = ExperimentResult(
+        name="fig03_level_times",
+        title="Fig. 3 — per-level TD vs BU seconds (CPU model, SCALE 22)",
+        rows=rows,
+        meta={"measured_scale": spec.scale, "target_scale": 22},
+    )
+    result.notes.append(
+        f"paper: bottom-up slower early, faster in the middle, slower at "
+        f"the end (two crossings); measured: winners={winners}, "
+        f"{crossings} crossing(s)"
+    )
+    return result

@@ -1,0 +1,91 @@
+"""Fig. 9 — combination performance across architectures per graph.
+
+For each graph of the paper suite, GTEPS of the MIC combination, CPU
+combination, GPU combination and the CPU+GPU cross-architecture
+combination.  Paper claim: the cross-architecture version wins
+everywhere, with average speedups of 8.5× / 2.6× / 2.2× over the
+MIC / CPU / GPU combinations.
+"""
+
+from __future__ import annotations
+
+from repro.arch.machine import SimulatedMachine
+from repro.arch.specs import CPU_SANDY_BRIDGE, GPU_K20X, MIC_KNC
+from repro.bench.metrics import geometric_mean
+from repro.bench.runner import BenchConfig, ExperimentResult
+from repro.bench.workloads import PAPER_SUITE, WorkloadSpec, paper_scale_profile
+from repro.bench.experiments.table4_step_by_step import build_approaches
+from repro.bfs.result import Direction
+from repro.arch.machine import PlanStep
+
+__all__ = ["run"]
+
+
+def run(config: BenchConfig = BenchConfig()) -> ExperimentResult:
+    """Regenerate the Fig. 9 bars."""
+    machine = SimulatedMachine(
+        {"cpu": CPU_SANDY_BRIDGE, "gpu": GPU_K20X, "mic": MIC_KNC}
+    )
+    rows: list[dict] = []
+    for target_scale, ef in PAPER_SUITE:
+        spec = WorkloadSpec(
+            scale=config.base_scale,
+            edgefactor=ef,
+            seed=config.seeds[0] + target_scale * 100 + ef,
+        )
+        profile = paper_scale_profile(
+            spec, target_scale, cache_dir=config.cache_dir
+        )
+        mats = machine.time_matrices(profile)
+        plans = build_approaches(machine, profile)
+        mic_cb = [
+            PlanStep(
+                "mic",
+                Direction.TOP_DOWN
+                if mats["mic"][i, 0] <= mats["mic"][i, 1]
+                else Direction.BOTTOM_UP,
+            )
+            for i in range(len(profile))
+        ]
+        reports = {
+            "mic_cb": machine.run(profile, mic_cb),
+            "cpu_cb": machine.run(profile, plans["CPUCB"]),
+            "gpu_cb": machine.run(profile, plans["GPUCB"]),
+            "cross": machine.run(profile, plans["CPUTD+GPUCB"]),
+        }
+        row: dict = {"graph": f"scale={target_scale} ef={ef}"}
+        for name, rep in reports.items():
+            row[f"{name}_gteps"] = rep.gteps
+        row["cross_over_mic"] = (
+            reports["mic_cb"].total_seconds / reports["cross"].total_seconds
+        )
+        row["cross_over_cpu"] = (
+            reports["cpu_cb"].total_seconds / reports["cross"].total_seconds
+        )
+        row["cross_over_gpu"] = (
+            reports["gpu_cb"].total_seconds / reports["cross"].total_seconds
+        )
+        rows.append(row)
+    result = ExperimentResult(
+        name="fig09_combinations",
+        title="Fig. 9 — combination GTEPS per graph and architecture",
+        rows=rows,
+        meta={"measured_scale": config.base_scale},
+    )
+    for key, paper in (("mic", 8.5), ("cpu", 2.6), ("gpu", 2.2)):
+        gm = geometric_mean(r[f"cross_over_{key}"] for r in rows)
+        result.notes.append(
+            f"cross over {key.upper()} combination: paper average {paper}x, "
+            f"measured geomean {gm:.1f}x"
+        )
+    wins = sum(
+        1
+        for r in rows
+        if min(r["cross_over_mic"], r["cross_over_cpu"], r["cross_over_gpu"])
+        > 1.0
+    )
+    result.notes.append(
+        f"cross-architecture wins on {wins}/{len(rows)} graphs "
+        "(paper: all graphs)"
+    )
+    return result

@@ -1,0 +1,108 @@
+"""Fig. 10 — strong and weak scaling on CPU and MIC.
+
+(a) Strong scaling: fixed graph (SCALE 22 counters), core counts swept;
+performance should grow with cores, with diminishing returns as the
+memory wall approaches (the paper's curves flatten similarly).
+
+(b) Weak scaling: per-core load held constant (1M vertices +
+``edgefactor``M edges per CPU core; 0.25M per MIC core, the paper's
+setup); per-core efficiency should hold roughly flat.
+
+Both are reproduced on the cost model via ``ArchSpec.with_cores``; the
+real-machine analogue (thread-count sweep of the actual NumPy kernels)
+lives in ``benchmarks/bench_kernels.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.costmodel import CostModel
+from repro.arch.specs import CPU_SANDY_BRIDGE, MIC_KNC, ArchSpec
+from repro.bench.runner import BenchConfig, ExperimentResult
+from repro.bench.workloads import WorkloadSpec, get_profile, paper_scale_profile
+from repro.arch.calibration import scale_profile
+
+__all__ = ["run"]
+
+CPU_CORES = (1, 2, 4, 8)
+MIC_CORES = (8, 15, 30, 60)
+
+
+def _cb_seconds(spec: ArchSpec, profile) -> float:
+    """Oracle combination time on one device."""
+    t = CostModel(spec).time_matrix(profile)
+    return float(np.minimum(t[:, 0], t[:, 1]).sum())
+
+
+def run(config: BenchConfig = BenchConfig()) -> ExperimentResult:
+    """Regenerate both Fig. 10 panels."""
+    rows: list[dict] = []
+    # --- (a) strong scaling: SCALE-22 counters, edgefactor sweep -------
+    for ef in (16, 32, 64):
+        spec = WorkloadSpec(
+            scale=config.base_scale, edgefactor=ef, seed=config.seeds[0] + ef
+        )
+        profile = paper_scale_profile(spec, 22, cache_dir=config.cache_dir)
+        edges = profile.num_edges
+        for arch, cores_sweep in (
+            (CPU_SANDY_BRIDGE, CPU_CORES),
+            (MIC_KNC, MIC_CORES),
+        ):
+            for cores in cores_sweep:
+                secs = _cb_seconds(arch.with_cores(cores), profile)
+                rows.append(
+                    {
+                        "panel": "strong",
+                        "arch": arch.name,
+                        "edgefactor": ef,
+                        "cores": cores,
+                        "gteps": edges / secs / 1e9,
+                    }
+                )
+    # --- (b) weak scaling: constant per-core load ------------------------
+    base = WorkloadSpec(
+        scale=config.base_scale, edgefactor=16, seed=config.seeds[0]
+    )
+    base_profile = get_profile(base, cache_dir=config.cache_dir)
+    for arch, cores_sweep, verts_per_core in (
+        (CPU_SANDY_BRIDGE, CPU_CORES, 1 << 20),
+        (MIC_KNC, MIC_CORES, 1 << 18),
+    ):
+        for cores in cores_sweep:
+            target_vertices = cores * verts_per_core
+            factor = target_vertices / base_profile.num_vertices
+            profile = scale_profile(base_profile, factor)
+            secs = _cb_seconds(arch.with_cores(cores), profile)
+            rows.append(
+                {
+                    "panel": "weak",
+                    "arch": arch.name,
+                    "edgefactor": 16,
+                    "cores": cores,
+                    "gteps": profile.num_edges / secs / 1e9,
+                }
+            )
+    result = ExperimentResult(
+        name="fig10_scaling",
+        title="Fig. 10 — strong (a) and weak (b) scaling, CPU and MIC",
+        rows=rows,
+        meta={"measured_scale": config.base_scale},
+    )
+    # Monotonicity verdicts.
+    for panel in ("strong", "weak"):
+        for arch in (CPU_SANDY_BRIDGE.name, MIC_KNC.name):
+            series = [
+                r["gteps"]
+                for r in rows
+                if r["panel"] == panel
+                and r["arch"] == arch
+                and r["edgefactor"] == 16
+            ]
+            grows = all(b >= a * 0.95 for a, b in zip(series, series[1:]))
+            result.notes.append(
+                f"{panel} scaling on {arch}: "
+                f"{'grows with cores' if grows else 'NON-MONOTONE'} "
+                f"({series[0]:.3f} -> {series[-1]:.3f} GTEPS)"
+            )
+    return result

@@ -1,0 +1,113 @@
+"""Section V-D — comparisons against other implementations.
+
+The paper's comparators, mapped onto this reproduction:
+
+* **Graph 500 reference code** — a plain top-down BFS on the CPU
+  (that is what the reference OpenMP implementation does).  Paper: the
+  tuned CPU implementation wins 4.96–21.0× (average 11.0×); the
+  cross-architecture combination wins 16.4–63.2× (average 29.3×).
+* **Beamer et al.** — the hybrid with trial-and-error oracle switching
+  on the CPU (their own hybrid-oracle).  Paper: 1.12× — i.e. parity;
+  the point is that the regression-chosen point matches exhaustive
+  tuning, not that it beats it.
+* **Gao et al. (MIC)** — reported 0.14 GTEPS on a 64M-vertex graph;
+  their implementation is a MIC top-down.  Paper: 13× with the MIC
+  combination.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.costmodel import CostModel
+from repro.arch.machine import SimulatedMachine
+from repro.arch.specs import CPU_SANDY_BRIDGE, GPU_K20X, MIC_KNC
+from repro.bench.metrics import geometric_mean
+from repro.bench.runner import BenchConfig, ExperimentResult
+from repro.bench.workloads import PAPER_SUITE, WorkloadSpec, paper_scale_profile
+from repro.bench.experiments.table4_step_by_step import build_approaches
+from repro.bench.experiments.fig08_regression_quality import (
+    train_default_predictor,
+)
+from repro.hetero.planner import single_device_plan
+
+__all__ = ["run"]
+
+
+def run(config: BenchConfig = BenchConfig()) -> ExperimentResult:
+    """Regenerate the Section V-D comparison set."""
+    machine = SimulatedMachine(
+        {"cpu": CPU_SANDY_BRIDGE, "gpu": GPU_K20X, "mic": MIC_KNC}
+    )
+    predictor = train_default_predictor(config)
+    rows: list[dict] = []
+    for target_scale, ef in PAPER_SUITE[:6]:
+        spec = WorkloadSpec(
+            scale=config.base_scale,
+            edgefactor=ef,
+            seed=config.seeds[0] + target_scale * 100 + ef,
+        )
+        profile = paper_scale_profile(
+            spec, target_scale, cache_dir=config.cache_dir
+        )
+        plans = build_approaches(machine, profile)
+        graph500_ref = machine.run(profile, plans["CPUTD"]).total_seconds
+        beamer_oracle = machine.run(profile, plans["CPUCB"]).total_seconds
+        cross = machine.run(profile, plans["CPUTD+GPUCB"]).total_seconds
+        # Ours on CPU: the regression-predicted (M, N) combination.
+        from repro.bench.experiments._shared import scaled_graph_features
+        from repro.ml.dataset import sample_from_features
+
+        gfeat = scaled_graph_features(config, spec, target_scale)
+        m, n = predictor.predict_sample(
+            sample_from_features(gfeat, CPU_SANDY_BRIDGE, CPU_SANDY_BRIDGE)
+        )
+        ours_cpu = machine.run(
+            profile, single_device_plan(profile, "cpu", m, n)
+        ).total_seconds
+        # Gao et al.: MIC top-down; ours on MIC: oracle MIC combination.
+        mic_t = CostModel(MIC_KNC).time_matrix(profile)
+        gao_mic = float(mic_t[:, 0].sum())
+        ours_mic = float(np.minimum(mic_t[:, 0], mic_t[:, 1]).sum())
+        rows.append(
+            {
+                "graph": f"scale={target_scale} ef={ef}",
+                "ours_cpu_over_graph500": graph500_ref / ours_cpu,
+                "cross_over_graph500": graph500_ref / cross,
+                "ours_cpu_vs_beamer": beamer_oracle / ours_cpu,
+                "ours_mic_over_gao": gao_mic / ours_mic,
+            }
+        )
+    result = ExperimentResult(
+        name="sec5d_comparisons",
+        title="Section V-D — speedups over other implementations",
+        rows=rows,
+        meta={"measured_scale": config.base_scale},
+    )
+    gm = {
+        k: geometric_mean(r[k] for r in rows)
+        for k in (
+            "ours_cpu_over_graph500",
+            "cross_over_graph500",
+            "ours_cpu_vs_beamer",
+            "ours_mic_over_gao",
+        )
+    }
+    result.notes.append(
+        f"paper: CPU 11.0x over Graph 500 ref; measured geomean "
+        f"{gm['ours_cpu_over_graph500']:.1f}x"
+    )
+    result.notes.append(
+        f"paper: cross-arch 29.3x over Graph 500 ref; measured geomean "
+        f"{gm['cross_over_graph500']:.1f}x"
+    )
+    result.notes.append(
+        f"paper: 1.12x vs Beamer (parity); measured geomean "
+        f"{gm['ours_cpu_vs_beamer']:.2f}x (<= 1 means oracle slightly "
+        "ahead of regression, as expected)"
+    )
+    result.notes.append(
+        f"paper: 13x over Gao et al. on MIC; measured geomean "
+        f"{gm['ours_mic_over_gao']:.1f}x"
+    )
+    return result

@@ -1,0 +1,63 @@
+"""Table V — CPUTD+GPUCB speedup over GPUTD across seven graphs.
+
+Paper values: 44×, 75×, 155×, 37×, 35×, 67×, 36× for (|V|, |E|) of
+(2M, 32M) … (8M, 128M) — large everywhere, larger at higher edgefactor
+(more of the traversal concentrated in GPU-hostile top-down levels).
+"""
+
+from __future__ import annotations
+
+from repro.arch.machine import SimulatedMachine
+from repro.arch.specs import CPU_SANDY_BRIDGE, GPU_K20X
+from repro.bench.metrics import geometric_mean
+from repro.bench.runner import BenchConfig, ExperimentResult
+from repro.bench.workloads import TABLE5_GRAPHS, WorkloadSpec, paper_scale_profile
+from repro.bench.experiments.table4_step_by_step import build_approaches
+
+__all__ = ["run", "PAPER_TABLE5"]
+
+#: (target_scale, edgefactor) -> the paper's speedup.
+PAPER_TABLE5: dict[tuple[int, int], int] = {
+    (21, 16): 44, (21, 32): 75, (21, 64): 155,
+    (22, 16): 37, (22, 32): 35, (22, 64): 67,
+    (23, 16): 36,
+}
+
+
+def run(config: BenchConfig = BenchConfig()) -> ExperimentResult:
+    """Regenerate Table V."""
+    machine = SimulatedMachine({"cpu": CPU_SANDY_BRIDGE, "gpu": GPU_K20X})
+    rows: list[dict] = []
+    for target_scale, ef in TABLE5_GRAPHS:
+        spec = WorkloadSpec(
+            scale=config.base_scale,
+            edgefactor=ef,
+            seed=config.seeds[0] + target_scale * 100 + ef,
+        )
+        profile = paper_scale_profile(
+            spec, target_scale, cache_dir=config.cache_dir
+        )
+        plans = build_approaches(machine, profile)
+        gputd = machine.run(profile, plans["GPUTD"]).total_seconds
+        cross = machine.run(profile, plans["CPUTD+GPUCB"]).total_seconds
+        rows.append(
+            {
+                "vertices_M": 2 ** (target_scale - 20),
+                "edges_M": ef * 2 ** (target_scale - 20),
+                "speedup": gputd / cross,
+                "paper_speedup": PAPER_TABLE5[(target_scale, ef)],
+            }
+        )
+    result = ExperimentResult(
+        name="table5_speedups",
+        title="Table V — CPUTD+GPUCB speedup over GPUTD",
+        rows=rows,
+        meta={"measured_scale": config.base_scale},
+    )
+    gm = geometric_mean(r["speedup"] for r in rows)
+    result.notes.append(
+        f"paper: 35-155x (average 64x); measured geomean: {gm:.0f}x, "
+        f"range {min(r['speedup'] for r in rows):.0f}-"
+        f"{max(r['speedup'] for r in rows):.0f}x"
+    )
+    return result

@@ -1,0 +1,91 @@
+"""Table VI — average combination GTEPS by data size and architecture.
+
+Paper values (GTEPS)::
+
+    architecture   2M vertices   4M vertices   8M vertices
+    CPU            3.06          6.14          5.66
+    GPU            6.32          6.23          5.00
+    MIC            1.64          1.55          1.33
+
+Claims to hold: the MIC is the slowest everywhere; the GPU leads at the
+small end; the CPU catches up (and overtakes the GPU) as the working
+set outgrows the GPU's cache/occupancy advantages — the paper's
+Conclusion: "CPUs achieve better performance for graphs with large
+data sizes" because of the better-matched memory bandwidth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.costmodel import CostModel
+from repro.arch.specs import CPU_SANDY_BRIDGE, GPU_K20X, MIC_KNC
+from repro.bench.metrics import harmonic_mean
+from repro.bench.runner import BenchConfig, ExperimentResult
+from repro.bench.workloads import WorkloadSpec, paper_scale_profile
+
+__all__ = ["run", "PAPER_TABLE6"]
+
+#: arch -> (2M, 4M, 8M) GTEPS from the paper.
+PAPER_TABLE6: dict[str, tuple[float, float, float]] = {
+    "cpu": (3.06, 6.14, 5.66),
+    "gpu": (6.32, 6.23, 5.00),
+    "mic": (1.64, 1.55, 1.33),
+}
+
+
+def run(config: BenchConfig = BenchConfig()) -> ExperimentResult:
+    """Regenerate Table VI."""
+    archs = {"cpu": CPU_SANDY_BRIDGE, "gpu": GPU_K20X, "mic": MIC_KNC}
+    sizes = {21: "2M", 22: "4M", 23: "8M"}
+    gteps: dict[str, dict[int, list[float]]] = {
+        a: {s: [] for s in sizes} for a in archs
+    }
+    for target_scale in sizes:
+        for ef in (8, 16, 32):
+            spec = WorkloadSpec(
+                scale=config.base_scale,
+                edgefactor=ef,
+                seed=config.seeds[0] + target_scale * 100 + ef,
+            )
+            profile = paper_scale_profile(
+                spec, target_scale, cache_dir=config.cache_dir
+            )
+            for name, arch in archs.items():
+                t = CostModel(arch).time_matrix(profile)
+                secs = float(np.minimum(t[:, 0], t[:, 1]).sum())
+                gteps[name][target_scale].append(
+                    profile.num_edges / secs / 1e9
+                )
+    rows: list[dict] = []
+    for name in archs:
+        row: dict = {"arch": name}
+        for target_scale, label in sizes.items():
+            row[f"gteps_{label}"] = harmonic_mean(gteps[name][target_scale])
+            row[f"paper_{label}"] = PAPER_TABLE6[name][
+                list(sizes).index(target_scale)
+            ]
+        rows.append(row)
+    result = ExperimentResult(
+        name="table6_gteps",
+        title="Table VI — average combination GTEPS by size and architecture",
+        rows=rows,
+        meta={"measured_scale": config.base_scale},
+    )
+    by = {r["arch"]: r for r in rows}
+    result.notes.append(
+        "orderings: MIC slowest everywhere: "
+        + str(
+            all(
+                by["mic"][f"gteps_{label}"]
+                < min(by["cpu"][f"gteps_{label}"], by["gpu"][f"gteps_{label}"])
+                for label in sizes.values()
+            )
+        )
+    )
+    result.notes.append(
+        "CPU catches GPU at the large end (paper: CPU 5.66 vs GPU 5.00 at "
+        "8M): measured CPU/GPU at 8M = "
+        f"{by['cpu']['gteps_8M'] / by['gpu']['gteps_8M']:.2f}"
+    )
+    return result

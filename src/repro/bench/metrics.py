@@ -1,0 +1,50 @@
+"""Performance metrics (Graph 500 conventions, the paper's Table I)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BenchError
+
+__all__ = ["teps", "gteps", "speedup", "geometric_mean", "harmonic_mean"]
+
+
+def teps(traversed_edges: int, seconds: float) -> float:
+    """Traversed edges per second — the Graph 500 BFS metric."""
+    if seconds <= 0:
+        raise BenchError(f"seconds must be positive, got {seconds}")
+    if traversed_edges < 0:
+        raise BenchError("traversed_edges must be non-negative")
+    return traversed_edges / seconds
+
+
+def gteps(traversed_edges: int, seconds: float) -> float:
+    """TEPS in units of 10⁹, as reported throughout the paper."""
+    return teps(traversed_edges, seconds) / 1e9
+
+
+def speedup(baseline_seconds: float, seconds: float) -> float:
+    """``baseline / candidate`` — >1 means the candidate is faster."""
+    if baseline_seconds <= 0 or seconds <= 0:
+        raise BenchError("times must be positive")
+    return baseline_seconds / seconds
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean (the right average for speedup ratios)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise BenchError("geometric mean of an empty sequence")
+    if (arr <= 0).any():
+        raise BenchError("geometric mean requires positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def harmonic_mean(values) -> float:
+    """Harmonic mean (the right average for rates like TEPS)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise BenchError("harmonic mean of an empty sequence")
+    if (arr <= 0).any():
+        raise BenchError("harmonic mean requires positive values")
+    return float(arr.size / (1.0 / arr).sum())

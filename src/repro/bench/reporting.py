@@ -1,0 +1,79 @@
+"""Table and series formatting for experiment output.
+
+Experiments print the same rows/series the paper reports; these helpers
+render row-dicts as aligned monospace tables and persist them as JSON
+so EXPERIMENTS.md can cite exact numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import BenchError
+
+__all__ = ["format_table", "format_value", "save_rows", "load_rows"]
+
+
+def format_value(value: object, *, precision: int = 4) -> str:
+    """Render one cell: floats get fixed precision with magnitude-aware
+    fallbacks (tiny values go scientific so level times stay readable)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) < 10 ** (-precision) or abs(value) >= 1e7:
+            return f"{value:.3e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[dict],
+    columns: Sequence[str] | None = None,
+    *,
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render row-dicts as an aligned text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    missing = [c for c in columns if any(c not in r for r in rows)]
+    if missing:
+        raise BenchError(f"rows missing columns: {missing}")
+    cells = [[format_value(r[c], precision=precision) for c in columns] for r in rows]
+    widths = [
+        max(len(str(c)), *(len(row[i]) for row in cells))
+        for i, c in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def save_rows(rows: Sequence[dict], path: str | Path, *, meta: dict | None = None) -> None:
+    """Persist experiment rows (plus optional metadata) as JSON."""
+    payload = {"meta": meta or {}, "rows": list(rows)}
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    Path(path).write_text(
+        json.dumps(payload, indent=2, default=float), encoding="utf-8"
+    )
+
+
+def load_rows(path: str | Path) -> list[dict]:
+    """Load rows written by :func:`save_rows`."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        return list(payload["rows"])
+    except (OSError, KeyError, json.JSONDecodeError) as exc:
+        raise BenchError(f"cannot load rows from {path}: {exc}") from exc

@@ -1,0 +1,79 @@
+"""Experiment plumbing shared by every table/figure module.
+
+Each experiment module exposes ``run(config) -> ExperimentResult``.
+The result carries row-dicts (the table the paper printed), free-form
+notes (paper-vs-measured commentary) and knows how to print and persist
+itself.  The CLI and the pytest benchmarks are thin wrappers over this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.bench.reporting import format_table, save_rows
+from repro.errors import BenchError
+
+__all__ = ["BenchConfig", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Knobs shared by all experiments.
+
+    ``base_scale`` is the *measured* graph scale; experiments that
+    reproduce paper-scale absolute numbers scale counters up from here.
+    Raising it improves fidelity at the cost of runtime; the defaults
+    keep the full suite under a few minutes.
+    """
+
+    base_scale: int = 15
+    seeds: tuple[int, ...] = (0, 1)
+    candidate_count: int = 1000
+    results_dir: Path = Path("benchmarks/results")
+    cache_dir: Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.base_scale < 8:
+            raise BenchError(
+                f"base_scale must be >= 8 for stable level structure, "
+                f"got {self.base_scale}"
+            )
+        if not self.seeds:
+            raise BenchError("at least one seed required")
+        if self.candidate_count < 2:
+            raise BenchError("candidate_count must be >= 2")
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure."""
+
+    name: str
+    title: str
+    rows: list[dict]
+    columns: list[str] | None = None
+    notes: list[str] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    def render(self, *, precision: int = 4) -> str:
+        """The printable table plus notes."""
+        out = format_table(
+            self.rows, self.columns, precision=precision, title=self.title
+        )
+        if self.notes:
+            out += "\n" + "\n".join(f"note: {n}" for n in self.notes)
+        return out
+
+    def save(self, results_dir: str | Path) -> Path:
+        """Write rows+meta JSON under ``results_dir``; returns the path."""
+        path = Path(results_dir) / f"{self.name}.json"
+        save_rows(self.rows, path, meta={"title": self.title, **self.meta})
+        return path
+
+    def column(self, name: str) -> list:
+        """Extract one column across rows."""
+        try:
+            return [r[name] for r in self.rows]
+        except KeyError as exc:
+            raise BenchError(f"no column {name!r} in {self.name}") from exc

@@ -1,0 +1,135 @@
+"""Workload definitions and the profile cache.
+
+Every experiment runs on Graph 500 R-MAT graphs described by a
+:class:`WorkloadSpec`.  Because most experiments consume only the
+measured :class:`~repro.bfs.trace.LevelProfile` (the cost models never
+touch the graph), profiles are cached as small JSON files keyed by the
+spec — regenerating a whole experiment suite after the first run costs
+milliseconds.
+
+Paper-scale semantics: the paper evaluates SCALE 21–23.  Running pure-
+Python traversals at that size is possible but slow, so experiments
+measure at ``scale`` and (where the paper's absolute numbers matter)
+use :func:`paper_scale_profile` to scale counters up to the paper's
+|V|/|E| — the scale-invariance of R-MAT level structure is what makes
+that faithful, and is itself verified by
+``tests/bench/test_scale_invariance.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.arch.calibration import scale_profile
+from repro.bfs.profiler import pick_sources, profile_bfs
+from repro.bfs.trace import LevelProfile
+from repro.errors import BenchError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import GRAPH500_PARAMS, RMATParams, rmat
+
+__all__ = [
+    "WorkloadSpec",
+    "default_cache_dir",
+    "get_graph",
+    "get_profile",
+    "paper_scale_profile",
+    "PAPER_SUITE",
+    "TABLE5_GRAPHS",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One R-MAT workload: graph parameters plus the traversal root seed."""
+
+    scale: int
+    edgefactor: int = 16
+    seed: int = 0
+    source_seed: int = 0
+    params: RMATParams = GRAPH500_PARAMS
+
+    def __post_init__(self) -> None:
+        if self.scale < 1:
+            raise BenchError(f"scale must be >= 1, got {self.scale}")
+        if self.edgefactor < 1:
+            raise BenchError(f"edgefactor must be >= 1, got {self.edgefactor}")
+
+    def key(self) -> str:
+        """Stable cache key."""
+        raw = (
+            f"s{self.scale}-e{self.edgefactor}-g{self.seed}"
+            f"-r{self.source_seed}-p{self.params.as_tuple()}"
+        )
+        return hashlib.sha1(raw.encode()).hexdigest()[:16]
+
+    def label(self) -> str:
+        """Human-readable tag (``scale=16 ef=16``)."""
+        return f"scale={self.scale} ef={self.edgefactor}"
+
+
+def default_cache_dir() -> Path:
+    """Cache directory (``REPRO_CACHE_DIR`` env var or ``~/.cache/repro``)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def get_graph(spec: WorkloadSpec) -> CSRGraph:
+    """Generate the graph for ``spec`` (not cached on disk: CSR arrays
+    are large and regeneration is deterministic)."""
+    return rmat(spec.scale, spec.edgefactor, spec.params, seed=spec.seed)
+
+
+def get_profile(
+    spec: WorkloadSpec, *, cache_dir: Path | None = None
+) -> LevelProfile:
+    """Measured level profile for ``spec``, cached as JSON."""
+    cache_dir = cache_dir or default_cache_dir()
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    path = cache_dir / f"profile-{spec.key()}.json"
+    if path.exists():
+        return LevelProfile.load(path)
+    graph = get_graph(spec)
+    source = int(pick_sources(graph, 1, seed=spec.source_seed)[0])
+    profile, _ = profile_bfs(graph, source)
+    profile.save(path)
+    return profile
+
+
+def paper_scale_profile(
+    spec: WorkloadSpec,
+    target_scale: int,
+    *,
+    cache_dir: Path | None = None,
+) -> LevelProfile:
+    """Profile of ``spec`` with counters scaled up to ``target_scale``
+    (the paper's SCALE 21–23 sizes)."""
+    if target_scale < spec.scale:
+        raise BenchError(
+            f"target scale {target_scale} below measured scale {spec.scale}"
+        )
+    profile = get_profile(spec, cache_dir=cache_dir)
+    return scale_profile(profile, 2 ** (target_scale - spec.scale))
+
+
+#: The Fig. 9 / Table III suite: SCALE 21–23 × edgefactor 8/16/32,
+#: measured at (scale - 6) and scaled up.
+PAPER_SUITE: tuple[tuple[int, int], ...] = tuple(
+    (scale, ef) for scale in (21, 22, 23) for ef in (8, 16, 32)
+)
+
+#: The Table V graphs: (|V| millions, |E| millions) pairs as
+#: (target_scale, edgefactor).
+TABLE5_GRAPHS: tuple[tuple[int, int], ...] = (
+    (21, 16),  # 2M vertices,  32M edges
+    (21, 32),  # 2M vertices,  64M edges
+    (21, 64),  # 2M vertices, 128M edges
+    (22, 16),  # 4M vertices,  64M edges
+    (22, 32),  # 4M vertices, 128M edges
+    (22, 64),  # 4M vertices, 256M edges
+    (23, 16),  # 8M vertices, 128M edges
+)

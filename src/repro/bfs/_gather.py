@@ -1,0 +1,77 @@
+"""Vectorized CSR row expansion shared by the BFS kernels.
+
+The core primitive: given a set of vertices, produce the concatenation
+of their adjacency lists plus segment bookkeeping, without a Python
+loop.  This replaces the reference code's ``for u in CQ: for v in
+adj(u)`` nest with two gathers and a ``repeat`` (the "vectorizing for
+loops" idiom of the hpc guides).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["expand_rows", "segment_first_true"]
+
+
+def expand_rows(
+    graph: CSRGraph, vertices: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate the adjacency lists of ``vertices``.
+
+    Returns ``(neighbours, owners, seg_starts)`` where ``neighbours`` is
+    the concatenated targets, ``owners[i]`` is the vertex whose list
+    contributed ``neighbours[i]``, and ``seg_starts`` gives each
+    vertex's first position in the concatenation (length
+    ``len(vertices) + 1`` cumulative form).
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    starts = graph.offsets[vertices]
+    counts = graph.offsets[vertices + 1] - starts
+    total = int(counts.sum())
+    seg_starts = np.zeros(vertices.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=seg_starts[1:])
+    if total == 0:
+        return (
+            np.zeros(0, dtype=np.int32),
+            np.zeros(0, dtype=np.int64),
+            seg_starts,
+        )
+    # Global gather positions: for each segment k, starts[k] + (0..counts[k]).
+    pos = np.arange(total, dtype=np.int64)
+    pos -= np.repeat(seg_starts[:-1], counts)
+    pos += np.repeat(starts, counts)
+    neighbours = graph.targets[pos]
+    owners = np.repeat(vertices, counts)
+    return neighbours, owners, seg_starts
+
+
+def segment_first_true(
+    flags: np.ndarray, seg_starts: np.ndarray
+) -> np.ndarray:
+    """Position of the first True within each segment, or ``-1``.
+
+    ``flags`` is a boolean array partitioned into segments by the
+    cumulative ``seg_starts`` (length ``num_segments + 1``).  Returns
+    global positions into ``flags``.  This implements bottom-up's
+    "stop at the first parent found" early termination, vectorized.
+    """
+    nseg = seg_starts.size - 1
+    out = np.full(nseg, -1, dtype=np.int64)
+    if flags.size == 0 or nseg == 0:
+        return out
+    # Sentinel trick: positions where flag holds, +inf elsewhere, then a
+    # segmented min via minimum.reduceat.  reduceat cannot handle empty
+    # segments at the end, so guard indices.
+    big = np.int64(flags.size)
+    pos = np.where(flags, np.arange(flags.size, dtype=np.int64), big)
+    nonempty = seg_starts[:-1] < seg_starts[1:]
+    if not nonempty.any():
+        return out
+    red_idx = seg_starts[:-1][nonempty]
+    mins = np.minimum.reduceat(pos, red_idx)
+    res = np.where(mins < big, mins, -1)
+    out[nonempty] = res
+    return out

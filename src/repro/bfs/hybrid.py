@@ -1,0 +1,159 @@
+"""Direction-optimizing BFS — the combination of Algorithms 1 and 2.
+
+The paper's switching rule (Fig. 4): run **top-down** while
+
+``|E|cq < |E| / M  and  |V|cq < |V| / N``
+
+and **bottom-up** otherwise.  ``(M, N)`` is the *switching point*, the
+quantity the whole paper is about tuning; it is supplied here as a
+:class:`MNPolicy` (fixed thresholds), or any object implementing
+:class:`DirectionPolicy` — per-level oracle plans and regression-driven
+policies from :mod:`repro.tuning` plug in through the same interface.
+
+The hybrid pays the real representation-conversion costs: switching to
+bottom-up materializes the frontier bitmap, switching back extracts the
+queue.  Both events are recorded so the cost model can charge them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.bfs.bottomup import bottom_up_step
+from repro.bfs.result import BFSResult, Direction
+from repro.bfs.topdown import top_down_step
+from repro.errors import BFSError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["LevelState", "DirectionPolicy", "MNPolicy", "bfs_hybrid"]
+
+
+@dataclass(frozen=True)
+class LevelState:
+    """What a direction policy may look at before a level executes."""
+
+    depth: int
+    frontier_vertices: int
+    frontier_edges: int
+    num_vertices: int
+    num_edges: int
+    unvisited_vertices: int
+
+
+@runtime_checkable
+class DirectionPolicy(Protocol):
+    """Chooses the direction for each BFS level."""
+
+    def direction(self, state: LevelState) -> str:
+        """Return :data:`Direction.TOP_DOWN` or :data:`Direction.BOTTOM_UP`."""
+        ...
+
+
+@dataclass(frozen=True)
+class MNPolicy:
+    """The paper's threshold rule with parameters ``(M, N)``.
+
+    Top-down iff ``|E|cq < |E|/M`` **and** ``|V|cq < |V|/N``; bottom-up
+    otherwise.  Large ``M``/``N`` switch to bottom-up earlier; ``M = N =
+    1`` never leaves top-down on any proper subgraph frontier.
+    """
+
+    m: float
+    n: float
+
+    def __post_init__(self) -> None:
+        if self.m <= 0 or self.n <= 0:
+            raise BFSError(f"M and N must be positive, got ({self.m}, {self.n})")
+
+    def direction(self, state: LevelState) -> str:
+        """Apply the Fig. 4 threshold test to one level."""
+        td = (
+            state.frontier_edges < state.num_edges / self.m
+            and state.frontier_vertices < state.num_vertices / self.n
+        )
+        return Direction.TOP_DOWN if td else Direction.BOTTOM_UP
+
+
+def bfs_hybrid(
+    graph: CSRGraph,
+    source: int,
+    policy: DirectionPolicy | None = None,
+    *,
+    m: float | None = None,
+    n: float | None = None,
+) -> BFSResult:
+    """Direction-optimizing traversal from ``source``.
+
+    Either pass a ``policy`` object or the raw thresholds ``m=`` / ``n=``
+    (mirroring how the runtime system receives the regression-predicted
+    switching point).
+    """
+    if policy is None:
+        if m is None or n is None:
+            raise BFSError("provide either policy= or both m= and n=")
+        policy = MNPolicy(m, n)
+    elif m is not None or n is not None:
+        raise BFSError("pass policy= or m=/n=, not both")
+
+    nverts = graph.num_vertices
+    if not 0 <= source < nverts:
+        raise BFSError(f"source {source} out of range [0, {nverts})")
+    nedges = max(graph.num_edges, 1)
+    degrees = graph.degrees
+
+    parent = np.full(nverts, -1, dtype=np.int64)
+    level = np.full(nverts, -1, dtype=np.int64)
+    parent[source] = source
+    level[source] = 0
+
+    frontier = np.array([source], dtype=np.int64)
+    in_frontier: np.ndarray | None = None  # dense mask, built lazily
+    unvisited_count = nverts - 1
+
+    directions: list[str] = []
+    edges_examined: list[int] = []
+    depth = 0
+    while frontier.size:
+        state = LevelState(
+            depth=depth,
+            frontier_vertices=int(frontier.size),
+            frontier_edges=int(degrees[frontier].sum()),
+            num_vertices=nverts,
+            num_edges=nedges,
+            unvisited_vertices=unvisited_count,
+        )
+        chosen = policy.direction(state)
+        if chosen == Direction.TOP_DOWN:
+            next_frontier, examined = top_down_step(
+                graph, frontier, parent, level, depth
+            )
+            in_frontier = None
+        elif chosen == Direction.BOTTOM_UP:
+            # Switch cost: the sparse queue becomes a bitmap.
+            if in_frontier is None:
+                in_frontier = np.zeros(nverts, dtype=bool)
+            else:
+                in_frontier.fill(False)
+            in_frontier[frontier] = True
+            next_frontier, examined = bottom_up_step(
+                graph, in_frontier, parent, level, depth
+            )
+            next_frontier = np.sort(next_frontier)
+        else:
+            raise BFSError(f"policy returned unknown direction {chosen!r}")
+        directions.append(chosen)
+        edges_examined.append(examined)
+        unvisited_count -= int(next_frontier.size)
+        frontier = next_frontier
+        depth += 1
+
+    return BFSResult(
+        source=source,
+        parent=parent,
+        level=level,
+        directions=directions,
+        edges_examined=edges_examined,
+    )

@@ -1,0 +1,234 @@
+"""Thread-parallel BFS kernels.
+
+The paper's OpenMP loops parallelize the level's outer loop control
+(Section III-A): top-down over the current queue, bottom-up over the
+unvisited vertices.  The same decomposition is applied here with a
+thread pool: the work array is split into per-thread chunks, each chunk
+runs the vectorized kernel (NumPy releases the GIL inside its ufunc
+loops, so chunks genuinely overlap), and the claims are merged.
+
+Bottom-up partitioning is conflict-free by construction — each
+unvisited vertex is owned by exactly one thread — mirroring why the
+paper calls bottom-up's parallelism Θ(V/lg V) against top-down's
+Θ(Vcq/lg Vcq).  Top-down chunks can race to discover the same vertex,
+resolved in the merge step exactly like the sequential first-writer
+rule.
+
+These kernels power the *real-machine* strong-scaling benchmark that
+accompanies the simulated Fig. 10.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.bfs._gather import expand_rows, segment_first_true
+from repro.bfs.hybrid import DirectionPolicy, LevelState, MNPolicy
+from repro.bfs.result import BFSResult, Direction
+from repro.errors import BFSError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["ParallelBFS"]
+
+
+def _split(values: np.ndarray, parts: int) -> list[np.ndarray]:
+    """Split ``values`` into at most ``parts`` contiguous chunks."""
+    parts = min(parts, max(1, values.size))
+    return [c for c in np.array_split(values, parts) if c.size]
+
+
+class ParallelBFS:
+    """A reusable thread-parallel BFS engine.
+
+    Parameters
+    ----------
+    num_threads:
+        Worker threads for both directions (the "cores" of the scaling
+        experiment).
+    policy:
+        Optional direction policy; defaults to always top-down unless an
+        ``MNPolicy`` is supplied, making the engine usable for plain
+        top-down, plain bottom-up and hybrid scaling runs.
+
+    The pool is created per engine and shared across traversals; use as
+    a context manager or call :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        num_threads: int = 4,
+        policy: DirectionPolicy | None = None,
+    ) -> None:
+        if num_threads < 1:
+            raise BFSError(f"num_threads must be >= 1, got {num_threads}")
+        self.num_threads = num_threads
+        self.policy = policy
+        self._pool = ThreadPoolExecutor(
+            max_workers=num_threads, thread_name_prefix="repro-bfs"
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the worker pool."""
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ParallelBFS":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- level kernels -------------------------------------------------------
+
+    def _top_down_level(
+        self,
+        graph: CSRGraph,
+        frontier: np.ndarray,
+        parent: np.ndarray,
+        level: np.ndarray,
+        depth: int,
+    ) -> tuple[np.ndarray, int]:
+        chunks = _split(frontier, self.num_threads)
+
+        def expand(chunk: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
+            """One thread's share of the frontier expansion."""
+            neighbours, owners, _ = expand_rows(graph, chunk)
+            fresh = parent[neighbours] < 0
+            return neighbours[fresh], owners[fresh], int(neighbours.size)
+
+        results = list(self._pool.map(expand, chunks))
+        examined = sum(r[2] for r in results)
+        if not results:
+            return np.zeros(0, dtype=np.int64), 0
+        cand = np.concatenate([r[0] for r in results]).astype(np.int64)
+        cand_parent = np.concatenate([r[1] for r in results])
+        if cand.size == 0:
+            return np.zeros(0, dtype=np.int64), examined
+        next_frontier, first_idx = np.unique(cand, return_index=True)
+        parent[next_frontier] = cand_parent[first_idx]
+        level[next_frontier] = depth + 1
+        return next_frontier, examined
+
+    def _bottom_up_level(
+        self,
+        graph: CSRGraph,
+        in_frontier: np.ndarray,
+        parent: np.ndarray,
+        level: np.ndarray,
+        depth: int,
+    ) -> tuple[np.ndarray, int]:
+        unvisited = np.nonzero(parent < 0)[0]
+        chunks = _split(unvisited, self.num_threads)
+
+        def scan(chunk: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
+            """One thread's share of the unvisited scan."""
+            neighbours, _, seg_starts = expand_rows(graph, chunk)
+            if neighbours.size == 0:
+                return (
+                    np.zeros(0, dtype=np.int64),
+                    np.zeros(0, dtype=np.int64),
+                    0,
+                )
+            hits = in_frontier[neighbours]
+            first = segment_first_true(hits, seg_starts)
+            found = first >= 0
+            seg_lo = seg_starts[:-1]
+            seg_len = np.diff(seg_starts)
+            inspected = int(
+                np.where(found, first - seg_lo + 1, seg_len).sum()
+            )
+            return chunk[found], neighbours[first[found]].astype(np.int64), inspected
+
+        results = list(self._pool.map(scan, chunks))
+        checked = sum(r[2] for r in results)
+        winners_list = [r[0] for r in results if r[0].size]
+        if not winners_list:
+            return np.zeros(0, dtype=np.int64), checked
+        winners = np.concatenate(winners_list)
+        parents = np.concatenate([r[1] for r in results if r[0].size])
+        parent[winners] = parents
+        level[winners] = depth + 1
+        return np.sort(winners), checked
+
+    # -- traversal --------------------------------------------------------------
+
+    def run(
+        self,
+        graph: CSRGraph,
+        source: int,
+        *,
+        direction: str | None = None,
+    ) -> BFSResult:
+        """Traverse from ``source``.
+
+        ``direction='td'``/``'bu'`` forces one kernel; otherwise the
+        engine's policy decides per level (defaulting to top-down when
+        no policy was given).
+        """
+        n = graph.num_vertices
+        if not 0 <= source < n:
+            raise BFSError(f"source {source} out of range [0, {n})")
+        if direction is not None and direction not in Direction.ALL:
+            raise BFSError(f"unknown direction {direction!r}")
+        degrees = graph.degrees
+        nedges = max(graph.num_edges, 1)
+
+        parent = np.full(n, -1, dtype=np.int64)
+        level = np.full(n, -1, dtype=np.int64)
+        parent[source] = source
+        level[source] = 0
+        frontier = np.array([source], dtype=np.int64)
+        in_frontier = np.zeros(n, dtype=bool)
+        unvisited_count = n - 1
+
+        directions: list[str] = []
+        edges_examined: list[int] = []
+        depth = 0
+        while frontier.size:
+            if direction is not None:
+                chosen = direction
+            elif self.policy is not None:
+                chosen = self.policy.direction(
+                    LevelState(
+                        depth=depth,
+                        frontier_vertices=int(frontier.size),
+                        frontier_edges=int(degrees[frontier].sum()),
+                        num_vertices=n,
+                        num_edges=nedges,
+                        unvisited_vertices=unvisited_count,
+                    )
+                )
+            else:
+                chosen = Direction.TOP_DOWN
+            if chosen == Direction.TOP_DOWN:
+                frontier_next, work = self._top_down_level(
+                    graph, frontier, parent, level, depth
+                )
+            else:
+                in_frontier.fill(False)
+                in_frontier[frontier] = True
+                frontier_next, work = self._bottom_up_level(
+                    graph, in_frontier, parent, level, depth
+                )
+            directions.append(chosen)
+            edges_examined.append(work)
+            unvisited_count -= int(frontier_next.size)
+            frontier = frontier_next
+            depth += 1
+        return BFSResult(
+            source=source,
+            parent=parent,
+            level=level,
+            directions=directions,
+            edges_examined=edges_examined,
+        )
+
+    @classmethod
+    def hybrid(
+        cls, num_threads: int, m: float, n: float
+    ) -> "ParallelBFS":
+        """Engine with the paper's (M, N) switching rule."""
+        return cls(num_threads=num_threads, policy=MNPolicy(m, n))

@@ -1,0 +1,146 @@
+"""Instrumented BFS producing a :class:`~repro.bfs.trace.LevelProfile`.
+
+One traversal, full counters for **both** directions at every level:
+
+* the top-down work at level ℓ is ``|E|cq`` (degree mass of the
+  frontier) — recorded whether or not top-down ran;
+* the bottom-up work is the early-terminating edges-checked count,
+  which depends only on which vertices are unvisited and which are in
+  the frontier — both functions of the level sets, so it is computed
+  *counterfactually* with the same segmented kernel the real bottom-up
+  uses.
+
+Everything downstream (cost models, switching-point search, the
+heterogeneous planner) consumes profiles instead of re-running BFS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bfs._gather import expand_rows, segment_first_true
+from repro.bfs.result import BFSResult, Direction
+from repro.bfs.topdown import top_down_step
+from repro.bfs.trace import LevelProfile, LevelRecord
+from repro.errors import BFSError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["profile_bfs", "pick_sources"]
+
+
+def profile_bfs(
+    graph: CSRGraph,
+    source: int,
+    *,
+    max_levels: int | None = None,
+) -> tuple[LevelProfile, BFSResult]:
+    """Run an instrumented traversal from ``source``.
+
+    Returns the level profile and the (top-down-computed) BFS result.
+    ``max_levels`` guards pathological graphs (e.g. long paths) when only
+    the head of the profile is needed.
+    """
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise BFSError(f"source {source} out of range [0, {n})")
+    degrees = graph.degrees
+
+    parent = np.full(n, -1, dtype=np.int64)
+    level = np.full(n, -1, dtype=np.int64)
+    parent[source] = source
+    level[source] = 0
+
+    frontier = np.array([source], dtype=np.int64)
+    in_frontier = np.zeros(n, dtype=bool)
+    records: list[LevelRecord] = []
+    directions: list[str] = []
+    edges_examined: list[int] = []
+    depth = 0
+    while frontier.size and (max_levels is None or depth < max_levels):
+        unvisited = np.nonzero(parent < 0)[0]
+        unvisited_edges = int(degrees[unvisited].sum())
+        frontier_edges = int(degrees[frontier].sum())
+
+        # Counterfactual bottom-up accounting at this level.
+        in_frontier.fill(False)
+        in_frontier[frontier] = True
+        bu_checked, bu_failed = _bottom_up_checked(graph, unvisited, in_frontier)
+
+        next_frontier, examined = top_down_step(
+            graph, frontier, parent, level, depth
+        )
+        records.append(
+            LevelRecord(
+                level=depth,
+                frontier_vertices=int(frontier.size),
+                frontier_edges=frontier_edges,
+                unvisited_vertices=int(unvisited.size),
+                unvisited_edges=unvisited_edges,
+                bu_edges_checked=bu_checked,
+                claimed=int(next_frontier.size),
+                bu_edges_failed=bu_failed,
+            )
+        )
+        directions.append(Direction.TOP_DOWN)
+        edges_examined.append(examined)
+        frontier = next_frontier
+        depth += 1
+
+    profile = LevelProfile(
+        source=source,
+        num_vertices=n,
+        num_edges=graph.num_edges,
+        records=tuple(records),
+    )
+    result = BFSResult(
+        source=source,
+        parent=parent,
+        level=level,
+        directions=directions,
+        edges_examined=edges_examined,
+    )
+    return profile, result
+
+
+def _bottom_up_checked(
+    graph: CSRGraph, unvisited: np.ndarray, in_frontier: np.ndarray
+) -> tuple[int, int]:
+    """Edges a bottom-up sweep would inspect, with early termination.
+
+    Returns ``(total_checked, failed_checked)`` where the failed portion
+    belongs to vertices that found no parent this level.
+    """
+    if unvisited.size == 0:
+        return 0, 0
+    neighbours, _, seg_starts = expand_rows(graph, unvisited)
+    if neighbours.size == 0:
+        return 0, 0
+    hits = in_frontier[neighbours]
+    first = segment_first_true(hits, seg_starts)
+    found = first >= 0
+    seg_lo = seg_starts[:-1]
+    seg_len = np.diff(seg_starts)
+    inspected = np.where(found, first - seg_lo + 1, seg_len)
+    total = int(inspected.sum())
+    failed = int(inspected[~found].sum())
+    return total, failed
+
+
+def pick_sources(
+    graph: CSRGraph,
+    count: int,
+    *,
+    seed: int | np.random.Generator = 0,
+    min_degree: int = 1,
+) -> np.ndarray:
+    """Sample BFS roots the Graph 500 way: uniformly among vertices with
+    at least ``min_degree`` edges (isolated roots make degenerate
+    searches)."""
+    if count < 0:
+        raise BFSError(f"count must be non-negative, got {count}")
+    rng = np.random.default_rng(seed)
+    eligible = np.nonzero(graph.degrees >= min_degree)[0]
+    if eligible.size == 0:
+        raise BFSError("graph has no vertex meeting the degree floor")
+    replace = eligible.size < count
+    return rng.choice(eligible, size=count, replace=replace).astype(np.int64)

@@ -1,0 +1,83 @@
+"""Vectorized top-down BFS (the paper's Algorithm 1).
+
+Each level expands the adjacency lists of the current queue in one
+gather, filters already-visited candidates against the parent map, and
+claims each newly discovered vertex for exactly one parent.  The claim
+step uses a stable first-writer rule so the produced tree matches what
+the sequential reference computes level by level.
+
+The per-level work is exactly ``|E|cq`` adjacency inspections — the
+quantity the paper's switching rule compares against ``|E| / M``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bfs._gather import expand_rows
+from repro.bfs.result import BFSResult, Direction
+from repro.errors import BFSError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["bfs_top_down", "top_down_step"]
+
+
+def top_down_step(
+    graph: CSRGraph,
+    frontier: np.ndarray,
+    parent: np.ndarray,
+    level: np.ndarray,
+    depth: int,
+) -> tuple[np.ndarray, int]:
+    """Execute one top-down level.
+
+    Mutates ``parent``/``level`` in place for newly discovered vertices
+    and returns ``(next_frontier, edges_examined)``.
+
+    ``frontier`` must be sorted ascending for the first-writer rule to
+    be deterministic (queue order = ascending vertex id within a level,
+    which is how the vectorized frontier is always produced).
+    """
+    neighbours, owners, _ = expand_rows(graph, frontier)
+    edges_examined = int(neighbours.size)
+    if edges_examined == 0:
+        return np.zeros(0, dtype=np.int64), 0
+    fresh = parent[neighbours] < 0
+    cand = neighbours[fresh].astype(np.int64)
+    cand_parent = owners[fresh]
+    if cand.size == 0:
+        return np.zeros(0, dtype=np.int64), edges_examined
+    # One winner per discovered vertex: first occurrence in queue order.
+    # expand_rows emits candidates in frontier order, so a stable unique
+    # (first index per value) reproduces the sequential claim order.
+    next_frontier, first_idx = np.unique(cand, return_index=True)
+    parent[next_frontier] = cand_parent[first_idx]
+    level[next_frontier] = depth + 1
+    return next_frontier, edges_examined
+
+
+def bfs_top_down(graph: CSRGraph, source: int) -> BFSResult:
+    """Full top-down traversal from ``source``."""
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise BFSError(f"source {source} out of range [0, {n})")
+    parent = np.full(n, -1, dtype=np.int64)
+    level = np.full(n, -1, dtype=np.int64)
+    parent[source] = source
+    level[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    directions: list[str] = []
+    edges_examined: list[int] = []
+    depth = 0
+    while frontier.size:
+        frontier, examined = top_down_step(graph, frontier, parent, level, depth)
+        directions.append(Direction.TOP_DOWN)
+        edges_examined.append(examined)
+        depth += 1
+    return BFSResult(
+        source=source,
+        parent=parent,
+        level=level,
+        directions=directions,
+        edges_examined=edges_examined,
+    )

@@ -1,0 +1,252 @@
+"""Command-line interface: ``repro-bfs`` / ``python -m repro``.
+
+Subcommands::
+
+    repro-bfs list                       # available experiments
+    repro-bfs run fig08 [--scale 15] [--save DIR]
+    repro-bfs all [--scale 15] [--save DIR]
+    repro-bfs bfs --scale 16 --edgefactor 16 [--m 64 --n 512]
+    repro-bfs info                       # architecture presets
+
+``run``/``all`` regenerate the paper's tables and figures and print
+them with paper-vs-measured notes; ``bfs`` runs a real traversal on
+this machine and reports wall-clock TEPS.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument grammar."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bfs",
+        description="Heuristic cross-architecture BFS combination "
+        "(ICPP'14 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("info", help="show architecture presets")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment", help="experiment name (see 'list')")
+    _common_bench_args(run_p)
+
+    all_p = sub.add_parser("all", help="run every experiment")
+    _common_bench_args(all_p)
+
+    g5_p = sub.add_parser(
+        "graph500", help="run the Graph 500 benchmark flow on this machine"
+    )
+    g5_p.add_argument("--scale", type=int, default=16)
+    g5_p.add_argument("--edgefactor", type=int, default=16)
+    g5_p.add_argument("--roots", type=int, default=16)
+    g5_p.add_argument("--seed", type=int, default=0)
+    g5_p.add_argument(
+        "--engine",
+        choices=("td", "bu", "hybrid"),
+        default="hybrid",
+    )
+
+    bfs_p = sub.add_parser("bfs", help="run a real BFS on this machine")
+    bfs_p.add_argument("--scale", type=int, default=16)
+    bfs_p.add_argument("--edgefactor", type=int, default=16)
+    bfs_p.add_argument("--seed", type=int, default=0)
+    bfs_p.add_argument("--m", type=float, default=None, help="threshold M")
+    bfs_p.add_argument("--n", type=float, default=None, help="threshold N")
+    bfs_p.add_argument(
+        "--engine",
+        choices=("td", "bu", "hybrid", "auto"),
+        default="auto",
+        help="'auto' predicts (M, N) with the regression model",
+    )
+    return parser
+
+
+def _common_bench_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--scale", type=int, default=15, help="measured graph scale"
+    )
+    p.add_argument(
+        "--save",
+        type=Path,
+        default=None,
+        help="directory for result JSON files",
+    )
+    p.add_argument("--candidates", type=int, default=1000)
+
+
+def _cmd_list() -> int:
+    from repro.bench.experiments import REGISTRY
+
+    for name in sorted(REGISTRY):
+        print(name)
+    return 0
+
+
+def _cmd_info() -> int:
+    from repro.arch import PRESETS
+    from repro.arch.roofline import analyze
+
+    for key, spec in PRESETS.items():
+        point = analyze(spec)
+        print(
+            f"{key}: {spec.name} — {spec.cores} cores @ {spec.freq_ghz} GHz, "
+            f"{spec.peak_sp_gflops} SP Gflops, {spec.measured_bw_gbs} GB/s "
+            f"measured, RCMB(sp) {point.rcmb_sp:.2f}"
+        )
+    return 0
+
+
+def _bench_config(args: argparse.Namespace):
+    from repro.bench.runner import BenchConfig
+
+    return BenchConfig(
+        base_scale=args.scale, candidate_count=args.candidates
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import REGISTRY, run_experiment
+
+    if args.experiment not in REGISTRY:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"available: {', '.join(sorted(REGISTRY))}",
+            file=sys.stderr,
+        )
+        return 2
+    result = run_experiment(args.experiment, _bench_config(args))
+    print(result.render())
+    if args.save:
+        path = result.save(args.save)
+        print(f"saved: {path}")
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import REGISTRY, run_experiment
+
+    config = _bench_config(args)
+    for name in sorted(REGISTRY):
+        t0 = time.perf_counter()
+        result = run_experiment(name, config)
+        took = time.perf_counter() - t0
+        print(result.render())
+        print(f"[{name} in {took:.1f}s]")
+        print()
+        if args.save:
+            result.save(args.save)
+    return 0
+
+
+def _cmd_bfs(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.arch import CPU_SANDY_BRIDGE, GPU_K20X
+    from repro.bench.metrics import gteps
+    from repro.bfs import bfs_bottom_up, bfs_hybrid, bfs_top_down, pick_sources
+    from repro.graph import rmat
+
+    print(f"generating R-MAT scale={args.scale} ef={args.edgefactor} ...")
+    graph = rmat(args.scale, args.edgefactor, seed=args.seed)
+    source = int(pick_sources(graph, 1, seed=args.seed)[0])
+    print(f"graph: {graph!r}, source {source}")
+
+    if args.engine == "td":
+        runner = lambda: bfs_top_down(graph, source)
+    elif args.engine == "bu":
+        runner = lambda: bfs_bottom_up(graph, source)
+    else:
+        m, n = args.m, args.n
+        if args.engine == "auto" and (m is None or n is None):
+            from repro.bench.experiments._shared import train_default_predictor
+            from repro.bench.runner import BenchConfig
+
+            predictor = train_default_predictor(
+                BenchConfig(base_scale=max(args.scale - 1, 12))
+            )
+            m, n = predictor.predict_mn(graph, CPU_SANDY_BRIDGE, GPU_K20X)
+            print(f"predicted switching point: M={m:.1f} N={n:.1f}")
+        m = 64.0 if m is None else m
+        n = 512.0 if n is None else n
+        runner = lambda: bfs_hybrid(graph, source, m=m, n=n)
+
+    t0 = time.perf_counter()
+    result = runner()
+    took = time.perf_counter() - t0
+    result.validate(graph)
+    print(
+        f"levels={result.num_levels} reached={result.num_reached} "
+        f"directions={result.directions}"
+    )
+    print(
+        f"wall-clock {took:.3f}s, "
+        f"{gteps(result.traversed_edges(graph), took):.4f} GTEPS (validated)"
+    )
+    return 0
+
+
+def _cmd_graph500(args: argparse.Namespace) -> int:
+    from repro.bfs import bfs_bottom_up, bfs_top_down
+    from repro.graph500 import default_engine, run_graph500
+
+    engine = {
+        "td": bfs_top_down,
+        "bu": bfs_bottom_up,
+        "hybrid": default_engine,
+    }[args.engine]
+    print(
+        f"running Graph 500 flow: SCALE={args.scale} "
+        f"edgefactor={args.edgefactor} NBFS={args.roots} "
+        f"engine={args.engine} ..."
+    )
+    result = run_graph500(
+        args.scale,
+        args.edgefactor,
+        num_roots=args.roots,
+        engine=engine,
+        seed=args.seed,
+    )
+    print(result.summary())
+    print(
+        f"\nheadline: {result.harmonic_mean_teps / 1e9:.4f} GTEPS "
+        "(harmonic mean, all roots validated)"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "all":
+        return _cmd_all(args)
+    if args.command == "bfs":
+        return _cmd_bfs(args)
+    if args.command == "graph500":
+        return _cmd_graph500(args)
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

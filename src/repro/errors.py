@@ -1,0 +1,80 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All exceptions raised by the library derive from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the failure domain from the subclass.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "GraphFormatError",
+    "ValidationError",
+    "BFSError",
+    "ArchError",
+    "CalibrationError",
+    "ModelError",
+    "NotFittedError",
+    "ConvergenceWarning",
+    "TuningError",
+    "PlanError",
+    "BenchError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid graph construction or graph-level operations."""
+
+
+class GraphFormatError(GraphError):
+    """Raised when parsing or writing an on-disk graph representation fails."""
+
+
+class ValidationError(ReproError):
+    """Raised when a BFS output fails Graph 500-style validation.
+
+    The message identifies which of the specification checks failed
+    (tree structure, level consistency, edge coverage, connectivity).
+    """
+
+
+class BFSError(ReproError):
+    """Raised for invalid BFS invocations (bad source, mismatched maps)."""
+
+
+class ArchError(ReproError):
+    """Raised for invalid architecture specifications or cost-model inputs."""
+
+
+class CalibrationError(ArchError):
+    """Raised when cost-model calibration cannot meet its tolerance."""
+
+
+class ModelError(ReproError):
+    """Raised for invalid machine-learning model configuration or inputs."""
+
+
+class NotFittedError(ModelError):
+    """Raised when prediction is attempted on an unfitted estimator."""
+
+
+class ConvergenceWarning(UserWarning):
+    """Warned when an iterative solver stops at its iteration budget."""
+
+
+class TuningError(ReproError):
+    """Raised for invalid switching-point search configurations."""
+
+
+class PlanError(ReproError):
+    """Raised when a heterogeneous execution plan is malformed."""
+
+
+class BenchError(ReproError):
+    """Raised when a benchmark experiment is configured inconsistently."""

@@ -1,0 +1,151 @@
+"""The BFS frontier (the paper's *current queue*, CQ).
+
+Top-down wants the frontier as a sparse vertex array (it iterates the
+queue); bottom-up wants it as a bitmap (it tests membership per edge).
+:class:`Frontier` holds either representation and converts lazily,
+caching both once materialized — the conversion itself is the
+"queue → bitmap" rewrite step real hybrid implementations pay when they
+switch direction, so :meth:`conversion_bytes` reports the traffic for
+the cost model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.bitmap import Bitmap
+
+__all__ = ["Frontier"]
+
+
+class Frontier:
+    """A set of vertices with dual sparse/dense representations.
+
+    Exactly one representation is required at construction; the other is
+    derived on first use.  Instances are conceptually immutable: BFS
+    levels produce *new* frontiers.
+    """
+
+    __slots__ = ("num_vertices", "_indices", "_bitmap")
+
+    def __init__(
+        self,
+        num_vertices: int,
+        *,
+        indices: np.ndarray | None = None,
+        bitmap: Bitmap | None = None,
+    ) -> None:
+        if num_vertices < 0:
+            raise GraphError("num_vertices must be non-negative")
+        if (indices is None) == (bitmap is None):
+            raise GraphError("provide exactly one of indices= or bitmap=")
+        self.num_vertices = int(num_vertices)
+        if indices is not None:
+            indices = np.asarray(indices)
+            if indices.size and (
+                indices.min() < 0 or indices.max() >= num_vertices
+            ):
+                raise GraphError("frontier vertex id out of range")
+            indices = np.unique(indices.astype(np.int64))
+        if bitmap is not None and bitmap.size != num_vertices:
+            raise GraphError(
+                f"bitmap size {bitmap.size} != num_vertices {num_vertices}"
+            )
+        self._indices = indices
+        self._bitmap = bitmap
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_source(cls, num_vertices: int, source: int) -> "Frontier":
+        """The level-1 frontier: just the BFS source."""
+        if not 0 <= source < num_vertices:
+            raise GraphError(
+                f"source {source} out of range [0, {num_vertices})"
+            )
+        return cls(num_vertices, indices=np.array([source], dtype=np.int64))
+
+    @classmethod
+    def empty(cls, num_vertices: int) -> "Frontier":
+        """An empty frontier (BFS termination condition)."""
+        return cls(num_vertices, indices=np.zeros(0, dtype=np.int64))
+
+    # -- representations ------------------------------------------------------
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Sorted unique member vertices (sparse queue form)."""
+        if self._indices is None:
+            assert self._bitmap is not None
+            self._indices = self._bitmap.nonzero()
+        return self._indices
+
+    @property
+    def bitmap(self) -> Bitmap:
+        """Dense bitmap form."""
+        if self._bitmap is None:
+            assert self._indices is not None
+            self._bitmap = Bitmap.from_indices(self.num_vertices, self._indices)
+        return self._bitmap
+
+    def has_indices(self) -> bool:
+        """Whether the sparse form is already materialized."""
+        return self._indices is not None
+
+    def has_bitmap(self) -> bool:
+        """Whether the dense form is already materialized."""
+        return self._bitmap is not None
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        if self._indices is not None:
+            return int(self._indices.size)
+        assert self._bitmap is not None
+        return self._bitmap.count()
+
+    def is_empty(self) -> bool:
+        """True when no vertex is in the frontier."""
+        return len(self) == 0
+
+    def __contains__(self, v: int) -> bool:
+        if self._bitmap is not None:
+            return v in self._bitmap
+        assert self._indices is not None
+        i = int(np.searchsorted(self._indices, v))
+        return i < self._indices.size and int(self._indices[i]) == v
+
+    def edge_count(self, degrees: np.ndarray) -> int:
+        """``|E|cq`` — total degree of the frontier, the quantity the
+        paper's ``|E|cq < |E| / M`` switching test compares."""
+        if degrees.shape != (self.num_vertices,):
+            raise GraphError("degrees must have one entry per vertex")
+        return int(degrees[self.indices].sum())
+
+    def conversion_bytes(self, to: str) -> int:
+        """Memory traffic to materialize the other representation.
+
+        ``to='bitmap'`` charges writing the full bitmap plus reading the
+        queue; ``to='indices'`` charges scanning the bitmap words.
+        Returns 0 when the representation already exists.
+        """
+        if to == "bitmap":
+            if self.has_bitmap():
+                return 0
+            return self.num_vertices // 8 + 8 * len(self)
+        if to == "indices":
+            if self.has_indices():
+                return 0
+            return self.num_vertices // 8 + 8 * len(self)
+        raise GraphError(f"unknown representation {to!r}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Frontier):
+            return NotImplemented
+        return self.num_vertices == other.num_vertices and bool(
+            np.array_equal(self.indices, other.indices)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Frontier(|V|cq={len(self)} of {self.num_vertices})"

@@ -1,0 +1,154 @@
+"""Graph 500-style validation of BFS output.
+
+The Graph 500 specification validates a BFS run with five checks rather
+than comparing against a reference traversal (which would be as costly
+as the run itself).  :func:`validate_bfs` applies them, vectorized:
+
+1. the parent map and level map agree on which vertices were reached;
+2. the source is its own parent at level 0;
+3. every reached non-source vertex's parent is reached, exactly one
+   level closer to the source;
+4. every tree edge ``(parent[v], v)`` exists in the graph;
+5. every graph edge spans at most one level (no edge connects levels
+   ``k`` and ``k + 2`` with both endpoints reached), and no edge joins
+   a reached vertex to an unreached one.
+
+Check 5 is what makes the level map a true *breadth-first* distance
+labelling and not just any spanning tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["validate_bfs", "check_bfs"]
+
+
+def check_bfs(
+    graph: CSRGraph,
+    source: int,
+    parent: np.ndarray,
+    level: np.ndarray,
+) -> list[str]:
+    """Run all validation checks; return a list of failure descriptions.
+
+    An empty list means the output is a valid BFS of ``graph`` from
+    ``source``.  ``parent``/``level`` use ``-1`` for unreached vertices.
+    """
+    failures: list[str] = []
+    n = graph.num_vertices
+    parent = np.asarray(parent)
+    level = np.asarray(level)
+    if parent.shape != (n,) or level.shape != (n,):
+        return [
+            f"map shape mismatch: parent {parent.shape}, level {level.shape},"
+            f" expected ({n},)"
+        ]
+    if not 0 <= source < n:
+        return [f"source {source} out of range [0, {n})"]
+
+    reached = level >= 0
+    if not np.array_equal(reached, parent >= 0):
+        failures.append("parent map and level map disagree on reached set")
+    if parent[source] != source:
+        failures.append(
+            f"source parent must be itself, got {int(parent[source])}"
+        )
+    if level[source] != 0:
+        failures.append(f"source level must be 0, got {int(level[source])}")
+
+    tree = reached.copy()
+    tree[source] = False
+    kids = np.nonzero(tree)[0]
+    if kids.size:
+        pk = parent[kids]
+        bad = ~reached[np.clip(pk, 0, n - 1)] | (pk < 0) | (pk >= n)
+        if bad.any():
+            failures.append(
+                f"{int(bad.sum())} vertices have an unreached/invalid parent"
+            )
+        ok = ~bad
+        if (level[kids[ok]] != level[pk[ok]] + 1).any():
+            nbad = int((level[kids[ok]] != level[pk[ok]] + 1).sum())
+            failures.append(
+                f"{nbad} tree edges do not drop exactly one level"
+            )
+        # Tree edges must exist in the graph.  Vectorized membership:
+        # search v within parent's sorted adjacency slice.
+        valid_parents = kids[ok]
+        pk_ok = pk[ok]
+        found = _edges_exist(graph, pk_ok, valid_parents)
+        if not found.all():
+            failures.append(
+                f"{int((~found).sum())} tree edges are not graph edges"
+            )
+
+    # Check 5: every graph edge between reached vertices spans <= 1 level,
+    # and (for symmetric graphs) never joins reached to unreached.
+    src, dst = graph.edge_list()
+    both = reached[src] & reached[dst]
+    if both.any():
+        gap = np.abs(level[src[both]] - level[dst[both]])
+        if (gap > 1).any():
+            failures.append(
+                f"{int((gap > 1).sum())} graph edges span more than one level"
+            )
+    if graph.symmetric:
+        half = reached[src] ^ reached[dst]
+        if half.any():
+            failures.append(
+                f"{int(half.sum())} edges join reached to unreached vertices"
+            )
+    return failures
+
+
+def _edges_exist(
+    graph: CSRGraph, rows: np.ndarray, cols: np.ndarray
+) -> np.ndarray:
+    """Vectorized test that directed edges ``(rows[i], cols[i])`` exist."""
+    # Adjacency lists are sorted, so each query is a binary search within
+    # its row slice.  All queries bisect in lockstep: log2(max degree)
+    # rounds of O(#queries) vectorized work instead of a Python loop.
+    order = np.argsort(rows, kind="stable")
+    rows_s, cols_s = rows[order], cols[order]
+    found = np.zeros(rows.size, dtype=bool)
+    starts_s = graph.offsets[rows_s].astype(np.int64)
+    ends_s = graph.offsets[rows_s + 1].astype(np.int64)
+    # Binary search each query within its row slice, vectorized over all
+    # queries at once by iterating the bisection manually (log2(max deg)
+    # iterations of O(T) work).
+    lo = starts_s.copy()
+    hi = ends_s.copy()
+    max_deg = int((ends_s - starts_s).max(initial=0))
+    steps = max(1, int(np.ceil(np.log2(max(max_deg, 1)))) + 1)
+    tg = graph.targets
+    for _ in range(steps):
+        mid = (lo + hi) >> 1
+        active = lo < hi
+        midv = np.where(active, tg[np.minimum(mid, tg.size - 1)], 0)
+        go_right = active & (midv < cols_s)
+        lo = np.where(go_right, mid + 1, lo)
+        hi = np.where(active & ~go_right, mid, hi)
+    valid = (lo < ends_s) & (lo < tg.size)
+    hit = np.zeros(rows.size, dtype=bool)
+    hit[valid] = tg[lo[valid]] == cols_s[valid]
+    found[order] = hit
+    return found
+
+
+def validate_bfs(
+    graph: CSRGraph,
+    source: int,
+    parent: np.ndarray,
+    level: np.ndarray,
+) -> None:
+    """Raise :class:`~repro.errors.ValidationError` unless the BFS output
+    passes every Graph 500 check."""
+    failures = check_bfs(graph, source, parent, level)
+    if failures:
+        raise ValidationError(
+            "BFS validation failed: " + "; ".join(failures)
+        )

@@ -1,0 +1,31 @@
+"""Heterogeneous execution: plan builders, single-architecture
+combinations and the paper's Algorithm 3 cross-architecture runtime."""
+
+from repro.hetero.combination import DeviceRuns, run_single_device
+from repro.hetero.cross import (
+    CrossArchitectureBFS,
+    CrossRun,
+    MNPredictor,
+    run_cross_architecture,
+)
+from repro.hetero.executor import execute_plan
+from repro.hetero.planner import (
+    cross_plan,
+    mn_directions,
+    oracle_plan,
+    single_device_plan,
+)
+
+__all__ = [
+    "mn_directions",
+    "single_device_plan",
+    "cross_plan",
+    "oracle_plan",
+    "DeviceRuns",
+    "run_single_device",
+    "run_cross_architecture",
+    "MNPredictor",
+    "CrossArchitectureBFS",
+    "CrossRun",
+    "execute_plan",
+]

@@ -1,0 +1,58 @@
+"""Single-architecture combinations (the paper's GPUCB / CPUCB / MICCB).
+
+Bundles the three per-device baselines every experiment compares:
+pure top-down, pure bottom-up, and the (M, N) combination, each priced
+over one measured level profile on the simulated machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.machine import PlanStep, SimReport, SimulatedMachine
+from repro.bfs.result import Direction
+from repro.bfs.trace import LevelProfile
+from repro.errors import PlanError
+from repro.hetero.planner import single_device_plan
+
+__all__ = ["DeviceRuns", "run_single_device"]
+
+
+@dataclass(frozen=True)
+class DeviceRuns:
+    """Top-down, bottom-up and combination reports for one device."""
+
+    device: str
+    top_down: SimReport
+    bottom_up: SimReport
+    combination: SimReport
+
+    def speedup_cb_over_td(self) -> float:
+        """The headline per-device gain of direction optimization."""
+        return self.top_down.total_seconds / self.combination.total_seconds
+
+    def speedup_cb_over_bu(self) -> float:
+        """Combination speedup over pure bottom-up."""
+        return self.bottom_up.total_seconds / self.combination.total_seconds
+
+
+def run_single_device(
+    machine: SimulatedMachine,
+    profile: LevelProfile,
+    device: str,
+    m: float,
+    n: float,
+) -> DeviceRuns:
+    """Price TD / BU / CB(M, N) on ``device`` over ``profile``."""
+    if device not in machine.models:
+        raise PlanError(f"unknown device {device!r}")
+    depth = len(profile)
+    td_plan = [PlanStep(device, Direction.TOP_DOWN)] * depth
+    bu_plan = [PlanStep(device, Direction.BOTTOM_UP)] * depth
+    cb_plan = single_device_plan(profile, device, m, n)
+    return DeviceRuns(
+        device=device,
+        top_down=machine.run(profile, td_plan),
+        bottom_up=machine.run(profile, bu_plan),
+        combination=machine.run(profile, cb_plan),
+    )

@@ -1,0 +1,117 @@
+"""The cross-architecture combination (the paper's Algorithm 3).
+
+``run_cross_architecture`` prices a CPU-TD + GPU-CB traversal for
+explicit switching points; :class:`CrossArchitectureBFS` is the full
+runtime of Algorithm 3 — it obtains ``(M1, N1)`` and ``(M2, N2)`` from
+a regression predictor (any object with ``predict_mn(graph, arch_td,
+arch_bu)``, e.g. :class:`repro.tuning.SwitchingPointPredictor`),
+builds the plan, and reports both the simulated timing and the real
+traversal result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.arch.machine import SimReport, SimulatedMachine
+from repro.arch.specs import ArchSpec
+from repro.bfs.profiler import profile_bfs
+from repro.bfs.result import BFSResult
+from repro.bfs.trace import LevelProfile
+from repro.errors import PlanError
+from repro.graph.csr import CSRGraph
+from repro.hetero.planner import cross_plan
+
+__all__ = ["run_cross_architecture", "MNPredictor", "CrossArchitectureBFS", "CrossRun"]
+
+
+def run_cross_architecture(
+    machine: SimulatedMachine,
+    profile: LevelProfile,
+    m1: float,
+    n1: float,
+    m2: float,
+    n2: float,
+    *,
+    cpu: str = "cpu",
+    gpu: str = "gpu",
+) -> SimReport:
+    """Price Algorithm 3 with explicit switching points."""
+    plan = cross_plan(profile, m1, n1, m2, n2, cpu=cpu, gpu=gpu)
+    return machine.run(profile, plan)
+
+
+@runtime_checkable
+class MNPredictor(Protocol):
+    """The regression model interface of Algorithm 3's first two lines."""
+
+    def predict_mn(
+        self, graph: CSRGraph, arch_td: ArchSpec, arch_bu: ArchSpec
+    ) -> tuple[float, float]:
+        """Return the predicted ``(M, N)`` for this traversal setup."""
+        ...
+
+
+@dataclass(frozen=True)
+class CrossRun:
+    """Everything Algorithm 3 produces for one traversal."""
+
+    result: BFSResult
+    report: SimReport
+    m1: float
+    n1: float
+    m2: float
+    n2: float
+
+
+class CrossArchitectureBFS:
+    """Algorithm 3 end to end: regress switching points, traverse, price.
+
+    Parameters
+    ----------
+    machine:
+        Simulated machine that must expose the ``cpu`` and ``gpu``
+        device names used here.
+    predictor:
+        Trained switching-point model (Fig. 6 "on-line" path).
+    """
+
+    def __init__(
+        self,
+        machine: SimulatedMachine,
+        predictor: MNPredictor,
+        *,
+        cpu: str = "cpu",
+        gpu: str = "gpu",
+    ) -> None:
+        for dev in (cpu, gpu):
+            if dev not in machine.models:
+                raise PlanError(f"machine lacks device {dev!r}")
+        self.machine = machine
+        self.predictor = predictor
+        self.cpu = cpu
+        self.gpu = gpu
+
+    def run(self, graph: CSRGraph, source: int) -> CrossRun:
+        """Execute one traversal.
+
+        Mirrors Algorithm 3's structure: line 1 regresses (M1, N1) for
+        (graph, CPU, GPU); line 2 regresses (M2, N2) for (graph, GPU,
+        GPU); the loop walks levels switching device and direction by
+        the two threshold rules.  The graph is genuinely traversed (the
+        parent/level maps are real and validated); only the clock is
+        simulated.
+        """
+        cpu_spec = self.machine.specs[self.cpu]
+        gpu_spec = self.machine.specs[self.gpu]
+        m1, n1 = self.predictor.predict_mn(graph, cpu_spec, gpu_spec)
+        m2, n2 = self.predictor.predict_mn(graph, gpu_spec, gpu_spec)
+        profile, result = profile_bfs(graph, source)
+        plan = cross_plan(
+            profile, m1, n1, m2, n2, cpu=self.cpu, gpu=self.gpu
+        )
+        report = self.machine.run(profile, plan)
+        return CrossRun(
+            result=result, report=report, m1=m1, n1=n1, m2=m2, n2=n2
+        )

@@ -1,0 +1,51 @@
+"""Machine-learning substrate: from-scratch ε-SVR (SMO), kernels,
+scaling, regression baselines, cross-validation and the Fig. 7 training
+sample layout."""
+
+from repro.ml.crossval import (
+    GridSearchResult,
+    cross_val_score,
+    grid_search,
+    kfold_indices,
+)
+from repro.ml.dataset import (
+    FEATURE_NAMES,
+    TrainingSet,
+    make_sample,
+    sample_from_features,
+)
+from repro.ml.kernels import (
+    Kernel,
+    linear_kernel,
+    make_kernel,
+    poly_kernel,
+    rbf_kernel,
+)
+from repro.ml.model_io import load_scaler, load_svr, save_scaler, save_svr
+from repro.ml.ridge import KernelRidge, LinearRegression
+from repro.ml.scaler import StandardScaler
+from repro.ml.svr import SVR
+
+__all__ = [
+    "SVR",
+    "KernelRidge",
+    "LinearRegression",
+    "StandardScaler",
+    "Kernel",
+    "linear_kernel",
+    "rbf_kernel",
+    "poly_kernel",
+    "make_kernel",
+    "kfold_indices",
+    "cross_val_score",
+    "grid_search",
+    "GridSearchResult",
+    "FEATURE_NAMES",
+    "make_sample",
+    "sample_from_features",
+    "TrainingSet",
+    "save_svr",
+    "load_svr",
+    "save_scaler",
+    "load_scaler",
+]

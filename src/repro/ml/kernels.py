@@ -1,0 +1,81 @@
+"""Kernel functions for the SVR and kernel-ridge models.
+
+Vectorized over sample matrices: every kernel takes ``X (n, d)`` and
+``Z (m, d)`` and returns the ``(n, m)`` Gram block without Python-level
+loops (pairwise squared distances via the expanded-norm identity).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = ["linear_kernel", "rbf_kernel", "poly_kernel", "make_kernel", "Kernel"]
+
+Kernel = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def _check(X: np.ndarray, Z: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+    Z = np.atleast_2d(np.asarray(Z, dtype=np.float64))
+    if X.shape[1] != Z.shape[1]:
+        raise ModelError(
+            f"feature dimension mismatch: {X.shape[1]} vs {Z.shape[1]}"
+        )
+    return X, Z
+
+
+def linear_kernel(X: np.ndarray, Z: np.ndarray) -> np.ndarray:
+    """``k(x, z) = x · z``."""
+    X, Z = _check(X, Z)
+    return X @ Z.T
+
+
+def rbf_kernel(X: np.ndarray, Z: np.ndarray, gamma: float = 1.0) -> np.ndarray:
+    """``k(x, z) = exp(-gamma ||x - z||²)`` — the paper's SVR kernel class."""
+    if gamma <= 0:
+        raise ModelError(f"gamma must be positive, got {gamma}")
+    X, Z = _check(X, Z)
+    sq = (
+        np.sum(X * X, axis=1)[:, None]
+        + np.sum(Z * Z, axis=1)[None, :]
+        - 2.0 * (X @ Z.T)
+    )
+    np.maximum(sq, 0.0, out=sq)
+    return np.exp(-gamma * sq)
+
+
+def poly_kernel(
+    X: np.ndarray, Z: np.ndarray, degree: int = 3, coef0: float = 1.0
+) -> np.ndarray:
+    """``k(x, z) = (x · z + coef0) ** degree``."""
+    if degree < 1:
+        raise ModelError(f"degree must be >= 1, got {degree}")
+    X, Z = _check(X, Z)
+    return (X @ Z.T + coef0) ** degree
+
+
+def make_kernel(name: str, **params: float) -> Kernel:
+    """Build a kernel closure by name (``'linear'``, ``'rbf'``, ``'poly'``).
+
+    Unknown parameters raise so hyper-parameter grids fail loudly.
+    """
+    if name == "linear":
+        if params:
+            raise ModelError(f"linear kernel takes no parameters, got {params}")
+        return linear_kernel
+    if name == "rbf":
+        gamma = float(params.pop("gamma", 1.0))
+        if params:
+            raise ModelError(f"unknown rbf parameters {params}")
+        return lambda X, Z: rbf_kernel(X, Z, gamma=gamma)
+    if name == "poly":
+        degree = int(params.pop("degree", 3))
+        coef0 = float(params.pop("coef0", 1.0))
+        if params:
+            raise ModelError(f"unknown poly parameters {params}")
+        return lambda X, Z: poly_kernel(X, Z, degree=degree, coef0=coef0)
+    raise ModelError(f"unknown kernel {name!r}")

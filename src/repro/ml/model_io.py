@@ -1,0 +1,90 @@
+"""Persistence for fitted models.
+
+The paper's workflow is offline training / online prediction
+(Fig. 6); persisting the trained predictor is what makes the online
+side "little overhead" — load once, predict per traversal.  Models
+serialize to NPZ with a JSON header describing hyper-parameters.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.ml.scaler import StandardScaler
+from repro.ml.svr import SVR
+
+__all__ = ["save_svr", "load_svr", "save_scaler", "load_scaler"]
+
+
+def save_svr(model: SVR, path: str | Path) -> None:
+    """Write a fitted SVR (RBF/linear/poly by name only) to NPZ."""
+    if model.beta_ is None or model.support_x_ is None:
+        raise ModelError("cannot save an unfitted SVR")
+    if callable(model.kernel):
+        raise ModelError("cannot serialize a callable kernel; use a name")
+    header = {
+        "c": model.c,
+        "epsilon": model.epsilon,
+        "kernel": model.kernel,
+        "gamma": model.gamma if isinstance(model.gamma, str) else float(model.gamma),
+        "tol": model.tol,
+        "max_iter": model.max_iter,
+        "intercept": model.intercept_,
+        "n_iter": model.n_iter_,
+    }
+    np.savez_compressed(
+        Path(path),
+        header=np.array([json.dumps(header)]),
+        support_x=model.support_x_,
+        beta=model.beta_,
+    )
+
+
+def load_svr(path: str | Path) -> SVR:
+    """Load a model written by :func:`save_svr`."""
+    try:
+        with np.load(Path(path), allow_pickle=False) as data:
+            header = json.loads(str(data["header"][0]))
+            support_x = data["support_x"]
+            beta = data["beta"]
+    except (KeyError, OSError, ValueError, json.JSONDecodeError) as exc:
+        raise ModelError(f"cannot load SVR from {path}: {exc}") from exc
+    model = SVR(
+        c=header["c"],
+        epsilon=header["epsilon"],
+        kernel=header["kernel"],
+        gamma=header["gamma"],
+        tol=header["tol"],
+        max_iter=header["max_iter"],
+    )
+    model.support_x_ = support_x
+    model.beta_ = beta
+    model.intercept_ = float(header["intercept"])
+    model.n_iter_ = int(header["n_iter"])
+    model._kernel_fn = model._resolve_kernel(support_x)
+    return model
+
+
+def save_scaler(scaler: StandardScaler, path: str | Path) -> None:
+    """Write a fitted scaler to NPZ."""
+    if scaler.mean_ is None or scaler.scale_ is None:
+        raise ModelError("cannot save an unfitted scaler")
+    np.savez_compressed(Path(path), mean=scaler.mean_, scale=scaler.scale_)
+
+
+def load_scaler(path: str | Path) -> StandardScaler:
+    """Load a scaler written by :func:`save_scaler`."""
+    try:
+        with np.load(Path(path), allow_pickle=False) as data:
+            mean = data["mean"]
+            scale = data["scale"]
+    except (KeyError, OSError, ValueError) as exc:
+        raise ModelError(f"cannot load scaler from {path}: {exc}") from exc
+    scaler = StandardScaler()
+    scaler.mean_ = mean
+    scaler.scale_ = scale
+    return scaler

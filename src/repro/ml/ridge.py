@@ -1,0 +1,112 @@
+"""Regression baselines: linear least squares and kernel ridge.
+
+The paper argues for SVM regression over alternatives (Section II-C);
+these baselines exist so the ablation benchmark
+(``bench_ablation_regression``) can quantify that choice instead of
+taking it on faith.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError, NotFittedError
+from repro.ml.kernels import Kernel, make_kernel
+
+__all__ = ["LinearRegression", "KernelRidge"]
+
+
+class LinearRegression:
+    """Ordinary least squares with an intercept (via ``lstsq``)."""
+
+    def __init__(self) -> None:
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        """Fit ``y ≈ X w + b``."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ModelError(
+                f"{X.shape[0]} samples but {y.shape[0]} targets"
+            )
+        A = np.hstack([X, np.ones((X.shape[0], 1))])
+        w, *_ = np.linalg.lstsq(A, y, rcond=None)
+        self.coef_ = w[:-1]
+        self.intercept_ = float(w[-1])
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted linear map."""
+        if self.coef_ is None:
+            raise NotFittedError("LinearRegression.predict before fit")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        return X @ self.coef_ + self.intercept_
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """R² on ``(X, y)``."""
+        return _r2(self.predict(X), np.asarray(y, dtype=np.float64).ravel())
+
+
+class KernelRidge:
+    """Ridge regression in a kernel feature space (closed form).
+
+    Solves ``(K + λ I) a = y``; predicts ``f(x) = Σ a_i k(x_i, x)``.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 1.0,
+        kernel: str | Kernel = "rbf",
+        gamma: float = 1.0,
+    ) -> None:
+        if alpha <= 0:
+            raise ModelError(f"alpha must be positive, got {alpha}")
+        self.alpha = float(alpha)
+        self.kernel = kernel
+        self.gamma = float(gamma)
+        self.dual_coef_: np.ndarray | None = None
+        self.x_train_: np.ndarray | None = None
+        self._kernel_fn: Kernel | None = None
+
+    def _resolve_kernel(self) -> Kernel:
+        if callable(self.kernel):
+            return self.kernel
+        if self.kernel == "rbf":
+            return make_kernel("rbf", gamma=self.gamma)
+        return make_kernel(str(self.kernel))
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KernelRidge":
+        """Solve the regularized normal equations."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ModelError(
+                f"{X.shape[0]} samples but {y.shape[0]} targets"
+            )
+        self._kernel_fn = self._resolve_kernel()
+        K = self._kernel_fn(X, X)
+        K = K + self.alpha * np.eye(X.shape[0])
+        self.dual_coef_ = np.linalg.solve(K, y)
+        self.x_train_ = X.copy()
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted kernel expansion."""
+        if self.dual_coef_ is None or self.x_train_ is None or self._kernel_fn is None:
+            raise NotFittedError("KernelRidge.predict before fit")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        return self._kernel_fn(X, self.x_train_) @ self.dual_coef_
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """R² on ``(X, y)``."""
+        return _r2(self.predict(X), np.asarray(y, dtype=np.float64).ravel())
+
+
+def _r2(pred: np.ndarray, y: np.ndarray) -> float:
+    ss_res = float(((y - pred) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot

@@ -1,0 +1,60 @@
+"""Switching-point tuning: candidate searches (exhaustive / random /
+average), direction policies, the offline training-corpus builder and
+the runtime regression predictor."""
+
+from repro.tuning.policy import (
+    AlwaysBottomUp,
+    AlwaysTopDown,
+    FixedPlanPolicy,
+    HeuristicBeamerPolicy,
+)
+from repro.tuning.online import CostModelPolicy, estimate_bu_checked
+from repro.tuning.predictor import SwitchingPointPredictor
+from repro.tuning.rootaware import (
+    RootAwareCorpus,
+    RootAwarePredictor,
+    build_root_training_set,
+    make_root_sample,
+    root_features,
+)
+from repro.tuning.search import (
+    SearchOutcome,
+    best_m_scan,
+    candidate_cross_grid,
+    candidate_mn_grid,
+    evaluate_cross,
+    evaluate_single,
+    summarize_search,
+)
+from repro.tuning.training import (
+    ProfiledGraph,
+    best_mn_single,
+    build_training_set,
+    profile_graph,
+)
+
+__all__ = [
+    "candidate_mn_grid",
+    "candidate_cross_grid",
+    "evaluate_single",
+    "evaluate_cross",
+    "summarize_search",
+    "SearchOutcome",
+    "best_m_scan",
+    "AlwaysTopDown",
+    "AlwaysBottomUp",
+    "FixedPlanPolicy",
+    "HeuristicBeamerPolicy",
+    "SwitchingPointPredictor",
+    "CostModelPolicy",
+    "RootAwarePredictor",
+    "RootAwareCorpus",
+    "build_root_training_set",
+    "make_root_sample",
+    "root_features",
+    "estimate_bu_checked",
+    "ProfiledGraph",
+    "profile_graph",
+    "build_training_set",
+    "best_mn_single",
+]

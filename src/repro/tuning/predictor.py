@@ -1,0 +1,115 @@
+"""The runtime switching-point predictor (Fig. 6, left-hand path).
+
+Wraps a feature scaler plus two ε-SVRs (one for M, one for N, both in
+log₂ space) behind the Algorithm-3 interface
+``predict_mn(graph, arch_td, arch_bu)``.  Prediction is a handful of
+kernel evaluations — the "less than 0.1% of BFS execution-time"
+overhead the paper claims for the online path; the bench suite measures
+it (``bench_fig08_regression_quality``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.arch.specs import ArchSpec
+from repro.errors import NotFittedError, TuningError
+from repro.graph.csr import CSRGraph
+from repro.ml.dataset import TrainingSet, make_sample
+from repro.ml.model_io import load_scaler, load_svr, save_scaler, save_svr
+from repro.ml.scaler import StandardScaler
+from repro.ml.svr import SVR
+
+__all__ = ["SwitchingPointPredictor"]
+
+
+class SwitchingPointPredictor:
+    """Regression model for the best (M, N) switching point.
+
+    Parameters
+    ----------
+    c, epsilon, gamma, kernel:
+        Hyper-parameters forwarded to both underlying SVRs.  The
+        defaults come from the grid search in
+        ``benchmarks/bench_ablation_regression.py``.
+    clip:
+        Predicted (M, N) are clipped into this range — thresholds
+        outside the candidate space the corpus was searched over are
+        extrapolation artifacts.
+    """
+
+    def __init__(
+        self,
+        c: float = 30.0,
+        epsilon: float = 0.05,
+        gamma: float | str = "scale",
+        kernel: str = "rbf",
+        clip: tuple[float, float] = (1.0, 1000.0),
+    ) -> None:
+        if not 0 < clip[0] < clip[1]:
+            raise TuningError(f"invalid clip range {clip}")
+        self.clip = clip
+        self._scaler = StandardScaler()
+        self._svr_m = SVR(c=c, epsilon=epsilon, gamma=gamma, kernel=kernel)
+        self._svr_n = SVR(c=c, epsilon=epsilon, gamma=gamma, kernel=kernel)
+        self._fitted = False
+
+    # -- training ------------------------------------------------------------
+
+    def fit(self, training: TrainingSet) -> "SwitchingPointPredictor":
+        """Fit both regressors on a corpus from
+        :func:`repro.tuning.training.build_training_set`."""
+        X, log_m, log_n = training.as_arrays()
+        Xs = self._scaler.fit_transform(X)
+        self._svr_m.fit(Xs, log_m)
+        self._svr_n.fit(Xs, log_n)
+        self._fitted = True
+        return self
+
+    # -- inference --------------------------------------------------------------
+
+    def predict_sample(self, sample: np.ndarray) -> tuple[float, float]:
+        """Predict (M, N) for a raw Fig. 7 feature vector."""
+        if not self._fitted:
+            raise NotFittedError("predictor used before fit/load")
+        sample = np.atleast_2d(np.asarray(sample, dtype=np.float64))
+        Xs = self._scaler.transform(sample)
+        m = float(np.exp2(self._svr_m.predict(Xs)[0]))
+        n = float(np.exp2(self._svr_n.predict(Xs)[0]))
+        lo, hi = self.clip
+        return float(np.clip(m, lo, hi)), float(np.clip(n, lo, hi))
+
+    def predict_mn(
+        self, graph: CSRGraph, arch_td: ArchSpec, arch_bu: ArchSpec
+    ) -> tuple[float, float]:
+        """The Algorithm 3 ``RegressionModel(GI, ...)`` call."""
+        return self.predict_sample(make_sample(graph, arch_td, arch_bu))
+
+    # -- persistence ----------------------------------------------------------------
+
+    def save(self, directory: str | Path) -> None:
+        """Write scaler + both SVRs under ``directory``."""
+        if not self._fitted:
+            raise NotFittedError("cannot save an unfitted predictor")
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        save_scaler(self._scaler, directory / "scaler.npz")
+        save_svr(self._svr_m, directory / "svr_m.npz")
+        save_svr(self._svr_n, directory / "svr_n.npz")
+        (directory / "clip.txt").write_text(
+            f"{self.clip[0]} {self.clip[1]}", encoding="utf-8"
+        )
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "SwitchingPointPredictor":
+        """Load a predictor written by :meth:`save`."""
+        directory = Path(directory)
+        lo, hi = map(float, (directory / "clip.txt").read_text().split())
+        out = cls(clip=(lo, hi))
+        out._scaler = load_scaler(directory / "scaler.npz")
+        out._svr_m = load_svr(directory / "svr_m.npz")
+        out._svr_n = load_svr(directory / "svr_n.npz")
+        out._fitted = True
+        return out

@@ -1,0 +1,219 @@
+"""Root-aware switching-point prediction (an extension over the paper).
+
+The ``ext-sources`` experiment measures what the paper's evaluation
+cannot: the best (M, N) depends materially on the BFS root (a hub
+source explodes one level earlier than a leaf source), yet the Fig. 7
+sample carries no root information.  This module implements the obvious
+fix — append a root block to the feature vector:
+
+``[ Fig. 7 sample (12) | log2(1 + deg(root)), deg(root)/avg_degree ]``
+
+Both added features are available to the runtime for free (the root's
+degree is one CSR offsets lookup), so the online-overhead story is
+unchanged.  ``ext-root-features`` quantifies the gain.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.arch.costmodel import CostModel
+from repro.arch.specs import ArchSpec
+from repro.errors import NotFittedError, TuningError
+from repro.graph.csr import CSRGraph
+from repro.ml.dataset import FEATURE_NAMES, make_sample
+from repro.ml.model_io import load_scaler, load_svr, save_scaler, save_svr
+from repro.ml.scaler import StandardScaler
+from repro.ml.svr import SVR
+from repro.tuning.training import ProfiledGraph
+from repro.tuning.search import candidate_mn_grid, evaluate_single
+from repro.tuning.training import _evaluate_pair, _plateau_center  # noqa: shared target logic
+
+__all__ = [
+    "ROOT_FEATURE_NAMES",
+    "root_features",
+    "make_root_sample",
+    "RootAwareCorpus",
+    "build_root_training_set",
+    "RootAwarePredictor",
+]
+
+#: Names of the appended root block.
+ROOT_FEATURE_NAMES: tuple[str, ...] = FEATURE_NAMES + (
+    "log2_root_degree",
+    "root_degree_over_avg",
+)
+
+
+def root_features(graph: CSRGraph, source: int) -> np.ndarray:
+    """The 2-element root block for ``source``."""
+    deg = graph.degree(source)
+    avg = max(2 * graph.num_edges / max(graph.num_vertices, 1), 1e-12)
+    return np.array([np.log2(1.0 + deg), deg / avg], dtype=np.float64)
+
+
+def make_root_sample(
+    graph: CSRGraph,
+    source: int,
+    arch_td: ArchSpec,
+    arch_bu: ArchSpec,
+) -> np.ndarray:
+    """The 14-feature root-aware sample."""
+    return np.concatenate(
+        [make_sample(graph, arch_td, arch_bu), root_features(graph, source)]
+    )
+
+
+class RootAwareCorpus:
+    """A training corpus of root-aware rows."""
+
+    def __init__(self) -> None:
+        self.samples: list[np.ndarray] = []
+        self.log_m: list[float] = []
+        self.log_n: list[float] = []
+
+    def add(self, sample: np.ndarray, m: float, n: float) -> None:
+        """Append one row."""
+        sample = np.asarray(sample, dtype=np.float64)
+        if sample.shape != (len(ROOT_FEATURE_NAMES),):
+            raise TuningError(
+                f"root-aware sample needs {len(ROOT_FEATURE_NAMES)} "
+                f"features, got {sample.shape}"
+            )
+        if m <= 0 or n <= 0:
+            raise TuningError(f"invalid targets ({m}, {n})")
+        self.samples.append(sample)
+        self.log_m.append(float(np.log2(m)))
+        self.log_n.append(float(np.log2(n)))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(X, log2_m, log2_n)``."""
+        if not self.samples:
+            raise TuningError("empty root-aware corpus")
+        return (
+            np.vstack(self.samples),
+            np.array(self.log_m),
+            np.array(self.log_n),
+        )
+
+
+def build_root_training_set(
+    profiled: list[tuple[ProfiledGraph, int, np.ndarray]],
+    arch_pairs: list[tuple[ArchSpec, ArchSpec]],
+    *,
+    candidates: np.ndarray | None = None,
+    seed: int = 0,
+) -> RootAwareCorpus:
+    """Build a root-aware corpus.
+
+    ``profiled`` rows are ``(profiled_graph, source, root_block)`` —
+    the same graph may appear under several roots, which is exactly
+    what gives the model its root signal.
+    """
+    if not profiled:
+        raise TuningError("no profiled rows supplied")
+    if not arch_pairs:
+        raise TuningError("no architecture pairs supplied")
+    if candidates is None:
+        candidates = candidate_mn_grid(1000, seed=seed)
+    corpus = RootAwareCorpus()
+    for pg, source, root_block in profiled:
+        base = None
+        for arch_td, arch_bu in arch_pairs:
+            if arch_td.name == arch_bu.name:
+                secs = evaluate_single(
+                    pg.profile, CostModel(arch_td), candidates
+                )
+            else:
+                secs = _evaluate_pair(
+                    pg.profile, arch_td, arch_bu, candidates
+                )
+            m, n = _plateau_center(candidates, secs)
+            from repro.ml.dataset import sample_from_features
+
+            base = sample_from_features(pg.features, arch_td, arch_bu)
+            corpus.add(np.concatenate([base, root_block]), m, n)
+    return corpus
+
+
+class RootAwarePredictor:
+    """Drop-in variant of the switching-point predictor with root
+    features.  API mirrors
+    :class:`~repro.tuning.predictor.SwitchingPointPredictor` except
+    prediction also takes the source vertex."""
+
+    def __init__(
+        self,
+        c: float = 30.0,
+        epsilon: float = 0.05,
+        gamma: float | str = "scale",
+        clip: tuple[float, float] = (1.0, 1000.0),
+    ) -> None:
+        if not 0 < clip[0] < clip[1]:
+            raise TuningError(f"invalid clip range {clip}")
+        self.clip = clip
+        self._scaler = StandardScaler()
+        self._svr_m = SVR(c=c, epsilon=epsilon, gamma=gamma)
+        self._svr_n = SVR(c=c, epsilon=epsilon, gamma=gamma)
+        self._fitted = False
+
+    def fit(self, corpus: RootAwareCorpus) -> "RootAwarePredictor":
+        """Fit both regressors."""
+        X, lm, ln = corpus.as_arrays()
+        Xs = self._scaler.fit_transform(X)
+        self._svr_m.fit(Xs, lm)
+        self._svr_n.fit(Xs, ln)
+        self._fitted = True
+        return self
+
+    def predict_sample(self, sample: np.ndarray) -> tuple[float, float]:
+        """Predict (M, N) from a raw 14-feature vector."""
+        if not self._fitted:
+            raise NotFittedError("RootAwarePredictor used before fit")
+        Xs = self._scaler.transform(np.atleast_2d(sample))
+        lo, hi = self.clip
+        m = float(np.clip(np.exp2(self._svr_m.predict(Xs)[0]), lo, hi))
+        n = float(np.clip(np.exp2(self._svr_n.predict(Xs)[0]), lo, hi))
+        return m, n
+
+    def predict_mn(
+        self,
+        graph: CSRGraph,
+        source: int,
+        arch_td: ArchSpec,
+        arch_bu: ArchSpec,
+    ) -> tuple[float, float]:
+        """Predict for a concrete (graph, root, architecture pair)."""
+        return self.predict_sample(
+            make_root_sample(graph, source, arch_td, arch_bu)
+        )
+
+    def save(self, directory: str | Path) -> None:
+        """Persist scaler + both SVRs."""
+        if not self._fitted:
+            raise NotFittedError("cannot save an unfitted predictor")
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        save_scaler(self._scaler, directory / "scaler.npz")
+        save_svr(self._svr_m, directory / "svr_m.npz")
+        save_svr(self._svr_n, directory / "svr_n.npz")
+        (directory / "clip.txt").write_text(
+            f"{self.clip[0]} {self.clip[1]}", encoding="utf-8"
+        )
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "RootAwarePredictor":
+        """Inverse of :meth:`save`."""
+        directory = Path(directory)
+        lo, hi = map(float, (directory / "clip.txt").read_text().split())
+        out = cls(clip=(lo, hi))
+        out._scaler = load_scaler(directory / "scaler.npz")
+        out._svr_m = load_svr(directory / "svr_m.npz")
+        out._svr_n = load_svr(directory / "svr_n.npz")
+        out._fitted = True
+        return out

@@ -1,0 +1,215 @@
+"""Switching-point search: exhaustive, random, average — the paper's
+comparison set (Fig. 8) plus the Table III best-M scan.
+
+All searches price candidates against a measured
+:class:`~repro.bfs.trace.LevelProfile` through the cost model, so the
+"exhaustive search [that] will at least take 1,000× of BFS execution-
+time" (Section III-E) costs milliseconds here — that asymmetry between
+measuring and pricing is exactly the paper's offline/online divide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.arch.costmodel import CostModel
+from repro.arch.machine import SimulatedMachine
+from repro.bfs.trace import LevelProfile
+from repro.errors import TuningError
+from repro.hetero.planner import cross_plan
+
+__all__ = [
+    "candidate_mn_grid",
+    "candidate_cross_grid",
+    "evaluate_single",
+    "evaluate_cross",
+    "SearchOutcome",
+    "summarize_search",
+    "best_m_scan",
+]
+
+
+def candidate_mn_grid(
+    count: int = 1000,
+    *,
+    lo: float = 1.0,
+    hi: float = 1000.0,
+    seed: int | np.random.Generator = 0,
+) -> np.ndarray:
+    """``(count, 2)`` array of (M, N) candidates, log-uniform in
+    ``[lo, hi]²`` — the paper's "1,000 possible cases" per traversal.
+
+    Log-spacing matches how the thresholds act (multiplicatively on
+    ``|E|/M``); the extremes include plans that never or always switch.
+    """
+    if count < 1:
+        raise TuningError(f"count must be >= 1, got {count}")
+    if not 0 < lo < hi:
+        raise TuningError(f"need 0 < lo < hi, got ({lo}, {hi})")
+    rng = np.random.default_rng(seed)
+    return np.exp(
+        rng.uniform(np.log(lo), np.log(hi), size=(count, 2))
+    )
+
+
+def candidate_cross_grid(
+    count: int = 1000,
+    *,
+    lo: float = 1.0,
+    hi: float = 1000.0,
+    seed: int | np.random.Generator = 0,
+) -> np.ndarray:
+    """``(count, 4)`` array of (M1, N1, M2, N2) cross-architecture
+    candidates (Algorithm 3 has two switching points to mistune)."""
+    if count < 1:
+        raise TuningError(f"count must be >= 1, got {count}")
+    rng = np.random.default_rng(seed)
+    return np.exp(
+        rng.uniform(np.log(lo), np.log(hi), size=(count, 4))
+    )
+
+
+def evaluate_single(
+    profile: LevelProfile,
+    model: CostModel,
+    candidates: np.ndarray,
+) -> np.ndarray:
+    """Seconds for each (M, N) candidate on one device.
+
+    Vectorized over candidates: the (M, N) rule is two comparisons per
+    level, so the whole candidate set reduces to boolean matrices
+    against the per-level time matrix.
+    """
+    candidates = np.atleast_2d(np.asarray(candidates, dtype=np.float64))
+    if candidates.shape[1] != 2:
+        raise TuningError("single-device candidates must be (count, 2)")
+    times = model.time_matrix(profile)  # (levels, 2): td, bu
+    fe = profile.frontier_edges()[None, :]          # (1, L)
+    fv = profile.frontier_vertices()[None, :]
+    m = candidates[:, 0][:, None]                   # (C, 1)
+    n = candidates[:, 1][:, None]
+    td_mask = (fe < profile.num_edges / m) & (fv < profile.num_vertices / n)
+    per_level = np.where(td_mask, times[None, :, 0], times[None, :, 1])
+    return per_level.sum(axis=1)
+
+
+def evaluate_cross(
+    profile: LevelProfile,
+    machine: SimulatedMachine,
+    candidates: np.ndarray,
+    *,
+    cpu: str = "cpu",
+    gpu: str = "gpu",
+) -> np.ndarray:
+    """Seconds for each (M1, N1, M2, N2) Algorithm-3 candidate,
+    including the CPU→GPU handoff transfer."""
+    candidates = np.atleast_2d(np.asarray(candidates, dtype=np.float64))
+    if candidates.shape[1] != 4:
+        raise TuningError("cross candidates must be (count, 4)")
+    out = np.empty(candidates.shape[0], dtype=np.float64)
+    for i, (m1, n1, m2, n2) in enumerate(candidates):
+        plan = cross_plan(profile, m1, n1, m2, n2, cpu=cpu, gpu=gpu)
+        out[i] = machine.run(profile, plan).total_seconds
+    return out
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """Summary of one candidate sweep (the bars of Fig. 8)."""
+
+    best_seconds: float
+    worst_seconds: float
+    average_seconds: float
+    random_seconds: float
+    best_candidate: np.ndarray
+    worst_candidate: np.ndarray
+
+    def speedup_over_worst(self, seconds: float) -> float:
+        """Speedup of a given time over the worst candidate."""
+        if seconds <= 0:
+            raise TuningError("seconds must be positive")
+        return self.worst_seconds / seconds
+
+    @property
+    def exhaustive_speedup_over_worst(self) -> float:
+        """Best/worst ratio — the scale of the paper's 695× claim."""
+        return self.worst_seconds / self.best_seconds
+
+    @property
+    def exhaustive_speedup_over_random(self) -> float:
+        """Best/random ratio (the value printed atop Fig. 8's bars is
+        per-method speedup over Random)."""
+        return self.random_seconds / self.best_seconds
+
+    @property
+    def exhaustive_speedup_over_average(self) -> float:
+        """Best/average ratio."""
+        return self.average_seconds / self.best_seconds
+
+
+def summarize_search(
+    candidates: np.ndarray,
+    seconds: np.ndarray,
+    *,
+    seed: int | np.random.Generator = 0,
+) -> SearchOutcome:
+    """Best / worst / average / random summary of a sweep.
+
+    ``random`` mirrors the paper's Fig. 8 Random selector (C ``rand()``
+    there, a seeded generator here): one uniformly chosen candidate.
+    """
+    candidates = np.atleast_2d(candidates)
+    seconds = np.asarray(seconds, dtype=np.float64)
+    if candidates.shape[0] != seconds.shape[0] or seconds.size == 0:
+        raise TuningError("candidates/seconds shape mismatch or empty")
+    rng = np.random.default_rng(seed)
+    b = int(np.argmin(seconds))
+    w = int(np.argmax(seconds))
+    r = int(rng.integers(seconds.size))
+    return SearchOutcome(
+        best_seconds=float(seconds[b]),
+        worst_seconds=float(seconds[w]),
+        average_seconds=float(seconds.mean()),
+        random_seconds=float(seconds[r]),
+        best_candidate=candidates[b].copy(),
+        worst_candidate=candidates[w].copy(),
+    )
+
+
+def best_m_scan(
+    profile: LevelProfile,
+    model: CostModel,
+    *,
+    m_values: np.ndarray | None = None,
+    n: float = 1e-9,
+) -> tuple[float, np.ndarray]:
+    """The Table III experiment: best M with N disabled.
+
+    ``n`` defaults to ~0 so ``|V|/N`` is astronomically large and the
+    vertex test never forces bottom-up — M alone decides, as in the
+    paper's M-only search (they extend the range from [1, 30] to
+    [1, 300]; the default grid here covers [1, 4096] in quarter-octave
+    steps).
+
+    Because the rule only changes behaviour when ``|E|/M`` crosses a
+    level's ``|E|cq``, the cost landscape over M is piecewise constant;
+    the returned "best M" is the **geometric midpoint of the winning
+    plateau** (the most robust representative), not its arbitrary grid
+    edge.  Returns ``(best_m, seconds_per_candidate)``.
+    """
+    if m_values is None:
+        m_values = np.exp2(np.arange(0, 49) / 4.0)  # 1 .. 4096
+    m_values = np.asarray(m_values, dtype=np.float64)
+    cand = np.column_stack([m_values, np.full(m_values.size, n)])
+    secs = evaluate_single(profile, model, cand)
+    best = int(np.argmin(secs))
+    tol = secs[best] * (1.0 + 1e-9)
+    lo = best
+    while lo > 0 and secs[lo - 1] <= tol:
+        lo -= 1
+    hi = best
+    while hi + 1 < secs.size and secs[hi + 1] <= tol:
+        hi += 1
+    plateau_mid = float(np.sqrt(m_values[lo] * m_values[hi]))
+    return plateau_mid, secs

@@ -1,0 +1,197 @@
+"""Offline training-corpus construction (Fig. 6, right-hand path).
+
+The paper's three steps, reproduced:
+
+1. For each test graph explored with top-down on ``arch_td`` and
+   bottom-up on ``arch_bu``, run the combination repeatedly over all
+   candidate switching points and keep the best (exhaustive search) —
+   here the candidates are priced against the measured level profile,
+   which is numerically identical and O(levels) per candidate.
+2. Build the Fig. 7 sample from the graph + architecture information;
+   the best switching point is its target value.
+3. Accumulate N samples (the paper uses N = 140) into a
+   :class:`~repro.ml.dataset.TrainingSet` and fit the regression.
+
+Cross-architecture rows price Algorithm-3 plans (4 thresholds); the
+recorded targets are the best ``(M1, N1)`` with the GPU-internal pair
+fixed to its own single-device optimum — matching how Algorithm 3
+consults the model (one call per architecture pair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.costmodel import CostModel
+from repro.arch.machine import SimulatedMachine
+from repro.arch.specs import ArchSpec
+from repro.bfs.profiler import pick_sources, profile_bfs
+from repro.bfs.trace import LevelProfile
+from repro.errors import TuningError
+from repro.graph.csr import CSRGraph
+from repro.graph.stats import graph_features
+from repro.ml.dataset import TrainingSet, sample_from_features
+from repro.tuning.search import (
+    candidate_mn_grid,
+    evaluate_single,
+)
+
+__all__ = ["ProfiledGraph", "profile_graph", "build_training_set", "best_mn_single"]
+
+
+@dataclass(frozen=True)
+class ProfiledGraph:
+    """A graph with its measured profile and precomputed feature block."""
+
+    graph: CSRGraph
+    profile: LevelProfile
+    features: np.ndarray
+    tag: str = ""
+
+    def scaled(self, factor: float) -> "ProfiledGraph":
+        """A paper-scale variant: counters and the |V|/|E| features grow
+        by ``factor`` (the R-MAT construction parameters A-D do not).
+
+        Used to train the predictor on the same size regime the
+        evaluation graphs are scaled to — the best switching point is
+        scale-dependent (cache miss rates enter the cost model through
+        |V|), so the corpus must cover the evaluation sizes.
+        """
+        from repro.arch.calibration import scale_profile
+
+        features = self.features.copy()
+        features[0] *= factor  # vertices (millions)
+        features[1] *= factor  # edges (millions)
+        return ProfiledGraph(
+            graph=self.graph,
+            profile=scale_profile(self.profile, factor),
+            features=features,
+            tag=f"{self.tag}x{factor:g}",
+        )
+
+
+def profile_graph(
+    graph: CSRGraph, *, source: int | None = None, seed: int = 0, tag: str = ""
+) -> ProfiledGraph:
+    """Profile one traversal of ``graph`` (Graph 500-style random root
+    unless ``source`` is given) and cache its Fig. 7 graph block."""
+    if source is None:
+        source = int(pick_sources(graph, 1, seed=seed)[0])
+    profile, _ = profile_bfs(graph, source)
+    return ProfiledGraph(
+        graph=graph,
+        profile=profile,
+        features=graph_features(graph),
+        tag=tag,
+    )
+
+
+def best_mn_single(
+    profile: LevelProfile,
+    model: CostModel,
+    *,
+    candidates: np.ndarray | None = None,
+    seed: int = 0,
+) -> tuple[float, float, float]:
+    """Exhaustive-search the best (M, N) on one device.
+
+    Returns ``(m, n, seconds)`` for the winning candidate.
+    """
+    if candidates is None:
+        candidates = candidate_mn_grid(1000, seed=seed)
+    secs = evaluate_single(profile, model, candidates)
+    b = int(np.argmin(secs))
+    return float(candidates[b, 0]), float(candidates[b, 1]), float(secs[b])
+
+
+def build_training_set(
+    profiled: list[ProfiledGraph],
+    arch_pairs: list[tuple[ArchSpec, ArchSpec]],
+    *,
+    candidates: np.ndarray | None = None,
+    seed: int = 0,
+) -> TrainingSet:
+    """Produce one training row per (graph, architecture pair).
+
+    For a same-device pair the target is the device's own best (M, N).
+    For a cross pair ``(td_arch, bu_arch)`` the target is the best
+    handoff point of an Algorithm-3-style plan where phase 1 runs
+    top-down on ``td_arch`` and phase 2 runs the bottom-up side on
+    ``bu_arch`` — priced per level, transfer included via the machine.
+    """
+    if not profiled:
+        raise TuningError("no profiled graphs supplied")
+    if not arch_pairs:
+        raise TuningError("no architecture pairs supplied")
+    if candidates is None:
+        candidates = candidate_mn_grid(1000, seed=seed)
+
+    out = TrainingSet()
+    for pg in profiled:
+        for arch_td, arch_bu in arch_pairs:
+            if arch_td.name == arch_bu.name:
+                model = CostModel(arch_td)
+                secs = evaluate_single(pg.profile, model, candidates)
+            else:
+                secs = _evaluate_pair(pg.profile, arch_td, arch_bu, candidates)
+            m, n = _plateau_center(candidates, secs)
+            sample = sample_from_features(pg.features, arch_td, arch_bu)
+            out.add(
+                sample,
+                m,
+                n,
+                tag=f"{pg.tag}|{arch_td.name}|{arch_bu.name}",
+            )
+    return out
+
+
+def _plateau_center(
+    candidates: np.ndarray, secs: np.ndarray, *, rel_tol: float = 0.02
+) -> tuple[float, float]:
+    """Geometric center of the near-optimal candidate region.
+
+    The (M, N) cost landscape is piecewise constant, so the raw argmin
+    is an arbitrary corner of the winning plateau; regressing on corners
+    injects plateau-width noise into the targets.  The log-space
+    centroid of every candidate within ``rel_tol`` of the optimum is the
+    stable representative (and itself achieves the optimum, being inside
+    the region for convex plateaus — the empirical case on R-MAT).
+    """
+    best = float(secs.min())
+    near = secs <= best * (1.0 + rel_tol)
+    logs = np.log(candidates[near])
+    center = np.exp(logs.mean(axis=0))
+    return float(center[0]), float(center[1])
+
+
+def _evaluate_pair(
+    profile: LevelProfile,
+    arch_td: ArchSpec,
+    arch_bu: ArchSpec,
+    candidates: np.ndarray,
+) -> np.ndarray:
+    """Price (M, N) candidates where top-down runs on ``arch_td`` and
+    bottom-up on ``arch_bu`` (with handoff transfers), vectorized."""
+    machine = SimulatedMachine({"td": arch_td, "bu": arch_bu})
+    mats = machine.time_matrices(profile)
+    td_times = mats["td"][:, 0]
+    bu_times = mats["bu"][:, 1]
+    fe = profile.frontier_edges()[None, :]
+    fv = profile.frontier_vertices()[None, :]
+    m = candidates[:, 0][:, None]
+    n = candidates[:, 1][:, None]
+    td_mask = (fe < profile.num_edges / m) & (fv < profile.num_vertices / n)
+    per_level = np.where(td_mask, td_times[None, :], bu_times[None, :])
+    # Handoff transfer whenever consecutive levels change device.
+    switches = td_mask[:, 1:] != td_mask[:, :-1]
+    xfer = np.array(
+        [
+            machine.transfer.handoff_seconds(
+                profile.num_vertices, rec.frontier_vertices
+            )
+            for rec in profile.records[1:]
+        ]
+    )
+    return per_level.sum(axis=1) + (switches * xfer[None, :]).sum(axis=1)

@@ -1,0 +1,75 @@
+"""Unit tests for BFS-based connected components."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps.components import connected_components
+from repro.errors import BFSError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import path, ring, rmat, star, two_cliques_bridge
+
+
+class TestKnownGraphs:
+    def test_single_component(self):
+        cc = connected_components(ring(12))
+        assert cc.num_components == 1
+        assert cc.sizes.tolist() == [12]
+        assert cc.giant_fraction() == 1.0
+
+    def test_two_cliques_joined(self):
+        cc = connected_components(two_cliques_bridge(4))
+        assert cc.num_components == 1
+
+    def test_disjoint_edges(self):
+        g = CSRGraph.from_edges([0, 2], [1, 3], 6)
+        cc = connected_components(g)
+        # {0,1}, {2,3}, {4}, {5}
+        assert cc.num_components == 4
+        assert sorted(cc.sizes.tolist()) == [1, 1, 2, 2]
+        assert cc.labels[0] == cc.labels[1]
+        assert cc.labels[0] != cc.labels[2]
+
+    def test_isolated_vertices_each_own(self):
+        cc = connected_components(CSRGraph.empty(5))
+        assert cc.num_components == 5
+
+    def test_empty_graph(self):
+        cc = connected_components(CSRGraph.empty(0))
+        assert cc.num_components == 0
+        with pytest.raises(BFSError):
+            cc.giant()
+
+    def test_star_and_path(self):
+        for g in (star(20), path(20)):
+            assert connected_components(g).num_components == 1
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx(self, seed):
+        g = rmat(10, 4, seed=seed)
+        cc = connected_components(g)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(g.num_vertices))
+        src, dst = g.edge_list()
+        nxg.add_edges_from(zip(src.tolist(), dst.tolist()))
+        want = list(nx.connected_components(nxg))
+        assert cc.num_components == len(want)
+        assert sorted(cc.sizes.tolist()) == sorted(len(c) for c in want)
+        # Same partition: vertices share labels iff they share components.
+        for comp in want:
+            labels = {int(cc.labels[v]) for v in comp}
+            assert len(labels) == 1
+
+    def test_labels_dense(self):
+        g = rmat(10, 4, seed=3)
+        cc = connected_components(g)
+        assert set(np.unique(cc.labels)) == set(range(cc.num_components))
+
+
+class TestValidation:
+    def test_directed_rejected(self):
+        g = CSRGraph.from_edges([0], [1], 2, symmetrize=False)
+        with pytest.raises(BFSError):
+            connected_components(g)

@@ -1,0 +1,144 @@
+"""Calibration tests: the model must reproduce Table IV's structure.
+
+These are the load-bearing tests of the whole reproduction: if they
+pass, every per-level "who wins" claim of the paper holds in the model,
+and the combination speedups fall in the right ranges.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.calibration import (
+    TABLE_IV_SECONDS,
+    TABLE_IV_SPEEDUPS,
+    check_calibration,
+    scale_profile,
+)
+from repro.bfs.trace import LevelProfile, LevelRecord
+from repro.errors import CalibrationError
+
+
+@pytest.fixture(scope="module")
+def paper_scale(medium_profile):
+    """Counters scaled from SCALE 13 to SCALE 23 (the Table IV graph)."""
+    return scale_profile(medium_profile, 2**10)
+
+
+class TestScaleProfile:
+    def test_scales_counts(self, small_profile):
+        big = scale_profile(small_profile, 4)
+        assert big.num_vertices == small_profile.num_vertices * 4
+        assert big.num_edges == small_profile.num_edges * 4
+        for a, b in zip(small_profile, big):
+            # Unvisited-side counters always scale; frontier-side only
+            # in the proportional middle (edges > threshold).
+            assert b.unvisited_edges == a.unvisited_edges * 4
+            assert b.bu_edges_checked == a.bu_edges_checked * 4
+            if a.frontier_edges > 256:
+                assert b.frontier_edges == a.frontier_edges * 4
+            else:
+                assert b.frontier_edges == a.frontier_edges
+            assert b.bu_edges_failed <= b.bu_edges_checked
+
+    def test_head_and_tail_keep_absolute_size(self, medium_profile):
+        big = scale_profile(medium_profile, 1024)
+        assert big[0].frontier_edges == medium_profile[0].frontier_edges
+        last = len(big) - 1
+        if medium_profile[last].frontier_edges <= 256:
+            assert (
+                big[last].frontier_edges
+                == medium_profile[last].frontier_edges
+            )
+
+    def test_depth_preserved(self, small_profile):
+        assert len(scale_profile(small_profile, 16)) == len(small_profile)
+
+    def test_identity(self, small_profile):
+        same = scale_profile(small_profile, 1)
+        assert same.frontier_edges().tolist() == (
+            small_profile.frontier_edges().tolist()
+        )
+
+    def test_invalid_factor(self, small_profile):
+        with pytest.raises(CalibrationError):
+            scale_profile(small_profile, 0)
+
+    def test_fractional_factor(self, small_profile):
+        half = scale_profile(small_profile, 0.5)
+        assert half.num_vertices == round(small_profile.num_vertices * 0.5)
+
+
+class TestTableIVData:
+    def test_all_approaches_present(self):
+        assert len(TABLE_IV_SECONDS) == 8
+        assert len(TABLE_IV_SPEEDUPS) == 8
+
+    def test_paper_totals_consistent(self):
+        """The transcribed per-level times must reproduce the paper's own
+        speedup row (sanity of our transcription)."""
+        totals = {k: sum(v) for k, v in TABLE_IV_SECONDS.items()}
+        base = totals["GPUTD"]
+        for name, speedup in TABLE_IV_SPEEDUPS.items():
+            assert base / totals[name] == pytest.approx(speedup, rel=0.05)
+
+
+class TestStructuralClaims:
+    def test_report_holds(self, paper_scale):
+        report = check_calibration(paper_scale)
+        assert report.structural_claims_hold(), report
+
+    def test_level1_gpu_bottomup_catastrophic(self, paper_scale):
+        report = check_calibration(paper_scale)
+        # Paper: 0.4389 / 0.0537 = 8.2x; accept a broad band.
+        assert 3.0 < report.level1_gpubu_over_cpubu < 25.0
+
+    def test_mid_level_orderings(self, paper_scale):
+        report = check_calibration(paper_scale)
+        assert 1.2 < report.mid_cputd_speedup_over_gputd < 8.0
+        assert 1.2 < report.mid_gpubu_speedup_over_cpubu < 10.0
+
+    def test_combination_speedups_in_band(self, paper_scale):
+        report = check_calibration(paper_scale)
+        # Paper: 16.5 GPUCB, 36.1 cross over GPUTD.  Accept the order of
+        # magnitude; the exact factor is workload-dependent.
+        assert 4.0 < report.gpucb_speedup_over_gputd < 80.0
+        assert 10.0 < report.cross_speedup_over_gputd < 200.0
+
+    def test_cross_beats_both_single_device(self, paper_scale):
+        report = check_calibration(paper_scale)
+        assert report.cross_speedup_over_gpucb > 1.0
+        assert report.cross_speedup_over_cpucb > 1.0
+
+    def test_shallow_profile_rejected(self):
+        shallow = LevelProfile(
+            source=0,
+            num_vertices=10,
+            num_edges=10,
+            records=tuple(
+                LevelRecord(
+                    level=i,
+                    frontier_vertices=1,
+                    frontier_edges=1,
+                    unvisited_vertices=1,
+                    unvisited_edges=1,
+                    bu_edges_checked=1,
+                    claimed=1,
+                )
+                for i in range(2)
+            ),
+        )
+        with pytest.raises(CalibrationError):
+            check_calibration(shallow)
+
+    def test_holds_across_seeds(self):
+        """The structure must not be an artifact of one graph."""
+        from repro.bfs.profiler import pick_sources, profile_bfs
+        from repro.graph.generators import rmat
+
+        for seed in (1, 2):
+            g = rmat(12, 16, seed=seed)
+            src = int(pick_sources(g, 1, seed=seed)[0])
+            profile, _ = profile_bfs(g, src)
+            big = scale_profile(profile, 2**11)
+            report = check_calibration(big)
+            assert report.structural_claims_hold(), (seed, report)

@@ -1,0 +1,136 @@
+"""Unit tests for the per-level cost model."""
+
+import pytest
+
+from repro.arch.costmodel import CostModel
+from repro.arch.specs import CPU_SANDY_BRIDGE, GPU_K20X, MIC_KNC
+from repro.bfs.result import Direction
+from repro.bfs.trace import LevelRecord
+from repro.errors import ArchError
+
+
+def rec(fv=100, fe=1000, uv=1000, ue=10000, chk=5000, claimed=50, fail=2000):
+    return LevelRecord(
+        level=0,
+        frontier_vertices=fv,
+        frontier_edges=fe,
+        unvisited_vertices=uv,
+        unvisited_edges=ue,
+        bu_edges_checked=chk,
+        claimed=claimed,
+        bu_edges_failed=fail,
+    )
+
+
+@pytest.fixture(scope="module")
+def cpu():
+    return CostModel(CPU_SANDY_BRIDGE)
+
+
+@pytest.fixture(scope="module")
+def gpu():
+    return CostModel(GPU_K20X)
+
+
+class TestTopDown:
+    def test_overhead_floor(self, cpu):
+        empty = rec(fv=1, fe=0)
+        cost = cpu.top_down_seconds(empty, 1 << 20)
+        assert cost.seconds >= CPU_SANDY_BRIDGE.td_overhead_s
+
+    def test_monotone_in_edges(self, cpu):
+        a = cpu.top_down_seconds(rec(fe=10_000_000), 1 << 23).seconds
+        b = cpu.top_down_seconds(rec(fe=20_000_000), 1 << 23).seconds
+        assert b > a
+
+    def test_efficiency_ramp(self, gpu):
+        """Sub-saturation frontiers pay the occupancy penalty."""
+        small = gpu.top_down_seconds(rec(fe=100_000), 1 << 23)
+        assert small.efficiency < 1.0
+        big = gpu.top_down_seconds(rec(fe=50_000_000), 1 << 23)
+        assert big.efficiency == 1.0
+
+    def test_efficiency_floor(self, gpu):
+        tiny = gpu.top_down_seconds(rec(fe=10), 1 << 23)
+        assert tiny.efficiency == GPU_K20X.td_efficiency_floor
+
+    def test_miss_rate_grows_with_graph(self, cpu):
+        small_graph = cpu.top_down_seconds(rec(fe=10_000_000), 1 << 18).seconds
+        big_graph = cpu.top_down_seconds(rec(fe=10_000_000), 1 << 24).seconds
+        assert big_graph > small_graph
+
+    def test_parent_miss_rate_bounds(self, cpu):
+        assert cpu.parent_miss_rate(0) == 0.0
+        assert 0.0 <= cpu.parent_miss_rate(1 << 30) <= 1.0
+        assert cpu.parent_miss_rate(1000) == 0.0  # fits in L3
+
+
+class TestBottomUp:
+    def test_overhead_floor(self, gpu):
+        empty = rec(fv=1, fe=0, uv=0, ue=0, chk=0, fail=0, claimed=0)
+        assert (
+            gpu.bottom_up_seconds(empty, 0).seconds
+            >= GPU_K20X.bu_overhead_s
+        )
+
+    def test_sweep_scales_with_vertices(self, cpu):
+        a = cpu.bottom_up_seconds(rec(), 1 << 20).seconds
+        b = cpu.bottom_up_seconds(rec(), 1 << 24).seconds
+        assert b > a
+
+    def test_fail_cheaper_than_win_on_cpu(self, cpu):
+        """CPU streams failed scans; successful probes are latency-bound."""
+        win = rec(chk=10_000_000, fail=0)
+        fail = rec(chk=10_000_000, fail=10_000_000)
+        assert (
+            cpu.bottom_up_seconds(fail, 1 << 20).seconds
+            < cpu.bottom_up_seconds(win, 1 << 20).seconds
+        )
+
+    def test_fail_expensive_on_gpu(self, gpu):
+        """GPU pays divergence on failed full-list scans."""
+        win = rec(chk=10_000_000, fail=0)
+        fail = rec(chk=10_000_000, fail=10_000_000)
+        assert (
+            gpu.bottom_up_seconds(fail, 1 << 20).seconds
+            > gpu.bottom_up_seconds(win, 1 << 20).seconds
+        )
+
+
+class TestDispatch:
+    def test_level_seconds_directions(self, cpu):
+        r = rec()
+        td = cpu.level_seconds(r, 1 << 20, Direction.TOP_DOWN)
+        bu = cpu.level_seconds(r, 1 << 20, Direction.BOTTOM_UP)
+        assert td == cpu.top_down_seconds(r, 1 << 20).seconds
+        assert bu == cpu.bottom_up_seconds(r, 1 << 20).seconds
+
+    def test_unknown_direction(self, cpu):
+        with pytest.raises(ArchError):
+            cpu.level_seconds(rec(), 1 << 20, "sideways")
+
+    def test_time_matrix_shape(self, cpu, small_profile):
+        m = cpu.time_matrix(small_profile)
+        assert m.shape == (len(small_profile), 2)
+        assert (m > 0).all()
+
+    def test_traversal_seconds(self, cpu, small_profile):
+        dirs = [Direction.TOP_DOWN] * len(small_profile)
+        total = cpu.traversal_seconds(small_profile, dirs)
+        m = cpu.time_matrix(small_profile)
+        assert total == pytest.approx(float(m[:, 0].sum()))
+
+    def test_traversal_plan_length_checked(self, cpu, small_profile):
+        with pytest.raises(ArchError):
+            cpu.traversal_seconds(small_profile, [Direction.TOP_DOWN])
+
+
+class TestCrossArchOrderings:
+    """The Table IV who-wins structure on a synthetic mid-level record."""
+
+    def test_mic_slowest_mid_level(self, medium_profile):
+        mid = medium_profile[medium_profile.peak_level()]
+        n = medium_profile.num_vertices
+        cpu_t = CostModel(CPU_SANDY_BRIDGE).bottom_up_seconds(mid, n).seconds
+        mic_t = CostModel(MIC_KNC).bottom_up_seconds(mid, n).seconds
+        assert mic_t > cpu_t

@@ -1,0 +1,112 @@
+"""Unit tests for the transfer model and simulated machine."""
+
+import numpy as np
+import pytest
+
+from repro.arch.machine import PlanStep, SimulatedMachine
+from repro.arch.specs import CPU_SANDY_BRIDGE, GPU_K20X
+from repro.arch.transfer import PCIE_GEN2, TransferModel
+from repro.bfs.result import Direction
+from repro.errors import ArchError, PlanError
+
+TD, BU = Direction.TOP_DOWN, Direction.BOTTOM_UP
+
+
+class TestTransferModel:
+    def test_seconds_formula(self):
+        t = TransferModel(latency_s=1e-5, bandwidth_gbs=8.0)
+        assert t.seconds(0) == pytest.approx(1e-5)
+        assert t.seconds(8_000_000_000) == pytest.approx(1.0 + 1e-5)
+
+    def test_handoff_payload(self):
+        t = PCIE_GEN2
+        base = t.handoff_seconds(8_000_000, 0)
+        with_frontier = t.handoff_seconds(8_000_000, 1_000_000)
+        assert with_frontier > base
+
+    def test_validation(self):
+        with pytest.raises(ArchError):
+            TransferModel(latency_s=-1, bandwidth_gbs=1)
+        with pytest.raises(ArchError):
+            TransferModel(latency_s=0, bandwidth_gbs=0)
+        with pytest.raises(ArchError):
+            PCIE_GEN2.seconds(-1)
+        with pytest.raises(ArchError):
+            PCIE_GEN2.handoff_seconds(-1, 0)
+
+
+class TestPlanStep:
+    def test_direction_validated(self):
+        with pytest.raises(PlanError):
+            PlanStep("cpu", "diagonal")
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return SimulatedMachine({"cpu": CPU_SANDY_BRIDGE, "gpu": GPU_K20X})
+
+
+class TestSimulatedMachine:
+    def test_needs_devices(self):
+        with pytest.raises(PlanError):
+            SimulatedMachine({})
+
+    def test_constant_plan(self, machine, small_profile):
+        plan = machine.constant_plan(
+            small_profile, "cpu", [TD] * len(small_profile)
+        )
+        assert all(s.device == "cpu" for s in plan)
+
+    def test_constant_plan_validation(self, machine, small_profile):
+        with pytest.raises(PlanError):
+            machine.constant_plan(small_profile, "tpu", [TD])
+        with pytest.raises(PlanError):
+            machine.constant_plan(small_profile, "cpu", [TD])
+
+    def test_run_totals(self, machine, small_profile):
+        plan = [PlanStep("cpu", TD)] * len(small_profile)
+        rep = machine.run(small_profile, plan)
+        assert rep.total_seconds == pytest.approx(
+            float(rep.level_seconds.sum() + rep.transfer_seconds.sum())
+        )
+        assert rep.transfer_seconds.sum() == 0  # single device
+
+    def test_run_charges_handoffs(self, machine, small_profile):
+        depth = len(small_profile)
+        plan = [
+            PlanStep("cpu" if i % 2 == 0 else "gpu", TD) for i in range(depth)
+        ]
+        rep = machine.run(small_profile, plan)
+        assert (rep.transfer_seconds[1:] > 0).all()
+        assert rep.transfer_seconds[0] == 0  # no transfer into level 1
+
+    def test_run_length_checked(self, machine, small_profile):
+        with pytest.raises(PlanError):
+            machine.run(small_profile, [PlanStep("cpu", TD)])
+
+    def test_unknown_device_in_plan(self, machine, small_profile):
+        plan = [PlanStep("tpu", TD)] * len(small_profile)
+        with pytest.raises(PlanError):
+            machine.run(small_profile, plan)
+
+    def test_teps_and_gteps(self, machine, small_profile):
+        plan = [PlanStep("gpu", BU)] * len(small_profile)
+        rep = machine.run(small_profile, plan)
+        assert rep.teps > 0
+        assert rep.gteps == pytest.approx(rep.teps / 1e9)
+
+    def test_traversed_edges_override(self, machine, small_profile):
+        plan = [PlanStep("cpu", TD)] * len(small_profile)
+        rep = machine.run(small_profile, plan, traversed_edges=123)
+        assert rep.traversed_edges == 123
+
+    def test_per_level_rows(self, machine, small_profile):
+        plan = [PlanStep("cpu", TD)] * len(small_profile)
+        rows = machine.run(small_profile, plan).per_level()
+        assert rows[0]["level"] == 1  # paper numbering
+        assert {"device", "direction", "seconds"} <= set(rows[0])
+
+    def test_time_matrices(self, machine, small_profile):
+        mats = machine.time_matrices(small_profile)
+        assert set(mats) == {"cpu", "gpu"}
+        assert mats["cpu"].shape == (len(small_profile), 2)

@@ -1,0 +1,56 @@
+"""Unit tests for the roofline (RCMA/RCMB) analysis."""
+
+import pytest
+
+from repro.arch.roofline import analyze, rcma_spmv, rcmb
+from repro.arch.specs import CPU_SANDY_BRIDGE, GPU_K20X, MIC_KNC
+from repro.errors import ArchError
+
+
+class TestRCMA:
+    def test_tends_to_half(self):
+        assert rcma_spmv(1 << 22) == pytest.approx(0.5, abs=1e-5)
+
+    def test_small_n(self):
+        # n=1: 1 flop over 8 bytes.
+        assert rcma_spmv(1) == pytest.approx(1 / 8)
+
+    def test_element_size(self):
+        assert rcma_spmv(1 << 20, element_bytes=8) == pytest.approx(
+            0.25, abs=1e-4
+        )
+
+
+class TestRCMB:
+    def test_sp_dp_dispatch(self):
+        assert rcmb(CPU_SANDY_BRIDGE, precision="sp") == pytest.approx(
+            7.52, abs=0.05
+        )
+        assert rcmb(CPU_SANDY_BRIDGE, precision="dp") == pytest.approx(
+            3.76, abs=0.05
+        )
+
+    def test_unknown_precision(self):
+        with pytest.raises(ArchError):
+            rcmb(CPU_SANDY_BRIDGE, precision="half")
+
+
+class TestAnalyze:
+    def test_memory_bound_everywhere(self):
+        """Section III-B: RCMA << RCMB on all three platforms."""
+        for spec in (CPU_SANDY_BRIDGE, GPU_K20X, MIC_KNC):
+            point = analyze(spec)
+            assert point.memory_bound
+            assert point.bandwidth_gap > 10
+
+    def test_gpu_has_largest_gap(self):
+        gaps = {
+            s.name: analyze(s).bandwidth_gap
+            for s in (CPU_SANDY_BRIDGE, GPU_K20X, MIC_KNC)
+        }
+        assert gaps["gpu-k20x"] == max(gaps.values())
+
+    def test_as_dict(self):
+        d = analyze(CPU_SANDY_BRIDGE).as_dict()
+        assert d["arch"] == "cpu-snb"
+        assert d["memory_bound"] is True

@@ -1,0 +1,136 @@
+"""Unit tests for architecture specifications."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.arch.specs import (
+    CPU_SANDY_BRIDGE,
+    GPU_K20X,
+    MIC_KNC,
+    PRESETS,
+    ArchSpec,
+    arch_features,
+    sample_arch,
+)
+from repro.errors import ArchError
+
+
+class TestTableII:
+    """Catalog fields must match the paper's Table II verbatim."""
+
+    def test_cpu(self):
+        s = CPU_SANDY_BRIDGE
+        assert (s.freq_ghz, s.cores) == (2.00, 8)
+        assert (s.peak_sp_gflops, s.peak_dp_gflops) == (256.0, 128.0)
+        assert (s.l1_kb, s.l2_kb, s.l3_mb) == (32.0, 256.0, 20.0)
+        assert (s.theoretical_bw_gbs, s.measured_bw_gbs) == (51.2, 34.0)
+
+    def test_gpu(self):
+        s = GPU_K20X
+        assert (s.freq_ghz, s.cores) == (0.73, 2496)
+        assert (s.peak_sp_gflops, s.peak_dp_gflops) == (3950.0, 1320.0)
+        assert (s.l1_kb, s.l2_kb, s.l3_mb) == (64.0, 1536.0, 0.0)
+        assert (s.theoretical_bw_gbs, s.measured_bw_gbs) == (250.0, 188.0)
+
+    def test_mic(self):
+        s = MIC_KNC
+        assert (s.freq_ghz, s.cores) == (1.09, 61)
+        assert (s.peak_sp_gflops, s.peak_dp_gflops) == (2020.0, 1010.0)
+        assert (s.theoretical_bw_gbs, s.measured_bw_gbs) == (352.0, 159.0)
+
+    def test_rcmb_matches_table(self):
+        assert CPU_SANDY_BRIDGE.rcmb_sp == pytest.approx(7.52, abs=0.05)
+        assert MIC_KNC.rcmb_sp == pytest.approx(12.70, abs=0.05)
+        assert GPU_K20X.rcmb_sp == pytest.approx(21.01, abs=0.05)
+        assert CPU_SANDY_BRIDGE.rcmb_dp == pytest.approx(3.76, abs=0.05)
+        assert MIC_KNC.rcmb_dp == pytest.approx(6.35, abs=0.05)
+        assert GPU_K20X.rcmb_dp == pytest.approx(7.02, abs=0.05)
+
+    def test_presets_dict(self):
+        assert set(PRESETS) == {"cpu", "gpu", "mic"}
+
+
+class TestValidation:
+    def test_positive_fields(self):
+        with pytest.raises(ArchError):
+            dataclasses.replace(CPU_SANDY_BRIDGE, freq_ghz=0)
+
+    def test_ooo_range(self):
+        with pytest.raises(ArchError):
+            dataclasses.replace(CPU_SANDY_BRIDGE, ooo_factor=1.5)
+
+    def test_efficiency_floor_range(self):
+        with pytest.raises(ArchError):
+            dataclasses.replace(CPU_SANDY_BRIDGE, td_efficiency_floor=0)
+
+    def test_measured_below_theoretical(self):
+        with pytest.raises(ArchError):
+            dataclasses.replace(CPU_SANDY_BRIDGE, measured_bw_gbs=100.0)
+
+
+class TestDerived:
+    def test_compute_rate_mic_penalty(self):
+        """Section V-C: the serial MIC core is ~20x weaker than the CPU
+        core; per-core compute rates must reflect that."""
+        cpu_core = CPU_SANDY_BRIDGE.compute_rate_gops / CPU_SANDY_BRIDGE.cores
+        mic_core = MIC_KNC.compute_rate_gops / MIC_KNC.cores
+        assert 10 < cpu_core / mic_core < 45
+
+    def test_cache_capacity(self):
+        assert CPU_SANDY_BRIDGE.cache_capacity_bytes() == 20e6
+        assert GPU_K20X.cache_capacity_bytes() == pytest.approx(1536e3)
+        assert MIC_KNC.cache_capacity_bytes() < 10e6
+
+    def test_with_cores_scaling(self):
+        half = CPU_SANDY_BRIDGE.with_cores(4)
+        assert half.cores == 4
+        assert half.peak_sp_gflops == pytest.approx(128.0)
+        assert half.measured_bw_gbs < CPU_SANDY_BRIDGE.measured_bw_gbs
+        assert half.td_overhead_s < CPU_SANDY_BRIDGE.td_overhead_s
+
+    def test_with_cores_reference_identity(self):
+        same = CPU_SANDY_BRIDGE.with_cores(8)
+        assert same.measured_bw_gbs == pytest.approx(34.0)
+        assert same.td_overhead_s == pytest.approx(
+            CPU_SANDY_BRIDGE.td_overhead_s
+        )
+
+    def test_with_cores_bandwidth_saturates(self):
+        many = CPU_SANDY_BRIDGE.with_cores(64)
+        assert many.measured_bw_gbs <= CPU_SANDY_BRIDGE.theoretical_bw_gbs
+
+    def test_with_cores_invalid(self):
+        with pytest.raises(ArchError):
+            CPU_SANDY_BRIDGE.with_cores(0)
+
+
+class TestFeatures:
+    def test_layout_matches_fig7(self):
+        f = arch_features(GPU_K20X)
+        assert f.tolist() == [3950.0, 64.0, 188.0]
+
+
+class TestSampleArch:
+    def test_valid_and_deterministic(self):
+        a = sample_arch(np.random.default_rng(0))
+        b = sample_arch(np.random.default_rng(0))
+        assert a.measured_bw_gbs == b.measured_bw_gbs
+        assert a.cores >= 1
+
+    def test_within_preset_envelope(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            s = sample_arch(rng, jitter=0.1)
+            assert 0.3 < s.freq_ghz < 5.0
+            assert 10 < s.measured_bw_gbs < 400
+            assert s.measured_bw_gbs <= s.theoretical_bw_gbs
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ArchError):
+            sample_arch(np.random.default_rng(0), jitter=-1)
+
+    def test_custom_name(self):
+        s = sample_arch(np.random.default_rng(0), name="mybox")
+        assert s.name == "mybox"

@@ -1,0 +1,139 @@
+"""Unit tests for experiment-module internals that carry logic."""
+
+import numpy as np
+import pytest
+
+from repro.arch.machine import SimulatedMachine
+from repro.arch.specs import CPU_SANDY_BRIDGE, GPU_K20X
+from repro.bench.experiments._shared import (
+    corpus_arch_pairs,
+    scaled_graph_features,
+)
+from repro.bench.experiments.table4_step_by_step import build_approaches
+from repro.bench.runner import BenchConfig
+from repro.bench.workloads import WorkloadSpec
+from repro.tuning.training import _plateau_center
+
+
+class TestPlateauCenter:
+    def test_single_minimum(self):
+        cands = np.array([[1.0, 1.0], [10.0, 10.0], [100.0, 100.0]])
+        secs = np.array([5.0, 1.0, 5.0])
+        m, n = _plateau_center(cands, secs)
+        assert m == pytest.approx(10.0)
+        assert n == pytest.approx(10.0)
+
+    def test_plateau_centroid(self):
+        cands = np.array(
+            [[1.0, 1.0], [4.0, 16.0], [16.0, 4.0], [1000.0, 1.0]]
+        )
+        secs = np.array([9.0, 1.0, 1.0, 9.0])
+        m, n = _plateau_center(cands, secs)
+        # Log-space centroid of the two winners.
+        assert m == pytest.approx(8.0)
+        assert n == pytest.approx(8.0)
+
+    def test_tolerance_widens_region(self):
+        cands = np.array([[1.0, 1.0], [100.0, 100.0]])
+        secs = np.array([1.0, 1.005])
+        m, _ = _plateau_center(cands, secs, rel_tol=0.02)
+        assert 1.0 < m < 100.0  # both inside the 2% band
+
+    def test_center_achieves_optimum_on_real_profile(self, medium_profile):
+        from repro.arch.costmodel import CostModel
+        from repro.tuning.search import candidate_mn_grid, evaluate_single
+
+        model = CostModel(CPU_SANDY_BRIDGE)
+        cands = candidate_mn_grid(500, seed=3)
+        secs = evaluate_single(medium_profile, model, cands)
+        m, n = _plateau_center(cands, secs)
+        achieved = float(
+            evaluate_single(medium_profile, model, np.array([[m, n]]))[0]
+        )
+        assert achieved <= float(secs.min()) * 1.05
+
+
+class TestBuildApproaches:
+    @pytest.fixture(scope="class")
+    def setup(self, medium_profile):
+        from repro.arch.calibration import scale_profile
+
+        machine = SimulatedMachine(
+            {"cpu": CPU_SANDY_BRIDGE, "gpu": GPU_K20X}
+        )
+        profile = scale_profile(medium_profile, 2**10)
+        return machine, profile, build_approaches(machine, profile)
+
+    def test_eight_approaches(self, setup):
+        _, _, plans = setup
+        assert set(plans) == {
+            "GPUTD",
+            "GPUBU",
+            "GPUCB",
+            "CPUTD",
+            "CPUBU",
+            "CPUCB",
+            "CPUTD+GPUBU",
+            "CPUTD+GPUCB",
+        }
+
+    def test_handoff_is_optimal(self, setup):
+        """No other handoff level beats the one build_approaches picks."""
+        machine, profile, plans = setup
+        from repro.arch.machine import PlanStep
+        from repro.bfs.result import Direction
+
+        best = machine.run(profile, plans["CPUTD+GPUCB"]).total_seconds
+        gpu_cb = plans["GPUCB"]
+        depth = len(profile)
+        for h in range(depth + 1):
+            plan = [
+                PlanStep("cpu", Direction.TOP_DOWN) if i < h else gpu_cb[i]
+                for i in range(depth)
+            ]
+            alt = machine.run(profile, plan).total_seconds
+            # Allow the transfer charge: build_approaches optimizes the
+            # kernel-time sum; the single handoff transfer is tiny.
+            assert best <= alt + 2 * machine.transfer.handoff_seconds(
+                profile.num_vertices, 10**6
+            )
+
+    def test_cross_never_loses_to_gpucb_by_more_than_transfer(self, setup):
+        machine, profile, plans = setup
+        cross = machine.run(profile, plans["CPUTD+GPUCB"]).total_seconds
+        gpucb = machine.run(profile, plans["GPUCB"]).total_seconds
+        slack = machine.transfer.handoff_seconds(profile.num_vertices, 10**6)
+        assert cross <= gpucb + slack
+
+    def test_combination_plans_match_per_level_min(self, setup):
+        machine, profile, plans = setup
+        mats = machine.time_matrices(profile)
+        from repro.bfs.result import Direction
+
+        for dev, name in (("gpu", "GPUCB"), ("cpu", "CPUCB")):
+            t = mats[dev]
+            for i, step in enumerate(plans[name]):
+                want = (
+                    Direction.TOP_DOWN
+                    if t[i, 0] <= t[i, 1]
+                    else Direction.BOTTOM_UP
+                )
+                assert step.direction == want
+
+
+class TestSharedHelpers:
+    def test_scaled_graph_features(self):
+        config = BenchConfig(base_scale=10, seeds=(0,))
+        spec = WorkloadSpec(scale=10, edgefactor=8, seed=0)
+        base = scaled_graph_features(config, spec, 10)
+        scaled = scaled_graph_features(config, spec, 13)
+        assert scaled[0] == pytest.approx(base[0] * 8)
+        assert scaled[1] == pytest.approx(base[1] * 8)
+        assert np.array_equal(scaled[2:], base[2:])  # A-D unchanged
+
+    def test_corpus_arch_pairs_structure(self):
+        pairs = corpus_arch_pairs(synthetic=3, seed=1)
+        names = [(a.name, b.name) for a, b in pairs]
+        assert ("cpu-snb", "gpu-k20x") in names
+        assert sum(a == b for a, b in names) == len(pairs) - 1
+        assert len(pairs) == 4 + 3

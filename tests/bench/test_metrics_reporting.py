@@ -1,0 +1,87 @@
+"""Unit tests for bench metrics and reporting."""
+
+import pytest
+
+from repro.bench.metrics import (
+    geometric_mean,
+    gteps,
+    harmonic_mean,
+    speedup,
+    teps,
+)
+from repro.bench.reporting import (
+    format_table,
+    format_value,
+    load_rows,
+    save_rows,
+)
+from repro.errors import BenchError
+
+
+class TestMetrics:
+    def test_teps(self):
+        assert teps(1000, 2.0) == 500.0
+        assert gteps(2_000_000_000, 1.0) == 2.0
+
+    def test_teps_validation(self):
+        with pytest.raises(BenchError):
+            teps(100, 0)
+        with pytest.raises(BenchError):
+            teps(-1, 1)
+
+    def test_speedup(self):
+        assert speedup(2.0, 1.0) == 2.0
+        with pytest.raises(BenchError):
+            speedup(0, 1)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        with pytest.raises(BenchError):
+            geometric_mean([])
+        with pytest.raises(BenchError):
+            geometric_mean([1, -1])
+
+    def test_harmonic_mean(self):
+        assert harmonic_mean([1, 1]) == pytest.approx(1.0)
+        assert harmonic_mean([2, 6]) == pytest.approx(3.0)
+        with pytest.raises(BenchError):
+            harmonic_mean([0.0])
+
+
+class TestFormatting:
+    def test_format_value(self):
+        assert format_value(0.0) == "0"
+        assert format_value(True) == "True"
+        assert format_value("x") == "x"
+        assert "e" in format_value(1.2e-9)
+        assert format_value(3.14159, precision=3) == "3.14"
+
+    def test_format_table(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}]
+        out = format_table(rows, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_column_subset(self):
+        rows = [{"a": 1, "b": 2}]
+        out = format_table(rows, columns=["b"])
+        assert "a" not in out
+
+    def test_format_table_missing_column(self):
+        with pytest.raises(BenchError):
+            format_table([{"a": 1}], columns=["z"])
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="X")
+
+    def test_save_load_rows(self, tmp_path):
+        rows = [{"x": 1.5, "name": "r"}]
+        path = tmp_path / "out" / "rows.json"
+        save_rows(rows, path, meta={"k": "v"})
+        assert load_rows(path) == rows
+
+    def test_load_rows_missing(self, tmp_path):
+        with pytest.raises(BenchError):
+            load_rows(tmp_path / "nope.json")

@@ -1,0 +1,64 @@
+"""Fidelity check of the paper-scale substitution.
+
+``scale_profile`` replaces generating a graph ``2**k`` times larger.
+These tests verify the substitution against the real thing: profile the
+same R-MAT family at two scales and check the scaled-up small profile
+predicts the measured larger profile's structure (depth, peak location,
+counter magnitudes within a factor).
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.calibration import scale_profile
+from repro.bfs.profiler import pick_sources, profile_bfs
+from repro.graph.generators import rmat
+
+
+@pytest.fixture(scope="module")
+def two_scales():
+    profiles = {}
+    for scale in (11, 14):
+        g = rmat(scale, 16, seed=31)
+        src = int(pick_sources(g, 1, seed=4)[0])
+        profiles[scale], _ = profile_bfs(g, src)
+    return profiles
+
+
+class TestScaleInvariance:
+    def test_depth_stable(self, two_scales):
+        assert abs(len(two_scales[11]) - len(two_scales[14])) <= 2
+
+    def test_peak_position_stable(self, two_scales):
+        assert abs(
+            two_scales[11].peak_level() - two_scales[14].peak_level()
+        ) <= 1
+
+    def test_scaled_counters_within_factor(self, two_scales):
+        """Middle-level counters of the scaled-up SCALE-11 profile must
+        be within ~4x of the measured SCALE-14 profile."""
+        small, big = two_scales[11], two_scales[14]
+        predicted = scale_profile(small, 2 ** 3)
+        depth = min(len(predicted), len(big))
+        mid_levels = range(1, depth - 1)
+        for i in mid_levels:
+            a = predicted[i].bu_edges_checked
+            b = big[i].bu_edges_checked
+            if min(a, b) > 1000:  # only meaningful for substantial levels
+                assert 0.2 < a / b < 5.0, (i, a, b)
+
+    def test_unvisited_mass_matches(self, two_scales):
+        small, big = two_scales[11], two_scales[14]
+        predicted = scale_profile(small, 2 ** 3)
+        a = predicted[0].unvisited_edges
+        b = big[0].unvisited_edges
+        assert 0.5 < a / b < 2.0
+
+    def test_peak_share_of_edges_stable(self, two_scales):
+        """The fraction of |E| concentrated at the peak level is the
+        scale-free quantity the switching rule keys on."""
+        shares = {}
+        for scale, profile in two_scales.items():
+            fe = profile.frontier_edges()
+            shares[scale] = fe.max() / (2 * profile.num_edges)
+        assert abs(shares[11] - shares[14]) < 0.3

@@ -1,0 +1,107 @@
+"""Unit tests for workload caching and the experiment runner."""
+
+import pytest
+
+from repro.bench.runner import BenchConfig, ExperimentResult
+from repro.bench.workloads import (
+    PAPER_SUITE,
+    TABLE5_GRAPHS,
+    WorkloadSpec,
+    get_graph,
+    get_profile,
+    paper_scale_profile,
+)
+from repro.errors import BenchError
+
+
+class TestWorkloadSpec:
+    def test_key_stable_and_distinct(self):
+        a = WorkloadSpec(scale=10, edgefactor=16, seed=0)
+        b = WorkloadSpec(scale=10, edgefactor=16, seed=0)
+        c = WorkloadSpec(scale=10, edgefactor=16, seed=1)
+        assert a.key() == b.key()
+        assert a.key() != c.key()
+
+    def test_label(self):
+        assert WorkloadSpec(12, 8).label() == "scale=12 ef=8"
+
+    def test_validation(self):
+        with pytest.raises(BenchError):
+            WorkloadSpec(scale=0)
+        with pytest.raises(BenchError):
+            WorkloadSpec(scale=10, edgefactor=0)
+
+
+class TestProfileCache:
+    def test_cache_hit(self, tmp_path):
+        spec = WorkloadSpec(scale=9, edgefactor=8, seed=1)
+        p1 = get_profile(spec, cache_dir=tmp_path)
+        files = list(tmp_path.glob("profile-*.json"))
+        assert len(files) == 1
+        mtime = files[0].stat().st_mtime_ns
+        p2 = get_profile(spec, cache_dir=tmp_path)
+        assert files[0].stat().st_mtime_ns == mtime  # not regenerated
+        assert p1 == p2
+
+    def test_graph_regeneration_deterministic(self):
+        spec = WorkloadSpec(scale=9, edgefactor=8, seed=2)
+        import numpy as np
+
+        a, b = get_graph(spec), get_graph(spec)
+        assert np.array_equal(a.targets, b.targets)
+
+    def test_paper_scale(self, tmp_path):
+        spec = WorkloadSpec(scale=9, edgefactor=8, seed=3)
+        big = paper_scale_profile(spec, 13, cache_dir=tmp_path)
+        assert big.num_vertices == 16 * (1 << 9)
+
+    def test_paper_scale_below_measured(self, tmp_path):
+        spec = WorkloadSpec(scale=9, edgefactor=8, seed=3)
+        with pytest.raises(BenchError):
+            paper_scale_profile(spec, 8, cache_dir=tmp_path)
+
+    def test_suites(self):
+        assert len(PAPER_SUITE) == 9
+        assert len(TABLE5_GRAPHS) == 7
+        # Table V sizes: |E| = ef * 2^(scale-20) million matches paper list.
+        sizes = [
+            (2 ** (s - 20), ef * 2 ** (s - 20)) for s, ef in TABLE5_GRAPHS
+        ]
+        assert (2, 32) in sizes and (8, 128) in sizes
+
+
+class TestBenchConfig:
+    def test_defaults(self):
+        c = BenchConfig()
+        assert c.base_scale == 15
+        assert c.candidate_count == 1000
+
+    def test_validation(self):
+        with pytest.raises(BenchError):
+            BenchConfig(base_scale=4)
+        with pytest.raises(BenchError):
+            BenchConfig(seeds=())
+        with pytest.raises(BenchError):
+            BenchConfig(candidate_count=1)
+
+
+class TestExperimentResult:
+    def test_render_and_save(self, tmp_path):
+        res = ExperimentResult(
+            name="demo",
+            title="Demo",
+            rows=[{"a": 1.0}],
+            notes=["hello"],
+        )
+        out = res.render()
+        assert "Demo" in out and "note: hello" in out
+        path = res.save(tmp_path)
+        assert path.exists()
+
+    def test_column(self):
+        res = ExperimentResult(
+            name="demo", title="t", rows=[{"a": 1}, {"a": 2}]
+        )
+        assert res.column("a") == [1, 2]
+        with pytest.raises(BenchError):
+            res.column("b")

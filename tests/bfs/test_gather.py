@@ -1,0 +1,74 @@
+"""Unit tests for the shared CSR gather primitives."""
+
+import numpy as np
+import pytest
+
+from repro.bfs._gather import expand_rows, segment_first_true
+from repro.graph.csr import CSRGraph
+
+
+@pytest.fixture()
+def small():
+    # 0: [1,2]; 1: [0]; 2: [0]; 3: []
+    return CSRGraph.from_edges([0, 0], [1, 2], 4)
+
+
+class TestExpandRows:
+    def test_basic(self, small):
+        nbrs, owners, seg = expand_rows(small, np.array([0, 3, 1]))
+        assert nbrs.tolist() == [1, 2, 0]
+        assert owners.tolist() == [0, 0, 1]
+        assert seg.tolist() == [0, 2, 2, 3]
+
+    def test_empty_vertex_set(self, small):
+        nbrs, owners, seg = expand_rows(small, np.array([], dtype=np.int64))
+        assert nbrs.size == 0 and owners.size == 0
+        assert seg.tolist() == [0]
+
+    def test_all_empty_rows(self, small):
+        nbrs, owners, seg = expand_rows(small, np.array([3, 3]))
+        assert nbrs.size == 0
+        assert seg.tolist() == [0, 0, 0]
+
+    def test_matches_naive(self, rmat_small, rng):
+        verts = rng.choice(rmat_small.num_vertices, 50, replace=False)
+        nbrs, owners, seg = expand_rows(rmat_small, verts)
+        naive = np.concatenate(
+            [rmat_small.neighbors(v) for v in verts]
+        ) if len(verts) else np.array([])
+        assert np.array_equal(nbrs, naive)
+        assert seg[-1] == naive.size
+
+
+class TestSegmentFirstTrue:
+    def test_basic(self):
+        flags = np.array([False, True, True, False, False, True])
+        seg = np.array([0, 3, 5, 6])
+        first = segment_first_true(flags, seg)
+        assert first.tolist() == [1, -1, 5]
+
+    def test_empty_segments(self):
+        flags = np.array([True])
+        seg = np.array([0, 0, 1, 1])
+        assert segment_first_true(flags, seg).tolist() == [-1, 0, -1]
+
+    def test_all_false(self):
+        flags = np.zeros(5, dtype=bool)
+        seg = np.array([0, 2, 5])
+        assert segment_first_true(flags, seg).tolist() == [-1, -1]
+
+    def test_no_segments(self):
+        assert segment_first_true(np.zeros(0, dtype=bool), np.array([0])).size == 0
+
+    def test_matches_naive(self, rng):
+        for _ in range(20):
+            n_seg = int(rng.integers(1, 10))
+            lens = rng.integers(0, 6, n_seg)
+            seg = np.zeros(n_seg + 1, dtype=np.int64)
+            np.cumsum(lens, out=seg[1:])
+            flags = rng.random(int(seg[-1])) < 0.3
+            got = segment_first_true(flags, seg)
+            for k in range(n_seg):
+                chunk = flags[seg[k] : seg[k + 1]]
+                want = int(np.argmax(chunk)) + seg[k] if chunk.any() else -1
+                assert got[k] == want

@@ -1,0 +1,176 @@
+"""Unit tests for BFSResult and the level-trace containers."""
+
+import numpy as np
+import pytest
+
+from repro.bfs.reference import bfs_reference
+from repro.bfs.result import BFSResult, Direction
+from repro.bfs.trace import LevelProfile, LevelRecord, merge_mean
+from repro.errors import BFSError
+from repro.graph.generators import star
+
+
+def make_record(level=0, **over):
+    base = dict(
+        level=level,
+        frontier_vertices=1,
+        frontier_edges=2,
+        unvisited_vertices=3,
+        unvisited_edges=4,
+        bu_edges_checked=4,
+        claimed=1,
+        bu_edges_failed=2,
+    )
+    base.update(over)
+    return LevelRecord(**base)
+
+
+class TestBFSResult:
+    def test_num_levels_and_reached(self):
+        g = star(5)
+        res = bfs_reference(g, 0)
+        assert res.num_levels == 2
+        assert res.num_reached == 5
+
+    def test_empty_levels(self):
+        res = BFSResult(
+            source=0,
+            parent=np.array([-1]),
+            level=np.array([-1]),
+        )
+        assert res.num_levels == 0
+        assert res.frontier_sizes().size == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(BFSError):
+            BFSResult(source=0, parent=np.zeros(2), level=np.zeros(3))
+
+    def test_traversed_edges_component_only(self):
+        from repro.graph.csr import CSRGraph
+
+        g = CSRGraph.from_edges([0, 2], [1, 3], 4)
+        res = bfs_reference(g, 0)
+        assert res.traversed_edges(g) == 1  # only edge 0-1
+
+    def test_teps(self):
+        g = star(5)
+        res = bfs_reference(g, 0)
+        assert res.teps(g, 2.0) == pytest.approx(res.traversed_edges(g) / 2)
+        with pytest.raises(BFSError):
+            res.teps(g, 0.0)
+
+    def test_frontier_sizes(self):
+        g = star(5)
+        res = bfs_reference(g, 0)
+        assert res.frontier_sizes().tolist() == [1, 4]
+
+    def test_same_reachability(self):
+        g = star(5)
+        a = bfs_reference(g, 0)
+        b = bfs_reference(g, 0)
+        assert a.same_reachability(b)
+
+    def test_direction_constants(self):
+        assert set(Direction.ALL) == {"td", "bu"}
+
+
+class TestLevelRecord:
+    def test_negative_rejected(self):
+        with pytest.raises(BFSError):
+            make_record(frontier_vertices=-1)
+
+    def test_failed_bounded_by_checked(self):
+        with pytest.raises(BFSError):
+            make_record(bu_edges_checked=3, bu_edges_failed=4)
+
+    def test_bu_edges_won(self):
+        rec = make_record(bu_edges_checked=10, bu_edges_failed=3)
+        assert rec.bu_edges_won == 7
+
+
+class TestLevelProfile:
+    def make_profile(self, n=3):
+        return LevelProfile(
+            source=0,
+            num_vertices=100,
+            num_edges=400,
+            records=tuple(make_record(level=i) for i in range(n)),
+        )
+
+    def test_contiguity_enforced(self):
+        with pytest.raises(BFSError):
+            LevelProfile(
+                source=0,
+                num_vertices=10,
+                num_edges=10,
+                records=(make_record(level=1),),
+            )
+
+    def test_views(self):
+        p = self.make_profile()
+        assert len(p) == 3
+        assert p[1].level == 1
+        assert [r.level for r in p] == [0, 1, 2]
+        assert p.frontier_vertices().shape == (3,)
+        assert p.frontier_edges().shape == (3,)
+        assert p.bu_edges_checked().shape == (3,)
+        assert p.unvisited_vertices().shape == (3,)
+
+    def test_total_reached(self):
+        p = self.make_profile()
+        assert p.total_reached() == 4  # 3 claims + source
+
+    def test_peak_level_empty(self):
+        p = LevelProfile(source=0, num_vertices=1, num_edges=0, records=())
+        with pytest.raises(BFSError):
+            p.peak_level()
+
+    def test_json_roundtrip(self):
+        p = self.make_profile()
+        q = LevelProfile.from_json(p.to_json())
+        assert q == p
+
+    def test_save_load(self, tmp_path):
+        p = self.make_profile()
+        path = tmp_path / "p.json"
+        p.save(path)
+        assert LevelProfile.load(path) == p
+
+    def test_real_profile_invariants(self, small_profile):
+        """Measured profiles obey conservation laws."""
+        p = small_profile
+        fv = p.frontier_vertices()
+        claimed = np.array([r.claimed for r in p])
+        # Next level's frontier == this level's claims.
+        assert np.array_equal(fv[1:], claimed[:-1])
+        # Unvisited shrinks by exactly the claims.
+        uv = p.unvisited_vertices()
+        assert np.array_equal(uv[:-1] - claimed[:-1], uv[1:])
+        # Bottom-up checks bounded by unvisited edge mass.
+        for r in p:
+            assert r.bu_edges_checked <= r.unvisited_edges
+            assert r.bu_edges_failed <= r.bu_edges_checked
+
+
+class TestMergeMean:
+    def test_empty(self):
+        assert merge_mean([]) == []
+
+    def test_alignment(self):
+        a = LevelProfile(
+            source=0,
+            num_vertices=10,
+            num_edges=10,
+            records=(make_record(0), make_record(1)),
+        )
+        b = LevelProfile(
+            source=1,
+            num_vertices=10,
+            num_edges=10,
+            records=(make_record(0, frontier_vertices=3),),
+        )
+        merged = merge_mean([a, b])
+        assert len(merged) == 2
+        assert merged[0]["frontier_vertices"] == pytest.approx(2.0)
+        assert merged[0]["samples"] == 2
+        assert merged[1]["samples"] == 1

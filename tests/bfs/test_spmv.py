@@ -1,0 +1,58 @@
+"""Unit tests for the SpMV formulation of BFS."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.bfs.spmv import adjacency_matrix, bfs_spmv, spmv_bytes, spmv_flops
+from repro.errors import BFSError
+from repro.graph.generators import ring, star
+
+
+class TestAdjacencyMatrix:
+    def test_structure(self, rmat_small):
+        A = adjacency_matrix(rmat_small)
+        assert isinstance(A, sp.csr_matrix)
+        assert A.shape == (1024, 1024)
+        assert A.nnz == rmat_small.num_directed_edges
+
+    def test_symmetric_graph_symmetric_matrix(self, rmat_small):
+        A = adjacency_matrix(rmat_small)
+        assert (A != A.T).nnz == 0
+
+    def test_spmv_frontier_semantics(self):
+        """y = A x marks exactly the neighbours of the frontier."""
+        g = star(5)
+        A = adjacency_matrix(g).T
+        x = np.zeros(5, dtype=np.int8)
+        x[0] = 1  # hub
+        y = A @ x
+        assert (y[1:] > 0).all()
+
+
+class TestFlopsBytes:
+    def test_paper_rcma_value(self):
+        """RCMA -> 0.5 for 4-byte elements (Section III-B)."""
+        n = 1 << 20
+        assert spmv_flops(n) / spmv_bytes(n) == pytest.approx(0.5, abs=1e-4)
+
+    def test_flops_formula(self):
+        assert spmv_flops(3) == 3 * 5
+
+    def test_bytes_formula(self):
+        assert spmv_bytes(3, 4) == 4 * 12
+
+    def test_validation(self):
+        with pytest.raises(BFSError):
+            spmv_flops(0)
+        with pytest.raises(BFSError):
+            spmv_bytes(-1)
+
+
+class TestBfsSpmv:
+    def test_parent_is_min_id_neighbour(self):
+        g = ring(6)
+        res = bfs_spmv(g, 0)
+        # Vertex 1's only previous-level neighbour is 0.
+        assert res.parent[1] == 0
+        res.validate(g)

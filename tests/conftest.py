@@ -1,0 +1,55 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.specs import CPU_SANDY_BRIDGE, GPU_K20X, MIC_KNC
+from repro.bfs.profiler import pick_sources, profile_bfs
+from repro.graph.generators import rmat
+
+
+@pytest.fixture(scope="session")
+def rmat_small():
+    """A small R-MAT graph (SCALE 10, ef 16) shared across the suite."""
+    return rmat(10, 16, seed=7)
+
+
+@pytest.fixture(scope="session")
+def rmat_medium():
+    """A medium R-MAT graph (SCALE 13, ef 16)."""
+    return rmat(13, 16, seed=11)
+
+
+@pytest.fixture(scope="session")
+def rmat_source(rmat_small):
+    """A Graph 500-style random root for the small graph."""
+    return int(pick_sources(rmat_small, 1, seed=3)[0])
+
+
+@pytest.fixture(scope="session")
+def small_profile(rmat_small, rmat_source):
+    """Measured level profile of the small graph."""
+    profile, _ = profile_bfs(rmat_small, rmat_source)
+    return profile
+
+
+@pytest.fixture(scope="session")
+def medium_profile(rmat_medium):
+    """Measured level profile of the medium graph."""
+    source = int(pick_sources(rmat_medium, 1, seed=5)[0])
+    profile, _ = profile_bfs(rmat_medium, source)
+    return profile
+
+
+@pytest.fixture(scope="session")
+def presets():
+    """The three paper architecture presets."""
+    return {"cpu": CPU_SANDY_BRIDGE, "gpu": GPU_K20X, "mic": MIC_KNC}
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,205 @@
+"""Unit tests for repro.graph.bitmap."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.bitmap import WORD_BITS, Bitmap
+
+
+class TestConstruction:
+    def test_empty(self):
+        bm = Bitmap(100)
+        assert len(bm) == 100
+        assert bm.count() == 0
+        assert not bm.any()
+
+    def test_zero_size(self):
+        bm = Bitmap(0)
+        assert bm.count() == 0
+        assert bm.to_bool().shape == (0,)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(GraphError):
+            Bitmap(-1)
+
+    def test_word_count_rounds_up(self):
+        assert Bitmap(1).words.shape == (1,)
+        assert Bitmap(64).words.shape == (1,)
+        assert Bitmap(65).words.shape == (2,)
+
+    def test_wrap_existing_words(self):
+        words = np.zeros(2, dtype=np.uint64)
+        bm = Bitmap(100, words)
+        assert bm.words is words
+
+    def test_wrap_bad_dtype_rejected(self):
+        with pytest.raises(GraphError):
+            Bitmap(100, np.zeros(2, dtype=np.int64))
+
+    def test_wrap_bad_shape_rejected(self):
+        with pytest.raises(GraphError):
+            Bitmap(100, np.zeros(3, dtype=np.uint64))
+
+    def test_from_indices(self):
+        bm = Bitmap.from_indices(50, np.array([0, 7, 49]))
+        assert bm.count() == 3
+        assert bm.test(0) and bm.test(7) and bm.test(49)
+
+    def test_from_indices_duplicates(self):
+        bm = Bitmap.from_indices(10, np.array([3, 3, 3]))
+        assert bm.count() == 1
+
+    def test_from_bool(self):
+        mask = np.zeros(70, dtype=bool)
+        mask[[1, 64, 69]] = True
+        bm = Bitmap.from_bool(mask)
+        assert np.array_equal(bm.to_bool(), mask)
+
+    def test_full(self):
+        bm = Bitmap.full(67)
+        assert bm.count() == 67
+        assert bm.to_bool().all()
+
+
+class TestSingleBit:
+    def test_set_test_clear(self):
+        bm = Bitmap(128)
+        bm.set(100)
+        assert bm.test(100)
+        bm.clear(100)
+        assert not bm.test(100)
+
+    def test_contains(self):
+        bm = Bitmap(10)
+        bm.set(5)
+        assert 5 in bm
+        assert 6 not in bm
+        assert -1 not in bm
+        assert 100 not in bm
+
+    def test_out_of_range(self):
+        bm = Bitmap(10)
+        with pytest.raises(GraphError):
+            bm.set(10)
+        with pytest.raises(GraphError):
+            bm.clear(-1)
+        with pytest.raises(GraphError):
+            bm.test(10)
+
+
+class TestBulk:
+    def test_set_many_and_nonzero(self):
+        bm = Bitmap(200)
+        idx = np.array([0, 63, 64, 127, 199])
+        bm.set_many(idx)
+        assert np.array_equal(bm.nonzero(), idx)
+
+    def test_set_many_empty(self):
+        bm = Bitmap(10)
+        bm.set_many(np.array([], dtype=np.int64))
+        assert bm.count() == 0
+
+    def test_set_many_out_of_range(self):
+        bm = Bitmap(10)
+        with pytest.raises(GraphError):
+            bm.set_many(np.array([5, 10]))
+
+    def test_clear_many(self):
+        bm = Bitmap.full(100)
+        bm.clear_many(np.arange(0, 100, 2))
+        assert bm.count() == 50
+        assert not bm.test(0)
+        assert bm.test(1)
+
+    def test_test_many(self):
+        bm = Bitmap.from_indices(100, np.array([2, 65]))
+        got = bm.test_many(np.array([0, 2, 64, 65]))
+        assert got.tolist() == [False, True, False, True]
+
+    def test_test_many_empty(self):
+        bm = Bitmap(10)
+        assert bm.test_many(np.array([], dtype=np.int64)).shape == (0,)
+
+    def test_fill_and_reset(self):
+        bm = Bitmap(70)
+        bm.fill()
+        assert bm.count() == 70
+        bm.reset()
+        assert bm.count() == 0
+
+
+class TestAlgebra:
+    def test_ior(self):
+        a = Bitmap.from_indices(64, np.array([1]))
+        b = Bitmap.from_indices(64, np.array([2]))
+        a.ior(b)
+        assert a.count() == 2
+
+    def test_iand(self):
+        a = Bitmap.from_indices(64, np.array([1, 2]))
+        b = Bitmap.from_indices(64, np.array([2, 3]))
+        a.iand(b)
+        assert a.nonzero().tolist() == [2]
+
+    def test_iandnot(self):
+        a = Bitmap.from_indices(64, np.array([1, 2]))
+        b = Bitmap.from_indices(64, np.array([2]))
+        a.iandnot(b)
+        assert a.nonzero().tolist() == [1]
+
+    def test_invert_respects_size(self):
+        bm = Bitmap.from_indices(70, np.array([0]))
+        bm.invert()
+        assert bm.count() == 69
+        assert not bm.test(0)
+
+    def test_or_operator_copies(self):
+        a = Bitmap.from_indices(10, np.array([1]))
+        b = Bitmap.from_indices(10, np.array([2]))
+        c = a | b
+        assert c.count() == 2
+        assert a.count() == 1
+
+    def test_and_operator(self):
+        a = Bitmap.from_indices(10, np.array([1, 2]))
+        b = Bitmap.from_indices(10, np.array([2]))
+        assert (a & b).nonzero().tolist() == [2]
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            Bitmap(10).ior(Bitmap(20))
+
+
+class TestQueriesAndDunder:
+    def test_count_slack_bits_never_counted(self):
+        bm = Bitmap.full(65)
+        assert bm.count() == 65
+
+    def test_to_bool_roundtrip(self, rng):
+        mask = rng.random(300) < 0.3
+        assert np.array_equal(Bitmap.from_bool(mask).to_bool(), mask)
+
+    def test_copy_independent(self):
+        a = Bitmap.from_indices(10, np.array([1]))
+        b = a.copy()
+        b.set(2)
+        assert a.count() == 1
+
+    def test_eq(self):
+        a = Bitmap.from_indices(10, np.array([1]))
+        b = Bitmap.from_indices(10, np.array([1]))
+        assert a == b
+        b.set(2)
+        assert a != b
+        assert a != "not a bitmap"
+
+    def test_iter(self):
+        bm = Bitmap.from_indices(100, np.array([5, 70]))
+        assert list(bm) == [5, 70]
+
+    def test_nbytes(self):
+        assert Bitmap(128).nbytes() == 16
+
+    def test_word_bits_constant(self):
+        assert WORD_BITS == 64

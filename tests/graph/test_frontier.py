@@ -1,0 +1,104 @@
+"""Unit tests for repro.graph.frontier."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.bitmap import Bitmap
+from repro.graph.frontier import Frontier
+
+
+class TestConstruction:
+    def test_from_indices(self):
+        f = Frontier(10, indices=np.array([3, 1, 3]))
+        assert len(f) == 2
+        assert f.indices.tolist() == [1, 3]  # sorted, deduped
+
+    def test_from_bitmap(self):
+        bm = Bitmap.from_indices(10, np.array([4]))
+        f = Frontier(10, bitmap=bm)
+        assert len(f) == 1
+
+    def test_exactly_one_representation(self):
+        with pytest.raises(GraphError):
+            Frontier(10)
+        with pytest.raises(GraphError):
+            Frontier(
+                10,
+                indices=np.array([1]),
+                bitmap=Bitmap(10),
+            )
+
+    def test_out_of_range(self):
+        with pytest.raises(GraphError):
+            Frontier(10, indices=np.array([10]))
+
+    def test_bitmap_size_mismatch(self):
+        with pytest.raises(GraphError):
+            Frontier(10, bitmap=Bitmap(20))
+
+    def test_from_source(self):
+        f = Frontier.from_source(10, 3)
+        assert f.indices.tolist() == [3]
+
+    def test_from_source_invalid(self):
+        with pytest.raises(GraphError):
+            Frontier.from_source(10, 10)
+
+    def test_empty(self):
+        f = Frontier.empty(5)
+        assert f.is_empty()
+        assert len(f) == 0
+
+
+class TestConversion:
+    def test_indices_to_bitmap(self):
+        f = Frontier(100, indices=np.array([5, 70]))
+        assert not f.has_bitmap()
+        bm = f.bitmap
+        assert f.has_bitmap()
+        assert bm.nonzero().tolist() == [5, 70]
+
+    def test_bitmap_to_indices(self):
+        f = Frontier(100, bitmap=Bitmap.from_indices(100, np.array([9])))
+        assert not f.has_indices()
+        assert f.indices.tolist() == [9]
+        assert f.has_indices()
+
+    def test_conversion_bytes_zero_when_present(self):
+        f = Frontier(100, indices=np.array([1]))
+        assert f.conversion_bytes("indices") == 0
+        assert f.conversion_bytes("bitmap") > 0
+        _ = f.bitmap
+        assert f.conversion_bytes("bitmap") == 0
+
+    def test_conversion_bytes_unknown(self):
+        with pytest.raises(GraphError):
+            Frontier(10, indices=np.array([1])).conversion_bytes("sparse")
+
+
+class TestQueries:
+    def test_contains_indices_form(self):
+        f = Frontier(10, indices=np.array([2, 5]))
+        assert 2 in f and 5 in f and 3 not in f
+
+    def test_contains_bitmap_form(self):
+        f = Frontier(10, bitmap=Bitmap.from_indices(10, np.array([2])))
+        assert 2 in f and 3 not in f
+
+    def test_edge_count(self):
+        degrees = np.array([5, 1, 2, 0])
+        f = Frontier(4, indices=np.array([0, 2]))
+        assert f.edge_count(degrees) == 7
+
+    def test_edge_count_shape_checked(self):
+        f = Frontier(4, indices=np.array([0]))
+        with pytest.raises(GraphError):
+            f.edge_count(np.array([1, 2]))
+
+    def test_eq(self):
+        a = Frontier(10, indices=np.array([1, 2]))
+        b = Frontier(10, bitmap=Bitmap.from_indices(10, np.array([1, 2])))
+        assert a == b
+        assert a != Frontier(10, indices=np.array([1]))
+        assert a != 42

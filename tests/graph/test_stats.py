@@ -1,0 +1,89 @@
+"""Unit tests for repro.graph.stats."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import GRAPH500_PARAMS, complete, rmat, star
+from repro.graph.stats import (
+    compute_stats,
+    estimate_rmat_params,
+    graph_features,
+)
+
+
+class TestComputeStats:
+    def test_complete_graph(self):
+        st = compute_stats(complete(5))
+        assert st.num_vertices == 5
+        assert st.num_edges == 10
+        assert st.avg_degree == 4.0
+        assert st.max_degree == 4
+        assert st.degree_gini == pytest.approx(0.0, abs=1e-12)
+        assert st.isolated_vertices == 0
+        assert st.self_loops == 0
+
+    def test_star_gini_high(self):
+        st = compute_stats(star(100))
+        assert st.max_degree == 99
+        assert st.degree_gini > 0.4
+
+    def test_isolated_counted(self):
+        g = CSRGraph.from_edges([0], [1], 5)
+        assert compute_stats(g).isolated_vertices == 3
+
+    def test_empty_graph(self):
+        st = compute_stats(CSRGraph.empty(3))
+        assert st.avg_degree == 0.0
+        assert st.max_degree == 0
+        assert st.degree_gini == 0.0
+
+    def test_as_dict(self):
+        d = compute_stats(complete(3)).as_dict()
+        assert d["num_vertices"] == 3
+        assert set(d) == {
+            "num_vertices",
+            "num_edges",
+            "avg_degree",
+            "max_degree",
+            "degree_gini",
+            "isolated_vertices",
+            "self_loops",
+        }
+
+    def test_rmat_skewed(self, rmat_small):
+        st = compute_stats(rmat_small)
+        assert st.degree_gini > 0.3  # R-MAT heavy tail
+
+
+class TestRmatParams:
+    def test_known_params_returned(self, rmat_small):
+        assert estimate_rmat_params(rmat_small) == GRAPH500_PARAMS.as_tuple()
+
+    def test_unknown_params_estimated(self):
+        g = CSRGraph.from_edges([0, 0, 1], [1, 2, 3], 4)
+        a, b, c, d = estimate_rmat_params(g)
+        assert a + b + c + d == pytest.approx(1.0)
+
+    def test_empty_graph_uniform(self):
+        assert estimate_rmat_params(CSRGraph.empty(4)) == (
+            0.25,
+            0.25,
+            0.25,
+            0.25,
+        )
+
+
+class TestGraphFeatures:
+    def test_layout(self, rmat_small):
+        f = graph_features(rmat_small)
+        assert f.shape == (6,)
+        assert f[0] == pytest.approx(1024 / 1e6)
+        assert f[1] == pytest.approx(rmat_small.num_edges / 1e6)
+        assert tuple(f[2:]) == GRAPH500_PARAMS.as_tuple()
+
+    def test_matches_paper_units(self):
+        """The paper's worked example uses millions for |V| and |E|."""
+        g = rmat(10, 16, seed=0)
+        f = graph_features(g)
+        assert 0 < f[0] < 1  # a thousand vertices is 0.001 million

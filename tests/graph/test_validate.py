@@ -1,0 +1,123 @@
+"""Unit tests for repro.graph.validate (Graph 500-style checks)."""
+
+import numpy as np
+import pytest
+
+from repro.bfs.reference import bfs_reference
+from repro.errors import ValidationError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import ring, star
+from repro.graph.validate import check_bfs, validate_bfs
+
+
+@pytest.fixture()
+def valid_run(rmat_small, rmat_source):
+    res = bfs_reference(rmat_small, rmat_source)
+    return rmat_small, rmat_source, res.parent.copy(), res.level.copy()
+
+
+class TestAccepts:
+    def test_reference_output_valid(self, valid_run):
+        g, s, parent, level = valid_run
+        assert check_bfs(g, s, parent, level) == []
+        validate_bfs(g, s, parent, level)  # no raise
+
+    def test_star_from_hub(self):
+        g = star(6)
+        res = bfs_reference(g, 0)
+        validate_bfs(g, 0, res.parent, res.level)
+
+    def test_star_from_leaf(self):
+        g = star(6)
+        res = bfs_reference(g, 3)
+        validate_bfs(g, 3, res.parent, res.level)
+
+    def test_ring(self):
+        g = ring(9)
+        res = bfs_reference(g, 4)
+        validate_bfs(g, 4, res.parent, res.level)
+
+    def test_disconnected_component_ok(self):
+        # Two disjoint edges; BFS from 0 must leave 2, 3 unreached.
+        g = CSRGraph.from_edges([0, 2], [1, 3], 4)
+        res = bfs_reference(g, 0)
+        assert res.level[2] == -1
+        validate_bfs(g, 0, res.parent, res.level)
+
+    def test_alternative_parent_accepted(self, valid_run):
+        """Any shortest-path tree is valid, not just the reference's."""
+        g, s, parent, level = valid_run
+        # Pick a vertex at level >= 2 and re-parent it to another
+        # neighbour one level up, if one exists.
+        for v in np.nonzero(level >= 2)[0]:
+            for u in g.neighbors(v):
+                if level[u] == level[v] - 1 and u != parent[v]:
+                    parent[v] = u
+                    assert check_bfs(g, s, parent, level) == []
+                    return
+        pytest.skip("no alternative parent in this graph")
+
+
+class TestRejects:
+    def test_wrong_source_level(self, valid_run):
+        g, s, parent, level = valid_run
+        level[s] = 1
+        assert check_bfs(g, s, parent, level)
+
+    def test_source_not_own_parent(self, valid_run):
+        g, s, parent, level = valid_run
+        parent[s] = -1
+        assert check_bfs(g, s, parent, level)
+
+    def test_level_skip(self, valid_run):
+        g, s, parent, level = valid_run
+        v = int(np.nonzero(level == 1)[0][0])
+        level[v] = 2
+        failures = check_bfs(g, s, parent, level)
+        assert failures
+
+    def test_parent_level_disagree_on_reached(self, valid_run):
+        g, s, parent, level = valid_run
+        v = int(np.nonzero(level == 1)[0][0])
+        parent[v] = -1  # level still says reached
+        assert any("disagree" in f for f in check_bfs(g, s, parent, level))
+
+    def test_fake_tree_edge(self, valid_run):
+        g, s, parent, level = valid_run
+        # Find a vertex at level 2 and claim its parent is a non-adjacent
+        # level-1 vertex.
+        lvl1 = np.nonzero(level == 1)[0]
+        lvl2 = np.nonzero(level == 2)[0]
+        for v in lvl2:
+            nbrs = set(g.neighbors(v).tolist())
+            for u in lvl1:
+                if int(u) not in nbrs:
+                    parent[v] = u
+                    assert any(
+                        "not graph edges" in f
+                        for f in check_bfs(g, s, parent, level)
+                    )
+                    return
+        pytest.skip("every level-1 vertex adjacent to every level-2 vertex")
+
+    def test_unreached_but_adjacent(self, valid_run):
+        g, s, parent, level = valid_run
+        v = int(np.nonzero(level == 2)[0][0])
+        parent[v] = -1
+        level[v] = -1
+        failures = check_bfs(g, s, parent, level)
+        assert any("unreached" in f for f in failures)
+
+    def test_shape_mismatch(self, valid_run):
+        g, s, parent, level = valid_run
+        assert check_bfs(g, s, parent[:-1], level[:-1])
+
+    def test_bad_source(self, valid_run):
+        g, _, parent, level = valid_run
+        assert check_bfs(g, -1, parent, level)
+
+    def test_validate_raises(self, valid_run):
+        g, s, parent, level = valid_run
+        level[s] = 3
+        with pytest.raises(ValidationError):
+            validate_bfs(g, s, parent, level)

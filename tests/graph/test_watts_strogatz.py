@@ -1,0 +1,61 @@
+"""Unit tests for the Watts-Strogatz generator."""
+
+import numpy as np
+import pytest
+
+from repro.bfs.hybrid import bfs_hybrid
+from repro.errors import GraphError
+from repro.graph.generators import watts_strogatz
+
+
+class TestWattsStrogatz:
+    def test_lattice_beta_zero(self):
+        g = watts_strogatz(20, 4, 0.0)
+        # Pure ring lattice: everyone has exactly k neighbours.
+        assert (g.degrees == 4).all()
+        assert g.has_edge(0, 1) and g.has_edge(0, 2)
+        assert not g.has_edge(0, 3)
+
+    def test_rewiring_changes_structure(self):
+        lattice = watts_strogatz(200, 6, 0.0, seed=1)
+        rewired = watts_strogatz(200, 6, 0.5, seed=1)
+        assert not np.array_equal(lattice.targets, rewired.targets)
+
+    def test_bounded_degree(self):
+        g = watts_strogatz(500, 6, 0.2, seed=2)
+        # Low-variance degrees (opposite of R-MAT).
+        assert g.degrees.max() < 20
+
+    def test_small_world_shortcut_effect(self):
+        """Rewiring collapses the diameter — the defining property."""
+        from repro.apps.diameter import pseudo_diameter
+
+        lattice_d = pseudo_diameter(watts_strogatz(400, 4, 0.0), 0)
+        small_world_d = pseudo_diameter(
+            watts_strogatz(400, 4, 0.3, seed=3), 0
+        )
+        assert small_world_d.lower_bound < lattice_d.lower_bound / 2
+
+    def test_meta(self):
+        g = watts_strogatz(50, 4, 0.1, seed=4)
+        assert g.meta["family"] == "watts_strogatz"
+        assert g.meta["k"] == 4
+
+    def test_bfs_traverses(self):
+        g = watts_strogatz(300, 4, 0.1, seed=5)
+        bfs_hybrid(g, 0, m=20, n=100).validate(g)
+
+    def test_deterministic(self):
+        a = watts_strogatz(100, 4, 0.3, seed=9)
+        b = watts_strogatz(100, 4, 0.3, seed=9)
+        assert np.array_equal(a.targets, b.targets)
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            watts_strogatz(2, 2, 0.1)
+        with pytest.raises(GraphError):
+            watts_strogatz(10, 3, 0.1)  # odd k
+        with pytest.raises(GraphError):
+            watts_strogatz(10, 10, 0.1)  # k >= n
+        with pytest.raises(GraphError):
+            watts_strogatz(10, 4, 1.5)  # bad beta

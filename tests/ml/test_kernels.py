@@ -1,0 +1,88 @@
+"""Unit tests for kernel functions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml.kernels import linear_kernel, make_kernel, poly_kernel, rbf_kernel
+
+
+@pytest.fixture()
+def data(rng):
+    return rng.normal(size=(10, 4)), rng.normal(size=(7, 4))
+
+
+class TestLinear:
+    def test_values(self):
+        X = np.array([[1.0, 2.0]])
+        Z = np.array([[3.0, 4.0]])
+        assert linear_kernel(X, Z)[0, 0] == pytest.approx(11.0)
+
+    def test_shape(self, data):
+        X, Z = data
+        assert linear_kernel(X, Z).shape == (10, 7)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ModelError):
+            linear_kernel(np.ones((2, 3)), np.ones((2, 4)))
+
+
+class TestRBF:
+    def test_diagonal_ones(self, data):
+        X, _ = data
+        K = rbf_kernel(X, X, gamma=0.7)
+        assert np.allclose(np.diag(K), 1.0)
+
+    def test_symmetric_psd(self, data):
+        X, _ = data
+        K = rbf_kernel(X, X, gamma=0.5)
+        assert np.allclose(K, K.T)
+        eig = np.linalg.eigvalsh(K)
+        assert eig.min() > -1e-10
+
+    def test_range(self, data):
+        X, Z = data
+        K = rbf_kernel(X, Z, gamma=2.0)
+        assert (K > 0).all() and (K <= 1).all()
+
+    def test_known_value(self):
+        X = np.array([[0.0]])
+        Z = np.array([[1.0]])
+        assert rbf_kernel(X, Z, gamma=1.0)[0, 0] == pytest.approx(np.exp(-1))
+
+    def test_gamma_validated(self):
+        with pytest.raises(ModelError):
+            rbf_kernel(np.ones((1, 1)), np.ones((1, 1)), gamma=0)
+
+
+class TestPoly:
+    def test_known_value(self):
+        X = np.array([[1.0, 1.0]])
+        assert poly_kernel(X, X, degree=2, coef0=1.0)[0, 0] == pytest.approx(9.0)
+
+    def test_degree_validated(self):
+        with pytest.raises(ModelError):
+            poly_kernel(np.ones((1, 1)), np.ones((1, 1)), degree=0)
+
+
+class TestMakeKernel:
+    def test_dispatch(self, data):
+        X, Z = data
+        assert np.allclose(make_kernel("linear")(X, Z), linear_kernel(X, Z))
+        assert np.allclose(
+            make_kernel("rbf", gamma=0.3)(X, Z), rbf_kernel(X, Z, gamma=0.3)
+        )
+        assert np.allclose(
+            make_kernel("poly", degree=2)(X, Z),
+            poly_kernel(X, Z, degree=2),
+        )
+
+    def test_unknown(self):
+        with pytest.raises(ModelError):
+            make_kernel("sigmoid")
+
+    def test_stray_params_rejected(self):
+        with pytest.raises(ModelError):
+            make_kernel("linear", gamma=1.0)
+        with pytest.raises(ModelError):
+            make_kernel("rbf", degree=2)

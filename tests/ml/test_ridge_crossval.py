@@ -1,0 +1,137 @@
+"""Unit tests for regression baselines and cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, NotFittedError
+from repro.ml.crossval import cross_val_score, grid_search, kfold_indices
+from repro.ml.ridge import KernelRidge, LinearRegression
+from repro.ml.svr import SVR
+
+
+class TestLinearRegression:
+    def test_exact_on_linear(self, rng):
+        X = rng.normal(size=(50, 3))
+        y = X @ np.array([1.0, 2.0, -1.0]) + 4.0
+        m = LinearRegression().fit(X, y)
+        assert np.allclose(m.coef_, [1, 2, -1], atol=1e-8)
+        assert m.intercept_ == pytest.approx(4.0)
+        assert m.score(X, y) == pytest.approx(1.0)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            LinearRegression().predict(np.ones((1, 2)))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ModelError):
+            LinearRegression().fit(np.ones((3, 1)), np.ones(4))
+
+
+class TestKernelRidge:
+    def test_interpolates_with_small_alpha(self, rng):
+        X = rng.uniform(-1, 1, size=(30, 1))
+        y = np.sin(3 * X[:, 0])
+        m = KernelRidge(alpha=1e-8, gamma=5.0).fit(X, y)
+        assert m.score(X, y) > 0.999
+
+    def test_alpha_regularizes(self, rng):
+        X = rng.uniform(-1, 1, size=(30, 1))
+        y = np.sin(3 * X[:, 0]) + rng.normal(0, 0.2, 30)
+        tight = KernelRidge(alpha=1e-8, gamma=5.0).fit(X, y)
+        smooth = KernelRidge(alpha=10.0, gamma=5.0).fit(X, y)
+        assert smooth.score(X, y) < tight.score(X, y)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            KernelRidge(alpha=0)
+        with pytest.raises(NotFittedError):
+            KernelRidge().predict(np.ones((1, 1)))
+        with pytest.raises(ModelError):
+            KernelRidge().fit(np.ones((3, 1)), np.ones(2))
+
+    def test_linear_kernel_option(self, rng):
+        X = rng.normal(size=(20, 2))
+        y = X[:, 0]
+        m = KernelRidge(alpha=1e-6, kernel="linear").fit(X, y)
+        assert m.score(X, y) > 0.99
+
+
+class TestKFold:
+    def test_partition(self):
+        folds = list(kfold_indices(20, 4, seed=0))
+        assert len(folds) == 4
+        all_test = np.concatenate([t for _, t in folds])
+        assert sorted(all_test.tolist()) == list(range(20))
+        for train, test in folds:
+            assert set(train.tolist()).isdisjoint(test.tolist())
+            assert len(train) + len(test) == 20
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            list(kfold_indices(10, 1))
+        with pytest.raises(ModelError):
+            list(kfold_indices(3, 5))
+
+    def test_deterministic(self):
+        a = [t.tolist() for _, t in kfold_indices(10, 3, seed=5)]
+        b = [t.tolist() for _, t in kfold_indices(10, 3, seed=5)]
+        assert a == b
+
+
+class TestCrossVal:
+    def test_rmse_scores(self, rng):
+        X = rng.normal(size=(40, 2))
+        y = X[:, 0]
+        scores = cross_val_score(
+            LinearRegression, X, y, k=4, metric="rmse"
+        )
+        assert scores.shape == (4,)
+        assert (scores < 1e-6).all()
+
+    def test_metrics(self, rng):
+        X = rng.normal(size=(30, 2))
+        y = X[:, 0] + rng.normal(0, 0.1, 30)
+        for metric in ("rmse", "mae", "r2"):
+            scores = cross_val_score(
+                LinearRegression, X, y, k=3, metric=metric
+            )
+            assert np.isfinite(scores).all()
+
+    def test_unknown_metric(self, rng):
+        X = rng.normal(size=(30, 2))
+        with pytest.raises(ModelError):
+            cross_val_score(
+                LinearRegression, X, X[:, 0], k=3, metric="mape"
+            )
+
+
+class TestGridSearch:
+    def test_picks_better_config(self, rng):
+        X = rng.uniform(-1, 1, size=(60, 1))
+        y = np.sin(3 * X[:, 0])
+        res = grid_search(
+            lambda gamma: KernelRidge(alpha=1e-6, gamma=gamma),
+            {"gamma": [0.001, 5.0]},
+            X,
+            y,
+            k=3,
+        )
+        assert res.best_params == {"gamma": 5.0}
+        assert len(res.all_scores) == 2
+
+    def test_r2_maximized(self, rng):
+        X = rng.uniform(-1, 1, size=(60, 1))
+        y = np.sin(3 * X[:, 0])
+        res = grid_search(
+            lambda gamma: KernelRidge(alpha=1e-6, gamma=gamma),
+            {"gamma": [0.001, 5.0]},
+            X,
+            y,
+            k=3,
+            metric="r2",
+        )
+        assert res.best_params == {"gamma": 5.0}
+
+    def test_empty_grid(self, rng):
+        with pytest.raises(ModelError):
+            grid_search(SVR, {}, np.ones((4, 1)), np.ones(4))

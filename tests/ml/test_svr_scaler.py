@@ -1,0 +1,153 @@
+"""Unit tests for StandardScaler and the SMO-trained SVR."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceWarning, ModelError, NotFittedError
+from repro.ml.scaler import StandardScaler
+from repro.ml.svr import SVR
+
+
+class TestScaler:
+    def test_fit_transform(self, rng):
+        X = rng.normal(3.0, 2.0, size=(200, 3))
+        Xs = StandardScaler().fit_transform(X)
+        assert np.allclose(Xs.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(Xs.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature(self):
+        X = np.ones((5, 2))
+        X[:, 1] = [1, 2, 3, 4, 5]
+        Xs = StandardScaler().fit_transform(X)
+        assert np.isfinite(Xs).all()
+        assert np.allclose(Xs[:, 0], 0.0)
+
+    def test_inverse(self, rng):
+        X = rng.normal(size=(20, 2))
+        sc = StandardScaler().fit(X)
+        assert np.allclose(sc.inverse_transform(sc.transform(X)), X)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.ones((1, 2)))
+        with pytest.raises(NotFittedError):
+            StandardScaler().inverse_transform(np.ones((1, 2)))
+
+    def test_dim_mismatch(self, rng):
+        sc = StandardScaler().fit(rng.normal(size=(5, 3)))
+        with pytest.raises(ModelError):
+            sc.transform(np.ones((2, 4)))
+
+    def test_empty(self):
+        with pytest.raises(ModelError):
+            StandardScaler().fit(np.zeros((0, 2)))
+
+
+class TestSVRValidation:
+    def test_constructor(self):
+        with pytest.raises(ModelError):
+            SVR(c=0)
+        with pytest.raises(ModelError):
+            SVR(epsilon=-0.1)
+        with pytest.raises(ModelError):
+            SVR(tol=0)
+        with pytest.raises(ModelError):
+            SVR(max_iter=0)
+
+    def test_sample_target_mismatch(self, rng):
+        with pytest.raises(ModelError):
+            SVR().fit(rng.normal(size=(5, 2)), np.zeros(4))
+
+    def test_too_few_samples(self):
+        with pytest.raises(ModelError):
+            SVR().fit(np.ones((1, 1)), np.ones(1))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            SVR().predict(np.ones((1, 1)))
+        with pytest.raises(NotFittedError):
+            _ = SVR().n_support_
+
+    def test_unknown_kernel(self, rng):
+        with pytest.raises(ModelError):
+            SVR(kernel="sigmoid").fit(
+                rng.normal(size=(5, 2)), rng.normal(size=5)
+            )
+
+
+class TestSVRFits:
+    def test_linear_function_rbf(self, rng):
+        X = rng.uniform(-1, 1, size=(80, 2))
+        y = 2.0 * X[:, 0] - X[:, 1]
+        m = SVR(c=50, epsilon=0.01, gamma=0.5).fit(X, y)
+        Xt = rng.uniform(-1, 1, size=(30, 2))
+        pred = m.predict(Xt)
+        assert np.abs(pred - (2 * Xt[:, 0] - Xt[:, 1])).max() < 0.25
+
+    def test_nonlinear_function(self, rng):
+        X = rng.uniform(-2, 2, size=(150, 1))
+        y = np.sin(2 * X[:, 0])
+        m = SVR(c=50, epsilon=0.02, gamma=2.0).fit(X, y)
+        assert m.score(X, y) > 0.95
+
+    def test_linear_kernel(self, rng):
+        X = rng.uniform(-1, 1, size=(60, 3))
+        y = X @ np.array([1.0, -2.0, 0.5])
+        m = SVR(c=5, epsilon=0.01, kernel="linear").fit(X, y)
+        assert m.score(X, y) > 0.9
+
+    def test_epsilon_tube_sparsifies(self, rng):
+        X = rng.uniform(-1, 1, size=(100, 1))
+        y = X[:, 0]
+        tight = SVR(c=10, epsilon=0.001, gamma=1.0).fit(X, y)
+        loose = SVR(c=10, epsilon=0.5, gamma=1.0).fit(X, y)
+        assert loose.n_support_ < tight.n_support_
+
+    def test_constant_target(self):
+        X = np.arange(10, dtype=float)[:, None]
+        y = np.full(10, 3.0)
+        m = SVR(c=10, epsilon=0.01).fit(X, y)
+        assert np.allclose(m.predict(X), 3.0, atol=0.05)
+
+    def test_deterministic(self, rng):
+        X = rng.normal(size=(40, 2))
+        y = rng.normal(size=40)
+        a = SVR(c=5, epsilon=0.1, gamma=1.0).fit(X, y).predict(X)
+        b = SVR(c=5, epsilon=0.1, gamma=1.0).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+    def test_max_iter_warns(self, rng):
+        X = rng.normal(size=(60, 3))
+        y = rng.normal(size=60)
+        with pytest.warns(ConvergenceWarning):
+            SVR(c=100, epsilon=0.0, max_iter=5).fit(X, y)
+
+    def test_gamma_scale(self, rng):
+        X = rng.normal(0, 10.0, size=(50, 2))
+        y = X[:, 0] / 10.0
+        m = SVR(c=10, epsilon=0.05, gamma="scale").fit(X, y)
+        assert m.score(X, y) > 0.8
+
+    def test_callable_kernel(self, rng):
+        from repro.ml.kernels import rbf_kernel
+
+        X = rng.uniform(-1, 1, size=(50, 1))
+        y = X[:, 0] ** 2
+        m = SVR(
+            c=20, epsilon=0.02, kernel=lambda A, B: rbf_kernel(A, B, 1.0)
+        ).fit(X, y)
+        assert m.score(X, y) > 0.9
+
+    def test_score_constant_y(self):
+        X = np.arange(4, dtype=float)[:, None]
+        m = SVR(c=1, epsilon=0.1).fit(X, np.array([1.0, 2, 3, 4]))
+        assert m.score(X, np.full(4, 2.5)) <= 1.0
+
+    def test_dual_feasibility(self, rng):
+        """Solution must satisfy the box constraint and Σ s α = 0 (via
+        the β representation: |β| <= C)."""
+        X = rng.uniform(-1, 1, size=(60, 2))
+        y = np.sin(X[:, 0])
+        c = 7.0
+        m = SVR(c=c, epsilon=0.05, gamma=1.0).fit(X, y)
+        assert np.all(np.abs(m.beta_) <= c + 1e-8)

@@ -1,0 +1,86 @@
+"""Property-based tests for the bitmap (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.bitmap import Bitmap
+
+sizes = st.integers(min_value=0, max_value=500)
+
+
+@st.composite
+def bitmap_and_indices(draw):
+    size = draw(st.integers(min_value=1, max_value=400))
+    indices = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=size - 1), max_size=100
+        )
+    )
+    return size, np.array(indices, dtype=np.int64)
+
+
+@given(bitmap_and_indices())
+@settings(max_examples=60, deadline=None)
+def test_set_many_equals_python_set(case):
+    size, indices = case
+    bm = Bitmap.from_indices(size, indices)
+    want = sorted(set(indices.tolist()))
+    assert bm.nonzero().tolist() == want
+    assert bm.count() == len(want)
+
+
+@given(bitmap_and_indices())
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_bool(case):
+    size, indices = case
+    bm = Bitmap.from_indices(size, indices)
+    assert Bitmap.from_bool(bm.to_bool()) == bm
+
+
+@given(bitmap_and_indices(), bitmap_and_indices())
+@settings(max_examples=60, deadline=None)
+def test_union_intersection_laws(a, b):
+    size = max(a[0], b[0])
+    x = Bitmap.from_indices(size, a[1] % size if size else a[1])
+    y = Bitmap.from_indices(size, b[1] % size if size else b[1])
+    sx, sy = set(x.nonzero().tolist()), set(y.nonzero().tolist())
+    assert set((x | y).nonzero().tolist()) == sx | sy
+    assert set((x & y).nonzero().tolist()) == sx & sy
+    # De Morgan within the finite domain.
+    lhs = x.copy().invert().iand(y.copy().invert())
+    rhs = (x | y).invert()
+    assert lhs == rhs
+
+
+@given(bitmap_and_indices())
+@settings(max_examples=60, deadline=None)
+def test_invert_involution(case):
+    size, indices = case
+    bm = Bitmap.from_indices(size, indices)
+    original = bm.copy()
+    bm.invert()
+    assert bm.count() == size - original.count()
+    bm.invert()
+    assert bm == original
+
+
+@given(bitmap_and_indices())
+@settings(max_examples=60, deadline=None)
+def test_clear_many_inverse_of_set_many(case):
+    size, indices = case
+    bm = Bitmap(size)
+    bm.set_many(indices)
+    bm.clear_many(indices)
+    assert bm.count() == 0
+
+
+@given(bitmap_and_indices())
+@settings(max_examples=60, deadline=None)
+def test_test_many_matches_membership(case):
+    size, indices = case
+    bm = Bitmap.from_indices(size, indices)
+    probe = np.arange(size, dtype=np.int64)
+    got = bm.test_many(probe)
+    members = set(indices.tolist())
+    assert got.tolist() == [i in members for i in range(size)]

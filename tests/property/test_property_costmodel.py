@@ -1,0 +1,155 @@
+"""Property-based tests for the cost model and plan pricing.
+
+Invariants the simulator must never violate, whatever the counters:
+positivity, overhead floors, monotonicity in the work terms, and
+consistency between plan pricing and per-level sums.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.calibration import scale_profile
+from repro.arch.costmodel import CostModel
+from repro.arch.machine import PlanStep, SimulatedMachine
+from repro.arch.specs import CPU_SANDY_BRIDGE, GPU_K20X, MIC_KNC, sample_arch
+from repro.bfs.result import Direction
+from repro.bfs.trace import LevelProfile, LevelRecord
+
+ARCHS = (CPU_SANDY_BRIDGE, GPU_K20X, MIC_KNC)
+
+
+@st.composite
+def level_record(draw, level=0):
+    fv = draw(st.integers(min_value=1, max_value=10**7))
+    fe = draw(st.integers(min_value=0, max_value=10**9))
+    uv = draw(st.integers(min_value=0, max_value=10**7))
+    ue = draw(st.integers(min_value=0, max_value=10**9))
+    chk = draw(st.integers(min_value=0, max_value=ue))
+    fail = draw(st.integers(min_value=0, max_value=chk))
+    claimed = draw(st.integers(min_value=0, max_value=uv))
+    return LevelRecord(
+        level=level,
+        frontier_vertices=fv,
+        frontier_edges=fe,
+        unvisited_vertices=uv,
+        unvisited_edges=ue,
+        bu_edges_checked=chk,
+        claimed=claimed,
+        bu_edges_failed=fail,
+    )
+
+
+@st.composite
+def profile(draw):
+    depth = draw(st.integers(min_value=1, max_value=8))
+    records = tuple(draw(level_record(level=i)) for i in range(depth))
+    nv = draw(st.integers(min_value=1, max_value=10**8))
+    ne = draw(st.integers(min_value=1, max_value=10**9))
+    return LevelProfile(
+        source=0, num_vertices=nv, num_edges=ne, records=records
+    )
+
+
+@given(level_record(), st.sampled_from(ARCHS), st.integers(1, 10**8))
+@settings(max_examples=80, deadline=None)
+def test_costs_positive_and_floored(rec, arch, n):
+    model = CostModel(arch)
+    td = model.top_down_seconds(rec, n)
+    bu = model.bottom_up_seconds(rec, n)
+    assert td.seconds >= arch.td_overhead_s
+    assert bu.seconds >= arch.bu_overhead_s
+    assert np.isfinite(td.seconds) and np.isfinite(bu.seconds)
+    assert 0 < td.efficiency <= 1
+
+
+@given(level_record(), st.sampled_from(ARCHS))
+@settings(max_examples=50, deadline=None)
+def test_topdown_monotone_in_edges(rec, arch):
+    import dataclasses
+
+    model = CostModel(arch)
+    n = 1 << 22
+    bigger = dataclasses.replace(
+        rec, frontier_edges=rec.frontier_edges * 2 + 1
+    )
+    # On the occupancy ramp, work and efficiency both scale with |E|cq,
+    # so the cost is *constant* there — monotonicity is weak, and float
+    # rounding can undershoot by an ulp; allow that.
+    assert model.top_down_seconds(bigger, n).seconds >= (
+        model.top_down_seconds(rec, n).seconds * (1 - 1e-9)
+    )
+
+
+@given(level_record(), st.sampled_from(ARCHS))
+@settings(max_examples=50, deadline=None)
+def test_bottomup_monotone_in_checked(rec, arch):
+    import dataclasses
+
+    model = CostModel(arch)
+    n = 1 << 22
+    bigger = dataclasses.replace(
+        rec,
+        bu_edges_checked=rec.bu_edges_checked * 2 + 2,
+        unvisited_edges=max(rec.unvisited_edges, rec.bu_edges_checked * 2 + 2),
+        bu_edges_failed=rec.bu_edges_failed,
+    )
+    assert (
+        model.bottom_up_seconds(bigger, n).seconds
+        >= model.bottom_up_seconds(rec, n).seconds
+    )
+
+
+@given(profile())
+@settings(max_examples=50, deadline=None)
+def test_plan_pricing_equals_levels_plus_transfers(p):
+    machine = SimulatedMachine({"cpu": CPU_SANDY_BRIDGE, "gpu": GPU_K20X})
+    plan = [
+        PlanStep(
+            "cpu" if i % 2 else "gpu",
+            Direction.TOP_DOWN if i % 3 else Direction.BOTTOM_UP,
+        )
+        for i in range(len(p))
+    ]
+    rep = machine.run(p, plan)
+    assert rep.total_seconds == float(
+        rep.level_seconds.sum() + rep.transfer_seconds.sum()
+    )
+    assert (rep.level_seconds > 0).all()
+
+
+@given(profile(), st.floats(min_value=1.001, max_value=1000.0))
+@settings(max_examples=50, deadline=None)
+def test_scale_profile_unvisited_monotone(p, factor):
+    big = scale_profile(p, factor)
+    assert big.num_vertices >= p.num_vertices
+    assert len(big) == len(p)
+    for a, b in zip(p, big):
+        assert b.unvisited_edges >= a.unvisited_edges
+        assert b.bu_edges_checked >= a.bu_edges_checked
+        assert b.bu_edges_failed <= b.bu_edges_checked
+        assert b.frontier_edges >= a.frontier_edges or (
+            b.frontier_edges == a.frontier_edges
+        )
+
+
+@given(st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_sampled_archs_price_sanely(seed):
+    rng = np.random.default_rng(seed)
+    arch = sample_arch(rng)
+    model = CostModel(arch)
+    rec = LevelRecord(
+        level=0,
+        frontier_vertices=1000,
+        frontier_edges=100_000,
+        unvisited_vertices=10**6,
+        unvisited_edges=10**7,
+        bu_edges_checked=10**6,
+        claimed=500,
+        bu_edges_failed=10**5,
+    )
+    td = model.top_down_seconds(rec, 1 << 22).seconds
+    bu = model.bottom_up_seconds(rec, 1 << 22).seconds
+    assert 0 < td < 60.0
+    assert 0 < bu < 60.0

@@ -1,0 +1,77 @@
+"""Property-based tests for the SVR solver and the switching search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.costmodel import CostModel
+from repro.arch.specs import CPU_SANDY_BRIDGE
+from repro.ml.scaler import StandardScaler
+from repro.ml.svr import SVR
+from repro.tuning.search import evaluate_single, summarize_search
+
+
+@st.composite
+def regression_problem(draw):
+    n = draw(st.integers(min_value=5, max_value=40))
+    d = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, d))
+    w = rng.normal(size=d)
+    y = X @ w + rng.normal(0, 0.05, n)
+    return X, y
+
+
+@given(regression_problem(), st.floats(min_value=0.5, max_value=50.0))
+@settings(max_examples=30, deadline=None)
+def test_svr_dual_feasibility(problem, c):
+    """|β| ≤ C and Σβ = 0 hold for every solution the solver emits."""
+    X, y = problem
+    m = SVR(c=c, epsilon=0.05, gamma=1.0, max_iter=20_000).fit(X, y)
+    assert np.all(np.abs(m.beta_) <= c * (1 + 1e-8))
+    # Σ s α = 0 in the doubled space means Σ β = 0.
+    assert abs(m.beta_.sum()) < 1e-6 * max(1.0, c)
+
+
+@given(regression_problem())
+@settings(max_examples=30, deadline=None)
+def test_svr_predictions_finite_and_bounded(problem):
+    X, y = problem
+    m = SVR(c=10, epsilon=0.1, gamma=1.0, max_iter=20_000).fit(X, y)
+    pred = m.predict(X)
+    assert np.isfinite(pred).all()
+    # An RBF expansion with |β| ≤ C over n points is bounded.
+    assert np.abs(pred).max() <= 10 * len(y) + abs(m.intercept_) + 1
+
+
+@given(regression_problem())
+@settings(max_examples=30, deadline=None)
+def test_scaler_roundtrip_property(problem):
+    X, _ = problem
+    sc = StandardScaler().fit(X)
+    assert np.allclose(sc.inverse_transform(sc.transform(X)), X, atol=1e-9)
+
+
+@st.composite
+def mn_candidates(draw):
+    count = draw(st.integers(min_value=2, max_value=60))
+    seed = draw(st.integers(min_value=0, max_value=1000))
+    rng = np.random.default_rng(seed)
+    return np.exp(rng.uniform(0, np.log(1000), size=(count, 2)))
+
+
+def test_search_summary_invariants(medium_profile):
+    model = CostModel(CPU_SANDY_BRIDGE)
+
+    @given(mn_candidates())
+    @settings(max_examples=30, deadline=None)
+    def check(cands):
+        secs = evaluate_single(medium_profile, model, cands)
+        assert (secs > 0).all()
+        out = summarize_search(cands, secs, seed=0)
+        assert out.best_seconds <= out.average_seconds <= out.worst_seconds
+        assert out.best_seconds <= out.random_seconds <= out.worst_seconds
+
+    check()

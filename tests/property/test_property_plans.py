@@ -1,0 +1,100 @@
+"""Property-based tests for plan builders and the Graph 500 stats."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bfs.result import Direction
+from repro.bfs.trace import LevelProfile, LevelRecord
+from repro.graph500 import Stats
+from repro.hetero.planner import cross_plan, mn_directions
+
+
+@st.composite
+def profile(draw):
+    depth = draw(st.integers(min_value=1, max_value=10))
+    records = []
+    for i in range(depth):
+        fe = draw(st.integers(min_value=0, max_value=10**8))
+        fv = draw(st.integers(min_value=1, max_value=10**6))
+        records.append(
+            LevelRecord(
+                level=i,
+                frontier_vertices=fv,
+                frontier_edges=fe,
+                unvisited_vertices=10**6,
+                unvisited_edges=10**8,
+                bu_edges_checked=10**6,
+                claimed=0,
+                bu_edges_failed=10**5,
+            )
+        )
+    return LevelProfile(
+        source=0,
+        num_vertices=draw(st.integers(min_value=1, max_value=10**7)),
+        num_edges=draw(st.integers(min_value=1, max_value=10**8)),
+        records=tuple(records),
+    )
+
+
+thresholds = st.floats(min_value=1e-6, max_value=1e6)
+
+
+@given(profile(), thresholds, thresholds)
+@settings(max_examples=60, deadline=None)
+def test_mn_directions_match_rule_pointwise(p, m, n):
+    dirs = mn_directions(p, m, n)
+    assert len(dirs) == len(p)
+    for rec, d in zip(p, dirs):
+        td = (
+            rec.frontier_edges < p.num_edges / m
+            and rec.frontier_vertices < p.num_vertices / n
+        )
+        assert d == (Direction.TOP_DOWN if td else Direction.BOTTOM_UP)
+
+
+@given(profile(), thresholds, thresholds, thresholds, thresholds)
+@settings(max_examples=60, deadline=None)
+def test_cross_plan_structure_invariants(p, m1, n1, m2, n2):
+    plan = cross_plan(p, m1, n1, m2, n2)
+    assert len(plan) == len(p)
+    devices = [s.device for s in plan]
+    # Monotone: once on the GPU, never back.
+    if "gpu" in devices:
+        first = devices.index("gpu")
+        assert all(d == "gpu" for d in devices[first:])
+    # The CPU phase is top-down only.
+    for s in plan:
+        assert s.device in ("cpu", "gpu")
+        if s.device == "cpu":
+            assert s.direction == Direction.TOP_DOWN
+    # Phase-2 directions obey the (M2, N2) rule pointwise.
+    for rec, s in zip(p, plan):
+        if s.device == "gpu":
+            td = (
+                rec.frontier_edges < p.num_edges / m2
+                and rec.frontier_vertices < p.num_vertices / n2
+            )
+            assert s.direction == (
+                Direction.TOP_DOWN if td else Direction.BOTTOM_UP
+            )
+
+
+@given(
+    st.lists(
+        st.floats(min_value=1e-9, max_value=1e9),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_graph500_stats_invariants(values):
+    arr = np.array(values)
+    s = Stats.of(arr)
+    assert s.minimum <= s.firstquartile <= s.median
+    assert s.median <= s.thirdquartile <= s.maximum
+    # Float round-trips (1/(1/x)) can undershoot by an ulp.
+    assert s.minimum * (1 - 1e-12) <= s.harmonic_mean
+    assert s.harmonic_mean <= s.maximum * (1 + 1e-12)
+    assert s.harmonic_mean <= s.mean * (1 + 1e-9)  # HM <= AM
+    assert s.stddev >= 0

@@ -1,0 +1,122 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands(self):
+        parser = build_parser()
+        for argv in (
+            ["list"],
+            ["info"],
+            ["run", "fig01"],
+            ["all"],
+            ["bfs", "--scale", "10"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "table4"])
+        assert args.scale == 15
+        assert args.candidates == 1000
+        assert args.save is None
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig08" in out and "table4" in out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "cpu-snb" in out and "RCMB" in out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_experiment(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        rc = main(
+            ["run", "roofline", "--scale", "10", "--save", str(tmp_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "RCMB" in out
+        assert (tmp_path / "roofline_rcmb.json").exists()
+
+    def test_bfs_command(self, capsys):
+        rc = main(
+            [
+                "bfs",
+                "--scale",
+                "10",
+                "--edgefactor",
+                "8",
+                "--engine",
+                "hybrid",
+                "--m",
+                "20",
+                "--n",
+                "100",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "GTEPS" in out and "validated" in out
+
+    def test_bfs_topdown(self, capsys):
+        assert main(["bfs", "--scale", "9", "--engine", "td"]) == 0
+        assert "GTEPS" in capsys.readouterr().out
+
+    def test_bfs_bottomup(self, capsys):
+        assert main(["bfs", "--scale", "9", "--engine", "bu"]) == 0
+        assert "GTEPS" in capsys.readouterr().out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_graph500_command(self, capsys):
+        rc = main(
+            [
+                "graph500",
+                "--scale",
+                "9",
+                "--edgefactor",
+                "8",
+                "--roots",
+                "3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "TEPS_harmonic_mean" in out
+        assert "validated: True" in out
+
+    def test_graph500_engine_choice(self, capsys):
+        assert (
+            main(
+                [
+                    "graph500",
+                    "--scale",
+                    "8",
+                    "--roots",
+                    "2",
+                    "--engine",
+                    "td",
+                ]
+            )
+            == 0
+        )
+        assert "headline" in capsys.readouterr().out

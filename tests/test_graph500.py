@@ -1,0 +1,87 @@
+"""Unit tests for the Graph 500 benchmark driver."""
+
+import numpy as np
+import pytest
+
+from repro.bfs.topdown import bfs_top_down
+from repro.errors import BenchError
+from repro.graph500 import Graph500Result, Stats, run_graph500
+
+
+class TestStats:
+    def test_values(self):
+        s = Stats.of(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.median == 2.5
+        assert s.mean == 2.5
+        assert s.harmonic_mean == pytest.approx(4 / (1 + 0.5 + 1 / 3 + 0.25))
+        assert s.firstquartile <= s.median <= s.thirdquartile
+
+    def test_single_value(self):
+        s = Stats.of(np.array([5.0]))
+        assert s.stddev == 0.0
+        assert s.minimum == s.maximum == 5.0
+
+    def test_validation(self):
+        with pytest.raises(BenchError):
+            Stats.of(np.array([]))
+        with pytest.raises(BenchError):
+            Stats.of(np.array([1.0, 0.0]))
+
+    def test_as_dict_keys(self):
+        d = Stats.of(np.array([1.0, 2.0])).as_dict()
+        assert set(d) == {
+            "min", "q1", "median", "q3", "max", "mean", "stddev",
+            "harmonic_mean",
+        }
+
+
+class TestRunGraph500:
+    @pytest.fixture(scope="class")
+    def result(self) -> Graph500Result:
+        return run_graph500(9, 8, num_roots=6, seed=1)
+
+    def test_structure(self, result):
+        assert result.scale == 9
+        assert result.num_roots == 6
+        assert result.bfs_seconds.shape == (6,)
+        assert result.teps.shape == (6,)
+        assert result.construction_seconds > 0
+        assert result.validated
+
+    def test_teps_consistent(self, result):
+        assert (result.teps > 0).all()
+        assert result.harmonic_mean_teps == pytest.approx(
+            result.teps_stats.harmonic_mean
+        )
+
+    def test_summary_format(self, result):
+        text = result.summary()
+        assert "SCALE: 9" in text
+        assert "NBFS: 6" in text
+        assert "TEPS_harmonic_mean:" in text
+        assert "time_median:" in text
+
+    def test_custom_engine(self):
+        calls = []
+
+        def engine(graph, source):
+            calls.append(source)
+            return bfs_top_down(graph, source)
+
+        res = run_graph500(8, 4, num_roots=3, engine=engine, seed=2)
+        assert len(calls) == 3
+        assert res.validated
+
+    def test_validation_can_be_skipped(self):
+        res = run_graph500(8, 4, num_roots=2, validate=False, seed=3)
+        assert not res.validated
+
+    def test_bad_roots(self):
+        with pytest.raises(BenchError):
+            run_graph500(8, 4, num_roots=0)
+
+    def test_deterministic_roots(self):
+        a = run_graph500(8, 4, num_roots=3, seed=5)
+        b = run_graph500(8, 4, num_roots=3, seed=5)
+        assert np.array_equal(a.roots, b.roots)

@@ -1,0 +1,163 @@
+"""End-to-end integration tests across subsystem boundaries.
+
+Each test exercises a realistic multi-module path a downstream user
+would take, including persistence in the middle — the places unit
+tests cannot see breakage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    CPU_SANDY_BRIDGE,
+    GPU_K20X,
+    MIC_KNC,
+    SimulatedMachine,
+    scale_profile,
+)
+from repro.bfs import bfs_hybrid, pick_sources, profile_bfs
+from repro.graph import load_npz, rmat, save_npz
+from repro.hetero import CrossArchitectureBFS, execute_plan, oracle_plan
+from repro.tuning import (
+    SwitchingPointPredictor,
+    build_training_set,
+    profile_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline(tmp_path_factory):
+    """Train a predictor via disk round-trips at every stage."""
+    tmp = tmp_path_factory.mktemp("pipeline")
+    # Stage 1: generate graphs and persist them.
+    paths = []
+    for i, (scale, ef) in enumerate([(11, 8), (11, 16), (12, 16)]):
+        g = rmat(scale, ef, seed=300 + i)
+        p = tmp / f"g{i}.npz"
+        save_npz(g, p)
+        paths.append(p)
+    # Stage 2: reload, profile, build the corpus.
+    profiled = [
+        profile_graph(load_npz(p), seed=i, tag=f"pipe{i}")
+        for i, p in enumerate(paths)
+    ]
+    pairs = [
+        (CPU_SANDY_BRIDGE, CPU_SANDY_BRIDGE),
+        (GPU_K20X, GPU_K20X),
+        (CPU_SANDY_BRIDGE, GPU_K20X),
+    ]
+    corpus = build_training_set(profiled, pairs, seed=0)
+    # Stage 3: fit and persist the predictor.
+    predictor = SwitchingPointPredictor().fit(corpus)
+    predictor.save(tmp / "model")
+    return tmp, SwitchingPointPredictor.load(tmp / "model")
+
+
+class TestFullPipeline:
+    def test_predictor_survives_roundtrips(self, pipeline):
+        _, predictor = pipeline
+        g = rmat(11, 16, seed=555)
+        m, n = predictor.predict_mn(g, CPU_SANDY_BRIDGE, GPU_K20X)
+        assert 1 <= m <= 1000 and 1 <= n <= 1000
+
+    def test_algorithm3_on_fresh_graph(self, pipeline):
+        _, predictor = pipeline
+        machine = SimulatedMachine(
+            {"cpu": CPU_SANDY_BRIDGE, "gpu": GPU_K20X, "mic": MIC_KNC}
+        )
+        g = rmat(12, 16, seed=777)
+        src = int(pick_sources(g, 1, seed=0)[0])
+        run = CrossArchitectureBFS(machine, predictor).run(g, src)
+        run.result.validate(g)
+        # The predicted plan must beat GPU top-down on scaled counters.
+        profile, _ = profile_bfs(g, src)
+        big = scale_profile(profile, 2**10)
+        from repro.arch import PlanStep
+        from repro.bfs import Direction
+
+        gputd = machine.run(
+            big, [PlanStep("gpu", Direction.TOP_DOWN)] * len(big)
+        )
+        from repro.hetero import cross_plan
+
+        cross = machine.run(
+            big, cross_plan(big, run.m1, run.n1, run.m2, run.n2)
+        )
+        assert cross.total_seconds < gputd.total_seconds
+
+    def test_oracle_plan_executes_and_validates(self, pipeline):
+        machine = SimulatedMachine(
+            {"cpu": CPU_SANDY_BRIDGE, "gpu": GPU_K20X}
+        )
+        g = rmat(11, 16, seed=888)
+        src = int(pick_sources(g, 1, seed=1)[0])
+        profile, _ = profile_bfs(g, src)
+        plan = oracle_plan(machine, profile)
+        result, report = execute_plan(machine, g, src, plan)
+        result.validate(g)
+        assert report.total_seconds > 0
+        # The executed directions match the plan exactly.
+        assert result.directions == [s.direction for s in plan]
+
+    def test_hybrid_with_predicted_point_is_correct(self, pipeline):
+        """The regression's numbers feed the *real* hybrid engine."""
+        _, predictor = pipeline
+        g = rmat(12, 8, seed=999)
+        src = int(pick_sources(g, 1, seed=2)[0])
+        m, n = predictor.predict_mn(g, CPU_SANDY_BRIDGE, CPU_SANDY_BRIDGE)
+        res = bfs_hybrid(g, src, m=m, n=n)
+        res.validate(g)
+
+    def test_graph500_flow_with_hybrid_engine(self, pipeline):
+        from repro.graph500 import run_graph500
+
+        res = run_graph500(10, 8, num_roots=4, seed=4)
+        assert res.validated
+        assert res.harmonic_mean_teps > 0
+
+
+class TestDeterminism:
+    """Same seeds, same answers — end to end."""
+
+    def test_experiment_rows_reproducible(self, tmp_path):
+        from repro.bench.experiments import run_experiment
+        from repro.bench.runner import BenchConfig
+
+        config = BenchConfig(
+            base_scale=11,
+            seeds=(0,),
+            candidate_count=100,
+            cache_dir=tmp_path / "c1",
+        )
+        config2 = BenchConfig(
+            base_scale=11,
+            seeds=(0,),
+            candidate_count=100,
+            cache_dir=tmp_path / "c2",
+        )
+        a = run_experiment("table3", config)
+        b = run_experiment("table3", config2)
+        assert a.rows == b.rows
+
+    def test_corpus_reproducible(self):
+        g = rmat(10, 8, seed=42)
+        pg1 = profile_graph(g, seed=0)
+        pg2 = profile_graph(g, seed=0)
+        pairs = [(CPU_SANDY_BRIDGE, CPU_SANDY_BRIDGE)]
+        c1 = build_training_set([pg1], pairs, seed=0)
+        c2 = build_training_set([pg2], pairs, seed=0)
+        assert c1.best_m == c2.best_m
+        assert c1.best_n == c2.best_n
+
+    def test_svr_training_reproducible(self):
+        g1 = rmat(10, 8, seed=42)
+        pairs = [(CPU_SANDY_BRIDGE, CPU_SANDY_BRIDGE), (GPU_K20X, GPU_K20X)]
+        corpus = build_training_set(
+            [profile_graph(g1, seed=0)], pairs, seed=0
+        )
+        p1 = SwitchingPointPredictor().fit(corpus)
+        p2 = SwitchingPointPredictor().fit(corpus)
+        g = rmat(10, 16, seed=1)
+        assert p1.predict_mn(
+            g, CPU_SANDY_BRIDGE, GPU_K20X
+        ) == p2.predict_mn(g, CPU_SANDY_BRIDGE, GPU_K20X)

@@ -1,0 +1,112 @@
+"""Scale stress tests and concurrency properties.
+
+The vectorized and thread-parallel engines must agree with the scalar
+reference at sizes where chunking, threading and int32/int64 seams
+actually engage — not just on toy graphs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bfs.bottomup import bfs_bottom_up
+from repro.bfs.hybrid import bfs_hybrid
+from repro.bfs.parallel import ParallelBFS
+from repro.bfs.profiler import pick_sources
+from repro.bfs.topdown import bfs_top_down
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat
+
+
+@pytest.fixture(scope="module")
+def big_graph():
+    """SCALE 16: 65k vertices, ~1M edges — chunking and threading real."""
+    return rmat(16, 16, seed=99)
+
+
+class TestScaleStress:
+    def test_engines_agree_at_scale(self, big_graph):
+        src = int(pick_sources(big_graph, 1, seed=0)[0])
+        td = bfs_top_down(big_graph, src)
+        bu = bfs_bottom_up(big_graph, src)
+        hy = bfs_hybrid(big_graph, src, m=20, n=100)
+        assert np.array_equal(td.level, bu.level)
+        assert np.array_equal(td.level, hy.level)
+        hy.validate(big_graph)
+
+    def test_chunked_bottom_up_at_scale(self, big_graph):
+        src = int(pick_sources(big_graph, 1, seed=1)[0])
+        full = bfs_bottom_up(big_graph, src)
+        chunked = bfs_bottom_up(big_graph, src, chunk_entries=10_000)
+        assert np.array_equal(full.level, chunked.level)
+        assert full.edges_examined == chunked.edges_examined
+
+    def test_parallel_engine_at_scale(self, big_graph):
+        src = int(pick_sources(big_graph, 1, seed=2)[0])
+        serial = bfs_hybrid(big_graph, src, m=20, n=100)
+        with ParallelBFS.hybrid(8, 20, 100) as eng:
+            par = eng.run(big_graph, src)
+        assert np.array_equal(serial.level, par.level)
+        par.validate(big_graph)
+
+    def test_multiple_sources_at_scale(self, big_graph):
+        for src in pick_sources(big_graph, 3, seed=3):
+            bfs_hybrid(big_graph, int(src), m=20, n=100).validate(big_graph)
+
+    def test_profile_at_scale_consistent(self, big_graph):
+        from repro.bfs.profiler import profile_bfs
+
+        src = int(pick_sources(big_graph, 1, seed=4)[0])
+        profile, result = profile_bfs(big_graph, src)
+        assert profile.total_reached() == result.num_reached
+        # Total TD work over all levels = degree mass of the component.
+        reached = result.level >= 0
+        assert profile.frontier_edges().sum() == int(
+            big_graph.degrees[reached].sum()
+        )
+
+
+class TestConcurrencyProperties:
+    """Thread count must never affect the answer."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=50),
+        threads=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_thread_count_invariance(self, seed, threads):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(10, 200))
+        m = int(rng.integers(0, 400))
+        graph = CSRGraph.from_edges(
+            rng.integers(0, n, m), rng.integers(0, n, m), n
+        )
+        source = int(rng.integers(0, n))
+        serial = bfs_top_down(graph, source)
+        with ParallelBFS(num_threads=threads) as eng:
+            par_td = eng.run(graph, source, direction="td")
+            par_bu = eng.run(graph, source, direction="bu")
+        assert np.array_equal(serial.level, par_td.level)
+        assert np.array_equal(serial.level, par_bu.level)
+
+    def test_engine_reusable_across_graphs(self):
+        """One pool, many traversals, no state bleed."""
+        with ParallelBFS(num_threads=4) as eng:
+            for seed in range(4):
+                g = rmat(10, 8, seed=seed)
+                src = int(pick_sources(g, 1, seed=seed)[0])
+                ref = bfs_top_down(g, src)
+                got = eng.run(g, src)
+                assert np.array_equal(ref.level, got.level)
+
+    def test_concurrent_results_independent(self, big_graph):
+        """Two traversals interleaved on one engine don't corrupt maps
+        (each run owns its arrays; the pool is the only shared state)."""
+        srcs = pick_sources(big_graph, 2, seed=5)
+        with ParallelBFS(num_threads=4) as eng:
+            a1 = eng.run(big_graph, int(srcs[0]))
+            b1 = eng.run(big_graph, int(srcs[1]))
+            a2 = eng.run(big_graph, int(srcs[0]))
+        assert np.array_equal(a1.level, a2.level)
+        assert not np.array_equal(a1.level, b1.level)

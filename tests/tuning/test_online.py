@@ -1,0 +1,97 @@
+"""Unit tests for the model-predictive online policy."""
+
+import numpy as np
+import pytest
+
+from repro.arch.costmodel import CostModel
+from repro.arch.specs import CPU_SANDY_BRIDGE, GPU_K20X
+from repro.bfs.hybrid import LevelState, bfs_hybrid
+from repro.bfs.reference import bfs_reference
+from repro.bfs.result import Direction
+from repro.errors import TuningError
+from repro.tuning.online import CostModelPolicy, estimate_bu_checked
+
+
+def state(fv, fe, uv, n=1 << 23, e=1 << 27, depth=0):
+    return LevelState(
+        depth=depth,
+        frontier_vertices=fv,
+        frontier_edges=fe,
+        num_vertices=n,
+        num_edges=e,
+        unvisited_vertices=uv,
+    )
+
+
+class TestEstimator:
+    def test_tiny_frontier_scans_everything(self):
+        """p_hit ~ 0 -> every unvisited vertex scans its whole list."""
+        s = state(fv=1, fe=16, uv=(1 << 23) - 1)
+        checked, failed = estimate_bu_checked(s)
+        avg_deg = 2 * s.num_edges / s.num_vertices
+        assert checked == pytest.approx(s.unvisited_vertices * avg_deg, rel=0.1)
+        assert failed > 0.5 * checked
+
+    def test_huge_frontier_one_probe_each(self):
+        """p_hit ~ 1 -> about one check per unvisited vertex."""
+        s = state(fv=1 << 22, fe=2 * (1 << 27), uv=1 << 20)
+        checked, failed = estimate_bu_checked(s)
+        assert checked <= 2 * s.unvisited_vertices
+        assert failed < 0.2 * checked
+
+    def test_zero_unvisited(self):
+        s = state(fv=10, fe=100, uv=0)
+        assert estimate_bu_checked(s) == (0, 0)
+
+    def test_monotone_in_frontier(self):
+        """A bigger frontier can only reduce expected checks."""
+        small = estimate_bu_checked(state(fv=10, fe=1 << 10, uv=1 << 20))[0]
+        big = estimate_bu_checked(state(fv=10, fe=1 << 24, uv=1 << 20))[0]
+        assert big <= small
+
+    def test_matches_measured_order(self, medium_profile):
+        """Within an order of magnitude of the measured counters on the
+        middle levels (where the estimate matters)."""
+        for rec in medium_profile:
+            if rec.frontier_edges < 100 or rec.bu_edges_checked < 1000:
+                continue
+            s = state(
+                fv=rec.frontier_vertices,
+                fe=rec.frontier_edges,
+                uv=rec.unvisited_vertices,
+                n=medium_profile.num_vertices,
+                e=medium_profile.num_edges,
+            )
+            est, _ = estimate_bu_checked(s)
+            assert 0.05 < est / rec.bu_edges_checked < 20.0
+
+
+class TestCostModelPolicy:
+    def test_needs_cost_model(self):
+        with pytest.raises(TuningError):
+            CostModelPolicy("not a model")
+
+    def test_correct_traversal(self, rmat_medium):
+        from repro.bfs.profiler import pick_sources
+
+        src = int(pick_sources(rmat_medium, 1, seed=1)[0])
+        policy = CostModelPolicy(CostModel(CPU_SANDY_BRIDGE))
+        ref = bfs_reference(rmat_medium, src)
+        res = bfs_hybrid(rmat_medium, src, policy=policy)
+        assert np.array_equal(res.level, ref.level)
+        res.validate(rmat_medium)
+
+    def test_paper_scale_states_pick_sensibly(self):
+        """At paper-scale counters the policy reproduces the Fig. 3
+        structure: TD for the tiny start, BU at the explosion."""
+        policy = CostModelPolicy(CostModel(CPU_SANDY_BRIDGE))
+        early = state(fv=1, fe=20, uv=(1 << 23) - 1)
+        assert policy.direction(early) == Direction.TOP_DOWN
+        peak = state(fv=1 << 21, fe=90_000_000, uv=1 << 22)
+        assert policy.direction(peak) == Direction.BOTTOM_UP
+
+    def test_gpu_policy_avoids_level1_bottom_up(self):
+        """GPU's catastrophic level-1 BU must be predicted and avoided."""
+        policy = CostModelPolicy(CostModel(GPU_K20X))
+        early = state(fv=1, fe=20, uv=(1 << 23) - 1)
+        assert policy.direction(early) == Direction.TOP_DOWN

@@ -1,0 +1,132 @@
+"""Unit tests for the root-aware predictor extension."""
+
+import numpy as np
+import pytest
+
+from repro.arch.specs import CPU_SANDY_BRIDGE, GPU_K20X
+from repro.errors import NotFittedError, TuningError
+from repro.graph.generators import rmat, star
+from repro.bfs.profiler import pick_sources
+from repro.tuning.rootaware import (
+    ROOT_FEATURE_NAMES,
+    RootAwareCorpus,
+    RootAwarePredictor,
+    build_root_training_set,
+    make_root_sample,
+    root_features,
+)
+from repro.tuning.training import profile_graph
+
+
+class TestRootFeatures:
+    def test_layout(self):
+        assert len(ROOT_FEATURE_NAMES) == 14
+
+    def test_values(self):
+        g = star(11)
+        hub = root_features(g, 0)
+        leaf = root_features(g, 3)
+        assert hub[0] > leaf[0]  # log-degree
+        assert hub[1] > 1.0 > leaf[1]  # relative degree
+
+    def test_sample_concatenation(self, rmat_small, rmat_source):
+        s = make_root_sample(
+            rmat_small, rmat_source, CPU_SANDY_BRIDGE, GPU_K20X
+        )
+        assert s.shape == (14,)
+        assert s[12] == pytest.approx(
+            np.log2(1 + rmat_small.degree(rmat_source))
+        )
+
+
+class TestCorpus:
+    def test_add_and_arrays(self, rmat_small, rmat_source):
+        c = RootAwareCorpus()
+        s = make_root_sample(
+            rmat_small, rmat_source, CPU_SANDY_BRIDGE, CPU_SANDY_BRIDGE
+        )
+        c.add(s, 16.0, 32.0)
+        X, lm, ln = c.as_arrays()
+        assert X.shape == (1, 14)
+        assert lm[0] == 4.0 and ln[0] == 5.0
+
+    def test_validation(self):
+        c = RootAwareCorpus()
+        with pytest.raises(TuningError):
+            c.add(np.zeros(12), 1, 1)
+        with pytest.raises(TuningError):
+            c.add(np.zeros(14), 0, 1)
+        with pytest.raises(TuningError):
+            c.as_arrays()
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    rows = []
+    for seed in (0, 1):
+        g = rmat(11, 16, seed=50 + seed)
+        for root in pick_sources(g, 3, seed=seed):
+            pg = profile_graph(g, source=int(root), tag=f"{seed}")
+            rows.append((pg, int(root), root_features(g, int(root))))
+    pairs = [(CPU_SANDY_BRIDGE, CPU_SANDY_BRIDGE)]
+    return build_root_training_set(rows, pairs, seed=0), rows
+
+
+class TestBuildAndPredict:
+    def test_corpus_size(self, small_corpus):
+        corpus, rows = small_corpus
+        assert len(corpus) == len(rows)
+
+    def test_fit_predict_in_range(self, small_corpus, rmat_small, rmat_source):
+        corpus, _ = small_corpus
+        pred = RootAwarePredictor().fit(corpus)
+        m, n = pred.predict_mn(
+            rmat_small, rmat_source, CPU_SANDY_BRIDGE, CPU_SANDY_BRIDGE
+        )
+        assert 1.0 <= m <= 1000.0 and 1.0 <= n <= 1000.0
+
+    def test_unfitted(self, rmat_small, rmat_source):
+        with pytest.raises(NotFittedError):
+            RootAwarePredictor().predict_mn(
+                rmat_small, rmat_source, CPU_SANDY_BRIDGE, CPU_SANDY_BRIDGE
+            )
+
+    def test_clip_validated(self):
+        with pytest.raises(TuningError):
+            RootAwarePredictor(clip=(5, 2))
+
+    def test_save_load(self, small_corpus, tmp_path, rmat_small, rmat_source):
+        corpus, _ = small_corpus
+        pred = RootAwarePredictor().fit(corpus)
+        pred.save(tmp_path / "ra")
+        back = RootAwarePredictor.load(tmp_path / "ra")
+        a = pred.predict_mn(
+            rmat_small, rmat_source, CPU_SANDY_BRIDGE, CPU_SANDY_BRIDGE
+        )
+        b = back.predict_mn(
+            rmat_small, rmat_source, CPU_SANDY_BRIDGE, CPU_SANDY_BRIDGE
+        )
+        assert a == b
+
+    def test_save_unfitted(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            RootAwarePredictor().save(tmp_path / "x")
+
+    def test_build_validation(self):
+        with pytest.raises(TuningError):
+            build_root_training_set([], [(CPU_SANDY_BRIDGE, CPU_SANDY_BRIDGE)])
+
+    def test_roots_change_prediction(self, small_corpus):
+        """The whole point: different roots of the same graph may get
+        different switching points."""
+        corpus, rows = small_corpus
+        pred = RootAwarePredictor().fit(corpus)
+        g = rows[0][0].graph
+        hub = int(np.argmax(g.degrees))
+        leaves = np.nonzero(g.degrees == 1)[0]
+        if leaves.size == 0:
+            pytest.skip("no degree-1 vertex")
+        leaf = int(leaves[0])
+        mh, nh = pred.predict_mn(g, hub, CPU_SANDY_BRIDGE, CPU_SANDY_BRIDGE)
+        ml, nl = pred.predict_mn(g, leaf, CPU_SANDY_BRIDGE, CPU_SANDY_BRIDGE)
+        assert (mh, nh) != (ml, nl)

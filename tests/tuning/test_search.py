@@ -1,0 +1,141 @@
+"""Unit tests for switching-point search."""
+
+import numpy as np
+import pytest
+
+from repro.arch.costmodel import CostModel
+from repro.arch.machine import SimulatedMachine
+from repro.arch.specs import CPU_SANDY_BRIDGE, GPU_K20X
+from repro.errors import TuningError
+from repro.hetero.planner import cross_plan, mn_directions
+from repro.tuning.search import (
+    best_m_scan,
+    candidate_cross_grid,
+    candidate_mn_grid,
+    evaluate_cross,
+    evaluate_single,
+    summarize_search,
+)
+
+
+@pytest.fixture(scope="module")
+def cpu():
+    return CostModel(CPU_SANDY_BRIDGE)
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return SimulatedMachine({"cpu": CPU_SANDY_BRIDGE, "gpu": GPU_K20X})
+
+
+class TestGrids:
+    def test_mn_grid_shape_and_range(self):
+        g = candidate_mn_grid(500, lo=1, hi=1000, seed=0)
+        assert g.shape == (500, 2)
+        assert g.min() >= 1 and g.max() <= 1000
+
+    def test_log_uniform_median(self):
+        g = candidate_mn_grid(4000, lo=1, hi=1000, seed=1)
+        # Median of log-uniform on [1, 1000] is ~sqrt(1000) ~ 31.6.
+        assert 20 < np.median(g[:, 0]) < 50
+
+    def test_cross_grid(self):
+        g = candidate_cross_grid(100, seed=0)
+        assert g.shape == (100, 4)
+
+    def test_validation(self):
+        with pytest.raises(TuningError):
+            candidate_mn_grid(0)
+        with pytest.raises(TuningError):
+            candidate_mn_grid(10, lo=10, hi=1)
+        with pytest.raises(TuningError):
+            candidate_cross_grid(0)
+
+
+class TestEvaluateSingle:
+    def test_matches_plan_pricing(self, cpu, small_profile):
+        """The vectorized evaluation must equal per-plan pricing."""
+        cands = candidate_mn_grid(50, seed=3)
+        fast = evaluate_single(small_profile, cpu, cands)
+        for k in range(0, 50, 7):
+            dirs = mn_directions(small_profile, cands[k, 0], cands[k, 1])
+            slow = cpu.traversal_seconds(small_profile, dirs)
+            assert fast[k] == pytest.approx(slow)
+
+    def test_shape_checked(self, cpu, small_profile):
+        with pytest.raises(TuningError):
+            evaluate_single(small_profile, cpu, np.ones((5, 3)))
+
+    def test_single_candidate(self, cpu, small_profile):
+        out = evaluate_single(small_profile, cpu, np.array([[10.0, 10.0]]))
+        assert out.shape == (1,)
+
+
+class TestEvaluateCross:
+    def test_matches_machine_run(self, machine, small_profile):
+        cands = candidate_cross_grid(20, seed=4)
+        fast = evaluate_cross(small_profile, machine, cands)
+        for k in (0, 7, 19):
+            plan = cross_plan(small_profile, *cands[k])
+            slow = machine.run(small_profile, plan).total_seconds
+            assert fast[k] == pytest.approx(slow)
+
+    def test_shape_checked(self, machine, small_profile):
+        with pytest.raises(TuningError):
+            evaluate_cross(small_profile, machine, np.ones((5, 2)))
+
+
+class TestSummarize:
+    def test_ordering(self, cpu, small_profile):
+        cands = candidate_mn_grid(200, seed=5)
+        secs = evaluate_single(small_profile, cpu, cands)
+        out = summarize_search(cands, secs, seed=6)
+        assert out.best_seconds <= out.random_seconds <= out.worst_seconds
+        assert out.best_seconds <= out.average_seconds <= out.worst_seconds
+        assert out.exhaustive_speedup_over_worst >= 1.0
+        assert out.exhaustive_speedup_over_random >= 1.0
+        assert out.exhaustive_speedup_over_average >= 1.0
+
+    def test_best_candidate_reported(self, cpu, small_profile):
+        cands = candidate_mn_grid(100, seed=7)
+        secs = evaluate_single(small_profile, cpu, cands)
+        out = summarize_search(cands, secs)
+        k = int(np.argmin(secs))
+        assert np.array_equal(out.best_candidate, cands[k])
+
+    def test_speedup_over_worst(self, cpu, small_profile):
+        cands = candidate_mn_grid(100, seed=8)
+        secs = evaluate_single(small_profile, cpu, cands)
+        out = summarize_search(cands, secs)
+        assert out.speedup_over_worst(out.best_seconds) == pytest.approx(
+            out.exhaustive_speedup_over_worst
+        )
+        with pytest.raises(TuningError):
+            out.speedup_over_worst(0)
+
+    def test_validation(self):
+        with pytest.raises(TuningError):
+            summarize_search(np.ones((2, 2)), np.ones(3))
+        with pytest.raises(TuningError):
+            summarize_search(np.ones((0, 2)), np.ones(0))
+
+
+class TestBestMScan:
+    def test_plateau_midpoint(self, cpu, medium_profile):
+        from repro.arch.calibration import scale_profile
+
+        big = scale_profile(medium_profile, 2**9)
+        best_m, secs = best_m_scan(big, cpu)
+        assert 1.0 <= best_m <= 4096.0
+        assert secs.shape == (49,)
+        # The midpoint must itself achieve the minimum.
+        achieved = evaluate_single(
+            big, cpu, np.array([[best_m, 1e-9]])
+        )[0]
+        assert achieved == pytest.approx(float(secs.min()))
+
+    def test_custom_grid(self, cpu, small_profile):
+        best_m, secs = best_m_scan(
+            small_profile, cpu, m_values=np.array([1.0, 10.0, 100.0])
+        )
+        assert secs.shape == (3,)

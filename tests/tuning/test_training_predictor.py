@@ -1,0 +1,147 @@
+"""Unit tests for the training-corpus builder and the runtime predictor."""
+
+import numpy as np
+import pytest
+
+from repro.arch.costmodel import CostModel
+from repro.arch.specs import CPU_SANDY_BRIDGE, GPU_K20X, MIC_KNC
+from repro.errors import NotFittedError, TuningError
+from repro.graph.generators import rmat
+from repro.tuning.predictor import SwitchingPointPredictor
+from repro.tuning.search import candidate_mn_grid, evaluate_single
+from repro.tuning.training import (
+    best_mn_single,
+    build_training_set,
+    profile_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def profiled_pair():
+    graphs = [rmat(11, 8, seed=1), rmat(11, 16, seed=2), rmat(12, 16, seed=3)]
+    return [
+        profile_graph(g, seed=i, tag=f"g{i}") for i, g in enumerate(graphs)
+    ]
+
+
+class TestProfileGraph:
+    def test_fields(self, profiled_pair):
+        pg = profiled_pair[0]
+        assert pg.features.shape == (6,)
+        assert len(pg.profile) > 2
+        assert pg.tag == "g0"
+
+    def test_explicit_source(self, rmat_small, rmat_source):
+        pg = profile_graph(rmat_small, source=rmat_source)
+        assert pg.profile.source == rmat_source
+
+    def test_scaled(self, profiled_pair):
+        pg = profiled_pair[0]
+        big = pg.scaled(8)
+        assert big.profile.num_vertices == pg.profile.num_vertices * 8
+        assert big.features[0] == pytest.approx(pg.features[0] * 8)
+        assert big.features[2] == pg.features[2]  # A unchanged
+
+
+class TestBestMN:
+    def test_best_is_minimum(self, profiled_pair):
+        pg = profiled_pair[0]
+        model = CostModel(CPU_SANDY_BRIDGE)
+        m, n, secs = best_mn_single(pg.profile, model, seed=0)
+        cands = candidate_mn_grid(1000, seed=0)
+        all_secs = evaluate_single(pg.profile, model, cands)
+        assert secs == pytest.approx(float(all_secs.min()))
+
+
+class TestBuildTrainingSet:
+    def test_rows_per_pair(self, profiled_pair):
+        pairs = [
+            (CPU_SANDY_BRIDGE, CPU_SANDY_BRIDGE),
+            (CPU_SANDY_BRIDGE, GPU_K20X),
+        ]
+        ts = build_training_set(profiled_pair, pairs, seed=0)
+        assert len(ts) == len(profiled_pair) * len(pairs)
+        X, lm, ln = ts.as_arrays()
+        assert X.shape == (len(ts), 12)
+        assert np.isfinite(lm).all() and np.isfinite(ln).all()
+
+    def test_empty_inputs_rejected(self, profiled_pair):
+        with pytest.raises(TuningError):
+            build_training_set([], [(CPU_SANDY_BRIDGE, CPU_SANDY_BRIDGE)])
+        with pytest.raises(TuningError):
+            build_training_set(profiled_pair, [])
+
+    def test_cross_pair_prices_differently(self, profiled_pair):
+        """Cross-architecture rows search a different cost surface than
+        single-device rows of the same graph (the argmin may coincide
+        at coarse candidate grids, but the surfaces must differ)."""
+        from repro.tuning.training import _evaluate_pair
+
+        pg = profiled_pair[0]
+        cands = candidate_mn_grid(200, seed=0)
+        gpu_only = evaluate_single(
+            pg.profile, CostModel(GPU_K20X), cands
+        )
+        cross = _evaluate_pair(
+            pg.profile, CPU_SANDY_BRIDGE, GPU_K20X, cands
+        )
+        assert not np.allclose(gpu_only, cross)
+
+    def test_cross_pair_samples_encode_both_archs(self, profiled_pair):
+        cross = build_training_set(
+            profiled_pair, [(CPU_SANDY_BRIDGE, GPU_K20X)], seed=0
+        )
+        X, _, _ = cross.as_arrays()
+        assert X[0, 6] == 256.0  # CPU peak in the TD block
+        assert X[0, 9] == 3950.0  # GPU peak in the BU block
+
+
+class TestPredictor:
+    @pytest.fixture(scope="class")
+    def fitted(self, profiled_pair):
+        pairs = [
+            (CPU_SANDY_BRIDGE, CPU_SANDY_BRIDGE),
+            (GPU_K20X, GPU_K20X),
+            (MIC_KNC, MIC_KNC),
+            (CPU_SANDY_BRIDGE, GPU_K20X),
+        ]
+        ts = build_training_set(profiled_pair, pairs, seed=0)
+        return SwitchingPointPredictor().fit(ts), ts
+
+    def test_predicts_in_clip_range(self, fitted, rmat_small):
+        pred, _ = fitted
+        m, n = pred.predict_mn(rmat_small, CPU_SANDY_BRIDGE, GPU_K20X)
+        assert 1.0 <= m <= 1000.0
+        assert 1.0 <= n <= 1000.0
+
+    def test_training_rows_recovered(self, fitted):
+        """On its own training rows the model must be close in log space
+        (epsilon-insensitive fit, so not exact)."""
+        pred, ts = fitted
+        X, lm, _ = ts.as_arrays()
+        got_m = np.array(
+            [np.log2(pred.predict_sample(x)[0]) for x in X]
+        )
+        assert np.abs(got_m - lm).mean() < 2.0
+
+    def test_unfitted_raises(self, rmat_small):
+        with pytest.raises(NotFittedError):
+            SwitchingPointPredictor().predict_mn(
+                rmat_small, CPU_SANDY_BRIDGE, CPU_SANDY_BRIDGE
+            )
+
+    def test_clip_validated(self):
+        with pytest.raises(TuningError):
+            SwitchingPointPredictor(clip=(10, 1))
+
+    def test_save_load(self, fitted, tmp_path, rmat_small):
+        pred, _ = fitted
+        pred.save(tmp_path / "model")
+        back = SwitchingPointPredictor.load(tmp_path / "model")
+        a = pred.predict_mn(rmat_small, CPU_SANDY_BRIDGE, GPU_K20X)
+        b = back.predict_mn(rmat_small, CPU_SANDY_BRIDGE, GPU_K20X)
+        assert a == b
+
+    def test_save_unfitted_raises(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            SwitchingPointPredictor().save(tmp_path / "model")
