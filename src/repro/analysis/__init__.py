@@ -1,0 +1,68 @@
+"""Static analysis and runtime sanitizing for the reproduction.
+
+Three coordinated correctness tools (see ``docs/static_analysis.md``):
+
+* :mod:`repro.analysis.lint` — a dependency-free AST rule engine with
+  codebase-specific rules (``RPR001`` … ``RPR006``) and line-level
+  ``# repro: noqa[RULE]`` suppression; the repo lints itself as a
+  tier-1 test.
+* :mod:`repro.analysis.sanitizer` — an opt-in runtime harness
+  (``sanitize=True`` on the BFS engines) that freezes CSR arrays during
+  traversal and checks per-level invariants, raising structured
+  :class:`~repro.errors.SanitizerError` on corruption.
+* :mod:`repro.analysis.units` — dimensional analysis that re-executes
+  the cost model with unit-tagged quantities so its output provably
+  reduces to seconds.
+
+Exposed on the CLI as ``repro-bfs lint`` and ``repro-bfs sanitize``.
+"""
+
+from repro.analysis.lint import (
+    RULES,
+    ModuleContext,
+    Rule,
+    Violation,
+    format_json,
+    format_text,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.sanitizer import Sanitizer, frozen_arrays
+from repro.analysis.units import (
+    BYTES,
+    DIMENSIONLESS,
+    EDGES,
+    OPS,
+    SECONDS,
+    VERTICES,
+    Quantity,
+    Unit,
+    check_cost_model,
+)
+
+# Importing the rules module registers RPR001..RPR006 in RULES.
+from repro.analysis import rules as _rules  # noqa: F401
+
+__all__ = [
+    "RULES",
+    "Rule",
+    "Violation",
+    "ModuleContext",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "format_text",
+    "format_json",
+    "Sanitizer",
+    "frozen_arrays",
+    "Unit",
+    "Quantity",
+    "DIMENSIONLESS",
+    "EDGES",
+    "VERTICES",
+    "BYTES",
+    "SECONDS",
+    "OPS",
+    "check_cost_model",
+]

@@ -1,0 +1,283 @@
+"""The ``repro`` lint engine.
+
+A small, dependency-free static analyzer built on :mod:`ast`.  Rules are
+codebase-specific: they encode the invariants this reproduction's hot
+paths rely on (vectorized kernels, wide index dtypes, monotonic clocks,
+library-grade error reporting, frozen CSR storage) rather than generic
+style.  The concrete rules live in :mod:`repro.analysis.rules`; this
+module provides the machinery:
+
+* a rule registry (``RULES``) populated by the :func:`rule` decorator;
+* per-file AST visiting with a :class:`ModuleContext` handed to each rule;
+* line-level suppression via ``# repro: noqa[RPR001]`` (or a bare
+  ``# repro: noqa`` to silence every rule on that line);
+* text and JSON reporters.
+
+Run it programmatically (:func:`lint_paths`) or via ``repro-bfs lint``.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.errors import LintError
+
+__all__ = [
+    "Violation",
+    "Rule",
+    "RULES",
+    "rule",
+    "ModuleContext",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "format_text",
+    "format_json",
+    "iter_python_files",
+]
+
+#: Directories (as package path fragments) whose modules are hot paths:
+#: Python-level per-vertex/per-edge loops are forbidden there (RPR001).
+HOT_PATH_FRAGMENTS = ("repro/bfs/", "repro/graph/", "repro/hetero/")
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule firing at one source location."""
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "rule": self.rule,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Everything a rule may inspect about one module."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    hot_path: bool
+    lines: tuple[str, ...] = field(repr=False, default=())
+
+    @property
+    def module_basename(self) -> str:
+        """File name without the ``.py`` suffix."""
+        name = Path(self.path).name
+        return name[:-3] if name.endswith(".py") else name
+
+
+#: A rule yields ``(lineno, col, message)`` triples for one module.
+RuleCheck = Callable[[ModuleContext], Iterator[tuple[int, int, str]]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint rule."""
+
+    code: str
+    name: str
+    summary: str
+    check: RuleCheck
+    hot_path_only: bool = False
+
+
+RULES: dict[str, Rule] = {}
+
+
+def rule(
+    code: str, summary: str, *, hot_path_only: bool = False
+) -> Callable[[RuleCheck], RuleCheck]:
+    """Register a rule under ``code`` (e.g. ``'RPR001'``)."""
+
+    def register(fn: RuleCheck) -> RuleCheck:
+        if code in RULES:
+            raise LintError(f"duplicate rule code {code!r}")
+        RULES[code] = Rule(
+            code=code,
+            name=fn.__name__,
+            summary=summary,
+            check=fn,
+            hot_path_only=hot_path_only,
+        )
+        return fn
+
+    return register
+
+
+def _ensure_rules_loaded() -> None:
+    # The concrete rules register themselves on import; importing here
+    # (not at module top) avoids a cycle since rules.py imports us.
+    if not RULES:
+        from repro.analysis import rules  # noqa: F401  (import side effect)
+
+
+def _resolve_select(select: Iterable[str] | None) -> list[Rule]:
+    _ensure_rules_loaded()
+    if select is None:
+        return [RULES[c] for c in sorted(RULES)]
+    chosen: list[Rule] = []
+    for code in select:
+        code = code.strip().upper()
+        if not code:
+            continue
+        if code not in RULES:
+            raise LintError(
+                f"unknown rule code {code!r}; known: {', '.join(sorted(RULES))}"
+            )
+        chosen.append(RULES[code])
+    return chosen
+
+
+def _suppressions(lines: Sequence[str]) -> dict[int, set[str] | None]:
+    """Per-line suppression map: line -> set of codes, or ``None`` for
+    a blanket ``# repro: noqa``."""
+    out: dict[int, set[str] | None] = {}
+    for i, text in enumerate(lines, 1):
+        m = _NOQA_RE.search(text)
+        if not m:
+            continue
+        codes = m.group("codes")
+        if codes is None:
+            out[i] = None
+        else:
+            out[i] = {c.strip().upper() for c in codes.split(",") if c.strip()}
+    return out
+
+
+def is_hot_path(path: str) -> bool:
+    """Whether ``path`` belongs to a hot-path package (RPR001 scope)."""
+    posix = Path(path).as_posix()
+    return any(frag in posix for frag in HOT_PATH_FRAGMENTS)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    select: Iterable[str] | None = None,
+    hot_path: bool | None = None,
+) -> list[Violation]:
+    """Lint one module given as a string.
+
+    ``hot_path`` overrides the path-based hot-path detection (useful for
+    testing rules against files outside the package layout).
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"{path}: cannot parse: {exc}") from exc
+    lines = tuple(source.splitlines())
+    ctx = ModuleContext(
+        path=path,
+        source=source,
+        tree=tree,
+        hot_path=is_hot_path(path) if hot_path is None else hot_path,
+        lines=lines,
+    )
+    suppressed = _suppressions(lines)
+    violations: list[Violation] = []
+    for rl in _resolve_select(select):
+        if rl.hot_path_only and not ctx.hot_path:
+            continue
+        for lineno, col, message in rl.check(ctx):
+            mask = suppressed.get(lineno, "absent")
+            if mask is None or (mask != "absent" and rl.code in mask):
+                continue
+            violations.append(
+                Violation(
+                    rule=rl.code,
+                    message=message,
+                    path=path,
+                    line=lineno,
+                    col=col,
+                )
+            )
+    violations.sort(key=lambda v: (v.line, v.col, v.rule))
+    return violations
+
+
+def lint_file(
+    path: str | Path, *, select: Iterable[str] | None = None
+) -> list[Violation]:
+    """Lint one file on disk."""
+    p = Path(path)
+    try:
+        source = p.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"{p}: cannot read: {exc}") from exc
+    return lint_source(source, str(p), select=select)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into the ``.py`` files to lint.
+
+    Directories are walked recursively; hidden directories and
+    ``__pycache__`` are skipped.  Order is deterministic.
+    """
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            for sub in sorted(p.rglob("*.py")):
+                parts = sub.relative_to(p).parts
+                if any(
+                    part.startswith(".") or part == "__pycache__"
+                    for part in parts[:-1]
+                ):
+                    continue
+                yield sub
+        elif p.suffix == ".py":
+            yield p
+        elif not p.exists():
+            raise LintError(f"{p}: no such file or directory")
+
+
+def lint_paths(
+    paths: Iterable[str | Path], *, select: Iterable[str] | None = None
+) -> tuple[list[Violation], int]:
+    """Lint files and directories.
+
+    Returns ``(violations, files_checked)``.
+    """
+    violations: list[Violation] = []
+    checked = 0
+    for file in iter_python_files(paths):
+        violations.extend(lint_file(file, select=select))
+        checked += 1
+    return violations, checked
+
+
+# -- reporters ------------------------------------------------------------
+
+
+def format_text(violations: Sequence[Violation]) -> str:
+    """One ``path:line:col CODE message`` line per violation."""
+    return "\n".join(
+        f"{v.path}:{v.line}:{v.col} {v.rule} {v.message}" for v in violations
+    )
+
+
+def format_json(violations: Sequence[Violation]) -> str:
+    """JSON array of violation objects (stable key order)."""
+    return json.dumps([v.as_dict() for v in violations], indent=2)

@@ -1,0 +1,298 @@
+"""Concrete lint rules (``RPR001`` … ``RPR006``).
+
+Each rule encodes an invariant this codebase depends on:
+
+========  ==============================================================
+RPR001    no Python-level loop over vertices/edges in hot-path modules
+          (``repro.bfs``/``repro.graph``/``repro.hetero``) — the kernels
+          must stay vectorized or the paper's performance story is void
+RPR002    no ``int64 -> int32`` narrowing of CSR ``offsets`` — offsets
+          index the edge array and overflow int32 past 2^31 edges
+RPR003    ``time.time()`` is not a benchmark clock — use
+          ``time.perf_counter()`` (monotonic, highest resolution)
+RPR004    no bare ``assert`` in library code — asserts vanish under
+          ``python -O``; raise a :mod:`repro.errors` type instead
+RPR005    no mutation of ``CSRGraph.offsets``/``targets`` outside the
+          construction module — traversals alias these arrays
+RPR006    public modules must declare ``__all__``
+========  ==============================================================
+
+Rules yield ``(line, col, message)``; the engine applies suppression and
+reporting.  See :mod:`repro.analysis.lint`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint import ModuleContext, rule
+
+__all__ = [
+    "check_hot_path_loops",
+    "check_offset_narrowing",
+    "check_wall_clock",
+    "check_bare_assert",
+    "check_csr_mutation",
+    "check_missing_all",
+]
+
+# Names whose iteration in a hot-path module almost certainly means a
+# scalar per-vertex/per-edge loop (the frontier, adjacency material).
+_VERTEXY_ITER_NAMES = {
+    "cq",
+    "frontier",
+    "neighbours",
+    "neighbors",
+    "unvisited",
+    "vertices",
+    "edges",
+}
+_CSR_ARRAY_ATTRS = {"offsets", "targets"}
+_SIZE_NAMES = {"num_vertices", "num_edges", "num_directed_edges",
+               "nverts", "nedges", "n_vertices", "n_edges"}
+_MUTATING_METHODS = {"fill", "sort", "resize", "put", "partition",
+                     "setfield", "byteswap"}
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    """The identifier a Name/Attribute expression ends in, if any."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _mentions_size(node: ast.expr) -> bool:
+    """Whether any sub-expression names a vertex/edge count or a CSR
+    array (so ``range()`` over it is a per-vertex/per-edge loop)."""
+    for sub in ast.walk(node):
+        name = _terminal_name(sub) if isinstance(sub, (ast.Name, ast.Attribute)) else None
+        if name in _SIZE_NAMES or name in _CSR_ARRAY_ATTRS:
+            return True
+    return False
+
+
+def _is_vertexy_iter(iter_node: ast.expr) -> bool:
+    """Heuristic: does this ``for``-loop iterable walk vertices/edges?"""
+    if isinstance(iter_node, ast.Call):
+        fn = iter_node.func
+        if isinstance(fn, ast.Name) and fn.id in ("range", "zip", "enumerate"):
+            return any(_mentions_size(a) or _is_vertexy_iter(a)
+                       for a in iter_node.args)
+        if isinstance(fn, ast.Attribute) and fn.attr in ("neighbors", "edge_list"):
+            return True
+        return False
+    name = _terminal_name(iter_node)
+    return name in _VERTEXY_ITER_NAMES or name in _CSR_ARRAY_ATTRS
+
+
+@rule(
+    "RPR001",
+    "Python-level loop over vertices/edges in a hot-path module "
+    "(bfs/graph/hetero); vectorize with NumPy",
+    hot_path_only=True,
+)
+def check_hot_path_loops(ctx: ModuleContext) -> Iterator[tuple[int, int, str]]:
+    """Flag scalar per-vertex/per-edge ``for`` loops (and comprehension
+    generators) inside the vectorized-kernel packages."""
+    for node in ast.walk(ctx.tree):
+        iters: list[tuple[int, int, ast.expr]] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append((node.lineno, node.col_offset, node.iter))
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for gen in node.generators:
+                iters.append((node.lineno, node.col_offset, gen.iter))
+        for line, col, iter_node in iters:
+            if _is_vertexy_iter(iter_node):
+                yield (
+                    line,
+                    col,
+                    "Python-level loop over vertices/edges "
+                    f"(`{ast.unparse(iter_node)}`) in a hot-path module; "
+                    "use vectorized NumPy kernels",
+                )
+
+
+def _is_int32_dtype(node: ast.expr) -> bool:
+    """Whether an expression denotes the int32 dtype (``np.int32``,
+    ``numpy.int32``, ``'int32'``, ``'i4'``)."""
+    if isinstance(node, ast.Attribute) and node.attr == "int32":
+        return True
+    if isinstance(node, ast.Constant) and node.value in ("int32", "i4", "<i4"):
+        return True
+    return False
+
+
+def _mentions_offsets(node: ast.expr) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.Name, ast.Attribute)):
+            if _terminal_name(sub) == "offsets":
+                return True
+    return False
+
+
+@rule(
+    "RPR002",
+    "int64 -> int32 narrowing of CSR offsets; offsets index the edge "
+    "array and overflow int32 on large graphs",
+)
+def check_offset_narrowing(ctx: ModuleContext) -> Iterator[tuple[int, int, str]]:
+    """Flag ``<expr involving offsets>.astype(np.int32)`` and
+    ``np.asarray(offsets…, dtype=np.int32)``-style narrowing."""
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        fn = node.func
+        # x.astype(np.int32) where x mentions offsets
+        if (
+            isinstance(fn, ast.Attribute)
+            and fn.attr == "astype"
+            and node.args
+            and _is_int32_dtype(node.args[0])
+            and _mentions_offsets(fn.value)
+        ):
+            yield (
+                node.lineno,
+                node.col_offset,
+                "narrowing a CSR offsets expression to int32; offsets "
+                "must stay int64 (they index up to |E| > 2^31 entries)",
+            )
+            continue
+        # np.asarray(x, dtype=np.int32) / np.array(...) where x mentions offsets
+        if (
+            isinstance(fn, ast.Attribute)
+            and fn.attr in ("asarray", "array", "ascontiguousarray", "zeros_like", "empty_like")
+            and node.args
+            and _mentions_offsets(node.args[0])
+        ):
+            for kw in node.keywords:
+                if kw.arg == "dtype" and _is_int32_dtype(kw.value):
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        "constructing an int32 array from a CSR offsets "
+                        "expression; offsets must stay int64",
+                    )
+
+
+@rule(
+    "RPR003",
+    "time.time() used for timing; use time.perf_counter() "
+    "(monotonic, not subject to clock adjustments)",
+)
+def check_wall_clock(ctx: ModuleContext) -> Iterator[tuple[int, int, str]]:
+    """Flag ``time.time()`` calls and ``from time import time``."""
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "time" and any(
+                alias.name == "time" for alias in node.names
+            ):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "importing time.time; use time.perf_counter for timing",
+                )
+        elif isinstance(node, ast.Call):
+            fn = node.func
+            if (
+                isinstance(fn, ast.Attribute)
+                and fn.attr == "time"
+                and isinstance(fn.value, ast.Name)
+                and fn.value.id == "time"
+            ):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "time.time() is not a benchmark clock; "
+                    "use time.perf_counter()",
+                )
+
+
+@rule(
+    "RPR004",
+    "bare assert in library code; asserts vanish under `python -O` — "
+    "raise a repro.errors type",
+)
+def check_bare_assert(ctx: ModuleContext) -> Iterator[tuple[int, int, str]]:
+    """Flag every ``assert`` statement (library code must raise)."""
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Assert):
+            yield (
+                node.lineno,
+                node.col_offset,
+                "bare assert in library code; raise a repro.errors "
+                "exception (asserts are stripped under python -O)",
+            )
+
+
+@rule(
+    "RPR005",
+    "mutation of CSRGraph offsets/targets outside graph/csr.py; "
+    "traversals alias these arrays",
+)
+def check_csr_mutation(ctx: ModuleContext) -> Iterator[tuple[int, int, str]]:
+    """Flag writes to ``<obj>.offsets`` / ``<obj>.targets`` — element
+    assignment, rebinding, augmented assignment, or in-place methods —
+    anywhere but the construction module."""
+    if ctx.path.replace("\\", "/").endswith("repro/graph/csr.py"):
+        return
+    for node in ast.walk(ctx.tree):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Call):
+            fn = node.func
+            if (
+                isinstance(fn, ast.Attribute)
+                and fn.attr in _MUTATING_METHODS
+                and isinstance(fn.value, ast.Attribute)
+                and fn.value.attr in _CSR_ARRAY_ATTRS
+            ):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"in-place `{fn.attr}` on CSR `{fn.value.attr}`; "
+                    "CSR arrays are frozen outside construction",
+                )
+            continue
+        for tgt in targets:
+            # g.offsets[...] = x   or   g.offsets = x
+            inner = tgt.value if isinstance(tgt, ast.Subscript) else tgt
+            if (
+                isinstance(inner, ast.Attribute)
+                and inner.attr in _CSR_ARRAY_ATTRS
+            ):
+                yield (
+                    tgt.lineno,
+                    tgt.col_offset,
+                    f"assignment to CSR `{inner.attr}` outside "
+                    "construction; build a new CSRGraph instead",
+                )
+
+
+@rule(
+    "RPR006",
+    "public module missing __all__; the API contract must be explicit",
+)
+def check_missing_all(ctx: ModuleContext) -> Iterator[tuple[int, int, str]]:
+    """Flag public modules (basename not starting with ``_``) that never
+    assign ``__all__`` at module level."""
+    if ctx.module_basename.startswith("_"):
+        return
+    for node in ctx.tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            return
+        if (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.target.id == "__all__"
+        ):
+            return
+    yield (1, 0, "public module does not declare __all__")

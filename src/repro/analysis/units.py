@@ -1,0 +1,309 @@
+"""Dimensional analysis of the cost model.
+
+The analytic cost model (:mod:`repro.arch.costmodel`) mixes five kinds
+of quantities — edges, vertices, bytes, seconds and scalar ops — and its
+output must always be *seconds*.  A refactor that drops a bandwidth
+divisor or adds an edge count to a time silently skews every switching
+point the tuner produces; the mistuning is exactly the catastrophic
+regime the paper warns about.
+
+This module re-executes the **real** cost-model code with unit-tagged
+values instead of floats: each :class:`Quantity` carries a vector of
+dimension exponents, multiplication/division combine them, and addition
+or comparison of mismatched dimensions raises
+:class:`~repro.errors.UnitsError`.  :func:`check_cost_model` builds a
+unit-tagged :class:`ArchSpec` stand-in and level record, temporarily
+rebinds the module's per-edge/per-vertex constants to tagged quantities,
+prices one level in both directions through the untouched
+``CostModel.top_down_seconds`` / ``bottom_up_seconds`` code paths, and
+verifies every cost term comes out in seconds.
+
+Because the genuine arithmetic runs (not a transcript of it), the check
+breaks the moment the formulas drift dimensionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnitsError
+
+__all__ = [
+    "Unit",
+    "Quantity",
+    "DIMENSIONLESS",
+    "EDGES",
+    "VERTICES",
+    "BYTES",
+    "SECONDS",
+    "OPS",
+    "check_cost_model",
+]
+
+_DIM_NAMES = ("edge", "vertex", "byte", "second", "op")
+
+
+@dataclass(frozen=True)
+class Unit:
+    """A vector of exponents over (edge, vertex, byte, second, op)."""
+
+    dims: tuple[int, int, int, int, int]
+
+    def __mul__(self, other: "Unit") -> "Unit":
+        return Unit(tuple(a + b for a, b in zip(self.dims, other.dims)))
+
+    def __truediv__(self, other: "Unit") -> "Unit":
+        return Unit(tuple(a - b for a, b in zip(self.dims, other.dims)))
+
+    @property
+    def dimensionless(self) -> bool:
+        return all(d == 0 for d in self.dims)
+
+    def __str__(self) -> str:
+        if self.dimensionless:
+            return "1"
+        num = [
+            f"{n}^{e}" if e != 1 else n
+            for n, e in zip(_DIM_NAMES, self.dims)
+            if e > 0
+        ]
+        den = [
+            f"{n}^{-e}" if e != -1 else n
+            for n, e in zip(_DIM_NAMES, self.dims)
+            if e < 0
+        ]
+        head = "·".join(num) or "1"
+        return f"{head}/{'·'.join(den)}" if den else head
+
+
+DIMENSIONLESS = Unit((0, 0, 0, 0, 0))
+EDGES = Unit((1, 0, 0, 0, 0))
+VERTICES = Unit((0, 1, 0, 0, 0))
+BYTES = Unit((0, 0, 1, 0, 0))
+SECONDS = Unit((0, 0, 0, 1, 0))
+OPS = Unit((0, 0, 0, 0, 1))
+
+
+class Quantity:
+    """A float with a :class:`Unit`.
+
+    Multiplication and division combine units (collapsing to a plain
+    ``float`` when the result is dimensionless, so library code like
+    ``np.clip`` keeps working on ratios); addition, subtraction and
+    ordering demand identical units and raise
+    :class:`~repro.errors.UnitsError` otherwise.  Comparison against the
+    literal ``0`` is allowed for any unit (sign checks are
+    dimension-safe).
+    """
+
+    __slots__ = ("value", "unit")
+
+    def __init__(self, value: float, unit: Unit = DIMENSIONLESS) -> None:
+        self.value = float(value)
+        self.unit = unit
+
+    # -- helpers ----------------------------------------------------------
+
+    @staticmethod
+    def _coerce(other: object) -> "Quantity | None":
+        if isinstance(other, Quantity):
+            return other
+        if isinstance(other, (int, float)):
+            return Quantity(float(other), DIMENSIONLESS)
+        return None
+
+    def _require_same_unit(self, other: "Quantity", op: str) -> None:
+        if self.unit != other.unit:
+            raise UnitsError(
+                f"cannot {op} quantities with units "
+                f"{self.unit} and {other.unit}"
+            )
+
+    @staticmethod
+    def _collapse(value: float, unit: Unit) -> "Quantity | float":
+        return value if unit.dimensionless else Quantity(value, unit)
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def __mul__(self, other: object):
+        q = self._coerce(other)
+        if q is None:
+            return NotImplemented
+        return self._collapse(self.value * q.value, self.unit * q.unit)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: object):
+        q = self._coerce(other)
+        if q is None:
+            return NotImplemented
+        return self._collapse(self.value / q.value, self.unit / q.unit)
+
+    def __rtruediv__(self, other: object):
+        q = self._coerce(other)
+        if q is None:
+            return NotImplemented
+        return self._collapse(q.value / self.value, q.unit / self.unit)
+
+    def _add_sub(self, other: object, sign: float, op: str):
+        q = self._coerce(other)
+        if q is None:
+            return NotImplemented
+        if q.value == 0 and not isinstance(other, Quantity):
+            # adding literal zero is unit-preserving
+            return Quantity(self.value, self.unit)
+        self._require_same_unit(q, op)
+        return Quantity(self.value + sign * q.value, self.unit)
+
+    def __add__(self, other: object):
+        return self._add_sub(other, 1.0, "add")
+
+    __radd__ = __add__
+
+    def __sub__(self, other: object):
+        return self._add_sub(other, -1.0, "subtract")
+
+    def __rsub__(self, other: object):
+        res = self._add_sub(other, -1.0, "subtract")
+        if res is NotImplemented:
+            return res
+        return Quantity(-res.value, res.unit)
+
+    def __neg__(self) -> "Quantity":
+        return Quantity(-self.value, self.unit)
+
+    # -- ordering (same unit, or literal zero) ----------------------------
+
+    def _cmp_value(self, other: object, op: str) -> float:
+        q = self._coerce(other)
+        if q is None:
+            raise UnitsError(f"cannot {op}-compare {type(other).__name__}")
+        if not isinstance(other, Quantity) and q.value == 0:
+            return 0.0
+        self._require_same_unit(q, op)
+        return q.value
+
+    def __lt__(self, other: object) -> bool:
+        return self.value < self._cmp_value(other, "lt")
+
+    def __le__(self, other: object) -> bool:
+        return self.value <= self._cmp_value(other, "le")
+
+    def __gt__(self, other: object) -> bool:
+        return self.value > self._cmp_value(other, "gt")
+
+    def __ge__(self, other: object) -> bool:
+        return self.value >= self._cmp_value(other, "ge")
+
+    def __eq__(self, other: object) -> bool:
+        q = self._coerce(other)
+        if q is None:
+            return NotImplemented
+        return self.unit == q.unit and self.value == q.value
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.unit))
+
+    def __repr__(self) -> str:
+        return f"Quantity({self.value!r}, {self.unit})"
+
+
+class _UnitSpec:
+    """Duck-typed :class:`~repro.arch.specs.ArchSpec` whose fields carry
+    units.  Only the attributes the cost model reads are provided."""
+
+    name = "unit-audit"
+
+    def __init__(self) -> None:
+        self.measured_bw_gbs = Quantity(150.0, BYTES / SECONDS)
+        self.compute_rate_gops = Quantity(50.0, OPS / SECONDS)
+        self.cacheline_bytes = Quantity(64.0, BYTES / EDGES)
+        self.td_overhead_s = Quantity(1e-5, SECONDS)
+        self.bu_overhead_s = Quantity(2e-5, SECONDS)
+        self.td_atomic_ns = Quantity(2.0, SECONDS / EDGES)
+        self.td_saturation_edges = Quantity(1e6, EDGES)
+        self.td_efficiency_floor = 0.02
+        self.bu_win_ns = Quantity(5.0, SECONDS / EDGES)
+        self.bu_fail_ns = Quantity(1.0, SECONDS / EDGES)
+        self.scan_bytes_per_vertex = Quantity(9.0, BYTES / VERTICES)
+        self._cache_bytes = Quantity(2e7, BYTES)
+
+    def cache_capacity_bytes(self) -> Quantity:
+        return self._cache_bytes
+
+
+#: Dimensional signatures of the module-level cost-model constants.
+CONSTANT_UNITS = {
+    "BYTES_EDGE_ID": BYTES / EDGES,
+    "BYTES_PARENT": BYTES / VERTICES,
+    "OPS_PER_EDGE_TD": OPS / EDGES,
+    "OPS_PER_EDGE_BU": OPS / EDGES,
+    "OPS_PER_VERTEX_SCAN": OPS / VERTICES,
+}
+
+
+def _expect_seconds(label: str, value: object, failures: list[str]) -> None:
+    if isinstance(value, Quantity):
+        if value.unit != SECONDS:
+            failures.append(f"{label} has unit {value.unit}, expected seconds")
+    else:
+        failures.append(
+            f"{label} lost its unit tag (came back {type(value).__name__}); "
+            "a dimensionless term leaked into a time"
+        )
+
+
+def check_cost_model() -> list[str]:
+    """Dimensionally audit ``CostModel.top_down_seconds`` and
+    ``bottom_up_seconds``.
+
+    Returns a list of human-readable failures — empty means the model is
+    dimensionally consistent (every cost term reduces to seconds).
+    """
+    from repro.arch import costmodel
+    from repro.bfs.trace import LevelRecord
+
+    failures: list[str] = []
+    saved = {name: getattr(costmodel, name) for name in CONSTANT_UNITS}
+    try:
+        for name, unit in CONSTANT_UNITS.items():
+            setattr(costmodel, name, Quantity(float(saved[name]), unit))
+        spec = _UnitSpec()
+        model = costmodel.CostModel(spec)  # type: ignore[arg-type]
+        rec = LevelRecord(
+            level=3,
+            frontier_vertices=Quantity(1e4, VERTICES),  # type: ignore[arg-type]
+            frontier_edges=Quantity(2e5, EDGES),  # type: ignore[arg-type]
+            unvisited_vertices=Quantity(5e4, VERTICES),  # type: ignore[arg-type]
+            unvisited_edges=Quantity(9e5, EDGES),  # type: ignore[arg-type]
+            bu_edges_checked=Quantity(3e5, EDGES),  # type: ignore[arg-type]
+            claimed=Quantity(8e3, VERTICES),  # type: ignore[arg-type]
+            bu_edges_failed=Quantity(1e5, EDGES),  # type: ignore[arg-type]
+        )
+        num_vertices = Quantity(1e5, VERTICES)
+
+        try:
+            td = model.top_down_seconds(rec, num_vertices)  # type: ignore[arg-type]
+        except UnitsError as exc:
+            failures.append(f"top-down pricing: {exc}")
+        else:
+            _expect_seconds("top-down seconds", td.seconds, failures)
+            _expect_seconds("top-down overhead_s", td.overhead_s, failures)
+            _expect_seconds("top-down memory_s", td.memory_s, failures)
+            _expect_seconds("top-down compute_s", td.compute_s, failures)
+            if isinstance(td.efficiency, Quantity):
+                failures.append("top-down efficiency is not dimensionless")
+
+        try:
+            bu = model.bottom_up_seconds(rec, num_vertices)  # type: ignore[arg-type]
+        except UnitsError as exc:
+            failures.append(f"bottom-up pricing: {exc}")
+        else:
+            _expect_seconds("bottom-up seconds", bu.seconds, failures)
+            _expect_seconds("bottom-up overhead_s", bu.overhead_s, failures)
+            _expect_seconds("bottom-up memory_s", bu.memory_s, failures)
+            _expect_seconds("bottom-up compute_s", bu.compute_s, failures)
+    finally:
+        for name, value in saved.items():
+            setattr(costmodel, name, value)
+    return failures

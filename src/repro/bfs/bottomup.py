@@ -121,15 +121,25 @@ def bfs_bottom_up(
     source: int,
     *,
     chunk_entries: int = DEFAULT_CHUNK_ENTRIES,
+    sanitize: bool = False,
 ) -> BFSResult:
     """Full bottom-up traversal from ``source``.
 
     Rarely the right whole-traversal choice (the paper's Fig. 3: slow
     start, fast middle) but exposed for the baseline measurements.
+
+    With ``sanitize=True`` the traversal runs under
+    :class:`repro.analysis.sanitizer.Sanitizer` (frozen CSR arrays,
+    per-level invariant checks, queue/bitmap agreement).
     """
     n = graph.num_vertices
     if not 0 <= source < n:
         raise BFSError(f"source {source} out of range [0, {n})")
+    san = None
+    if sanitize:
+        from repro.analysis.sanitizer import Sanitizer
+
+        san = Sanitizer(graph, source)
     parent = np.full(n, -1, dtype=np.int64)
     level = np.full(n, -1, dtype=np.int64)
     parent[source] = source
@@ -140,21 +150,38 @@ def bfs_bottom_up(
     directions: list[str] = []
     edges_examined: list[int] = []
     depth = 0
-    while frontier.size:
-        next_frontier, checked = bottom_up_step(
-            graph,
-            in_frontier,
-            parent,
-            level,
-            depth,
-            chunk_entries=chunk_entries,
-        )
-        directions.append(Direction.BOTTOM_UP)
-        edges_examined.append(checked)
-        in_frontier.fill(False)
-        in_frontier[next_frontier] = True
-        frontier = next_frontier
-        depth += 1
+    try:
+        if san is not None:
+            san.__enter__()
+        while frontier.size:
+            next_frontier, checked = bottom_up_step(
+                graph,
+                in_frontier,
+                parent,
+                level,
+                depth,
+                chunk_entries=chunk_entries,
+            )
+            if san is not None:
+                san.after_level(
+                    depth,
+                    frontier,
+                    next_frontier,
+                    parent,
+                    level,
+                    in_frontier=in_frontier,
+                )
+            directions.append(Direction.BOTTOM_UP)
+            edges_examined.append(checked)
+            in_frontier.fill(False)
+            in_frontier[next_frontier] = True
+            frontier = next_frontier
+            depth += 1
+        if san is not None:
+            san.finish(parent, level)
+    finally:
+        if san is not None:
+            san.__exit__()
     return BFSResult(
         source=source,
         parent=parent,

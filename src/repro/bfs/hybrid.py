@@ -84,12 +84,18 @@ def bfs_hybrid(
     *,
     m: float | None = None,
     n: float | None = None,
+    sanitize: bool = False,
 ) -> BFSResult:
     """Direction-optimizing traversal from ``source``.
 
     Either pass a ``policy`` object or the raw thresholds ``m=`` / ``n=``
     (mirroring how the runtime system receives the regression-predicted
     switching point).
+
+    With ``sanitize=True`` the traversal runs under
+    :class:`repro.analysis.sanitizer.Sanitizer`: CSR arrays are frozen,
+    per-level invariants are checked after every step, and bottom-up
+    levels additionally verify the frontier bitmap against the queue.
     """
     if policy is None:
         if m is None or n is None:
@@ -101,6 +107,11 @@ def bfs_hybrid(
     nverts = graph.num_vertices
     if not 0 <= source < nverts:
         raise BFSError(f"source {source} out of range [0, {nverts})")
+    san = None
+    if sanitize:
+        from repro.analysis.sanitizer import Sanitizer
+
+        san = Sanitizer(graph, source)
     nedges = max(graph.num_edges, 1)
     degrees = graph.degrees
 
@@ -116,39 +127,58 @@ def bfs_hybrid(
     directions: list[str] = []
     edges_examined: list[int] = []
     depth = 0
-    while frontier.size:
-        state = LevelState(
-            depth=depth,
-            frontier_vertices=int(frontier.size),
-            frontier_edges=int(degrees[frontier].sum()),
-            num_vertices=nverts,
-            num_edges=nedges,
-            unvisited_vertices=unvisited_count,
-        )
-        chosen = policy.direction(state)
-        if chosen == Direction.TOP_DOWN:
-            next_frontier, examined = top_down_step(
-                graph, frontier, parent, level, depth
+    try:
+        if san is not None:
+            san.__enter__()
+        while frontier.size:
+            state = LevelState(
+                depth=depth,
+                frontier_vertices=int(frontier.size),
+                frontier_edges=int(degrees[frontier].sum()),
+                num_vertices=nverts,
+                num_edges=nedges,
+                unvisited_vertices=unvisited_count,
             )
-            in_frontier = None
-        elif chosen == Direction.BOTTOM_UP:
-            # Switch cost: the sparse queue becomes a bitmap.
-            if in_frontier is None:
-                in_frontier = np.zeros(nverts, dtype=bool)
+            chosen = policy.direction(state)
+            if chosen == Direction.TOP_DOWN:
+                next_frontier, examined = top_down_step(
+                    graph, frontier, parent, level, depth
+                )
+                in_frontier = None
+            elif chosen == Direction.BOTTOM_UP:
+                # Switch cost: the sparse queue becomes a bitmap.
+                if in_frontier is None:
+                    in_frontier = np.zeros(nverts, dtype=bool)
+                else:
+                    in_frontier.fill(False)
+                in_frontier[frontier] = True
+                next_frontier, examined = bottom_up_step(
+                    graph, in_frontier, parent, level, depth
+                )
+                next_frontier = np.sort(next_frontier)
             else:
-                in_frontier.fill(False)
-            in_frontier[frontier] = True
-            next_frontier, examined = bottom_up_step(
-                graph, in_frontier, parent, level, depth
-            )
-            next_frontier = np.sort(next_frontier)
-        else:
-            raise BFSError(f"policy returned unknown direction {chosen!r}")
-        directions.append(chosen)
-        edges_examined.append(examined)
-        unvisited_count -= int(next_frontier.size)
-        frontier = next_frontier
-        depth += 1
+                raise BFSError(f"policy returned unknown direction {chosen!r}")
+            if san is not None:
+                san.after_level(
+                    depth,
+                    frontier,
+                    next_frontier,
+                    parent,
+                    level,
+                    in_frontier=in_frontier
+                    if chosen == Direction.BOTTOM_UP
+                    else None,
+                )
+            directions.append(chosen)
+            edges_examined.append(examined)
+            unvisited_count -= int(next_frontier.size)
+            frontier = next_frontier
+            depth += 1
+        if san is not None:
+            san.finish(parent, level)
+    finally:
+        if san is not None:
+            san.__exit__()
 
     return BFSResult(
         source=source,

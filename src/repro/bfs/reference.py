@@ -43,8 +43,8 @@ def bfs_reference(graph: CSRGraph, source: int) -> BFSResult:
     while cq:
         nq: deque[int] = deque()
         examined = 0
-        for u in cq:
-            for j in range(offsets[u], offsets[u + 1]):
+        for u in cq:  # repro: noqa[RPR001] — scalar on purpose: ground truth
+            for j in range(offsets[u], offsets[u + 1]):  # repro: noqa[RPR001]
                 examined += 1
                 v = int(targets[j])
                 if parent[v] < 0:

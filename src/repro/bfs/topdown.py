@@ -56,11 +56,24 @@ def top_down_step(
     return next_frontier, edges_examined
 
 
-def bfs_top_down(graph: CSRGraph, source: int) -> BFSResult:
-    """Full top-down traversal from ``source``."""
+def bfs_top_down(
+    graph: CSRGraph, source: int, *, sanitize: bool = False
+) -> BFSResult:
+    """Full top-down traversal from ``source``.
+
+    With ``sanitize=True`` the traversal runs under
+    :class:`repro.analysis.sanitizer.Sanitizer`: the CSR arrays are
+    frozen for the duration and per-level invariants are checked,
+    raising :class:`~repro.errors.SanitizerError` on corruption.
+    """
     n = graph.num_vertices
     if not 0 <= source < n:
         raise BFSError(f"source {source} out of range [0, {n})")
+    san = None
+    if sanitize:
+        from repro.analysis.sanitizer import Sanitizer
+
+        san = Sanitizer(graph, source)
     parent = np.full(n, -1, dtype=np.int64)
     level = np.full(n, -1, dtype=np.int64)
     parent[source] = source
@@ -69,11 +82,24 @@ def bfs_top_down(graph: CSRGraph, source: int) -> BFSResult:
     directions: list[str] = []
     edges_examined: list[int] = []
     depth = 0
-    while frontier.size:
-        frontier, examined = top_down_step(graph, frontier, parent, level, depth)
-        directions.append(Direction.TOP_DOWN)
-        edges_examined.append(examined)
-        depth += 1
+    try:
+        if san is not None:
+            san.__enter__()
+        while frontier.size:
+            next_frontier, examined = top_down_step(
+                graph, frontier, parent, level, depth
+            )
+            if san is not None:
+                san.after_level(depth, frontier, next_frontier, parent, level)
+            frontier = next_frontier
+            directions.append(Direction.TOP_DOWN)
+            edges_examined.append(examined)
+            depth += 1
+        if san is not None:
+            san.finish(parent, level)
+    finally:
+        if san is not None:
+            san.__exit__()
     return BFSResult(
         source=source,
         parent=parent,

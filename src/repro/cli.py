@@ -60,6 +60,51 @@ def build_parser() -> argparse.ArgumentParser:
         default="hybrid",
     )
 
+    lint_p = sub.add_parser(
+        "lint", help="run the repro static-analysis rules (RPR001..)"
+    )
+    lint_p.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files/directories to lint (default: the installed package)",
+    )
+    lint_p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="fmt",
+        help="report format",
+    )
+    lint_p.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    lint_p.add_argument(
+        "--rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+
+    san_p = sub.add_parser(
+        "sanitize",
+        help="run a BFS under the runtime sanitizer + units audit",
+    )
+    san_p.add_argument("--scale", type=int, default=14)
+    san_p.add_argument("--edgefactor", type=int, default=16)
+    san_p.add_argument("--seed", type=int, default=0)
+    san_p.add_argument(
+        "--engine", choices=("td", "bu", "hybrid"), default="hybrid"
+    )
+    san_p.add_argument("--m", type=float, default=64.0, help="threshold M")
+    san_p.add_argument("--n", type=float, default=512.0, help="threshold N")
+    san_p.add_argument(
+        "--skip-units",
+        action="store_true",
+        help="skip the cost-model dimensional-analysis audit",
+    )
+
     bfs_p = sub.add_parser("bfs", help="run a real BFS on this machine")
     bfs_p.add_argument("--scale", type=int, default=16)
     bfs_p.add_argument("--edgefactor", type=int, default=16)
@@ -150,6 +195,92 @@ def _cmd_all(args: argparse.Namespace) -> int:
         if args.save:
             result.save(args.save)
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import RULES, format_json, format_text, lint_paths
+    from repro.errors import LintError
+
+    if args.rules:
+        for code in sorted(RULES):
+            rl = RULES[code]
+            scope = " [hot-path only]" if rl.hot_path_only else ""
+            print(f"{code}{scope}: {rl.summary}")
+        return 0
+    paths = args.paths
+    if not paths:
+        # Default to linting the installed package itself.
+        import repro
+
+        paths = [Path(repro.__file__).parent]
+    select = args.select.split(",") if args.select else None
+    try:
+        violations, checked = lint_paths(paths, select=select)
+    except LintError as exc:
+        print(f"lint error: {exc}", file=sys.stderr)
+        return 2
+    if args.fmt == "json":
+        print(format_json(violations))
+    elif violations:
+        print(format_text(violations))
+    if violations:
+        print(
+            f"{len(violations)} violation(s) in {checked} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.fmt != "json":
+        print(f"{checked} file(s) checked, no issues")
+    return 0
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from repro.analysis import check_cost_model
+    from repro.bfs import bfs_bottom_up, bfs_hybrid, bfs_top_down, pick_sources
+    from repro.errors import SanitizerError
+    from repro.graph import rmat
+
+    print(
+        f"generating R-MAT scale={args.scale} ef={args.edgefactor} "
+        f"(seed {args.seed}) ..."
+    )
+    graph = rmat(args.scale, args.edgefactor, seed=args.seed)
+    source = int(pick_sources(graph, 1, seed=args.seed)[0])
+    print(f"graph: {graph!r}, source {source}, engine {args.engine}")
+
+    rc = 0
+    try:
+        if args.engine == "td":
+            result = bfs_top_down(graph, source, sanitize=True)
+        elif args.engine == "bu":
+            result = bfs_bottom_up(graph, source, sanitize=True)
+        else:
+            result = bfs_hybrid(
+                graph, source, m=args.m, n=args.n, sanitize=True
+            )
+    except SanitizerError as exc:
+        print(f"SANITIZER VIOLATION: {exc}", file=sys.stderr)
+        rc = 1
+    else:
+        result.validate(graph)
+        print(
+            f"sanitizer: {result.num_levels} levels, "
+            f"{result.num_reached} vertices, 0 invariant violations "
+            f"(directions {result.directions})"
+        )
+
+    if not args.skip_units:
+        failures = check_cost_model()
+        if failures:
+            for f in failures:
+                print(f"UNITS VIOLATION: {f}", file=sys.stderr)
+            rc = 1
+        else:
+            print(
+                "units: cost model is dimensionally consistent "
+                "(all level costs reduce to seconds)"
+            )
+    return rc
 
 
 def _cmd_bfs(args: argparse.Namespace) -> int:
@@ -244,6 +375,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_bfs(args)
     if args.command == "graph500":
         return _cmd_graph500(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
+    if args.command == "sanitize":
+        return _cmd_sanitize(args)
     parser.print_help()
     return 1
 

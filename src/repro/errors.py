@@ -21,6 +21,10 @@ __all__ = [
     "TuningError",
     "PlanError",
     "BenchError",
+    "AnalysisError",
+    "LintError",
+    "SanitizerError",
+    "UnitsError",
 ]
 
 
@@ -78,3 +82,46 @@ class PlanError(ReproError):
 
 class BenchError(ReproError):
     """Raised when a benchmark experiment is configured inconsistently."""
+
+
+class AnalysisError(ReproError):
+    """Base class for the static-analysis / sanitizer layer
+    (:mod:`repro.analysis`)."""
+
+
+class LintError(AnalysisError):
+    """Raised when the lint engine itself cannot run (unparsable file,
+    unknown rule code) — *not* for reporting violations, which are data."""
+
+
+class SanitizerError(AnalysisError):
+    """Raised when the runtime BFS sanitizer detects a broken traversal
+    invariant.
+
+    Structured: ``level`` is the BFS depth at which the invariant broke
+    (``None`` for whole-traversal checks) and ``vertices`` holds the
+    offending vertex ids (possibly truncated for the message).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        level: int | None = None,
+        vertices: tuple[int, ...] = (),
+    ) -> None:
+        detail = message
+        if level is not None:
+            detail += f" [level {level}]"
+        if vertices:
+            shown = ", ".join(str(v) for v in vertices[:8])
+            more = "" if len(vertices) <= 8 else f", … +{len(vertices) - 8}"
+            detail += f" [vertices: {shown}{more}]"
+        super().__init__(detail)
+        self.level = level
+        self.vertices = tuple(int(v) for v in vertices)
+
+
+class UnitsError(AnalysisError):
+    """Raised when dimensional analysis of the cost model finds terms
+    with incompatible units (e.g. seconds added to edge counts)."""

@@ -98,6 +98,12 @@ class CSRGraph:
     def __post_init__(self) -> None:
         offsets = np.ascontiguousarray(self.offsets, dtype=np.int64)
         targets = np.ascontiguousarray(self.targets, dtype=np.int32)
+        # Freeze the CSR storage: every traversal aliases these arrays,
+        # so a stray write would corrupt all later BFS runs.  Arrays the
+        # caller still owns (no-copy ascontiguousarray) are frozen too —
+        # use copy_writable() when mutation is genuinely needed.
+        offsets.flags.writeable = False
+        targets.flags.writeable = False
         object.__setattr__(self, "offsets", offsets)
         object.__setattr__(self, "targets", targets)
         if offsets.ndim != 1 or offsets.size < 1:
@@ -266,6 +272,24 @@ class CSRGraph:
         # symmetry is inherited.
         object.__setattr__(sub, "symmetric", self.symmetric)
         return sub
+
+    def copy_writable(self) -> "CSRGraph":
+        """A deep copy whose CSR arrays are writable.
+
+        Construction freezes ``offsets``/``targets`` (``writeable=False``)
+        because traversals alias them; this is the explicit escape hatch
+        for tests and tooling that need to corrupt or edit the storage.
+        The copy owns its arrays, so un-freezing them is safe.
+        """
+        dup = CSRGraph(
+            offsets=self.offsets.copy(),
+            targets=self.targets.copy(),
+            symmetric=self.symmetric,
+            meta=dict(self.meta),
+        )
+        dup.offsets.flags.writeable = True
+        dup.targets.flags.writeable = True
+        return dup
 
     # -- memory accounting ------------------------------------------------------
 

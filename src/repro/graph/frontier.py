@@ -73,20 +73,33 @@ class Frontier:
 
     # -- representations ------------------------------------------------------
 
+    def _require_bitmap(self) -> Bitmap:
+        """The dense form, which must already exist (the constructor
+        guarantees at least one representation)."""
+        if self._bitmap is None:
+            raise GraphError("frontier holds neither representation")
+        return self._bitmap
+
+    def _require_indices(self) -> np.ndarray:
+        """The sparse form, which must already exist."""
+        if self._indices is None:
+            raise GraphError("frontier holds neither representation")
+        return self._indices
+
     @property
     def indices(self) -> np.ndarray:
         """Sorted unique member vertices (sparse queue form)."""
         if self._indices is None:
-            assert self._bitmap is not None
-            self._indices = self._bitmap.nonzero()
+            self._indices = self._require_bitmap().nonzero()
         return self._indices
 
     @property
     def bitmap(self) -> Bitmap:
         """Dense bitmap form."""
         if self._bitmap is None:
-            assert self._indices is not None
-            self._bitmap = Bitmap.from_indices(self.num_vertices, self._indices)
+            self._bitmap = Bitmap.from_indices(
+                self.num_vertices, self._require_indices()
+            )
         return self._bitmap
 
     def has_indices(self) -> bool:
@@ -102,8 +115,7 @@ class Frontier:
     def __len__(self) -> int:
         if self._indices is not None:
             return int(self._indices.size)
-        assert self._bitmap is not None
-        return self._bitmap.count()
+        return self._require_bitmap().count()
 
     def is_empty(self) -> bool:
         """True when no vertex is in the frontier."""
@@ -112,9 +124,9 @@ class Frontier:
     def __contains__(self, v: int) -> bool:
         if self._bitmap is not None:
             return v in self._bitmap
-        assert self._indices is not None
-        i = int(np.searchsorted(self._indices, v))
-        return i < self._indices.size and int(self._indices[i]) == v
+        indices = self._require_indices()
+        i = int(np.searchsorted(indices, v))
+        return i < indices.size and int(indices[i]) == v
 
     def edge_count(self, degrees: np.ndarray) -> int:
         """``|E|cq`` — total degree of the frontier, the quantity the

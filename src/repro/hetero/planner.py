@@ -130,6 +130,7 @@ def oracle_plan(
                 t = float(matrices[dev][i, col])
                 if best is None or t < best[0]:
                     best = (t, dev, direction)
-        assert best is not None
+        if best is None:
+            raise PlanError("oracle_plan needs at least one device")
         plan.append(PlanStep(best[1], best[2]))
     return plan

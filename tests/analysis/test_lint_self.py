@@ -1,0 +1,31 @@
+"""The repo must lint clean: ``repro-bfs lint src/`` over the installed
+package is a tier-1 gate from this PR onward.
+
+If this test fails, either fix the flagged code or — when the pattern is
+deliberate (like the scalar reference BFS) — annotate the line with
+``# repro: noqa[RULE]`` and say why.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import format_text, lint_paths
+
+PACKAGE_DIR = Path(repro.__file__).parent
+
+
+def test_package_lints_clean():
+    violations, checked = lint_paths([PACKAGE_DIR])
+    assert checked > 80, "package walk found suspiciously few files"
+    assert violations == [], "\n" + format_text(violations)
+
+
+def test_hot_path_modules_are_covered():
+    """The vectorization rule must actually be in force over the kernel
+    packages (guards against a path-detection regression)."""
+    from repro.analysis.lint import is_hot_path
+
+    assert is_hot_path(str(PACKAGE_DIR / "bfs" / "topdown.py"))
+    assert is_hot_path(str(PACKAGE_DIR / "graph" / "csr.py"))
+    assert is_hot_path(str(PACKAGE_DIR / "hetero" / "planner.py"))
+    assert not is_hot_path(str(PACKAGE_DIR / "ml" / "svr.py"))

@@ -1,0 +1,110 @@
+"""Dimensional analysis: Quantity algebra and the cost-model audit."""
+
+import pytest
+
+import repro.arch.costmodel as costmodel_mod
+from repro.analysis import (
+    BYTES,
+    DIMENSIONLESS,
+    EDGES,
+    OPS,
+    SECONDS,
+    VERTICES,
+    Quantity,
+    check_cost_model,
+)
+from repro.errors import UnitsError
+
+
+class TestQuantityAlgebra:
+    def test_multiplication_combines_units(self):
+        q = Quantity(3.0, EDGES) * Quantity(4.0, BYTES / EDGES)
+        assert isinstance(q, Quantity)
+        assert q.unit == BYTES
+        assert q.value == 12.0
+
+    def test_division_cancels_to_float(self):
+        r = Quantity(10.0, EDGES) / Quantity(5.0, EDGES)
+        assert isinstance(r, float)
+        assert r == 2.0
+
+    def test_scalar_scaling_preserves_unit(self):
+        q = Quantity(2.0, SECONDS) * 1e-9
+        assert q.unit == SECONDS
+        q2 = 3 * Quantity(2.0, SECONDS)
+        assert q2.unit == SECONDS and q2.value == 6.0
+
+    def test_addition_same_unit(self):
+        q = Quantity(1.0, SECONDS) + Quantity(2.0, SECONDS)
+        assert q.unit == SECONDS and q.value == 3.0
+
+    def test_addition_mismatched_units_raises(self):
+        with pytest.raises(UnitsError):
+            Quantity(1.0, SECONDS) + Quantity(1.0, EDGES)
+
+    def test_adding_plain_number_to_dimensioned_raises(self):
+        with pytest.raises(UnitsError):
+            Quantity(1.0, SECONDS) + 2.5
+
+    def test_adding_literal_zero_allowed(self):
+        q = Quantity(1.5, BYTES) + 0
+        assert q.unit == BYTES and q.value == 1.5
+
+    def test_comparison_same_unit(self):
+        assert Quantity(1.0, SECONDS) < Quantity(2.0, SECONDS)
+        assert max(Quantity(1.0, OPS), Quantity(3.0, OPS)).value == 3.0
+
+    def test_comparison_mismatched_units_raises(self):
+        with pytest.raises(UnitsError):
+            Quantity(1.0, SECONDS) < Quantity(2.0, VERTICES)
+
+    def test_sign_check_against_zero_allowed(self):
+        assert Quantity(-1.0, SECONDS) < 0
+        assert Quantity(1.0, EDGES) > 0
+        assert not Quantity(1.0, EDGES) <= 0
+
+    def test_nonzero_scalar_comparison_raises(self):
+        with pytest.raises(UnitsError):
+            Quantity(1.0, SECONDS) < 2.0
+
+    def test_unit_str(self):
+        assert str(BYTES / SECONDS) == "byte/second"
+        assert str(DIMENSIONLESS) == "1"
+
+
+class TestCostModelAudit:
+    def test_cost_model_is_dimensionally_consistent(self):
+        assert check_cost_model() == []
+
+    def test_audit_restores_module_constants(self):
+        before = costmodel_mod.BYTES_EDGE_ID
+        check_cost_model()
+        assert costmodel_mod.BYTES_EDGE_ID is before
+        assert isinstance(costmodel_mod.BYTES_EDGE_ID, int)
+
+    def test_audit_catches_mistagged_constant(self, monkeypatch):
+        """If a per-edge ops constant were really a time, adding it to
+        edge-derived terms must surface as a failure."""
+        from repro.analysis import units as units_mod
+
+        broken = dict(units_mod.CONSTANT_UNITS)
+        broken["OPS_PER_EDGE_TD"] = SECONDS  # wrong dimension on purpose
+        monkeypatch.setattr(units_mod, "CONSTANT_UNITS", broken)
+        failures = check_cost_model()
+        assert failures
+        assert any("top-down" in f for f in failures)
+
+    def test_audit_catches_dropped_bandwidth_divisor(self, monkeypatch):
+        """Simulate the classic refactor bug: a memory term left in
+        bytes (divisor dropped) is reported, not silently summed."""
+        from repro.analysis import units as units_mod
+
+        class _BadSpec(units_mod._UnitSpec):
+            def __init__(self):
+                super().__init__()
+                # bandwidth accidentally dimensionless: mem term stays bytes
+                self.measured_bw_gbs = Quantity(150.0, DIMENSIONLESS)
+
+        monkeypatch.setattr(units_mod, "_UnitSpec", _BadSpec)
+        failures = check_cost_model()
+        assert failures

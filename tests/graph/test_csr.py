@@ -200,3 +200,49 @@ class TestRmatIntegration:
     def test_rmat_no_self_loops(self, rmat_small):
         s, d = rmat_small.edge_list()
         assert (s != d).all()
+
+
+class TestFrozenStorage:
+    """Construction freezes the CSR arrays (RPR005's bug class at
+    runtime); copy_writable() is the explicit escape hatch."""
+
+    def test_arrays_read_only_by_default(self):
+        g = triangle()
+        assert not g.offsets.flags.writeable
+        assert not g.targets.flags.writeable
+
+    def test_writes_raise(self):
+        g = triangle()
+        with pytest.raises(ValueError):
+            g.offsets[0] = 1
+        with pytest.raises(ValueError):
+            g.targets[0] = 2
+
+    def test_caller_supplied_arrays_frozen_too(self):
+        offsets = np.array([0, 1, 2], dtype=np.int64)
+        targets = np.array([1, 0], dtype=np.int32)
+        CSRGraph(offsets=offsets, targets=targets)
+        # No-copy construction: freezing reaches the caller's arrays.
+        assert not offsets.flags.writeable
+
+    def test_copy_writable_is_writable_deep_copy(self):
+        g = triangle()
+        w = g.copy_writable()
+        assert w.offsets.flags.writeable and w.targets.flags.writeable
+        assert w.offsets is not g.offsets
+        w.targets[0] = 0  # must not raise, must not alias g
+        assert not g.targets.flags.writeable
+
+    def test_copy_writable_preserves_structure(self):
+        g = CSRGraph.from_edges([0, 1], [1, 2], 3, meta={"k": 1})
+        w = g.copy_writable()
+        assert np.array_equal(w.offsets, g.offsets)
+        assert np.array_equal(w.targets, g.targets)
+        assert w.symmetric == g.symmetric
+        assert w.meta == g.meta
+
+    def test_views_inherit_read_only(self):
+        g = triangle()
+        nbr = g.neighbors(0)
+        with pytest.raises(ValueError):
+            nbr[0] = 0

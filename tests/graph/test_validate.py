@@ -121,3 +121,77 @@ class TestRejects:
         level[s] = 3
         with pytest.raises(ValidationError):
             validate_bfs(g, s, parent, level)
+
+
+class TestEdgeCases:
+    """Boundary structures: isolated sources, self-loop-only vertices,
+    deliberate parent-array corruption."""
+
+    def test_disconnected_source(self):
+        """BFS from an isolated vertex reaches only itself and must
+        still validate (and reject any phantom reachability)."""
+        g = CSRGraph.from_edges([0, 1], [1, 2], 5)  # 3, 4 isolated
+        res = bfs_reference(g, 4)
+        assert res.num_reached == 1
+        assert check_bfs(g, 4, res.parent, res.level) == []
+        # Claiming an unreachable vertex was reached must fail.
+        parent, level = res.parent.copy(), res.level.copy()
+        parent[0], level[0] = 4, 1
+        assert check_bfs(g, 4, parent, level)
+
+    def test_self_loop_only_vertex(self):
+        """A vertex whose only incident edge is a self loop: with the
+        Graph 500 preprocessing the loop is dropped, so the vertex is
+        isolated and unreachable from the rest of the graph."""
+        g = CSRGraph.from_edges([0, 1, 3], [1, 2, 3], 4)
+        assert g.degree(3) == 0  # self loop removed by construction
+        res = bfs_reference(g, 0)
+        assert res.level[3] == -1
+        assert check_bfs(g, 0, res.parent, res.level) == []
+        # From the self-loop vertex itself: a single-vertex traversal.
+        res3 = bfs_reference(g, 3)
+        assert res3.num_reached == 1
+        assert check_bfs(g, 3, res3.parent, res3.level) == []
+
+    def test_self_loop_kept_when_not_dropped(self):
+        """Self loops retained in storage must not break validation:
+        the loop spans zero levels by definition."""
+        g = CSRGraph.from_edges(
+            [0, 1, 1], [1, 2, 1], 3, drop_self_loops=False
+        )
+        res = bfs_reference(g, 0)
+        assert check_bfs(g, 0, res.parent, res.level) == []
+
+    def test_corrupted_parent_array_rejected(self, valid_run):
+        """A parent map pointing inside the right level structure but at
+        non-adjacent vertices must be rejected by check 4."""
+        g, s, parent, level = valid_run
+        rng = np.random.default_rng(0)
+        reached = np.nonzero(level > 0)[0]
+        # Corrupt a swath of parents to random reached vertices.
+        victims = reached[:: max(1, reached.size // 16)]
+        parent = parent.copy()
+        parent[victims] = rng.choice(reached, size=victims.size)
+        failures = check_bfs(g, s, parent, level)
+        assert failures, "corrupted parent array slipped through"
+
+    def test_cyclic_parent_chain_rejected(self, valid_run):
+        """Two vertices claiming each other as parents cannot form a
+        valid BFS tree at consistent levels."""
+        g, s, parent, level = valid_run
+        lvl2 = np.nonzero(level == 2)[0]
+        if lvl2.size < 2:
+            pytest.skip("graph too shallow for a 2-cycle at level 2")
+        a, b = int(lvl2[0]), int(lvl2[1])
+        parent = parent.copy()
+        parent[a], parent[b] = b, a
+        assert check_bfs(g, s, parent, level)
+
+    def test_all_parents_minus_one_except_source(self, valid_run):
+        """Wiping the parent map while levels still claim reachability
+        must trip the agreement check."""
+        g, s, parent, level = valid_run
+        parent = np.full_like(parent, -1)
+        parent[s] = s
+        failures = check_bfs(g, s, parent, level)
+        assert any("disagree" in f for f in failures)

@@ -120,3 +120,79 @@ class TestMain:
             == 0
         )
         assert "headline" in capsys.readouterr().out
+
+
+class TestLintCommand:
+    def test_parser_accepts_lint(self):
+        args = build_parser().parse_args(["lint", "src", "--format", "json"])
+        assert args.command == "lint"
+        assert args.paths == ["src"]
+        assert args.fmt == "json"
+
+    def test_lint_package_clean(self, capsys):
+        assert main(["lint"]) == 0
+        assert "no issues" in capsys.readouterr().out
+
+    def test_lint_rules_listing(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        assert "RPR001" in out and "RPR006" in out
+
+    def test_lint_flags_bad_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("__all__ = []\nimport time\nt0 = time.time()\n")
+        assert main(["lint", str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "RPR003" in captured.out
+        assert "1 violation" in captured.err
+
+    def test_lint_json_output(self, capsys, tmp_path):
+        import json
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("__all__ = []\nassert 1\n")
+        assert main(["lint", str(bad), "--format", "json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data[0]["rule"] == "RPR004"
+
+    def test_lint_select_restricts_rules(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("assert 1\n")  # RPR004 + RPR006
+        assert main(["lint", str(bad), "--select", "RPR006"]) == 1
+        out = capsys.readouterr().out
+        assert "RPR006" in out and "RPR004" not in out
+
+    def test_lint_unknown_rule_is_usage_error(self, capsys, tmp_path):
+        good = tmp_path / "ok.py"
+        good.write_text("__all__ = []\n")
+        assert main(["lint", str(good), "--select", "RPR999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+
+class TestSanitizeCommand:
+    def test_sanitize_clean_run(self, capsys):
+        rc = main(
+            ["sanitize", "--scale", "10", "--edgefactor", "8", "--m", "20",
+             "--n", "100"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 invariant violations" in out
+        assert "dimensionally consistent" in out
+
+    def test_sanitize_engine_choices(self, capsys):
+        for engine in ("td", "bu"):
+            assert (
+                main(
+                    ["sanitize", "--scale", "9", "--edgefactor", "8",
+                     "--engine", engine]
+                )
+                == 0
+            )
+
+    def test_sanitize_skip_units(self, capsys):
+        rc = main(
+            ["sanitize", "--scale", "9", "--edgefactor", "8", "--skip-units"]
+        )
+        assert rc == 0
+        assert "dimensionally" not in capsys.readouterr().out
