@@ -1,0 +1,181 @@
+"""Verbatim pre-workspace BFS kernels, kept for before/after benchmarks.
+
+These are the kernels as they stood before the allocation-free datapath
+landed: per-call output arrays, sort-based ``np.unique`` claim, a full
+``parent < 0`` rescan plus whole-row scan per bottom-up level, and a
+dense boolean frontier mask rebuilt with ``fill(False)`` every level.
+``bench_kernels.py`` times them against the current engines and records
+the ratios in ``BENCH_kernels.json``.
+
+Do not import from application code — this module exists only so the
+speedup claims stay measurable after the old code paths are gone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bfs.result import BFSResult, Direction
+
+
+def legacy_expand_rows(graph, vertices):
+    vertices = np.asarray(vertices, dtype=np.int64)
+    starts = graph.offsets[vertices]
+    counts = graph.offsets[vertices + 1] - starts
+    total = int(counts.sum())
+    seg_starts = np.zeros(vertices.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=seg_starts[1:])
+    if total == 0:
+        return (
+            np.zeros(0, dtype=np.int32),
+            np.zeros(0, dtype=np.int64),
+            seg_starts,
+        )
+    pos = np.arange(total, dtype=np.int64)
+    pos -= np.repeat(seg_starts[:-1], counts)
+    pos += np.repeat(starts, counts)
+    neighbours = graph.targets[pos]
+    owners = np.repeat(vertices, counts)
+    return neighbours, owners, seg_starts
+
+
+def legacy_segment_first_true(flags, seg_starts):
+    nseg = seg_starts.size - 1
+    out = np.full(nseg, -1, dtype=np.int64)
+    if flags.size == 0 or nseg == 0:
+        return out
+    big = np.int64(flags.size)
+    pos = np.where(flags, np.arange(flags.size, dtype=np.int64), big)
+    nonempty = seg_starts[:-1] < seg_starts[1:]
+    if not nonempty.any():
+        return out
+    red_idx = seg_starts[:-1][nonempty]
+    mins = np.minimum.reduceat(pos, red_idx)
+    res = np.where(mins < big, mins, -1)
+    out[nonempty] = res
+    return out
+
+
+def legacy_top_down_step(graph, frontier, parent, level, depth):
+    neighbours, owners, _ = legacy_expand_rows(graph, frontier)
+    edges_examined = int(neighbours.size)
+    if edges_examined == 0:
+        return np.zeros(0, dtype=np.int64), 0
+    fresh = parent[neighbours] < 0
+    cand = neighbours[fresh].astype(np.int64)
+    cand_parent = owners[fresh]
+    if cand.size == 0:
+        return np.zeros(0, dtype=np.int64), edges_examined
+    next_frontier, first_idx = np.unique(cand, return_index=True)
+    parent[next_frontier] = cand_parent[first_idx]
+    level[next_frontier] = depth + 1
+    return next_frontier, edges_examined
+
+
+def legacy_unique_claim(cand, cand_parent, parent, level, depth):
+    """Just the sort-based claim, for the claim-step microbenchmark."""
+    cand = cand.astype(np.int64)
+    next_frontier, first_idx = np.unique(cand, return_index=True)
+    parent[next_frontier] = cand_parent[first_idx]
+    level[next_frontier] = depth + 1
+    return next_frontier
+
+
+def _legacy_chunk_bounds(degrees, chunk_entries):
+    if degrees.size == 0:
+        return []
+    cum = np.cumsum(degrees)
+    bounds = []
+    lo = 0
+    base = 0
+    while lo < degrees.size:
+        hi = int(np.searchsorted(cum, base + chunk_entries, side="right"))
+        hi = max(hi, lo + 1)
+        hi = min(hi, degrees.size)
+        bounds.append((lo, hi))
+        base = int(cum[hi - 1])
+        lo = hi
+    return bounds
+
+
+def legacy_bottom_up_step(
+    graph, in_frontier, parent, level, depth, chunk_entries=1 << 26
+):
+    unvisited = np.nonzero(parent < 0)[0].astype(np.int64)
+    if unvisited.size == 0:
+        return np.zeros(0, dtype=np.int64), 0
+    claimed_chunks = []
+    edges_checked = 0
+    degrees = graph.offsets[unvisited + 1] - graph.offsets[unvisited]
+    bounds = _legacy_chunk_bounds(degrees, chunk_entries)
+    for lo, hi in bounds:
+        chunk = unvisited[lo:hi]
+        neighbours, _, seg_starts = legacy_expand_rows(graph, chunk)
+        if neighbours.size == 0:
+            continue
+        hits = in_frontier[neighbours]
+        first = legacy_segment_first_true(hits, seg_starts)
+        found = first >= 0
+        seg_lo = seg_starts[:-1]
+        seg_len = np.diff(seg_starts)
+        inspected = np.where(found, first - seg_lo + 1, seg_len)
+        edges_checked += int(inspected.sum())
+        if found.any():
+            winners = chunk[found]
+            parent[winners] = neighbours[first[found]]
+            level[winners] = depth + 1
+            claimed_chunks.append(winners)
+    if claimed_chunks:
+        next_frontier = np.concatenate(claimed_chunks)
+    else:
+        next_frontier = np.zeros(0, dtype=np.int64)
+    return next_frontier, edges_checked
+
+
+def legacy_bfs_hybrid(graph, source, *, m, n):
+    nverts = graph.num_vertices
+    nedges = max(graph.num_edges, 1)
+    degrees = graph.degrees
+
+    parent = np.full(nverts, -1, dtype=np.int64)
+    level = np.full(nverts, -1, dtype=np.int64)
+    parent[source] = source
+    level[source] = 0
+
+    frontier = np.array([source], dtype=np.int64)
+    in_frontier = None
+    directions = []
+    edges_examined = []
+    depth = 0
+    while frontier.size:
+        frontier_edges = int(degrees[frontier].sum())
+        td = (
+            frontier_edges < nedges / m
+            and int(frontier.size) < nverts / n
+        )
+        if td:
+            frontier, examined = legacy_top_down_step(
+                graph, frontier, parent, level, depth
+            )
+            in_frontier = None
+            directions.append(Direction.TOP_DOWN)
+        else:
+            if in_frontier is None:
+                in_frontier = np.zeros(nverts, dtype=bool)
+            else:
+                in_frontier.fill(False)
+            in_frontier[frontier] = True
+            frontier, examined = legacy_bottom_up_step(
+                graph, in_frontier, parent, level, depth
+            )
+            frontier = np.sort(frontier)
+            directions.append(Direction.BOTTOM_UP)
+        edges_examined.append(examined)
+        depth += 1
+    return BFSResult(
+        source=source,
+        parent=parent,
+        level=level,
+        directions=directions,
+        edges_examined=edges_examined,
+    )

@@ -4,16 +4,65 @@ Times the actual NumPy BFS engines on this host — the honest
 single-machine performance of the library, complementing the simulated
 paper-scale numbers.  Direction optimization must win on R-MAT even in
 pure NumPy: the hybrid examines far fewer adjacency entries.
+
+The ``test_speedup_*`` tests additionally race the current kernels
+against the frozen pre-workspace baselines in ``_legacy_kernels`` and
+record the before/after wall-clock numbers in ``BENCH_kernels.json``
+at the repository root.  The speedup floors (2x on the top-down claim
+step, 1.5x on a whole hybrid traversal) are only enforced at
+``REPRO_BENCH_SCALE >= 14`` — below that the arrays fit in cache and
+the constant factors dominate.
 """
 
+import json
+import time
+from pathlib import Path
+
+import numpy as np
 import pytest
 
+from repro.bfs._gather import expand_rows
 from repro.bfs.bottomup import bfs_bottom_up
 from repro.bfs.hybrid import bfs_hybrid
 from repro.bfs.profiler import pick_sources
 from repro.bfs.spmv import bfs_spmv
-from repro.bfs.topdown import bfs_top_down
+from repro.bfs.topdown import bfs_top_down, claim_first_writer, top_down_step
+from repro.bfs.workspace import BFSWorkspace
 from repro.graph.generators import rmat
+
+from _legacy_kernels import (
+    legacy_bfs_hybrid,
+    legacy_unique_claim,
+)
+
+#: Scale below which the speedup floors are informational only.
+_ENFORCE_SCALE = 14
+
+_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+_bench_results: dict = {}
+
+
+def _record(section: str, payload: dict, bench_config) -> None:
+    """Merge one comparison into BENCH_kernels.json (repo root)."""
+    _bench_results.setdefault("scale", bench_config.base_scale)
+    _bench_results["enforced"] = bench_config.base_scale >= _ENFORCE_SCALE
+    _bench_results[section] = payload
+    _RESULTS_PATH.write_text(
+        json.dumps(_bench_results, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def _best_of(fn, *, repeat: int = 7, setup=None) -> float:
+    """Minimum wall-clock seconds over ``repeat`` runs of ``fn``."""
+    best = float("inf")
+    for _ in range(repeat):
+        if setup is not None:
+            setup()
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
 
 
 @pytest.fixture(scope="module")
@@ -54,3 +103,125 @@ def test_hybrid_examines_fewer_edges(workload):
     td = bfs_top_down(graph, source)
     hy = bfs_hybrid(graph, source, m=20, n=100)
     assert sum(hy.edges_examined) < 0.7 * sum(td.edges_examined)
+
+
+def test_speedup_claim_step(workload, bench_config):
+    """O(k) reversed-scatter claim vs the sort-based np.unique claim.
+
+    Reproduces the exact candidate set the top-down engine sees at the
+    widest level of the traversal (depth 2 on R-MAT), then races the
+    two claim implementations on identical inputs.  Results must be
+    bit-identical; the scatter claim must be >= 2x faster at scale >= 14.
+    """
+    graph, source = workload
+    ws = BFSWorkspace.for_graph(graph)
+    parent, level = ws.begin(source)
+    frontier = np.array([source], dtype=np.int64)
+    for depth in range(2):
+        frontier, _ = top_down_step(
+            graph, frontier, parent, level, depth, workspace=ws
+        )
+        ws.retire_claimed(parent)
+    neighbours, owners, _ = expand_rows(graph, frontier, workspace=ws)
+    fresh = parent[neighbours] < 0
+    cand = np.ascontiguousarray(neighbours[fresh])
+    cand_parent = np.ascontiguousarray(owners[fresh])
+    assert cand.size > 0
+
+    # Claiming mutates parent/level: restore pristine copies outside
+    # the timed region before every trial.
+    parent0 = parent.copy()
+    level0 = level.copy()
+
+    def reset():
+        np.copyto(parent, parent0)
+        np.copyto(level, level0)
+
+    legacy_s = _best_of(
+        lambda: legacy_unique_claim(cand, cand_parent, parent, level, 2),
+        setup=reset,
+    )
+    reset()
+    legacy_frontier = legacy_unique_claim(cand, cand_parent, parent, level, 2)
+    legacy_parent = parent.copy()
+    legacy_level = level.copy()
+
+    new_s = _best_of(
+        lambda: claim_first_writer(
+            cand, cand_parent, parent, level, 2, workspace=ws
+        ),
+        setup=reset,
+    )
+    reset()
+    new_frontier = claim_first_writer(
+        cand, cand_parent, parent, level, 2, workspace=ws
+    )
+
+    np.testing.assert_array_equal(new_frontier, legacy_frontier)
+    np.testing.assert_array_equal(parent, legacy_parent)
+    np.testing.assert_array_equal(level, legacy_level)
+
+    speedup = legacy_s / new_s
+    _record(
+        "claim_step",
+        {
+            "candidates": int(cand.size),
+            "legacy_unique_s": legacy_s,
+            "scatter_claim_s": new_s,
+            "speedup": round(speedup, 3),
+            "floor": 2.0,
+        },
+        bench_config,
+    )
+    print(
+        f"\nclaim step ({cand.size} candidates): "
+        f"legacy {legacy_s * 1e3:.3f} ms, new {new_s * 1e3:.3f} ms, "
+        f"{speedup:.2f}x"
+    )
+    if bench_config.base_scale >= _ENFORCE_SCALE:
+        assert speedup >= 2.0
+
+
+def test_speedup_hybrid_traversal(workload, bench_config):
+    """Whole direction-optimized traversal: warm workspace vs the
+    pre-workspace engine (per-call allocations, unique claim, full
+    unvisited rescans, bool frontier mask).
+
+    Same parents, levels, directions and edge counters; >= 1.5x
+    wall-clock at scale >= 14.
+    """
+    graph, source = workload
+    m, n = 20.0, 100.0
+
+    legacy = legacy_bfs_hybrid(graph, source, m=m, n=n)
+    legacy_s = _best_of(lambda: legacy_bfs_hybrid(graph, source, m=m, n=n))
+
+    ws = BFSWorkspace.for_graph(graph)
+    new = bfs_hybrid(graph, source, m=m, n=n, workspace=ws).detach()
+    new_s = _best_of(lambda: bfs_hybrid(graph, source, m=m, n=n, workspace=ws))
+
+    np.testing.assert_array_equal(new.parent, legacy.parent)
+    np.testing.assert_array_equal(new.level, legacy.level)
+    assert new.directions == legacy.directions
+    assert new.edges_examined == legacy.edges_examined
+
+    speedup = legacy_s / new_s
+    _record(
+        "hybrid_traversal",
+        {
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "directions": list(legacy.directions),
+            "legacy_s": legacy_s,
+            "workspace_s": new_s,
+            "speedup": round(speedup, 3),
+            "floor": 1.5,
+        },
+        bench_config,
+    )
+    print(
+        f"\nhybrid traversal: legacy {legacy_s * 1e3:.3f} ms, "
+        f"workspace {new_s * 1e3:.3f} ms, {speedup:.2f}x"
+    )
+    if bench_config.base_scale >= _ENFORCE_SCALE:
+        assert speedup >= 1.5

@@ -3,7 +3,7 @@
 Three coordinated correctness tools (see ``docs/static_analysis.md``):
 
 * :mod:`repro.analysis.lint` — a dependency-free AST rule engine with
-  codebase-specific rules (``RPR001`` … ``RPR006``) and line-level
+  codebase-specific rules (``RPR001`` … ``RPR007``) and line-level
   ``# repro: noqa[RULE]`` suppression; the repo lints itself as a
   tier-1 test.
 * :mod:`repro.analysis.sanitizer` — an opt-in runtime harness
@@ -41,7 +41,7 @@ from repro.analysis.units import (
     check_cost_model,
 )
 
-# Importing the rules module registers RPR001..RPR006 in RULES.
+# Importing the rules module registers RPR001..RPR007 in RULES.
 from repro.analysis import rules as _rules  # noqa: F401
 
 __all__ = [

@@ -1,4 +1,4 @@
-"""Concrete lint rules (``RPR001`` … ``RPR006``).
+"""Concrete lint rules (``RPR001`` … ``RPR007``).
 
 Each rule encodes an invariant this codebase depends on:
 
@@ -15,6 +15,10 @@ RPR004    no bare ``assert`` in library code — asserts vanish under
 RPR005    no mutation of ``CSRGraph.offsets``/``targets`` outside the
           construction module — traversals alias these arrays
 RPR006    public modules must declare ``__all__``
+RPR007    no fresh graph-sized allocation inside a BFS level kernel —
+          level kernels must draw scratch from the
+          :class:`~repro.bfs.workspace.BFSWorkspace` so warm traversals
+          stay allocation-free
 ========  ==============================================================
 
 Rules yield ``(line, col, message)``; the engine applies suppression and
@@ -35,6 +39,7 @@ __all__ = [
     "check_bare_assert",
     "check_csr_mutation",
     "check_missing_all",
+    "check_kernel_allocations",
 ]
 
 # Names whose iteration in a hot-path module almost certainly means a
@@ -272,6 +277,87 @@ def check_csr_mutation(ctx: ModuleContext) -> Iterator[tuple[int, int, str]]:
                     tgt.col_offset,
                     f"assignment to CSR `{inner.attr}` outside "
                     "construction; build a new CSRGraph instead",
+                )
+
+
+# Function names that are per-level kernel entry points in repro.bfs —
+# the code paths that run once per BFS level and must stay
+# allocation-free after workspace warm-up.
+_KERNEL_FN_SUFFIXES = ("_step", "_level", "_scan")
+_KERNEL_FN_NAMES = {"expand_rows", "gather_segments", "segment_first_true"}
+_ALLOC_FNS = {"zeros", "empty", "full", "ones"}
+
+
+def _is_kernel_function(name: str) -> bool:
+    return name in _KERNEL_FN_NAMES or name.endswith(_KERNEL_FN_SUFFIXES)
+
+
+def _mentions_parent(node: ast.expr) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.Name, ast.Attribute)):
+            if _terminal_name(sub) == "parent":
+                return True
+    return False
+
+
+@rule(
+    "RPR007",
+    "fresh array allocation or parent-map rescan inside a BFS level "
+    "kernel; draw scratch from the BFSWorkspace",
+)
+def check_kernel_allocations(ctx: ModuleContext) -> Iterator[tuple[int, int, str]]:
+    """Flag per-level allocations in the ``repro.bfs`` kernel functions.
+
+    Inside any function named like a level kernel (``*_step``,
+    ``*_level``, ``*_scan``, or the shared gather primitives) in a
+    ``repro/bfs/`` module, flag:
+
+    * ``np.arange(...)`` — use the workspace iota cache;
+    * ``np.zeros/empty/full/ones(k)`` with ``k`` not the constant 0
+      (empty-result sentinels are fine) — use a workspace buffer;
+    * ``np.nonzero(parent ...)`` / ``np.flatnonzero(parent ...)`` —
+      an O(V) rescan of the parent map; use the workspace's
+      incremental unvisited list.
+
+    Cold paths (no workspace supplied) carry ``# repro: noqa[RPR007]``.
+    """
+    if "repro/bfs/" not in ctx.path.replace("\\", "/"):
+        return
+    for fn in ast.walk(ctx.tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _is_kernel_function(fn.name):
+            continue
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            name = _terminal_name(callee)
+            if name == "arange":
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "np.arange in a level kernel; use the workspace "
+                    "iota cache",
+                )
+            elif name in _ALLOC_FNS and node.args:
+                size = node.args[0]
+                if isinstance(size, ast.Constant) and size.value == 0:
+                    continue  # empty-result sentinel
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"np.{name} allocation in a level kernel; use a "
+                    "workspace buffer",
+                )
+            elif name in ("nonzero", "flatnonzero") and node.args and _mentions_parent(
+                node.args[0]
+            ):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "O(V) rescan of the parent map in a level kernel; "
+                    "use the workspace's incremental unvisited list",
                 )
 
 

@@ -116,19 +116,25 @@ class Sanitizer:
         parent: np.ndarray,
         level: np.ndarray,
         *,
-        in_frontier: np.ndarray | None = None,
+        in_frontier: object | None = None,
     ) -> None:
         """Validate the state left behind by the level at ``depth``.
 
         ``frontier`` is the queue the level consumed, ``next_frontier``
-        the vertices it claimed; ``in_frontier`` is the dense bitmap the
-        kernel consumed when the level ran bottom-up (``None`` for
-        top-down levels).
+        the vertices it claimed; ``in_frontier`` is the frontier
+        membership structure the kernel consumed when the level ran
+        bottom-up — either a packed :class:`~repro.graph.bitmap.Bitmap`
+        or a dense boolean mask (``None`` for top-down levels).
         """
+        from repro.graph.bitmap import Bitmap
+
         nf = np.asarray(next_frontier, dtype=np.int64)
 
         if in_frontier is not None:
-            bitmap_ids = np.nonzero(in_frontier)[0]
+            if isinstance(in_frontier, Bitmap):
+                bitmap_ids = in_frontier.nonzero()
+            else:
+                bitmap_ids = np.nonzero(in_frontier)[0]
             queue_ids = np.sort(np.asarray(frontier, dtype=np.int64))
             if not np.array_equal(bitmap_ids, queue_ids):
                 extra = np.setdiff1d(bitmap_ids, queue_ids)

@@ -17,6 +17,7 @@ from repro.bfs.bottomup import bottom_up_step
 from repro.bfs.hybrid import DirectionPolicy, LevelState, MNPolicy
 from repro.bfs.result import Direction
 from repro.bfs.topdown import top_down_step
+from repro.bfs.workspace import BFSWorkspace
 from repro.errors import BFSError
 from repro.graph.csr import CSRGraph
 
@@ -57,13 +58,17 @@ class ComponentLabels:
 def connected_components(
     graph: CSRGraph,
     policy: DirectionPolicy | None = None,
+    *,
+    workspace: BFSWorkspace | None = None,
 ) -> ComponentLabels:
     """Label connected components of a symmetric graph.
 
     Runs a shared-state level-synchronous sweep: the parent map doubles
     as the visited set across seeds, so total work stays O(V + E)
     regardless of component count.  ``policy`` defaults to the (M, N)
-    rule with moderate thresholds.
+    rule with moderate thresholds.  A passed-in ``workspace`` supplies
+    every graph-sized scratch array (its parent/level maps are used as
+    the shared visited state and left holding the final forest).
     """
     if not graph.symmetric:
         raise BFSError(
@@ -74,24 +79,38 @@ def connected_components(
     degrees = graph.degrees
     nedges = max(graph.num_edges, 1)
 
+    ws = workspace if workspace is not None else BFSWorkspace(n)
+    # The visited state is shared across seeds, so the per-source
+    # begin() reset does not apply: clear the maps once and stamp seeds
+    # by hand.
+    parent, level = ws.parent, ws.level
+    parent.fill(-1)
+    level.fill(-1)
+    ws.clear_frontier()
+    ws.invalidate_unvisited()
+
     labels = np.full(n, -1, dtype=np.int64)
-    parent = np.full(n, -1, dtype=np.int64)
-    level = np.full(n, -1, dtype=np.int64)
-    in_frontier = np.zeros(n, dtype=bool)
     sizes: list[int] = []
+    visited = 0
 
     # Seeds in ascending order; big components get swallowed whole by
-    # the first of their vertices encountered.
-    next_seed = 0
-    while True:
-        unlabeled = np.nonzero(labels < 0)[0]
-        if unlabeled.size == 0:
-            break
-        seed = int(unlabeled[0])
+    # the first of their vertices encountered.  The cursor only moves
+    # forward, so seed selection is O(V) across the whole run instead
+    # of O(V) per component.
+    cursor = 0
+    while cursor < n:
+        if labels[cursor] >= 0:
+            cursor += 1
+            continue
+        seed = cursor
         comp = len(sizes)
         labels[seed] = comp
         parent[seed] = seed
         level[seed] = 0
+        visited += 1
+        # The seed stamp is a claim: keep the live unvisited list honest
+        # before the next bottom-up level trusts it.
+        ws.retire_claimed(parent)
         frontier = np.array([seed], dtype=np.int64)
         count = 1
         depth = 0
@@ -102,24 +121,31 @@ def connected_components(
                 frontier_edges=int(degrees[frontier].sum()),
                 num_vertices=n,
                 num_edges=nedges,
-                unvisited_vertices=int((parent < 0).sum()),
+                unvisited_vertices=n - visited,
             )
             if policy.direction(state) == Direction.TOP_DOWN:
                 frontier, _ = top_down_step(
-                    graph, frontier, parent, level, depth
+                    graph, frontier, parent, level, depth, ws
                 )
             else:
-                in_frontier.fill(False)
-                in_frontier[frontier] = True
+                bits = ws.load_frontier(frontier)
+                unvisited = ws.unvisited_ids(graph, parent)
                 frontier, _ = bottom_up_step(
-                    graph, in_frontier, parent, level, depth
+                    graph,
+                    bits,
+                    parent,
+                    level,
+                    depth,
+                    unvisited=unvisited,
+                    workspace=ws,
                 )
-                frontier = np.sort(frontier)
+            ws.retire_claimed(parent)
             labels[frontier] = comp
             count += int(frontier.size)
+            visited += int(frontier.size)
             depth += 1
         sizes.append(count)
-        next_seed = seed + 1
+        cursor = seed + 1
     return ComponentLabels(
         labels=labels, sizes=np.array(sizes, dtype=np.int64)
     )

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bfs.hybrid import bfs_hybrid
+from repro.bfs.workspace import BFSWorkspace
 from repro.errors import BFSError
 from repro.graph.csr import CSRGraph
 
@@ -61,8 +62,11 @@ def pseudo_diameter(
     current = start
     used = 0
     degrees = graph.degrees
+    # One workspace for all sweeps: each sweep's level map is consumed
+    # (eccentricity + farthest set) before the next traversal reuses it.
+    ws = BFSWorkspace.for_graph(graph)
     for used in range(1, sweeps + 1):
-        result = bfs_hybrid(graph, current, m=m, n=n)
+        result = bfs_hybrid(graph, current, m=m, n=n, workspace=ws)
         ecc = result.num_levels - 1
         if ecc <= best:
             break

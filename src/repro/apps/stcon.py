@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bfs.topdown import top_down_step
+from repro.bfs.workspace import BFSWorkspace
 from repro.errors import BFSError
 from repro.graph.csr import CSRGraph
 
@@ -34,7 +35,13 @@ class STResult:
         return self.connected
 
 
-def st_connectivity(graph: CSRGraph, s: int, t: int) -> STResult:
+def st_connectivity(
+    graph: CSRGraph,
+    s: int,
+    t: int,
+    *,
+    workspace: BFSWorkspace | None = None,
+) -> STResult:
     """Decide whether ``t`` is reachable from ``s`` (symmetric graph),
     returning the exact shortest-path distance.
 
@@ -42,6 +49,11 @@ def st_connectivity(graph: CSRGraph, s: int, t: int) -> STResult:
     each step expanding whichever frontier has fewer incident edges —
     the same |E|cq-based cost reasoning as the paper's switching rule,
     applied to search scheduling.
+
+    A ``workspace`` supplies level scratch (iota cache, claim slots);
+    the two sides can share it because the claim step never reads slot
+    state across levels.  The per-side parent/level maps stay private
+    to this query.
     """
     n = graph.num_vertices
     for name, v in (("s", s), ("t", t)):
@@ -52,6 +64,7 @@ def st_connectivity(graph: CSRGraph, s: int, t: int) -> STResult:
     if not graph.symmetric:
         raise BFSError("st_connectivity requires a symmetric graph")
 
+    ws = workspace if workspace is not None else BFSWorkspace(n)
     degrees = graph.degrees
     # Side 0 grows from s, side 1 from t.  parent arrays double as the
     # per-side visited sets; level arrays hold per-side distances.
@@ -79,6 +92,7 @@ def st_connectivity(graph: CSRGraph, s: int, t: int) -> STResult:
             parents[side],
             levels[side],
             depths[side],
+            ws,
         )
         examined += work
         depths[side] += 1

@@ -18,9 +18,11 @@ from repro.bfs.timing import TimedLevel, TimedRun, timed_bfs
 from repro.bfs.spmv import adjacency_matrix, bfs_spmv, spmv_bytes, spmv_flops
 from repro.bfs.topdown import bfs_top_down, top_down_step
 from repro.bfs.trace import LevelProfile, LevelRecord, merge_mean
+from repro.bfs.workspace import BFSWorkspace
 
 __all__ = [
     "BFSResult",
+    "BFSWorkspace",
     "Direction",
     "LevelProfile",
     "LevelRecord",

@@ -5,6 +5,13 @@ of their adjacency lists plus segment bookkeeping, without a Python
 loop.  This replaces the reference code's ``for u in CQ: for v in
 adj(u)`` nest with two gathers and a ``repeat`` (the "vectorizing for
 loops" idiom of the hpc guides).
+
+The position computation is a single ``repeat`` of per-segment deltas
+plus one add of a cached iota — one pass fewer than the classic
+``arange - repeat(seg) + repeat(starts)`` formulation — and every
+function takes an optional :class:`~repro.bfs.workspace.BFSWorkspace`
+so the iota comes from the grow-only cache instead of a fresh
+``np.arange`` per level.
 """
 
 from __future__ import annotations
@@ -13,43 +20,66 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 
-__all__ = ["expand_rows", "segment_first_true"]
+__all__ = ["expand_rows", "gather_segments", "segment_first_true"]
+
+
+def _iota(k: int, workspace=None) -> np.ndarray:
+    """``arange(k)`` from the workspace cache, or freshly allocated."""
+    if workspace is not None:
+        return workspace.iota(k)
+    return np.arange(k, dtype=np.int64)  # repro: noqa[RPR007] — cold path
+
+
+def gather_segments(
+    targets: np.ndarray,
+    starts: np.ndarray,
+    counts: np.ndarray,
+    seg_starts: np.ndarray,
+    total: int,
+    workspace=None,
+) -> np.ndarray:
+    """Gather ``targets[starts[i] + j]`` for ``j < counts[i]``, concatenated.
+
+    ``seg_starts`` must be the cumulative form of ``counts`` (length
+    ``len(counts) + 1``) and ``total == seg_starts[-1]``.  Returns an
+    array of ``targets.dtype``.  This is the shared inner gather of
+    :func:`expand_rows` and the windowed bottom-up scan, which passes
+    clipped per-row windows instead of whole adjacency lists.
+    """
+    if total == 0:
+        return np.zeros(0, dtype=targets.dtype)
+    pos = np.repeat(starts - seg_starts[:-1], counts)
+    pos += _iota(total, workspace)
+    return targets[pos]
 
 
 def expand_rows(
-    graph: CSRGraph, vertices: np.ndarray
+    graph: CSRGraph, vertices: np.ndarray, workspace=None
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Concatenate the adjacency lists of ``vertices``.
 
-    Returns ``(neighbours, owners, seg_starts)`` where ``neighbours`` is
-    the concatenated targets, ``owners[i]`` is the vertex whose list
-    contributed ``neighbours[i]``, and ``seg_starts`` gives each
-    vertex's first position in the concatenation (length
-    ``len(vertices) + 1`` cumulative form).
+    Returns ``(neighbours, owners, seg_starts)`` where ``neighbours``
+    is the concatenated targets (always ``graph.targets.dtype``, empty
+    or not), ``owners[i]`` is the vertex whose list contributed
+    ``neighbours[i]``, and ``seg_starts`` gives each vertex's first
+    position in the concatenation (length ``len(vertices) + 1``
+    cumulative form).
     """
     vertices = np.asarray(vertices, dtype=np.int64)
     starts = graph.offsets[vertices]
     counts = graph.offsets[vertices + 1] - starts
-    total = int(counts.sum())
-    seg_starts = np.zeros(vertices.size + 1, dtype=np.int64)
+    seg_starts = np.zeros(vertices.size + 1, dtype=np.int64)  # repro: noqa[RPR007] — O(frontier) bookkeeping, not O(V)
     np.cumsum(counts, out=seg_starts[1:])
-    if total == 0:
-        return (
-            np.zeros(0, dtype=np.int32),
-            np.zeros(0, dtype=np.int64),
-            seg_starts,
-        )
-    # Global gather positions: for each segment k, starts[k] + (0..counts[k]).
-    pos = np.arange(total, dtype=np.int64)
-    pos -= np.repeat(seg_starts[:-1], counts)
-    pos += np.repeat(starts, counts)
-    neighbours = graph.targets[pos]
+    total = int(seg_starts[-1])
+    neighbours = gather_segments(
+        graph.targets, starts, counts, seg_starts, total, workspace
+    )
     owners = np.repeat(vertices, counts)
     return neighbours, owners, seg_starts
 
 
 def segment_first_true(
-    flags: np.ndarray, seg_starts: np.ndarray
+    flags: np.ndarray, seg_starts: np.ndarray, workspace=None
 ) -> np.ndarray:
     """Position of the first True within each segment, or ``-1``.
 
@@ -59,14 +89,14 @@ def segment_first_true(
     "stop at the first parent found" early termination, vectorized.
     """
     nseg = seg_starts.size - 1
-    out = np.full(nseg, -1, dtype=np.int64)
+    out = np.full(nseg, -1, dtype=np.int64)  # repro: noqa[RPR007] — O(segments) output, not O(V)
     if flags.size == 0 or nseg == 0:
         return out
     # Sentinel trick: positions where flag holds, +inf elsewhere, then a
     # segmented min via minimum.reduceat.  reduceat cannot handle empty
     # segments at the end, so guard indices.
     big = np.int64(flags.size)
-    pos = np.where(flags, np.arange(flags.size, dtype=np.int64), big)
+    pos = np.where(flags, _iota(flags.size, workspace), big)
     nonempty = seg_starts[:-1] < seg_starts[1:]
     if not nonempty.any():
         return out

@@ -2,27 +2,37 @@
 
 Each unvisited vertex scans its own adjacency list for *any* member of
 the current queue and, on the first hit, claims that neighbour as its
-parent and stops.  The vectorized kernel expands the adjacency lists of
-all unvisited vertices, tests membership against a dense frontier
-bitmap, and locates the first hit per vertex with a segmented min — so
-the number of adjacency entries *inspected* (with early termination) is
-computed exactly, matching what a scalar implementation would touch.
+parent and stops.  The vectorized kernel tests adjacency entries
+against a packed frontier bitmap (or a dense boolean mask) and locates
+the first hit per vertex with a segmented min, so the number of entries
+*inspected* (with early termination) is computed exactly — matching
+what a scalar implementation would touch.
+
+The scan is two-phase to exploit the early exit the paper's Algorithm 2
+relies on: in dense mid-traversal levels most unvisited vertices find a
+parent within their first few neighbours, so phase one gathers only a
+small fixed *window* of each adjacency list (``window`` entries), and
+only the rows with no hit there get a second full-tail pass.  Winners,
+parents and inspected counts are bit-identical to a whole-row scan —
+the first hit in the earliest window is the first hit in the row.
 
 Two work figures matter and both are reported:
 
 * ``edges_checked`` — entries inspected with early termination (the
   paper's observation that bottom-up visits at most ``|E|un`` edges);
-* the gather itself momentarily touches every unvisited entry, which is
-  a NumPy artifact; chunking (``chunk_size``) bounds that footprint.
+* the gather itself momentarily touches the windowed entries, which is
+  a NumPy artifact; chunking (``chunk_entries``) bounds that footprint.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.bfs._gather import expand_rows, segment_first_true
+from repro.bfs._gather import _iota, gather_segments
 from repro.bfs.result import BFSResult, Direction
+from repro.bfs.workspace import BFSWorkspace
 from repro.errors import BFSError
+from repro.graph.bitmap import Bitmap
 from repro.graph.csr import CSRGraph
 
 __all__ = ["bfs_bottom_up", "bottom_up_step"]
@@ -31,65 +41,169 @@ __all__ = ["bfs_bottom_up", "bottom_up_step"]
 #: int32 ids); keeps the vectorized gather inside cache-friendly bounds.
 DEFAULT_CHUNK_ENTRIES = 1 << 26
 
+#: Entries of each adjacency list gathered in the first scan phase.
+#: Mid-traversal levels resolve the vast majority of rows within the
+#: first handful of neighbours (the early exit the paper leans on), so
+#: a small window keeps the phase-one gather near the *inspected* count
+#: rather than the full unvisited degree sum.
+DEFAULT_SCAN_WINDOW = 4
+
+
+def _frontier_hits(in_frontier, neighbours: np.ndarray) -> np.ndarray:
+    """Membership test of ``neighbours`` against the current queue.
+
+    Accepts either a packed :class:`~repro.graph.bitmap.Bitmap` (the
+    workspace path; unchecked byte probe) or a dense boolean mask.
+    """
+    if isinstance(in_frontier, Bitmap):
+        return in_frontier.test_many(neighbours, checked=False)
+    return in_frontier[neighbours]
+
+
+def _cumsum0(
+    counts: np.ndarray, workspace: BFSWorkspace | None, name: str
+) -> np.ndarray:
+    """Cumulative segment starts ``[0, c0, c0+c1, ...]`` of ``counts``."""
+    if workspace is not None:
+        seg = workspace.buffer(name, counts.size + 1, np.int64)
+    else:
+        seg = np.empty(counts.size + 1, dtype=np.int64)  # repro: noqa[RPR007] — cold path, O(rows) bookkeeping
+    seg[0] = 0
+    np.cumsum(counts, out=seg[1:])
+    return seg
+
+
+def _row_scan(
+    graph: CSRGraph,
+    rows: np.ndarray,
+    deg: np.ndarray,
+    starts: np.ndarray,
+    in_frontier,
+    *,
+    window: int,
+    workspace: BFSWorkspace | None,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Scan each row's adjacency list for its first frontier member.
+
+    Returns ``(found, first_local, inspected)`` where ``found[i]`` says
+    whether row ``i`` has a frontier neighbour, ``first_local[i]`` is
+    the within-row position of the first one (undefined where not
+    found), and ``inspected`` is the exact early-termination entry
+    count.  Every row must have ``deg > 0``.
+    """
+    targets = graph.targets
+    # Phase 1: probe only the first `window` entries of each row.
+    c1 = np.minimum(deg, window)
+    seg1 = _cumsum0(c1, workspace, "bu-seg1")
+    k1 = int(seg1[-1])
+    nbr1 = gather_segments(targets, starts, c1, seg1, k1, workspace)
+    hits1 = _frontier_hits(in_frontier, nbr1)
+    big = np.int64(k1)
+    mins = np.minimum.reduceat(
+        np.where(hits1, _iota(k1, workspace), big), seg1[:-1]
+    )
+    found = mins < big
+    first_local = mins - seg1[:-1]
+    inspected = int(np.where(found, first_local + 1, c1).sum())
+    # Phase 2: rows with no hit in the window scan their remaining tail.
+    surv = np.flatnonzero(~found & (deg > window))
+    if surv.size:
+        sdeg = deg[surv] - window
+        sstarts = starts[surv] + window
+        seg2 = _cumsum0(sdeg, workspace, "bu-seg2")
+        k2 = int(seg2[-1])
+        nbr2 = gather_segments(targets, sstarts, sdeg, seg2, k2, workspace)
+        hits2 = _frontier_hits(in_frontier, nbr2)
+        big2 = np.int64(k2)
+        mins2 = np.minimum.reduceat(
+            np.where(hits2, _iota(k2, workspace), big2), seg2[:-1]
+        )
+        found2 = mins2 < big2
+        fl2 = mins2 - seg2[:-1] + window
+        found[surv] = found2
+        first_local[surv] = np.where(found2, fl2, -1)
+        inspected += int(np.where(found2, fl2 + 1 - window, sdeg).sum())
+    return found, first_local, inspected
+
 
 def bottom_up_step(
     graph: CSRGraph,
-    in_frontier: np.ndarray,
+    in_frontier,
     parent: np.ndarray,
     level: np.ndarray,
     depth: int,
     *,
     unvisited: np.ndarray | None = None,
     chunk_entries: int = DEFAULT_CHUNK_ENTRIES,
+    workspace: BFSWorkspace | None = None,
+    window: int = DEFAULT_SCAN_WINDOW,
 ) -> tuple[np.ndarray, int]:
     """Execute one bottom-up level.
 
     Parameters
     ----------
     in_frontier:
-        Dense boolean mask of the current queue (the bitmap of the real
-        implementations).
+        The current queue as a packed
+        :class:`~repro.graph.bitmap.Bitmap` or a dense boolean mask.
     unvisited:
-        Optional precomputed array of unvisited vertex ids (``parent <
-        0``); computed from ``parent`` when omitted.
+        Optional precomputed ascending array of unvisited vertex ids.
+        The kernel *trusts* this list — entries whose ``parent`` is
+        already set must have been retired by the caller (see
+        :meth:`BFSWorkspace.retire_claimed`).  Zero-degree entries are
+        filtered here (they can never be claimed bottom-up and
+        contribute no inspected edges).  Computed from ``parent`` when
+        omitted.
 
     Returns ``(next_frontier_ids, edges_checked)`` and mutates
     ``parent``/``level`` in place.
     """
+    if window <= 0:
+        raise BFSError(f"window must be positive, got {window}")
     if unvisited is None:
-        unvisited = np.nonzero(parent < 0)[0].astype(np.int64)
+        unvisited = np.nonzero(parent < 0)[0]  # repro: noqa[RPR007] — cold path, no unvisited list supplied
     if unvisited.size == 0:
         return np.zeros(0, dtype=np.int64), 0
 
+    deg_all = graph.degrees[unvisited]
+    nz = deg_all > 0
+    if not nz.all():
+        unvisited = unvisited[nz]
+        deg_all = deg_all[nz]
+        if unvisited.size == 0:
+            return np.zeros(0, dtype=np.int64), 0
+    starts_all = graph.offsets[unvisited]
+
     claimed_chunks: list[np.ndarray] = []
     edges_checked = 0
-    degrees = graph.offsets[unvisited + 1] - graph.offsets[unvisited]
-    # Chunk boundaries so each gather stays under chunk_entries entries.
-    bounds = _chunk_bounds(degrees, chunk_entries)
+    targets = graph.targets
+    bounds = _chunk_bounds(deg_all, chunk_entries)
     for lo, hi in bounds:
-        chunk = unvisited[lo:hi]
-        neighbours, _, seg_starts = expand_rows(graph, chunk)
-        if neighbours.size == 0:
-            continue
-        hits = in_frontier[neighbours]
-        first = segment_first_true(hits, seg_starts)
-        found = first >= 0
-        # Early-termination accounting: a vertex that finds a parent at
-        # within-segment position p inspected p + 1 entries; one that
-        # fails inspected its whole list.
-        seg_lo = seg_starts[:-1]
-        seg_len = np.diff(seg_starts)
-        inspected = np.where(found, first - seg_lo + 1, seg_len)
-        edges_checked += int(inspected.sum())
+        rows = unvisited[lo:hi]
+        found, first_local, inspected = _row_scan(
+            graph,
+            rows,
+            deg_all[lo:hi],
+            starts_all[lo:hi],
+            in_frontier,
+            window=window,
+            workspace=workspace,
+        )
+        edges_checked += inspected
         if found.any():
-            winners = chunk[found]
-            parent[winners] = neighbours[first[found]]
+            winners = rows[found]
+            parent[winners] = targets[
+                (starts_all[lo:hi] + first_local)[found]
+            ]
             level[winners] = depth + 1
             claimed_chunks.append(winners)
-    if claimed_chunks:
+    if len(claimed_chunks) == 1:
+        next_frontier = claimed_chunks[0]
+    elif claimed_chunks:
         next_frontier = np.concatenate(claimed_chunks)
     else:
         next_frontier = np.zeros(0, dtype=np.int64)
+    # `unvisited` is ascending, so winners per chunk and their
+    # concatenation are ascending too — no sort needed downstream.
     return next_frontier, edges_checked
 
 
@@ -102,6 +216,9 @@ def _chunk_bounds(
         return []
     if chunk_entries <= 0:
         raise BFSError(f"chunk_entries must be positive, got {chunk_entries}")
+    total = int(degrees.sum())
+    if total <= chunk_entries:
+        return [(0, degrees.size)]
     cum = np.cumsum(degrees)
     bounds: list[tuple[int, int]] = []
     lo = 0
@@ -122,6 +239,7 @@ def bfs_bottom_up(
     *,
     chunk_entries: int = DEFAULT_CHUNK_ENTRIES,
     sanitize: bool = False,
+    workspace: BFSWorkspace | None = None,
 ) -> BFSResult:
     """Full bottom-up traversal from ``source``.
 
@@ -130,7 +248,9 @@ def bfs_bottom_up(
 
     With ``sanitize=True`` the traversal runs under
     :class:`repro.analysis.sanitizer.Sanitizer` (frozen CSR arrays,
-    per-level invariant checks, queue/bitmap agreement).
+    per-level invariant checks, queue/bitmap agreement).  With an
+    explicit ``workspace`` the result's parent/level maps alias the
+    workspace arrays (``result.detach()`` copies them out).
     """
     n = graph.num_vertices
     if not 0 <= source < n:
@@ -140,12 +260,8 @@ def bfs_bottom_up(
         from repro.analysis.sanitizer import Sanitizer
 
         san = Sanitizer(graph, source)
-    parent = np.full(n, -1, dtype=np.int64)
-    level = np.full(n, -1, dtype=np.int64)
-    parent[source] = source
-    level[source] = 0
-    in_frontier = np.zeros(n, dtype=bool)
-    in_frontier[source] = True
+    ws = workspace if workspace is not None else BFSWorkspace(n)
+    parent, level = ws.begin(source)
     frontier = np.array([source], dtype=np.int64)
     directions: list[str] = []
     edges_examined: list[int] = []
@@ -154,13 +270,17 @@ def bfs_bottom_up(
         if san is not None:
             san.__enter__()
         while frontier.size:
+            bits = ws.load_frontier(frontier)
+            unvisited = ws.unvisited_ids(graph, parent)
             next_frontier, checked = bottom_up_step(
                 graph,
-                in_frontier,
+                bits,
                 parent,
                 level,
                 depth,
+                unvisited=unvisited,
                 chunk_entries=chunk_entries,
+                workspace=ws,
             )
             if san is not None:
                 san.after_level(
@@ -169,12 +289,11 @@ def bfs_bottom_up(
                     next_frontier,
                     parent,
                     level,
-                    in_frontier=in_frontier,
+                    in_frontier=bits,
                 )
+            ws.retire_claimed(parent)
             directions.append(Direction.BOTTOM_UP)
             edges_examined.append(checked)
-            in_frontier.fill(False)
-            in_frontier[next_frontier] = True
             frontier = next_frontier
             depth += 1
         if san is not None:

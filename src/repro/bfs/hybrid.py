@@ -25,6 +25,7 @@ import numpy as np
 from repro.bfs.bottomup import bottom_up_step
 from repro.bfs.result import BFSResult, Direction
 from repro.bfs.topdown import top_down_step
+from repro.bfs.workspace import BFSWorkspace
 from repro.errors import BFSError
 from repro.graph.csr import CSRGraph
 
@@ -85,6 +86,7 @@ def bfs_hybrid(
     m: float | None = None,
     n: float | None = None,
     sanitize: bool = False,
+    workspace: BFSWorkspace | None = None,
 ) -> BFSResult:
     """Direction-optimizing traversal from ``source``.
 
@@ -96,6 +98,12 @@ def bfs_hybrid(
     :class:`repro.analysis.sanitizer.Sanitizer`: CSR arrays are frozen,
     per-level invariants are checked after every step, and bottom-up
     levels additionally verify the frontier bitmap against the queue.
+
+    With an explicit ``workspace`` repeated traversals reuse every
+    graph-sized array (output maps, frontier bitmap, claim slots,
+    unvisited list); the result's parent/level then alias the workspace
+    arrays — call ``result.detach()`` to keep them past the next
+    traversal.
     """
     if policy is None:
         if m is None or n is None:
@@ -115,13 +123,10 @@ def bfs_hybrid(
     nedges = max(graph.num_edges, 1)
     degrees = graph.degrees
 
-    parent = np.full(nverts, -1, dtype=np.int64)
-    level = np.full(nverts, -1, dtype=np.int64)
-    parent[source] = source
-    level[source] = 0
+    ws = workspace if workspace is not None else BFSWorkspace(nverts)
+    parent, level = ws.begin(source)
 
     frontier = np.array([source], dtype=np.int64)
-    in_frontier: np.ndarray | None = None  # dense mask, built lazily
     unvisited_count = nverts - 1
 
     directions: list[str] = []
@@ -140,22 +145,25 @@ def bfs_hybrid(
                 unvisited_vertices=unvisited_count,
             )
             chosen = policy.direction(state)
+            bits = None
             if chosen == Direction.TOP_DOWN:
                 next_frontier, examined = top_down_step(
-                    graph, frontier, parent, level, depth
+                    graph, frontier, parent, level, depth, ws
                 )
-                in_frontier = None
             elif chosen == Direction.BOTTOM_UP:
-                # Switch cost: the sparse queue becomes a bitmap.
-                if in_frontier is None:
-                    in_frontier = np.zeros(nverts, dtype=bool)
-                else:
-                    in_frontier.fill(False)
-                in_frontier[frontier] = True
+                # Switch cost: the sparse queue becomes a packed bitmap
+                # (cleared word-wise from the previous load, not O(V)).
+                bits = ws.load_frontier(frontier)
+                unvisited = ws.unvisited_ids(graph, parent)
                 next_frontier, examined = bottom_up_step(
-                    graph, in_frontier, parent, level, depth
+                    graph,
+                    bits,
+                    parent,
+                    level,
+                    depth,
+                    unvisited=unvisited,
+                    workspace=ws,
                 )
-                next_frontier = np.sort(next_frontier)
             else:
                 raise BFSError(f"policy returned unknown direction {chosen!r}")
             if san is not None:
@@ -165,10 +173,11 @@ def bfs_hybrid(
                     next_frontier,
                     parent,
                     level,
-                    in_frontier=in_frontier
-                    if chosen == Direction.BOTTOM_UP
-                    else None,
+                    in_frontier=bits,
                 )
+            # Keep the incremental unvisited list honest after every
+            # claiming level (no-op while it is still lazy).
+            ws.retire_claimed(parent)
             directions.append(chosen)
             edges_examined.append(examined)
             unvisited_count -= int(next_frontier.size)

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bfs._gather import expand_rows
+from repro.bfs.workspace import BFSWorkspace
 from repro.errors import BFSError
 from repro.graph.csr import CSRGraph
 
@@ -64,12 +65,21 @@ class MultiSourceResult:
         return float(finite.mean())
 
 
-def msbfs(graph: CSRGraph, sources: np.ndarray) -> MultiSourceResult:
+def msbfs(
+    graph: CSRGraph,
+    sources: np.ndarray,
+    *,
+    workspace: BFSWorkspace | None = None,
+) -> MultiSourceResult:
     """Run BFS from every vertex in ``sources`` simultaneously.
 
     At most :data:`MAX_BATCH` sources per call (one bit each in the
     per-vertex state word).  Duplicate sources are allowed and produce
     identical rows.
+
+    With a ``workspace`` the three per-vertex ``uint64`` state words
+    come from its scratch buffers, so repeated batches on one graph
+    allocate only the ``levels`` output.
     """
     sources = np.asarray(sources, dtype=np.int64).ravel()
     n = graph.num_vertices
@@ -83,8 +93,16 @@ def msbfs(graph: CSRGraph, sources: np.ndarray) -> MultiSourceResult:
         raise BFSError("source out of range")
 
     k = sources.size
-    seen = np.zeros(n, dtype=np.uint64)     # bit b: visited by search b
-    frontier = np.zeros(n, dtype=np.uint64)  # bit b: in search b's frontier
+    if workspace is not None:
+        seen = workspace.buffer("ms-seen", n, np.uint64)
+        frontier = workspace.buffer("ms-frontier", n, np.uint64)
+        incoming = workspace.buffer("ms-incoming", n, np.uint64)
+        seen.fill(0)
+        frontier.fill(0)
+    else:
+        seen = np.zeros(n, dtype=np.uint64)     # bit b: visited by search b
+        frontier = np.zeros(n, dtype=np.uint64)  # bit b: in search b's frontier
+        incoming = np.empty(n, dtype=np.uint64)
     levels = np.full((k, n), -1, dtype=np.int64)
     for b, src in enumerate(sources):
         bit = np.uint64(1) << np.uint64(b)
@@ -96,12 +114,15 @@ def msbfs(graph: CSRGraph, sources: np.ndarray) -> MultiSourceResult:
     active = np.nonzero(frontier)[0]
     while active.size:
         # Propagate frontier masks over the adjacency of active vertices.
-        neighbours, owners, _ = expand_rows(graph, active)
-        incoming = np.zeros(n, dtype=np.uint64)
+        neighbours, owners, _ = expand_rows(graph, active, workspace)
+        incoming.fill(0)
         np.bitwise_or.at(incoming, neighbours, frontier[owners])
-        fresh = incoming & ~seen
-        seen |= fresh
-        frontier = fresh
+        # fresh = incoming & ~seen, written into the frontier buffer
+        # (its old masks were consumed by the gather above).
+        np.bitwise_not(seen, out=frontier)
+        np.bitwise_and(incoming, frontier, out=frontier)
+        fresh = frontier
+        np.bitwise_or(seen, fresh, out=seen)
         depth += 1
         newly = np.nonzero(fresh)[0]
         if newly.size:

@@ -12,7 +12,7 @@ unvisited vertex is owned by exactly one thread — mirroring why the
 paper calls bottom-up's parallelism Θ(V/lg V) against top-down's
 Θ(Vcq/lg Vcq).  Top-down chunks can race to discover the same vertex,
 resolved in the merge step exactly like the sequential first-writer
-rule.
+rule (the O(k) reversed-scatter claim over the concatenated proposals).
 
 These kernels power the *real-machine* strong-scaling benchmark that
 accompanies the simulated Fig. 10.
@@ -24,9 +24,12 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from repro.bfs._gather import expand_rows, segment_first_true
+from repro.bfs._gather import expand_rows
+from repro.bfs.bottomup import DEFAULT_SCAN_WINDOW, _row_scan
 from repro.bfs.hybrid import DirectionPolicy, LevelState, MNPolicy
 from repro.bfs.result import BFSResult, Direction
+from repro.bfs.topdown import claim_first_writer
+from repro.bfs.workspace import BFSWorkspace
 from repro.errors import BFSError
 from repro.graph.csr import CSRGraph
 
@@ -53,7 +56,8 @@ class ParallelBFS:
         top-down, plain bottom-up and hybrid scaling runs.
 
     The pool is created per engine and shared across traversals; use as
-    a context manager or call :meth:`close`.
+    a context manager or call :meth:`close`.  Running a traversal on a
+    closed engine raises :class:`~repro.errors.BFSError`.
     """
 
     def __init__(
@@ -68,12 +72,19 @@ class ParallelBFS:
         self._pool = ThreadPoolExecutor(
             max_workers=num_threads, thread_name_prefix="repro-bfs"
         )
+        self._closed = False
 
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        """Shut down the worker pool."""
+        """Shut down the worker pool.  Idempotent."""
+        self._closed = True
         self._pool.shutdown(wait=True)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
 
     def __enter__(self) -> "ParallelBFS":
         return self
@@ -90,12 +101,13 @@ class ParallelBFS:
         parent: np.ndarray,
         level: np.ndarray,
         depth: int,
+        workspace: BFSWorkspace,
     ) -> tuple[np.ndarray, int]:
         chunks = _split(frontier, self.num_threads)
 
         def expand(chunk: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
             """One thread's share of the frontier expansion."""
-            neighbours, owners, _ = expand_rows(graph, chunk)
+            neighbours, owners, _ = expand_rows(graph, chunk, workspace)
             fresh = parent[neighbours] < 0
             return neighbours[fresh], owners[fresh], int(neighbours.size)
 
@@ -103,55 +115,69 @@ class ParallelBFS:
         examined = sum(r[2] for r in results)
         if not results:
             return np.zeros(0, dtype=np.int64), 0
-        cand = np.concatenate([r[0] for r in results]).astype(np.int64)
+        cand = np.concatenate([r[0] for r in results])
         cand_parent = np.concatenate([r[1] for r in results])
         if cand.size == 0:
             return np.zeros(0, dtype=np.int64), examined
-        next_frontier, first_idx = np.unique(cand, return_index=True)
-        parent[next_frontier] = cand_parent[first_idx]
-        level[next_frontier] = depth + 1
+        next_frontier = claim_first_writer(
+            cand, cand_parent, parent, level, depth, workspace
+        )
         return next_frontier, examined
 
     def _bottom_up_level(
         self,
         graph: CSRGraph,
-        in_frontier: np.ndarray,
+        in_frontier,
         parent: np.ndarray,
         level: np.ndarray,
         depth: int,
+        unvisited: np.ndarray,
+        workspace: BFSWorkspace,
     ) -> tuple[np.ndarray, int]:
-        unvisited = np.nonzero(parent < 0)[0]
+        # The caller maintains `unvisited` (degree > 0, retired each
+        # level); each thread owns a contiguous slice, so claims are
+        # conflict-free.
         chunks = _split(unvisited, self.num_threads)
+        targets = graph.targets
+        degrees = graph.degrees
+        offsets = graph.offsets
 
         def scan(chunk: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
-            """One thread's share of the unvisited scan."""
-            neighbours, _, seg_starts = expand_rows(graph, chunk)
-            if neighbours.size == 0:
-                return (
-                    np.zeros(0, dtype=np.int64),
-                    np.zeros(0, dtype=np.int64),
-                    0,
-                )
-            hits = in_frontier[neighbours]
-            first = segment_first_true(hits, seg_starts)
-            found = first >= 0
-            seg_lo = seg_starts[:-1]
-            seg_len = np.diff(seg_starts)
-            inspected = int(
-                np.where(found, first - seg_lo + 1, seg_len).sum()
+            """One thread's share of the unvisited scan.
+
+            Workspace scratch is safe here: :meth:`BFSWorkspace.buffer`
+            is keyed by thread id and the iota cache grow is benign
+            under races (each thread keeps a valid read-only view).
+            """
+            deg = degrees[chunk]
+            starts = offsets[chunk]
+            found, first_local, inspected = _row_scan(
+                graph,
+                chunk,
+                deg,
+                starts,
+                in_frontier,
+                window=DEFAULT_SCAN_WINDOW,
+                workspace=workspace,
             )
-            return chunk[found], neighbours[first[found]].astype(np.int64), inspected
+            return (
+                chunk[found],
+                targets[(starts + first_local)[found]],
+                inspected,
+            )
 
         results = list(self._pool.map(scan, chunks))
         checked = sum(r[2] for r in results)
         winners_list = [r[0] for r in results if r[0].size]
         if not winners_list:
             return np.zeros(0, dtype=np.int64), checked
+        # Chunks partition the ascending unvisited list, so the
+        # concatenated winners are already sorted.
         winners = np.concatenate(winners_list)
         parents = np.concatenate([r[1] for r in results if r[0].size])
         parent[winners] = parents
         level[winners] = depth + 1
-        return np.sort(winners), checked
+        return winners, checked
 
     # -- traversal --------------------------------------------------------------
 
@@ -161,13 +187,21 @@ class ParallelBFS:
         source: int,
         *,
         direction: str | None = None,
+        workspace: BFSWorkspace | None = None,
     ) -> BFSResult:
         """Traverse from ``source``.
 
         ``direction='td'``/``'bu'`` forces one kernel; otherwise the
         engine's policy decides per level (defaulting to top-down when
         no policy was given).
+
+        Without an explicit ``workspace`` each call uses a private one,
+        so concurrently produced results stay independent; pass a
+        workspace to reuse graph-sized scratch across traversals (the
+        result then aliases its arrays — ``result.detach()`` to keep).
         """
+        if self._closed:
+            raise BFSError("ParallelBFS engine is closed; create a new one")
         n = graph.num_vertices
         if not 0 <= source < n:
             raise BFSError(f"source {source} out of range [0, {n})")
@@ -176,12 +210,9 @@ class ParallelBFS:
         degrees = graph.degrees
         nedges = max(graph.num_edges, 1)
 
-        parent = np.full(n, -1, dtype=np.int64)
-        level = np.full(n, -1, dtype=np.int64)
-        parent[source] = source
-        level[source] = 0
+        ws = workspace if workspace is not None else BFSWorkspace(n)
+        parent, level = ws.begin(source)
         frontier = np.array([source], dtype=np.int64)
-        in_frontier = np.zeros(n, dtype=bool)
         unvisited_count = n - 1
 
         directions: list[str] = []
@@ -205,14 +236,15 @@ class ParallelBFS:
                 chosen = Direction.TOP_DOWN
             if chosen == Direction.TOP_DOWN:
                 frontier_next, work = self._top_down_level(
-                    graph, frontier, parent, level, depth
+                    graph, frontier, parent, level, depth, ws
                 )
             else:
-                in_frontier.fill(False)
-                in_frontier[frontier] = True
+                bits = ws.load_frontier(frontier)
+                unvisited = ws.unvisited_ids(graph, parent)
                 frontier_next, work = self._bottom_up_level(
-                    graph, in_frontier, parent, level, depth
+                    graph, bits, parent, level, depth, unvisited, ws
                 )
+            ws.retire_claimed(parent)
             directions.append(chosen)
             edges_examined.append(work)
             unvisited_count -= int(frontier_next.size)

@@ -18,10 +18,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bfs._gather import expand_rows, segment_first_true
+from repro.bfs.bottomup import DEFAULT_SCAN_WINDOW, _row_scan
 from repro.bfs.result import BFSResult, Direction
 from repro.bfs.topdown import top_down_step
 from repro.bfs.trace import LevelProfile, LevelRecord
+from repro.bfs.workspace import BFSWorkspace
 from repro.errors import BFSError
 from repro.graph.csr import CSRGraph
 
@@ -33,6 +34,7 @@ def profile_bfs(
     source: int,
     *,
     max_levels: int | None = None,
+    workspace: BFSWorkspace | None = None,
 ) -> tuple[LevelProfile, BFSResult]:
     """Run an instrumented traversal from ``source``.
 
@@ -45,29 +47,30 @@ def profile_bfs(
         raise BFSError(f"source {source} out of range [0, {n})")
     degrees = graph.degrees
 
-    parent = np.full(n, -1, dtype=np.int64)
-    level = np.full(n, -1, dtype=np.int64)
-    parent[source] = source
-    level[source] = 0
+    ws = workspace if workspace is not None else BFSWorkspace(n)
+    parent, level = ws.begin(source)
 
     frontier = np.array([source], dtype=np.int64)
-    in_frontier = np.zeros(n, dtype=bool)
     records: list[LevelRecord] = []
     directions: list[str] = []
     edges_examined: list[int] = []
     depth = 0
     while frontier.size and (max_levels is None or depth < max_levels):
+        # The profile's unvisited counters include zero-degree vertices
+        # (they are part of |V|un), so this full scan stays — it feeds
+        # the record, not the kernel.
         unvisited = np.nonzero(parent < 0)[0]
         unvisited_edges = int(degrees[unvisited].sum())
         frontier_edges = int(degrees[frontier].sum())
 
         # Counterfactual bottom-up accounting at this level.
-        in_frontier.fill(False)
-        in_frontier[frontier] = True
-        bu_checked, bu_failed = _bottom_up_checked(graph, unvisited, in_frontier)
+        bits = ws.load_frontier(frontier)
+        bu_checked, bu_failed = _bottom_up_checked(
+            graph, unvisited, bits, ws
+        )
 
         next_frontier, examined = top_down_step(
-            graph, frontier, parent, level, depth
+            graph, frontier, parent, level, depth, ws
         )
         records.append(
             LevelRecord(
@@ -103,26 +106,39 @@ def profile_bfs(
 
 
 def _bottom_up_checked(
-    graph: CSRGraph, unvisited: np.ndarray, in_frontier: np.ndarray
+    graph: CSRGraph,
+    unvisited: np.ndarray,
+    in_frontier,
+    workspace: BFSWorkspace | None = None,
 ) -> tuple[int, int]:
     """Edges a bottom-up sweep would inspect, with early termination.
 
     Returns ``(total_checked, failed_checked)`` where the failed portion
-    belongs to vertices that found no parent this level.
+    belongs to vertices that found no parent this level.  Uses the same
+    windowed row scan as the real kernel, so the counts match what an
+    actual bottom-up level would report.
     """
     if unvisited.size == 0:
         return 0, 0
-    neighbours, _, seg_starts = expand_rows(graph, unvisited)
-    if neighbours.size == 0:
+    deg = graph.degrees[unvisited]
+    nz = deg > 0
+    if not nz.all():
+        unvisited = unvisited[nz]
+        deg = deg[nz]
+    if unvisited.size == 0:
         return 0, 0
-    hits = in_frontier[neighbours]
-    first = segment_first_true(hits, seg_starts)
-    found = first >= 0
-    seg_lo = seg_starts[:-1]
-    seg_len = np.diff(seg_starts)
-    inspected = np.where(found, first - seg_lo + 1, seg_len)
-    total = int(inspected.sum())
-    failed = int(inspected[~found].sum())
+    starts = graph.offsets[unvisited]
+    found, _, total = _row_scan(
+        graph,
+        unvisited,
+        deg,
+        starts,
+        in_frontier,
+        window=DEFAULT_SCAN_WINDOW,
+        workspace=workspace,
+    )
+    # A vertex that finds no parent inspects its whole adjacency list.
+    failed = int(deg[~found].sum())
     return total, failed
 
 

@@ -99,6 +99,18 @@ class BFSResult:
             return np.zeros(0, dtype=np.int64)
         return np.bincount(self.level[reached], minlength=self.num_levels)
 
+    def detach(self) -> "BFSResult":
+        """Copy the parent/level maps out of any shared workspace.
+
+        Results produced with an explicit
+        :class:`~repro.bfs.workspace.BFSWorkspace` alias the workspace's
+        arrays, which the next traversal overwrites.  Call this to keep
+        a result across traversals; returns self for chaining.
+        """
+        self.parent = self.parent.copy()
+        self.level = self.level.copy()
+        return self
+
     def validate(self, graph: CSRGraph) -> "BFSResult":
         """Run Graph 500 validation; returns self for chaining."""
         validate_bfs(graph, self.source, self.parent, self.level)

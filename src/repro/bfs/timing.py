@@ -18,6 +18,7 @@ from repro.bfs.bottomup import bottom_up_step
 from repro.bfs.hybrid import DirectionPolicy, LevelState, MNPolicy
 from repro.bfs.result import BFSResult, Direction
 from repro.bfs.topdown import top_down_step
+from repro.bfs.workspace import BFSWorkspace
 from repro.errors import BFSError
 from repro.graph.csr import CSRGraph
 
@@ -65,11 +66,17 @@ def timed_bfs(
     m: float | None = None,
     n: float | None = None,
     direction: str | None = None,
+    workspace: BFSWorkspace | None = None,
 ) -> TimedRun:
     """Traverse with per-level wall-clock measurement.
 
     Either force a ``direction`` (``'td'``/``'bu'``), pass a policy, or
     give (``m``, ``n``) thresholds; defaults to pure top-down.
+
+    Pass a warm ``workspace`` to keep allocation out of the timed
+    region (the frontier-bitmap load stays inside it — that is the
+    paper's representation-conversion cost and belongs in the level
+    time).
     """
     nverts = graph.num_vertices
     if not 0 <= source < nverts:
@@ -81,12 +88,9 @@ def timed_bfs(
     degrees = graph.degrees
     nedges = max(graph.num_edges, 1)
 
-    parent = np.full(nverts, -1, dtype=np.int64)
-    level = np.full(nverts, -1, dtype=np.int64)
-    parent[source] = source
-    level[source] = 0
+    ws = workspace if workspace is not None else BFSWorkspace(nverts)
+    parent, level = ws.begin(source)
     frontier = np.array([source], dtype=np.int64)
-    in_frontier = np.zeros(nverts, dtype=bool)
     unvisited_count = nverts - 1
 
     timed: list[TimedLevel] = []
@@ -112,14 +116,22 @@ def timed_bfs(
         fv = int(frontier.size)
         t0 = time.perf_counter()
         if chosen == Direction.TOP_DOWN:
-            frontier, work = top_down_step(graph, frontier, parent, level, depth)
-        else:
-            in_frontier.fill(False)
-            in_frontier[frontier] = True
-            frontier, work = bottom_up_step(
-                graph, in_frontier, parent, level, depth
+            frontier, work = top_down_step(
+                graph, frontier, parent, level, depth, ws
             )
-            frontier = np.sort(frontier)
+        else:
+            bits = ws.load_frontier(frontier)
+            unvisited = ws.unvisited_ids(graph, parent)
+            frontier, work = bottom_up_step(
+                graph,
+                bits,
+                parent,
+                level,
+                depth,
+                unvisited=unvisited,
+                workspace=ws,
+            )
+        ws.retire_claimed(parent)
         elapsed = time.perf_counter() - t0
         timed.append(
             TimedLevel(

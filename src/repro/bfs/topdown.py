@@ -6,6 +6,14 @@ claims each newly discovered vertex for exactly one parent.  The claim
 step uses a stable first-writer rule so the produced tree matches what
 the sequential reference computes level by level.
 
+The claim is O(k) in the candidate count: candidates are scattered into
+a per-vertex slot array in *reverse* order (fancy assignment applies
+writes in index order, so the last write — the first occurrence in
+queue order — wins), and a candidate wins iff its own position survived
+the scatter.  This replaces the historical sort-based ``np.unique``
+claim; both produce bit-identical parent/level maps, the scatter just
+skips the ``O(k log k)`` sort.
+
 The per-level work is exactly ``|E|cq`` adjacency inspections — the
 quantity the paper's switching rule compares against ``|E| / M``.
 """
@@ -16,10 +24,47 @@ import numpy as np
 
 from repro.bfs._gather import expand_rows
 from repro.bfs.result import BFSResult, Direction
+from repro.bfs.workspace import BFSWorkspace
 from repro.errors import BFSError
 from repro.graph.csr import CSRGraph
 
-__all__ = ["bfs_top_down", "top_down_step"]
+__all__ = ["bfs_top_down", "top_down_step", "claim_first_writer"]
+
+
+def claim_first_writer(
+    cand: np.ndarray,
+    cand_parent: np.ndarray,
+    parent: np.ndarray,
+    level: np.ndarray,
+    depth: int,
+    workspace: BFSWorkspace | None = None,
+) -> np.ndarray:
+    """Claim each distinct candidate for its first proposer, in O(k).
+
+    ``cand`` holds newly discovered vertex ids in queue order (possibly
+    with duplicates), ``cand_parent`` the proposing frontier vertex per
+    candidate.  Mutates ``parent``/``level`` for the winners and returns
+    the sorted ``int64`` next frontier.  Equivalent to the stable
+    ``np.unique(cand, return_index=True)`` claim, without the sort of
+    the full candidate set.
+    """
+    k = cand.size
+    if workspace is not None:
+        slot = workspace.claim_slots()
+        order = workspace.iota(k)
+    else:
+        slot = np.empty(parent.size, dtype=np.int64)  # repro: noqa[RPR007] — cold path, no workspace supplied
+        order = np.arange(k, dtype=np.int64)  # repro: noqa[RPR007] — cold path
+    # Reverse scatter: after this, slot[v] is the position of v's FIRST
+    # occurrence in cand.  Only slots at candidate positions are read
+    # back, so the array needs no initialization.
+    slot[cand[::-1]] = order[::-1]
+    win = slot[cand] == order
+    winners = cand[win]
+    parent[winners] = cand_parent[win]
+    next_frontier = np.sort(winners).astype(np.int64, copy=False)
+    level[next_frontier] = depth + 1
+    return next_frontier
 
 
 def top_down_step(
@@ -28,6 +73,7 @@ def top_down_step(
     parent: np.ndarray,
     level: np.ndarray,
     depth: int,
+    workspace: BFSWorkspace | None = None,
 ) -> tuple[np.ndarray, int]:
     """Execute one top-down level.
 
@@ -38,26 +84,27 @@ def top_down_step(
     be deterministic (queue order = ascending vertex id within a level,
     which is how the vectorized frontier is always produced).
     """
-    neighbours, owners, _ = expand_rows(graph, frontier)
+    neighbours, owners, _ = expand_rows(graph, frontier, workspace)
     edges_examined = int(neighbours.size)
     if edges_examined == 0:
         return np.zeros(0, dtype=np.int64), 0
     fresh = parent[neighbours] < 0
-    cand = neighbours[fresh].astype(np.int64)
+    cand = neighbours[fresh]
     cand_parent = owners[fresh]
     if cand.size == 0:
         return np.zeros(0, dtype=np.int64), edges_examined
-    # One winner per discovered vertex: first occurrence in queue order.
-    # expand_rows emits candidates in frontier order, so a stable unique
-    # (first index per value) reproduces the sequential claim order.
-    next_frontier, first_idx = np.unique(cand, return_index=True)
-    parent[next_frontier] = cand_parent[first_idx]
-    level[next_frontier] = depth + 1
+    next_frontier = claim_first_writer(
+        cand, cand_parent, parent, level, depth, workspace
+    )
     return next_frontier, edges_examined
 
 
 def bfs_top_down(
-    graph: CSRGraph, source: int, *, sanitize: bool = False
+    graph: CSRGraph,
+    source: int,
+    *,
+    sanitize: bool = False,
+    workspace: BFSWorkspace | None = None,
 ) -> BFSResult:
     """Full top-down traversal from ``source``.
 
@@ -65,6 +112,11 @@ def bfs_top_down(
     :class:`repro.analysis.sanitizer.Sanitizer`: the CSR arrays are
     frozen for the duration and per-level invariants are checked,
     raising :class:`~repro.errors.SanitizerError` on corruption.
+
+    With an explicit ``workspace`` the returned result's parent/level
+    maps alias the workspace arrays (call ``result.detach()`` to keep
+    them past the next traversal); without one a private workspace is
+    created and the result owns its arrays.
     """
     n = graph.num_vertices
     if not 0 <= source < n:
@@ -74,10 +126,8 @@ def bfs_top_down(
         from repro.analysis.sanitizer import Sanitizer
 
         san = Sanitizer(graph, source)
-    parent = np.full(n, -1, dtype=np.int64)
-    level = np.full(n, -1, dtype=np.int64)
-    parent[source] = source
-    level[source] = 0
+    ws = workspace if workspace is not None else BFSWorkspace(n)
+    parent, level = ws.begin(source)
     frontier = np.array([source], dtype=np.int64)
     directions: list[str] = []
     edges_examined: list[int] = []
@@ -87,10 +137,11 @@ def bfs_top_down(
             san.__enter__()
         while frontier.size:
             next_frontier, examined = top_down_step(
-                graph, frontier, parent, level, depth
+                graph, frontier, parent, level, depth, ws
             )
             if san is not None:
                 san.after_level(depth, frontier, next_frontier, parent, level)
+            ws.retire_claimed(parent)
             frontier = next_frontier
             directions.append(Direction.TOP_DOWN)
             edges_examined.append(examined)

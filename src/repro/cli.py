@@ -332,12 +332,14 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
 
 def _cmd_graph500(args: argparse.Namespace) -> int:
     from repro.bfs import bfs_bottom_up, bfs_top_down
-    from repro.graph500 import default_engine, run_graph500
+    from repro.graph500 import HybridEngine, run_graph500
 
     engine = {
         "td": bfs_top_down,
         "bu": bfs_bottom_up,
-        "hybrid": default_engine,
+        # Workspace-caching engine: the 64-root loop reuses one set of
+        # graph-sized arrays instead of allocating per traversal.
+        "hybrid": HybridEngine(),
     }[args.engine]
     print(
         f"running Graph 500 flow: SCALE={args.scale} "

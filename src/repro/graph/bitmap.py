@@ -14,6 +14,7 @@ proportional to the number of set bits except :meth:`Bitmap.nonzero`.
 
 from __future__ import annotations
 
+import sys
 from typing import Iterator
 
 import numpy as np
@@ -27,6 +28,10 @@ WORD_BITS = 64
 
 _WORD_SHIFT = 6  # log2(WORD_BITS)
 _WORD_MASK = WORD_BITS - 1
+
+# The byte-view fast path of test_many assumes bit i of word w lives in
+# byte w*8 + i//8, which holds only for little-endian word storage.
+_LITTLE_ENDIAN = sys.byteorder == "little"
 
 
 class Bitmap:
@@ -158,14 +163,46 @@ class Bitmap:
         bit = np.uint64(1) << (indices & _WORD_MASK).astype(np.uint64)
         np.bitwise_and.at(self.words, word_idx, ~bit)
 
-    def test_many(self, indices: np.ndarray) -> np.ndarray:
-        """Vectorized membership test; returns a boolean array."""
-        indices = self._check_indices(indices)
+    def test_many(
+        self, indices: np.ndarray, *, checked: bool = True
+    ) -> np.ndarray:
+        """Vectorized membership test; returns a boolean array.
+
+        With ``checked=False`` the range validation (two reductions over
+        ``indices``) is skipped — the fast path for kernels that test
+        indices already known to be valid vertex ids (e.g. CSR targets).
+        Out-of-range indices are undefined behavior on that path.
+        """
+        if checked:
+            indices = self._check_indices(indices)
+        else:
+            indices = np.asarray(indices)
         if indices.size == 0:
             return np.zeros(0, dtype=bool)
+        if _LITTLE_ENDIAN:
+            # Byte-granular probe: narrower gather and uint8 arithmetic
+            # beat the uint64 word path on every level-sized input.
+            byte = self.words.view(np.uint8)[indices >> 3]
+            byte >>= (indices & 7).astype(np.uint8)
+            byte &= np.uint8(1)
+            return byte.view(bool)
         word = self.words[indices >> _WORD_SHIFT]
         shift = (indices & _WORD_MASK).astype(np.uint64)
         return ((word >> shift) & np.uint64(1)).astype(bool)
+
+    def zero_words_of(self, indices: np.ndarray) -> None:
+        """Zero every storage word containing a listed bit.
+
+        Clears the bitmap in ``O(len(indices))`` when the set bits are
+        known (the workspace's frontier-clear path) instead of ``O(V /
+        64)`` for a full :meth:`reset`.  Collateral bits in the touched
+        words are cleared too, so this is only correct when ``indices``
+        covers every set bit — which is exactly the frontier-reload
+        invariant.
+        """
+        indices = np.asarray(indices)
+        if indices.size:
+            self.words[indices >> _WORD_SHIFT] = 0
 
     def fill(self) -> None:
         """Set every bit."""

@@ -198,8 +198,19 @@ class CSRGraph:
 
     @property
     def degrees(self) -> np.ndarray:
-        """Out-degree of every vertex (``int64``)."""
-        return np.diff(self.offsets)
+        """Out-degree of every vertex (``int64``).
+
+        Computed once and cached read-only: every engine, policy and
+        profiler consults degrees per level, and the ``O(V)`` diff is
+        pure waste after the first call.  The cache is safe because the
+        CSR arrays are frozen at construction.
+        """
+        cached = self.__dict__.get("_degrees")
+        if cached is None:
+            cached = np.diff(self.offsets)
+            cached.flags.writeable = False
+            object.__setattr__(self, "_degrees", cached)
+        return cached
 
     def neighbors(self, v: int) -> np.ndarray:
         """Adjacency list of vertex ``v`` (a view, not a copy)."""

@@ -17,6 +17,7 @@ from repro.bfs.bottomup import bottom_up_step
 from repro.bfs.profiler import profile_bfs
 from repro.bfs.result import BFSResult, Direction
 from repro.bfs.topdown import top_down_step
+from repro.bfs.workspace import BFSWorkspace
 from repro.errors import PlanError
 from repro.graph.csr import CSRGraph
 
@@ -28,6 +29,8 @@ def execute_plan(
     graph: CSRGraph,
     source: int,
     plan: list[PlanStep],
+    *,
+    workspace: BFSWorkspace | None = None,
 ) -> tuple[BFSResult, SimReport]:
     """Traverse ``graph`` from ``source`` following ``plan``.
 
@@ -41,12 +44,9 @@ def execute_plan(
     if not 0 <= source < n:
         raise PlanError(f"source {source} out of range [0, {n})")
 
-    parent = np.full(n, -1, dtype=np.int64)
-    level = np.full(n, -1, dtype=np.int64)
-    parent[source] = source
-    level[source] = 0
+    ws = workspace if workspace is not None else BFSWorkspace(n)
+    parent, level = ws.begin(source)
     frontier = np.array([source], dtype=np.int64)
-    in_frontier = np.zeros(n, dtype=bool)
 
     directions: list[str] = []
     edges_examined: list[int] = []
@@ -59,14 +59,22 @@ def execute_plan(
             )
         step = plan[depth]
         if step.direction == Direction.TOP_DOWN:
-            frontier, work = top_down_step(graph, frontier, parent, level, depth)
-        else:
-            in_frontier.fill(False)
-            in_frontier[frontier] = True
-            frontier, work = bottom_up_step(
-                graph, in_frontier, parent, level, depth
+            frontier, work = top_down_step(
+                graph, frontier, parent, level, depth, ws
             )
-            frontier = np.sort(frontier)
+        else:
+            bits = ws.load_frontier(frontier)
+            unvisited = ws.unvisited_ids(graph, parent)
+            frontier, work = bottom_up_step(
+                graph,
+                bits,
+                parent,
+                level,
+                depth,
+                unvisited=unvisited,
+                workspace=ws,
+            )
+        ws.retire_claimed(parent)
         directions.append(step.direction)
         edges_examined.append(work)
         depth += 1

@@ -28,6 +28,7 @@ class TestRegistry:
             "RPR004",
             "RPR005",
             "RPR006",
+            "RPR007",
         }
 
     def test_rules_have_summaries(self):
@@ -195,6 +196,62 @@ class TestRPR006MissingAll:
 
     def test_dunder_module_exempt(self):
         v = lint_source("x = 1\n", path="__main__.py", select=["RPR006"])
+        assert v == []
+
+
+class TestRPR007KernelAllocations:
+    KERNEL_PATH = "src/repro/bfs/custom.py"
+
+    def in_kernel(self, body, path=KERNEL_PATH):
+        src = f"def my_step(graph, frontier, parent, level, depth):\n"
+        src += "".join(f"    {line}\n" for line in body.splitlines())
+        return lint_source(src, path=path, select=["RPR007"])
+
+    def test_fires_on_arange(self):
+        v = self.in_kernel("idx = np.arange(frontier.size)")
+        assert codes(v) == ["RPR007"]
+
+    def test_fires_on_graph_sized_alloc(self):
+        v = self.in_kernel("slot = np.empty(parent.size, dtype=np.int64)")
+        assert codes(v) == ["RPR007"]
+
+    def test_fires_on_parent_rescan(self):
+        v = self.in_kernel("unv = np.nonzero(parent < 0)[0]")
+        assert codes(v) == ["RPR007"]
+
+    def test_fires_on_flatnonzero(self):
+        v = self.in_kernel("unv = np.flatnonzero(parent < 0)")
+        assert codes(v) == ["RPR007"]
+
+    def test_empty_sentinel_allowed(self):
+        assert self.in_kernel("out = np.zeros(0, dtype=np.int64)") == []
+
+    def test_silent_outside_repro_bfs(self):
+        v = self.in_kernel(
+            "idx = np.arange(frontier.size)", path="src/repro/apps/x.py"
+        )
+        assert v == []
+
+    def test_silent_in_non_kernel_function(self):
+        v = lint_source(
+            "def helper(parent):\n    return np.arange(parent.size)\n",
+            path=self.KERNEL_PATH,
+            select=["RPR007"],
+        )
+        assert v == []
+
+    def test_scan_suffix_is_kernel(self):
+        v = lint_source(
+            "def _row_scan(rows):\n    return np.arange(rows.size)\n",
+            path=self.KERNEL_PATH,
+            select=["RPR007"],
+        )
+        assert codes(v) == ["RPR007"]
+
+    def test_noqa_suppresses(self):
+        v = self.in_kernel(
+            "idx = np.arange(k)  # repro: noqa[RPR007]"
+        )
         assert v == []
 
 

@@ -94,8 +94,10 @@ class TestInjectedCorruption:
         sanitizer with the offending level and vertex id."""
         real_step = topdown_mod.top_down_step
 
-        def corrupting_step(graph, frontier, parent, level, depth):
-            nf, examined = real_step(graph, frontier, parent, level, depth)
+        def corrupting_step(graph, frontier, parent, level, depth, workspace=None):
+            nf, examined = real_step(
+                graph, frontier, parent, level, depth, workspace
+            )
             if depth == 1 and nf.size:
                 level[nf[0]] = depth + 2  # push one vertex a level too deep
             return nf, examined
