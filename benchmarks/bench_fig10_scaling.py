@@ -5,6 +5,7 @@ from repro.bench.experiments import fig10_scaling
 from repro.bfs.parallel import ParallelBFS
 from repro.bfs.profiler import pick_sources
 from repro.graph.generators import rmat
+from repro.obs.clock import now
 
 
 def test_fig10_scaling_model(benchmark, bench_config, report):
@@ -34,9 +35,9 @@ def test_fig10_real_thread_scaling(benchmark, bench_config, report):
     for threads in (1, 2, 4):
         with ParallelBFS.hybrid(threads, 20, 100) as eng:
             eng.run(graph, source)  # warm
-            t0 = time.perf_counter()
+            t0 = now()
             res = eng.run(graph, source)
-            took = time.perf_counter() - t0
+            took = now() - t0
         rows.append(
             {
                 "threads": threads,

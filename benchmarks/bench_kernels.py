@@ -15,7 +15,6 @@ the constant factors dominate.
 """
 
 import json
-import time
 from pathlib import Path
 
 import numpy as np
@@ -29,6 +28,8 @@ from repro.bfs.spmv import bfs_spmv
 from repro.bfs.topdown import bfs_top_down, claim_first_writer, top_down_step
 from repro.bfs.workspace import BFSWorkspace
 from repro.graph.generators import rmat
+from repro.obs.clock import now
+from repro.obs.tracer import get_tracer
 
 from _legacy_kernels import (
     legacy_bfs_hybrid,
@@ -38,7 +39,18 @@ from _legacy_kernels import (
 #: Scale below which the speedup floors are informational only.
 _ENFORCE_SCALE = 14
 
+#: Disabled-tracer tax allowed on a warm hybrid traversal (3%).
+_TRACING_OVERHEAD_LIMIT = 0.03
+
 _RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+#: The committed numbers from the last benchmarked revision, captured
+#: before _record() starts overwriting the file during this run.
+_BASELINE: dict = (
+    json.loads(_RESULTS_PATH.read_text())
+    if _RESULTS_PATH.exists()
+    else {}
+)
 
 _bench_results: dict = {}
 
@@ -59,9 +71,9 @@ def _best_of(fn, *, repeat: int = 7, setup=None) -> float:
     for _ in range(repeat):
         if setup is not None:
             setup()
-        t0 = time.perf_counter()
+        t0 = now()
         fn()
-        best = min(best, time.perf_counter() - t0)
+        best = min(best, now() - t0)
     return best
 
 
@@ -225,3 +237,70 @@ def test_speedup_hybrid_traversal(workload, bench_config):
     )
     if bench_config.base_scale >= _ENFORCE_SCALE:
         assert speedup >= 1.5
+
+
+def test_tracing_disabled_overhead(workload, bench_config):
+    """The observability layer's off switch must be free on the hot path.
+
+    Since the tracer landed, every engine resolves an ambient tracer and
+    makes a handful of no-op calls per level.  This test re-races the
+    warm workspace hybrid against the (never instrumented) legacy engine
+    and compares the workspace/legacy wall-clock *ratio* against the
+    committed pre-run ``BENCH_kernels.json`` ratio.  Dividing by the
+    same-process legacy time cancels host speed drift between machines,
+    so what remains is the tax the instrumented engine picked up — which
+    must stay within 3% when tracing is disabled.
+    """
+    graph, source = workload
+    m, n = 20.0, 100.0
+    # The whole point: the ambient tracer must be the disabled default.
+    assert not get_tracer().enabled
+
+    ws = BFSWorkspace.for_graph(graph)
+    bfs_hybrid(graph, source, m=m, n=n, workspace=ws)  # warm the workspace
+    new_s = _best_of(
+        lambda: bfs_hybrid(graph, source, m=m, n=n, workspace=ws)
+    )
+    legacy_s = _best_of(lambda: legacy_bfs_hybrid(graph, source, m=m, n=n))
+
+    base = _BASELINE.get("hybrid_traversal", {})
+    comparable = (
+        bool(base.get("legacy_s"))
+        and bool(base.get("workspace_s"))
+        and _BASELINE.get("scale") == bench_config.base_scale
+    )
+    overhead = None
+    if comparable:
+        base_ratio = base["workspace_s"] / base["legacy_s"]
+        overhead = (new_s / legacy_s) / base_ratio - 1.0
+
+    _record(
+        "tracing_disabled",
+        {
+            "legacy_s": legacy_s,
+            "workspace_s": new_s,
+            "baseline_workspace_s": base.get("workspace_s"),
+            "baseline_legacy_s": base.get("legacy_s"),
+            "overhead_vs_baseline": (
+                None if overhead is None else round(overhead, 4)
+            ),
+            "limit": _TRACING_OVERHEAD_LIMIT,
+        },
+        bench_config,
+    )
+    if overhead is not None:
+        print(
+            f"\ntracing disabled: workspace {new_s * 1e3:.3f} ms "
+            f"(baseline-relative overhead {overhead:+.2%}, "
+            f"limit {_TRACING_OVERHEAD_LIMIT:.0%})"
+        )
+    else:
+        print(
+            f"\ntracing disabled: workspace {new_s * 1e3:.3f} ms "
+            "(no comparable committed baseline at this scale)"
+        )
+    if comparable and bench_config.base_scale >= _ENFORCE_SCALE:
+        assert overhead <= _TRACING_OVERHEAD_LIMIT, (
+            f"disabled tracing costs {overhead:.2%} on a warm hybrid "
+            f"traversal (limit {_TRACING_OVERHEAD_LIMIT:.0%})"
+        )

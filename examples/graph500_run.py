@@ -12,13 +12,13 @@ Run:  python examples/graph500_run.py [scale] [edgefactor] [roots]
 """
 
 import sys
-import time
 
 import numpy as np
 
 from repro.bench import gteps, harmonic_mean
 from repro.bfs import bfs_hybrid, pick_sources
 from repro.graph import CSRGraph, rmat_edges
+from repro.obs import now
 
 
 def main() -> None:
@@ -29,12 +29,12 @@ def main() -> None:
     print(f"Graph500-style run: SCALE={scale} edgefactor={edgefactor}")
 
     # Kernel 1: construction (timed, as in the benchmark).
-    t0 = time.perf_counter()
+    t0 = now()
     src, dst = rmat_edges(scale, edgefactor, seed=2)
-    gen_time = time.perf_counter() - t0
-    t0 = time.perf_counter()
+    gen_time = now() - t0
+    t0 = now()
     graph = CSRGraph.from_edges(src, dst, 1 << scale, symmetrize=True)
-    k1_time = time.perf_counter() - t0
+    k1_time = now() - t0
     print(
         f"  edge generation: {gen_time:.2f}s   kernel 1 (construction): "
         f"{k1_time:.2f}s   ({graph.num_edges:,} undirected edges)"
@@ -44,9 +44,9 @@ def main() -> None:
     roots = pick_sources(graph, nroots, seed=5)
     teps_values = []
     for i, root in enumerate(roots):
-        t0 = time.perf_counter()
+        t0 = now()
         result = bfs_hybrid(graph, int(root), m=20, n=100)
-        took = time.perf_counter() - t0
+        took = now() - t0
         result.validate(graph)
         rate = result.traversed_edges(graph) / took
         teps_values.append(rate)

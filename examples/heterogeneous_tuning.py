@@ -16,7 +16,6 @@ Run:  python examples/heterogeneous_tuning.py [scale]
 """
 
 import sys
-import time
 
 from repro.arch import (
     CPU_SANDY_BRIDGE,
@@ -27,6 +26,7 @@ from repro.arch import (
 from repro.bfs import pick_sources, profile_bfs
 from repro.graph import rmat
 from repro.hetero import CrossArchitectureBFS, oracle_plan, run_single_device
+from repro.obs import now
 from repro.tuning import (
     SwitchingPointPredictor,
     build_training_set,
@@ -41,7 +41,7 @@ def main() -> None:
     # Offline: build the training corpus (Fig. 6, right-hand path).
     # ------------------------------------------------------------------
     print("[offline] profiling training graphs ...")
-    t0 = time.perf_counter()
+    t0 = now()
     corpus_graphs = []
     for s in (scale - 2, scale - 1, scale):
         for ef in (8, 16, 32):
@@ -56,7 +56,7 @@ def main() -> None:
     corpus = build_training_set(corpus_graphs, pairs, seed=0)
     print(
         f"[offline] exhaustive-searched {len(corpus)} (graph, arch-pair) "
-        f"rows in {time.perf_counter() - t0:.1f}s "
+        f"rows in {now() - t0:.1f}s "
         f"(the paper used 140 samples)"
     )
 
@@ -75,9 +75,9 @@ def main() -> None:
         {"cpu": CPU_SANDY_BRIDGE, "gpu": GPU_K20X, "mic": MIC_KNC}
     )
     runner = CrossArchitectureBFS(machine, predictor)
-    t0 = time.perf_counter()
+    t0 = now()
     run = runner.run(graph, source)
-    predict_and_run = time.perf_counter() - t0
+    predict_and_run = now() - t0
     run.result.validate(graph)
     print(
         f"  predicted switching points: (M1, N1)=({run.m1:.0f}, {run.n1:.0f})"

@@ -6,7 +6,6 @@ Run:  python examples/quickstart.py [scale] [edgefactor]
 """
 
 import sys
-import time
 
 from repro.bench import gteps
 from repro.bfs import (
@@ -16,6 +15,7 @@ from repro.bfs import (
     pick_sources,
 )
 from repro.graph import compute_stats, rmat
+from repro.obs import now
 
 
 def main() -> None:
@@ -45,9 +45,9 @@ def main() -> None:
     results = {}
     for name, run in engines.items():
         run()  # warm the caches
-        t0 = time.perf_counter()
+        t0 = now()
         result = run()
-        took = time.perf_counter() - t0
+        took = now() - t0
         result.validate(graph)  # Graph 500 checks: tree, levels, edges
         results[name] = (result, took)
         print(

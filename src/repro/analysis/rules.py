@@ -1,4 +1,4 @@
-"""Concrete lint rules (``RPR001`` … ``RPR007``).
+"""Concrete lint rules (``RPR001`` … ``RPR008``).
 
 Each rule encodes an invariant this codebase depends on:
 
@@ -19,6 +19,10 @@ RPR007    no fresh graph-sized allocation inside a BFS level kernel —
           level kernels must draw scratch from the
           :class:`~repro.bfs.workspace.BFSWorkspace` so warm traversals
           stay allocation-free
+RPR008    no ad-hoc ``time.perf_counter()`` outside ``repro/obs/`` —
+          timing goes through :func:`repro.obs.clock.now` (one
+          swappable clock, so traces/tests can substitute a
+          :class:`~repro.obs.clock.ManualClock`)
 ========  ==============================================================
 
 Rules yield ``(line, col, message)``; the engine applies suppression and
@@ -40,6 +44,7 @@ __all__ = [
     "check_csr_mutation",
     "check_missing_all",
     "check_kernel_allocations",
+    "check_adhoc_perf_counter",
 ]
 
 # Names whose iteration in a hot-path module almost certainly means a
@@ -358,6 +363,51 @@ def check_kernel_allocations(ctx: ModuleContext) -> Iterator[tuple[int, int, str
                     node.col_offset,
                     "O(V) rescan of the parent map in a level kernel; "
                     "use the workspace's incremental unvisited list",
+                )
+
+
+@rule(
+    "RPR008",
+    "ad-hoc time.perf_counter() outside repro/obs/; use "
+    "repro.obs.clock.now (the library's one swappable clock)",
+)
+def check_adhoc_perf_counter(ctx: ModuleContext) -> Iterator[tuple[int, int, str]]:
+    """Flag ``time.perf_counter()`` calls and ``from time import
+    perf_counter`` anywhere but the :mod:`repro.obs` package.
+
+    The observability layer routes every timestamp through
+    :func:`repro.obs.clock.now` so spans, ``timed_bfs`` and the bench
+    harness all read the same clock — and tests can swap in a
+    :class:`~repro.obs.clock.ManualClock`.  A scattered
+    ``perf_counter()`` call bypasses that substitution point.
+    """
+    if "repro/obs/" in ctx.path.replace("\\", "/"):
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "time" and any(
+                alias.name == "perf_counter" for alias in node.names
+            ):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "importing time.perf_counter outside repro/obs/; "
+                    "use repro.obs.clock.now",
+                )
+        elif isinstance(node, ast.Call):
+            fn = node.func
+            if (
+                isinstance(fn, ast.Attribute)
+                and fn.attr == "perf_counter"
+                and isinstance(fn.value, ast.Name)
+                and fn.value.id == "time"
+            ):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "ad-hoc time.perf_counter() outside repro/obs/; "
+                    "use repro.obs.clock.now so the clock stays "
+                    "swappable",
                 )
 
 

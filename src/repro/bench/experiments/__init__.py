@@ -63,9 +63,26 @@ REGISTRY: dict[str, Callable[[BenchConfig], ExperimentResult]] = {
 def run_experiment(
     name: str, config: BenchConfig | None = None
 ) -> ExperimentResult:
-    """Run one experiment by registry name."""
+    """Run one experiment by registry name.
+
+    When an enabled tracer is ambient (:func:`repro.obs.get_tracer`),
+    the experiment runs inside a ``bench.experiment`` span and the
+    result's ``meta`` gains an ``obs`` block: the experiment's wall
+    seconds and the tracer's metrics snapshot — persisted by
+    :meth:`~repro.bench.runner.ExperimentResult.save`.
+    """
     if name not in REGISTRY:
         raise KeyError(
             f"unknown experiment {name!r}; available: {sorted(REGISTRY)}"
         )
-    return REGISTRY[name](config or BenchConfig())
+    from repro.obs.tracer import get_tracer
+
+    tr = get_tracer()
+    with tr.span("bench.experiment", experiment=name) as sp:
+        result = REGISTRY[name](config or BenchConfig())
+    if tr.enabled:
+        result.meta["obs"] = {
+            "experiment_seconds": sp.duration,
+            "metrics": tr.metrics.snapshot(),
+        }
+    return result

@@ -11,8 +11,6 @@ switching point; prediction overhead < 0.1% of BFS time.
 
 from __future__ import annotations
 
-import time
-
 from repro.arch.specs import CPU_SANDY_BRIDGE, GPU_K20X
 from repro.arch.machine import SimulatedMachine
 from repro.bench.experiments._shared import (
@@ -24,6 +22,7 @@ from repro.bench.runner import BenchConfig, ExperimentResult
 from repro.bench.workloads import WorkloadSpec, paper_scale_profile
 from repro.hetero.cross import run_cross_architecture
 from repro.ml.dataset import sample_from_features
+from repro.obs.clock import now
 from repro.tuning.search import (
     candidate_cross_grid,
     evaluate_cross,
@@ -60,12 +59,10 @@ def run(config: BenchConfig = BenchConfig()) -> ExperimentResult:
         # Steady-state prediction cost (the runtime path runs warm).
         predict_seconds = float("inf")
         for _ in range(5):
-            t0 = time.perf_counter()
+            t0 = now()
             m1, n1 = predictor.predict_sample(cross_sample)
             m2, n2 = predictor.predict_sample(gpu_sample)
-            predict_seconds = min(
-                predict_seconds, time.perf_counter() - t0
-            )
+            predict_seconds = min(predict_seconds, now() - t0)
         reg_seconds = run_cross_architecture(
             machine, profile, m1, n1, m2, n2
         ).total_seconds

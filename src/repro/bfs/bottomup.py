@@ -34,6 +34,7 @@ from repro.bfs.workspace import BFSWorkspace
 from repro.errors import BFSError
 from repro.graph.bitmap import Bitmap
 from repro.graph.csr import CSRGraph
+from repro.obs.tracer import Tracer, get_tracer
 
 __all__ = ["bfs_bottom_up", "bottom_up_step"]
 
@@ -240,6 +241,7 @@ def bfs_bottom_up(
     chunk_entries: int = DEFAULT_CHUNK_ENTRIES,
     sanitize: bool = False,
     workspace: BFSWorkspace | None = None,
+    tracer: Tracer | None = None,
 ) -> BFSResult:
     """Full bottom-up traversal from ``source``.
 
@@ -251,10 +253,14 @@ def bfs_bottom_up(
     per-level invariant checks, queue/bitmap agreement).  With an
     explicit ``workspace`` the result's parent/level maps alias the
     workspace arrays (``result.detach()`` copies them out).
+
+    ``tracer`` overrides the process-global tracer: levels become
+    ``bfs.level`` spans under a ``bfs.bottomup`` root.
     """
     n = graph.num_vertices
     if not 0 <= source < n:
         raise BFSError(f"source {source} out of range [0, {n})")
+    tr = tracer if tracer is not None else get_tracer()
     san = None
     if sanitize:
         from repro.analysis.sanitizer import Sanitizer
@@ -269,33 +275,43 @@ def bfs_bottom_up(
     try:
         if san is not None:
             san.__enter__()
-        while frontier.size:
-            bits = ws.load_frontier(frontier)
-            unvisited = ws.unvisited_ids(graph, parent)
-            next_frontier, checked = bottom_up_step(
-                graph,
-                bits,
-                parent,
-                level,
-                depth,
-                unvisited=unvisited,
-                chunk_entries=chunk_entries,
-                workspace=ws,
-            )
-            if san is not None:
-                san.after_level(
-                    depth,
-                    frontier,
-                    next_frontier,
-                    parent,
-                    level,
-                    in_frontier=bits,
-                )
-            ws.retire_claimed(parent)
-            directions.append(Direction.BOTTOM_UP)
-            edges_examined.append(checked)
-            frontier = next_frontier
-            depth += 1
+        with tr.span("bfs.bottomup", source=source, num_vertices=n) as root:
+            while frontier.size:
+                with tr.span(
+                    "bfs.level", depth=depth, direction=Direction.BOTTOM_UP
+                ) as sp:
+                    bits = ws.load_frontier(frontier)
+                    unvisited = ws.unvisited_ids(graph, parent)
+                    next_frontier, checked = bottom_up_step(
+                        graph,
+                        bits,
+                        parent,
+                        level,
+                        depth,
+                        unvisited=unvisited,
+                        chunk_entries=chunk_entries,
+                        workspace=ws,
+                    )
+                    sp.set("frontier_vertices", int(frontier.size))
+                    sp.set("edges_examined", checked)
+                    sp.set("claimed", int(next_frontier.size))
+                if san is not None:
+                    san.after_level(
+                        depth,
+                        frontier,
+                        next_frontier,
+                        parent,
+                        level,
+                        in_frontier=bits,
+                    )
+                ws.retire_claimed(parent)
+                directions.append(Direction.BOTTOM_UP)
+                edges_examined.append(checked)
+                frontier = next_frontier
+                depth += 1
+            root.set("levels", depth)
+        tr.count("bfs.levels", depth)
+        tr.count("bfs.edges_examined", sum(edges_examined))
         if san is not None:
             san.finish(parent, level)
     finally:

@@ -28,6 +28,7 @@ from repro.bfs.topdown import top_down_step
 from repro.bfs.workspace import BFSWorkspace
 from repro.errors import BFSError
 from repro.graph.csr import CSRGraph
+from repro.obs.tracer import Tracer, get_tracer
 
 __all__ = ["LevelState", "DirectionPolicy", "MNPolicy", "bfs_hybrid"]
 
@@ -87,6 +88,7 @@ def bfs_hybrid(
     n: float | None = None,
     sanitize: bool = False,
     workspace: BFSWorkspace | None = None,
+    tracer: Tracer | None = None,
 ) -> BFSResult:
     """Direction-optimizing traversal from ``source``.
 
@@ -104,6 +106,12 @@ def bfs_hybrid(
     unvisited list); the result's parent/level then alias the workspace
     arrays — call ``result.detach()`` to keep them past the next
     traversal.
+
+    ``tracer`` overrides the process-global tracer: each level becomes
+    a ``bfs.level`` span under a ``bfs.hybrid`` root, every direction
+    decision is recorded as a ``bfs.direction`` instant event (the
+    decision-audit channel), and per-level claim ratios feed the
+    ``frontier.claim_ratio`` histogram.
     """
     if policy is None:
         if m is None or n is None:
@@ -122,6 +130,7 @@ def bfs_hybrid(
         san = Sanitizer(graph, source)
     nedges = max(graph.num_edges, 1)
     degrees = graph.degrees
+    tr = tracer if tracer is not None else get_tracer()
 
     ws = workspace if workspace is not None else BFSWorkspace(nverts)
     parent, level = ws.begin(source)
@@ -135,54 +144,77 @@ def bfs_hybrid(
     try:
         if san is not None:
             san.__enter__()
-        while frontier.size:
-            state = LevelState(
-                depth=depth,
-                frontier_vertices=int(frontier.size),
-                frontier_edges=int(degrees[frontier].sum()),
-                num_vertices=nverts,
-                num_edges=nedges,
-                unvisited_vertices=unvisited_count,
-            )
-            chosen = policy.direction(state)
-            bits = None
-            if chosen == Direction.TOP_DOWN:
-                next_frontier, examined = top_down_step(
-                    graph, frontier, parent, level, depth, ws
+        with tr.span("bfs.hybrid", source=source, num_vertices=nverts) as root:
+            while frontier.size:
+                state = LevelState(
+                    depth=depth,
+                    frontier_vertices=int(frontier.size),
+                    frontier_edges=int(degrees[frontier].sum()),
+                    num_vertices=nverts,
+                    num_edges=nedges,
+                    unvisited_vertices=unvisited_count,
                 )
-            elif chosen == Direction.BOTTOM_UP:
-                # Switch cost: the sparse queue becomes a packed bitmap
-                # (cleared word-wise from the previous load, not O(V)).
-                bits = ws.load_frontier(frontier)
-                unvisited = ws.unvisited_ids(graph, parent)
-                next_frontier, examined = bottom_up_step(
-                    graph,
-                    bits,
-                    parent,
-                    level,
-                    depth,
-                    unvisited=unvisited,
-                    workspace=ws,
+                chosen = policy.direction(state)
+                tr.instant(
+                    "bfs.direction",
+                    depth=depth,
+                    direction=chosen,
+                    frontier_vertices=state.frontier_vertices,
+                    frontier_edges=state.frontier_edges,
+                    unvisited_vertices=state.unvisited_vertices,
                 )
-            else:
-                raise BFSError(f"policy returned unknown direction {chosen!r}")
-            if san is not None:
-                san.after_level(
-                    depth,
-                    frontier,
-                    next_frontier,
-                    parent,
-                    level,
-                    in_frontier=bits,
-                )
-            # Keep the incremental unvisited list honest after every
-            # claiming level (no-op while it is still lazy).
-            ws.retire_claimed(parent)
-            directions.append(chosen)
-            edges_examined.append(examined)
-            unvisited_count -= int(next_frontier.size)
-            frontier = next_frontier
-            depth += 1
+                bits = None
+                with tr.span("bfs.level", depth=depth, direction=chosen) as sp:
+                    if chosen == Direction.TOP_DOWN:
+                        next_frontier, examined = top_down_step(
+                            graph, frontier, parent, level, depth, ws
+                        )
+                    elif chosen == Direction.BOTTOM_UP:
+                        # Switch cost: the sparse queue becomes a packed
+                        # bitmap (cleared word-wise from the previous
+                        # load, not O(V)).
+                        bits = ws.load_frontier(frontier)
+                        unvisited = ws.unvisited_ids(graph, parent)
+                        next_frontier, examined = bottom_up_step(
+                            graph,
+                            bits,
+                            parent,
+                            level,
+                            depth,
+                            unvisited=unvisited,
+                            workspace=ws,
+                        )
+                    else:
+                        raise BFSError(
+                            f"policy returned unknown direction {chosen!r}"
+                        )
+                    sp.set("frontier_vertices", state.frontier_vertices)
+                    sp.set("edges_examined", examined)
+                    sp.set("claimed", int(next_frontier.size))
+                if examined:
+                    tr.observe(
+                        "frontier.claim_ratio", next_frontier.size / examined
+                    )
+                if san is not None:
+                    san.after_level(
+                        depth,
+                        frontier,
+                        next_frontier,
+                        parent,
+                        level,
+                        in_frontier=bits,
+                    )
+                # Keep the incremental unvisited list honest after every
+                # claiming level (no-op while it is still lazy).
+                ws.retire_claimed(parent)
+                directions.append(chosen)
+                edges_examined.append(examined)
+                unvisited_count -= int(next_frontier.size)
+                frontier = next_frontier
+                depth += 1
+            root.set("levels", depth)
+        tr.count("bfs.levels", depth)
+        tr.count("bfs.edges_examined", sum(edges_examined))
         if san is not None:
             san.finish(parent, level)
     finally:

@@ -24,6 +24,7 @@ from repro.bfs._gather import expand_rows
 from repro.bfs.workspace import BFSWorkspace
 from repro.errors import BFSError
 from repro.graph.csr import CSRGraph
+from repro.obs.tracer import Tracer, get_tracer
 
 __all__ = ["MultiSourceResult", "msbfs"]
 
@@ -70,6 +71,7 @@ def msbfs(
     sources: np.ndarray,
     *,
     workspace: BFSWorkspace | None = None,
+    tracer: Tracer | None = None,
 ) -> MultiSourceResult:
     """Run BFS from every vertex in ``sources`` simultaneously.
 
@@ -80,6 +82,9 @@ def msbfs(
     With a ``workspace`` the three per-vertex ``uint64`` state words
     come from its scratch buffers, so repeated batches on one graph
     allocate only the ``levels`` output.
+
+    ``tracer`` overrides the process-global tracer: each bit-parallel
+    sweep becomes a ``bfs.level`` span under a ``bfs.msbfs`` root.
     """
     sources = np.asarray(sources, dtype=np.int64).ravel()
     n = graph.num_vertices
@@ -110,27 +115,38 @@ def msbfs(
         frontier[src] |= bit
         levels[b, src] = 0
 
+    tr = tracer if tracer is not None else get_tracer()
     depth = 0
     active = np.nonzero(frontier)[0]
-    while active.size:
-        # Propagate frontier masks over the adjacency of active vertices.
-        neighbours, owners, _ = expand_rows(graph, active, workspace)
-        incoming.fill(0)
-        np.bitwise_or.at(incoming, neighbours, frontier[owners])
-        # fresh = incoming & ~seen, written into the frontier buffer
-        # (its old masks were consumed by the gather above).
-        np.bitwise_not(seen, out=frontier)
-        np.bitwise_and(incoming, frontier, out=frontier)
-        fresh = frontier
-        np.bitwise_or(seen, fresh, out=seen)
-        depth += 1
-        newly = np.nonzero(fresh)[0]
-        if newly.size:
-            # Record the level for each (search, vertex) pair discovered.
-            masks = fresh[newly]
-            for b in range(k):
-                bit = np.uint64(1) << np.uint64(b)
-                hit = (masks & bit).astype(bool)
-                levels[b, newly[hit]] = depth
-        active = newly
+    with tr.span("bfs.msbfs", batch=k, num_vertices=n) as root:
+        while active.size:
+            with tr.span("bfs.level", depth=depth) as sp:
+                # Propagate frontier masks over the adjacency of active
+                # vertices.
+                neighbours, owners, _ = expand_rows(graph, active, workspace)
+                incoming.fill(0)
+                np.bitwise_or.at(incoming, neighbours, frontier[owners])
+                # fresh = incoming & ~seen, written into the frontier
+                # buffer (its old masks were consumed by the gather
+                # above).
+                np.bitwise_not(seen, out=frontier)
+                np.bitwise_and(incoming, frontier, out=frontier)
+                fresh = frontier
+                np.bitwise_or(seen, fresh, out=seen)
+                depth += 1
+                newly = np.nonzero(fresh)[0]
+                if newly.size:
+                    # Record the level for each (search, vertex) pair
+                    # discovered.
+                    masks = fresh[newly]
+                    for b in range(k):
+                        bit = np.uint64(1) << np.uint64(b)
+                        hit = (masks & bit).astype(bool)
+                        levels[b, newly[hit]] = depth
+                sp.set("active_vertices", int(active.size))
+                sp.set("edges_examined", int(neighbours.size))
+                sp.set("claimed", int(newly.size))
+            active = newly
+        root.set("levels", depth)
+    tr.count("bfs.levels", depth)
     return MultiSourceResult(sources=sources.copy(), levels=levels)

@@ -32,6 +32,7 @@ from repro.bfs.topdown import claim_first_writer
 from repro.bfs.workspace import BFSWorkspace
 from repro.errors import BFSError
 from repro.graph.csr import CSRGraph
+from repro.obs.tracer import NULL_TRACER, Tracer, get_tracer
 
 __all__ = ["ParallelBFS"]
 
@@ -102,14 +103,22 @@ class ParallelBFS:
         level: np.ndarray,
         depth: int,
         workspace: BFSWorkspace,
+        tracer: Tracer = NULL_TRACER,
     ) -> tuple[np.ndarray, int]:
         chunks = _split(frontier, self.num_threads)
 
         def expand(chunk: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
-            """One thread's share of the frontier expansion."""
-            neighbours, owners, _ = expand_rows(graph, chunk, workspace)
-            fresh = parent[neighbours] < 0
-            return neighbours[fresh], owners[fresh], int(neighbours.size)
+            """One thread's share of the frontier expansion.
+
+            The span lands on the worker thread's own track (thread
+            name), so the exported trace shows one row per worker.
+            """
+            with tracer.span(
+                "worker.expand", depth=depth, chunk_vertices=int(chunk.size)
+            ):
+                neighbours, owners, _ = expand_rows(graph, chunk, workspace)
+                fresh = parent[neighbours] < 0
+                return neighbours[fresh], owners[fresh], int(neighbours.size)
 
         results = list(self._pool.map(expand, chunks))
         examined = sum(r[2] for r in results)
@@ -133,6 +142,7 @@ class ParallelBFS:
         depth: int,
         unvisited: np.ndarray,
         workspace: BFSWorkspace,
+        tracer: Tracer = NULL_TRACER,
     ) -> tuple[np.ndarray, int]:
         # The caller maintains `unvisited` (degree > 0, retired each
         # level); each thread owns a contiguous slice, so claims are
@@ -148,23 +158,27 @@ class ParallelBFS:
             Workspace scratch is safe here: :meth:`BFSWorkspace.buffer`
             is keyed by thread id and the iota cache grow is benign
             under races (each thread keeps a valid read-only view).
+            The span lands on the worker thread's own trace track.
             """
-            deg = degrees[chunk]
-            starts = offsets[chunk]
-            found, first_local, inspected = _row_scan(
-                graph,
-                chunk,
-                deg,
-                starts,
-                in_frontier,
-                window=DEFAULT_SCAN_WINDOW,
-                workspace=workspace,
-            )
-            return (
-                chunk[found],
-                targets[(starts + first_local)[found]],
-                inspected,
-            )
+            with tracer.span(
+                "worker.scan", depth=depth, chunk_vertices=int(chunk.size)
+            ):
+                deg = degrees[chunk]
+                starts = offsets[chunk]
+                found, first_local, inspected = _row_scan(
+                    graph,
+                    chunk,
+                    deg,
+                    starts,
+                    in_frontier,
+                    window=DEFAULT_SCAN_WINDOW,
+                    workspace=workspace,
+                )
+                return (
+                    chunk[found],
+                    targets[(starts + first_local)[found]],
+                    inspected,
+                )
 
         results = list(self._pool.map(scan, chunks))
         checked = sum(r[2] for r in results)
@@ -188,6 +202,7 @@ class ParallelBFS:
         *,
         direction: str | None = None,
         workspace: BFSWorkspace | None = None,
+        tracer: Tracer | None = None,
     ) -> BFSResult:
         """Traverse from ``source``.
 
@@ -199,6 +214,11 @@ class ParallelBFS:
         so concurrently produced results stay independent; pass a
         workspace to reuse graph-sized scratch across traversals (the
         result then aliases its arrays — ``result.detach()`` to keep).
+
+        ``tracer`` overrides the process-global tracer: levels become
+        ``bfs.level`` spans under a ``bfs.parallel`` root and each
+        worker's chunk is a ``worker.expand``/``worker.scan`` span on
+        that worker thread's own track.
         """
         if self._closed:
             raise BFSError("ParallelBFS engine is closed; create a new one")
@@ -207,6 +227,7 @@ class ParallelBFS:
             raise BFSError(f"source {source} out of range [0, {n})")
         if direction is not None and direction not in Direction.ALL:
             raise BFSError(f"unknown direction {direction!r}")
+        tr = tracer if tracer is not None else get_tracer()
         degrees = graph.degrees
         nedges = max(graph.num_edges, 1)
 
@@ -218,38 +239,57 @@ class ParallelBFS:
         directions: list[str] = []
         edges_examined: list[int] = []
         depth = 0
-        while frontier.size:
-            if direction is not None:
-                chosen = direction
-            elif self.policy is not None:
-                chosen = self.policy.direction(
-                    LevelState(
-                        depth=depth,
-                        frontier_vertices=int(frontier.size),
-                        frontier_edges=int(degrees[frontier].sum()),
-                        num_vertices=n,
-                        num_edges=nedges,
-                        unvisited_vertices=unvisited_count,
+        with tr.span(
+            "bfs.parallel",
+            source=source,
+            num_vertices=n,
+            num_threads=self.num_threads,
+        ) as root:
+            while frontier.size:
+                if direction is not None:
+                    chosen = direction
+                elif self.policy is not None:
+                    chosen = self.policy.direction(
+                        LevelState(
+                            depth=depth,
+                            frontier_vertices=int(frontier.size),
+                            frontier_edges=int(degrees[frontier].sum()),
+                            num_vertices=n,
+                            num_edges=nedges,
+                            unvisited_vertices=unvisited_count,
+                        )
                     )
-                )
-            else:
-                chosen = Direction.TOP_DOWN
-            if chosen == Direction.TOP_DOWN:
-                frontier_next, work = self._top_down_level(
-                    graph, frontier, parent, level, depth, ws
-                )
-            else:
-                bits = ws.load_frontier(frontier)
-                unvisited = ws.unvisited_ids(graph, parent)
-                frontier_next, work = self._bottom_up_level(
-                    graph, bits, parent, level, depth, unvisited, ws
-                )
-            ws.retire_claimed(parent)
-            directions.append(chosen)
-            edges_examined.append(work)
-            unvisited_count -= int(frontier_next.size)
-            frontier = frontier_next
-            depth += 1
+                    tr.instant(
+                        "bfs.direction",
+                        depth=depth,
+                        direction=chosen,
+                        frontier_vertices=int(frontier.size),
+                    )
+                else:
+                    chosen = Direction.TOP_DOWN
+                with tr.span("bfs.level", depth=depth, direction=chosen) as sp:
+                    if chosen == Direction.TOP_DOWN:
+                        frontier_next, work = self._top_down_level(
+                            graph, frontier, parent, level, depth, ws, tr
+                        )
+                    else:
+                        bits = ws.load_frontier(frontier)
+                        unvisited = ws.unvisited_ids(graph, parent)
+                        frontier_next, work = self._bottom_up_level(
+                            graph, bits, parent, level, depth, unvisited, ws, tr
+                        )
+                    sp.set("frontier_vertices", int(frontier.size))
+                    sp.set("edges_examined", work)
+                    sp.set("claimed", int(frontier_next.size))
+                ws.retire_claimed(parent)
+                directions.append(chosen)
+                edges_examined.append(work)
+                unvisited_count -= int(frontier_next.size)
+                frontier = frontier_next
+                depth += 1
+            root.set("levels", depth)
+        tr.count("bfs.levels", depth)
+        tr.count("bfs.edges_examined", sum(edges_examined))
         return BFSResult(
             source=source,
             parent=parent,

@@ -25,6 +25,7 @@ from repro.bfs.trace import LevelProfile, LevelRecord
 from repro.bfs.workspace import BFSWorkspace
 from repro.errors import BFSError
 from repro.graph.csr import CSRGraph
+from repro.obs.tracer import Tracer, get_tracer
 
 __all__ = ["profile_bfs", "pick_sources"]
 
@@ -35,16 +36,22 @@ def profile_bfs(
     *,
     max_levels: int | None = None,
     workspace: BFSWorkspace | None = None,
+    tracer: Tracer | None = None,
 ) -> tuple[LevelProfile, BFSResult]:
     """Run an instrumented traversal from ``source``.
 
     Returns the level profile and the (top-down-computed) BFS result.
     ``max_levels`` guards pathological graphs (e.g. long paths) when only
     the head of the profile is needed.
+
+    ``tracer`` overrides the process-global tracer: levels become
+    ``bfs.level`` spans under a ``bfs.profile`` root, carrying the same
+    counters the :class:`~repro.bfs.trace.LevelRecord` keeps.
     """
     n = graph.num_vertices
     if not 0 <= source < n:
         raise BFSError(f"source {source} out of range [0, {n})")
+    tr = tracer if tracer is not None else get_tracer()
     degrees = graph.degrees
 
     ws = workspace if workspace is not None else BFSWorkspace(n)
@@ -55,39 +62,47 @@ def profile_bfs(
     directions: list[str] = []
     edges_examined: list[int] = []
     depth = 0
-    while frontier.size and (max_levels is None or depth < max_levels):
-        # The profile's unvisited counters include zero-degree vertices
-        # (they are part of |V|un), so this full scan stays — it feeds
-        # the record, not the kernel.
-        unvisited = np.nonzero(parent < 0)[0]
-        unvisited_edges = int(degrees[unvisited].sum())
-        frontier_edges = int(degrees[frontier].sum())
+    with tr.span("bfs.profile", source=source, num_vertices=n) as root:
+        while frontier.size and (max_levels is None or depth < max_levels):
+            with tr.span("bfs.level", depth=depth) as sp:
+                # The profile's unvisited counters include zero-degree
+                # vertices (they are part of |V|un), so this full scan
+                # stays — it feeds the record, not the kernel.
+                unvisited = np.nonzero(parent < 0)[0]
+                unvisited_edges = int(degrees[unvisited].sum())
+                frontier_edges = int(degrees[frontier].sum())
 
-        # Counterfactual bottom-up accounting at this level.
-        bits = ws.load_frontier(frontier)
-        bu_checked, bu_failed = _bottom_up_checked(
-            graph, unvisited, bits, ws
-        )
+                # Counterfactual bottom-up accounting at this level.
+                bits = ws.load_frontier(frontier)
+                bu_checked, bu_failed = _bottom_up_checked(
+                    graph, unvisited, bits, ws
+                )
 
-        next_frontier, examined = top_down_step(
-            graph, frontier, parent, level, depth, ws
-        )
-        records.append(
-            LevelRecord(
-                level=depth,
-                frontier_vertices=int(frontier.size),
-                frontier_edges=frontier_edges,
-                unvisited_vertices=int(unvisited.size),
-                unvisited_edges=unvisited_edges,
-                bu_edges_checked=bu_checked,
-                claimed=int(next_frontier.size),
-                bu_edges_failed=bu_failed,
+                next_frontier, examined = top_down_step(
+                    graph, frontier, parent, level, depth, ws
+                )
+                sp.set("frontier_vertices", int(frontier.size))
+                sp.set("frontier_edges", frontier_edges)
+                sp.set("bu_edges_checked", bu_checked)
+                sp.set("claimed", int(next_frontier.size))
+            records.append(
+                LevelRecord(
+                    level=depth,
+                    frontier_vertices=int(frontier.size),
+                    frontier_edges=frontier_edges,
+                    unvisited_vertices=int(unvisited.size),
+                    unvisited_edges=unvisited_edges,
+                    bu_edges_checked=bu_checked,
+                    claimed=int(next_frontier.size),
+                    bu_edges_failed=bu_failed,
+                )
             )
-        )
-        directions.append(Direction.TOP_DOWN)
-        edges_examined.append(examined)
-        frontier = next_frontier
-        depth += 1
+            directions.append(Direction.TOP_DOWN)
+            edges_examined.append(examined)
+            frontier = next_frontier
+            depth += 1
+        root.set("levels", depth)
+    tr.count("bfs.levels", depth)
 
     profile = LevelProfile(
         source=source,

@@ -3,14 +3,21 @@
 The paper's Fig. 3 and Table IV are per-level time measurements; this
 module produces the same shape of data for the *actual NumPy kernels on
 this machine*, so users can draw their own Fig. 3 without the
-simulator.  Each level of a timed traversal records direction, work
-counters and elapsed seconds.
+simulator.
+
+Since the observability layer landed, this module owns no clock: it is
+a thin consumer of :mod:`repro.obs` — every level runs inside a
+``bfs.level`` span and each :class:`TimedLevel` is built *from the
+span's duration*, so ``TimedRun.total_seconds`` equals the tracer's
+span sums exactly (an invariant the test suite checks).  When no
+enabled tracer is ambient or passed, a private recording tracer is used
+so timing always works; either way the recording is available as
+``TimedRun.tracer`` for export.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -21,6 +28,7 @@ from repro.bfs.topdown import top_down_step
 from repro.bfs.workspace import BFSWorkspace
 from repro.errors import BFSError
 from repro.graph.csr import CSRGraph
+from repro.obs.tracer import Tracer, get_tracer
 
 __all__ = ["TimedLevel", "TimedRun", "timed_bfs"]
 
@@ -38,10 +46,17 @@ class TimedLevel:
 
 @dataclass(frozen=True)
 class TimedRun:
-    """A traversal with per-level wall-clock timings."""
+    """A traversal with per-level wall-clock timings.
+
+    ``tracer`` is the recording the timings came from (the ambient
+    tracer when one was enabled, otherwise a private one); its
+    ``bfs.level`` spans sum to :attr:`total_seconds` exactly and can be
+    exported with :mod:`repro.obs.export`.
+    """
 
     result: BFSResult
     levels: tuple[TimedLevel, ...]
+    tracer: Tracer | None = field(default=None, compare=False, repr=False)
 
     @property
     def total_seconds(self) -> float:
@@ -67,6 +82,7 @@ def timed_bfs(
     n: float | None = None,
     direction: str | None = None,
     workspace: BFSWorkspace | None = None,
+    tracer: Tracer | None = None,
 ) -> TimedRun:
     """Traverse with per-level wall-clock measurement.
 
@@ -77,6 +93,11 @@ def timed_bfs(
     region (the frontier-bitmap load stays inside it — that is the
     paper's representation-conversion cost and belongs in the level
     time).
+
+    Timing always happens: if neither ``tracer`` nor the process-global
+    tracer is an enabled recorder, a private :class:`~repro.obs.Tracer`
+    is used.  The per-level seconds are read back from the ``bfs.level``
+    spans, so the returned run's totals equal the tracer's span sums.
     """
     nverts = graph.num_vertices
     if not 0 <= source < nverts:
@@ -85,6 +106,9 @@ def timed_bfs(
         raise BFSError(f"unknown direction {direction!r}")
     if policy is None and m is not None and n is not None:
         policy = MNPolicy(m, n)
+    tr = tracer if tracer is not None else get_tracer()
+    if not tr.enabled:
+        tr = Tracer()
     degrees = graph.degrees
     nedges = max(graph.num_edges, 1)
 
@@ -97,55 +121,70 @@ def timed_bfs(
     directions: list[str] = []
     edges_examined: list[int] = []
     depth = 0
-    while frontier.size:
-        if direction is not None:
-            chosen = direction
-        elif policy is not None:
-            chosen = policy.direction(
-                LevelState(
+    with tr.span("bfs.timed", source=source, num_vertices=nverts) as root:
+        while frontier.size:
+            if direction is not None:
+                chosen = direction
+            elif policy is not None:
+                chosen = policy.direction(
+                    LevelState(
+                        depth=depth,
+                        frontier_vertices=int(frontier.size),
+                        frontier_edges=int(degrees[frontier].sum()),
+                        num_vertices=nverts,
+                        num_edges=nedges,
+                        unvisited_vertices=unvisited_count,
+                    )
+                )
+                tr.instant(
+                    "bfs.direction",
                     depth=depth,
+                    direction=chosen,
                     frontier_vertices=int(frontier.size),
-                    frontier_edges=int(degrees[frontier].sum()),
-                    num_vertices=nverts,
-                    num_edges=nedges,
-                    unvisited_vertices=unvisited_count,
+                )
+            else:
+                chosen = Direction.TOP_DOWN
+            fv = int(frontier.size)
+            with tr.span("bfs.level", depth=depth, direction=chosen) as sp:
+                if chosen == Direction.TOP_DOWN:
+                    frontier, work = top_down_step(
+                        graph, frontier, parent, level, depth, ws
+                    )
+                else:
+                    bits = ws.load_frontier(frontier)
+                    unvisited = ws.unvisited_ids(graph, parent)
+                    frontier, work = bottom_up_step(
+                        graph,
+                        bits,
+                        parent,
+                        level,
+                        depth,
+                        unvisited=unvisited,
+                        workspace=ws,
+                    )
+                ws.retire_claimed(parent)
+                sp.set("frontier_vertices", fv)
+                sp.set("edges_examined", work)
+                sp.set("claimed", int(frontier.size))
+            timed.append(
+                TimedLevel(
+                    level=depth,
+                    direction=chosen,
+                    frontier_vertices=fv,
+                    edges_examined=work,
+                    seconds=sp.duration,
                 )
             )
-        else:
-            chosen = Direction.TOP_DOWN
-        fv = int(frontier.size)
-        t0 = time.perf_counter()
-        if chosen == Direction.TOP_DOWN:
-            frontier, work = top_down_step(
-                graph, frontier, parent, level, depth, ws
-            )
-        else:
-            bits = ws.load_frontier(frontier)
-            unvisited = ws.unvisited_ids(graph, parent)
-            frontier, work = bottom_up_step(
-                graph,
-                bits,
-                parent,
-                level,
-                depth,
-                unvisited=unvisited,
-                workspace=ws,
-            )
-        ws.retire_claimed(parent)
-        elapsed = time.perf_counter() - t0
-        timed.append(
-            TimedLevel(
-                level=depth,
-                direction=chosen,
-                frontier_vertices=fv,
-                edges_examined=work,
-                seconds=elapsed,
-            )
-        )
-        directions.append(chosen)
-        edges_examined.append(work)
-        unvisited_count -= int(frontier.size)
-        depth += 1
+            directions.append(chosen)
+            edges_examined.append(work)
+            unvisited_count -= int(frontier.size)
+            depth += 1
+        root.set("levels", depth)
+    tr.count("bfs.levels", depth)
+    tr.count("bfs.edges_examined", sum(edges_examined))
+    total = sum(lv.seconds for lv in timed)
+    if total > 0:
+        tr.observe("teps", sum(edges_examined) / total)
     result = BFSResult(
         source=source,
         parent=parent,
@@ -153,4 +192,4 @@ def timed_bfs(
         directions=directions,
         edges_examined=edges_examined,
     )
-    return TimedRun(result=result, levels=tuple(timed))
+    return TimedRun(result=result, levels=tuple(timed), tracer=tr)

@@ -27,6 +27,7 @@ from repro.bfs.result import BFSResult, Direction
 from repro.bfs.workspace import BFSWorkspace
 from repro.errors import BFSError
 from repro.graph.csr import CSRGraph
+from repro.obs.tracer import Tracer, get_tracer
 
 __all__ = ["bfs_top_down", "top_down_step", "claim_first_writer"]
 
@@ -105,6 +106,7 @@ def bfs_top_down(
     *,
     sanitize: bool = False,
     workspace: BFSWorkspace | None = None,
+    tracer: Tracer | None = None,
 ) -> BFSResult:
     """Full top-down traversal from ``source``.
 
@@ -117,10 +119,16 @@ def bfs_top_down(
     maps alias the workspace arrays (call ``result.detach()`` to keep
     them past the next traversal); without one a private workspace is
     created and the result owns its arrays.
+
+    ``tracer`` overrides the process-global tracer
+    (:func:`repro.obs.get_tracer`): each level becomes a ``bfs.level``
+    span under a ``bfs.topdown`` root and the traversal counters feed
+    the tracer's metrics.
     """
     n = graph.num_vertices
     if not 0 <= source < n:
         raise BFSError(f"source {source} out of range [0, {n})")
+    tr = tracer if tracer is not None else get_tracer()
     san = None
     if sanitize:
         from repro.analysis.sanitizer import Sanitizer
@@ -135,17 +143,27 @@ def bfs_top_down(
     try:
         if san is not None:
             san.__enter__()
-        while frontier.size:
-            next_frontier, examined = top_down_step(
-                graph, frontier, parent, level, depth, ws
-            )
-            if san is not None:
-                san.after_level(depth, frontier, next_frontier, parent, level)
-            ws.retire_claimed(parent)
-            frontier = next_frontier
-            directions.append(Direction.TOP_DOWN)
-            edges_examined.append(examined)
-            depth += 1
+        with tr.span("bfs.topdown", source=source, num_vertices=n) as root:
+            while frontier.size:
+                with tr.span(
+                    "bfs.level", depth=depth, direction=Direction.TOP_DOWN
+                ) as sp:
+                    next_frontier, examined = top_down_step(
+                        graph, frontier, parent, level, depth, ws
+                    )
+                    sp.set("frontier_vertices", int(frontier.size))
+                    sp.set("edges_examined", examined)
+                    sp.set("claimed", int(next_frontier.size))
+                if san is not None:
+                    san.after_level(depth, frontier, next_frontier, parent, level)
+                ws.retire_claimed(parent)
+                frontier = next_frontier
+                directions.append(Direction.TOP_DOWN)
+                edges_examined.append(examined)
+                depth += 1
+            root.set("levels", depth)
+        tr.count("bfs.levels", depth)
+        tr.count("bfs.edges_examined", sum(edges_examined))
         if san is not None:
             san.finish(parent, level)
     finally:

@@ -5,22 +5,28 @@ Subcommands::
     repro-bfs list                       # available experiments
     repro-bfs run fig08 [--scale 15] [--save DIR]
     repro-bfs all [--scale 15] [--save DIR]
-    repro-bfs bfs --scale 16 --edgefactor 16 [--m 64 --n 512]
+    repro-bfs bfs --scale 16 --edgefactor 16 [--m 64 --n 512] [--json]
+    repro-bfs graph500 --scale 16 [--json]
+    repro-bfs trace --scale 14 [--out PREFIX]
     repro-bfs info                       # architecture presets
 
 ``run``/``all`` regenerate the paper's tables and figures and print
 them with paper-vs-measured notes; ``bfs`` runs a real traversal on
-this machine and reports wall-clock TEPS.
+this machine and reports wall-clock TEPS; ``trace`` runs a traversal
+with the :mod:`repro.obs` tracer enabled, writes a Perfetto-loadable
+``.trace.json`` plus a JSONL event stream, and prints a span summary
+and the switching-point mistuning report.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
 from pathlib import Path
 
 from repro._version import __version__
+from repro.obs.clock import now
 
 __all__ = ["main", "build_parser"]
 
@@ -58,6 +64,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine",
         choices=("td", "bu", "hybrid"),
         default="hybrid",
+    )
+    g5_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result as a JSON object on stdout",
     )
 
     lint_p = sub.add_parser(
@@ -116,6 +127,46 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("td", "bu", "hybrid", "auto"),
         default="auto",
         help="'auto' predicts (M, N) with the regression model",
+    )
+    bfs_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result as a JSON object on stdout",
+    )
+
+    tr_p = sub.add_parser(
+        "trace",
+        help="run a traversal with tracing on and export the trace",
+    )
+    tr_p.add_argument("--scale", type=int, default=14)
+    tr_p.add_argument("--edgefactor", type=int, default=16)
+    tr_p.add_argument("--seed", type=int, default=0)
+    tr_p.add_argument(
+        "--engine",
+        choices=("td", "bu", "hybrid", "parallel"),
+        default="hybrid",
+    )
+    tr_p.add_argument("--m", type=float, default=64.0, help="threshold M")
+    tr_p.add_argument("--n", type=float, default=512.0, help="threshold N")
+    tr_p.add_argument(
+        "--threads", type=int, default=4, help="workers for --engine parallel"
+    )
+    tr_p.add_argument(
+        "--audit-candidates",
+        type=int,
+        default=500,
+        help="candidate (M, N) pairs priced for the mistuning report",
+    )
+    tr_p.add_argument(
+        "--no-audit",
+        action="store_true",
+        help="skip the switching-point mistuning report",
+    )
+    tr_p.add_argument(
+        "--out",
+        type=Path,
+        default=Path("bfs"),
+        help="output prefix: writes PREFIX.trace.json and PREFIX.jsonl",
     )
     return parser
 
@@ -186,9 +237,9 @@ def _cmd_all(args: argparse.Namespace) -> int:
 
     config = _bench_config(args)
     for name in sorted(REGISTRY):
-        t0 = time.perf_counter()
+        t0 = now()
         result = run_experiment(name, config)
-        took = time.perf_counter() - t0
+        took = now() - t0
         print(result.render())
         print(f"[{name} in {took:.1f}s]")
         print()
@@ -291,11 +342,17 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
     from repro.bfs import bfs_bottom_up, bfs_hybrid, bfs_top_down, pick_sources
     from repro.graph import rmat
 
-    print(f"generating R-MAT scale={args.scale} ef={args.edgefactor} ...")
+    quiet = args.json
+    if not quiet:
+        print(
+            f"generating R-MAT scale={args.scale} ef={args.edgefactor} ..."
+        )
     graph = rmat(args.scale, args.edgefactor, seed=args.seed)
     source = int(pick_sources(graph, 1, seed=args.seed)[0])
-    print(f"graph: {graph!r}, source {source}")
+    if not quiet:
+        print(f"graph: {graph!r}, source {source}")
 
+    m = n = None
     if args.engine == "td":
         runner = lambda: bfs_top_down(graph, source)
     elif args.engine == "bu":
@@ -310,22 +367,47 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
                 BenchConfig(base_scale=max(args.scale - 1, 12))
             )
             m, n = predictor.predict_mn(graph, CPU_SANDY_BRIDGE, GPU_K20X)
-            print(f"predicted switching point: M={m:.1f} N={n:.1f}")
+            if not quiet:
+                print(f"predicted switching point: M={m:.1f} N={n:.1f}")
         m = 64.0 if m is None else m
         n = 512.0 if n is None else n
         runner = lambda: bfs_hybrid(graph, source, m=m, n=n)
 
-    t0 = time.perf_counter()
+    t0 = now()
     result = runner()
-    took = time.perf_counter() - t0
+    took = now() - t0
     result.validate(graph)
+    traversed = result.traversed_edges(graph)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "scale": args.scale,
+                    "edgefactor": args.edgefactor,
+                    "seed": args.seed,
+                    "engine": args.engine,
+                    "source": source,
+                    "m": m,
+                    "n": n,
+                    "levels": result.num_levels,
+                    "reached": result.num_reached,
+                    "directions": list(result.directions),
+                    "traversed_edges": int(traversed),
+                    "seconds": took,
+                    "gteps": gteps(traversed, took),
+                    "validated": True,
+                },
+                indent=2,
+            )
+        )
+        return 0
     print(
         f"levels={result.num_levels} reached={result.num_reached} "
         f"directions={result.directions}"
     )
     print(
         f"wall-clock {took:.3f}s, "
-        f"{gteps(result.traversed_edges(graph), took):.4f} GTEPS (validated)"
+        f"{gteps(traversed, took):.4f} GTEPS (validated)"
     )
     return 0
 
@@ -341,11 +423,12 @@ def _cmd_graph500(args: argparse.Namespace) -> int:
         # graph-sized arrays instead of allocating per traversal.
         "hybrid": HybridEngine(),
     }[args.engine]
-    print(
-        f"running Graph 500 flow: SCALE={args.scale} "
-        f"edgefactor={args.edgefactor} NBFS={args.roots} "
-        f"engine={args.engine} ..."
-    )
+    if not args.json:
+        print(
+            f"running Graph 500 flow: SCALE={args.scale} "
+            f"edgefactor={args.edgefactor} NBFS={args.roots} "
+            f"engine={args.engine} ..."
+        )
     result = run_graph500(
         args.scale,
         args.edgefactor,
@@ -353,10 +436,124 @@ def _cmd_graph500(args: argparse.Namespace) -> int:
         engine=engine,
         seed=args.seed,
     )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "scale": result.scale,
+                    "edgefactor": result.edgefactor,
+                    "nbfs": result.num_roots,
+                    "engine": args.engine,
+                    "seed": args.seed,
+                    "construction_seconds": result.construction_seconds,
+                    "validated": result.validated,
+                    "roots": [int(r) for r in result.roots],
+                    "time_stats": result.time_stats.as_dict(),
+                    "teps_stats": result.teps_stats.as_dict(),
+                    "harmonic_mean_teps": result.harmonic_mean_teps,
+                },
+                indent=2,
+            )
+        )
+        return 0
     print(result.summary())
     print(
         f"\nheadline: {result.harmonic_mean_teps / 1e9:.4f} GTEPS "
         "(harmonic mean, all roots validated)"
+    )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.arch import CPU_SANDY_BRIDGE
+    from repro.bfs import (
+        ParallelBFS,
+        bfs_bottom_up,
+        bfs_hybrid,
+        bfs_top_down,
+        pick_sources,
+        profile_bfs,
+    )
+    from repro.graph import rmat
+    from repro.obs import (
+        Tracer,
+        audit_switching_point,
+        use_tracer,
+        validate_chrome_trace,
+        write_chrome_trace,
+        write_jsonl,
+    )
+    from repro.arch.costmodel import CostModel
+
+    print(
+        f"generating R-MAT scale={args.scale} ef={args.edgefactor} "
+        f"(seed {args.seed}) ..."
+    )
+    graph = rmat(args.scale, args.edgefactor, seed=args.seed)
+    source = int(pick_sources(graph, 1, seed=args.seed)[0])
+    print(f"graph: {graph!r}, source {source}, engine {args.engine}")
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        if args.engine == "td":
+            result = bfs_top_down(graph, source)
+        elif args.engine == "bu":
+            result = bfs_bottom_up(graph, source)
+        elif args.engine == "parallel":
+            from repro.bfs.hybrid import MNPolicy
+
+            result = ParallelBFS(
+                num_threads=args.threads,
+                policy=MNPolicy(m=args.m, n=args.n),
+            ).run(graph, source)
+        else:
+            result = bfs_hybrid(graph, source, m=args.m, n=args.n)
+        result.validate(graph)
+
+        report = None
+        if not args.no_audit:
+            profile, _ = profile_bfs(graph, source)
+            report = audit_switching_point(
+                profile,
+                CostModel(CPU_SANDY_BRIDGE),
+                args.m,
+                args.n,
+                count=args.audit_candidates,
+                seed=args.seed,
+                scale=args.scale,
+                edgefactor=args.edgefactor,
+            )
+
+    meta = {
+        "scale": args.scale,
+        "edgefactor": args.edgefactor,
+        "seed": args.seed,
+        "engine": args.engine,
+        "source": source,
+    }
+    trace_path = args.out.with_name(args.out.name + ".trace.json")
+    jsonl_path = args.out.with_name(args.out.name + ".jsonl")
+    write_chrome_trace(tracer, trace_path, **meta)
+    events = validate_chrome_trace(trace_path)
+    lines = write_jsonl(tracer, jsonl_path, **meta)
+
+    print()
+    print(f"{'span':<24} {'count':>5} {'total_ms':>10} {'mean_ms':>10}")
+    for row in tracer.summary_rows():
+        print(
+            f"{row['span']:<24} {row['count']:>5} "
+            f"{row['total_ms']:>10.3f} {row['mean_ms']:>10.3f}"
+        )
+    print(
+        f"\nlevels={result.num_levels} reached={result.num_reached} "
+        f"directions={result.directions}"
+    )
+    if report is not None:
+        print()
+        print(report.render())
+    print(
+        f"\nwrote {trace_path} ({events} trace events, validated) and "
+        f"{jsonl_path} ({lines} lines)"
     )
     return 0
 
@@ -377,6 +574,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_bfs(args)
     if args.command == "graph500":
         return _cmd_graph500(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "sanitize":

@@ -25,6 +25,8 @@ __all__ = [
     "LintError",
     "SanitizerError",
     "UnitsError",
+    "ObsError",
+    "ExportError",
 ]
 
 
@@ -125,3 +127,15 @@ class SanitizerError(AnalysisError):
 class UnitsError(AnalysisError):
     """Raised when dimensional analysis of the cost model finds terms
     with incompatible units (e.g. seconds added to edge counts)."""
+
+
+class ObsError(ReproError):
+    """Raised for invalid observability usage (:mod:`repro.obs`):
+    malformed spans, metric type conflicts, audit inputs that do not
+    describe the same traversal."""
+
+
+class ExportError(ObsError):
+    """Raised when a trace export/import fails or an exported trace
+    does not conform to its schema (JSONL event stream, Chrome
+    trace-event format)."""

@@ -18,7 +18,6 @@ against the reference code are framed.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -31,6 +30,8 @@ from repro.bfs.workspace import BFSWorkspace
 from repro.errors import BenchError
 from repro.graph.csr import CSRGraph
 from repro.graph.generators import GRAPH500_PARAMS, RMATParams, rmat_edges
+from repro.obs.clock import now
+from repro.obs.tracer import Tracer, get_tracer
 
 __all__ = [
     "Stats",
@@ -174,30 +175,43 @@ def run_graph500(
     params: RMATParams = GRAPH500_PARAMS,
     seed: int = 0,
     validate: bool = True,
+    tracer: Tracer | None = None,
 ) -> Graph500Result:
     """Execute the full benchmark flow.
 
     Returns the timed, validated result; raises
     :class:`~repro.errors.ValidationError` if any traversal fails the
     specification checks (when ``validate`` is on).
+
+    ``tracer`` overrides the process-global tracer: kernel 1
+    (construction) and every per-root kernel-2 traversal become spans,
+    and each root's time and TEPS feed the ``graph500.bfs_seconds`` /
+    ``teps`` histograms.
     """
     if num_roots < 1:
         raise BenchError(f"num_roots must be >= 1, got {num_roots}")
+    tr = tracer if tracer is not None else get_tracer()
     src, dst = rmat_edges(scale, edgefactor, params, seed=seed)
-    t0 = time.perf_counter()
-    graph = CSRGraph.from_edges(src, dst, 1 << scale, symmetrize=True)
-    construction = time.perf_counter() - t0
+    with tr.span("graph500.construction", scale=scale):
+        t0 = now()
+        graph = CSRGraph.from_edges(src, dst, 1 << scale, symmetrize=True)
+        construction = now() - t0
 
     roots = pick_sources(graph, num_roots, seed=seed + 1)
     times = np.empty(num_roots, dtype=np.float64)
     teps = np.empty(num_roots, dtype=np.float64)
     for i, root in enumerate(roots):
-        t0 = time.perf_counter()
-        result = engine(graph, int(root))
-        times[i] = time.perf_counter() - t0
-        if validate:
-            result.validate(graph)
-        teps[i] = result.traversed_edges(graph) / times[i]
+        with tr.span("graph500.bfs", root=int(root), index=i) as sp:
+            t0 = now()
+            result = engine(graph, int(root))
+            times[i] = now() - t0
+            if validate:
+                result.validate(graph)
+            teps[i] = result.traversed_edges(graph) / times[i]
+            sp.set("seconds", float(times[i]))
+            sp.set("teps", float(teps[i]))
+        tr.observe("graph500.bfs_seconds", float(times[i]))
+        tr.observe("teps", float(teps[i]))
     return Graph500Result(
         scale=scale,
         edgefactor=edgefactor,

@@ -21,7 +21,9 @@ from repro.bfs.result import BFSResult
 from repro.bfs.trace import LevelProfile
 from repro.errors import PlanError
 from repro.graph.csr import CSRGraph
+from repro.hetero.executor import annotate_sim_report
 from repro.hetero.planner import cross_plan
+from repro.obs.tracer import Tracer, get_tracer
 
 __all__ = ["run_cross_architecture", "MNPredictor", "CrossArchitectureBFS", "CrossRun"]
 
@@ -55,7 +57,13 @@ class MNPredictor(Protocol):
 
 @dataclass(frozen=True)
 class CrossRun:
-    """Everything Algorithm 3 produces for one traversal."""
+    """Everything Algorithm 3 produces for one traversal.
+
+    ``audit`` is the optional
+    :class:`~repro.obs.audit.CrossMistuningReport` comparing the
+    predicted switching points against the post-hoc best ones (present
+    when the engine was built with ``audit=True``).
+    """
 
     result: BFSResult
     report: SimReport
@@ -63,6 +71,7 @@ class CrossRun:
     n1: float
     m2: float
     n2: float
+    audit: object | None = None
 
 
 class CrossArchitectureBFS:
@@ -75,6 +84,11 @@ class CrossArchitectureBFS:
         device names used here.
     predictor:
         Trained switching-point model (Fig. 6 "on-line" path).
+    audit:
+        When true, every :meth:`run` also prices the predicted
+        switching points against a candidate sweep and attaches the
+        resulting :class:`~repro.obs.audit.CrossMistuningReport` to the
+        returned :class:`CrossRun`.
     """
 
     def __init__(
@@ -84,6 +98,8 @@ class CrossArchitectureBFS:
         *,
         cpu: str = "cpu",
         gpu: str = "gpu",
+        audit: bool = False,
+        audit_candidates: int = 100,
     ) -> None:
         for dev in (cpu, gpu):
             if dev not in machine.models:
@@ -92,8 +108,12 @@ class CrossArchitectureBFS:
         self.predictor = predictor
         self.cpu = cpu
         self.gpu = gpu
+        self.audit = audit
+        self.audit_candidates = audit_candidates
 
-    def run(self, graph: CSRGraph, source: int) -> CrossRun:
+    def run(
+        self, graph: CSRGraph, source: int, *, tracer: Tracer | None = None
+    ) -> CrossRun:
         """Execute one traversal.
 
         Mirrors Algorithm 3's structure: line 1 regresses (M1, N1) for
@@ -102,16 +122,50 @@ class CrossArchitectureBFS:
         the two threshold rules.  The graph is genuinely traversed (the
         parent/level maps are real and validated); only the clock is
         simulated.
+
+        ``tracer`` overrides the process-global tracer: prediction and
+        traversal become spans, the predicted switching points are
+        recorded as ``tuning.predicted_mn`` instant events, and the
+        priced schedule is laid out on simulated-clock device tracks.
         """
+        tr = tracer if tracer is not None else get_tracer()
         cpu_spec = self.machine.specs[self.cpu]
         gpu_spec = self.machine.specs[self.gpu]
-        m1, n1 = self.predictor.predict_mn(graph, cpu_spec, gpu_spec)
-        m2, n2 = self.predictor.predict_mn(graph, gpu_spec, gpu_spec)
-        profile, result = profile_bfs(graph, source)
-        plan = cross_plan(
-            profile, m1, n1, m2, n2, cpu=self.cpu, gpu=self.gpu
-        )
-        report = self.machine.run(profile, plan)
+        with tr.span("cross.run", source=source):
+            with tr.span("cross.predict"):
+                m1, n1 = self.predictor.predict_mn(graph, cpu_spec, gpu_spec)
+                m2, n2 = self.predictor.predict_mn(graph, gpu_spec, gpu_spec)
+            tr.instant(
+                "tuning.predicted_mn",
+                m1=m1, n1=n1, m2=m2, n2=n2,
+                cpu=self.cpu, gpu=self.gpu,
+            )
+            with tr.span("cross.traverse"):
+                profile, result = profile_bfs(graph, source, tracer=tr)
+            plan = cross_plan(
+                profile, m1, n1, m2, n2, cpu=self.cpu, gpu=self.gpu
+            )
+            report = self.machine.run(profile, plan)
+            annotate_sim_report(tr, report)
+            audit_report = None
+            if self.audit:
+                # Lazy import: repro.obs.audit consumes the hetero
+                # planner, so a module-level import would be circular.
+                from repro.obs.audit import audit_cross_architecture
+
+                with tr.span("cross.audit"):
+                    audit_report = audit_cross_architecture(
+                        profile,
+                        self.machine,
+                        (m1, n1, m2, n2),
+                        count=self.audit_candidates,
+                        cpu=self.cpu,
+                        gpu=self.gpu,
+                        tracer=tr,
+                    )
         return CrossRun(
-            result=result, report=report, m1=m1, n1=n1, m2=m2, n2=n2
+            result=result,
+            report=report,
+            m1=m1, n1=n1, m2=m2, n2=n2,
+            audit=audit_report,
         )

@@ -20,8 +20,43 @@ from repro.bfs.topdown import top_down_step
 from repro.bfs.workspace import BFSWorkspace
 from repro.errors import PlanError
 from repro.graph.csr import CSRGraph
+from repro.obs.tracer import Tracer, get_tracer
 
-__all__ = ["execute_plan"]
+__all__ = ["execute_plan", "annotate_sim_report"]
+
+
+def annotate_sim_report(tracer: Tracer, report: SimReport) -> None:
+    """Lay a :class:`SimReport`'s schedule onto the tracer as synthetic
+    spans on simulated-clock tracks.
+
+    Each level becomes a ``sim.level`` span on track ``sim:<device>``
+    and each non-zero handoff a ``sim.transfer`` span on
+    ``sim:transfer``; timestamps are the *simulator's* cumulative
+    seconds (via :meth:`~repro.obs.Tracer.add_span`), so the exported
+    trace shows the simulated device schedule as its own row group next
+    to the real wall-clock rows.  No-op on a disabled tracer.
+    """
+    if not tracer.enabled:
+        return
+    t = 0.0
+    for i, step in enumerate(report.steps):
+        xfer = float(report.transfer_seconds[i])
+        if xfer > 0:
+            tracer.add_span(
+                "sim.transfer", t, t + xfer, track="sim:transfer", level=i
+            )
+            t += xfer
+        dur = float(report.level_seconds[i])
+        tracer.add_span(
+            "sim.level",
+            t,
+            t + dur,
+            track=f"sim:{step.device}",
+            level=i,
+            device=step.device,
+            direction=step.direction,
+        )
+        t += dur
 
 
 def execute_plan(
@@ -31,6 +66,7 @@ def execute_plan(
     plan: list[PlanStep],
     *,
     workspace: BFSWorkspace | None = None,
+    tracer: Tracer | None = None,
 ) -> tuple[BFSResult, SimReport]:
     """Traverse ``graph`` from ``source`` following ``plan``.
 
@@ -39,10 +75,16 @@ def execute_plan(
     levels on the plan's devices.  Raises
     :class:`~repro.errors.PlanError` when the plan is shorter or longer
     than the traversal it claims to describe.
+
+    ``tracer`` overrides the process-global tracer: each level's real
+    wall time lands on a per-device track (``dev:<name>``) and the
+    priced schedule is appended as simulated-clock spans
+    (:func:`annotate_sim_report`).
     """
     n = graph.num_vertices
     if not 0 <= source < n:
         raise PlanError(f"source {source} out of range [0, {n})")
+    tr = tracer if tracer is not None else get_tracer()
 
     ws = workspace if workspace is not None else BFSWorkspace(n)
     parent, level = ws.begin(source)
@@ -51,38 +93,48 @@ def execute_plan(
     directions: list[str] = []
     edges_examined: list[int] = []
     depth = 0
-    while frontier.size:
-        if depth >= len(plan):
+    with tr.span("hetero.execute_plan", source=source, levels=len(plan)):
+        while frontier.size:
+            if depth >= len(plan):
+                raise PlanError(
+                    f"plan has {len(plan)} levels but the traversal reached "
+                    f"level {depth + 1}"
+                )
+            step = plan[depth]
+            with tr.span(
+                "hetero.level",
+                track=f"dev:{step.device}",
+                depth=depth,
+                device=step.device,
+                direction=step.direction,
+            ) as sp:
+                if step.direction == Direction.TOP_DOWN:
+                    frontier, work = top_down_step(
+                        graph, frontier, parent, level, depth, ws
+                    )
+                else:
+                    bits = ws.load_frontier(frontier)
+                    unvisited = ws.unvisited_ids(graph, parent)
+                    frontier, work = bottom_up_step(
+                        graph,
+                        bits,
+                        parent,
+                        level,
+                        depth,
+                        unvisited=unvisited,
+                        workspace=ws,
+                    )
+                ws.retire_claimed(parent)
+                sp.set("edges_examined", work)
+                sp.set("claimed", int(frontier.size))
+            directions.append(step.direction)
+            edges_examined.append(work)
+            depth += 1
+        if depth != len(plan):
             raise PlanError(
-                f"plan has {len(plan)} levels but the traversal reached "
-                f"level {depth + 1}"
+                f"plan has {len(plan)} levels but the traversal finished "
+                f"after {depth}"
             )
-        step = plan[depth]
-        if step.direction == Direction.TOP_DOWN:
-            frontier, work = top_down_step(
-                graph, frontier, parent, level, depth, ws
-            )
-        else:
-            bits = ws.load_frontier(frontier)
-            unvisited = ws.unvisited_ids(graph, parent)
-            frontier, work = bottom_up_step(
-                graph,
-                bits,
-                parent,
-                level,
-                depth,
-                unvisited=unvisited,
-                workspace=ws,
-            )
-        ws.retire_claimed(parent)
-        directions.append(step.direction)
-        edges_examined.append(work)
-        depth += 1
-    if depth != len(plan):
-        raise PlanError(
-            f"plan has {len(plan)} levels but the traversal finished "
-            f"after {depth}"
-        )
 
     result = BFSResult(
         source=source,
@@ -94,4 +146,5 @@ def execute_plan(
     # Price the identical traversal (counters re-measured for fidelity).
     profile, _ = profile_bfs(graph, source)
     report = machine.run(profile, plan)
+    annotate_sim_report(tr, report)
     return result, report

@@ -1,0 +1,97 @@
+"""Observability for the BFS stack: tracing, metrics, telemetry audit.
+
+Four pieces, designed to be threaded through every engine in the
+repository:
+
+* :mod:`repro.obs.tracer` — span-based tracing (nestable, thread-safe,
+  near-zero-overhead when disabled) plus instant events for the
+  decision-audit channel;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms with
+  snapshot/reset semantics (``bfs.levels``, ``bfs.edges_examined``,
+  ``frontier.claim_ratio``, ``teps``);
+* :mod:`repro.obs.export` — JSONL event streams and Chrome trace-event
+  JSON (open the ``.trace.json`` in Perfetto; one track per
+  device/worker);
+* :mod:`repro.obs.audit` — per-run mistuning reports comparing the
+  policy's predicted switching point against the post-hoc best one
+  priced on the measured :class:`~repro.bfs.trace.LevelProfile`.
+
+Nothing records unless a real :class:`Tracer` is installed
+(:func:`set_tracer` / :func:`use_tracer`) or passed explicitly; the
+default is :data:`NULL_TRACER`. See ``docs/observability.md``.
+"""
+
+from repro.obs.clock import ManualClock, now
+from repro.obs.export import (
+    JSONL_FORMAT,
+    chrome_trace,
+    read_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.log import ROOT_LOGGER_NAME, basic_config, get_logger
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import (
+    NULL_TRACER,
+    EventRecord,
+    NullTracer,
+    Span,
+    SpanRecord,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+# The audit layer consumes the tuning/hetero stack, which itself imports
+# the (tracer-instrumented) BFS engines — importing it eagerly here would
+# close an import cycle.  PEP 562 lazy attributes break it: engines can
+# `import repro.obs.tracer` freely, and audit loads on first use.
+_AUDIT_NAMES = (
+    "MistuningReport",
+    "CrossMistuningReport",
+    "audit_switching_point",
+    "audit_cross_architecture",
+)
+
+
+def __getattr__(name: str):
+    """Lazily resolve the decision-audit exports (avoids an import cycle)."""
+    if name in _AUDIT_NAMES:
+        from repro.obs import audit
+
+        return getattr(audit, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "now",
+    "ManualClock",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecord",
+    "EventRecord",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "JSONL_FORMAT",
+    "write_jsonl",
+    "read_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "MistuningReport",
+    "CrossMistuningReport",
+    "audit_switching_point",
+    "audit_cross_architecture",
+    "get_logger",
+    "basic_config",
+    "ROOT_LOGGER_NAME",
+]

@@ -1,0 +1,52 @@
+"""The observability clock — the one place the library reads wall time.
+
+Every measurement in the repository flows through :func:`now` (a
+monotonic, high-resolution performance counter).  Lint rule ``RPR008``
+enforces this: ad-hoc ``time.perf_counter()`` call sites outside
+:mod:`repro.obs` are flagged, so timing semantics (monotonicity, the
+units of a span, what "a second" means in an exported trace) are decided
+exactly once.
+
+:class:`ManualClock` is a deterministic stand-in with the same call
+signature, used by the tracer tests and by simulated-clock annotations
+(a trace track laid out in *simulated* seconds uses a manual clock so
+span timestamps are the simulator's, not this host's).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ObsError
+
+__all__ = ["now", "ManualClock"]
+
+
+def now() -> float:
+    """Seconds on the library's benchmark clock (monotonic)."""
+    return time.perf_counter()
+
+
+class ManualClock:
+    """A clock that only moves when told to.
+
+    Callable like :func:`now`; :meth:`advance` moves it forward.  Useful
+    for deterministic tracer tests and for emitting spans on a simulated
+    timeline.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._t = float(start)
+
+    def __call__(self) -> float:
+        """Current manual time in seconds."""
+        return self._t
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` (must be >= 0)."""
+        if seconds < 0:
+            raise ObsError(
+                f"a monotonic clock cannot go backwards ({seconds} s)"
+            )
+        self._t += float(seconds)
+        return self._t

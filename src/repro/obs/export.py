@@ -1,0 +1,260 @@
+"""Trace exporters: JSONL event streams and Chrome trace-event format.
+
+Two on-disk shapes for one recording:
+
+* **JSONL** (:func:`write_jsonl` / :func:`read_jsonl`) — one JSON object
+  per line, first line a meta header (``{"kind": "meta", "format":
+  "repro.obs/1", ...}``), then every span and instant event in recorded
+  order.  Lossless: :func:`read_jsonl` reconstructs the records exactly,
+  so telemetry can be post-processed offline.
+* **Chrome trace-event JSON** (:func:`chrome_trace` /
+  :func:`write_chrome_trace`) — the ``{"traceEvents": [...]}`` container
+  understood by Perfetto and ``chrome://tracing``.  Spans become
+  complete events (``ph: "X"``, microsecond ``ts``/``dur``), instant
+  events ``ph: "i"``, and each *track* gets a metadata ``thread_name``
+  event so the viewer shows one named row per device/worker.
+
+Tracks: a record's ``track`` attribute wins (that is how per-device and
+per-worker rows are made, including synthetic ``sim:<device>`` rows laid
+out on the simulator's clock); otherwise the recording thread's name is
+used.
+
+:func:`validate_chrome_trace` is the schema gate used by the tests and
+the CI trace-smoke step; it raises :class:`~repro.errors.ExportError`
+with the first offending event.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ExportError
+from repro.obs.tracer import EventRecord, SpanRecord, Tracer
+
+__all__ = [
+    "JSONL_FORMAT",
+    "write_jsonl",
+    "read_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]
+
+#: Format tag written into the JSONL meta header.
+JSONL_FORMAT = "repro.obs/1"
+
+
+def write_jsonl(tracer: Tracer, path: str | Path, **meta) -> int:
+    """Write the recording as JSONL; returns the number of lines.
+
+    Extra keyword arguments land in the meta header (experiment name,
+    graph scale, …).
+    """
+    spans = tracer.spans()
+    events = tracer.events()
+    header = {
+        "kind": "meta",
+        "format": JSONL_FORMAT,
+        "spans": len(spans),
+        "events": len(events),
+        "metrics": tracer.metrics.snapshot(),
+    }
+    header.update(meta)
+    lines = [json.dumps(header)]
+    lines.extend(json.dumps(r.as_dict()) for r in spans)
+    lines.extend(json.dumps(r.as_dict()) for r in events)
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return len(lines)
+
+
+def read_jsonl(
+    path: str | Path,
+) -> tuple[dict, list[SpanRecord], list[EventRecord]]:
+    """Read a :func:`write_jsonl` file back into records.
+
+    Returns ``(meta_header, spans, events)``.  Raises
+    :class:`~repro.errors.ExportError` on malformed input.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    rows = []
+    for i, line in enumerate(text.splitlines()):
+        if not line.strip():
+            continue
+        try:
+            rows.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ExportError(f"{path}:{i + 1}: not JSON: {exc}") from exc
+    if not rows or rows[0].get("kind") != "meta":
+        raise ExportError(f"{path}: missing meta header line")
+    meta = rows[0]
+    if meta.get("format") != JSONL_FORMAT:
+        raise ExportError(
+            f"{path}: unsupported format {meta.get('format')!r}, "
+            f"expected {JSONL_FORMAT!r}"
+        )
+    spans: list[SpanRecord] = []
+    events: list[EventRecord] = []
+    for i, row in enumerate(rows[1:], start=2):
+        kind = row.get("kind")
+        if kind == "span":
+            spans.append(
+                SpanRecord(
+                    name=row["name"],
+                    start=row["start"],
+                    end=row["end"],
+                    span_id=row["span_id"],
+                    parent_id=row["parent_id"],
+                    thread_id=row["thread_id"],
+                    thread_name=row["thread_name"],
+                    track=row.get("track"),
+                    attrs=row.get("attrs", {}),
+                )
+            )
+        elif kind == "event":
+            events.append(
+                EventRecord(
+                    name=row["name"],
+                    timestamp=row["timestamp"],
+                    thread_id=row["thread_id"],
+                    thread_name=row["thread_name"],
+                    track=row.get("track"),
+                    attrs=row.get("attrs", {}),
+                )
+            )
+        else:
+            raise ExportError(f"{path}:{i}: unknown record kind {kind!r}")
+    return meta, spans, events
+
+
+def _json_safe(value):
+    """Coerce attrs to JSON-serializable (numpy scalars, tuples)."""
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _tracks(tracer: Tracer) -> dict[str, int]:
+    """Stable track name → tid assignment (sorted for determinism)."""
+    names = set()
+    for rec in tracer.spans():
+        names.add(rec.track or rec.thread_name)
+    for rec in tracer.events():
+        names.add(rec.track or rec.thread_name)
+    return {name: tid for tid, name in enumerate(sorted(names), start=1)}
+
+
+def chrome_trace(tracer: Tracer, *, pid: int = 1, **meta) -> dict:
+    """The recording as a Chrome trace-event ``dict``.
+
+    Timestamps are shifted so the earliest record sits at ``ts=0`` and
+    converted to microseconds (the format's unit).  One thread row per
+    track; extra keyword arguments land in the container's
+    ``otherData``.
+    """
+    spans = tracer.spans()
+    events = tracer.events()
+    tracks = _tracks(tracer)
+    starts = [r.start for r in spans] + [r.timestamp for r in events]
+    t0 = min(starts) if starts else 0.0
+    trace_events: list[dict] = []
+    for name, tid in tracks.items():
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    for rec in spans:
+        trace_events.append(
+            {
+                "ph": "X",
+                "name": rec.name,
+                "pid": pid,
+                "tid": tracks[rec.track or rec.thread_name],
+                "ts": 1e6 * (rec.start - t0),
+                "dur": 1e6 * rec.duration,
+                "args": _json_safe(rec.attrs),
+            }
+        )
+    for rec in events:
+        trace_events.append(
+            {
+                "ph": "i",
+                "name": rec.name,
+                "pid": pid,
+                "tid": tracks[rec.track or rec.thread_name],
+                "ts": 1e6 * (rec.timestamp - t0),
+                "s": "t",
+                "args": _json_safe(rec.attrs),
+            }
+        )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "format": JSONL_FORMAT,
+            "metrics": tracer.metrics.snapshot(),
+            **{str(k): _json_safe(v) for k, v in meta.items()},
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str | Path, **meta) -> dict:
+    """Write :func:`chrome_trace` output to ``path`` (returns the dict)."""
+    trace = chrome_trace(tracer, **meta)
+    Path(path).write_text(json.dumps(trace, indent=1), encoding="utf-8")
+    return trace
+
+
+_PHASES = {"X", "i", "M"}
+
+
+def validate_chrome_trace(trace: dict | str | Path) -> int:
+    """Check a Chrome trace against the subset of the format we emit.
+
+    Accepts the trace dict or a path to the ``.trace.json`` file.
+    Returns the number of trace events; raises
+    :class:`~repro.errors.ExportError` describing the first violation.
+    """
+    if not isinstance(trace, dict):
+        try:
+            trace = json.loads(Path(trace).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ExportError(f"cannot read trace: {exc}") from exc
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ExportError("trace must be a dict with a 'traceEvents' list")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        raise ExportError("'traceEvents' must be a list")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            raise ExportError(f"{where}: not an object")
+        ph = ev.get("ph")
+        if ph not in _PHASES:
+            raise ExportError(f"{where}: bad phase {ph!r} (want one of {sorted(_PHASES)})")
+        for key in ("name", "pid", "tid"):
+            if key not in ev:
+                raise ExportError(f"{where}: missing {key!r}")
+        if ph in ("X", "i"):
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise ExportError(f"{where}: ts must be a number >= 0, got {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ExportError(f"{where}: dur must be a number >= 0, got {dur!r}")
+        if ph == "M" and ev.get("name") == "thread_name":
+            if "name" not in ev.get("args", {}):
+                raise ExportError(f"{where}: thread_name metadata needs args.name")
+    return len(events)

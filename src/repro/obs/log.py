@@ -1,0 +1,59 @@
+"""Standard-library ``logging`` integration for the tracer.
+
+The repository's library code never configures logging itself — the
+``repro`` logger ships with a :class:`logging.NullHandler` (the library
+convention), so importing :mod:`repro` stays silent until an application
+attaches its own handlers.
+
+A :class:`~repro.obs.tracer.Tracer` built with ``logger=True`` mirrors
+every finished span and instant event as a DEBUG record on
+``repro.obs.trace`` with the structured payload under
+``record.repro_event`` (passed via ``extra=``), so log aggregators can
+consume the same event stream the exporters write.
+:func:`basic_config` is a convenience for scripts/CLI use that attaches
+a stderr handler exactly once.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["ROOT_LOGGER_NAME", "get_logger", "basic_config"]
+
+#: The package's root logger name; all obs loggers are children of it.
+ROOT_LOGGER_NAME = "repro"
+
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro.obs`` namespace.
+
+    ``get_logger("trace")`` → ``repro.obs.trace``; no argument returns
+    ``repro.obs`` itself.  Handlers are never attached here — that is
+    the application's (or :func:`basic_config`'s) job.
+    """
+    base = f"{ROOT_LOGGER_NAME}.obs"
+    return logging.getLogger(f"{base}.{name}" if name else base)
+
+
+def basic_config(level: int = logging.DEBUG) -> logging.Logger:
+    """Attach one stderr handler to the ``repro`` logger (idempotent).
+
+    For scripts and the CLI; libraries embedding :mod:`repro` should
+    configure logging themselves instead.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    has_stream = any(
+        isinstance(h, logging.StreamHandler)
+        and not isinstance(h, logging.NullHandler)
+        for h in root.handlers
+    )
+    if not has_stream:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        root.addHandler(handler)
+    root.setLevel(level)
+    return root

@@ -26,6 +26,7 @@ from repro.bfs.hybrid import LevelState
 from repro.bfs.result import Direction
 from repro.bfs.trace import LevelRecord
 from repro.errors import TuningError
+from repro.obs.tracer import get_tracer
 
 __all__ = ["estimate_bu_checked", "CostModelPolicy"]
 
@@ -92,4 +93,12 @@ class CostModelPolicy:
         # story; greedy per-level choice is exactly the oracle's rule.
         td = self.model.top_down_seconds(rec, state.num_vertices).seconds
         bu = self.model.bottom_up_seconds(rec, state.num_vertices).seconds
-        return Direction.TOP_DOWN if td <= bu else Direction.BOTTOM_UP
+        chosen = Direction.TOP_DOWN if td <= bu else Direction.BOTTOM_UP
+        get_tracer().instant(
+            "tuning.cost_model_decision",
+            depth=state.depth,
+            direction=chosen,
+            predicted_td_seconds=td,
+            predicted_bu_seconds=bu,
+        )
+        return chosen

@@ -21,6 +21,7 @@ from repro.ml.dataset import TrainingSet, make_sample
 from repro.ml.model_io import load_scaler, load_svr, save_scaler, save_svr
 from repro.ml.scaler import StandardScaler
 from repro.ml.svr import SVR
+from repro.obs.tracer import get_tracer
 
 __all__ = ["SwitchingPointPredictor"]
 
@@ -79,7 +80,17 @@ class SwitchingPointPredictor:
         m = float(np.exp2(self._svr_m.predict(Xs)[0]))
         n = float(np.exp2(self._svr_n.predict(Xs)[0]))
         lo, hi = self.clip
-        return float(np.clip(m, lo, hi)), float(np.clip(n, lo, hi))
+        m_clip = float(np.clip(m, lo, hi))
+        n_clip = float(np.clip(n, lo, hi))
+        get_tracer().instant(
+            "tuning.predicted_mn",
+            m=m_clip,
+            n=n_clip,
+            raw_m=m,
+            raw_n=n,
+            clipped=bool(m != m_clip or n != n_clip),
+        )
+        return m_clip, n_clip
 
     def predict_mn(
         self, graph: CSRGraph, arch_td: ArchSpec, arch_bu: ArchSpec

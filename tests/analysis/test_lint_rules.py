@@ -29,6 +29,7 @@ class TestRegistry:
             "RPR005",
             "RPR006",
             "RPR007",
+            "RPR008",
         }
 
     def test_rules_have_summaries(self):
@@ -130,6 +131,38 @@ class TestRPR003WallClock:
 
     def test_silent_on_perf_counter(self):
         v = lint_source("t0 = time.perf_counter()\n", select=["RPR003"])
+        assert v == []
+
+
+class TestRPR008AdHocPerfCounter:
+    def test_fires_on_call(self):
+        v = lint_source("t0 = time.perf_counter()\n", select=["RPR008"])
+        assert codes(v) == ["RPR008"]
+
+    def test_fires_on_from_import(self):
+        v = lint_source("from time import perf_counter\n", select=["RPR008"])
+        assert codes(v) == ["RPR008"]
+
+    def test_exempt_inside_obs_package(self):
+        v = lint_source(
+            "t0 = time.perf_counter()\n",
+            path="src/repro/obs/clock.py",
+            select=["RPR008"],
+        )
+        assert v == []
+
+    def test_silent_on_obs_clock(self):
+        v = lint_source(
+            "from repro.obs.clock import now\nt0 = now()\n",
+            select=["RPR008"],
+        )
+        assert v == []
+
+    def test_suppressed_by_noqa(self):
+        v = lint_source(
+            "t0 = time.perf_counter()  # repro: noqa[RPR008]\n",
+            select=["RPR008"],
+        )
         assert v == []
 
 

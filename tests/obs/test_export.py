@@ -1,0 +1,169 @@
+"""JSONL round-trip and Chrome trace-event schema validation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ExportError
+from repro.obs import (
+    JSONL_FORMAT,
+    ManualClock,
+    Tracer,
+    chrome_trace,
+    read_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+@pytest.fixture()
+def recording():
+    """A small deterministic recording with nesting, tracks, and events."""
+    clock = ManualClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("bfs.hybrid", source=3):
+        clock.advance(0.1)
+        with tracer.span("bfs.level", depth=0):
+            clock.advance(0.2)
+        tracer.instant("bfs.direction", depth=1, direction="bu")
+        with tracer.span("bfs.level", depth=1):
+            clock.advance(0.3)
+    tracer.add_span("sim.level", 0.0, 0.4, track="sim:gpu", level=0)
+    tracer.count("bfs.levels", 2)
+    tracer.observe("teps", 123.0)
+    return tracer
+
+
+class TestJsonl:
+    def test_round_trip_is_lossless(self, recording, tmp_path):
+        path = tmp_path / "run.jsonl"
+        lines = write_jsonl(recording, path, scale=10)
+        meta, spans, events = read_jsonl(path)
+        assert lines == 1 + len(spans) + len(events)
+        assert meta["format"] == JSONL_FORMAT
+        assert meta["scale"] == 10
+        assert meta["spans"] == len(spans) == 4
+        assert meta["events"] == len(events) == 1
+        assert spans == list(recording.spans())
+        assert events == list(recording.events())
+        assert meta["metrics"]["bfs.levels"]["value"] == 2
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "span"}\n', encoding="utf-8")
+        with pytest.raises(ExportError, match="meta header"):
+            read_jsonl(path)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"kind": "meta", "format": "other/9"}\n', encoding="utf-8"
+        )
+        with pytest.raises(ExportError, match="unsupported format"):
+            read_jsonl(path)
+
+    def test_unknown_kind_rejected(self, recording, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        write_jsonl(recording, path)
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"kind": "mystery"}\n')
+        with pytest.raises(ExportError, match="unknown record kind"):
+            read_jsonl(path)
+
+    def test_non_json_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n", encoding="utf-8")
+        with pytest.raises(ExportError, match="not JSON"):
+            read_jsonl(path)
+
+
+class TestChromeTrace:
+    def test_structure_and_validation(self, recording):
+        trace = chrome_trace(recording, scale=10)
+        assert validate_chrome_trace(trace) == len(trace["traceEvents"])
+        phases = [ev["ph"] for ev in trace["traceEvents"]]
+        assert phases.count("X") == 4
+        assert phases.count("i") == 1
+        assert trace["otherData"]["scale"] == 10
+        assert trace["otherData"]["metrics"]["teps"]["count"] == 1
+
+    def test_one_named_row_per_track(self, recording):
+        trace = chrome_trace(recording)
+        meta = [
+            ev
+            for ev in trace["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "thread_name"
+        ]
+        names = {ev["args"]["name"] for ev in meta}
+        assert "sim:gpu" in names
+        tids = {ev["tid"] for ev in meta}
+        assert len(tids) == len(meta)
+        sim_tid = next(
+            ev["tid"] for ev in meta if ev["args"]["name"] == "sim:gpu"
+        )
+        sim_events = [
+            ev
+            for ev in trace["traceEvents"]
+            if ev["ph"] == "X" and ev["name"] == "sim.level"
+        ]
+        assert all(ev["tid"] == sim_tid for ev in sim_events)
+
+    def test_timestamps_shifted_to_zero_microseconds(self, recording):
+        trace = chrome_trace(recording)
+        xs = [ev for ev in trace["traceEvents"] if ev["ph"] == "X"]
+        assert min(ev["ts"] for ev in xs) == 0.0
+        root = next(ev for ev in xs if ev["name"] == "bfs.hybrid")
+        assert root["dur"] == pytest.approx(0.6e6)
+
+    def test_numpy_attrs_become_plain_json(self, recording, tmp_path):
+        recording.instant("np", value=np.int64(7), arr=(np.float64(1.5),))
+        path = tmp_path / "out.trace.json"
+        write_chrome_trace(recording, path)
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        ev = next(
+            e for e in loaded["traceEvents"] if e.get("name") == "np"
+        )
+        assert ev["args"] == {"value": 7, "arr": [1.5]}
+
+    def test_write_then_validate_path(self, recording, tmp_path):
+        path = tmp_path / "out.trace.json"
+        write_chrome_trace(recording, path)
+        assert validate_chrome_trace(path) > 0
+
+
+class TestValidator:
+    def test_rejects_missing_trace_events(self):
+        with pytest.raises(ExportError, match="traceEvents"):
+            validate_chrome_trace({})
+
+    def test_rejects_bad_phase(self):
+        bad = {"traceEvents": [{"ph": "Z", "name": "x", "pid": 1, "tid": 1}]}
+        with pytest.raises(ExportError, match="bad phase"):
+            validate_chrome_trace(bad)
+
+    def test_rejects_missing_tid(self):
+        bad = {"traceEvents": [{"ph": "i", "name": "x", "pid": 1, "ts": 0}]}
+        with pytest.raises(ExportError, match="tid"):
+            validate_chrome_trace(bad)
+
+    def test_rejects_negative_duration(self):
+        bad = {
+            "traceEvents": [
+                {
+                    "ph": "X",
+                    "name": "x",
+                    "pid": 1,
+                    "tid": 1,
+                    "ts": 0,
+                    "dur": -1,
+                }
+            ]
+        }
+        with pytest.raises(ExportError, match="dur"):
+            validate_chrome_trace(bad)
+
+    def test_rejects_unreadable_path(self, tmp_path):
+        with pytest.raises(ExportError, match="cannot read"):
+            validate_chrome_trace(tmp_path / "missing.trace.json")

@@ -1,0 +1,46 @@
+"""The disabled tracer must stay near-free on the BFS hot path."""
+
+from repro.obs import NULL_TRACER, get_tracer, now
+from repro.obs.tracer import _NULL_SPAN
+
+
+class TestNoOpPath:
+    def test_process_default_is_disabled(self):
+        # Unless a test/CLI installed one, the ambient tracer is the
+        # null singleton — engines resolve it once per traversal.
+        tracer = get_tracer()
+        if tracer is NULL_TRACER:
+            assert not tracer.enabled
+
+    def test_null_span_is_shared_singleton(self):
+        # No per-call allocation: every disabled span() returns the
+        # same object, so a million-level traversal allocates nothing.
+        spans = {id(NULL_TRACER.span(f"s{i}", depth=i)) for i in range(100)}
+        assert spans == {id(_NULL_SPAN)}
+
+    def test_null_calls_accumulate_no_state(self):
+        for i in range(1000):
+            with NULL_TRACER.span("bfs.level", depth=i) as sp:
+                sp.set("claimed", i)
+            NULL_TRACER.instant("bfs.direction", depth=i)
+            NULL_TRACER.count("bfs.levels")
+            NULL_TRACER.observe("frontier.claim_ratio", 0.5)
+        assert NULL_TRACER.spans() == ()
+        assert NULL_TRACER.events() == ()
+        assert NULL_TRACER.metrics.names() == []
+
+    def test_overhead_guard(self):
+        # A generous absolute bound: 10k disabled span enter/exit +
+        # instant + counter cycles must finish in well under a second
+        # on any host (they are a handful of no-op method calls each).
+        # The real whole-traversal bound (<3%) is enforced at bench
+        # scale by benchmarks/bench_kernels.py.
+        n = 10_000
+        t0 = now()
+        for i in range(n):
+            with NULL_TRACER.span("bfs.level", depth=i):
+                pass
+            NULL_TRACER.instant("bfs.direction", depth=i)
+            NULL_TRACER.count("bfs.levels")
+        elapsed = now() - t0
+        assert elapsed < 1.0, f"{n} no-op cycles took {elapsed:.3f}s"

@@ -1,0 +1,85 @@
+"""timed_bfs is a thin tracer consumer: its totals ARE the span sums."""
+
+import pytest
+
+from repro.bfs.timing import timed_bfs
+from repro.obs import ManualClock, Tracer, use_tracer
+
+
+class TestTimedBfsTracerIntegration:
+    def test_totals_equal_span_sums_exactly(self, rmat_small, rmat_source):
+        run = timed_bfs(rmat_small, rmat_source, m=14.0, n=24.0)
+        assert run.tracer is not None
+        level_spans = run.tracer.spans("bfs.level")
+        assert len(level_spans) == len(run.levels)
+        # Equality is exact, not approximate: each TimedLevel.seconds
+        # is read from its span's duration, same floats summed.
+        assert run.total_seconds == sum(r.duration for r in level_spans)
+        for lv, rec in zip(run.levels, level_spans):
+            assert lv.seconds == rec.duration
+            assert rec.attrs["depth"] == lv.level
+            assert rec.attrs["direction"] == lv.direction
+            assert rec.attrs["edges_examined"] == lv.edges_examined
+
+    def test_ambient_tracer_is_reused(self, rmat_small, rmat_source):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            run = timed_bfs(rmat_small, rmat_source)
+        assert run.tracer is tracer
+        assert len(tracer.spans("bfs.level")) == len(run.levels)
+        assert tracer.spans("bfs.timed")[0].attrs["levels"] == len(
+            run.levels
+        )
+
+    def test_private_tracer_when_disabled(self, rmat_small, rmat_source):
+        # No enabled ambient tracer: timing must still work, via a
+        # private recorder exposed on the run.
+        run = timed_bfs(rmat_small, rmat_source)
+        assert run.tracer is not None
+        assert run.tracer.enabled
+        assert run.total_seconds > 0
+
+    def test_explicit_tracer_with_manual_clock(
+        self, rmat_small, rmat_source
+    ):
+        clock = ManualClock()
+        tracer = Tracer(clock=clock)
+        run = timed_bfs(rmat_small, rmat_source, tracer=tracer)
+        # The manual clock never advanced, so every level reads 0.0 —
+        # proof the seconds come from the tracer's clock, not an
+        # internal perf_counter.
+        assert run.total_seconds == 0.0
+        assert all(lv.seconds == 0.0 for lv in run.levels)
+
+    def test_direction_decisions_emitted(self, rmat_small, rmat_source):
+        tracer = Tracer()
+        run = timed_bfs(
+            rmat_small, rmat_source, m=14.0, n=24.0, tracer=tracer
+        )
+        decisions = tracer.events("bfs.direction")
+        assert len(decisions) == len(run.levels)
+        assert [e.attrs["direction"] for e in decisions] == list(
+            run.result.directions
+        )
+
+    def test_metrics_fed(self, rmat_small, rmat_source):
+        tracer = Tracer()
+        run = timed_bfs(rmat_small, rmat_source, tracer=tracer)
+        snap = tracer.metrics.snapshot()
+        assert snap["bfs.levels"]["value"] == len(run.levels)
+        assert snap["bfs.edges_examined"]["value"] == sum(
+            run.result.edges_examined
+        )
+        assert snap["teps"]["count"] == 1
+
+    def test_result_unchanged_by_tracing(self, rmat_small, rmat_source):
+        baseline = timed_bfs(rmat_small, rmat_source, m=14.0, n=24.0)
+        traced = timed_bfs(
+            rmat_small, rmat_source, m=14.0, n=24.0, tracer=Tracer()
+        )
+        assert (
+            traced.result.parent.tolist()
+            == baseline.result.parent.tolist()
+        )
+        assert traced.result.directions == baseline.result.directions
+        traced.result.validate(rmat_small)

@@ -1,0 +1,251 @@
+"""Span lifecycle, nesting, threading, and the global-tracer plumbing."""
+
+import logging
+import threading
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import (
+    NULL_TRACER,
+    ManualClock,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+from repro.obs.tracer import _NULL_SPAN
+
+
+@pytest.fixture()
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture()
+def tracer(clock):
+    return Tracer(clock=clock)
+
+
+class TestSpans:
+    def test_records_start_end_and_attrs(self, tracer, clock):
+        with tracer.span("work", depth=3) as sp:
+            clock.advance(0.5)
+            sp.set("claimed", 7)
+        (rec,) = tracer.spans()
+        assert rec.name == "work"
+        assert rec.start == 0.0 and rec.end == 0.5
+        assert rec.duration == 0.5
+        assert rec.attrs == {"depth": 3, "claimed": 7}
+
+    def test_nesting_sets_parent_id(self, tracer, clock):
+        with tracer.span("outer") as outer:
+            clock.advance(0.25)
+            with tracer.span("inner") as inner:
+                clock.advance(0.25)
+            clock.advance(0.25)
+        inner_rec = tracer.spans("inner")[0]
+        outer_rec = tracer.spans("outer")[0]
+        assert inner_rec.parent_id == outer.span_id
+        assert outer_rec.parent_id is None
+        assert inner.span_id != outer.span_id
+
+    def test_span_seconds_totals_by_name(self, tracer, clock):
+        for _ in range(3):
+            with tracer.span("level"):
+                clock.advance(0.1)
+        totals = tracer.span_seconds()
+        assert totals == pytest.approx({"level": 0.3})
+
+    def test_summary_rows_sorted_by_total(self, tracer, clock):
+        with tracer.span("short"):
+            clock.advance(0.1)
+        with tracer.span("long"):
+            clock.advance(1.0)
+        rows = tracer.summary_rows()
+        assert [r["span"] for r in rows] == ["long", "short"]
+        assert rows[0]["count"] == 1
+        assert rows[0]["total_ms"] == pytest.approx(1000.0)
+        assert rows[0]["mean_ms"] == pytest.approx(1000.0)
+
+    def test_duration_before_close_raises(self, tracer):
+        sp = tracer.span("open")
+        with pytest.raises(ObsError):
+            sp.duration
+
+    def test_out_of_order_close_raises(self, tracer):
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(ObsError):
+            outer.__exit__(None, None, None)
+
+    def test_clear_drops_records_keeps_metrics(self, tracer, clock):
+        with tracer.span("x"):
+            clock.advance(0.1)
+        tracer.instant("e")
+        tracer.count("n")
+        tracer.clear()
+        assert tracer.spans() == ()
+        assert tracer.events() == ()
+        assert tracer.metrics.counter("n").value == 1.0
+
+
+class TestSyntheticSpans:
+    def test_add_span_records_external_timeline(self, tracer):
+        rec = tracer.add_span("sim.level", 2.0, 3.5, track="sim:gpu", level=1)
+        assert rec.duration == 1.5
+        assert rec.track == "sim:gpu"
+        assert rec.attrs == {"level": 1}
+        assert tracer.spans("sim.level") == (rec,)
+
+    def test_add_span_rejects_negative_duration(self, tracer):
+        with pytest.raises(ObsError):
+            tracer.add_span("bad", 1.0, 0.5)
+
+
+class TestInstants:
+    def test_instant_records_timestamp_and_attrs(self, tracer, clock):
+        clock.advance(1.0)
+        tracer.instant("bfs.direction", depth=2, direction="bu")
+        (ev,) = tracer.events("bfs.direction")
+        assert ev.timestamp == 1.0
+        assert ev.attrs == {"depth": 2, "direction": "bu"}
+
+    def test_events_filter_by_name(self, tracer):
+        tracer.instant("a")
+        tracer.instant("b")
+        tracer.instant("a")
+        assert len(tracer.events("a")) == 2
+        assert len(tracer.events()) == 3
+
+
+class TestMetricShorthands:
+    def test_count_gauge_observe(self, tracer):
+        tracer.count("bfs.levels", 4)
+        tracer.gauge_set("frontier.size", 128)
+        tracer.observe("teps", 1e6)
+        snap = tracer.metrics.snapshot()
+        assert snap["bfs.levels"]["value"] == 4
+        assert snap["frontier.size"]["value"] == 128
+        assert snap["teps"]["count"] == 1
+
+
+class TestThreading:
+    def test_worker_spans_parent_within_their_own_thread(self, tracer):
+        n = 4
+        barrier = threading.Barrier(n)
+
+        def worker(i):
+            with tracer.span("outer", worker=i) as outer:
+                barrier.wait()
+                with tracer.span("inner", worker=i):
+                    pass
+            return outer
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), name=f"w{i}")
+            for i in range(n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        inners = tracer.spans("inner")
+        outers = tracer.spans("outer")
+        assert len(inners) == len(outers) == n
+        by_id = {r.span_id: r for r in outers}
+        for rec in inners:
+            parent = by_id[rec.parent_id]
+            assert parent.attrs["worker"] == rec.attrs["worker"]
+            assert parent.thread_name == rec.thread_name
+
+    def test_thread_name_recorded(self, tracer):
+        def work():
+            with tracer.span("t"):
+                pass
+
+        t = threading.Thread(target=work, name="repro-test-worker")
+        t.start()
+        t.join()
+        assert tracer.spans("t")[0].thread_name == "repro-test-worker"
+
+
+class TestGlobalTracer:
+    def test_default_is_null(self):
+        assert isinstance(get_tracer(), Tracer)
+
+    def test_use_tracer_installs_and_restores(self, tracer):
+        before = get_tracer()
+        with use_tracer(tracer) as installed:
+            assert installed is tracer
+            assert get_tracer() is tracer
+        assert get_tracer() is before
+
+    def test_set_tracer_returns_previous(self, tracer):
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(previous)
+
+    def test_set_tracer_rejects_non_tracer(self):
+        with pytest.raises(ObsError):
+            set_tracer(object())
+
+
+class TestNullTracer:
+    def test_disabled_and_shared_span(self):
+        nt = NullTracer()
+        assert nt.enabled is False
+        assert nt.span("a") is _NULL_SPAN
+        assert nt.span("b", depth=1) is _NULL_SPAN
+
+    def test_records_nothing(self):
+        nt = NullTracer()
+        with nt.span("x") as sp:
+            sp.set("k", 1)
+        nt.instant("e", depth=0)
+        assert nt.add_span("s", 0.0, 1.0) is None
+        nt.count("c")
+        nt.gauge_set("g", 1.0)
+        nt.observe("h", 1.0)
+        assert nt.spans() == ()
+        assert nt.events() == ()
+        assert nt.metrics.names() == []
+
+    def test_module_singleton_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+
+
+class TestLoggerMirror:
+    def test_spans_and_events_mirror_with_structured_extra(self, clock):
+        logger = logging.getLogger("repro.obs.test-mirror")
+        logger.setLevel(logging.DEBUG)
+        records = []
+
+        class Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record)
+
+        handler = Capture()
+        logger.addHandler(handler)
+        try:
+            tracer = Tracer(clock=clock, logger=logger)
+            with tracer.span("bfs.level", depth=1):
+                clock.advance(0.5)
+            tracer.instant("bfs.direction", direction="td")
+        finally:
+            logger.removeHandler(handler)
+        assert len(records) == 2
+        payloads = [r.repro_event for r in records]
+        assert payloads[0]["kind"] == "span"
+        assert payloads[0]["name"] == "bfs.level"
+        assert payloads[1]["kind"] == "event"
+        assert payloads[1]["attrs"] == {"direction": "td"}
+
+    def test_logger_true_resolves_package_logger(self):
+        tracer = Tracer(logger=True)
+        assert tracer.logger is logging.getLogger("repro.obs.trace")

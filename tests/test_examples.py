@@ -60,3 +60,15 @@ def test_circuit_reachability(monkeypatch, capsys):
     assert "Reachability queries" in out
     assert "Fan-out cones" in out
     assert "logic depth" in out
+
+
+def test_trace_bfs(monkeypatch, capsys, tmp_path):
+    monkeypatch.chdir(tmp_path)  # exports land in a scratch dir
+    out = run_example(monkeypatch, capsys, "trace_bfs", ["10", "64", "512"])
+    assert "Span summary" in out
+    assert "bfs.hybrid" in out
+    assert "Direction per level" in out
+    assert "mistuning report" in out
+    assert "schema-validated" in out
+    assert (tmp_path / "trace_bfs.trace.json").exists()
+    assert (tmp_path / "trace_bfs.jsonl").exists()

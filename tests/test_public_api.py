@@ -134,6 +134,36 @@ PUBLIC = {
         "get_profile",
         "paper_scale_profile",
     ],
+    "repro.obs": [
+        "now",
+        "ManualClock",
+        "Tracer",
+        "NullTracer",
+        "NULL_TRACER",
+        "Span",
+        "SpanRecord",
+        "EventRecord",
+        "get_tracer",
+        "set_tracer",
+        "use_tracer",
+        "MetricsRegistry",
+        "Counter",
+        "Gauge",
+        "Histogram",
+        "JSONL_FORMAT",
+        "write_jsonl",
+        "read_jsonl",
+        "chrome_trace",
+        "write_chrome_trace",
+        "validate_chrome_trace",
+        "MistuningReport",
+        "CrossMistuningReport",
+        "audit_switching_point",
+        "audit_cross_architecture",
+        "get_logger",
+        "basic_config",
+        "ROOT_LOGGER_NAME",
+    ],
 }
 
 
