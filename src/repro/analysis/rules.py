@@ -1,4 +1,4 @@
-"""Concrete lint rules (``RPR001`` … ``RPR008``).
+"""Concrete lint rules (``RPR001`` … ``RPR009``).
 
 Each rule encodes an invariant this codebase depends on:
 
@@ -23,6 +23,11 @@ RPR008    no ad-hoc ``time.perf_counter()`` outside ``repro/obs/`` —
           timing goes through :func:`repro.obs.clock.now` (one
           swappable clock, so traces/tests can substitute a
           :class:`~repro.obs.clock.ManualClock`)
+RPR009    metric names passed to the registry/tracer must be lowercase
+          dotted identifiers from the declared catalog
+          (:data:`repro.obs.metrics.METRIC_CATALOG`) — ad-hoc names
+          fragment the run-history trajectory and the OpenMetrics
+          exposition
 ========  ==============================================================
 
 Rules yield ``(line, col, message)``; the engine applies suppression and
@@ -45,6 +50,7 @@ __all__ = [
     "check_missing_all",
     "check_kernel_allocations",
     "check_adhoc_perf_counter",
+    "check_metric_names",
 ]
 
 # Names whose iteration in a hot-path module almost certainly means a
@@ -409,6 +415,72 @@ def check_adhoc_perf_counter(ctx: ModuleContext) -> Iterator[tuple[int, int, str
                     "use repro.obs.clock.now so the clock stays "
                     "swappable",
                 )
+
+
+# Registry methods (and the tracer shorthands that delegate to them)
+# whose first argument names a metric.
+_METRIC_METHODS = {"counter", "gauge", "histogram", "count", "gauge_set"}
+_METRIC_NAME_PATTERN = r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$"
+
+
+def _metric_catalog() -> tuple[str, ...]:
+    # Imported lazily so the analysis layer has no import-time coupling
+    # to the observability package it lints.
+    from repro.obs.metrics import METRIC_CATALOG
+
+    return METRIC_CATALOG
+
+
+@rule(
+    "RPR009",
+    "metric name is not a lowercase dotted identifier from "
+    "repro.obs.metrics.METRIC_CATALOG; declare it there first",
+)
+def check_metric_names(ctx: ModuleContext) -> Iterator[tuple[int, int, str]]:
+    """Flag registry/tracer metric call sites whose *string-literal*
+    name argument is malformed or undeclared.
+
+    Checked methods: ``registry.counter/gauge/histogram`` and the
+    tracer shorthands ``tracer.count/gauge_set/observe`` (``observe``
+    only when the first argument is a string — ``histogram.observe(v)``
+    takes a value, not a name).  Names built at runtime are out of
+    scope; dynamic call sites carry the catalog discipline by
+    convention (or a ``# repro: noqa[RPR009]``).
+    """
+    import re
+
+    catalog = None  # loaded on first hit; most modules emit no metrics
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        fn = node.func
+        if not isinstance(fn, ast.Attribute):
+            continue
+        if fn.attr not in _METRIC_METHODS and fn.attr != "observe":
+            continue
+        if not node.args:
+            continue
+        name_arg = node.args[0]
+        if not (isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str)):
+            continue
+        name = name_arg.value
+        if catalog is None:
+            catalog = _metric_catalog()
+        if not re.match(_METRIC_NAME_PATTERN, name):
+            yield (
+                node.lineno,
+                node.col_offset,
+                f"metric name {name!r} is not a lowercase dotted "
+                "identifier (\"ns.sub.name\")",
+            )
+        elif name not in catalog:
+            yield (
+                node.lineno,
+                node.col_offset,
+                f"metric name {name!r} is not in "
+                "repro.obs.metrics.METRIC_CATALOG; declare it there "
+                "before emitting it",
+            )
 
 
 @rule(

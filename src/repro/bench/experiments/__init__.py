@@ -70,6 +70,11 @@ def run_experiment(
     result's ``meta`` gains an ``obs`` block: the experiment's wall
     seconds and the tracer's metrics snapshot — persisted by
     :meth:`~repro.bench.runner.ExperimentResult.save`.
+
+    When ``config.history_path`` is set, the result is also appended to
+    that JSONL run-history store
+    (:meth:`~repro.bench.runner.ExperimentResult.record_history`), so
+    ``repro-bfs monitor check`` can gate bench trajectories too.
     """
     if name not in REGISTRY:
         raise KeyError(
@@ -77,12 +82,15 @@ def run_experiment(
         )
     from repro.obs.tracer import get_tracer
 
+    config = config or BenchConfig()
     tr = get_tracer()
     with tr.span("bench.experiment", experiment=name) as sp:
-        result = REGISTRY[name](config or BenchConfig())
+        result = REGISTRY[name](config)
     if tr.enabled:
         result.meta["obs"] = {
             "experiment_seconds": sp.duration,
             "metrics": tr.metrics.snapshot(),
         }
+    if config.history_path is not None:
+        result.record_history(config.history_path, config=config)
     return result

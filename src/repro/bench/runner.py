@@ -32,6 +32,10 @@ class BenchConfig:
     candidate_count: int = 1000
     results_dir: Path = Path("benchmarks/results")
     cache_dir: Path | None = None
+    #: When set, every experiment run through
+    #: :func:`repro.bench.experiments.run_experiment` is also appended
+    #: to this JSONL run-history store (see :mod:`repro.obs.history`).
+    history_path: Path | None = None
 
     def __post_init__(self) -> None:
         if self.base_scale < 8:
@@ -77,3 +81,37 @@ class ExperimentResult:
             return [r[name] for r in self.rows]
         except KeyError as exc:
             raise BenchError(f"no column {name!r} in {self.name}") from exc
+
+    def to_run_record(self, *, config: "BenchConfig | None" = None):
+        """This result as a history :class:`~repro.obs.history.RunRecord`.
+
+        The experiment's observability payload (attached by
+        ``run_experiment`` when a tracer is active) supplies the
+        metrics/span aggregates; the rows themselves travel in ``meta``
+        so a trajectory diff can point at the exact table cell that
+        moved.
+        """
+        from repro.obs.history import snapshot_run
+
+        obs = self.meta.get("obs") or {}
+        workload = self.name
+        if config is not None:
+            workload = f"{self.name}-s{config.base_scale}"
+        return snapshot_run(
+            "bench.experiment",
+            workload,
+            metrics=obs.get("metrics"),
+            spans=obs.get("spans"),
+            experiment=self.name,
+            title=self.title,
+            rows=self.rows,
+        )
+
+    def record_history(
+        self, path: str | Path, *, config: "BenchConfig | None" = None
+    ) -> Path:
+        """Append this result to the JSONL history store at ``path``."""
+        from repro.obs.history import HistoryStore
+
+        store = HistoryStore(path)
+        return store.append(self.to_run_record(config=config))

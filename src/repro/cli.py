@@ -8,6 +8,8 @@ Subcommands::
     repro-bfs bfs --scale 16 --edgefactor 16 [--m 64 --n 512] [--json]
     repro-bfs graph500 --scale 16 [--json]
     repro-bfs trace --scale 14 [--out PREFIX]
+    repro-bfs monitor record|check|report|drift [--history PATH]
+    repro-bfs serve-metrics --scale 12 [--port 9464]
     repro-bfs info                       # architecture presets
 
 ``run``/``all`` regenerate the paper's tables and figures and print
@@ -16,6 +18,14 @@ this machine and reports wall-clock TEPS; ``trace`` runs a traversal
 with the :mod:`repro.obs` tracer enabled, writes a Perfetto-loadable
 ``.trace.json`` plus a JSONL event stream, and prints a span summary
 and the switching-point mistuning report.
+
+``monitor`` is the longitudinal layer (:mod:`repro.obs.history` /
+:mod:`repro.obs.monitor`): ``record`` appends an instrumented run to
+the JSONL history store, ``check`` gates the newest run against the
+rolling baseline (nonzero exit on regression — the CI gate), ``report``
+prints the trajectory, and ``drift`` replays the stored audit verdicts
+through the predictor drift monitor.  ``serve-metrics`` exposes a live
+registry as an OpenMetrics v1 endpoint.
 """
 
 from __future__ import annotations
@@ -70,6 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the result as a JSON object on stdout",
     )
+    g5_p.add_argument(
+        "--no-audit",
+        action="store_true",
+        help="skip the switching-point audit in the JSON/history output",
+    )
+    _history_arg(g5_p)
 
     lint_p = sub.add_parser(
         "lint", help="run the repro static-analysis rules (RPR001..)"
@@ -133,6 +149,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the result as a JSON object on stdout",
     )
+    bfs_p.add_argument(
+        "--no-audit",
+        action="store_true",
+        help="skip the switching-point audit in the JSON/history output",
+    )
+    _history_arg(bfs_p)
 
     tr_p = sub.add_parser(
         "trace",
@@ -168,7 +190,93 @@ def build_parser() -> argparse.ArgumentParser:
         default=Path("bfs"),
         help="output prefix: writes PREFIX.trace.json and PREFIX.jsonl",
     )
+    _history_arg(tr_p)
+
+    mon_p = sub.add_parser(
+        "monitor",
+        help="run-history recording, regression gates, drift reports",
+    )
+    mon_sub = mon_p.add_subparsers(dest="monitor_command")
+
+    rec_p = mon_sub.add_parser(
+        "record", help="run an instrumented graph500 flow and append it"
+    )
+    rec_p.add_argument("--scale", type=int, default=10)
+    rec_p.add_argument("--edgefactor", type=int, default=16)
+    rec_p.add_argument("--roots", type=int, default=8)
+    rec_p.add_argument("--seed", type=int, default=0)
+    rec_p.add_argument("--m", type=float, default=20.0, help="threshold M")
+    rec_p.add_argument("--n", type=float, default=100.0, help="threshold N")
+    rec_p.add_argument(
+        "--audit-candidates",
+        type=int,
+        default=300,
+        help="candidate (M, N) pairs priced for the audit verdict",
+    )
+    _history_arg(rec_p)
+
+    chk_p = mon_sub.add_parser(
+        "check",
+        help="gate the newest run against the rolling baseline "
+        "(nonzero exit on regression)",
+    )
+    chk_p.add_argument("--window", type=int, default=8)
+    chk_p.add_argument("--min-samples", type=int, default=3)
+    chk_p.add_argument("--kind", default=None)
+    chk_p.add_argument("--workload", default=None)
+    chk_p.add_argument("--json", action="store_true")
+    _history_arg(chk_p)
+
+    rep_p = mon_sub.add_parser(
+        "report", help="print the recorded trajectory"
+    )
+    rep_p.add_argument("--tail", type=int, default=0, help="newest N only")
+    rep_p.add_argument("--json", action="store_true")
+    _history_arg(rep_p)
+
+    dr_p = mon_sub.add_parser(
+        "drift",
+        help="replay stored audit verdicts through the drift monitor",
+    )
+    dr_p.add_argument("--window", type=int, default=8)
+    dr_p.add_argument("--tolerance", type=float, default=1.25)
+    dr_p.add_argument("--min-runs", type=int, default=3)
+    dr_p.add_argument("--json", action="store_true")
+    _history_arg(dr_p)
+
+    srv_p = sub.add_parser(
+        "serve-metrics",
+        help="expose a traced run's metrics as an OpenMetrics endpoint",
+    )
+    srv_p.add_argument("--scale", type=int, default=12)
+    srv_p.add_argument("--edgefactor", type=int, default=16)
+    srv_p.add_argument("--roots", type=int, default=4)
+    srv_p.add_argument("--seed", type=int, default=0)
+    srv_p.add_argument("--host", default="127.0.0.1")
+    srv_p.add_argument("--port", type=int, default=9464)
+    srv_p.add_argument(
+        "--once",
+        action="store_true",
+        help="serve exactly one scrape, then exit (CI smoke mode)",
+    )
     return parser
+
+
+def _history_arg(p: argparse.ArgumentParser) -> None:
+    is_monitor = p.prog.split()[-2:-1] == ["monitor"]
+    p.add_argument(
+        "--history",
+        type=Path,
+        # monitor subcommands always have a store; the run commands
+        # record only when asked.
+        default=Path("benchmarks/results/history/runs.jsonl")
+        if is_monitor
+        else None,
+        help="run-history JSONL store "
+        "(default: benchmarks/results/history/runs.jsonl"
+        + ("" if is_monitor else "; omit to skip recording")
+        + ")",
+    )
 
 
 def _common_bench_args(p: argparse.ArgumentParser) -> None:
@@ -182,6 +290,7 @@ def _common_bench_args(p: argparse.ArgumentParser) -> None:
         help="directory for result JSON files",
     )
     p.add_argument("--candidates", type=int, default=1000)
+    _history_arg(p)
 
 
 def _cmd_list() -> int:
@@ -210,7 +319,9 @@ def _bench_config(args: argparse.Namespace):
     from repro.bench.runner import BenchConfig
 
     return BenchConfig(
-        base_scale=args.scale, candidate_count=args.candidates
+        base_scale=args.scale,
+        candidate_count=args.candidates,
+        history_path=args.history,
     )
 
 
@@ -335,12 +446,11 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
 
 
 def _cmd_bfs(args: argparse.Namespace) -> int:
-    import numpy as np
-
     from repro.arch import CPU_SANDY_BRIDGE, GPU_K20X
     from repro.bench.metrics import gteps
     from repro.bfs import bfs_bottom_up, bfs_hybrid, bfs_top_down, pick_sources
     from repro.graph import rmat
+    from repro.obs import Tracer, use_tracer
 
     quiet = args.json
     if not quiet:
@@ -373,33 +483,68 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
         n = 512.0 if n is None else n
         runner = lambda: bfs_hybrid(graph, source, m=m, n=n)
 
-    t0 = now()
-    result = runner()
-    took = now() - t0
-    result.validate(graph)
-    traversed = result.traversed_edges(graph)
-    if args.json:
-        print(
-            json.dumps(
-                {
-                    "scale": args.scale,
-                    "edgefactor": args.edgefactor,
-                    "seed": args.seed,
-                    "engine": args.engine,
-                    "source": source,
-                    "m": m,
-                    "n": n,
-                    "levels": result.num_levels,
-                    "reached": result.num_reached,
-                    "directions": list(result.directions),
-                    "traversed_edges": int(traversed),
-                    "seconds": took,
-                    "gteps": gteps(traversed, took),
-                    "validated": True,
-                },
-                indent=2,
+    tracer = Tracer()
+    with use_tracer(tracer):
+        t0 = now()
+        result = runner()
+        took = now() - t0
+        result.validate(graph)
+        traversed = result.traversed_edges(graph)
+
+        # The audit verdict only exists for a (M, N)-parameterized run.
+        report = None
+        if m is not None and not args.no_audit:
+            from repro.arch.costmodel import CostModel
+            from repro.bfs import profile_bfs
+            from repro.obs import audit_switching_point
+
+            profile, _ = profile_bfs(graph, source)
+            report = audit_switching_point(
+                profile,
+                CostModel(CPU_SANDY_BRIDGE),
+                m,
+                n,
+                count=300,
+                seed=args.seed,
+                scale=args.scale,
+                edgefactor=args.edgefactor,
             )
-        )
+
+    teps = traversed / took if took > 0 else 0.0
+    payload = {
+        "scale": args.scale,
+        "edgefactor": args.edgefactor,
+        "seed": args.seed,
+        "engine": args.engine,
+        "source": source,
+        "m": m,
+        "n": n,
+        "levels": result.num_levels,
+        "reached": result.num_reached,
+        "directions": list(result.directions),
+        "traversed_edges": int(traversed),
+        "seconds": took,
+        "gteps": gteps(traversed, took),
+        "validated": True,
+        # Shared schema with history entries (see repro.obs.history):
+        # the registry snapshot and the audit verdict dict.
+        "metrics": tracer.metrics.snapshot(),
+        "audit": None if report is None else report.as_dict(),
+    }
+    _append_history(
+        args.history,
+        "bfs",
+        f"rmat-s{args.scale}-ef{args.edgefactor}-{args.engine}",
+        tracer=tracer,
+        teps=teps,
+        audit=report,
+        quiet=quiet,
+        seed=args.seed,
+        m=m,
+        n=n,
+    )
+    if args.json:
+        print(json.dumps(payload, indent=2))
         return 0
     print(
         f"levels={result.num_levels} reached={result.num_reached} "
@@ -409,13 +554,44 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
         f"wall-clock {took:.3f}s, "
         f"{gteps(traversed, took):.4f} GTEPS (validated)"
     )
+    if report is not None:
+        print()
+        print(report.render())
     return 0
+
+
+def _append_history(
+    path,
+    kind: str,
+    workload: str,
+    *,
+    tracer=None,
+    teps=None,
+    audit=None,
+    quiet: bool = False,
+    **meta,
+):
+    """Append one run to the JSONL history store when ``path`` is set."""
+    if path is None:
+        return None
+    from repro.obs.history import HistoryStore, snapshot_run
+
+    record = snapshot_run(
+        kind, workload, tracer=tracer, teps=teps, audit=audit, **meta
+    )
+    store = HistoryStore(path)
+    store.append(record)
+    if not quiet:
+        print(f"history: appended {kind}/{workload} to {store.path}")
+    return record
 
 
 def _cmd_graph500(args: argparse.Namespace) -> int:
     from repro.bfs import bfs_bottom_up, bfs_top_down
     from repro.graph500 import HybridEngine, run_graph500
+    from repro.obs import Tracer, use_tracer
 
+    hybrid = args.engine == "hybrid"
     engine = {
         "td": bfs_top_down,
         "bu": bfs_bottom_up,
@@ -429,39 +605,87 @@ def _cmd_graph500(args: argparse.Namespace) -> int:
             f"edgefactor={args.edgefactor} NBFS={args.roots} "
             f"engine={args.engine} ..."
         )
-    result = run_graph500(
-        args.scale,
-        args.edgefactor,
-        num_roots=args.roots,
-        engine=engine,
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = run_graph500(
+            args.scale,
+            args.edgefactor,
+            num_roots=args.roots,
+            engine=engine,
+            seed=args.seed,
+            tracer=tracer,
+        )
+        report = None
+        if hybrid and not args.no_audit:
+            report = _graph500_audit(args, tracer)
+
+    payload = {
+        "scale": result.scale,
+        "edgefactor": result.edgefactor,
+        "nbfs": result.num_roots,
+        "engine": args.engine,
+        "seed": args.seed,
+        "construction_seconds": result.construction_seconds,
+        "validated": result.validated,
+        "roots": [int(r) for r in result.roots],
+        "time_stats": result.time_stats.as_dict(),
+        "teps_stats": result.teps_stats.as_dict(),
+        "harmonic_mean_teps": result.harmonic_mean_teps,
+        # Shared schema with history entries (see repro.obs.history).
+        "metrics": tracer.metrics.snapshot(),
+        "audit": None if report is None else report.as_dict(),
+    }
+    _append_history(
+        args.history,
+        "graph500",
+        f"rmat-s{args.scale}-ef{args.edgefactor}-r{args.roots}",
+        tracer=tracer,
+        teps=result.harmonic_mean_teps,
+        audit=report,
+        quiet=args.json,
         seed=args.seed,
+        engine=args.engine,
     )
     if args.json:
-        print(
-            json.dumps(
-                {
-                    "scale": result.scale,
-                    "edgefactor": result.edgefactor,
-                    "nbfs": result.num_roots,
-                    "engine": args.engine,
-                    "seed": args.seed,
-                    "construction_seconds": result.construction_seconds,
-                    "validated": result.validated,
-                    "roots": [int(r) for r in result.roots],
-                    "time_stats": result.time_stats.as_dict(),
-                    "teps_stats": result.teps_stats.as_dict(),
-                    "harmonic_mean_teps": result.harmonic_mean_teps,
-                },
-                indent=2,
-            )
-        )
+        print(json.dumps(payload, indent=2))
         return 0
     print(result.summary())
     print(
         f"\nheadline: {result.harmonic_mean_teps / 1e9:.4f} GTEPS "
         "(harmonic mean, all roots validated)"
     )
+    if report is not None:
+        print()
+        print(report.render())
     return 0
+
+
+def _graph500_audit(args: argparse.Namespace, tracer):
+    """The switching-point verdict for a graph500 hybrid run: audit the
+    engine's (M, N) against the sweep on a measured profile of the same
+    graph."""
+    from repro.arch import CPU_SANDY_BRIDGE
+    from repro.arch.costmodel import CostModel
+    from repro.bfs import pick_sources, profile_bfs
+    from repro.graph import rmat
+    from repro.graph500 import HybridEngine
+    from repro.obs import audit_switching_point
+
+    graph = rmat(args.scale, args.edgefactor, seed=args.seed)
+    source = int(pick_sources(graph, 1, seed=args.seed)[0])
+    profile, _ = profile_bfs(graph, source)
+    engine_defaults = HybridEngine()
+    return audit_switching_point(
+        profile,
+        CostModel(CPU_SANDY_BRIDGE),
+        engine_defaults.m,
+        engine_defaults.n,
+        count=getattr(args, "audit_candidates", 300),
+        seed=args.seed,
+        tracer=tracer,
+        scale=args.scale,
+        edgefactor=args.edgefactor,
+    )
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -555,6 +779,230 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         f"\nwrote {trace_path} ({events} trace events, validated) and "
         f"{jsonl_path} ({lines} lines)"
     )
+    _append_history(
+        args.history,
+        "trace",
+        f"rmat-s{args.scale}-ef{args.edgefactor}-{args.engine}",
+        tracer=tracer,
+        audit=report,
+        seed=args.seed,
+        m=args.m,
+        n=args.n,
+    )
+    return 0
+
+
+def _history_store(args: argparse.Namespace):
+    from repro.obs.history import HistoryStore
+
+    return HistoryStore(args.history)
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    if args.monitor_command == "record":
+        return _cmd_monitor_record(args)
+    if args.monitor_command == "check":
+        return _cmd_monitor_check(args)
+    if args.monitor_command == "report":
+        return _cmd_monitor_report(args)
+    if args.monitor_command == "drift":
+        return _cmd_monitor_drift(args)
+    print("usage: repro-bfs monitor {record,check,report,drift} ...",
+          file=sys.stderr)
+    return 2
+
+
+def _cmd_monitor_record(args: argparse.Namespace) -> int:
+    from repro.arch import CPU_SANDY_BRIDGE
+    from repro.arch.costmodel import CostModel
+    from repro.bfs import pick_sources, profile_bfs
+    from repro.graph import rmat
+    from repro.graph500 import HybridEngine, run_graph500
+    from repro.obs import Tracer, audit_switching_point, use_tracer
+
+    workload = f"rmat-s{args.scale}-ef{args.edgefactor}-r{args.roots}"
+    print(f"recording graph500/{workload} (m={args.m} n={args.n}) ...")
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = run_graph500(
+            args.scale,
+            args.edgefactor,
+            num_roots=args.roots,
+            engine=HybridEngine(m=args.m, n=args.n),
+            seed=args.seed,
+            tracer=tracer,
+        )
+        graph = rmat(args.scale, args.edgefactor, seed=args.seed)
+        source = int(pick_sources(graph, 1, seed=args.seed)[0])
+        profile, _ = profile_bfs(graph, source)
+        report = audit_switching_point(
+            profile,
+            CostModel(CPU_SANDY_BRIDGE),
+            args.m,
+            args.n,
+            count=args.audit_candidates,
+            seed=args.seed,
+            tracer=tracer,
+            scale=args.scale,
+            edgefactor=args.edgefactor,
+        )
+    record = _append_history(
+        args.history,
+        "graph500",
+        workload,
+        tracer=tracer,
+        teps=result.harmonic_mean_teps,
+        audit=report,
+        seed=args.seed,
+        m=args.m,
+        n=args.n,
+    )
+    print(
+        f"  harmonic-mean TEPS {record.teps:.4g}, audit slowdown "
+        f"{report.slowdown:.3f}x ({'MISTUNED' if report.is_mistuned() else 'well-tuned'})"
+    )
+    return 0
+
+
+def _cmd_monitor_check(args: argparse.Namespace) -> int:
+    from repro.errors import MonitorError
+    from repro.obs.monitor import detect_regressions
+
+    store = _history_store(args)
+    records = store.read()
+    if store.last_skipped and not args.json:
+        for lineno, reason in store.last_skipped:
+            print(
+                f"note: skipped corrupt history line {lineno}: {reason}",
+                file=sys.stderr,
+            )
+    try:
+        report = detect_regressions(
+            records,
+            window=args.window,
+            min_samples=args.min_samples,
+            kind=args.kind,
+            workload=args.workload,
+        )
+    except MonitorError as exc:
+        print(f"monitor check: {exc}", file=sys.stderr)
+        return 2
+    print(report.to_json() if args.json else report.render())
+    return report.exit_code
+
+
+def _cmd_monitor_report(args: argparse.Namespace) -> int:
+    store = _history_store(args)
+    records = store.read()
+    if args.tail:
+        records = records[-args.tail:]
+    if args.json:
+        print(json.dumps([r.as_dict() for r in records], indent=2))
+        return 0
+    if not records:
+        print(f"history {store.path}: no records")
+        return 0
+    print(f"history {store.path}: {len(records)} record(s)")
+    header = (
+        f"{'timestamp':<26} {'kind':<16} {'workload':<28} "
+        f"{'teps':>10} {'audit':>8}"
+    )
+    print(header)
+    for r in records:
+        teps = "-" if r.teps is None else f"{r.teps:.3g}"
+        slowdown = "-"
+        if isinstance(r.audit, dict) and isinstance(
+            r.audit.get("slowdown"), (int, float)
+        ):
+            slowdown = f"{r.audit['slowdown']:.3f}x"
+        print(
+            f"{r.timestamp:<26} {r.kind:<16} {r.workload:<28} "
+            f"{teps:>10} {slowdown:>8}"
+        )
+    if store.last_skipped:
+        print(f"({len(store.last_skipped)} corrupt line(s) skipped)")
+    return 0
+
+
+def _cmd_monitor_drift(args: argparse.Namespace) -> int:
+    from repro.obs.monitor import DriftMonitor
+
+    store = _history_store(args)
+    monitor = DriftMonitor(
+        window=args.window,
+        tolerance=args.tolerance,
+        min_runs=args.min_runs,
+    )
+    audited = 0
+    for record in store.read():
+        if not isinstance(record.audit, dict):
+            continue
+        slowdown = record.audit.get("slowdown")
+        if not isinstance(slowdown, (int, float)) or slowdown < 1.0:
+            continue
+        arch = str(record.audit.get("arch") or "default")
+        family = str(record.meta.get("family") or record.workload)
+        monitor.observe(slowdown, family=family, arch=arch)
+        audited += 1
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "audited_runs": audited,
+                    "tolerance": args.tolerance,
+                    "series": monitor.state(),
+                    "alerts": [a.as_dict() for a in monitor.alerts],
+                },
+                indent=2,
+            )
+        )
+        return 1 if monitor.alerts else 0
+    print(
+        f"drift: replayed {audited} audited run(s) from {store.path} "
+        f"(window {args.window}, tolerance {args.tolerance}x)"
+    )
+    for key, state in monitor.state().items():
+        flag = "DRIFTING" if state["drifting"] else "ok"
+        print(
+            f"  {key}: {state['runs']} run(s), windowed mean "
+            f"{state['mean_slowdown']:.3f}x — {flag}"
+        )
+    for alert in monitor.alerts:
+        print(f"  {alert.render()}")
+    return 1 if monitor.alerts else 0
+
+
+def _cmd_serve_metrics(args: argparse.Namespace) -> int:
+    from repro.graph500 import HybridEngine, run_graph500
+    from repro.obs import Tracer, use_tracer
+    from repro.obs.openmetrics import serve
+
+    print(
+        f"populating registry: graph500 SCALE={args.scale} "
+        f"NBFS={args.roots} ..."
+    )
+    tracer = Tracer()
+    with use_tracer(tracer):
+        run_graph500(
+            args.scale,
+            args.edgefactor,
+            num_roots=args.roots,
+            engine=HybridEngine(),
+            seed=args.seed,
+            tracer=tracer,
+        )
+    server = serve(tracer.metrics, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"serving OpenMetrics at http://{host}:{port}/metrics")
+    try:
+        if args.once:
+            server.handle_request()
+        else:
+            server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
     return 0
 
 
@@ -576,6 +1024,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_graph500(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "monitor":
+        return _cmd_monitor(args)
+    if args.command == "serve-metrics":
+        return _cmd_serve_metrics(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "sanitize":

@@ -27,6 +27,8 @@ __all__ = [
     "UnitsError",
     "ObsError",
     "ExportError",
+    "HistoryError",
+    "MonitorError",
 ]
 
 
@@ -138,4 +140,16 @@ class ObsError(ReproError):
 class ExportError(ObsError):
     """Raised when a trace export/import fails or an exported trace
     does not conform to its schema (JSONL event stream, Chrome
-    trace-event format)."""
+    trace-event format, OpenMetrics exposition)."""
+
+
+class HistoryError(ObsError):
+    """Raised by the run-history store (:mod:`repro.obs.history`):
+    unreadable files in strict mode, records from a newer schema
+    version, non-serializable payloads."""
+
+
+class MonitorError(ObsError):
+    """Raised for invalid monitoring inputs (:mod:`repro.obs.monitor`):
+    malformed metric policies, empty baselines where a verdict was
+    demanded, direction sequences that do not match the profile."""

@@ -19,6 +19,7 @@ against the reference code are framed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
@@ -176,6 +177,7 @@ def run_graph500(
     seed: int = 0,
     validate: bool = True,
     tracer: Tracer | None = None,
+    history: str | Path | None = None,
 ) -> Graph500Result:
     """Execute the full benchmark flow.
 
@@ -186,7 +188,9 @@ def run_graph500(
     ``tracer`` overrides the process-global tracer: kernel 1
     (construction) and every per-root kernel-2 traversal become spans,
     and each root's time and TEPS feed the ``graph500.bfs_seconds`` /
-    ``teps`` histograms.
+    ``teps`` histograms.  ``history`` names a JSONL run-history store
+    (:mod:`repro.obs.history`); when set, the finished run — metrics
+    snapshot, span aggregates, harmonic-mean TEPS — is appended to it.
     """
     if num_roots < 1:
         raise BenchError(f"num_roots must be >= 1, got {num_roots}")
@@ -212,7 +216,7 @@ def run_graph500(
             sp.set("teps", float(teps[i]))
         tr.observe("graph500.bfs_seconds", float(times[i]))
         tr.observe("teps", float(teps[i]))
-    return Graph500Result(
+    run = Graph500Result(
         scale=scale,
         edgefactor=edgefactor,
         num_roots=num_roots,
@@ -222,3 +226,16 @@ def run_graph500(
         roots=roots,
         validated=validate,
     )
+    if history is not None:
+        from repro.obs.history import HistoryStore, snapshot_run
+
+        HistoryStore(history).append(
+            snapshot_run(
+                "graph500",
+                f"rmat-s{scale}-ef{edgefactor}-r{num_roots}",
+                tracer=tr,
+                teps=run.harmonic_mean_teps,
+                seed=seed,
+            )
+        )
+    return run

@@ -31,7 +31,13 @@ from repro.obs.export import (
     write_jsonl,
 )
 from repro.obs.log import ROOT_LOGGER_NAME, basic_config, get_logger
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    METRIC_CATALOG,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     EventRecord,
@@ -44,30 +50,65 @@ from repro.obs.tracer import (
     use_tracer,
 )
 
-# The audit layer consumes the tuning/hetero stack, which itself imports
-# the (tracer-instrumented) BFS engines — importing it eagerly here would
-# close an import cycle.  PEP 562 lazy attributes break it: engines can
-# `import repro.obs.tracer` freely, and audit loads on first use.
-_AUDIT_NAMES = (
-    "MistuningReport",
-    "CrossMistuningReport",
-    "audit_switching_point",
-    "audit_cross_architecture",
-)
+# The audit and monitor layers consume the tuning/arch stack, which
+# itself imports the (tracer-instrumented) BFS engines — importing them
+# eagerly here would close an import cycle.  PEP 562 lazy attributes
+# break it: engines can `import repro.obs.tracer` freely, and the
+# heavier modules load on first use.
+_LAZY = {
+    "MistuningReport": "audit",
+    "CrossMistuningReport": "audit",
+    "audit_switching_point": "audit",
+    "audit_cross_architecture": "audit",
+    "SCHEMA_VERSION": "history",
+    "DEFAULT_HISTORY_PATH": "history",
+    "RunRecord": "history",
+    "HistoryStore": "history",
+    "environment_fingerprint": "history",
+    "snapshot_run": "history",
+    "MetricPolicy": "monitor",
+    "DEFAULT_POLICIES": "monitor",
+    "flatten_metrics": "monitor",
+    "RegressionFinding": "monitor",
+    "RegressionReport": "monitor",
+    "detect_regressions": "monitor",
+    "DriftAlert": "monitor",
+    "DriftMonitor": "monitor",
+    "PolicyAuditReport": "monitor",
+    "price_directions": "monitor",
+    "oracle_directions": "monitor",
+    "audit_policy_directions": "monitor",
+    "OPENMETRICS_CONTENT_TYPE": "openmetrics",
+    "render_openmetrics": "openmetrics",
+    "validate_openmetrics": "openmetrics",
+    "serve_metrics": "openmetrics",
+}
+
+# The openmetrics module names its exports without the namespace prefix;
+# map the package-level aliases back to their in-module names.
+_LAZY_ALIASES = {
+    "OPENMETRICS_CONTENT_TYPE": "CONTENT_TYPE",
+    "render_openmetrics": "render",
+    "validate_openmetrics": "validate",
+    "serve_metrics": "serve",
+}
 
 
 def __getattr__(name: str):
-    """Lazily resolve the decision-audit exports (avoids an import cycle)."""
-    if name in _AUDIT_NAMES:
-        from repro.obs import audit
+    """Lazily resolve the audit/history/monitor exports (avoids cycles)."""
+    modname = _LAZY.get(name)
+    if modname is not None:
+        import importlib
 
-        return getattr(audit, name)
+        module = importlib.import_module(f"repro.obs.{modname}")
+        return getattr(module, _LAZY_ALIASES.get(name, name))
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
     "now",
     "ManualClock",
+    "METRIC_CATALOG",
     "Counter",
     "Gauge",
     "Histogram",
@@ -91,6 +132,28 @@ __all__ = [
     "CrossMistuningReport",
     "audit_switching_point",
     "audit_cross_architecture",
+    "SCHEMA_VERSION",
+    "DEFAULT_HISTORY_PATH",
+    "RunRecord",
+    "HistoryStore",
+    "environment_fingerprint",
+    "snapshot_run",
+    "MetricPolicy",
+    "DEFAULT_POLICIES",
+    "flatten_metrics",
+    "RegressionFinding",
+    "RegressionReport",
+    "detect_regressions",
+    "DriftAlert",
+    "DriftMonitor",
+    "PolicyAuditReport",
+    "price_directions",
+    "oracle_directions",
+    "audit_policy_directions",
+    "OPENMETRICS_CONTENT_TYPE",
+    "render_openmetrics",
+    "validate_openmetrics",
+    "serve_metrics",
     "get_logger",
     "basic_config",
     "ROOT_LOGGER_NAME",

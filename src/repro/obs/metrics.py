@@ -23,7 +23,27 @@ import numpy as np
 
 from repro.errors import ObsError
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "METRIC_CATALOG",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Every metric name the library emits through the registry, in one
+#: place.  Lint rule ``RPR009`` enforces that registry/tracer metric
+#: call sites in ``src/`` use lowercase dotted identifiers drawn from
+#: this catalog — ad-hoc names fragment the history trajectory and the
+#: OpenMetrics exposition.  Add the name here *before* emitting it.
+METRIC_CATALOG = (
+    "bfs.levels",
+    "bfs.edges_examined",
+    "frontier.claim_ratio",
+    "teps",
+    "graph500.bfs_seconds",
+    "tuning.drift_alerts",
+)
 
 
 class Counter:
@@ -119,6 +139,33 @@ class Histogram:
     def values(self) -> tuple[float, ...]:
         """The raw observations, in arrival order."""
         return tuple(self._values)
+
+    def quantile(self, q: float) -> float:
+        """Exact quantile ``q`` in [0, 1] over the observations.
+
+        Raises :class:`~repro.errors.ObsError` on an empty histogram or
+        an out-of-range ``q`` — a quantile of nothing is not 0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObsError(
+                f"histogram {self.name!r}: quantile must be in [0, 1], "
+                f"got {q}"
+            )
+        with self._lock:
+            vals = list(self._values)
+        if not vals:
+            raise ObsError(
+                f"histogram {self.name!r} has no observations to quantile"
+            )
+        return float(
+            np.percentile(np.asarray(vals, dtype=np.float64), q * 100.0)
+        )
+
+    def quantiles(self, qs: Iterable[float] = (0.5, 0.9, 0.99)) -> dict:
+        """``{q: value}`` for several quantiles at once (default
+        p50/p90/p99 — the set the snapshot, regression detector, and
+        OpenMetrics exposition report)."""
+        return {float(q): self.quantile(q) for q in qs}
 
     def snapshot(self) -> dict:
         """JSON-ready summary: count/sum/min/max/mean/p50/p90/p99."""

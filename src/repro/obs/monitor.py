@@ -1,0 +1,678 @@
+"""Statistical regression gates and predictor drift monitoring.
+
+Two watchdogs over the :mod:`repro.obs.history` trajectory:
+
+* :func:`detect_regressions` — compares the latest run of a
+  ``(kind, workload)`` series against a rolling baseline window using
+  **median + MAD**: a metric regresses only when it both degrades past
+  its policy's relative threshold *and* sits ``nsigma`` robust standard
+  deviations away from the baseline median (with a MAD ≈ 0 fallback so
+  a perfectly flat baseline still gates on the threshold alone).  The
+  result is a structured :class:`RegressionReport` with text and JSON
+  renderers and a CI-ready pass/fail verdict.
+* :class:`DriftMonitor` — folds successive mistuning-audit verdicts
+  (:func:`repro.obs.audit.audit_switching_point` /
+  ``audit_cross_architecture`` / :class:`PolicyAuditReport`) into a
+  rolling slowdown series per ``(family, arch)`` and raises a
+  :class:`DriftAlert` when the windowed mean slowdown crosses a
+  tolerance — the live defense against the paper's silent-mistuning
+  failure mode (a predictor that was good on one workload mix quietly
+  degrading on another).
+
+:func:`price_directions` / :func:`audit_policy_directions` audit an
+*explicit* per-level direction sequence (e.g. what a
+:class:`~repro.tuning.online.CostModelPolicy` actually chose) against
+the post-hoc oracle on a reference cost model, producing the
+:class:`PolicyAuditReport` the drift monitor consumes.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.arch.costmodel import CostModel
+from repro.bfs.result import Direction
+from repro.bfs.trace import LevelProfile
+from repro.errors import MonitorError
+from repro.obs.history import RunRecord
+from repro.obs.tracer import Tracer, get_tracer
+
+__all__ = [
+    "MetricPolicy",
+    "DEFAULT_POLICIES",
+    "flatten_metrics",
+    "RegressionFinding",
+    "RegressionReport",
+    "detect_regressions",
+    "DriftAlert",
+    "DriftMonitor",
+    "PolicyAuditReport",
+    "price_directions",
+    "oracle_directions",
+    "audit_policy_directions",
+]
+
+#: Consistency constant turning a median absolute deviation into a
+#: robust standard-deviation estimate for normal data.
+MAD_SIGMA = 1.4826
+
+
+@dataclass(frozen=True)
+class MetricPolicy:
+    """How one flattened metric series is judged.
+
+    ``threshold`` is the relative degradation that fails the gate
+    (0.5 = latest may not be 50% worse than the baseline median);
+    ``nsigma`` additionally requires the latest point to be a robust
+    outlier, so noisy-but-stable series don't flap.  A per-metric
+    ``min_samples`` overrides the detector-wide guard.
+    """
+
+    higher_is_better: bool
+    threshold: float
+    nsigma: float = 3.0
+    min_samples: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise MonitorError(
+                f"threshold must be > 0, got {self.threshold}"
+            )
+        if self.nsigma < 0:
+            raise MonitorError(f"nsigma must be >= 0, got {self.nsigma}")
+        if self.min_samples is not None and self.min_samples < 2:
+            raise MonitorError(
+                f"min_samples must be >= 2, got {self.min_samples}"
+            )
+
+
+#: The metrics the repository's own trajectory is gated on.  Wall-clock
+#: series get lenient thresholds (cross-machine noise is real); the
+#: deterministic counters get tight ones — at fixed workload and seed
+#: they only move when the algorithm changes.
+DEFAULT_POLICIES: dict[str, MetricPolicy] = {
+    # throughput (higher is better): fail on a 2x slowdown
+    "run.teps": MetricPolicy(higher_is_better=True, threshold=0.5),
+    "teps.p50": MetricPolicy(higher_is_better=True, threshold=0.5),
+    "teps.mean": MetricPolicy(higher_is_better=True, threshold=0.5),
+    # wall-clock seconds (lower is better): fail on a 2x slowdown
+    "graph500.bfs_seconds.p50": MetricPolicy(
+        higher_is_better=False, threshold=1.0
+    ),
+    # committed kernel speedups vs the frozen legacy baselines
+    "bench.claim_speedup": MetricPolicy(higher_is_better=True, threshold=0.3),
+    "bench.hybrid_speedup": MetricPolicy(higher_is_better=True, threshold=0.3),
+    # simulated mistuning cost: going from ~1.0x to >1.25x is drift
+    "audit.slowdown": MetricPolicy(higher_is_better=False, threshold=0.25),
+    # deterministic per-workload counters: any real movement is a change
+    "bfs.edges_examined": MetricPolicy(
+        higher_is_better=False, threshold=0.1
+    ),
+    "bfs.levels": MetricPolicy(higher_is_better=False, threshold=0.25),
+    "frontier.claim_ratio.p50": MetricPolicy(
+        higher_is_better=True, threshold=0.5
+    ),
+}
+
+
+def flatten_metrics(record: RunRecord) -> dict[str, float]:
+    """One flat ``{series_name: value}`` view of a record.
+
+    Counters/gauges map to their value; histograms contribute
+    ``<name>.p50/.p90/.p99/.mean/.count``; the record-level ``teps``
+    lands as ``run.teps`` and the audit verdict as ``audit.slowdown``.
+    """
+    out: dict[str, float] = {}
+    for name, snap in record.metrics.items():
+        if not isinstance(snap, dict):
+            continue
+        kind = snap.get("type")
+        value = snap.get("value")
+        if kind in ("counter", "gauge"):
+            if isinstance(value, (int, float)):
+                out[name] = float(value)
+        elif kind == "histogram" and snap.get("count", 0):
+            for stat in ("p50", "p90", "p99", "mean"):
+                if isinstance(snap.get(stat), (int, float)):
+                    out[f"{name}.{stat}"] = float(snap[stat])
+            out[f"{name}.count"] = float(snap["count"])
+    if record.teps is not None:
+        out["run.teps"] = float(record.teps)
+    if isinstance(record.audit, dict):
+        slowdown = record.audit.get("slowdown")
+        if isinstance(slowdown, (int, float)):
+            out["audit.slowdown"] = float(slowdown)
+    return out
+
+
+@dataclass(frozen=True)
+class RegressionFinding:
+    """One metric that failed its gate."""
+
+    metric: str
+    latest: float
+    baseline_median: float
+    baseline_mad: float
+    baseline_runs: int
+    degradation: float
+    score: float
+    threshold: float
+    higher_is_better: bool
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "metric": self.metric,
+            "latest": self.latest,
+            "baseline_median": self.baseline_median,
+            "baseline_mad": self.baseline_mad,
+            "baseline_runs": self.baseline_runs,
+            "degradation": self.degradation,
+            "score": None if math.isinf(self.score) else self.score,
+            "threshold": self.threshold,
+            "higher_is_better": self.higher_is_better,
+        }
+
+    def render(self) -> str:
+        """One human-readable line."""
+        direction = "down" if self.higher_is_better else "up"
+        score = "inf" if math.isinf(self.score) else f"{self.score:.1f}"
+        return (
+            f"{self.metric}: {self.latest:.6g} vs median "
+            f"{self.baseline_median:.6g} over {self.baseline_runs} runs "
+            f"({direction} {self.degradation:.0%}, limit "
+            f"{self.threshold:.0%}, {score} MAD-sigmas)"
+        )
+
+
+@dataclass
+class RegressionReport:
+    """The verdict of one :func:`detect_regressions` call."""
+
+    kind: str
+    workload: str
+    latest_timestamp: str
+    window: int
+    min_samples: int
+    baseline_runs: int
+    findings: list[RegressionFinding] = field(default_factory=list)
+    checked: list[dict] = field(default_factory=list)
+    skipped: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no metric regressed."""
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        """CI convention: 0 clean, 1 regressed."""
+        return 0 if self.ok else 1
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (the CI artifact payload)."""
+        return {
+            "kind": self.kind,
+            "workload": self.workload,
+            "latest_timestamp": self.latest_timestamp,
+            "window": self.window,
+            "min_samples": self.min_samples,
+            "baseline_runs": self.baseline_runs,
+            "ok": self.ok,
+            "findings": [f.as_dict() for f in self.findings],
+            "checked": self.checked,
+            "skipped": self.skipped,
+        }
+
+    def to_json(self) -> str:
+        """The JSON renderer."""
+        return json.dumps(self.as_dict(), indent=2)
+
+    def render(self) -> str:
+        """The text renderer (the CI log block)."""
+        head = (
+            f"regression check: {self.kind}/{self.workload} "
+            f"(latest {self.latest_timestamp or 'unknown'}, baseline "
+            f"{self.baseline_runs} run(s), window {self.window})"
+        )
+        lines = [head]
+        for f in self.findings:
+            lines.append(f"  REGRESSED  {f.render()}")
+        for c in self.checked:
+            if not c["regressed"]:
+                lines.append(
+                    f"  ok         {c['metric']}: {c['latest']:.6g} "
+                    f"vs median {c['baseline_median']:.6g}"
+                )
+        for s in self.skipped:
+            lines.append(f"  skipped    {s['metric']}: {s['reason']}")
+        verdict = "PASS" if self.ok else f"FAIL ({len(self.findings)} metric(s))"
+        lines.append(f"  verdict: {verdict}")
+        return "\n".join(lines)
+
+
+def _judge(
+    latest: float, baseline: Sequence[float], policy: MetricPolicy
+) -> tuple[float, float, bool]:
+    """``(degradation, score, regressed)`` for one metric series."""
+    arr = np.asarray(baseline, dtype=np.float64)
+    med = float(np.median(arr))
+    mad = float(np.median(np.abs(arr - med)))
+    if abs(med) < 1e-300:
+        # A zero baseline has no meaningful relative degradation; any
+        # nonzero latest value on a lower-is-better series is suspect,
+        # but without a scale we cannot grade it — treat as clean.
+        return 0.0, 0.0, False
+    if policy.higher_is_better:
+        degradation = (med - latest) / abs(med)
+    else:
+        degradation = (latest - med) / abs(med)
+    robust_sigma = MAD_SIGMA * mad
+    if robust_sigma <= 1e-12 * max(1.0, abs(med)):
+        # MAD ~ 0: the baseline is (near-)constant, so *any* deviation
+        # is infinitely surprising — the verdict rests on the relative
+        # threshold alone.
+        score = 0.0 if latest == med else math.inf
+    else:
+        score = abs(latest - med) / robust_sigma
+    regressed = degradation > policy.threshold and score >= policy.nsigma
+    return float(degradation), float(score), bool(regressed)
+
+
+def detect_regressions(
+    records: Sequence[RunRecord],
+    *,
+    window: int = 8,
+    min_samples: int = 3,
+    policies: dict[str, MetricPolicy] | None = None,
+    kind: str | None = None,
+    workload: str | None = None,
+) -> RegressionReport:
+    """Gate the newest run of a series against its rolling baseline.
+
+    ``records`` is the full history (oldest first, e.g.
+    ``HistoryStore.read()``); the series to judge defaults to the
+    ``(kind, workload)`` of the newest record.  Only metrics with a
+    policy (``policies`` defaults to :data:`DEFAULT_POLICIES`) are
+    gated; series with fewer than ``min_samples`` baseline points are
+    reported as skipped, never failed — a fresh trajectory cannot
+    regress.
+    """
+    if window < 1:
+        raise MonitorError(f"window must be >= 1, got {window}")
+    if min_samples < 2:
+        raise MonitorError(f"min_samples must be >= 2, got {min_samples}")
+    if not records:
+        raise MonitorError("cannot check an empty history")
+    policies = DEFAULT_POLICIES if policies is None else policies
+    if kind is None or workload is None:
+        kind, workload = records[-1].series_key
+    series = [r for r in records if r.series_key == (kind, workload)]
+    if not series:
+        raise MonitorError(
+            f"no records for kind={kind!r} workload={workload!r}"
+        )
+    latest = series[-1]
+    baseline_records = series[max(0, len(series) - 1 - window):-1]
+    report = RegressionReport(
+        kind=kind,
+        workload=workload,
+        latest_timestamp=latest.timestamp,
+        window=window,
+        min_samples=min_samples,
+        baseline_runs=len(baseline_records),
+    )
+    latest_values = flatten_metrics(latest)
+    baseline_values = [flatten_metrics(r) for r in baseline_records]
+    for metric in sorted(latest_values):
+        policy = policies.get(metric)
+        if policy is None:
+            continue
+        needed = policy.min_samples or min_samples
+        samples = [
+            vals[metric] for vals in baseline_values if metric in vals
+        ]
+        if len(samples) < needed:
+            report.skipped.append(
+                {
+                    "metric": metric,
+                    "reason": (
+                        f"only {len(samples)} baseline sample(s), "
+                        f"need {needed}"
+                    ),
+                }
+            )
+            continue
+        degradation, score, regressed = _judge(
+            latest_values[metric], samples, policy
+        )
+        med = float(np.median(np.asarray(samples, dtype=np.float64)))
+        mad = float(
+            np.median(np.abs(np.asarray(samples, dtype=np.float64) - med))
+        )
+        report.checked.append(
+            {
+                "metric": metric,
+                "latest": latest_values[metric],
+                "baseline_median": med,
+                "baseline_mad": mad,
+                "degradation": degradation,
+                "score": None if math.isinf(score) else score,
+                "regressed": regressed,
+            }
+        )
+        if regressed:
+            report.findings.append(
+                RegressionFinding(
+                    metric=metric,
+                    latest=latest_values[metric],
+                    baseline_median=med,
+                    baseline_mad=mad,
+                    baseline_runs=len(samples),
+                    degradation=degradation,
+                    score=score,
+                    threshold=policy.threshold,
+                    higher_is_better=policy.higher_is_better,
+                )
+            )
+    return report
+
+
+# -- predictor drift ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DriftAlert:
+    """The windowed mistuning cost of one series crossed its tolerance."""
+
+    family: str
+    arch: str
+    runs: int
+    window: int
+    mean_slowdown: float
+    last_slowdown: float
+    tolerance: float
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "family": self.family,
+            "arch": self.arch,
+            "runs": self.runs,
+            "window": self.window,
+            "mean_slowdown": self.mean_slowdown,
+            "last_slowdown": self.last_slowdown,
+            "tolerance": self.tolerance,
+        }
+
+    def render(self) -> str:
+        """One human-readable alert line."""
+        return (
+            f"DRIFT ALERT [{self.family}/{self.arch}]: mean slowdown "
+            f"{self.mean_slowdown:.3f}x over last {min(self.runs, self.window)} "
+            f"audited run(s) exceeds tolerance {self.tolerance:.3f}x "
+            f"(latest {self.last_slowdown:.3f}x)"
+        )
+
+
+class DriftMonitor:
+    """Rolling mistuning-cost tracker per ``(graph-family, arch)``.
+
+    Feed it every audit verdict a deployment produces
+    (:meth:`observe` accepts anything with a ``slowdown`` attribute, a
+    plain float, or an ``{"slowdown": ...}`` dict).  When a series has
+    at least ``min_runs`` observations and the mean of its last
+    ``window`` slowdowns exceeds ``tolerance``, :meth:`observe` returns
+    a :class:`DriftAlert` (and keeps returning one while the condition
+    holds), emits a ``tuning.drift_alert`` instant event, and bumps the
+    ``tuning.drift_alerts`` counter.
+    """
+
+    def __init__(
+        self,
+        *,
+        window: int = 8,
+        tolerance: float = 1.25,
+        min_runs: int = 3,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if window < 1:
+            raise MonitorError(f"window must be >= 1, got {window}")
+        if tolerance < 1.0:
+            raise MonitorError(
+                f"tolerance must be >= 1.0, got {tolerance}"
+            )
+        if min_runs < 1:
+            raise MonitorError(f"min_runs must be >= 1, got {min_runs}")
+        self.window = window
+        self.tolerance = float(tolerance)
+        self.min_runs = min_runs
+        self._tracer = tracer
+        self._series: dict[tuple[str, str], list[float]] = {}
+        self._alerts: list[DriftAlert] = []
+
+    def observe(
+        self, verdict, *, family: str = "default", arch: str = "default"
+    ) -> DriftAlert | None:
+        """Fold one audit verdict in; returns an alert when drifting."""
+        if hasattr(verdict, "slowdown"):
+            slowdown = verdict.slowdown
+        elif isinstance(verdict, dict):
+            slowdown = verdict.get("slowdown")
+        else:
+            slowdown = verdict
+        if not isinstance(slowdown, (int, float)) or slowdown < 1.0:
+            raise MonitorError(
+                f"audit slowdown must be a number >= 1.0, got {slowdown!r}"
+            )
+        series = self._series.setdefault((family, arch), [])
+        series.append(float(slowdown))
+        if len(series) < self.min_runs:
+            return None
+        windowed = series[-self.window:]
+        mean = float(np.mean(windowed))
+        if mean <= self.tolerance:
+            return None
+        alert = DriftAlert(
+            family=family,
+            arch=arch,
+            runs=len(series),
+            window=self.window,
+            mean_slowdown=mean,
+            last_slowdown=series[-1],
+            tolerance=self.tolerance,
+        )
+        self._alerts.append(alert)
+        tr = self._tracer if self._tracer is not None else get_tracer()
+        tr.instant(
+            "tuning.drift_alert",
+            family=family,
+            arch=arch,
+            mean_slowdown=mean,
+            tolerance=self.tolerance,
+        )
+        tr.count("tuning.drift_alerts")
+        return alert
+
+    def series(
+        self, family: str = "default", arch: str = "default"
+    ) -> tuple[float, ...]:
+        """The recorded slowdowns of one series, oldest first."""
+        return tuple(self._series.get((family, arch), ()))
+
+    @property
+    def alerts(self) -> tuple[DriftAlert, ...]:
+        """Every alert raised so far, oldest first."""
+        return tuple(self._alerts)
+
+    def state(self) -> dict:
+        """JSON-ready view of every tracked series (for reports)."""
+        out = {}
+        for (family, arch), values in sorted(self._series.items()):
+            windowed = values[-self.window:]
+            out[f"{family}/{arch}"] = {
+                "runs": len(values),
+                "mean_slowdown": float(np.mean(windowed)),
+                "last_slowdown": values[-1],
+                "drifting": float(np.mean(windowed)) > self.tolerance
+                and len(values) >= self.min_runs,
+            }
+        return out
+
+
+# -- policy direction audits -------------------------------------------------
+
+
+def _direction_columns(directions: Sequence[str]) -> np.ndarray:
+    cols = np.empty(len(directions), dtype=np.int64)
+    for i, d in enumerate(directions):
+        if d == Direction.TOP_DOWN:
+            cols[i] = 0
+        elif d == Direction.BOTTOM_UP:
+            cols[i] = 1
+        else:
+            raise MonitorError(f"unknown direction {d!r} at level {i}")
+    return cols
+
+
+def price_directions(
+    profile: LevelProfile, model: CostModel, directions: Sequence[str]
+) -> float:
+    """Simulated seconds of an explicit per-level direction sequence."""
+    if len(directions) != len(profile):
+        raise MonitorError(
+            f"{len(directions)} directions for a {len(profile)}-level "
+            "profile"
+        )
+    if len(profile) == 0:
+        raise MonitorError("cannot price an empty profile")
+    times = model.time_matrix(profile)  # (levels, 2): td, bu
+    cols = _direction_columns(directions)
+    return float(times[np.arange(len(profile)), cols].sum())
+
+
+def oracle_directions(
+    profile: LevelProfile, model: CostModel
+) -> tuple[str, ...]:
+    """The post-hoc cheapest direction per level (the oracle plan)."""
+    if len(profile) == 0:
+        raise MonitorError("cannot plan an empty profile")
+    times = model.time_matrix(profile)
+    return tuple(
+        Direction.TOP_DOWN if times[i, 0] <= times[i, 1] else Direction.BOTTOM_UP
+        for i in range(len(profile))
+    )
+
+
+@dataclass(frozen=True)
+class PolicyAuditReport:
+    """A per-level policy's chosen plan vs the oracle, on one model.
+
+    The shape mirrors :class:`~repro.obs.audit.MistuningReport` (same
+    ``slowdown`` / ``is_mistuned`` / ``as_dict`` surface) so the drift
+    monitor and history store consume either interchangeably.
+    """
+
+    source: int
+    chosen_directions: tuple[str, ...]
+    oracle_directions: tuple[str, ...]
+    chosen_seconds: float
+    oracle_seconds: float
+    arch: str
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def slowdown(self) -> float:
+        """Chosen plan's cost relative to the oracle (1.0 = optimal)."""
+        if self.oracle_seconds <= 0:
+            raise MonitorError("oracle plan has non-positive simulated cost")
+        return self.chosen_seconds / self.oracle_seconds
+
+    @property
+    def levels_mistuned(self) -> int:
+        """Levels where the chosen direction differs from the oracle's."""
+        return sum(
+            1
+            for a, b in zip(self.chosen_directions, self.oracle_directions)
+            if a != b
+        )
+
+    def is_mistuned(self, tolerance: float = 1.05) -> bool:
+        """True when the chosen plan costs more than ``tolerance`` ×
+        the oracle's simulated seconds."""
+        if tolerance < 1.0:
+            raise MonitorError(f"tolerance must be >= 1.0, got {tolerance}")
+        return self.slowdown > tolerance
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (saved with history entries)."""
+        return {
+            "source": self.source,
+            "chosen_directions": list(self.chosen_directions),
+            "oracle_directions": list(self.oracle_directions),
+            "chosen_seconds": self.chosen_seconds,
+            "oracle_seconds": self.oracle_seconds,
+            "slowdown": self.slowdown,
+            "levels_mistuned": self.levels_mistuned,
+            "arch": self.arch,
+            "meta": self.meta,
+        }
+
+    def render(self) -> str:
+        """Human-readable policy audit block."""
+        verdict = "MISTUNED" if self.is_mistuned() else "well-tuned"
+        return "\n".join(
+            [
+                f"policy audit (source {self.source}, arch {self.arch})",
+                f"  chosen plan: {''.join('T' if d == Direction.TOP_DOWN else 'B' for d in self.chosen_directions)}"
+                f"  ->  {self.chosen_seconds:.6f} s (simulated)",
+                f"  oracle plan: {''.join('T' if d == Direction.TOP_DOWN else 'B' for d in self.oracle_directions)}"
+                f"  ->  {self.oracle_seconds:.6f} s (simulated)",
+                f"  slowdown vs oracle: {self.slowdown:.3f}x   mistuned "
+                f"levels: {self.levels_mistuned}/{len(self.chosen_directions)}",
+                f"  verdict: {verdict}",
+            ]
+        )
+
+
+def audit_policy_directions(
+    profile: LevelProfile,
+    model: CostModel,
+    directions: Sequence[str],
+    *,
+    tracer: Tracer | None = None,
+    **meta,
+) -> PolicyAuditReport:
+    """Audit an explicit direction sequence against the oracle.
+
+    ``model`` is the *reference* ("truth") cost model both plans are
+    priced on — for a model-driven policy that is how mistuning
+    surfaces: the policy decided on its own (possibly wrong) model, but
+    is billed on the reference one.  Emits a ``tuning.policy_audit``
+    instant event with the verdict.
+    """
+    chosen = tuple(directions)
+    oracle = oracle_directions(profile, model)
+    report = PolicyAuditReport(
+        source=profile.source,
+        chosen_directions=chosen,
+        oracle_directions=oracle,
+        chosen_seconds=price_directions(profile, model, chosen),
+        oracle_seconds=price_directions(profile, model, oracle),
+        arch=model.spec.name,
+        meta=dict(meta),
+    )
+    tr = tracer if tracer is not None else get_tracer()
+    tr.instant(
+        "tuning.policy_audit",
+        source=report.source,
+        arch=report.arch,
+        slowdown=report.slowdown,
+        levels_mistuned=report.levels_mistuned,
+    )
+    return report

@@ -1,0 +1,232 @@
+"""OpenMetrics v1 text exposition of the metrics registry.
+
+:func:`render` turns a :class:`~repro.obs.metrics.MetricsRegistry` (or a
+snapshot dict from one) into the OpenMetrics text format — the lingua
+franca of Prometheus-style scrapers — and :func:`serve` exposes it over
+a stdlib-only HTTP endpoint (``repro-bfs serve-metrics``).  No external
+client library is involved; the format is simple enough to emit and
+:func:`validate` checks the invariants scrapers rely on.
+
+Mapping choices:
+
+* dotted repro metric names become underscore-separated OpenMetrics
+  names (``bfs.edges_examined`` → ``bfs_edges_examined``);
+* counters gain the mandatory ``_total`` sample suffix;
+* histograms are exposed as **summaries** (exact ``quantile``-labelled
+  samples for p50/p90/p99 plus ``_count``/``_sum``) — the registry keeps
+  raw observations, so exact quantiles are available and no bucket
+  boundaries need inventing;
+* the exposition always ends with the required ``# EOF`` line.
+"""
+
+from __future__ import annotations
+
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import ExportError
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["CONTENT_TYPE", "render", "validate", "serve"]
+
+#: The HTTP ``Content-Type`` negotiated by OpenMetrics v1 scrapers.
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+#: Quantiles exposed for each histogram-backed summary.
+SUMMARY_QUANTILES = (0.5, 0.9, 0.99)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _openmetrics_name(name: str) -> str:
+    candidate = name.replace(".", "_")
+    if not _NAME_RE.match(candidate):
+        raise ExportError(
+            f"metric name {name!r} does not map to a valid OpenMetrics "
+            f"name ({candidate!r})"
+        )
+    return candidate
+
+
+def _format_value(value: float) -> str:
+    # repr() keeps full precision; integers render without a trailing .0
+    # (both forms are valid OpenMetrics floats).
+    f = float(value)
+    return str(int(f)) if f.is_integer() and abs(f) < 1e15 else repr(f)
+
+
+def render(metrics) -> str:
+    """The OpenMetrics v1 text exposition of ``metrics``.
+
+    ``metrics`` is a :class:`~repro.obs.metrics.MetricsRegistry` or a
+    ``snapshot()``-shaped dict.  Unset gauges and empty histograms are
+    exposed as metric families with no samples beyond ``_count = 0``
+    (histograms) or skipped entirely (gauges) — a scraper must not see
+    an invented zero.
+    """
+    if isinstance(metrics, MetricsRegistry):
+        snapshot = metrics.snapshot()
+    elif isinstance(metrics, dict):
+        snapshot = metrics
+    else:
+        raise ExportError(
+            "render needs a MetricsRegistry or a snapshot dict, got "
+            f"{type(metrics).__name__}"
+        )
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        snap = snapshot[name]
+        if not isinstance(snap, dict) or "type" not in snap:
+            raise ExportError(f"metric {name!r} has a malformed snapshot")
+        om_name = _openmetrics_name(name)
+        kind = snap["type"]
+        if kind == "counter":
+            lines.append(f"# TYPE {om_name} counter")
+            lines.append(f"{om_name}_total {_format_value(snap['value'])}")
+        elif kind == "gauge":
+            if snap.get("value") is None:
+                continue
+            lines.append(f"# TYPE {om_name} gauge")
+            lines.append(f"{om_name} {_format_value(snap['value'])}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {om_name} summary")
+            count = int(snap.get("count", 0))
+            if count:
+                for q, stat in zip(SUMMARY_QUANTILES, ("p50", "p90", "p99")):
+                    lines.append(
+                        f'{om_name}{{quantile="{q}"}} '
+                        f"{_format_value(snap[stat])}"
+                    )
+                lines.append(f"{om_name}_sum {_format_value(snap['sum'])}")
+            lines.append(f"{om_name}_count {count}")
+        else:
+            raise ExportError(
+                f"metric {name!r} has unknown instrument type {kind!r}"
+            )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def validate(text: str) -> int:
+    """Check ``text`` against the OpenMetrics v1 invariants this module
+    relies on; returns the number of samples.
+
+    Raises :class:`~repro.errors.ExportError` on: missing/misplaced
+    ``# EOF`` terminator, samples without a preceding ``# TYPE`` for
+    their family, invalid sample names, counter samples missing the
+    ``_total`` suffix, or unparsable sample values.
+    """
+    if not text.endswith("\n"):
+        raise ExportError("exposition must end with a newline")
+    lines = text.split("\n")[:-1]
+    if not lines or lines[-1] != "# EOF":
+        raise ExportError("exposition must terminate with '# EOF'")
+    types: dict[str, str] = {}
+    samples = 0
+    for lineno, line in enumerate(lines[:-1], 1):
+        if line == "# EOF":
+            raise ExportError(f"line {lineno}: '# EOF' before end of exposition")
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in (
+                "counter",
+                "gauge",
+                "summary",
+                "histogram",
+                "unknown",
+            ):
+                raise ExportError(f"line {lineno}: malformed TYPE line {line!r}")
+            if not _NAME_RE.match(parts[2]):
+                raise ExportError(
+                    f"line {lineno}: invalid family name {parts[2]!r}"
+                )
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # HELP/UNIT lines — not emitted here, but legal
+        match = re.match(
+            r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)( \S+)?$", line
+        )
+        if match is None:
+            raise ExportError(f"line {lineno}: unparsable sample {line!r}")
+        sample_name = match.group(1)
+        family = sample_name
+        for suffix in ("_total", "_count", "_sum", "_bucket", "_created"):
+            if sample_name.endswith(suffix):
+                family = sample_name[: -len(suffix)]
+                break
+        if family not in types and sample_name not in types:
+            raise ExportError(
+                f"line {lineno}: sample {sample_name!r} has no TYPE metadata"
+            )
+        kind = types.get(family, types.get(sample_name))
+        if kind == "counter" and not (
+            sample_name.endswith("_total") or sample_name.endswith("_created")
+        ):
+            raise ExportError(
+                f"line {lineno}: counter sample {sample_name!r} must end "
+                "in _total"
+            )
+        try:
+            float(match.group(3))
+        except ValueError as exc:
+            raise ExportError(
+                f"line {lineno}: unparsable value {match.group(3)!r}"
+            ) from exc
+        samples += 1
+    return samples
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """Serves ``/metrics`` (and ``/``) from the bound registry."""
+
+    registry: MetricsRegistry  # set on the subclass by serve()
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Answer a scrape."""
+        if self.path.split("?", 1)[0] not in ("/", "/metrics"):
+            self.send_error(404, "try /metrics")
+            return
+        body = render(self.registry).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence per-request stderr chatter (the CLI reports the URL)."""
+
+
+class _MetricsServer(ThreadingHTTPServer):
+    """Joins in-flight scrapes on close.
+
+    ``ThreadingHTTPServer`` uses daemon threads, so ``handle_request()``
+    returns once the handler is *dispatched* — a ``server_close()`` +
+    process exit right after (the CLI's ``--once`` mode) would kill the
+    response mid-write.  Non-daemon threads make ``server_close()``
+    block until every in-flight request has been answered.
+    """
+
+    daemon_threads = False
+
+
+def serve(
+    metrics: MetricsRegistry, *, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """A started-but-not-serving HTTP server exposing ``metrics``.
+
+    The caller owns the lifecycle: call ``serve_forever()`` (blocking)
+    or drive ``handle_request()``; ``server_address`` reports the bound
+    ``(host, port)`` (useful with ``port=0``).  Stdlib only — no
+    prometheus client involved.
+    """
+    if not isinstance(metrics, MetricsRegistry):
+        raise ExportError(
+            f"serve needs a MetricsRegistry, got {type(metrics).__name__}"
+        )
+    handler = type("BoundMetricsHandler", (_MetricsHandler,), {"registry": metrics})
+    try:
+        return _MetricsServer((host, port), handler)
+    except OSError as exc:
+        raise ExportError(f"cannot bind {host}:{port}: {exc}") from exc

@@ -30,6 +30,7 @@ class TestRegistry:
             "RPR006",
             "RPR007",
             "RPR008",
+            "RPR009",
         }
 
     def test_rules_have_summaries(self):
@@ -162,6 +163,40 @@ class TestRPR008AdHocPerfCounter:
         v = lint_source(
             "t0 = time.perf_counter()  # repro: noqa[RPR008]\n",
             select=["RPR008"],
+        )
+        assert v == []
+
+
+class TestRPR009MetricNames:
+    def test_fires_on_undeclared_name(self):
+        v = lint_source('tracer.count("not.declared", 1)\n', select=["RPR009"])
+        assert codes(v) == ["RPR009"]
+        assert "METRIC_CATALOG" in v[0].message
+
+    def test_fires_on_malformed_name(self):
+        v = lint_source(
+            'registry.histogram("My.BadName")\n', select=["RPR009"]
+        )
+        assert codes(v) == ["RPR009"]
+        assert "lowercase" in v[0].message
+
+    def test_silent_on_catalog_name(self):
+        v = lint_source('tracer.count("bfs.levels", 1)\n', select=["RPR009"])
+        assert v == []
+
+    def test_ignores_non_string_first_arg(self):
+        # DriftMonitor.observe(report) / Histogram.observe(value) must
+        # not be mistaken for metric registrations.
+        v = lint_source(
+            "monitor.observe(report)\nhist.observe(0.5)\n",
+            select=["RPR009"],
+        )
+        assert v == []
+
+    def test_suppressed_by_noqa(self):
+        v = lint_source(
+            'tracer.count("ad.hoc", 1)  # repro: noqa[RPR009]\n',
+            select=["RPR009"],
         )
         assert v == []
 

@@ -1,0 +1,214 @@
+"""The ``repro-bfs monitor`` / ``serve-metrics`` subcommands and the
+history-aware ``--json`` outputs of ``bfs``/``graph500``."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.obs.history import HistoryStore, RunRecord
+from repro.obs.openmetrics import validate
+
+
+def _seed_history(path, teps_series, *, audit_slowdown=None):
+    """A synthetic graph500 trajectory at a fixed workload."""
+    store = HistoryStore(path)
+    for teps in teps_series:
+        audit = (
+            None
+            if audit_slowdown is None
+            else {"slowdown": audit_slowdown, "arch": "cpu-snb"}
+        )
+        store.append(
+            RunRecord(
+                kind="graph500",
+                workload="rmat-s10-ef16-r4",
+                teps=teps,
+                audit=audit,
+            )
+        )
+    return store
+
+
+class TestParser:
+    def test_monitor_defaults(self):
+        args = build_parser().parse_args(["monitor", "check"])
+        assert args.command == "monitor"
+        assert args.monitor_command == "check"
+        assert str(args.history).endswith("runs.jsonl")
+        assert args.window == 8 and args.min_samples == 3
+
+    def test_record_defaults(self):
+        args = build_parser().parse_args(["monitor", "record"])
+        assert args.scale == 10 and args.roots == 8
+        assert args.m == 20.0 and args.n == 100.0
+
+    def test_serve_metrics_defaults(self):
+        args = build_parser().parse_args(["serve-metrics"])
+        assert args.port == 9464 and not args.once
+
+
+class TestMonitorCheck:
+    def test_clean_trajectory_passes(self, capsys, tmp_path):
+        hist = tmp_path / "runs.jsonl"
+        _seed_history(hist, [1e8, 1.02e8, 0.99e8, 1.01e8])
+        rc = main(["monitor", "check", "--history", str(hist)])
+        assert rc == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_injected_2x_slowdown_fails_with_named_metric(
+        self, capsys, tmp_path
+    ):
+        hist = tmp_path / "runs.jsonl"
+        _seed_history(hist, [1e8, 1.02e8, 0.99e8, 1.01e8, 0.45e8])
+        rc = main(["monitor", "check", "--history", str(hist)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert "run.teps" in out  # the named metric
+        assert "FAIL" in out
+
+    def test_json_output(self, capsys, tmp_path):
+        hist = tmp_path / "runs.jsonl"
+        _seed_history(hist, [1e8, 1e8, 1e8, 0.4e8])
+        rc = main(["monitor", "check", "--history", str(hist), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert payload["ok"] is False
+        assert payload["findings"][0]["metric"] == "run.teps"
+
+    def test_empty_history_is_a_usage_error(self, capsys, tmp_path):
+        rc = main(
+            ["monitor", "check", "--history", str(tmp_path / "none.jsonl")]
+        )
+        assert rc == 2
+
+    def test_short_series_passes_with_skips(self, capsys, tmp_path):
+        hist = tmp_path / "runs.jsonl"
+        _seed_history(hist, [1e8, 0.1e8])  # drop, but only 1 baseline run
+        rc = main(["monitor", "check", "--history", str(hist)])
+        assert rc == 0
+        assert "skipped" in capsys.readouterr().out
+
+
+class TestMonitorReportAndDrift:
+    def test_report_lists_trajectory(self, capsys, tmp_path):
+        hist = tmp_path / "runs.jsonl"
+        _seed_history(hist, [1e8, 2e8], audit_slowdown=1.1)
+        rc = main(["monitor", "report", "--history", str(hist)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 record(s)" in out
+        assert "rmat-s10-ef16-r4" in out
+        assert "1.100x" in out
+
+    def test_report_json(self, capsys, tmp_path):
+        hist = tmp_path / "runs.jsonl"
+        _seed_history(hist, [1e8])
+        rc = main(["monitor", "report", "--history", str(hist), "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["kind"] == "graph500"
+
+    def test_drift_alerts_on_sustained_mistuning(self, capsys, tmp_path):
+        hist = tmp_path / "runs.jsonl"
+        _seed_history(hist, [1e8] * 4, audit_slowdown=1.8)
+        rc = main(["monitor", "drift", "--history", str(hist)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "DRIFTING" in out
+        assert "cpu-snb" in out
+
+    def test_drift_clean_on_well_tuned_history(self, capsys, tmp_path):
+        hist = tmp_path / "runs.jsonl"
+        _seed_history(hist, [1e8] * 4, audit_slowdown=1.02)
+        rc = main(["monitor", "drift", "--history", str(hist)])
+        assert rc == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_monitor_without_subcommand_errors(self, capsys):
+        assert main(["monitor"]) == 2
+
+
+class TestRecordedRunsEndToEnd:
+    def test_bfs_json_carries_metrics_audit_and_history(
+        self, capsys, tmp_path
+    ):
+        hist = tmp_path / "runs.jsonl"
+        rc = main(
+            [
+                "bfs", "--scale", "10", "--engine", "hybrid",
+                "--m", "20", "--n", "100", "--json",
+                "--history", str(hist),
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        # the --json schema and the history entry share one shape
+        assert payload["metrics"]["bfs.levels"]["type"] == "counter"
+        assert payload["audit"]["slowdown"] >= 1.0
+        records = HistoryStore(hist).read()
+        assert len(records) == 1
+        assert records[0].kind == "bfs"
+        assert records[0].metrics == payload["metrics"]
+        assert records[0].audit == payload["audit"]
+
+    def test_graph500_json_carries_metrics_and_audit(self, capsys):
+        rc = main(
+            ["graph500", "--scale", "10", "--roots", "2", "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "teps" in payload["metrics"]
+        assert payload["audit"]["slowdown"] >= 1.0
+
+    def test_monitor_record_then_check(self, capsys, tmp_path):
+        hist = tmp_path / "runs.jsonl"
+        for _ in range(2):
+            rc = main(
+                [
+                    "monitor", "record", "--scale", "10", "--roots", "2",
+                    "--history", str(hist),
+                ]
+            )
+            assert rc == 0
+        records = HistoryStore(hist).read()
+        assert len(records) == 2
+        assert records[0].teps is not None
+        assert records[0].audit is not None
+        assert records[0].environment["python"]
+        # two runs -> below min_samples, so the gate passes with skips
+        rc = main(["monitor", "check", "--history", str(hist)])
+        assert rc == 0
+
+
+class TestServeMetrics:
+    def test_once_mode_serves_valid_openmetrics(self, capsys):
+        import threading
+        import urllib.request
+
+        # Drive main() in a thread bound to an ephemeral port; scrape
+        # once; --once exits after the first request.
+        from repro.graph500 import HybridEngine, run_graph500
+        from repro.obs import Tracer, use_tracer
+        from repro.obs.openmetrics import CONTENT_TYPE, serve
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            run_graph500(
+                10, 16, num_roots=2, engine=HybridEngine(), seed=0,
+                tracer=tracer,
+            )
+        server = serve(tracer.metrics, port=0)
+        try:
+            host, port = server.server_address[:2]
+            thread = threading.Thread(target=server.handle_request)
+            thread.start()
+            resp = urllib.request.urlopen(f"http://{host}:{port}/metrics")
+            body = resp.read().decode("utf-8")
+            thread.join(timeout=5)
+            assert resp.headers["Content-Type"] == CONTENT_TYPE
+            assert validate(body) > 0
+            assert "graph500_bfs_seconds" in body
+        finally:
+            server.server_close()

@@ -1,0 +1,161 @@
+"""Run-history store: round-trip fidelity, schema refusal, corruption
+tolerance, and the snapshot_run folding of tracer/audit state."""
+
+import json
+
+import pytest
+
+from repro.errors import HistoryError
+from repro.obs import Tracer, use_tracer
+from repro.obs.history import (
+    SCHEMA_VERSION,
+    HistoryStore,
+    RunRecord,
+    environment_fingerprint,
+    snapshot_run,
+)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return HistoryStore(tmp_path / "history" / "runs.jsonl")
+
+
+class TestRunRecord:
+    def test_round_trip(self):
+        rec = RunRecord(
+            kind="graph500",
+            workload="rmat-s10-ef16-r4",
+            metrics={"bfs.levels": {"type": "counter", "value": 7.0}},
+            spans=({"span": "graph500.bfs", "count": 4},),
+            teps=1.5e8,
+            audit={"slowdown": 1.02},
+            meta={"seed": 0},
+        )
+        again = RunRecord.from_dict(json.loads(json.dumps(rec.as_dict())))
+        assert again == rec
+        assert again.series_key == ("graph500", "rmat-s10-ef16-r4")
+
+    def test_empty_kind_rejected(self):
+        with pytest.raises(HistoryError):
+            RunRecord(kind="", workload="w")
+        with pytest.raises(HistoryError):
+            RunRecord(kind="bfs", workload="")
+
+    def test_newer_schema_refused(self):
+        payload = RunRecord(kind="bfs", workload="w").as_dict()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(HistoryError, match="refusing"):
+            RunRecord.from_dict(payload)
+
+    def test_missing_schema_version_rejected(self):
+        payload = RunRecord(kind="bfs", workload="w").as_dict()
+        del payload["schema_version"]
+        with pytest.raises(HistoryError):
+            RunRecord.from_dict(payload)
+
+    def test_unknown_fields_rejected(self):
+        payload = RunRecord(kind="bfs", workload="w").as_dict()
+        payload["surprise"] = 1
+        with pytest.raises(HistoryError, match="unknown fields"):
+            RunRecord.from_dict(payload)
+
+    def test_environment_fingerprint_attached(self):
+        rec = RunRecord(kind="bfs", workload="w")
+        for key in ("python", "numpy", "platform", "cpu_count", "hostname_hash"):
+            assert key in rec.environment
+        # hashed, never the raw hostname
+        assert len(rec.environment["hostname_hash"]) == 12
+
+    def test_fingerprint_is_json_ready(self):
+        json.dumps(environment_fingerprint())
+
+
+class TestSnapshotRun:
+    def test_folds_tracer_metrics_and_spans(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with tracer.span("bfs.level"):
+                pass
+            tracer.count("bfs.levels", 3)
+        rec = snapshot_run("bfs", "w", tracer=tracer, teps=2.0, seed=7)
+        assert rec.metrics["bfs.levels"]["value"] == 3.0
+        assert any(row["span"] == "bfs.level" for row in rec.spans)
+        assert rec.teps == 2.0
+        assert rec.meta == {"seed": 7}
+
+    def test_audit_object_folded_via_as_dict(self):
+        class FakeReport:
+            def as_dict(self):
+                return {"slowdown": 1.25}
+
+        rec = snapshot_run("bfs", "w", audit=FakeReport())
+        assert rec.audit == {"slowdown": 1.25}
+
+    def test_disabled_tracer_contributes_nothing(self):
+        from repro.obs import NULL_TRACER
+
+        rec = snapshot_run("bfs", "w", tracer=NULL_TRACER)
+        assert rec.metrics == {}
+        assert rec.spans == ()
+
+
+class TestHistoryStore:
+    def test_append_read_round_trip(self, store):
+        first = RunRecord(kind="bfs", workload="a", teps=1.0)
+        second = RunRecord(kind="bfs", workload="b", teps=2.0)
+        store.append(first)
+        store.append(second)
+        assert store.read() == [first, second]
+        assert len(store) == 2
+        assert store.tail(1) == [second]
+        assert store.series("bfs", "a") == [first]
+
+    def test_missing_file_reads_empty(self, store):
+        assert store.read() == []
+        assert store.last_skipped == ()
+
+    def test_append_creates_parents(self, store):
+        store.append(RunRecord(kind="bfs", workload="w"))
+        assert store.path.exists()
+
+    def test_corrupt_lines_skipped_and_counted(self, store):
+        good = RunRecord(kind="bfs", workload="w")
+        store.append(good)
+        with store.path.open("a", encoding="utf-8") as fh:
+            fh.write("{truncated by a crash\n")
+            fh.write('{"schema_version": 1}\n')  # malformed record
+        store.append(good)
+        records = store.read()
+        assert records == [good, good]
+        assert len(store.last_skipped) == 2
+        assert store.last_skipped[0][0] == 2  # line numbers reported
+
+    def test_strict_read_raises_on_corruption(self, store):
+        store.append(RunRecord(kind="bfs", workload="w"))
+        with store.path.open("a", encoding="utf-8") as fh:
+            fh.write("not json\n")
+        with pytest.raises(HistoryError, match="corrupt"):
+            store.read(strict=True)
+
+    def test_newer_schema_always_raises(self, store):
+        store.append(RunRecord(kind="bfs", workload="w"))
+        payload = RunRecord(kind="bfs", workload="w").as_dict()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with store.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(payload) + "\n")
+        with pytest.raises(HistoryError, match="schema_version"):
+            store.read()  # tolerant mode still refuses the future
+
+    def test_append_rejects_non_record(self, store):
+        with pytest.raises(HistoryError):
+            store.append({"kind": "bfs"})
+
+    def test_append_rejects_unserializable(self, store):
+        rec = RunRecord(kind="bfs", workload="w", meta={"bad": object()})
+        with pytest.raises(HistoryError, match="serializable"):
+            store.append(rec)
+
+    def test_tail_validates(self, store):
+        with pytest.raises(HistoryError):
+            store.tail(-1)

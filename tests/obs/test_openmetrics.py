@@ -1,0 +1,124 @@
+"""OpenMetrics v1 exposition: golden format test, validator, endpoint."""
+
+import threading
+import urllib.request
+
+import pytest
+
+from repro.errors import ExportError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.openmetrics import CONTENT_TYPE, render, serve, validate
+
+
+@pytest.fixture()
+def registry():
+    reg = MetricsRegistry()
+    reg.counter("bfs.edges_examined").add(1024)
+    reg.counter("bfs.levels").add(7)
+    reg.gauge("frontier.size").set(17.5)
+    hist = reg.histogram("graph500.bfs_seconds")
+    # Exact binary floats so the golden text is platform-independent.
+    for v in (0.25, 0.25, 0.5, 0.5):
+        hist.observe(v)
+    return reg
+
+
+class TestRender:
+    def test_golden_exposition(self, registry):
+        assert render(registry) == (
+            "# TYPE bfs_edges_examined counter\n"
+            "bfs_edges_examined_total 1024\n"
+            "# TYPE bfs_levels counter\n"
+            "bfs_levels_total 7\n"
+            "# TYPE frontier_size gauge\n"
+            "frontier_size 17.5\n"
+            "# TYPE graph500_bfs_seconds summary\n"
+            'graph500_bfs_seconds{quantile="0.5"} 0.375\n'
+            'graph500_bfs_seconds{quantile="0.9"} 0.5\n'
+            'graph500_bfs_seconds{quantile="0.99"} 0.5\n'
+            "graph500_bfs_seconds_sum 1.5\n"
+            "graph500_bfs_seconds_count 4\n"
+            "# EOF\n"
+        )
+
+    def test_accepts_snapshot_dict(self, registry):
+        assert render(registry.snapshot()) == render(registry)
+
+    def test_unset_gauge_and_empty_histogram(self):
+        reg = MetricsRegistry()
+        reg.gauge("never.set")
+        reg.histogram("no.observations")
+        text = render(reg)
+        assert "never_set" not in text
+        assert "no_observations_count 0" in text
+        assert "no_observations_sum" not in text  # no invented zero
+
+    def test_empty_registry_is_just_eof(self):
+        assert render(MetricsRegistry()) == "# EOF\n"
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(ExportError):
+            render([("bfs.levels", 1)])
+
+    def test_rejects_unmappable_name(self):
+        with pytest.raises(ExportError, match="name"):
+            render({"bad name!": {"type": "counter", "value": 1.0}})
+
+
+class TestValidate:
+    def test_accepts_own_output(self, registry):
+        assert validate(render(registry)) == 8
+
+    def test_requires_eof_terminator(self):
+        with pytest.raises(ExportError, match="EOF"):
+            validate("# TYPE x counter\nx_total 1\n")
+
+    def test_rejects_eof_mid_stream(self):
+        with pytest.raises(ExportError, match="EOF"):
+            validate("# EOF\nx_total 1\n# EOF\n")
+
+    def test_requires_type_metadata(self):
+        with pytest.raises(ExportError, match="TYPE"):
+            validate("mystery_sample 1\n# EOF\n")
+
+    def test_counter_samples_need_total_suffix(self):
+        with pytest.raises(ExportError, match="_total"):
+            validate("# TYPE x counter\nx 1\n# EOF\n")
+
+    def test_rejects_unparsable_value(self):
+        with pytest.raises(ExportError, match="value"):
+            validate("# TYPE x gauge\nx one\n# EOF\n")
+
+
+class TestServe:
+    def test_scrape_round_trip(self, registry):
+        server = serve(registry, port=0)
+        try:
+            host, port = server.server_address[:2]
+            thread = threading.Thread(target=server.handle_request)
+            thread.start()
+            resp = urllib.request.urlopen(f"http://{host}:{port}/metrics")
+            body = resp.read().decode("utf-8")
+            thread.join(timeout=5)
+            assert resp.headers["Content-Type"] == CONTENT_TYPE
+            assert body == render(registry)
+            assert validate(body) == 8
+        finally:
+            server.server_close()
+
+    def test_unknown_path_is_404(self, registry):
+        server = serve(registry, port=0)
+        try:
+            host, port = server.server_address[:2]
+            thread = threading.Thread(target=server.handle_request)
+            thread.start()
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(f"http://{host}:{port}/nope")
+            thread.join(timeout=5)
+            assert err.value.code == 404
+        finally:
+            server.server_close()
+
+    def test_rejects_non_registry(self):
+        with pytest.raises(ExportError):
+            serve({"not": "a registry"})
