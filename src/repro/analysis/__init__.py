@@ -1,20 +1,29 @@
 """Static analysis and runtime sanitizing for the reproduction.
 
-Three coordinated correctness tools (see ``docs/static_analysis.md``):
+Four coordinated correctness tools (see ``docs/static_analysis.md``):
 
 * :mod:`repro.analysis.lint` — a dependency-free AST rule engine with
-  codebase-specific rules (``RPR001`` … ``RPR007``) and line-level
+  codebase-specific rules (``RPR001`` … ``RPR014``) and line-level
   ``# repro: noqa[RULE]`` suppression; the repo lints itself as a
-  tier-1 test.
+  tier-1 test.  Rules ``RPR010+`` are *deep* (dataflow) rules that run
+  under ``repro-bfs lint --deep``.
+* :mod:`repro.analysis.dataflow` / :mod:`repro.analysis.effects` /
+  :mod:`repro.analysis.races` — an intraprocedural abstract
+  interpreter (dtype/shape lattice, workspace alias analysis), per-
+  function read/write/escape effect summaries, and a lockset-style
+  static race detector for the parallel BFS worker closures.
 * :mod:`repro.analysis.sanitizer` — an opt-in runtime harness
   (``sanitize=True`` on the BFS engines) that freezes CSR arrays during
   traversal and checks per-level invariants, raising structured
-  :class:`~repro.errors.SanitizerError` on corruption.
+  :class:`~repro.errors.SanitizerError` on corruption; the parallel
+  engine additionally supports ``sanitize="race"`` write-tracking via
+  :class:`RaceTracker`.
 * :mod:`repro.analysis.units` — dimensional analysis that re-executes
   the cost model with unit-tagged quantities so its output provably
   reduces to seconds.
 
-Exposed on the CLI as ``repro-bfs lint`` and ``repro-bfs sanitize``.
+Exposed on the CLI as ``repro-bfs lint`` (``--deep``),
+``repro-bfs dataflow`` and ``repro-bfs sanitize``.
 """
 
 from repro.analysis.lint import (
@@ -22,13 +31,14 @@ from repro.analysis.lint import (
     ModuleContext,
     Rule,
     Violation,
+    deep_rule_codes,
     format_json,
     format_text,
     lint_file,
     lint_paths,
     lint_source,
 )
-from repro.analysis.sanitizer import Sanitizer, frozen_arrays
+from repro.analysis.sanitizer import RaceTracker, Sanitizer, frozen_arrays
 from repro.analysis.units import (
     BYTES,
     DIMENSIONLESS,
@@ -41,8 +51,23 @@ from repro.analysis.units import (
     check_cost_model,
 )
 
-# Importing the rules module registers RPR001..RPR007 in RULES.
+# Importing the rule modules registers RPR001..RPR014 in RULES.
+from repro.analysis import dataflow as _dataflow  # noqa: F401
+from repro.analysis import races as _races  # noqa: F401
 from repro.analysis import rules as _rules  # noqa: F401
+from repro.analysis.dataflow import (
+    AbstractValue,
+    DataflowReport,
+    analyze,
+    promote,
+)
+from repro.analysis.effects import (
+    FunctionEffects,
+    format_effects,
+    function_effects,
+    module_effects,
+    propagate,
+)
 
 __all__ = [
     "RULES",
@@ -52,9 +77,20 @@ __all__ = [
     "lint_source",
     "lint_file",
     "lint_paths",
+    "deep_rule_codes",
     "format_text",
     "format_json",
+    "AbstractValue",
+    "DataflowReport",
+    "analyze",
+    "promote",
+    "FunctionEffects",
+    "function_effects",
+    "module_effects",
+    "propagate",
+    "format_effects",
     "Sanitizer",
+    "RaceTracker",
     "frozen_arrays",
     "Unit",
     "Quantity",

@@ -1,0 +1,364 @@
+"""Per-function read/write/escape effect summaries.
+
+For every function defined in a module (including methods and nested
+closures) this computes a :class:`FunctionEffects` record:
+
+* ``reads``    — parameter / free-variable names whose *contents* the
+  function reads (subscript loads, use as a call argument, arithmetic);
+* ``writes``   — parameter / free-variable names the function mutates
+  (subscript or attribute stores, augmented subscript assignment,
+  in-place NumPy methods like ``fill``/``sort``, ``out=`` keyword
+  targets);
+* ``escapes``  — parameter / free-variable names the function returns
+  or stores onto an object attribute (the value outlives the call);
+* ``calls``    — same-module call sites with the variable names bound
+  to each argument position, so effects can be propagated one level
+  through a lightweight call graph.
+
+:func:`propagate` performs that one-level propagation: if ``f`` passes
+array ``x`` into parameter ``p`` of same-module function ``g`` and
+``g`` writes ``p``, then ``f`` writes ``x``.  Unresolved callees
+(imports, attribute calls) are assumed effect-free for their arguments
+— deliberately optimistic, because cross-module propagation without
+whole-program analysis would drown the race detector in false
+positives.  The consumers of these summaries are documented in
+:mod:`repro.analysis.races`.
+
+Plain rebinding of a *local* name is not an effect; only names bound
+outside the function (parameters and free variables) can carry effects
+visible to a caller.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+__all__ = [
+    "CallSite",
+    "FunctionEffects",
+    "function_effects",
+    "module_effects",
+    "module_import_names",
+    "propagate",
+    "format_effects",
+]
+
+#: ndarray methods that mutate the receiver in place.
+MUTATING_METHODS = frozenset(
+    {"fill", "sort", "resize", "put", "partition", "setfield", "byteswap"}
+)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One ``callee(arg0, arg1, ..., kw=name)`` site inside a function.
+
+    ``args`` holds the *variable name* bound to each positional slot
+    (``None`` when the argument is a computed expression), ``kwargs``
+    maps keyword names to variable names.
+    """
+
+    callee: str
+    args: tuple[str | None, ...]
+    kwargs: tuple[tuple[str, str], ...]
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class FunctionEffects:
+    """Read/write/escape summary for one function definition."""
+
+    name: str
+    params: tuple[str, ...]
+    reads: frozenset[str]
+    writes: frozenset[str]
+    escapes: frozenset[str]
+    calls: tuple[CallSite, ...]
+    line: int = 0
+
+    def writes_param(self, param: str) -> bool:
+        """Whether the summary records a mutation of ``param``."""
+        return param in self.writes
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return _terminal_name(node.value)
+    if isinstance(node, ast.Subscript):
+        return _terminal_name(node.value)
+    return None
+
+
+def _param_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple[str, ...]:
+    a = fn.args
+    names = [p.arg for p in (*a.posonlyargs, *a.args, *a.kwonlyargs)]
+    if a.vararg:
+        names.append(a.vararg.arg)
+    if a.kwarg:
+        names.append(a.kwarg.arg)
+    return tuple(names)
+
+
+def _local_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names bound inside ``fn`` (excluding nested function bodies)."""
+    locals_: set[str] = set(_param_names(fn))
+    for node in _walk_own(fn):
+        if isinstance(node, ast.Assign):
+            for tgt in node.targets:
+                locals_.update(_binding_names(tgt))
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            if isinstance(node.target, ast.Name):
+                locals_.add(node.target.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            locals_.update(_binding_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    locals_.update(_binding_names(item.optional_vars))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node is not fn:
+                locals_.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                locals_.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            locals_.add(node.name)
+        elif isinstance(node, ast.Global) or isinstance(node, ast.Nonlocal):
+            locals_.difference_update(node.names)
+    return locals_
+
+
+def module_import_names(tree: ast.Module) -> frozenset[str]:
+    """Names bound by top-level imports (``np``, ``ast``, ...).
+
+    ``np.sort(x)`` is the functional, copying sort — a mutating-method
+    receiver that resolves to an imported module is never an array
+    write, so these names are excluded from effect tracking.
+    """
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+    return frozenset(names)
+
+
+def _binding_names(target: ast.expr) -> set[str]:
+    out: set[str] = set()
+    for sub in ast.walk(target):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, (ast.Store,)):
+            out.add(sub.id)
+    return out
+
+
+def _walk_own(fn: ast.AST) -> list[ast.AST]:
+    """Walk ``fn`` without descending into nested function definitions.
+
+    Nested ``def`` nodes themselves are yielded (they bind a local
+    name) but their bodies are not — a closure's effects are its own
+    summary, not its parent's.
+    """
+    out: list[ast.AST] = [fn]
+    stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+def function_effects(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    *,
+    module_imports: frozenset[str] = frozenset(),
+) -> FunctionEffects:
+    """Direct (unpropagated) effects of one function definition.
+
+    ``module_imports`` names resolve to modules, not arrays; they are
+    never recorded as mutating-method write targets.
+    """
+    params = _param_names(fn)
+    locals_ = _local_names(fn)
+    nonlocal_names = set(params)  # params carry effects too
+    reads: set[str] = set()
+    writes: set[str] = set()
+    escapes: set[str] = set()
+    calls: list[CallSite] = []
+
+    def tracked(name: str | None) -> str | None:
+        """A name whose effects a caller can observe: a parameter or a
+        free variable (not a plain local)."""
+        if name is None or name in module_imports:
+            return None
+        if name in nonlocal_names or name not in locals_:
+            return name
+        return None
+
+    for node in _walk_own(fn):
+        if isinstance(node, ast.Assign):
+            for tgt in node.targets:
+                _record_store(tgt, tracked, writes)
+        elif isinstance(node, ast.AugAssign):
+            _record_store(node.target, tracked, writes)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            _record_store(node.target, tracked, writes)
+        elif isinstance(node, ast.Call):
+            _record_call(node, tracked, writes, calls)
+        elif isinstance(node, ast.Return) and node.value is not None:
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Name):
+                    name = tracked(sub.id)
+                    if name:
+                        escapes.add(name)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            name = tracked(node.id)
+            if name:
+                reads.add(name)
+    return FunctionEffects(
+        name=fn.name,
+        params=params,
+        reads=frozenset(reads),
+        writes=frozenset(writes),
+        escapes=frozenset(escapes),
+        calls=tuple(calls),
+        line=fn.lineno,
+    )
+
+
+def _record_store(tgt: ast.expr, tracked, writes: set[str]) -> None:
+    # x[...] = v  /  x.attr = v  mutate x; plain `x = v` rebinds a local.
+    if isinstance(tgt, (ast.Subscript, ast.Attribute)):
+        name = tracked(_terminal_name(tgt))
+        if name:
+            writes.add(name)
+    elif isinstance(tgt, (ast.Tuple, ast.List)):
+        for elt in tgt.elts:
+            _record_store(elt, tracked, writes)
+
+
+def _record_call(
+    node: ast.Call, tracked, writes: set[str], calls: list[CallSite]
+) -> None:
+    fn = node.func
+    # x.fill(v) and friends mutate x in place.
+    if isinstance(fn, ast.Attribute) and fn.attr in MUTATING_METHODS:
+        name = tracked(_terminal_name(fn.value))
+        if name:
+            writes.add(name)
+    # np.something(..., out=x) writes x.
+    for kw in node.keywords:
+        if kw.arg == "out" and isinstance(kw.value, ast.Name):
+            name = tracked(kw.value.id)
+            if name:
+                writes.add(name)
+    # Same-module call sites: record argument bindings for propagation.
+    if isinstance(fn, ast.Name):
+        args = tuple(
+            a.id if isinstance(a, ast.Name) else None for a in node.args
+        )
+        kwargs = tuple(
+            (kw.arg, kw.value.id)
+            for kw in node.keywords
+            if kw.arg is not None and isinstance(kw.value, ast.Name)
+        )
+        calls.append(
+            CallSite(
+                callee=fn.id,
+                args=args,
+                kwargs=kwargs,
+                line=node.lineno,
+                col=node.col_offset,
+            )
+        )
+
+
+def module_effects(tree: ast.Module) -> dict[str, FunctionEffects]:
+    """Effects for every function defined anywhere in ``tree``.
+
+    Keyed by bare function name.  On a name collision (rare within one
+    module: overloads across classes) the summaries are merged by
+    union, which errs on the side of reporting an effect.
+    """
+    out: dict[str, FunctionEffects] = {}
+    imports = module_import_names(tree)
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        fx = function_effects(node, module_imports=imports)
+        prior = out.get(fx.name)
+        if prior is not None:
+            fx = FunctionEffects(
+                name=fx.name,
+                params=fx.params if len(fx.params) >= len(prior.params)
+                else prior.params,
+                reads=fx.reads | prior.reads,
+                writes=fx.writes | prior.writes,
+                escapes=fx.escapes | prior.escapes,
+                calls=fx.calls + prior.calls,
+                line=prior.line,
+            )
+        out[fx.name] = fx
+    return out
+
+
+def propagate(effects: dict[str, FunctionEffects]) -> dict[str, FunctionEffects]:
+    """One-level call-graph propagation of write/escape effects.
+
+    For each call site ``g(x, ...)`` where ``g`` is defined in the same
+    module and ``g`` writes (escapes) the parameter that ``x`` binds
+    to, the caller's summary gains a write (escape) of ``x`` — when
+    ``x`` is one of the caller's own tracked names.  One level only:
+    deeper chains would need a fixpoint, and one level is exactly what
+    the race detector needs to see through helpers like ``_row_scan``.
+    """
+    out: dict[str, FunctionEffects] = {}
+    for name, fx in effects.items():
+        writes = set(fx.writes)
+        escapes = set(fx.escapes)
+        for call in fx.calls:
+            callee = effects.get(call.callee)
+            if callee is None:
+                continue
+            for pos, arg in enumerate(call.args):
+                if arg is None or pos >= len(callee.params):
+                    continue
+                param = callee.params[pos]
+                if param in callee.writes:
+                    writes.add(arg)
+                if param in callee.escapes:
+                    escapes.add(arg)
+            for kw_name, arg in call.kwargs:
+                if kw_name in callee.writes:
+                    writes.add(arg)
+                if kw_name in callee.escapes:
+                    escapes.add(arg)
+        out[name] = FunctionEffects(
+            name=fx.name,
+            params=fx.params,
+            reads=fx.reads,
+            writes=frozenset(writes),
+            escapes=frozenset(escapes),
+            calls=fx.calls,
+            line=fx.line,
+        )
+    return out
+
+
+def format_effects(effects: dict[str, FunctionEffects]) -> str:
+    """Human-readable dump, one function per line (stable order)."""
+    rows = []
+    for name in sorted(effects):
+        fx = effects[name]
+        rows.append(
+            f"{name}({', '.join(fx.params)})"
+            f" reads={{{', '.join(sorted(fx.reads))}}}"
+            f" writes={{{', '.join(sorted(fx.writes))}}}"
+            f" escapes={{{', '.join(sorted(fx.escapes))}}}"
+        )
+    return "\n".join(rows)

@@ -4,13 +4,23 @@ A small, dependency-free static analyzer built on :mod:`ast`.  Rules are
 codebase-specific: they encode the invariants this reproduction's hot
 paths rely on (vectorized kernels, wide index dtypes, monotonic clocks,
 library-grade error reporting, frozen CSR storage) rather than generic
-style.  The concrete rules live in :mod:`repro.analysis.rules`; this
-module provides the machinery:
+style.  The concrete rules live in :mod:`repro.analysis.rules` (the
+line-local pattern rules) and :mod:`repro.analysis.dataflow` /
+:mod:`repro.analysis.races` (the deep dataflow rules); this module
+provides the machinery:
 
 * a rule registry (``RULES``) populated by the :func:`rule` decorator;
-* per-file AST visiting with a :class:`ModuleContext` handed to each rule;
+* a two-tier rule model: default rules run everywhere, ``deep`` rules
+  (abstract interpretation, effect summaries, race detection) run only
+  under ``--deep`` or when explicitly selected;
+* per-file AST visiting with a :class:`ModuleContext` handed to each
+  rule.  The AST is parsed **once** per file and a shared
+  :class:`NodeIndex` (one ``ast.walk`` materialized by node type) is
+  reused by every rule, so a lint run is a single visitor pass;
 * line-level suppression via ``# repro: noqa[RPR001]`` (or a bare
-  ``# repro: noqa`` to silence every rule on that line);
+  ``# repro: noqa`` to silence every rule on that line).  A marker on
+  any line of a multi-line simple statement suppresses the whole
+  statement extent;
 * text and JSON reporters.
 
 Run it programmatically (:func:`lint_paths`) or via ``repro-bfs lint``.
@@ -32,7 +42,9 @@ __all__ = [
     "Rule",
     "RULES",
     "rule",
+    "deep_rule_codes",
     "ModuleContext",
+    "NodeIndex",
     "lint_source",
     "lint_file",
     "lint_paths",
@@ -48,6 +60,53 @@ HOT_PATH_FRAGMENTS = ("repro/bfs/", "repro/graph/", "repro/hetero/")
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE
 )
+
+#: Simple (non-compound) statement types over which a ``# repro: noqa``
+#: marker is expanded to the full statement extent.  Compound statements
+#: (``if``/``for``/``def``/...) are deliberately excluded — a noqa on a
+#: ``def`` line must not blanket the whole function body.
+_SIMPLE_STMT_TYPES = (
+    ast.Assign,
+    ast.AugAssign,
+    ast.AnnAssign,
+    ast.Expr,
+    ast.Return,
+    ast.Raise,
+    ast.Assert,
+    ast.Delete,
+    ast.Import,
+    ast.ImportFrom,
+)
+
+
+class NodeIndex:
+    """One materialized ``ast.walk`` shared by every rule.
+
+    Historically each rule walked the module tree itself, so an
+    N-rule lint run traversed every AST N times.  The index walks once
+    and buckets nodes by concrete type; rules ask for the types they
+    care about via :meth:`of`.
+    """
+
+    __slots__ = ("nodes", "_by_type")
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.nodes: tuple[ast.AST, ...] = tuple(ast.walk(tree))
+        by_type: dict[type, list[ast.AST]] = {}
+        for node in self.nodes:
+            by_type.setdefault(type(node), []).append(node)
+        self._by_type: dict[type, tuple[ast.AST, ...]] = {
+            t: tuple(ns) for t, ns in by_type.items()
+        }
+
+    def of(self, *types: type) -> list[ast.AST]:
+        """All nodes of the given concrete AST types, in walk order."""
+        if len(types) == 1:
+            return list(self._by_type.get(types[0], ()))
+        out: list[ast.AST] = []
+        for t in types:
+            out.extend(self._by_type.get(t, ()))
+        return out
 
 
 @dataclass(frozen=True)
@@ -71,21 +130,33 @@ class Violation:
         }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class ModuleContext:
-    """Everything a rule may inspect about one module."""
+    """Everything a rule may inspect about one module.
+
+    Instances are compared/hashes by identity so per-module analysis
+    passes (the dataflow interpreter, effect summaries) can be cached
+    with ``functools.lru_cache`` keyed on the context itself.
+    """
 
     path: str
     source: str
     tree: ast.Module
     hot_path: bool
     lines: tuple[str, ...] = field(repr=False, default=())
+    index: NodeIndex | None = field(repr=False, default=None, compare=False)
 
     @property
     def module_basename(self) -> str:
         """File name without the ``.py`` suffix."""
         name = Path(self.path).name
         return name[:-3] if name.endswith(".py") else name
+
+    def nodes(self, *types: type) -> list[ast.AST]:
+        """Nodes of the given types from the shared single-pass index."""
+        if self.index is not None:
+            return self.index.of(*types)
+        return [n for n in ast.walk(self.tree) if isinstance(n, types)]
 
 
 #: A rule yields ``(lineno, col, message)`` triples for one module.
@@ -101,15 +172,24 @@ class Rule:
     summary: str
     check: RuleCheck
     hot_path_only: bool = False
+    deep: bool = False
 
 
 RULES: dict[str, Rule] = {}
 
 
 def rule(
-    code: str, summary: str, *, hot_path_only: bool = False
+    code: str,
+    summary: str,
+    *,
+    hot_path_only: bool = False,
+    deep: bool = False,
 ) -> Callable[[RuleCheck], RuleCheck]:
-    """Register a rule under ``code`` (e.g. ``'RPR001'``)."""
+    """Register a rule under ``code`` (e.g. ``'RPR001'``).
+
+    ``deep`` rules (dataflow / race analysis) only run when the caller
+    passes ``deep=True`` or selects the code explicitly.
+    """
 
     def register(fn: RuleCheck) -> RuleCheck:
         if code in RULES:
@@ -120,6 +200,7 @@ def rule(
             summary=summary,
             check=fn,
             hot_path_only=hot_path_only,
+            deep=deep,
         )
         return fn
 
@@ -128,15 +209,26 @@ def rule(
 
 def _ensure_rules_loaded() -> None:
     # The concrete rules register themselves on import; importing here
-    # (not at module top) avoids a cycle since rules.py imports us.
+    # (not at module top) avoids a cycle since the rule modules import us.
     if not RULES:
-        from repro.analysis import rules  # noqa: F401  (import side effect)
+        from repro.analysis import dataflow, races, rules  # noqa: F401
 
 
-def _resolve_select(select: Iterable[str] | None) -> list[Rule]:
+def deep_rule_codes() -> list[str]:
+    """Codes of the registered deep (dataflow/race) rules, sorted."""
+    _ensure_rules_loaded()
+    return sorted(c for c, r in RULES.items() if r.deep)
+
+
+def _resolve_select(
+    select: Iterable[str] | None, *, deep: bool = False
+) -> list[Rule]:
     _ensure_rules_loaded()
     if select is None:
-        return [RULES[c] for c in sorted(RULES)]
+        rules = [RULES[c] for c in sorted(RULES)]
+        if not deep:
+            rules = [r for r in rules if not r.deep]
+        return rules
     chosen: list[Rule] = []
     for code in select:
         code = code.strip().upper()
@@ -150,9 +242,17 @@ def _resolve_select(select: Iterable[str] | None) -> list[Rule]:
     return chosen
 
 
-def _suppressions(lines: Sequence[str]) -> dict[int, set[str] | None]:
+def _suppressions(
+    lines: Sequence[str], index: NodeIndex | None = None
+) -> dict[int, set[str] | None]:
     """Per-line suppression map: line -> set of codes, or ``None`` for
-    a blanket ``# repro: noqa``."""
+    a blanket ``# repro: noqa``.
+
+    When ``index`` is given, a marker on any line of a multi-line
+    *simple* statement is expanded to the statement's full
+    ``lineno..end_lineno`` extent, so a noqa on (say) the closing line
+    of a wrapped call suppresses the whole call.
+    """
     out: dict[int, set[str] | None] = {}
     for i, text in enumerate(lines, 1):
         m = _NOQA_RE.search(text)
@@ -163,6 +263,25 @@ def _suppressions(lines: Sequence[str]) -> dict[int, set[str] | None]:
             out[i] = None
         else:
             out[i] = {c.strip().upper() for c in codes.split(",") if c.strip()}
+    if not out or index is None:
+        return out
+    for node in index.of(*_SIMPLE_STMT_TYPES):
+        end = getattr(node, "end_lineno", None)
+        if end is None or end <= node.lineno:
+            continue
+        extent = range(node.lineno, end + 1)
+        marks = [out[i] for i in extent if i in out]
+        if not marks:
+            continue
+        if any(m is None for m in marks):
+            merged: set[str] | None = None
+        else:
+            merged = set().union(*marks)  # type: ignore[arg-type]
+        for i in extent:
+            if merged is None:
+                out[i] = None
+            elif out.get(i, ()) is not None:
+                out[i] = set(out.get(i) or ()) | merged
     return out
 
 
@@ -178,27 +297,31 @@ def lint_source(
     *,
     select: Iterable[str] | None = None,
     hot_path: bool | None = None,
+    deep: bool = False,
 ) -> list[Violation]:
     """Lint one module given as a string.
 
     ``hot_path`` overrides the path-based hot-path detection (useful for
-    testing rules against files outside the package layout).
+    testing rules against files outside the package layout).  ``deep``
+    additionally runs the dataflow/race rules (RPR010+).
     """
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
         raise LintError(f"{path}: cannot parse: {exc}") from exc
     lines = tuple(source.splitlines())
+    index = NodeIndex(tree)
     ctx = ModuleContext(
         path=path,
         source=source,
         tree=tree,
         hot_path=is_hot_path(path) if hot_path is None else hot_path,
         lines=lines,
+        index=index,
     )
-    suppressed = _suppressions(lines)
+    suppressed = _suppressions(lines, index)
     violations: list[Violation] = []
-    for rl in _resolve_select(select):
+    for rl in _resolve_select(select, deep=deep):
         if rl.hot_path_only and not ctx.hot_path:
             continue
         for lineno, col, message in rl.check(ctx):
@@ -219,7 +342,10 @@ def lint_source(
 
 
 def lint_file(
-    path: str | Path, *, select: Iterable[str] | None = None
+    path: str | Path,
+    *,
+    select: Iterable[str] | None = None,
+    deep: bool = False,
 ) -> list[Violation]:
     """Lint one file on disk."""
     p = Path(path)
@@ -227,7 +353,7 @@ def lint_file(
         source = p.read_text(encoding="utf-8")
     except OSError as exc:
         raise LintError(f"{p}: cannot read: {exc}") from exc
-    return lint_source(source, str(p), select=select)
+    return lint_source(source, str(p), select=select, deep=deep)
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
@@ -254,7 +380,10 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
 
 
 def lint_paths(
-    paths: Iterable[str | Path], *, select: Iterable[str] | None = None
+    paths: Iterable[str | Path],
+    *,
+    select: Iterable[str] | None = None,
+    deep: bool = False,
 ) -> tuple[list[Violation], int]:
     """Lint files and directories.
 
@@ -263,7 +392,7 @@ def lint_paths(
     violations: list[Violation] = []
     checked = 0
     for file in iter_python_files(paths):
-        violations.extend(lint_file(file, select=select))
+        violations.extend(lint_file(file, select=select, deep=deep))
         checked += 1
     return violations, checked
 

@@ -1,0 +1,261 @@
+"""Lockset-style static race detection for the parallel BFS datapath.
+
+The parallel engine's documented ownership protocol
+(:mod:`repro.bfs.parallel`) is:
+
+* worker closures dispatched through a thread pool may **read** shared
+  arrays (``parent``, ``level``, CSR storage, the frontier) freely;
+* a worker may write only (a) arrays it allocated locally, (b) its own
+  per-thread workspace scratch (``workspace.buffer(...)`` is keyed by
+  thread id), and (c) the disjoint chunk it was handed as a parameter
+  (``np.array_split`` partitions are non-overlapping views);
+* every write to the shared ``parent``/``level`` maps happens on the
+  main thread, after the pool has joined, via the first-writer claim.
+
+Two deep rules enforce this statically:
+
+========  ==============================================================
+RPR013    a worker function dispatched via ``pool.map``/``executor.
+          submit``/``Thread(target=...)`` writes a closure-captured
+          shared array directly (subscript store, ``fill``, ``out=``)
+RPR014    a worker calls a same-module function whose propagated
+          effect summary (:mod:`repro.analysis.effects`) writes a
+          parameter bound to a closure-captured shared array
+========  ==============================================================
+
+A deliberate per-line annotation ``# repro: owned[<why>]`` marks a
+write the protocol allows (e.g. a partitioned output slab) and is
+honoured by both rules; cross-module callees are assumed safe —
+without whole-program analysis, assuming otherwise would drown the
+detector in false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from functools import lru_cache
+from typing import Iterator
+
+from repro.analysis import effects as fx
+from repro.analysis.lint import ModuleContext, rule
+
+__all__ = [
+    "find_worker_functions",
+    "check_worker_shared_writes",
+    "check_worker_callee_writes",
+]
+
+_OWNED_RE = re.compile(r"#\s*repro:\s*owned\[", re.IGNORECASE)
+_DISPATCH_ATTRS = {"map", "submit"}
+_POOL_NAME_HINTS = ("pool", "executor")
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _looks_like_pool(node: ast.expr) -> bool:
+    name = _terminal_name(node)
+    if name is None:
+        return False
+    lowered = name.lower()
+    return any(hint in lowered for hint in _POOL_NAME_HINTS)
+
+
+def find_worker_functions(ctx: ModuleContext) -> dict[str, list[ast.Call]]:
+    """Names of locally-defined functions handed to a thread pool
+    (``pool.map(fn, ...)``, ``executor.submit(fn, ...)``) or a thread
+    (``Thread(target=fn)``), with their dispatch sites."""
+    out: dict[str, list[ast.Call]] = {}
+    for node in ctx.nodes(ast.Call):
+        fn = node.func
+        worker: str | None = None
+        if (
+            isinstance(fn, ast.Attribute)
+            and fn.attr in _DISPATCH_ATTRS
+            and _looks_like_pool(fn.value)
+            and node.args
+            and isinstance(node.args[0], ast.Name)
+        ):
+            worker = node.args[0].id
+        elif isinstance(fn, ast.Name) and fn.id == "Thread":
+            for kw in node.keywords:
+                if kw.arg == "target" and isinstance(kw.value, ast.Name):
+                    worker = kw.value.id
+        if worker is not None:
+            out.setdefault(worker, []).append(node)
+    return out
+
+
+@lru_cache(maxsize=32)
+def _module_effects(ctx: ModuleContext) -> dict[str, fx.FunctionEffects]:
+    return fx.propagate(fx.module_effects(ctx.tree))
+
+
+def _function_defs(ctx: ModuleContext) -> dict[str, list[ast.FunctionDef]]:
+    defs: dict[str, list[ast.FunctionDef]] = {}
+    for node in ctx.nodes(ast.FunctionDef, ast.AsyncFunctionDef):
+        defs.setdefault(node.name, []).append(node)
+    return defs
+
+
+def _is_owned_line(ctx: ModuleContext, lineno: int) -> bool:
+    if 1 <= lineno <= len(ctx.lines):
+        return bool(_OWNED_RE.search(ctx.lines[lineno - 1]))
+    return False
+
+
+def _worker_scope(fn: ast.FunctionDef | ast.AsyncFunctionDef):
+    """(params, locals, scratch_locals) for one worker body."""
+    params = set(fx._param_names(fn))
+    locals_ = fx._local_names(fn)
+    scratch: set[str] = set()
+    for node in fx._walk_own(fn):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            call = node.value
+            if (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr == "buffer"
+            ):
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name):
+                        scratch.add(tgt.id)
+    return params, locals_, scratch
+
+
+def _iter_worker_writes(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    imports: frozenset[str] = frozenset(),
+) -> Iterator[tuple[str, str, ast.AST]]:
+    """Yield ``(name, how, node)`` for every array-write syntax inside
+    the worker body (not descending into nested defs).
+
+    ``imports`` receivers are modules (``np.sort(x)`` is the copying
+    functional sort, not an in-place method) and are skipped.
+    """
+    for node in fx._walk_own(fn):
+        if isinstance(node, ast.Assign):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Subscript):
+                    name = _base_name(tgt)
+                    if name:
+                        yield name, "subscript store", tgt
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Subscript):
+                name = _base_name(node.target)
+                if name:
+                    yield name, "augmented store", node.target
+        elif isinstance(node, ast.Call):
+            f = node.func
+            if (
+                isinstance(f, ast.Attribute)
+                and f.attr in fx.MUTATING_METHODS
+                and isinstance(f.value, ast.Name)
+                and f.value.id not in imports
+            ):
+                yield f.value.id, f"in-place .{f.attr}()", node
+            for kw in node.keywords:
+                if kw.arg == "out" and isinstance(kw.value, ast.Name):
+                    yield kw.value.id, "out= target", node
+
+
+def _base_name(node: ast.expr) -> str | None:
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@rule(
+    "RPR013",
+    "thread-pool worker writes a closure-captured shared array outside "
+    "the ownership protocol (main-thread merge / owned chunk / "
+    "per-thread scratch)",
+    deep=True,
+)
+def check_worker_shared_writes(ctx: ModuleContext) -> Iterator[tuple[int, int, str]]:
+    """Direct shared-array writes inside worker closures (RPR013)."""
+    workers = find_worker_functions(ctx)
+    if not workers:
+        return
+    defs = _function_defs(ctx)
+    imports = fx.module_import_names(ctx.tree)
+    for worker_name in workers:
+        for fn in defs.get(worker_name, ()):
+            params, locals_, scratch = _worker_scope(fn)
+            for name, how, node in _iter_worker_writes(fn, imports):
+                if name in params:
+                    continue  # the worker's own disjoint chunk
+                if name in scratch:
+                    continue  # per-thread workspace scratch
+                if name in locals_:
+                    continue  # locally allocated array
+                line = getattr(node, "lineno", fn.lineno)
+                if _is_owned_line(ctx, line):
+                    continue
+                yield (
+                    line,
+                    getattr(node, "col_offset", 0),
+                    f"worker `{worker_name}` writes shared array "
+                    f"`{name}` ({how}); shared parent/level writes must "
+                    "happen on the main thread after the pool joins "
+                    "(annotate deliberate partitioned writes with "
+                    "`# repro: owned[...]`)",
+                )
+
+
+@rule(
+    "RPR014",
+    "thread-pool worker calls a function whose effect summary writes a "
+    "shared array argument (propagated race)",
+    deep=True,
+)
+def check_worker_callee_writes(ctx: ModuleContext) -> Iterator[tuple[int, int, str]]:
+    """Shared-array writes one call level below a worker (RPR014)."""
+    workers = find_worker_functions(ctx)
+    if not workers:
+        return
+    defs = _function_defs(ctx)
+    summaries = _module_effects(ctx)
+    for worker_name in workers:
+        for fn in defs.get(worker_name, ()):
+            params, locals_, scratch = _worker_scope(fn)
+            for node in fx._walk_own(fn):
+                if not (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Name)):
+                    continue
+                callee = summaries.get(node.func.id)
+                if callee is None:
+                    continue  # cross-module / unresolved: assumed safe
+                bindings: list[tuple[str, str]] = []
+                for pos, arg in enumerate(node.args):
+                    if (isinstance(arg, ast.Name)
+                            and pos < len(callee.params)):
+                        bindings.append((callee.params[pos], arg.id))
+                for kw in node.keywords:
+                    if kw.arg is not None and isinstance(kw.value, ast.Name):
+                        bindings.append((kw.arg, kw.value.id))
+                for param, arg_name in bindings:
+                    if param not in callee.writes:
+                        continue
+                    if arg_name in params or arg_name in scratch:
+                        continue
+                    if arg_name in locals_:
+                        continue
+                    if _is_owned_line(ctx, node.lineno):
+                        continue
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"worker `{worker_name}` passes shared array "
+                        f"`{arg_name}` to `{node.func.id}`, whose effect "
+                        f"summary writes parameter `{param}`; "
+                        "a propagated cross-thread write outside the "
+                        "ownership protocol",
+                    )

@@ -113,7 +113,8 @@ def _is_vertexy_iter(iter_node: ast.expr) -> bool:
 def check_hot_path_loops(ctx: ModuleContext) -> Iterator[tuple[int, int, str]]:
     """Flag scalar per-vertex/per-edge ``for`` loops (and comprehension
     generators) inside the vectorized-kernel packages."""
-    for node in ast.walk(ctx.tree):
+    for node in ctx.nodes(ast.For, ast.AsyncFor, ast.ListComp, ast.SetComp,
+                          ast.DictComp, ast.GeneratorExp):
         iters: list[tuple[int, int, ast.expr]] = []
         if isinstance(node, (ast.For, ast.AsyncFor)):
             iters.append((node.lineno, node.col_offset, node.iter))
@@ -158,9 +159,7 @@ def _mentions_offsets(node: ast.expr) -> bool:
 def check_offset_narrowing(ctx: ModuleContext) -> Iterator[tuple[int, int, str]]:
     """Flag ``<expr involving offsets>.astype(np.int32)`` and
     ``np.asarray(offsets…, dtype=np.int32)``-style narrowing."""
-    for node in ast.walk(ctx.tree):
-        if not isinstance(node, ast.Call):
-            continue
+    for node in ctx.nodes(ast.Call):
         fn = node.func
         # x.astype(np.int32) where x mentions offsets
         if (
@@ -201,7 +200,7 @@ def check_offset_narrowing(ctx: ModuleContext) -> Iterator[tuple[int, int, str]]
 )
 def check_wall_clock(ctx: ModuleContext) -> Iterator[tuple[int, int, str]]:
     """Flag ``time.time()`` calls and ``from time import time``."""
-    for node in ast.walk(ctx.tree):
+    for node in ctx.nodes(ast.ImportFrom, ast.Call):
         if isinstance(node, ast.ImportFrom):
             if node.module == "time" and any(
                 alias.name == "time" for alias in node.names
@@ -234,14 +233,13 @@ def check_wall_clock(ctx: ModuleContext) -> Iterator[tuple[int, int, str]]:
 )
 def check_bare_assert(ctx: ModuleContext) -> Iterator[tuple[int, int, str]]:
     """Flag every ``assert`` statement (library code must raise)."""
-    for node in ast.walk(ctx.tree):
-        if isinstance(node, ast.Assert):
-            yield (
-                node.lineno,
-                node.col_offset,
-                "bare assert in library code; raise a repro.errors "
-                "exception (asserts are stripped under python -O)",
-            )
+    for node in ctx.nodes(ast.Assert):
+        yield (
+            node.lineno,
+            node.col_offset,
+            "bare assert in library code; raise a repro.errors "
+            "exception (asserts are stripped under python -O)",
+        )
 
 
 @rule(
@@ -255,7 +253,7 @@ def check_csr_mutation(ctx: ModuleContext) -> Iterator[tuple[int, int, str]]:
     anywhere but the construction module."""
     if ctx.path.replace("\\", "/").endswith("repro/graph/csr.py"):
         return
-    for node in ast.walk(ctx.tree):
+    for node in ctx.nodes(ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Call):
         targets: list[ast.expr] = []
         if isinstance(node, ast.Assign):
             targets = list(node.targets)
@@ -334,9 +332,7 @@ def check_kernel_allocations(ctx: ModuleContext) -> Iterator[tuple[int, int, str
     """
     if "repro/bfs/" not in ctx.path.replace("\\", "/"):
         return
-    for fn in ast.walk(ctx.tree):
-        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            continue
+    for fn in ctx.nodes(ast.FunctionDef, ast.AsyncFunctionDef):
         if not _is_kernel_function(fn.name):
             continue
         for node in ast.walk(fn):
@@ -389,7 +385,7 @@ def check_adhoc_perf_counter(ctx: ModuleContext) -> Iterator[tuple[int, int, str
     """
     if "repro/obs/" in ctx.path.replace("\\", "/"):
         return
-    for node in ast.walk(ctx.tree):
+    for node in ctx.nodes(ast.ImportFrom, ast.Call):
         if isinstance(node, ast.ImportFrom):
             if node.module == "time" and any(
                 alias.name == "perf_counter" for alias in node.names
@@ -450,9 +446,7 @@ def check_metric_names(ctx: ModuleContext) -> Iterator[tuple[int, int, str]]:
     import re
 
     catalog = None  # loaded on first hit; most modules emit no metrics
-    for node in ast.walk(ctx.tree):
-        if not isinstance(node, ast.Call):
-            continue
+    for node in ctx.nodes(ast.Call):
         fn = node.func
         if not isinstance(fn, ast.Attribute):
             continue

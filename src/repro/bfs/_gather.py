@@ -12,6 +12,13 @@ plus one add of a cached iota — one pass fewer than the classic
 function takes an optional :class:`~repro.bfs.workspace.BFSWorkspace`
 so the iota comes from the grow-only cache instead of a fresh
 ``np.arange`` per level.
+
+Dtype audit (deep lint rule ``RPR010``): every position/offset
+quantity here — ``starts``, ``counts``, ``seg_starts``, ``pos``, the
+iota — is int64, because they index the edge array (up to |E| > 2^31).
+Only the gathered ``neighbours`` keep ``graph.targets``' int32, and
+those are vertex *ids* (bounded by |V|), used as index values and
+never in edge-offset arithmetic.
 """
 
 from __future__ import annotations

@@ -16,6 +16,26 @@ rule (the O(k) reversed-scatter claim over the concatenated proposals).
 
 These kernels power the *real-machine* strong-scaling benchmark that
 accompanies the simulated Fig. 10.
+
+Ownership protocol
+------------------
+The engine's thread-safety contract, enforced statically by the deep
+lint rules ``RPR013``/``RPR014`` and dynamically by
+``run(..., sanitize="race")``:
+
+1. worker closures may **read** shared state freely (``parent``,
+   ``level``, CSR arrays, the frontier bitmap);
+2. a worker may **write** only (a) arrays it allocated itself, (b) its
+   per-thread workspace scratch (:meth:`BFSWorkspace.buffer` is keyed
+   by thread id), and (c) the disjoint chunk it was handed
+   (``np.array_split`` partitions are non-overlapping);
+3. every write to the shared ``parent``/``level`` maps happens on the
+   **main thread after the pool has joined**: top-down merges the
+   concatenated proposals through the first-writer claim, bottom-up
+   scatters the winners of the partitioned unvisited scan.
+
+Deliberate exceptions are annotated ``# repro: owned[<why>]`` at the
+write site.
 """
 
 from __future__ import annotations
@@ -104,18 +124,24 @@ class ParallelBFS:
         depth: int,
         workspace: BFSWorkspace,
         tracer: Tracer = NULL_TRACER,
+        race=None,
     ) -> tuple[np.ndarray, int]:
         chunks = _split(frontier, self.num_threads)
 
         def expand(chunk: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
             """One thread's share of the frontier expansion.
 
-            The span lands on the worker thread's own track (thread
-            name), so the exported trace shows one row per worker.
+            Read-only over shared state: proposals are returned to the
+            main thread for the first-writer merge (ownership protocol
+            rule 3).  The span lands on the worker thread's own track
+            (thread name), so the exported trace shows one row per
+            worker.
             """
             with tracer.span(
                 "worker.expand", depth=depth, chunk_vertices=int(chunk.size)
             ):
+                if race is not None:
+                    race.stamp_chunk(f"expand@{depth}")
                 neighbours, owners, _ = expand_rows(graph, chunk, workspace)
                 fresh = parent[neighbours] < 0
                 return neighbours[fresh], owners[fresh], int(neighbours.size)
@@ -143,6 +169,7 @@ class ParallelBFS:
         unvisited: np.ndarray,
         workspace: BFSWorkspace,
         tracer: Tracer = NULL_TRACER,
+        race=None,
     ) -> tuple[np.ndarray, int]:
         # The caller maintains `unvisited` (degree > 0, retired each
         # level); each thread owns a contiguous slice, so claims are
@@ -163,6 +190,8 @@ class ParallelBFS:
             with tracer.span(
                 "worker.scan", depth=depth, chunk_vertices=int(chunk.size)
             ):
+                if race is not None:
+                    race.stamp_chunk(f"scan@{depth}")
                 deg = degrees[chunk]
                 starts = offsets[chunk]
                 found, first_local, inspected = _row_scan(
@@ -189,6 +218,8 @@ class ParallelBFS:
         # concatenated winners are already sorted.
         winners = np.concatenate(winners_list)
         parents = np.concatenate([r[1] for r in results if r[0].size])
+        # Main-thread merge (ownership protocol rule 3): the pool has
+        # joined, so these are the level's only shared-map writes.
         parent[winners] = parents
         level[winners] = depth + 1
         return winners, checked
@@ -203,6 +234,7 @@ class ParallelBFS:
         direction: str | None = None,
         workspace: BFSWorkspace | None = None,
         tracer: Tracer | None = None,
+        sanitize: bool | str = False,
     ) -> BFSResult:
         """Traverse from ``source``.
 
@@ -219,6 +251,17 @@ class ParallelBFS:
         ``bfs.level`` spans under a ``bfs.parallel`` root and each
         worker's chunk is a ``worker.expand``/``worker.scan`` span on
         that worker thread's own track.
+
+        ``sanitize=True`` runs the traversal under the invariant
+        :class:`~repro.analysis.sanitizer.Sanitizer` (frozen CSR
+        arrays + per-level checks); ``sanitize="race"`` additionally
+        enables :class:`~repro.analysis.sanitizer.RaceTracker` write
+        tracking, which snapshots the parent/level maps each level,
+        stamps thread ownership on every worker chunk, and raises
+        :class:`~repro.errors.SanitizerError` if any vertex outside
+        the claimed next frontier was written — i.e. a cross-thread
+        write that bypassed the main-thread merge.  ``sanitize=False``
+        (the default) adds zero work to the datapath.
         """
         if self._closed:
             raise BFSError("ParallelBFS engine is closed; create a new one")
@@ -227,9 +270,22 @@ class ParallelBFS:
             raise BFSError(f"source {source} out of range [0, {n})")
         if direction is not None and direction not in Direction.ALL:
             raise BFSError(f"unknown direction {direction!r}")
+        if sanitize not in (False, True, "race"):
+            raise BFSError(
+                f"unknown sanitize mode {sanitize!r}; "
+                "expected False, True or 'race'"
+            )
         tr = tracer if tracer is not None else get_tracer()
         degrees = graph.degrees
         nedges = max(graph.num_edges, 1)
+
+        san = race = None
+        if sanitize:
+            from repro.analysis.sanitizer import RaceTracker, Sanitizer
+
+            san = Sanitizer(graph, source)
+            if sanitize == "race":
+                race = RaceTracker(graph, source)
 
         ws = workspace if workspace is not None else BFSWorkspace(n)
         parent, level = ws.begin(source)
@@ -239,57 +295,79 @@ class ParallelBFS:
         directions: list[str] = []
         edges_examined: list[int] = []
         depth = 0
-        with tr.span(
-            "bfs.parallel",
-            source=source,
-            num_vertices=n,
-            num_threads=self.num_threads,
-        ) as root:
-            while frontier.size:
-                if direction is not None:
-                    chosen = direction
-                elif self.policy is not None:
-                    chosen = self.policy.direction(
-                        LevelState(
-                            depth=depth,
-                            frontier_vertices=int(frontier.size),
-                            frontier_edges=int(degrees[frontier].sum()),
-                            num_vertices=n,
-                            num_edges=nedges,
-                            unvisited_vertices=unvisited_count,
+        try:
+            if san is not None:
+                san.__enter__()
+            with tr.span(
+                "bfs.parallel",
+                source=source,
+                num_vertices=n,
+                num_threads=self.num_threads,
+            ) as root:
+                while frontier.size:
+                    if direction is not None:
+                        chosen = direction
+                    elif self.policy is not None:
+                        chosen = self.policy.direction(
+                            LevelState(
+                                depth=depth,
+                                frontier_vertices=int(frontier.size),
+                                frontier_edges=int(degrees[frontier].sum()),
+                                num_vertices=n,
+                                num_edges=nedges,
+                                unvisited_vertices=unvisited_count,
+                            )
                         )
-                    )
-                    tr.instant(
-                        "bfs.direction",
-                        depth=depth,
-                        direction=chosen,
-                        frontier_vertices=int(frontier.size),
-                    )
-                else:
-                    chosen = Direction.TOP_DOWN
-                with tr.span("bfs.level", depth=depth, direction=chosen) as sp:
-                    if chosen == Direction.TOP_DOWN:
-                        frontier_next, work = self._top_down_level(
-                            graph, frontier, parent, level, depth, ws, tr
+                        tr.instant(
+                            "bfs.direction",
+                            depth=depth,
+                            direction=chosen,
+                            frontier_vertices=int(frontier.size),
                         )
                     else:
-                        bits = ws.load_frontier(frontier)
-                        unvisited = ws.unvisited_ids(graph, parent)
-                        frontier_next, work = self._bottom_up_level(
-                            graph, bits, parent, level, depth, unvisited, ws, tr
+                        chosen = Direction.TOP_DOWN
+                    if race is not None:
+                        race.begin_level(parent, level)
+                    bits = None
+                    with tr.span(
+                        "bfs.level", depth=depth, direction=chosen
+                    ) as sp:
+                        if chosen == Direction.TOP_DOWN:
+                            frontier_next, work = self._top_down_level(
+                                graph, frontier, parent, level, depth, ws,
+                                tr, race,
+                            )
+                        else:
+                            bits = ws.load_frontier(frontier)
+                            unvisited = ws.unvisited_ids(graph, parent)
+                            frontier_next, work = self._bottom_up_level(
+                                graph, bits, parent, level, depth,
+                                unvisited, ws, tr, race,
+                            )
+                        sp.set("frontier_vertices", int(frontier.size))
+                        sp.set("edges_examined", work)
+                        sp.set("claimed", int(frontier_next.size))
+                    if race is not None:
+                        race.verify_level(depth, parent, level, frontier_next)
+                    if san is not None:
+                        san.after_level(
+                            depth, frontier, frontier_next, parent, level,
+                            in_frontier=bits,
                         )
-                    sp.set("frontier_vertices", int(frontier.size))
-                    sp.set("edges_examined", work)
-                    sp.set("claimed", int(frontier_next.size))
-                ws.retire_claimed(parent)
-                directions.append(chosen)
-                edges_examined.append(work)
-                unvisited_count -= int(frontier_next.size)
-                frontier = frontier_next
-                depth += 1
-            root.set("levels", depth)
-        tr.count("bfs.levels", depth)
-        tr.count("bfs.edges_examined", sum(edges_examined))
+                    ws.retire_claimed(parent)
+                    directions.append(chosen)
+                    edges_examined.append(work)
+                    unvisited_count -= int(frontier_next.size)
+                    frontier = frontier_next
+                    depth += 1
+                root.set("levels", depth)
+            tr.count("bfs.levels", depth)
+            tr.count("bfs.edges_examined", sum(edges_examined))
+            if san is not None:
+                san.finish(parent, level)
+        finally:
+            if san is not None:
+                san.__exit__()
         return BFSResult(
             source=source,
             parent=parent,

@@ -210,6 +210,13 @@ class BFSWorkspace:
 
         Returns a writable view of exactly ``size`` elements.  Contents
         are unspecified; callers must fully overwrite what they read.
+
+        Ownership note: the key includes ``threading.get_ident()``, so
+        two pool workers asking for the same ``name`` get *disjoint*
+        backing arrays — this is what makes workspace scratch a
+        permitted write target inside ``ParallelBFS`` worker closures
+        (ownership protocol rule 2; static rule ``RPR013`` whitelists
+        buffers obtained inside the worker for the same reason).
         """
         key = (name, np.dtype(dtype).str, threading.get_ident())
         buf = self._buffers.get(key)

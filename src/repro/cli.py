@@ -113,6 +113,34 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the registered rules and exit",
     )
+    lint_p.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the deep dataflow/race rules (RPR010..RPR014)",
+    )
+
+    df_p = sub.add_parser(
+        "dataflow",
+        help="run only the deep dataflow/race rules (RPR010..RPR014)",
+    )
+    df_p.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files/directories to analyze (default: the installed package)",
+    )
+    df_p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="fmt",
+        help="report format",
+    )
+    df_p.add_argument(
+        "--effects",
+        action="store_true",
+        help="also print per-function read/write/escape effect summaries",
+    )
 
     san_p = sub.add_parser(
         "sanitize",
@@ -360,13 +388,15 @@ def _cmd_all(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.analysis import RULES, format_json, format_text, lint_paths
+    from repro.analysis import RULES, deep_rule_codes, format_json, format_text, lint_paths
     from repro.errors import LintError
 
-    if args.rules:
+    if getattr(args, "rules", False):
+        deep_rule_codes()  # force rule registration
         for code in sorted(RULES):
             rl = RULES[code]
             scope = " [hot-path only]" if rl.hot_path_only else ""
+            scope += " [deep]" if rl.deep else ""
             print(f"{code}{scope}: {rl.summary}")
         return 0
     paths = args.paths
@@ -375,9 +405,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         import repro
 
         paths = [Path(repro.__file__).parent]
-    select = args.select.split(",") if args.select else None
+    select = getattr(args, "select", None)
+    select = select.split(",") if select else None
     try:
-        violations, checked = lint_paths(paths, select=select)
+        violations, checked = lint_paths(
+            paths, select=select, deep=getattr(args, "deep", False)
+        )
     except LintError as exc:
         print(f"lint error: {exc}", file=sys.stderr)
         return 2
@@ -393,6 +426,61 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 1
     if args.fmt != "json":
         print(f"{checked} file(s) checked, no issues")
+    return 0
+
+
+def _cmd_dataflow(args: argparse.Namespace) -> int:
+    """Deep-rules-only lint pass plus optional effect-summary dump."""
+    from repro.analysis import (
+        deep_rule_codes,
+        format_json,
+        format_text,
+        lint_paths,
+    )
+    from repro.errors import LintError
+
+    paths = args.paths
+    if not paths:
+        import repro
+
+        paths = [Path(repro.__file__).parent]
+    try:
+        violations, checked = lint_paths(
+            paths, select=deep_rule_codes(), deep=True
+        )
+    except LintError as exc:
+        print(f"dataflow error: {exc}", file=sys.stderr)
+        return 2
+    if args.fmt == "json":
+        print(format_json(violations))
+    elif violations:
+        print(format_text(violations))
+    if args.effects:
+        import ast as _ast
+
+        from repro.analysis import format_effects, module_effects, propagate
+        from repro.analysis.lint import iter_python_files
+
+        for file in iter_python_files(paths):
+            try:
+                tree = _ast.parse(
+                    file.read_text(encoding="utf-8"), filename=str(file)
+                )
+            except (OSError, SyntaxError) as exc:
+                print(f"effects error: {file}: {exc}", file=sys.stderr)
+                return 2
+            summaries = propagate(module_effects(tree))
+            if summaries:
+                print(f"# {file}")
+                print(format_effects(summaries))
+    if violations:
+        print(
+            f"{len(violations)} violation(s) in {checked} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.fmt != "json":
+        print(f"{checked} file(s) analyzed, no issues")
     return 0
 
 
@@ -1030,6 +1118,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve_metrics(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "dataflow":
+        return _cmd_dataflow(args)
     if args.command == "sanitize":
         return _cmd_sanitize(args)
     parser.print_help()

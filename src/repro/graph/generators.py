@@ -290,6 +290,8 @@ def balanced_tree(branching: int, height: int) -> CSRGraph:
     child = np.arange(1, n, dtype=np.int64)
     parent = (child - 1) // branching
     g = CSRGraph.from_edges(
+        # repro: noqa[RPR010] — endpoint ids, not edge offsets: from_edges
+        # takes int32 vertex ids and generator sizes stay far below 2^31
         parent.astype(np.int32), child.astype(np.int32), n, symmetrize=True
     )
     g.meta.update(

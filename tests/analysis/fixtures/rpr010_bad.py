@@ -1,0 +1,22 @@
+"""Seeded RPR010 bugs: silent narrowing + mixed-dtype index math."""
+
+import numpy as np
+
+__all__ = ["narrowing_step", "mixed_step"]
+
+
+def narrowing_step(workspace, graph, frontier):
+    # iota is int64 by contract; astype(int32) truncates past 2^31
+    idx = workspace.iota(frontier.size)
+    small = idx.astype(np.int32)
+    starts = graph.offsets[frontier]
+    # constructing an int32 array from known-int64 offsets
+    packed = np.asarray(starts, dtype=np.int32)
+    return small, packed
+
+
+def mixed_step(workspace, n):
+    words = workspace.buffer("bits", n, np.uint64)
+    shifts = workspace.iota(n)
+    # uint64 x int64 array arithmetic promotes to float64
+    return words >> shifts

@@ -1,0 +1,23 @@
+"""Clean twin of rpr010_bad: same shapes, no narrowing."""
+
+import numpy as np
+
+__all__ = ["narrowing_step", "mixed_step"]
+
+
+def mixed_step(workspace, n):
+    words = workspace.buffer("bits", n, np.uint64)
+    shifts = workspace.buffer("shifts", n, np.uint64)
+    # matched dtypes: no promotion surprise
+    return words >> shifts
+
+
+def narrowing_step(workspace, graph, frontier, rows):
+    idx = workspace.iota(frontier.size)
+    wide = idx.astype(np.int64)
+    starts = graph.offsets[frontier]
+    packed = np.asarray(starts, dtype=np.int64)
+    # `rows` has no seeded convention: narrowing an *unknown* dtype is
+    # out of scope for the lattice (unknown never produces a finding)
+    mystery = rows.astype(np.int32)
+    return wide, packed, mystery

@@ -1,0 +1,21 @@
+"""Seeded RPR011 bug: workspace write while a BFSResult still aliases."""
+
+from repro.bfs.result import BFSResult
+
+__all__ = ["run_and_corrupt", "run_and_reset"]
+
+
+def run_and_corrupt(workspace, graph, source):
+    parent, level = workspace.begin(source)
+    result = BFSResult(source=source, parent=parent, level=level)
+    # result still aliases the workspace maps: this write corrupts it
+    parent[source] = -1
+    return result
+
+
+def run_and_reset(workspace, graph, source):
+    parent, level = workspace.begin(source)
+    result = BFSResult(source=source, parent=parent, level=level)
+    # begin() resets the maps in place — same hazard, different syntax
+    parent2, level2 = workspace.begin(source + 1)
+    return result, parent2, level2

@@ -1,0 +1,15 @@
+"""Clean twin of rpr011_bad: detach before reusing the workspace."""
+
+from repro.bfs.result import BFSResult
+
+__all__ = ["run_detach_then_reuse"]
+
+
+def run_detach_then_reuse(workspace, graph, source):
+    parent, level = workspace.begin(source)
+    result = BFSResult(source=source, parent=parent, level=level)
+    result = result.detach()
+    # detached: the result owns copies, workspace reuse is safe
+    parent[source] = -1
+    parent2, level2 = workspace.begin(source + 1)
+    return result, parent2, level2

@@ -1,0 +1,12 @@
+"""Seeded RPR012 bug: a scratch buffer written but never read."""
+
+import numpy as np
+
+__all__ = ["gather_step"]
+
+
+def gather_step(workspace, frontier):
+    out = workspace.buffer("gathered", frontier.size, np.int64)
+    out[: frontier.size] = frontier
+    # `out` is never read again: the store is dead
+    return int(frontier.size)

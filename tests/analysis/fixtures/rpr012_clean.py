@@ -1,0 +1,11 @@
+"""Clean twin of rpr012_bad: the scratch buffer is consumed."""
+
+import numpy as np
+
+__all__ = ["gather_step"]
+
+
+def gather_step(workspace, frontier):
+    out = workspace.buffer("gathered", frontier.size, np.int64)
+    out[: frontier.size] = frontier
+    return int(out[: frontier.size].sum())

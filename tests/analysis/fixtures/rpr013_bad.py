@@ -1,0 +1,22 @@
+"""Seeded RPR013 bug: a pool worker writes the shared parent map.
+
+This is the same defect the dynamic race sanitizer catches at runtime
+(see tests/test_stress_and_concurrency.py): worker threads must return
+proposals for the main-thread merge, never write ``parent`` directly.
+"""
+
+import numpy as np
+
+__all__ = ["broken_top_down_level"]
+
+
+def broken_top_down_level(pool, graph, frontier, parent, level, depth):
+    def expand(chunk):
+        fresh = parent[chunk] < 0
+        # RACE: claims written from the worker thread, unsynchronized
+        parent[chunk[fresh]] = depth
+        level[chunk[fresh]] = depth + 1
+        return chunk[fresh]
+
+    claimed = list(pool.map(expand, np.array_split(frontier, 4)))
+    return np.concatenate(claimed)

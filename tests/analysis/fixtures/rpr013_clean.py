@@ -1,0 +1,29 @@
+"""Clean twin of rpr013_bad: the ownership protocol, followed.
+
+Workers only read shared state, write their own chunk / per-thread
+scratch / locals, and return proposals; the shared-map writes happen
+after ``pool.map`` has drained — on the main thread.
+"""
+
+import numpy as np
+
+__all__ = ["protocol_top_down_level"]
+
+
+def protocol_top_down_level(pool, workspace, graph, frontier, parent,
+                            level, depth):
+    def expand(chunk):
+        scratch = workspace.buffer("expand", chunk.size, np.int64)
+        scratch[: chunk.size] = chunk  # per-thread scratch: permitted
+        chunk[:] = np.sort(chunk)  # the worker's own disjoint chunk
+        local = np.zeros(chunk.size, dtype=np.int64)
+        local[:] = depth  # locally allocated: permitted
+        fresh = parent[scratch[: chunk.size]] < 0
+        return chunk[fresh]
+
+    proposals = list(pool.map(expand, np.array_split(frontier, 4)))
+    winners = np.concatenate(proposals)
+    # main-thread merge: the pool has joined
+    parent[winners] = depth
+    level[winners] = depth + 1
+    return winners

@@ -1,0 +1,22 @@
+"""Seeded RPR014 bug: the racy write hides one call level down.
+
+The worker itself looks clean — but it passes the shared ``parent``
+map to a same-module helper whose effect summary writes it.
+"""
+
+import numpy as np
+
+__all__ = ["sneaky_level"]
+
+
+def _claim_rows(rows, parent, depth):
+    # writes its `parent` parameter: recorded in the effect summary
+    parent[rows] = depth
+
+
+def sneaky_level(pool, graph, frontier, parent, depth):
+    def scan(chunk):
+        _claim_rows(chunk, parent, depth)
+        return chunk
+
+    return list(pool.map(scan, np.array_split(frontier, 4)))

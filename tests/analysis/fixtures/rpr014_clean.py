@@ -1,0 +1,20 @@
+"""Clean twin of rpr014_bad: the helper only reads what it is passed."""
+
+import numpy as np
+
+__all__ = ["scanning_level"]
+
+
+def _scan_rows(rows, parent):
+    # read-only over the shared map
+    return rows[parent[rows] < 0]
+
+
+def scanning_level(pool, graph, frontier, parent, depth):
+    def scan(chunk):
+        return _scan_rows(chunk, parent)
+
+    proposals = list(pool.map(scan, np.array_split(frontier, 4)))
+    winners = np.concatenate(proposals)
+    parent[winners] = depth  # main-thread merge
+    return winners

@@ -1,0 +1,150 @@
+"""Per-function read/write/escape effect summaries and their one-level
+call-graph propagation (the inputs to the RPR014 race rule)."""
+
+import ast
+
+from repro.analysis.effects import (
+    format_effects,
+    function_effects,
+    module_effects,
+    module_import_names,
+    propagate,
+)
+
+
+def _fn(src: str) -> ast.FunctionDef:
+    node = ast.parse(src).body[0]
+    assert isinstance(node, ast.FunctionDef)
+    return node
+
+
+class TestFunctionEffects:
+    def test_subscript_store_writes_param(self):
+        fx = function_effects(_fn("def f(a, i):\n    a[i] = 0\n"))
+        assert fx.writes == {"a"}
+        assert fx.writes_param("a")
+        assert not fx.writes_param("i")
+
+    def test_plain_rebind_is_not_a_write(self):
+        fx = function_effects(_fn("def f(a):\n    a = 0\n    return a\n"))
+        assert fx.writes == frozenset()
+
+    def test_local_array_writes_not_tracked(self):
+        src = (
+            "def f(n):\n"
+            "    tmp = make(n)\n"
+            "    tmp[0] = 1\n"
+            "    return tmp\n"
+        )
+        fx = function_effects(_fn(src))
+        assert "tmp" not in fx.writes  # local: caller can't observe it
+
+    def test_free_variable_write_tracked(self):
+        src = "def f(i):\n    shared[i] = 1\n"
+        fx = function_effects(_fn(src))
+        assert "shared" in fx.writes
+
+    def test_mutating_method_is_a_write(self):
+        fx = function_effects(_fn("def f(a):\n    a.fill(0)\n"))
+        assert fx.writes == {"a"}
+
+    def test_out_kwarg_is_a_write(self):
+        fx = function_effects(
+            _fn("def f(a, b):\n    np.add(a, a, out=b)\n")
+        )
+        assert "b" in fx.writes
+
+    def test_module_sort_is_not_a_write(self):
+        """``np.sort(x)`` is the copying functional sort; the module
+        receiver must not be recorded as a mutated array."""
+        tree = ast.parse(
+            "import numpy as np\n"
+            "def f(a):\n"
+            "    return np.sort(a)\n"
+        )
+        fx = module_effects(tree)["f"]
+        assert fx.writes == frozenset()
+        assert "np" not in fx.reads
+
+    def test_return_escapes(self):
+        fx = function_effects(_fn("def f(a, b):\n    return a\n"))
+        assert fx.escapes == {"a"}
+
+    def test_reads_recorded(self):
+        fx = function_effects(_fn("def f(a, i):\n    x = a[i] + 1\n"))
+        assert {"a", "i"} <= fx.reads
+
+    def test_nested_def_effects_stay_its_own(self):
+        src = (
+            "def f(a):\n"
+            "    def g(i):\n"
+            "        a[i] = 0\n"
+            "    return g\n"
+        )
+        fx = function_effects(_fn(src))
+        assert fx.writes == frozenset()  # the write belongs to g
+
+    def test_call_sites_record_bindings(self):
+        fx = function_effects(
+            _fn("def f(a):\n    helper(a, depth=a)\n")
+        )
+        (call,) = fx.calls
+        assert call.callee == "helper"
+        assert call.args == ("a",)
+        assert call.kwargs == (("depth", "a"),)
+
+
+class TestModuleImports:
+    def test_import_names_collected(self):
+        tree = ast.parse(
+            "import numpy as np\nimport ast\nfrom os import path as p\n"
+        )
+        assert module_import_names(tree) == {"np", "ast", "p"}
+
+
+class TestPropagation:
+    MODULE = (
+        "def _claim(rows, parent, depth):\n"
+        "    parent[rows] = depth\n"
+        "\n"
+        "def level(frontier, parent, depth):\n"
+        "    _claim(frontier, parent, depth)\n"
+        "    return frontier\n"
+        "\n"
+        "def outer(frontier, parent, depth):\n"
+        "    return level(frontier, parent, depth)\n"
+    )
+
+    def test_one_level_propagation(self):
+        effects = propagate(module_effects(ast.parse(self.MODULE)))
+        assert "parent" in effects["_claim"].writes
+        # level inherits the write through the call binding
+        assert "parent" in effects["level"].writes
+
+    def test_propagation_is_one_level_only(self):
+        """outer -> level -> _claim is two hops; the race detector is
+        documented to see exactly one (deeper would need a fixpoint)."""
+        effects = propagate(module_effects(ast.parse(self.MODULE)))
+        assert "parent" not in effects["outer"].writes
+
+    def test_kwarg_binding_propagates(self):
+        src = (
+            "def h(out=None):\n"
+            "    out[0] = 1\n"
+            "\n"
+            "def f(buf):\n"
+            "    h(out=buf)\n"
+        )
+        effects = propagate(module_effects(ast.parse(src)))
+        assert "buf" in effects["f"].writes
+
+    def test_unresolved_callee_assumed_safe(self):
+        src = "def f(a):\n    external_helper(a)\n"
+        effects = propagate(module_effects(ast.parse(src)))
+        assert effects["f"].writes == frozenset()
+
+    def test_format_effects_stable_dump(self):
+        effects = propagate(module_effects(ast.parse(self.MODULE)))
+        dump = format_effects(effects)
+        assert "level(frontier, parent, depth)" in dump
+        assert "writes={parent}" in dump

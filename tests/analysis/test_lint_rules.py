@@ -31,7 +31,33 @@ class TestRegistry:
             "RPR007",
             "RPR008",
             "RPR009",
+            "RPR010",
+            "RPR011",
+            "RPR012",
+            "RPR013",
+            "RPR014",
         }
+
+    def test_deep_rules_flagged(self):
+        from repro.analysis import deep_rule_codes
+
+        assert deep_rule_codes() == [
+            "RPR010", "RPR011", "RPR012", "RPR013", "RPR014",
+        ]
+        for code in deep_rule_codes():
+            assert RULES[code].deep
+
+    def test_deep_rules_excluded_by_default(self):
+        # a seeded RPR010 bug must stay silent without deep=True
+        body = (
+            "import numpy as np\n"
+            "def gather_step(workspace, frontier):\n"
+            "    idx = workspace.iota(frontier.size)\n"
+            "    return idx.astype(np.int32)\n"
+        )
+        assert "RPR010" not in codes(lint_source(body, hot_path=True))
+        deep = lint_source(body, hot_path=True, deep=True)
+        assert "RPR010" in codes(deep)
 
     def test_rules_have_summaries(self):
         for rl in RULES.values():

@@ -20,6 +20,38 @@ def test_package_lints_clean():
     assert violations == [], "\n" + format_text(violations)
 
 
+def test_package_lints_clean_deep():
+    """The dataflow/race rules (RPR010-RPR014) must also run clean over
+    the whole package — ``repro-bfs lint --deep src/repro`` is a merge
+    gate from this PR onward."""
+    violations, checked = lint_paths([PACKAGE_DIR], deep=True)
+    assert checked > 80, "package walk found suspiciously few files"
+    assert violations == [], "\n" + format_text(violations)
+
+
+def test_deep_baseline_report_is_current():
+    """The committed deep-analysis report must match a fresh run: zero
+    violations, and the deep rule set it records still registered.
+    Regenerate it (see its ``command`` field) if this drifts."""
+    import json
+
+    from repro.analysis import deep_rule_codes
+
+    baseline_path = (
+        Path(__file__).resolve().parents[2]
+        / "benchmarks" / "results" / "analysis" / "deep_baseline.json"
+    )
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    assert baseline["schema"] == "repro.analysis.deep_baseline/1"
+    assert baseline["violations"] == []
+    assert baseline["deep_rules"] == deep_rule_codes()
+    violations, checked = lint_paths([PACKAGE_DIR], deep=True)
+    assert [v.as_dict() for v in violations] == baseline["violations"]
+    assert checked >= baseline["files_checked"], (
+        "package shrank below the committed baseline"
+    )
+
+
 def test_hot_path_modules_are_covered():
     """The vectorization rule must actually be in force over the kernel
     packages (guards against a path-detection regression)."""

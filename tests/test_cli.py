@@ -169,6 +169,75 @@ class TestLintCommand:
         assert "unknown rule" in capsys.readouterr().err
 
 
+class TestDeepLintAndDataflow:
+    DEAD_STORE = (
+        "import numpy as np\n"
+        "__all__ = ['gather_step']\n"
+        "def gather_step(workspace, frontier):\n"
+        "    out = workspace.buffer('gathered', frontier.size, np.int64)\n"
+        "    out[: frontier.size] = frontier\n"
+        "    return int(frontier.size)\n"
+    )
+
+    def test_parser_accepts_deep_flag(self):
+        args = build_parser().parse_args(["lint", "src", "--deep"])
+        assert args.deep is True
+
+    def test_parser_accepts_dataflow(self):
+        args = build_parser().parse_args(
+            ["dataflow", "src", "--format", "json", "--effects"]
+        )
+        assert args.command == "dataflow"
+        assert args.fmt == "json"
+        assert args.effects is True
+
+    def test_lint_deep_package_clean(self, capsys):
+        assert main(["lint", "--deep"]) == 0
+        assert "no issues" in capsys.readouterr().out
+
+    def test_lint_rules_lists_deep_tag(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        assert "RPR010" in out and "[deep]" in out
+
+    def test_dataflow_package_clean(self, capsys):
+        assert main(["dataflow"]) == 0
+        assert "no issues" in capsys.readouterr().out
+
+    def test_dataflow_flags_dead_store(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(self.DEAD_STORE)
+        assert main(["dataflow", str(bad)]) == 1
+        assert "RPR012" in capsys.readouterr().out
+
+    def test_lint_without_deep_skips_deep_rules(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(self.DEAD_STORE)
+        assert main(["lint", str(bad)]) == 0
+        assert main(["lint", str(bad), "--deep"]) == 1
+
+    def test_dataflow_json_output(self, capsys, tmp_path):
+        import json
+
+        bad = tmp_path / "bad.py"
+        bad.write_text(self.DEAD_STORE)
+        assert main(["dataflow", str(bad), "--format", "json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data[0]["rule"] == "RPR012"
+
+    def test_dataflow_effects_dump(self, capsys, tmp_path):
+        good = tmp_path / "mod.py"
+        good.write_text(
+            "__all__ = ['claim']\n"
+            "def claim(rows, parent, depth):\n"
+            "    parent[rows] = depth\n"
+        )
+        assert main(["dataflow", str(good), "--effects"]) == 0
+        out = capsys.readouterr().out
+        assert "claim(rows, parent, depth)" in out
+        assert "writes={parent}" in out
+
+
 class TestSanitizeCommand:
     def test_sanitize_clean_run(self, capsys):
         rc = main(

@@ -110,3 +110,95 @@ class TestConcurrencyProperties:
             a2 = eng.run(big_graph, int(srcs[0]))
         assert np.array_equal(a1.level, a2.level)
         assert not np.array_equal(a1.level, b1.level)
+
+
+class BrokenParallelBFS(ParallelBFS):
+    """An engine whose worker violates ownership protocol rule 3: it
+    writes the shared parent map from the pool thread instead of
+    returning proposals for the main-thread merge.  The static twin of
+    this defect lives in tests/analysis/fixtures/rpr013_bad.py.
+
+    The scribble fires once, at depth 0: un-claiming the frontier every
+    level would let vertices be re-discovered forever and the traversal
+    would never terminate — one rogue write is all the race tracker
+    needs, and it keeps the unsanitized run finite."""
+
+    def _top_down_level(self, graph, frontier, parent, level, depth,
+                        workspace, tracer=None, race=None):
+        def scribble(chunk):
+            if race is not None:
+                race.stamp_chunk(f"scribble@{depth}")
+            parent[chunk] = -7  # cross-thread write, never claimed
+            return chunk
+
+        if depth == 0:
+            list(self._pool.map(scribble, [frontier]))
+        from repro.obs.tracer import NULL_TRACER
+
+        return super()._top_down_level(
+            graph, frontier, parent, level, depth, workspace,
+            tracer if tracer is not None else NULL_TRACER, race,
+        )
+
+
+class TestRaceSanitizer:
+    """sanitize='race' write tracking on the parallel engine: clean
+    protocol-following runs verify silently, a worker that scribbles on
+    shared state is caught at the level where it raced."""
+
+    def test_race_mode_clean_on_rmat(self, big_graph):
+        src = int(pick_sources(big_graph, 1, seed=7)[0])
+        serial = bfs_hybrid(big_graph, src, m=20, n=100)
+        with ParallelBFS.hybrid(8, 20, 100) as eng:
+            traced = eng.run(big_graph, src, sanitize="race")
+        assert np.array_equal(serial.level, traced.level)
+        assert "bu" in traced.directions  # both kernels ran under tracking
+
+    def test_race_mode_forced_directions_clean(self, big_graph):
+        src = int(pick_sources(big_graph, 1, seed=8)[0])
+        with ParallelBFS(num_threads=4) as eng:
+            td = eng.run(big_graph, src, direction="td", sanitize="race")
+            bu = eng.run(big_graph, src, direction="bu", sanitize="race")
+        assert np.array_equal(td.level, bu.level)
+
+    def test_race_mode_catches_broken_worker(self, big_graph):
+        from repro.errors import SanitizerError
+
+        src = int(pick_sources(big_graph, 1, seed=9)[0])
+        with BrokenParallelBFS(num_threads=4) as eng:
+            with pytest.raises(SanitizerError) as exc:
+                eng.run(big_graph, src, direction="td", sanitize="race")
+        assert "bypassed the main-thread merge" in str(exc.value)
+        assert exc.value.level == 0  # caught at the first racy level
+
+    def test_broken_worker_undetected_without_race_mode(self, big_graph):
+        """The defect is silent under sanitize=False — exactly why the
+        write-tracking mode exists (the scribble targets already-
+        visited vertices, so plain invariant checks can miss it)."""
+        src = int(pick_sources(big_graph, 1, seed=9)[0])
+        with BrokenParallelBFS(num_threads=4) as eng:
+            result = eng.run(big_graph, src, direction="td")
+        # The corruption really happened: a correct traversal roots the
+        # tree at the source (parent[src] == src); after the rogue
+        # write the source's self-parent is gone — either still -7, or
+        # re-claimed from a neighbour one level too deep.
+        assert result.parent[src] != src
+
+    def test_static_twin_of_the_dynamic_defect(self):
+        """The race fixture the static detector must flag encodes the
+        same bug BrokenParallelBFS injects at runtime."""
+        from pathlib import Path
+
+        from repro.analysis import lint_source
+
+        fixture = (
+            Path(__file__).parent
+            / "analysis" / "fixtures" / "rpr013_bad.py"
+        )
+        violations = lint_source(
+            fixture.read_text(encoding="utf-8"),
+            path="src/repro/bfs/rpr013_bad.py",
+            select=["RPR013"],
+            deep=True,
+        )
+        assert any("parent" in v.message for v in violations)
