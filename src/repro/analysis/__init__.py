@@ -12,6 +12,14 @@ Four coordinated correctness tools (see ``docs/static_analysis.md``):
   interpreter (dtype/shape lattice, workspace alias analysis), per-
   function read/write/escape effect summaries, and a lockset-style
   static race detector for the parallel BFS worker closures.
+* :mod:`repro.analysis.callgraph` / :mod:`repro.analysis.program` —
+  whole-program analysis: a project-wide call graph with import-aware
+  name resolution and method dispatch, a worklist *fixpoint* that
+  propagates effects through arbitrary call depth, and five
+  whole-program rules (``RPR015`` … ``RPR019``) covering resource
+  lifecycle, interprocedural workspace escapes, cross-module worker
+  writes, ownership gating and hot-path call cycles.  Exposed as
+  ``repro-bfs callgraph`` and folded into ``lint --deep``.
 * :mod:`repro.analysis.sanitizer` — an opt-in runtime harness
   (``sanitize=True`` on the BFS engines) that freezes CSR arrays during
   traversal and checks per-level invariants, raising structured
@@ -27,10 +35,12 @@ Exposed on the CLI as ``repro-bfs lint`` (``--deep``),
 """
 
 from repro.analysis.lint import (
+    DIAGNOSTIC_RULE,
     RULES,
     ModuleContext,
     Rule,
     Violation,
+    changed_python_files,
     deep_rule_codes,
     format_json,
     format_text,
@@ -51,10 +61,17 @@ from repro.analysis.units import (
     check_cost_model,
 )
 
-# Importing the rule modules registers RPR001..RPR014 in RULES.
+# Importing the rule modules registers RPR001..RPR019 in RULES.
 from repro.analysis import dataflow as _dataflow  # noqa: F401
+from repro.analysis import program as _program  # noqa: F401
 from repro.analysis import races as _races  # noqa: F401
 from repro.analysis import rules as _rules  # noqa: F401
+from repro.analysis.callgraph import (
+    Project,
+    SummaryCache,
+    build_project,
+    project_from_sources,
+)
 from repro.analysis.dataflow import (
     AbstractValue,
     DataflowReport,
@@ -67,7 +84,9 @@ from repro.analysis.effects import (
     function_effects,
     module_effects,
     propagate,
+    propagate_one_level,
 )
+from repro.analysis.program import program_report
 
 __all__ = [
     "RULES",
@@ -78,8 +97,15 @@ __all__ = [
     "lint_file",
     "lint_paths",
     "deep_rule_codes",
+    "changed_python_files",
+    "DIAGNOSTIC_RULE",
     "format_text",
     "format_json",
+    "Project",
+    "SummaryCache",
+    "build_project",
+    "project_from_sources",
+    "program_report",
     "AbstractValue",
     "DataflowReport",
     "analyze",
@@ -88,6 +114,7 @@ __all__ = [
     "function_effects",
     "module_effects",
     "propagate",
+    "propagate_one_level",
     "format_effects",
     "Sanitizer",
     "RaceTracker",

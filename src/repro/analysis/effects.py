@@ -1,4 +1,4 @@
-"""Per-function read/write/escape effect summaries.
+"""Per-function read/write/escape/raise effect summaries.
 
 For every function defined in a module (including methods and nested
 closures) this computes a :class:`FunctionEffects` record:
@@ -11,18 +11,36 @@ closures) this computes a :class:`FunctionEffects` record:
   targets);
 * ``escapes``  — parameter / free-variable names the function returns
   or stores onto an object attribute (the value outlives the call);
-* ``calls``    — same-module call sites with the variable names bound
-  to each argument position, so effects can be propagated one level
-  through a lightweight call graph.
+* ``raises``   — whether the body contains an explicit ``raise``;
+* ``ws_writes`` — dotted workspace locations the function writes
+  through a workspace-typed receiver (``workspace.parent`` for a
+  ``ws.parent[rows] = v`` store, including ``self.parent`` inside
+  :class:`~repro.bfs.workspace.BFSWorkspace` methods);
+* ``calls``    — call sites (plain names *and* dotted attribute
+  spellings like ``ws.begin``) with the variable names bound to each
+  argument position, so effects can be propagated through a call graph.
 
-:func:`propagate` performs that one-level propagation: if ``f`` passes
-array ``x`` into parameter ``p`` of same-module function ``g`` and
-``g`` writes ``p``, then ``f`` writes ``x``.  Unresolved callees
-(imports, attribute calls) are assumed effect-free for their arguments
-— deliberately optimistic, because cross-module propagation without
-whole-program analysis would drown the race detector in false
-positives.  The consumers of these summaries are documented in
-:mod:`repro.analysis.races`.
+Two propagation strategies are provided:
+
+* :func:`propagate_one_level` is the historical single-step
+  propagation kept for comparison and for consumers that deliberately
+  want a bounded view: if ``f`` passes array ``x`` into parameter
+  ``p`` of same-module function ``g`` and ``g`` writes ``p``, then
+  ``f`` writes ``x`` — but a chain ``f → g → h`` stays invisible.
+* :func:`propagate` iterates that step to a **fixpoint**, so effects
+  flow through arbitrary same-module call depth (the lattice is the
+  finite powerset of names appearing in the module, and each step is
+  monotone, so the iteration terminates).  Whole-program propagation —
+  across modules, with method dispatch — lives in
+  :mod:`repro.analysis.callgraph` and reuses these summaries as its
+  per-function base facts.
+
+Unresolved callees (imports, attribute calls that the call graph
+cannot type) are assumed effect-free for their arguments —
+deliberately optimistic, because pessimism would drown the race
+detector in false positives.  The consumers of these summaries are
+documented in :mod:`repro.analysis.races` and
+:mod:`repro.analysis.program`.
 
 Plain rebinding of a *local* name is not an effect; only names bound
 outside the function (parameters and free variables) can carry effects
@@ -32,7 +50,7 @@ visible to a caller.
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 __all__ = [
     "CallSite",
@@ -41,7 +59,10 @@ __all__ = [
     "module_effects",
     "module_import_names",
     "propagate",
+    "propagate_one_level",
     "format_effects",
+    "WS_PARAM_NAMES",
+    "WS_FACTORY_METHODS",
 ]
 
 #: ndarray methods that mutate the receiver in place.
@@ -49,14 +70,27 @@ MUTATING_METHODS = frozenset(
     {"fill", "sort", "resize", "put", "partition", "setfield", "byteswap"}
 )
 
+#: Parameter names conventionally bound to a BFSWorkspace (the dataflow
+#: tier seeds the same convention; see repro.analysis.dataflow).
+WS_PARAM_NAMES = frozenset({"ws", "workspace"})
+
+#: BFSWorkspace methods whose return value aliases workspace-owned
+#: storage (the alias-until-detach contract RPR011/RPR016 police).
+WS_FACTORY_METHODS = frozenset(
+    {"buffer", "begin", "iota", "unvisited_ids", "load_frontier"}
+)
+
 
 @dataclass(frozen=True)
 class CallSite:
     """One ``callee(arg0, arg1, ..., kw=name)`` site inside a function.
 
-    ``args`` holds the *variable name* bound to each positional slot
-    (``None`` when the argument is a computed expression), ``kwargs``
-    maps keyword names to variable names.
+    ``callee`` is the source spelling: a bare name for ``g(...)`` or a
+    dotted path for ``ws.begin(...)`` / ``mod.helper(...)`` (attribute
+    chains rooted at anything other than a plain name are not
+    recorded).  ``args`` holds the *variable name* bound to each
+    positional slot (``None`` when the argument is a computed
+    expression), ``kwargs`` maps keyword names to variable names.
     """
 
     callee: str
@@ -68,7 +102,7 @@ class CallSite:
 
 @dataclass(frozen=True)
 class FunctionEffects:
-    """Read/write/escape summary for one function definition."""
+    """Read/write/escape/raise summary for one function definition."""
 
     name: str
     params: tuple[str, ...]
@@ -77,6 +111,11 @@ class FunctionEffects:
     escapes: frozenset[str]
     calls: tuple[CallSite, ...]
     line: int = 0
+    raises: bool = False
+    ws_params: frozenset[str] = frozenset()
+    ws_writes: frozenset[str] = frozenset()
+    returns_ws: bool = False
+    returns_calls: tuple[str, ...] = ()
 
     def writes_param(self, param: str) -> bool:
         """Whether the summary records a mutation of ``param``."""
@@ -93,6 +132,18 @@ def _terminal_name(node: ast.expr) -> str | None:
     return None
 
 
+def _dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for an attribute chain rooted at a plain name."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
 def _param_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple[str, ...]:
     a = fn.args
     names = [p.arg for p in (*a.posonlyargs, *a.args, *a.kwonlyargs)]
@@ -101,6 +152,35 @@ def _param_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple[str, ...]:
     if a.kwarg:
         names.append(a.kwarg.arg)
     return tuple(names)
+
+
+def _annotation_name(node: ast.expr | None) -> str | None:
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.rsplit(".", 1)[-1]
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _workspace_params(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef, *, self_is_workspace: bool
+) -> frozenset[str]:
+    """Parameters bound to a BFSWorkspace, by name convention or
+    annotation (plus ``self`` inside BFSWorkspace methods)."""
+    ws: set[str] = set()
+    a = fn.args
+    for p in (*a.posonlyargs, *a.args, *a.kwonlyargs):
+        if p.arg in WS_PARAM_NAMES:
+            ws.add(p.arg)
+        elif _annotation_name(p.annotation) == "BFSWorkspace":
+            ws.add(p.arg)
+    if self_is_workspace:
+        ws.add("self")
+    return frozenset(ws)
 
 
 def _local_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
@@ -173,23 +253,51 @@ def _walk_own(fn: ast.AST) -> list[ast.AST]:
     return out
 
 
+def _ws_location(node: ast.expr, ws_names: frozenset[str]) -> str | None:
+    """``workspace.<attr>`` for an lvalue rooted at a workspace name.
+
+    ``ws.parent[rows]`` and ``ws.parent`` both normalize to
+    ``workspace.parent`` regardless of the receiver's spelling, so
+    whole-program queries like ``--who-writes workspace.parent`` see
+    one canonical location.
+    """
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ws_names
+    ):
+        return f"workspace.{node.attr}"
+    return None
+
+
 def function_effects(
     fn: ast.FunctionDef | ast.AsyncFunctionDef,
     *,
     module_imports: frozenset[str] = frozenset(),
+    owned_lines: frozenset[int] = frozenset(),
+    self_is_workspace: bool = False,
 ) -> FunctionEffects:
     """Direct (unpropagated) effects of one function definition.
 
     ``module_imports`` names resolve to modules, not arrays; they are
-    never recorded as mutating-method write targets.
+    never recorded as mutating-method write targets.  Writes on a line
+    in ``owned_lines`` (``# repro: owned[...]`` annotations) are
+    protocol-sanctioned and excluded from the summary.
+    ``self_is_workspace`` marks methods of the workspace class itself,
+    so their ``self.parent`` stores surface as ``workspace.parent``.
     """
     params = _param_names(fn)
     locals_ = _local_names(fn)
     nonlocal_names = set(params)  # params carry effects too
+    ws_params = _workspace_params(fn, self_is_workspace=self_is_workspace)
     reads: set[str] = set()
     writes: set[str] = set()
     escapes: set[str] = set()
+    ws_writes: set[str] = set()
     calls: list[CallSite] = []
+    raises = False
 
     def tracked(name: str | None) -> str | None:
         """A name whose effects a caller can observe: a parameter or a
@@ -200,17 +308,88 @@ def function_effects(
             return name
         return None
 
+    def owned(node: ast.AST) -> bool:
+        return getattr(node, "lineno", 0) in owned_lines
+
+    # Pass 1: workspace-derived locals and call-result bindings, needed
+    # before returns can be classified (walk order is not source order).
+    ws_derived: set[str] = set(ws_params)
+    from_call: dict[str, str] = {}
+    for node in _walk_own(fn):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if isinstance(value, ast.Call):
+            raw = _dotted_name(value.func)
+            receiver = raw.rsplit(".", 1) if raw and "." in raw else None
+            is_ws_factory = (
+                receiver is not None
+                and receiver[0] in ws_params
+                and receiver[1] in WS_FACTORY_METHODS
+            )
+            for tgt in node.targets:
+                for name in _binding_names(tgt):
+                    if raw:
+                        from_call[name] = raw
+                    if is_ws_factory:
+                        ws_derived.add(name)
+        elif (
+            isinstance(value, ast.Subscript)
+            and isinstance(value.slice, ast.Slice)
+            and isinstance(value.value, ast.Name)
+            and value.value.id in ws_derived
+        ):
+            # A plain slice is a view: `buf[:k]` still aliases scratch.
+            for tgt in node.targets:
+                for name in _binding_names(tgt):
+                    ws_derived.add(name)
+
+    returns_ws = False
+    returns_calls: list[str] = []
+
+    def classify_return(value: ast.expr) -> None:
+        nonlocal returns_ws
+        exprs = value.elts if isinstance(value, ast.Tuple) else [value]
+        for expr in exprs:
+            if isinstance(expr, ast.Name) and expr.id in ws_derived:
+                returns_ws = True
+            elif isinstance(expr, ast.Call):
+                raw = _dotted_name(expr.func)
+                if raw:
+                    returns_calls.append(raw)
+                    receiver = raw.rsplit(".", 1) if "." in raw else None
+                    if (
+                        receiver is not None
+                        and receiver[0] in ws_params
+                        and receiver[1] in WS_FACTORY_METHODS
+                    ):
+                        returns_ws = True
+
     for node in _walk_own(fn):
         if isinstance(node, ast.Assign):
             for tgt in node.targets:
-                _record_store(tgt, tracked, writes)
+                loc = _ws_location(tgt, ws_params)
+                if loc and not owned(node):
+                    ws_writes.add(loc)
+                if not owned(node):
+                    _record_store(tgt, tracked, writes)
         elif isinstance(node, ast.AugAssign):
-            _record_store(node.target, tracked, writes)
+            if not owned(node):
+                loc = _ws_location(node.target, ws_params)
+                if loc:
+                    ws_writes.add(loc)
+                _record_store(node.target, tracked, writes)
         elif isinstance(node, ast.AnnAssign) and node.value is not None:
-            _record_store(node.target, tracked, writes)
+            if not owned(node):
+                _record_store(node.target, tracked, writes)
         elif isinstance(node, ast.Call):
-            _record_call(node, tracked, writes, calls)
+            if not owned(node):
+                _record_call_writes(node, tracked, writes, ws_params, ws_writes)
+            _record_call_site(node, calls)
+        elif isinstance(node, ast.Raise):
+            raises = True
         elif isinstance(node, ast.Return) and node.value is not None:
+            classify_return(node.value)
             for sub in ast.walk(node.value):
                 if isinstance(sub, ast.Name):
                     name = tracked(sub.id)
@@ -228,6 +407,11 @@ def function_effects(
         escapes=frozenset(escapes),
         calls=tuple(calls),
         line=fn.lineno,
+        raises=raises,
+        ws_params=ws_params,
+        ws_writes=frozenset(ws_writes),
+        returns_ws=returns_ws,
+        returns_calls=tuple(returns_calls),
     )
 
 
@@ -242,8 +426,12 @@ def _record_store(tgt: ast.expr, tracked, writes: set[str]) -> None:
             _record_store(elt, tracked, writes)
 
 
-def _record_call(
-    node: ast.Call, tracked, writes: set[str], calls: list[CallSite]
+def _record_call_writes(
+    node: ast.Call,
+    tracked,
+    writes: set[str],
+    ws_params: frozenset[str],
+    ws_writes: set[str],
 ) -> None:
     fn = node.func
     # x.fill(v) and friends mutate x in place.
@@ -251,34 +439,60 @@ def _record_call(
         name = tracked(_terminal_name(fn.value))
         if name:
             writes.add(name)
+        loc = _ws_location(fn.value, ws_params)
+        if loc:
+            ws_writes.add(loc)
     # np.something(..., out=x) writes x.
     for kw in node.keywords:
-        if kw.arg == "out" and isinstance(kw.value, ast.Name):
-            name = tracked(kw.value.id)
-            if name:
-                writes.add(name)
-    # Same-module call sites: record argument bindings for propagation.
-    if isinstance(fn, ast.Name):
-        args = tuple(
-            a.id if isinstance(a, ast.Name) else None for a in node.args
-        )
-        kwargs = tuple(
-            (kw.arg, kw.value.id)
-            for kw in node.keywords
-            if kw.arg is not None and isinstance(kw.value, ast.Name)
-        )
-        calls.append(
-            CallSite(
-                callee=fn.id,
-                args=args,
-                kwargs=kwargs,
-                line=node.lineno,
-                col=node.col_offset,
-            )
-        )
+        if kw.arg == "out":
+            if isinstance(kw.value, ast.Name):
+                name = tracked(kw.value.id)
+                if name:
+                    writes.add(name)
+            loc = _ws_location(kw.value, ws_params)
+            if loc:
+                ws_writes.add(loc)
 
 
-def module_effects(tree: ast.Module) -> dict[str, FunctionEffects]:
+def _record_call_site(node: ast.Call, calls: list[CallSite]) -> None:
+    # Record both plain-name calls (resolvable within the module) and
+    # dotted attribute calls (resolvable by the whole-program graph).
+    raw = _dotted_name(node.func)
+    if raw is None:
+        return
+    args = tuple(
+        a.id if isinstance(a, ast.Name) else None for a in node.args
+    )
+    kwargs = tuple(
+        (kw.arg, kw.value.id)
+        for kw in node.keywords
+        if kw.arg is not None and isinstance(kw.value, ast.Name)
+    )
+    calls.append(
+        CallSite(
+            callee=raw,
+            args=args,
+            kwargs=kwargs,
+            line=node.lineno,
+            col=node.col_offset,
+        )
+    )
+
+
+def _workspace_classes(tree: ast.Module) -> set[int]:
+    """ids of method nodes whose ``self`` is a workspace instance."""
+    method_ids: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and "Workspace" in node.name:
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    method_ids.add(id(stmt))
+    return method_ids
+
+
+def module_effects(
+    tree: ast.Module, *, owned_lines: frozenset[int] = frozenset()
+) -> dict[str, FunctionEffects]:
     """Effects for every function defined anywhere in ``tree``.
 
     Keyed by bare function name.  On a name collision (rare within one
@@ -287,14 +501,20 @@ def module_effects(tree: ast.Module) -> dict[str, FunctionEffects]:
     """
     out: dict[str, FunctionEffects] = {}
     imports = module_import_names(tree)
+    ws_methods = _workspace_classes(tree)
     for node in ast.walk(tree):
         if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             continue
-        fx = function_effects(node, module_imports=imports)
+        fx = function_effects(
+            node,
+            module_imports=imports,
+            owned_lines=owned_lines,
+            self_is_workspace=id(node) in ws_methods,
+        )
         prior = out.get(fx.name)
         if prior is not None:
-            fx = FunctionEffects(
-                name=fx.name,
+            fx = replace(
+                fx,
                 params=fx.params if len(fx.params) >= len(prior.params)
                 else prior.params,
                 reads=fx.reads | prior.reads,
@@ -302,52 +522,86 @@ def module_effects(tree: ast.Module) -> dict[str, FunctionEffects]:
                 escapes=fx.escapes | prior.escapes,
                 calls=fx.calls + prior.calls,
                 line=prior.line,
+                raises=fx.raises or prior.raises,
+                ws_params=fx.ws_params | prior.ws_params,
+                ws_writes=fx.ws_writes | prior.ws_writes,
+                returns_ws=fx.returns_ws or prior.returns_ws,
+                returns_calls=fx.returns_calls + prior.returns_calls,
             )
         out[fx.name] = fx
     return out
 
 
-def propagate(effects: dict[str, FunctionEffects]) -> dict[str, FunctionEffects]:
-    """One-level call-graph propagation of write/escape effects.
+def propagate_one_level(
+    effects: dict[str, FunctionEffects]
+) -> dict[str, FunctionEffects]:
+    """One propagation step over the module-local call graph.
 
     For each call site ``g(x, ...)`` where ``g`` is defined in the same
     module and ``g`` writes (escapes) the parameter that ``x`` binds
-    to, the caller's summary gains a write (escape) of ``x`` — when
-    ``x`` is one of the caller's own tracked names.  One level only:
-    deeper chains would need a fixpoint, and one level is exactly what
-    the race detector needs to see through helpers like ``_row_scan``.
+    to, the caller's summary gains a write (escape) of ``x``; a callee
+    that raises makes the caller raising.  This is the historical
+    PR 5 engine, retained both as the fixpoint's transfer function and
+    to demonstrate what a bounded analysis misses: a two-hop chain
+    ``f → g → h`` where only ``h`` writes stays invisible here.
     """
     out: dict[str, FunctionEffects] = {}
     for name, fx in effects.items():
         writes = set(fx.writes)
         escapes = set(fx.escapes)
+        ws_writes = set(fx.ws_writes)
+        raises = fx.raises
         for call in fx.calls:
             callee = effects.get(call.callee)
             if callee is None:
                 continue
+            raises = raises or callee.raises
+            bindings: list[tuple[str, str]] = []
             for pos, arg in enumerate(call.args):
                 if arg is None or pos >= len(callee.params):
                     continue
-                param = callee.params[pos]
+                bindings.append((callee.params[pos], arg))
+            bindings.extend(call.kwargs)
+            for param, arg in bindings:
                 if param in callee.writes:
                     writes.add(arg)
                 if param in callee.escapes:
                     escapes.add(arg)
-            for kw_name, arg in call.kwargs:
-                if kw_name in callee.writes:
-                    writes.add(arg)
-                if kw_name in callee.escapes:
-                    escapes.add(arg)
-        out[name] = FunctionEffects(
-            name=fx.name,
-            params=fx.params,
-            reads=fx.reads,
+                if (
+                    callee.ws_writes
+                    and param in callee.ws_params
+                    and (arg in fx.ws_params or arg in WS_PARAM_NAMES)
+                ):
+                    ws_writes.update(callee.ws_writes)
+        out[name] = replace(
+            fx,
             writes=frozenset(writes),
             escapes=frozenset(escapes),
-            calls=fx.calls,
-            line=fx.line,
+            ws_writes=frozenset(ws_writes),
+            raises=raises,
         )
     return out
+
+
+def propagate(
+    effects: dict[str, FunctionEffects]
+) -> dict[str, FunctionEffects]:
+    """Fixpoint propagation of write/escape/raise effects.
+
+    Iterates :func:`propagate_one_level` until the summaries stop
+    changing, so effects flow through arbitrary same-module call depth
+    (``f → g → h`` chains, mutual recursion).  Termination is
+    guaranteed: each summary lives in the finite powerset of names
+    appearing in the module and each step only adds facts; a round cap
+    widens out of pathological inputs defensively.
+    """
+    current = effects
+    for _ in range(len(effects) + 2):
+        step = propagate_one_level(current)
+        if step == current:
+            return step
+        current = step
+    return current
 
 
 def format_effects(effects: dict[str, FunctionEffects]) -> str:
@@ -355,10 +609,17 @@ def format_effects(effects: dict[str, FunctionEffects]) -> str:
     rows = []
     for name in sorted(effects):
         fx = effects[name]
+        flags = " raises" if fx.raises else ""
+        ws = (
+            f" ws_writes={{{', '.join(sorted(fx.ws_writes))}}}"
+            if fx.ws_writes
+            else ""
+        )
         rows.append(
             f"{name}({', '.join(fx.params)})"
             f" reads={{{', '.join(sorted(fx.reads))}}}"
             f" writes={{{', '.join(sorted(fx.writes))}}}"
             f" escapes={{{', '.join(sorted(fx.escapes))}}}"
+            f"{ws}{flags}"
         )
     return "\n".join(rows)

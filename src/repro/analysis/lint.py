@@ -17,6 +17,14 @@ provides the machinery:
   rule.  The AST is parsed **once** per file and a shared
   :class:`NodeIndex` (one ``ast.walk`` materialized by node type) is
   reused by every rule, so a lint run is a single visitor pass;
+* a third tier: ``whole_program`` rules (RPR015+ in
+  :mod:`repro.analysis.program`) additionally receive a resolved
+  :class:`~repro.analysis.callgraph.Project` built once per
+  :func:`lint_paths` run, so their findings rest on interprocedural
+  fixpoint facts;
+* structured diagnostics: files that cannot be decoded or parsed are
+  reported as pseudo-rule ``RPR000`` violations instead of aborting
+  the run with a traceback;
 * line-level suppression via ``# repro: noqa[RPR001]`` (or a bare
   ``# repro: noqa`` to silence every rule on that line).  A marker on
   any line of a multi-line simple statement suppresses the whole
@@ -51,7 +59,14 @@ __all__ = [
     "format_text",
     "format_json",
     "iter_python_files",
+    "changed_python_files",
+    "DIAGNOSTIC_RULE",
 ]
+
+#: Pseudo-rule code for engine diagnostics (undecodable / unparsable
+#: files).  Not in ``RULES`` — it cannot be selected or suppressed; it
+#: reports that a file could not be analyzed at all.
+DIAGNOSTIC_RULE = "RPR000"
 
 #: Directories (as package path fragments) whose modules are hot paths:
 #: Python-level per-vertex/per-edge loops are forbidden there (RPR001).
@@ -145,6 +160,10 @@ class ModuleContext:
     hot_path: bool
     lines: tuple[str, ...] = field(repr=False, default=())
     index: NodeIndex | None = field(repr=False, default=None, compare=False)
+    #: Whole-program view (repro.analysis.callgraph.Project) when the
+    #: lint run covers multiple files; ``None`` for single-source runs,
+    #: where whole-program rules fall back to a one-file project.
+    project: object | None = field(repr=False, default=None, compare=False)
 
     @property
     def module_basename(self) -> str:
@@ -173,6 +192,7 @@ class Rule:
     check: RuleCheck
     hot_path_only: bool = False
     deep: bool = False
+    whole_program: bool = False
 
 
 RULES: dict[str, Rule] = {}
@@ -184,11 +204,14 @@ def rule(
     *,
     hot_path_only: bool = False,
     deep: bool = False,
+    whole_program: bool = False,
 ) -> Callable[[RuleCheck], RuleCheck]:
     """Register a rule under ``code`` (e.g. ``'RPR001'``).
 
     ``deep`` rules (dataflow / race analysis) only run when the caller
     passes ``deep=True`` or selects the code explicitly.
+    ``whole_program`` rules additionally want a resolved call-graph
+    project on the context (``lint_paths`` builds one per run).
     """
 
     def register(fn: RuleCheck) -> RuleCheck:
@@ -201,6 +224,7 @@ def rule(
             check=fn,
             hot_path_only=hot_path_only,
             deep=deep,
+            whole_program=whole_program,
         )
         return fn
 
@@ -209,9 +233,11 @@ def rule(
 
 def _ensure_rules_loaded() -> None:
     # The concrete rules register themselves on import; importing here
-    # (not at module top) avoids a cycle since the rule modules import us.
-    if not RULES:
-        from repro.analysis import dataflow, races, rules  # noqa: F401
+    # (not at module top) avoids a cycle since the rule modules import
+    # us.  Import unconditionally (imports are idempotent): guarding on
+    # an empty registry would leave the set partial when a rule module
+    # was imported directly first.
+    from repro.analysis import dataflow, program, races, rules  # noqa: F401
 
 
 def deep_rule_codes() -> list[str]:
@@ -298,12 +324,15 @@ def lint_source(
     select: Iterable[str] | None = None,
     hot_path: bool | None = None,
     deep: bool = False,
+    project: object | None = None,
 ) -> list[Violation]:
     """Lint one module given as a string.
 
     ``hot_path`` overrides the path-based hot-path detection (useful for
     testing rules against files outside the package layout).  ``deep``
-    additionally runs the dataflow/race rules (RPR010+).
+    additionally runs the dataflow/race rules (RPR010+).  ``project``
+    optionally carries the whole-program call graph the RPR015+ rules
+    consume; without one they analyze this file in isolation.
     """
     try:
         tree = ast.parse(source, filename=path)
@@ -318,6 +347,7 @@ def lint_source(
         hot_path=is_hot_path(path) if hot_path is None else hot_path,
         lines=lines,
         index=index,
+        project=project,
     )
     suppressed = _suppressions(lines, index)
     violations: list[Violation] = []
@@ -341,19 +371,53 @@ def lint_source(
     return violations
 
 
+def _diagnostic(path: Path, message: str, line: int = 1) -> Violation:
+    return Violation(
+        rule=DIAGNOSTIC_RULE,
+        message=message,
+        path=str(path),
+        line=line,
+        col=0,
+    )
+
+
 def lint_file(
     path: str | Path,
     *,
     select: Iterable[str] | None = None,
     deep: bool = False,
+    project: object | None = None,
 ) -> list[Violation]:
-    """Lint one file on disk."""
+    """Lint one file on disk.
+
+    Files that cannot be decoded as UTF-8 or parsed as Python yield a
+    single structured ``RPR000`` diagnostic violation instead of
+    raising, so a directory run reports them and keeps going (the CLI
+    exit code is nonzero either way).  A missing/unreadable file is
+    still a usage error (:class:`~repro.errors.LintError`).
+    """
     p = Path(path)
     try:
         source = p.read_text(encoding="utf-8")
+    except UnicodeDecodeError as exc:
+        return [_diagnostic(p, f"cannot decode as UTF-8: {exc}")]
     except OSError as exc:
         raise LintError(f"{p}: cannot read: {exc}") from exc
-    return lint_source(source, str(p), select=select, deep=deep)
+    try:
+        return lint_source(
+            source, str(p), select=select, deep=deep, project=project
+        )
+    except LintError as exc:
+        cause = exc.__cause__
+        if isinstance(cause, SyntaxError):
+            return [
+                _diagnostic(
+                    p,
+                    f"cannot parse: {cause.msg}",
+                    line=cause.lineno or 1,
+                )
+            ]
+        raise
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
@@ -379,6 +443,58 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
             raise LintError(f"{p}: no such file or directory")
 
 
+def changed_python_files(
+    paths: Iterable[str | Path] | None = None,
+    *,
+    root: str | Path | None = None,
+) -> list[Path]:
+    """``.py`` files changed vs git: working tree + staged + untracked.
+
+    Backs ``repro-bfs lint --changed``.  When ``paths`` is given, the
+    changed set is filtered to files under those files/directories.
+    Raises :class:`~repro.errors.LintError` outside a git checkout.
+    """
+    import subprocess
+
+    cwd = Path(root) if root is not None else Path.cwd()
+    commands = (
+        ["git", "diff", "--name-only", "HEAD", "--", "*.py"],
+        ["git", "ls-files", "--others", "--exclude-standard", "--", "*.py"],
+    )
+    names: list[str] = []
+    for cmd in commands:
+        try:
+            proc = subprocess.run(
+                cmd, cwd=cwd, capture_output=True, text=True, timeout=30
+            )
+        except (OSError, subprocess.TimeoutExpired) as exc:
+            raise LintError(f"--changed requires git: {exc}") from exc
+        if proc.returncode != 0:
+            raise LintError(
+                "--changed requires a git checkout: "
+                + proc.stderr.strip().splitlines()[-1]
+                if proc.stderr.strip()
+                else "--changed requires a git checkout"
+            )
+        names.extend(proc.stdout.splitlines())
+    scopes = None
+    if paths is not None:
+        scopes = [Path(p).resolve() for p in paths]
+    out: list[Path] = []
+    seen: set[Path] = set()
+    for name in names:
+        p = (cwd / name).resolve()
+        if not p.exists() or p.suffix != ".py" or p in seen:
+            continue
+        if scopes is not None and not any(
+            p == scope or scope in p.parents for scope in scopes
+        ):
+            continue
+        seen.add(p)
+        out.append(p)
+    return sorted(out)
+
+
 def lint_paths(
     paths: Iterable[str | Path],
     *,
@@ -387,12 +503,26 @@ def lint_paths(
 ) -> tuple[list[Violation], int]:
     """Lint files and directories.
 
-    Returns ``(violations, files_checked)``.
+    When the selected rule set contains whole-program rules, one
+    call-graph project is built over every file in the run and handed
+    to each per-file context.  Returns ``(violations, files_checked)``.
     """
+    files = list(iter_python_files(paths))
+    project: object | None = None
+    if any(r.whole_program for r in _resolve_select(select, deep=deep)):
+        from repro.analysis.callgraph import build_project
+        from repro.errors import CallGraphError
+
+        try:
+            project = build_project(files)
+        except CallGraphError:
+            project = None  # nothing parsable; per-file diagnostics follow
     violations: list[Violation] = []
     checked = 0
-    for file in iter_python_files(paths):
-        violations.extend(lint_file(file, select=select, deep=deep))
+    for file in files:
+        violations.extend(
+            lint_file(file, select=select, deep=deep, project=project)
+        )
         checked += 1
     return violations, checked
 

@@ -98,9 +98,18 @@ class ParallelBFS:
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        """Shut down the worker pool.  Idempotent."""
+        """Shut down the worker pool.  Idempotent.
+
+        Safe to call while work from an aborted traversal is still
+        queued (the context manager calls it when the body raises
+        mid-traversal): queued-but-unstarted chunks are cancelled so
+        the shutdown cannot hang behind them, then the join waits only
+        for chunks already executing.
+        """
+        if self._closed:
+            return
         self._closed = True
-        self._pool.shutdown(wait=True)
+        self._pool.shutdown(wait=True, cancel_futures=True)
 
     @property
     def closed(self) -> bool:

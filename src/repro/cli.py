@@ -116,7 +116,68 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument(
         "--deep",
         action="store_true",
-        help="also run the deep dataflow/race rules (RPR010..RPR014)",
+        help="also run the deep dataflow/race rules (RPR010..RPR019)",
+    )
+    lint_p.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only .py files changed vs HEAD (per git), scoped to "
+        "the given paths",
+    )
+
+    cg_p = sub.add_parser(
+        "callgraph",
+        help="build the whole-program call graph and query/export it",
+    )
+    cg_p.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files/directories to analyze (default: the installed package)",
+    )
+    cg_p.add_argument(
+        "--format",
+        choices=("text", "dot", "json"),
+        default="text",
+        dest="fmt",
+        help="export format (text = stats summary)",
+    )
+    cg_p.add_argument(
+        "--out",
+        default=None,
+        help="write the export to this file instead of stdout",
+    )
+    cg_p.add_argument(
+        "--summaries",
+        action="store_true",
+        help="include/print the fixpoint per-function effect summaries",
+    )
+    cg_p.add_argument(
+        "--who-writes",
+        default=None,
+        metavar="NAME",
+        help="list functions whose fixpoint summary writes NAME "
+        "(e.g. workspace.parent)",
+    )
+    cg_p.add_argument(
+        "--who-calls",
+        default=None,
+        metavar="QNAME",
+        help="list direct and transitive callers of a function qname",
+    )
+    cg_p.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="JSON summary-cache file keyed by content hash "
+        "(created if missing)",
+    )
+    cg_p.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help="write the whole-program baseline (stats + program-rule "
+        "findings) to PATH and exit",
     )
 
     df_p = sub.add_parser(
@@ -408,6 +469,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     select = getattr(args, "select", None)
     select = select.split(",") if select else None
     try:
+        if getattr(args, "changed", False):
+            from repro.analysis import changed_python_files
+
+            paths = changed_python_files(paths)
+            if not paths:
+                print("no changed Python files in scope")
+                return 0
         violations, checked = lint_paths(
             paths, select=select, deep=getattr(args, "deep", False)
         )
@@ -426,6 +494,98 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 1
     if args.fmt != "json":
         print(f"{checked} file(s) checked, no issues")
+    return 0
+
+
+def _cmd_callgraph(args: argparse.Namespace) -> int:
+    """Build the whole-program call graph; export or query it."""
+    from repro.analysis.callgraph import SummaryCache, build_project
+    from repro.analysis.lint import iter_python_files
+    from repro.errors import CallGraphError, LintError
+
+    paths = args.paths
+    if not paths:
+        import repro
+
+        paths = [Path(repro.__file__).parent]
+    cache = SummaryCache(args.cache) if args.cache else None
+    try:
+        files = iter_python_files(paths)
+        project = build_project(files, cache=cache)
+    except (CallGraphError, LintError) as exc:
+        print(f"callgraph error: {exc}", file=sys.stderr)
+        return 2
+    if cache is not None:
+        cache.save()
+
+    if args.write_baseline:
+        from repro.analysis.program import program_report
+
+        report = program_report(project)
+        payload = {
+            "schema": "repro.analysis.wholeprogram_baseline/1",
+            "program_rules": sorted(report),
+            "stats": project.stats(),
+            "violations": {
+                code: {
+                    path: [[ln, col, msg] for ln, col, msg in triples]
+                    for path, triples in sorted(buckets.items())
+                }
+                for code, buckets in report.items()
+                if buckets
+            },
+        }
+        text = json.dumps(payload, indent=2) + "\n"
+        Path(args.write_baseline).write_text(text, encoding="utf-8")
+        n = sum(
+            len(t) for b in report.values() for t in b.values()
+        )
+        print(
+            f"baseline written to {args.write_baseline} "
+            f"({n} finding(s) over {project.stats()['functions']} functions)"
+        )
+        return 0
+
+    if args.who_writes:
+        writers = project.who_writes(args.who_writes)
+        if writers:
+            for qname in writers:
+                info = project.functions[qname]
+                print(f"{qname}  ({info.path}:{info.line})")
+        else:
+            print(f"no function writes `{args.who_writes}`")
+        return 0
+
+    if args.who_calls:
+        target = args.who_calls
+        if target not in project.functions:
+            print(f"unknown function: {target}", file=sys.stderr)
+            return 2
+        callers = sorted(project.callers_of(target))
+        if callers:
+            for qname in callers:
+                info = project.functions[qname]
+                print(f"{qname}  ({info.path}:{info.line})")
+        else:
+            print(f"no callers of `{target}`")
+        return 0
+
+    if args.fmt == "dot":
+        output = project.to_dot()
+    elif args.fmt == "json":
+        output = project.to_json(summaries=args.summaries)
+    else:
+        stats = project.stats()
+        lines = ["whole-program call graph"]
+        lines += [f"  {key}: {stats[key]}" for key in stats]
+        output = "\n".join(lines) + "\n"
+        if args.summaries:
+            output += project.format_summaries()
+    if args.out:
+        Path(args.out).write_text(output, encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(output)
     return 0
 
 
@@ -814,10 +974,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         elif args.engine == "parallel":
             from repro.bfs.hybrid import MNPolicy
 
-            result = ParallelBFS(
+            with ParallelBFS(
                 num_threads=args.threads,
                 policy=MNPolicy(m=args.m, n=args.n),
-            ).run(graph, source)
+            ) as engine:
+                result = engine.run(graph, source)
         else:
             result = bfs_hybrid(graph, source, m=args.m, n=args.n)
         result.validate(graph)
@@ -1118,6 +1279,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve_metrics(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "callgraph":
+        return _cmd_callgraph(args)
     if args.command == "dataflow":
         return _cmd_dataflow(args)
     if args.command == "sanitize":

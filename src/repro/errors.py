@@ -23,6 +23,7 @@ __all__ = [
     "BenchError",
     "AnalysisError",
     "LintError",
+    "CallGraphError",
     "SanitizerError",
     "UnitsError",
     "ObsError",
@@ -96,6 +97,11 @@ class AnalysisError(ReproError):
 class LintError(AnalysisError):
     """Raised when the lint engine itself cannot run (unparsable file,
     unknown rule code) — *not* for reporting violations, which are data."""
+
+
+class CallGraphError(AnalysisError):
+    """Raised when whole-program call-graph construction cannot run
+    (no parsable inputs, malformed summary cache, unknown query)."""
 
 
 class SanitizerError(AnalysisError):

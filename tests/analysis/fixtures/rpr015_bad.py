@@ -1,0 +1,34 @@
+"""Seeded RPR015 bug: the engine leaks when a helper raises two hops down.
+
+``leaky_traverse`` does call ``engine.close()`` — but the ``_drive``
+call before it can raise: ``_drive`` calls ``_mid`` calls ``_step``,
+which raises ``ValueError``.  Only the *fixpoint* effect engine marks
+``_drive`` as raising; under one-level propagation only ``_mid``
+inherits the raise and the leak is invisible at the acquisition site.
+"""
+
+from repro.bfs.parallel import ParallelBFS
+
+__all__ = ["leaky_traverse"]
+
+
+def _step(graph, engine, v):
+    if v < 0:
+        raise ValueError("negative source vertex")
+    return engine.run(graph, v)
+
+
+def _mid(graph, engine, v):
+    return _step(graph, engine, v)
+
+
+def _drive(graph, engine, source):
+    # no raise in sight: the ValueError lives two more hops down
+    return _mid(graph, engine, source)
+
+
+def leaky_traverse(graph, source, threads):
+    engine = ParallelBFS(num_threads=threads)
+    result = _drive(graph, engine, source)
+    engine.close()
+    return result

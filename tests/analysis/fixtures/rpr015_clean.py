@@ -1,0 +1,32 @@
+"""Clean twin of rpr015_bad: close() moved into a ``finally``.
+
+The same two-hop raising call chain is present, but every statement
+that can raise sits inside a try-body whose ``finally`` closes the
+engine, so close-on-all-paths holds.
+"""
+
+from repro.bfs.parallel import ParallelBFS
+
+__all__ = ["safe_traverse"]
+
+
+def _step(graph, engine, v):
+    if v < 0:
+        raise ValueError("negative source vertex")
+    return engine.run(graph, v)
+
+
+def _mid(graph, engine, v):
+    return _step(graph, engine, v)
+
+
+def _drive(graph, engine, source):
+    return _mid(graph, engine, source)
+
+
+def safe_traverse(graph, source, threads):
+    engine = ParallelBFS(num_threads=threads)
+    try:
+        return _drive(graph, engine, source)
+    finally:
+        engine.close()

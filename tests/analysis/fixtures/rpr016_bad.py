@@ -1,0 +1,22 @@
+"""Seeded RPR016 bug: workspace scratch escapes a public API two hops up.
+
+``frontier_view`` is public and returns whatever ``_mid`` returns;
+``_mid`` returns whatever ``_grab`` returns; ``_grab`` returns a
+workspace-derived buffer.  ``returns_ws`` only reaches the public
+boundary through two rounds of fixpoint propagation — the one-level
+engine sees ``_mid`` (and hence ``frontier_view``) as alias-free.
+"""
+
+__all__ = ["frontier_view"]
+
+
+def _grab(ws, k):
+    return ws.buffer(k)
+
+
+def _mid(ws, k):
+    return _grab(ws, k)
+
+
+def frontier_view(workspace, k):
+    return _mid(workspace, k)

@@ -1,0 +1,20 @@
+"""Clean twin of rpr016_bad: the public boundary detaches the alias.
+
+The private chain still hands workspace-derived storage around, but
+``frontier_view`` copies before returning, so nothing workspace-aliased
+crosses the public API.
+"""
+
+__all__ = ["frontier_view"]
+
+
+def _grab(ws, k):
+    return ws.buffer(k)
+
+
+def _mid(ws, k):
+    return _grab(ws, k)
+
+
+def frontier_view(workspace, k):
+    return _mid(workspace, k).copy()

@@ -1,0 +1,20 @@
+"""Seeded RPR017 bug: the racy write hides in *another module*.
+
+The worker looks clean, and so does everything RPR014's module-local
+engine can see: ``helpers.claim_rows`` lives in a different file and
+only its callee ``_store`` writes the shared ``parent`` map.  Only the
+whole-program fixpoint connects worker -> claim_rows -> _store.
+"""
+
+import helpers
+import numpy as np
+
+__all__ = ["sneaky_level"]
+
+
+def sneaky_level(pool, graph, frontier, parent, depth):
+    def scan(chunk):
+        helpers.claim_rows(chunk, parent, depth)
+        return chunk
+
+    return list(pool.map(scan, np.array_split(frontier, 4)))

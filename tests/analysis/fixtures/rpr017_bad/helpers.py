@@ -1,0 +1,16 @@
+"""Helper module for the rpr017_bad fixture.
+
+``claim_rows`` itself never writes ``parent`` — it forwards to
+``_store``, which does.  A one-level summary of this module therefore
+shows ``claim_rows`` as write-free.
+"""
+
+__all__ = ["claim_rows"]
+
+
+def _store(rows, parent, depth):
+    parent[rows] = depth
+
+
+def claim_rows(rows, parent, depth):
+    _store(rows, parent, depth)

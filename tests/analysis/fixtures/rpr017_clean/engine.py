@@ -1,0 +1,20 @@
+"""Clean twin of rpr017_bad: the cross-module helper only *reads*.
+
+The worker hands the shared ``parent`` map to another module, but that
+module's whole-program effect summary never writes it — claims land in
+the worker-local ``out`` chunk, merged on the main thread afterwards.
+"""
+
+import helpers
+import numpy as np
+
+__all__ = ["partitioned_level"]
+
+
+def partitioned_level(pool, graph, frontier, parent, depth):
+    def scan(chunk):
+        out = np.full(chunk.shape[0], -1)
+        helpers.count_unclaimed(chunk, parent, out)
+        return out
+
+    return list(pool.map(scan, np.array_split(frontier, 4)))

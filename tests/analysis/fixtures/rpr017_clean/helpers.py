@@ -1,0 +1,12 @@
+"""Helper module for the rpr017_clean fixture: reads shared state only."""
+
+__all__ = ["count_unclaimed"]
+
+
+def _unclaimed(rows, parent):
+    return parent[rows] < 0
+
+
+def count_unclaimed(rows, parent, out):
+    mask = _unclaimed(rows, parent)
+    out[mask] = rows[mask]

@@ -1,0 +1,20 @@
+"""Seeded RPR018 bug: a public function reaches an ownership-gated
+helper through a private relay, two hops and one module away.
+
+``merge.merge_claims`` is gated by ``# repro: owned[parent]``.
+``hijack_merge`` never declares ownership and goes through ``_relay``
+(private, not gated, not in the owning module), so no mediator absorbs
+the obligation on the path.
+"""
+
+import merge
+
+__all__ = ["hijack_merge"]
+
+
+def _relay(parent, cand_parent, rows):
+    return merge.merge_claims(parent, cand_parent, rows)
+
+
+def hijack_merge(parent, cand_parent, rows):
+    return _relay(parent, cand_parent, rows)

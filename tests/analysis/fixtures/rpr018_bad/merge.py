@@ -1,0 +1,9 @@
+"""Owning module for the rpr018_bad fixture."""
+
+__all__ = ["merge_claims"]
+
+
+def merge_claims(parent, cand_parent, rows):
+    # repro: owned[parent]
+    parent[rows] = cand_parent[rows]
+    return parent

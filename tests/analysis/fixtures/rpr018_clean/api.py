@@ -1,0 +1,15 @@
+"""Clean twin of rpr018_bad: the public entry goes through a mediator
+in the helper's *own* module.
+
+``merge.apply_merge`` lives beside the gated ``merge_claims`` and is
+the sanctioned way in; callers outside the owning module never touch
+the gated helper directly, so the ownership obligation stops there.
+"""
+
+import merge
+
+__all__ = ["safe_merge"]
+
+
+def safe_merge(parent, cand_parent, rows):
+    return merge.apply_merge(parent, cand_parent, rows)

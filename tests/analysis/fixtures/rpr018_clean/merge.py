@@ -1,0 +1,13 @@
+"""Owning module for the rpr018_clean fixture: gated helper + mediator."""
+
+__all__ = ["apply_merge"]
+
+
+def merge_claims(parent, cand_parent, rows):
+    # repro: owned[parent]
+    parent[rows] = cand_parent[rows]
+    return parent
+
+
+def apply_merge(parent, cand_parent, rows):
+    return merge_claims(parent, cand_parent, rows)

@@ -1,0 +1,19 @@
+"""Seeded RPR019 bug: mutual recursion on the hot path.
+
+``scan_vertex`` and ``visit_vertex`` call each other once per reached
+vertex — a Python-level call (and stack frame) per vertex in a package
+that ``is_hot_path`` prices as vectorized-only.
+"""
+
+__all__ = ["scan_vertex", "visit_vertex"]
+
+
+def scan_vertex(graph, parent, v, depth):
+    for w in graph.neighbors(v):
+        if parent[w] < 0:
+            visit_vertex(graph, parent, w, v, depth)
+
+
+def visit_vertex(graph, parent, w, v, depth):
+    parent[w] = v
+    scan_vertex(graph, parent, w, depth + 1)

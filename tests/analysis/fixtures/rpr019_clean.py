@@ -1,0 +1,17 @@
+"""Clean twin of rpr019_bad: the traversal is an iterative frontier loop.
+
+Same reachability computation, no call-graph cycle — the worklist
+replaces the mutual recursion.
+"""
+
+__all__ = ["scan_level"]
+
+
+def scan_level(graph, parent, frontier):
+    next_frontier = []
+    for v in frontier:
+        for w in graph.neighbors(v):
+            if parent[w] < 0:
+                parent[w] = v
+                next_frontier.append(w)
+    return next_frontier

@@ -81,7 +81,10 @@ class TestGoldenFixtures:
         assert any("_claim_rows" in v.message for v in violations)
 
     def test_deep_registry_is_exactly_the_fixture_set(self):
-        assert deep_rule_codes() == sorted(DEEP_RULES)
+        """Module-local deep rules plus the whole-program tier
+        (tests/analysis/test_program_rules.py covers the latter)."""
+        program_rules = ("RPR015", "RPR016", "RPR017", "RPR018", "RPR019")
+        assert deep_rule_codes() == sorted(DEEP_RULES + program_rules)
 
 
 class TestPromotionLattice:

@@ -1,5 +1,6 @@
-"""Per-function read/write/escape effect summaries and their one-level
-call-graph propagation (the inputs to the RPR014 race rule)."""
+"""Per-function read/write/escape effect summaries and their call-graph
+propagation: the legacy one-level pass (the historical RPR014 input)
+and the worklist fixpoint that replaced it."""
 
 import ast
 
@@ -9,6 +10,7 @@ from repro.analysis.effects import (
     module_effects,
     module_import_names,
     propagate,
+    propagate_one_level,
 )
 
 
@@ -121,11 +123,50 @@ class TestPropagation:
         # level inherits the write through the call binding
         assert "parent" in effects["level"].writes
 
-    def test_propagation_is_one_level_only(self):
-        """outer -> level -> _claim is two hops; the race detector is
-        documented to see exactly one (deeper would need a fixpoint)."""
-        effects = propagate(module_effects(ast.parse(self.MODULE)))
+    def test_one_level_engine_misses_the_two_hop_write(self):
+        """outer -> level -> _claim is two hops; the legacy single-pass
+        engine sees exactly one — the regression the fixpoint fixes."""
+        effects = propagate_one_level(module_effects(ast.parse(self.MODULE)))
+        assert "parent" in effects["level"].writes
         assert "parent" not in effects["outer"].writes
+
+    def test_fixpoint_catches_the_two_hop_write(self):
+        """`propagate` iterates to a fixpoint, so the same write reaches
+        `outer` through arbitrary call depth."""
+        effects = propagate(module_effects(ast.parse(self.MODULE)))
+        assert "parent" in effects["outer"].writes
+
+    def test_fixpoint_propagates_raises_through_depth(self):
+        src = (
+            "def _step(v):\n"
+            "    if v < 0:\n"
+            "        raise ValueError(v)\n"
+            "    return v\n"
+            "\n"
+            "def _drive(v):\n"
+            "    return _step(v)\n"
+            "\n"
+            "def entry(v):\n"
+            "    return _drive(v)\n"
+        )
+        one = propagate_one_level(module_effects(ast.parse(src)))
+        assert one["_drive"].raises
+        assert not one["entry"].raises
+        full = propagate(module_effects(ast.parse(src)))
+        assert full["entry"].raises
+
+    def test_fixpoint_terminates_on_recursion(self):
+        src = (
+            "def ping(a, n):\n"
+            "    a[n] = 0\n"
+            "    return pong(a, n - 1)\n"
+            "\n"
+            "def pong(a, n):\n"
+            "    return ping(a, n - 1)\n"
+        )
+        effects = propagate(module_effects(ast.parse(src)))
+        assert "a" in effects["ping"].writes
+        assert "a" in effects["pong"].writes
 
     def test_kwarg_binding_propagates(self):
         src = (

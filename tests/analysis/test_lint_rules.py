@@ -36,6 +36,11 @@ class TestRegistry:
             "RPR012",
             "RPR013",
             "RPR014",
+            "RPR015",
+            "RPR016",
+            "RPR017",
+            "RPR018",
+            "RPR019",
         }
 
     def test_deep_rules_flagged(self):
@@ -43,9 +48,15 @@ class TestRegistry:
 
         assert deep_rule_codes() == [
             "RPR010", "RPR011", "RPR012", "RPR013", "RPR014",
+            "RPR015", "RPR016", "RPR017", "RPR018", "RPR019",
         ]
         for code in deep_rule_codes():
             assert RULES[code].deep
+        # the whole-program subset is flagged as such
+        for code in ("RPR015", "RPR016", "RPR017", "RPR018", "RPR019"):
+            assert RULES[code].whole_program
+        for code in ("RPR010", "RPR011", "RPR012", "RPR013", "RPR014"):
+            assert not RULES[code].whole_program
 
     def test_deep_rules_excluded_by_default(self):
         # a seeded RPR010 bug must stay silent without deep=True

@@ -61,3 +61,37 @@ def test_hot_path_modules_are_covered():
     assert is_hot_path(str(PACKAGE_DIR / "graph" / "csr.py"))
     assert is_hot_path(str(PACKAGE_DIR / "hetero" / "planner.py"))
     assert not is_hot_path(str(PACKAGE_DIR / "ml" / "svr.py"))
+
+
+def test_wholeprogram_baseline_is_current():
+    """The committed whole-program report (call-graph stats + RPR015-019
+    findings) must match a fresh fixpoint run over the package: zero
+    violations, the same rule set, and a package that has not shrunk.
+    Regenerate with ``repro-bfs callgraph src/repro --write-baseline
+    benchmarks/results/analysis/wholeprogram_baseline.json``."""
+    import json
+
+    from repro.analysis import build_project, program_report
+    from repro.analysis.lint import iter_python_files
+
+    baseline_path = (
+        Path(__file__).resolve().parents[2]
+        / "benchmarks" / "results" / "analysis"
+        / "wholeprogram_baseline.json"
+    )
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    assert baseline["schema"] == "repro.analysis.wholeprogram_baseline/1"
+    assert baseline["violations"] == {}
+
+    project = build_project(iter_python_files([PACKAGE_DIR]))
+    report = program_report(project)
+    assert sorted(report) == baseline["program_rules"]
+    fresh = {
+        code: buckets for code, buckets in report.items() if buckets
+    }
+    assert fresh == {}, f"whole-program findings drifted: {fresh}"
+    stats = project.stats()
+    for key in ("modules", "functions"):
+        assert stats[key] >= baseline["stats"][key], (
+            f"package {key} shrank below the committed baseline"
+        )

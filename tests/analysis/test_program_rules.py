@@ -1,0 +1,156 @@
+"""Golden fixtures for the whole-program rules (RPR015–RPR019).
+
+Every bad fixture plants a *two-hop* violation: the defect is only
+visible once effects have crossed at least two call edges (or, for
+RPR017/RPR018, a module boundary), which the retired one-level
+propagation engine provably cannot see — each rule gets a companion
+test demonstrating exactly that blind spot.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths, lint_source
+from repro.analysis.effects import (
+    module_effects,
+    propagate,
+    propagate_one_level,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+FILE_RULES = ("RPR015", "RPR016", "RPR019")
+DIR_RULES = ("RPR017", "RPR018")
+
+
+def _lint_file_fixture(name: str, rule: str):
+    text = (FIXTURES / name).read_text(encoding="utf-8")
+    return lint_source(
+        text, path=f"src/repro/bfs/{name}", select=[rule], deep=True
+    )
+
+
+def _lint_dir_fixture(name: str, rule: str):
+    violations, checked = lint_paths(
+        [FIXTURES / name], select=[rule], deep=True
+    )
+    assert checked == 2, f"{name}: expected a two-module fixture"
+    return violations
+
+
+class TestGoldenFixtures:
+    @pytest.mark.parametrize("rule", FILE_RULES)
+    def test_bad_file_fixture_is_caught(self, rule):
+        name = f"{rule.lower()}_bad.py"
+        violations = _lint_file_fixture(name, rule)
+        assert violations, f"{name}: seeded bug not detected"
+        assert {v.rule for v in violations} == {rule}
+
+    @pytest.mark.parametrize("rule", FILE_RULES)
+    def test_clean_file_fixture_is_silent(self, rule):
+        name = f"{rule.lower()}_clean.py"
+        assert _lint_file_fixture(name, rule) == [], (
+            f"{name}: false positive on the clean twin"
+        )
+
+    @pytest.mark.parametrize("rule", DIR_RULES)
+    def test_bad_dir_fixture_is_caught(self, rule):
+        name = f"{rule.lower()}_bad"
+        violations = _lint_dir_fixture(name, rule)
+        assert violations, f"{name}: seeded bug not detected"
+        assert {v.rule for v in violations} == {rule}
+
+    @pytest.mark.parametrize("rule", DIR_RULES)
+    def test_clean_dir_fixture_is_silent(self, rule):
+        name = f"{rule.lower()}_clean"
+        assert _lint_dir_fixture(name, rule) == [], (
+            f"{name}: false positive on the clean twin"
+        )
+
+
+class TestMessages:
+    def test_rpr015_names_the_raising_call(self):
+        violations = _lint_file_fixture("rpr015_bad.py", "RPR015")
+        assert any("_drive" in v.message for v in violations)
+        assert any("finally" in v.message for v in violations)
+
+    def test_rpr016_names_the_public_boundary(self):
+        violations = _lint_file_fixture("rpr016_bad.py", "RPR016")
+        assert any("frontier_view" in v.message for v in violations)
+        assert any("detach" in v.message for v in violations)
+
+    def test_rpr017_reports_engine_side_call_site(self):
+        violations = _lint_dir_fixture("rpr017_bad", "RPR017")
+        v = violations[0]
+        assert Path(v.path).name == "engine.py"
+        assert "parent" in v.message and "helpers" in v.message
+
+    def test_rpr018_anchors_on_the_public_function(self):
+        violations = _lint_dir_fixture("rpr018_bad", "RPR018")
+        v = violations[0]
+        assert Path(v.path).name == "api.py"
+        assert "hijack_merge" in v.message
+        assert "merge_claims" in v.message
+
+    def test_rpr019_names_the_cycle(self):
+        violations = _lint_file_fixture("rpr019_bad.py", "RPR019")
+        msg = violations[0].message
+        assert "scan_vertex" in msg and "visit_vertex" in msg
+
+
+class TestOneLevelBlindSpots:
+    """Each bad fixture's defect is invisible to the one-level engine."""
+
+    def _effects(self, name, engine):
+        tree = ast.parse((FIXTURES / name).read_text(encoding="utf-8"))
+        return engine(module_effects(tree))
+
+    def test_rpr015_raise_is_two_hops_down(self):
+        one = self._effects("rpr015_bad.py", propagate_one_level)
+        assert one["_mid"].raises  # one hop: visible
+        assert not one["_drive"].raises  # two hops: blind
+        full = self._effects("rpr015_bad.py", propagate)
+        assert full["_drive"].raises
+
+    def test_rpr016_alias_needs_call_graph_resolution(self):
+        """returns_ws only chains once `_mid` in `returns_calls` is
+        resolved against the call graph — module-local propagation
+        (the retired engine's world) never marks the public boundary."""
+        one = self._effects("rpr016_bad.py", propagate_one_level)
+        assert one["_grab"].returns_ws
+        assert not one["frontier_view"].returns_ws
+        from repro.analysis.callgraph import project_from_sources
+
+        source = (FIXTURES / "rpr016_bad.py").read_text(encoding="utf-8")
+        p = project_from_sources([("rpr016_bad.py", source)])
+        assert p.summaries["rpr016_bad.frontier_view"].returns_ws
+
+    def test_rpr017_write_is_in_another_module(self):
+        """Module-local propagation of engine.py alone — even run to
+        fixpoint — cannot see helpers.py's write at all."""
+        tree = ast.parse(
+            (FIXTURES / "rpr017_bad" / "engine.py").read_text(
+                encoding="utf-8"
+            )
+        )
+        local = propagate(module_effects(tree))
+        assert all("parent" not in fx.writes for fx in local.values())
+
+    def test_rpr018_needs_cross_module_reachability(self):
+        """api.py alone has no callee bodies: nothing marks the call
+        chain as ownership-gated."""
+        tree = ast.parse(
+            (FIXTURES / "rpr018_bad" / "api.py").read_text(encoding="utf-8")
+        )
+        local = propagate(module_effects(tree))
+        assert "hijack_merge" in local  # sanity: the chain parses
+        from repro.analysis.callgraph import _owned_lines
+
+        source = (FIXTURES / "rpr018_bad" / "api.py").read_text(
+            encoding="utf-8"
+        )
+        # No ownership *comment* in api.py (the docstring mention does
+        # not count): the gate lives in merge.py, one module away.
+        assert _owned_lines(source) == frozenset()

@@ -80,3 +80,36 @@ class TestValidation:
         seq = bfs_top_down(rmat_small, rmat_source)
         par = engine.run(rmat_small, rmat_source, direction="td")
         assert seq.edges_examined == par.edges_examined
+
+
+class TestLifecycle:
+    """close() is idempotent and safe even when a traversal aborts."""
+
+    def test_double_close_is_idempotent(self):
+        eng = ParallelBFS(num_threads=2)
+        eng.close()
+        eng.close()  # second close must be a no-op, not an error
+        assert eng.closed
+
+    def test_run_after_close_raises_structured_error(self, rmat_small):
+        eng = ParallelBFS(num_threads=2)
+        eng.close()
+        with pytest.raises(BFSError, match="closed"):
+            eng.run(rmat_small, 0)
+
+    def test_exit_after_mid_traversal_raise_closes_cleanly(self, rmat_small):
+        """A raise inside the with-body (as from a failing run) must not
+        hang the pool shutdown or leave the engine reusable."""
+        with pytest.raises(BFSError):
+            with ParallelBFS(num_threads=2) as eng:
+                eng.run(rmat_small, -1)  # raises mid-block
+        assert eng.closed
+        with pytest.raises(BFSError, match="closed"):
+            eng.run(rmat_small, 0)
+
+    def test_close_then_exit_via_context_manager(self, rmat_small):
+        with ParallelBFS(num_threads=2) as eng:
+            res = eng.run(rmat_small, 0)
+            eng.close()  # explicit close inside the block
+        assert eng.closed  # __exit__'s close was the harmless second one
+        assert res.num_levels >= 1

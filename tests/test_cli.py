@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -265,3 +267,90 @@ class TestSanitizeCommand:
         )
         assert rc == 0
         assert "dimensionally" not in capsys.readouterr().out
+
+
+CHAIN = (
+    "def _claim(rows, parent, depth):\n"
+    "    parent[rows] = depth\n"
+    "\n"
+    "def level(frontier, parent, depth):\n"
+    "    _claim(frontier, parent, depth)\n"
+    "\n"
+    "def outer(frontier, parent, depth):\n"
+    "    level(frontier, parent, depth)\n"
+)
+
+
+class TestCallgraphCommand:
+    def test_parser_accepts_callgraph(self):
+        args = build_parser().parse_args(
+            ["callgraph", "src", "--format", "dot", "--out", "cg.dot"]
+        )
+        assert args.command == "callgraph"
+        assert args.fmt == "dot"
+        assert args.out == "cg.dot"
+
+    def test_stats_output(self, capsys, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text(CHAIN, encoding="utf-8")
+        assert main(["callgraph", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "whole-program call graph" in out
+        assert "functions: 3" in out
+
+    def test_dot_export_to_file(self, capsys, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text(CHAIN, encoding="utf-8")
+        out_file = tmp_path / "cg.dot"
+        assert main(
+            ["callgraph", str(tmp_path), "--format", "dot",
+             "--out", str(out_file)]
+        ) == 0
+        dot = out_file.read_text(encoding="utf-8")
+        assert dot.startswith("digraph callgraph {")
+        assert '"m.outer" -> "m.level"' in dot
+
+    def test_json_with_summaries(self, capsys, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text(CHAIN, encoding="utf-8")
+        assert main(
+            ["callgraph", str(mod), "--format", "json", "--summaries"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.analysis.callgraph/1"
+        assert "parent" in payload["summaries"]["m.outer"]["writes"]
+
+    def test_who_writes(self, capsys, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text(CHAIN, encoding="utf-8")
+        assert main(["callgraph", str(mod), "--who-writes", "parent"]) == 0
+        out = capsys.readouterr().out
+        assert "m.outer" in out and "m._claim" in out
+
+    def test_who_calls_unknown_function_is_an_error(self, capsys, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text(CHAIN, encoding="utf-8")
+        assert main(["callgraph", str(mod), "--who-calls", "m.nope"]) == 2
+
+    def test_write_baseline(self, capsys, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text(CHAIN, encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["callgraph", str(mod), "--write-baseline", str(baseline)]
+        ) == 0
+        payload = json.loads(baseline.read_text(encoding="utf-8"))
+        assert payload["schema"] == (
+            "repro.analysis.wholeprogram_baseline/1"
+        )
+        assert payload["program_rules"] == [
+            "RPR015", "RPR016", "RPR017", "RPR018", "RPR019"
+        ]
+
+    def test_no_inputs_is_an_error(self, capsys, tmp_path):
+        assert main(["callgraph", str(tmp_path)]) == 2
+        assert "callgraph error" in capsys.readouterr().err
+
+    def test_parser_accepts_lint_changed(self):
+        args = build_parser().parse_args(["lint", "--changed", "src"])
+        assert args.changed is True
