@@ -15,7 +15,8 @@ RPR004    no bare ``assert`` in library code — asserts vanish under
 RPR005    no mutation of ``CSRGraph.offsets``/``targets`` outside the
           construction module — traversals alias these arrays
 RPR006    public modules must declare ``__all__``
-RPR007    no fresh graph-sized allocation inside a BFS level kernel —
+RPR007    no fresh graph-sized allocation inside a BFS level kernel
+          (``repro/bfs/`` and the ``repro/linalg/`` tile kernels) —
           level kernels must draw scratch from the
           :class:`~repro.bfs.workspace.BFSWorkspace` so warm traversals
           stay allocation-free
@@ -289,9 +290,9 @@ def check_csr_mutation(ctx: ModuleContext) -> Iterator[tuple[int, int, str]]:
                 )
 
 
-# Function names that are per-level kernel entry points in repro.bfs —
-# the code paths that run once per BFS level and must stay
-# allocation-free after workspace warm-up.
+# Function names that are per-level kernel entry points in repro.bfs
+# and repro.linalg — the code paths that run once per BFS level and
+# must stay allocation-free after workspace warm-up.
 _KERNEL_FN_SUFFIXES = ("_step", "_level", "_scan")
 _KERNEL_FN_NAMES = {"expand_rows", "gather_segments", "segment_first_true"}
 _ALLOC_FNS = {"zeros", "empty", "full", "ones"}
@@ -311,15 +312,16 @@ def _mentions_parent(node: ast.expr) -> bool:
 
 @rule(
     "RPR007",
-    "fresh array allocation or parent-map rescan inside a BFS level "
-    "kernel; draw scratch from the BFSWorkspace",
+    "fresh array allocation or parent-map rescan inside a BFS/linalg "
+    "level kernel; draw scratch from the BFSWorkspace",
 )
 def check_kernel_allocations(ctx: ModuleContext) -> Iterator[tuple[int, int, str]]:
-    """Flag per-level allocations in the ``repro.bfs`` kernel functions.
+    """Flag per-level allocations in the ``repro.bfs`` / ``repro.linalg``
+    kernel functions.
 
     Inside any function named like a level kernel (``*_step``,
     ``*_level``, ``*_scan``, or the shared gather primitives) in a
-    ``repro/bfs/`` module, flag:
+    ``repro/bfs/`` or ``repro/linalg/`` module, flag:
 
     * ``np.arange(...)`` — use the workspace iota cache;
     * ``np.zeros/empty/full/ones(k)`` with ``k`` not the constant 0
@@ -330,7 +332,8 @@ def check_kernel_allocations(ctx: ModuleContext) -> Iterator[tuple[int, int, str
 
     Cold paths (no workspace supplied) carry ``# repro: noqa[RPR007]``.
     """
-    if "repro/bfs/" not in ctx.path.replace("\\", "/"):
+    path = ctx.path.replace("\\", "/")
+    if "repro/bfs/" not in path and "repro/linalg/" not in path:
         return
     for fn in ctx.nodes(ast.FunctionDef, ast.AsyncFunctionDef):
         if not _is_kernel_function(fn.name):

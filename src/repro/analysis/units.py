@@ -37,17 +37,18 @@ __all__ = [
     "BYTES",
     "SECONDS",
     "OPS",
+    "WORDS",
     "check_cost_model",
 ]
 
-_DIM_NAMES = ("edge", "vertex", "byte", "second", "op")
+_DIM_NAMES = ("edge", "vertex", "byte", "second", "op", "word")
 
 
 @dataclass(frozen=True)
 class Unit:
-    """A vector of exponents over (edge, vertex, byte, second, op)."""
+    """A vector of exponents over (edge, vertex, byte, second, op, word)."""
 
-    dims: tuple[int, int, int, int, int]
+    dims: tuple[int, int, int, int, int, int]
 
     def __mul__(self, other: "Unit") -> "Unit":
         return Unit(tuple(a + b for a, b in zip(self.dims, other.dims)))
@@ -76,12 +77,15 @@ class Unit:
         return f"{head}/{'·'.join(den)}" if den else head
 
 
-DIMENSIONLESS = Unit((0, 0, 0, 0, 0))
-EDGES = Unit((1, 0, 0, 0, 0))
-VERTICES = Unit((0, 1, 0, 0, 0))
-BYTES = Unit((0, 0, 1, 0, 0))
-SECONDS = Unit((0, 0, 0, 1, 0))
-OPS = Unit((0, 0, 0, 0, 1))
+DIMENSIONLESS = Unit((0, 0, 0, 0, 0, 0))
+EDGES = Unit((1, 0, 0, 0, 0, 0))
+VERTICES = Unit((0, 1, 0, 0, 0, 0))
+BYTES = Unit((0, 0, 1, 0, 0, 0))
+SECONDS = Unit((0, 0, 0, 1, 0, 0))
+OPS = Unit((0, 0, 0, 0, 1, 0))
+#: Packed ``uint64`` adjacency words of the repro.linalg tile format —
+#: the work unit of the ``bu_kernel="tile"`` cost branch.
+WORDS = Unit((0, 0, 0, 0, 0, 1))
 
 
 class Quantity:
@@ -213,6 +217,7 @@ class _UnitSpec:
     units.  Only the attributes the cost model reads are provided."""
 
     name = "unit-audit"
+    bu_kernel = "scan"
 
     def __init__(self) -> None:
         self.measured_bw_gbs = Quantity(150.0, BYTES / SECONDS)
@@ -232,6 +237,20 @@ class _UnitSpec:
         return self._cache_bytes
 
 
+class _TileUnitSpec(_UnitSpec):
+    """The tile-family variant: ``bu_win_ns``/``bu_fail_ns`` are per
+    streamed *word*, which is what the ``bu_kernel="tile"`` branch of
+    ``bottom_up_seconds`` consumes."""
+
+    name = "unit-audit-tile"
+    bu_kernel = "tile"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.bu_win_ns = Quantity(0.4, SECONDS / WORDS)
+        self.bu_fail_ns = Quantity(0.4, SECONDS / WORDS)
+
+
 #: Dimensional signatures of the module-level cost-model constants.
 CONSTANT_UNITS = {
     "BYTES_EDGE_ID": BYTES / EDGES,
@@ -239,6 +258,9 @@ CONSTANT_UNITS = {
     "OPS_PER_EDGE_TD": OPS / EDGES,
     "OPS_PER_EDGE_BU": OPS / EDGES,
     "OPS_PER_VERTEX_SCAN": OPS / VERTICES,
+    "TILE_WORD_FILL": EDGES / WORDS,
+    "BYTES_TILE_WORD": BYTES / WORDS,
+    "OPS_PER_WORD_TILE": OPS / WORDS,
 }
 
 
@@ -303,6 +325,17 @@ def check_cost_model() -> list[str]:
             _expect_seconds("bottom-up overhead_s", bu.overhead_s, failures)
             _expect_seconds("bottom-up memory_s", bu.memory_s, failures)
             _expect_seconds("bottom-up compute_s", bu.compute_s, failures)
+
+        tile_model = costmodel.CostModel(_TileUnitSpec())  # type: ignore[arg-type]
+        try:
+            tl = tile_model.bottom_up_seconds(rec, num_vertices)  # type: ignore[arg-type]
+        except UnitsError as exc:
+            failures.append(f"tile bottom-up pricing: {exc}")
+        else:
+            _expect_seconds("tile bottom-up seconds", tl.seconds, failures)
+            _expect_seconds("tile bottom-up overhead_s", tl.overhead_s, failures)
+            _expect_seconds("tile bottom-up memory_s", tl.memory_s, failures)
+            _expect_seconds("tile bottom-up compute_s", tl.compute_s, failures)
     finally:
         for name, value in saved.items():
             setattr(costmodel, name, value)

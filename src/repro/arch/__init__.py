@@ -18,6 +18,7 @@ from repro.arch.specs import (
     GPU_K20X,
     MIC_KNC,
     PRESETS,
+    TENSOR_TILE,
     ArchSpec,
     arch_features,
     sample_arch,
@@ -29,6 +30,7 @@ __all__ = [
     "CPU_SANDY_BRIDGE",
     "GPU_K20X",
     "MIC_KNC",
+    "TENSOR_TILE",
     "PRESETS",
     "arch_features",
     "sample_arch",

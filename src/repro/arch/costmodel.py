@@ -54,6 +54,15 @@ OPS_PER_EDGE_TD = 10.0   # scalar ops to inspect + claim one edge, top-down
 OPS_PER_EDGE_BU = 8.0    # scalar ops per bottom-up adjacency probe
 OPS_PER_VERTEX_SCAN = 4.0  # ops per vertex of the status sweep
 
+# Tile kernel family (specs with bu_kernel="tile"; see repro.linalg).
+# The bottom-up sweep streams packed adjacency *words*, not edges:
+TILE_WORD_FILL = 4.0     # mean adjacency entries per stored word — the
+                         # BitmapTileMatrix.compression() of an R-MAT
+                         # graph at the paper's scales
+BYTES_TILE_WORD = 24     # streamed per word: the uint64 word, its int64
+                         # column-block id and its row_ptr share
+OPS_PER_WORD_TILE = 6.0  # AND + popcount + first-hit bookkeeping per word
+
 
 @dataclass(frozen=True)
 class LevelCost:
@@ -134,11 +143,36 @@ class CostModel:
         )
 
     def bottom_up_seconds(self, rec: LevelRecord, num_vertices: int) -> LevelCost:
-        """Price one bottom-up level."""
+        """Price one bottom-up level.
+
+        Two kernel families, selected by ``spec.bu_kernel``:
+
+        * ``"scan"`` — the per-edge adjacency scan, with the profiler's
+          win/fail split pricing early termination;
+        * ``"tile"`` — the :mod:`repro.linalg` masked bitmap-tile SpMV.
+          Work is proportional to the *words* streamed, estimated as
+          ``unvisited_edges / TILE_WORD_FILL``: the word scan has no
+          early-exit asymmetry (every probe is one AND+popcount), so
+          the family's cost depends on the scan domain, not the
+          win/fail split — ``bu_win_ns`` is the per-word latency cost.
+        """
         spec = self.spec
         sweep_mem = num_vertices * spec.scan_bytes_per_vertex / self._bw_bytes_per_s()
         sweep_cmp = num_vertices * OPS_PER_VERTEX_SCAN / self._compute_ops_per_s()
         sweep = max(sweep_mem, sweep_cmp)
+        if spec.bu_kernel == "tile":
+            words = rec.unvisited_edges / TILE_WORD_FILL
+            probe_mem = words * BYTES_TILE_WORD / self._bw_bytes_per_s()
+            probes = words * spec.bu_win_ns * 1e-9
+            probe_cmp = words * OPS_PER_WORD_TILE / self._compute_ops_per_s()
+            work = sweep + max(probe_mem + probes, probe_cmp)
+            return LevelCost(
+                seconds=spec.bu_overhead_s + work,
+                overhead_s=spec.bu_overhead_s,
+                memory_s=sweep_mem + probe_mem + probes,
+                compute_s=sweep_cmp + probe_cmp,
+                efficiency=1.0,
+            )
         probes = (
             rec.bu_edges_won * spec.bu_win_ns
             + rec.bu_edges_failed * spec.bu_fail_ns

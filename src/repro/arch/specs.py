@@ -31,6 +31,7 @@ __all__ = [
     "CPU_SANDY_BRIDGE",
     "GPU_K20X",
     "MIC_KNC",
+    "TENSOR_TILE",
     "PRESETS",
     "arch_features",
     "sample_arch",
@@ -70,6 +71,14 @@ class ArchSpec:
     bu_fail_ns: float           # per-edge cost, scans that exhaust the list
     scan_bytes_per_vertex: float  # next-frontier/status sweep traffic
 
+    # --- kernel family ----------------------------------------------------
+    # "scan": the per-edge adjacency scan (Algorithm 2; every paper
+    # platform).  "tile": the repro.linalg masked bitmap-tile SpMV — the
+    # cost model then reads bu_win_ns/bu_fail_ns as the per *streamed
+    # word* cost (one word covers up to 64 adjacency entries), see
+    # CostModel.bottom_up_seconds.
+    bu_kernel: str = "scan"
+
     def __post_init__(self) -> None:
         positive = (
             "freq_ghz",
@@ -102,6 +111,11 @@ class ArchSpec:
         if self.measured_bw_gbs > self.theoretical_bw_gbs:
             raise ArchError(
                 f"{self.name}: measured bandwidth exceeds theoretical"
+            )
+        if self.bu_kernel not in ("scan", "tile"):
+            raise ArchError(
+                f"{self.name}: bu_kernel must be 'scan' or 'tile', "
+                f"got {self.bu_kernel!r}"
             )
 
     # -- derived quantities --------------------------------------------------
@@ -250,10 +264,53 @@ MIC_KNC = ArchSpec(
     scan_bytes_per_vertex=20.0,
 )
 
+TENSOR_TILE = ArchSpec(
+    name="tensor-tile",
+    # Catalog values modeled on a Volta-class accelerator — the platform
+    # the "Graph Traversal on Tensor Cores" line of work targets.  Not a
+    # paper Table II platform: this preset prices the repro.linalg
+    # bitmap-tile kernel family so the cross-architecture planner can
+    # weigh it against the paper's three devices.
+    freq_ghz=1.41,
+    cores=5120,
+    peak_sp_gflops=15700.0,
+    peak_dp_gflops=7800.0,
+    l1_kb=128.0,
+    l2_kb=6144.0,
+    l3_mb=0.0,
+    theoretical_bw_gbs=900.0,
+    measured_bw_gbs=790.0,
+    issue_width=1.0,
+    ooo_factor=1.0,
+    cacheline_bytes=128,
+    td_overhead_s=2.5e-4,
+    # Top-down is the tile backend's weak direction: scalar queue claims
+    # waste the matrix pipes, and the occupancy ramp is even longer than
+    # the K20x's — small frontiers leave it idle, so the planner hands
+    # early levels to the CPU (the cross-architecture shape the paper's
+    # combination exploits).
+    td_atomic_ns=4.0,
+    td_saturation_edges=6.0e7,
+    td_efficiency_floor=0.02,
+    # Tile family: win/fail are per streamed *word* (up to 64 adjacency
+    # entries per probe), not per edge.  The masked SpMV has no
+    # win/fail asymmetry — every probe is one AND+popcount regardless of
+    # outcome — so the two constants coincide.
+    bu_win_ns=0.35,
+    bu_fail_ns=0.35,
+    # One fused masked-SpMV launch per level (the scan family runs a
+    # multi-pass pipeline), so the per-level overhead undercuts the
+    # K20x's.
+    bu_overhead_s=3.5e-5,
+    scan_bytes_per_vertex=24.0,
+    bu_kernel="tile",
+)
+
 PRESETS: dict[str, ArchSpec] = {
     "cpu": CPU_SANDY_BRIDGE,
     "gpu": GPU_K20X,
     "mic": MIC_KNC,
+    "tensor-tile": TENSOR_TILE,
 }
 
 
@@ -269,7 +326,7 @@ def arch_features(spec: ArchSpec) -> np.ndarray:
 _MIX_FIELDS = [
     f.name
     for f in dc_fields(ArchSpec)
-    if f.name not in ("name", "cores", "cacheline_bytes")
+    if f.name not in ("name", "cores", "cacheline_bytes", "bu_kernel")
 ]
 
 

@@ -30,7 +30,13 @@ from repro.errors import BFSError
 from repro.graph.csr import CSRGraph
 from repro.obs.tracer import Tracer, get_tracer
 
-__all__ = ["LevelState", "DirectionPolicy", "MNPolicy", "bfs_hybrid"]
+__all__ = [
+    "BOTTOM_UP_KERNELS",
+    "LevelState",
+    "DirectionPolicy",
+    "MNPolicy",
+    "bfs_hybrid",
+]
 
 
 @dataclass(frozen=True)
@@ -79,6 +85,10 @@ class MNPolicy:
         return Direction.TOP_DOWN if td else Direction.BOTTOM_UP
 
 
+#: Recognized bottom-up kernel families for :func:`bfs_hybrid`.
+BOTTOM_UP_KERNELS = ("scan", "tiles")
+
+
 def bfs_hybrid(
     graph: CSRGraph,
     source: int,
@@ -86,6 +96,7 @@ def bfs_hybrid(
     *,
     m: float | None = None,
     n: float | None = None,
+    bottom_up: str = "scan",
     sanitize: bool = False,
     workspace: BFSWorkspace | None = None,
     tracer: Tracer | None = None,
@@ -95,6 +106,13 @@ def bfs_hybrid(
     Either pass a ``policy`` object or the raw thresholds ``m=`` / ``n=``
     (mirroring how the runtime system receives the regression-predicted
     switching point).
+
+    ``bottom_up`` selects the kernel family for bottom-up levels:
+    ``"scan"`` (the reference windowed adjacency scan) or ``"tiles"``
+    (the masked bitmap-tile SpMV of :mod:`repro.linalg`).  The families
+    are bit-identical on ``parent``/``level``; ``edges_examined``
+    follows each family's own accounting (entry-granular vs
+    word-granular early termination).
 
     With ``sanitize=True`` the traversal runs under
     :class:`repro.analysis.sanitizer.Sanitizer`: CSR arrays are frozen,
@@ -119,6 +137,19 @@ def bfs_hybrid(
         policy = MNPolicy(m, n)
     elif m is not None or n is not None:
         raise BFSError("pass policy= or m=/n=, not both")
+    if bottom_up not in BOTTOM_UP_KERNELS:
+        raise BFSError(
+            f"unknown bottom-up kernel family {bottom_up!r}; "
+            f"expected one of {BOTTOM_UP_KERNELS}"
+        )
+    bu_step = bottom_up_step
+    if bottom_up == "tiles":
+        # Lazy import: repro.linalg builds on repro.bfs, so the reverse
+        # dependency stays out of module scope (same pattern as the
+        # Sanitizer import below).
+        from repro.linalg.kernels import bottom_up_tiles_step
+
+        bu_step = bottom_up_tiles_step
 
     nverts = graph.num_vertices
     if not 0 <= source < nverts:
@@ -144,7 +175,12 @@ def bfs_hybrid(
     try:
         if san is not None:
             san.__enter__()
-        with tr.span("bfs.hybrid", source=source, num_vertices=nverts) as root:
+        with tr.span(
+            "bfs.hybrid",
+            source=source,
+            num_vertices=nverts,
+            bottom_up=bottom_up,
+        ) as root:
             while frontier.size:
                 state = LevelState(
                     depth=depth,
@@ -175,7 +211,7 @@ def bfs_hybrid(
                         # load, not O(V)).
                         bits = ws.load_frontier(frontier)
                         unvisited = ws.unvisited_ids(graph, parent)
-                        next_frontier, examined = bottom_up_step(
+                        next_frontier, examined = bu_step(
                             graph,
                             bits,
                             parent,
@@ -215,6 +251,10 @@ def bfs_hybrid(
             root.set("levels", depth)
         tr.count("bfs.levels", depth)
         tr.count("bfs.edges_examined", sum(edges_examined))
+        if bottom_up == "tiles":
+            tr.count(
+                "linalg.tile_passes", directions.count(Direction.BOTTOM_UP)
+            )
         if san is not None:
             san.finish(parent, level)
     finally:

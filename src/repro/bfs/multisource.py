@@ -26,7 +26,7 @@ from repro.errors import BFSError
 from repro.graph.csr import CSRGraph
 from repro.obs.tracer import Tracer, get_tracer
 
-__all__ = ["MultiSourceResult", "msbfs"]
+__all__ = ["MSBFS_KERNELS", "MultiSourceResult", "msbfs"]
 
 MAX_BATCH = 64
 
@@ -66,10 +66,15 @@ class MultiSourceResult:
         return float(finite.mean())
 
 
+#: Recognized sweep kernels for :func:`msbfs`.
+MSBFS_KERNELS = ("scatter", "tiles")
+
+
 def msbfs(
     graph: CSRGraph,
     sources: np.ndarray,
     *,
+    kernel: str = "scatter",
     workspace: BFSWorkspace | None = None,
     tracer: Tracer | None = None,
 ) -> MultiSourceResult:
@@ -78,6 +83,15 @@ def msbfs(
     At most :data:`MAX_BATCH` sources per call (one bit each in the
     per-vertex state word).  Duplicate sources are allowed and produce
     identical rows.
+
+    ``kernel`` selects the per-level sweep: ``"scatter"`` expands the
+    active adjacency and ORs frontier masks into ``incoming`` with
+    ``np.bitwise_or.at``; ``"tiles"`` runs the whole level as one
+    masked bitmap-matrix SpMM over the graph's
+    :class:`~repro.linalg.tiles.BitmapTileMatrix`
+    (:func:`repro.linalg.kernels.msbfs_tiles_step`), which streams the
+    stored words instead of scattering per edge.  Both kernels produce
+    identical ``levels``.
 
     With a ``workspace`` the three per-vertex ``uint64`` state words
     come from its scratch buffers, so repeated batches on one graph
@@ -88,6 +102,11 @@ def msbfs(
     """
     sources = np.asarray(sources, dtype=np.int64).ravel()
     n = graph.num_vertices
+    if kernel not in MSBFS_KERNELS:
+        raise BFSError(
+            f"unknown msbfs kernel {kernel!r}; expected one of "
+            f"{MSBFS_KERNELS}"
+        )
     if sources.size == 0:
         raise BFSError("msbfs needs at least one source")
     if sources.size > MAX_BATCH:
@@ -96,6 +115,14 @@ def msbfs(
         )
     if sources.min() < 0 or sources.max() >= n:
         raise BFSError("source out of range")
+    tiles = None
+    if kernel == "tiles":
+        # Lazy import: repro.linalg builds on repro.bfs, so the reverse
+        # dependency stays out of module scope.
+        from repro.linalg.kernels import msbfs_tiles_step
+        from repro.linalg.tiles import tile_matrix
+
+        tiles = tile_matrix(graph)
 
     k = sources.size
     if workspace is not None:
@@ -117,15 +144,34 @@ def msbfs(
 
     tr = tracer if tracer is not None else get_tracer()
     depth = 0
+    words_streamed = 0
     active = np.nonzero(frontier)[0]
-    with tr.span("bfs.msbfs", batch=k, num_vertices=n) as root:
+    with tr.span(
+        "bfs.msbfs", batch=k, num_vertices=n, kernel=kernel
+    ) as root:
         while active.size:
             with tr.span("bfs.level", depth=depth) as sp:
-                # Propagate frontier masks over the adjacency of active
-                # vertices.
-                neighbours, owners, _ = expand_rows(graph, active, workspace)
-                incoming.fill(0)
-                np.bitwise_or.at(incoming, neighbours, frontier[owners])
+                # Propagate frontier masks over the adjacency of the
+                # frontier: scatter over the active rows' edges, or one
+                # tile-SpMM pass over the stored words.
+                if tiles is not None:
+                    # `seen` lets the kernel drop rows every search has
+                    # already visited — their fresh mask is 0 anyway.
+                    words_streamed += msbfs_tiles_step(
+                        tiles,
+                        frontier,
+                        incoming,
+                        row_mask=seen,
+                        workspace=workspace,
+                    )
+                    examined = tiles.num_entries
+                else:
+                    neighbours, owners, _ = expand_rows(
+                        graph, active, workspace
+                    )
+                    incoming.fill(0)
+                    np.bitwise_or.at(incoming, neighbours, frontier[owners])
+                    examined = neighbours.size
                 # fresh = incoming & ~seen, written into the frontier
                 # buffer (its old masks were consumed by the gather
                 # above).
@@ -144,9 +190,12 @@ def msbfs(
                         hit = (masks & bit).astype(bool)
                         levels[b, newly[hit]] = depth
                 sp.set("active_vertices", int(active.size))
-                sp.set("edges_examined", int(neighbours.size))
+                sp.set("edges_examined", int(examined))
                 sp.set("claimed", int(newly.size))
             active = newly
         root.set("levels", depth)
     tr.count("bfs.levels", depth)
+    if tiles is not None:
+        tr.count("linalg.tile_passes", depth)
+        tr.count("linalg.tile_words", words_streamed)
     return MultiSourceResult(sources=sources.copy(), levels=levels)

@@ -23,14 +23,24 @@ __all__ = ["adjacency_matrix", "bfs_spmv", "spmv_flops", "spmv_bytes"]
 def adjacency_matrix(graph: CSRGraph) -> sp.csr_matrix:
     """The graph's adjacency matrix as a SciPy CSR matrix.
 
-    Row ``u`` holds ones at ``u``'s neighbours; shares the structure of
-    (but not the buffers with) :class:`~repro.graph.csr.CSRGraph`.
+    Zero-copy on the adjacency structure: the CSR arrays are frozen at
+    construction, so they are handed to SciPy without defensive copies
+    — ``indices`` aliases the graph's ``targets`` (the ``O(E)`` array;
+    SciPy keeps it as a read-only view), while SciPy canonicalizes
+    ``indptr`` to its own index dtype (an ``O(V)`` cast it owns).  The
+    matrix's ``indices`` therefore stay **read-only**; callers that
+    need to mutate structure must copy first.  Adjacency lists are
+    sorted within each row, so ``has_sorted_indices`` is declared up
+    front — SciPy would otherwise try to sort (i.e. write) the aliased
+    array on first use.
     """
     n = graph.num_vertices
     data = np.ones(graph.targets.size, dtype=np.int8)
-    return sp.csr_matrix(
-        (data, graph.targets.copy(), graph.offsets.copy()), shape=(n, n)
+    mat = sp.csr_matrix(
+        (data, graph.targets, graph.offsets), shape=(n, n)
     )
+    mat.has_sorted_indices = True
+    return mat
 
 
 def bfs_spmv(graph: CSRGraph, source: int) -> BFSResult:

@@ -234,6 +234,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="'auto' predicts (M, N) with the regression model",
     )
     bfs_p.add_argument(
+        "--bottom-up",
+        choices=("scan", "tiles"),
+        default="scan",
+        dest="bottom_up",
+        help=(
+            "bottom-up kernel family for hybrid/bu runs: 'scan' is the "
+            "reference row scan, 'tiles' the bitmap-tile masked SpMV"
+        ),
+    )
+    bfs_p.add_argument(
         "--json",
         action="store_true",
         help="emit the result as a JSON object on stdout",
@@ -710,11 +720,19 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
     if not quiet:
         print(f"graph: {graph!r}, source {source}")
 
+    # Kernel family actually in force: top-down runs never touch a
+    # bottom-up kernel, so the flag is reported as such in the payload.
+    kernel_family = "scan" if args.engine == "td" else args.bottom_up
     m = n = None
     if args.engine == "td":
         runner = lambda: bfs_top_down(graph, source)
     elif args.engine == "bu":
-        runner = lambda: bfs_bottom_up(graph, source)
+        if args.bottom_up == "tiles":
+            from repro.linalg import bfs_bottom_up_tiles
+
+            runner = lambda: bfs_bottom_up_tiles(graph, source)
+        else:
+            runner = lambda: bfs_bottom_up(graph, source)
     else:
         m, n = args.m, args.n
         if args.engine == "auto" and (m is None or n is None):
@@ -729,7 +747,9 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
                 print(f"predicted switching point: M={m:.1f} N={n:.1f}")
         m = 64.0 if m is None else m
         n = 512.0 if n is None else n
-        runner = lambda: bfs_hybrid(graph, source, m=m, n=n)
+        runner = lambda: bfs_hybrid(
+            graph, source, m=m, n=n, bottom_up=args.bottom_up
+        )
 
     tracer = Tracer()
     with use_tracer(tracer):
@@ -764,6 +784,7 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
         "edgefactor": args.edgefactor,
         "seed": args.seed,
         "engine": args.engine,
+        "kernel_family": kernel_family,
         "source": source,
         "m": m,
         "n": n,

@@ -212,6 +212,20 @@ class CSRGraph:
             object.__setattr__(self, "_degrees", cached)
         return cached
 
+    @property
+    def tiles(self) -> "BitmapTileMatrix":
+        """The graph's 64×64 bitmap-tile adjacency, built once and cached.
+
+        Same lifecycle as :attr:`degrees`: construction is ``O(E)``,
+        every tile-kernel traversal needs it, and the frozen CSR arrays
+        make the cache permanently valid.  Delegates to
+        :func:`repro.linalg.tiles.tile_matrix` (lazy import — the
+        linalg tier builds on :mod:`repro.graph`, not the reverse).
+        """
+        from repro.linalg.tiles import tile_matrix
+
+        return tile_matrix(self)
+
     def neighbors(self, v: int) -> np.ndarray:
         """Adjacency list of vertex ``v`` (a view, not a copy)."""
         if not 0 <= v < self.num_vertices:

@@ -1,0 +1,124 @@
+"""Full bottom-up traversal on the bitmap-tile kernels.
+
+A sibling of :func:`repro.bfs.bottomup.bfs_bottom_up` whose per-level
+step is the masked tile SpMV (:func:`repro.linalg.kernels.
+bottom_up_tiles_step`).  Like the reference engine it is rarely the
+right *whole-traversal* choice — the paper's Fig. 3 shape (slow start,
+fast middle) applies unchanged — but it is the measurement vehicle for
+the tile kernel family and the backend ``bfs_hybrid(...,
+bottom_up="tiles")`` dispatches its bottom-up levels to.
+
+``parent``/``level`` are bit-identical to the reference engine;
+``edges_examined`` follows the word-granular tile accounting (see
+:mod:`repro.linalg.kernels`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bfs.result import BFSResult, Direction
+from repro.bfs.workspace import BFSWorkspace
+from repro.errors import BFSError
+from repro.graph.csr import CSRGraph
+from repro.linalg.kernels import DEFAULT_WORD_WINDOW, bottom_up_tiles_step
+from repro.linalg.tiles import tile_matrix
+from repro.obs.tracer import Tracer, get_tracer
+
+__all__ = ["bfs_bottom_up_tiles"]
+
+
+def bfs_bottom_up_tiles(
+    graph: CSRGraph,
+    source: int,
+    *,
+    sanitize: bool = False,
+    workspace: BFSWorkspace | None = None,
+    tracer: Tracer | None = None,
+    window: int = DEFAULT_WORD_WINDOW,
+) -> BFSResult:
+    """Full bottom-up traversal from ``source`` on the tile kernels.
+
+    Mirrors :func:`repro.bfs.bottomup.bfs_bottom_up`'s contract:
+    ``sanitize=True`` runs under the
+    :class:`~repro.analysis.sanitizer.Sanitizer`, an explicit
+    ``workspace`` makes the result alias its arrays (``detach()`` to
+    keep one) and keeps warm traversals allocation-free, and ``tracer``
+    overrides the process-global tracer — levels become ``bfs.level``
+    spans under a ``bfs.bottomup`` root carrying ``kernel="tiles"``.
+    """
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise BFSError(f"source {source} out of range [0, {n})")
+    tiles = tile_matrix(graph)
+    tr = tracer if tracer is not None else get_tracer()
+    san = None
+    if sanitize:
+        from repro.analysis.sanitizer import Sanitizer
+
+        san = Sanitizer(graph, source)
+    ws = workspace if workspace is not None else BFSWorkspace(n)
+    parent, level = ws.begin(source)
+    frontier = np.array([source], dtype=np.int64)
+    directions: list[str] = []
+    edges_examined: list[int] = []
+    depth = 0
+    try:
+        if san is not None:
+            san.__enter__()
+        with tr.span(
+            "bfs.bottomup", source=source, num_vertices=n, kernel="tiles"
+        ) as root:
+            while frontier.size:
+                with tr.span(
+                    "bfs.level",
+                    depth=depth,
+                    direction=Direction.BOTTOM_UP,
+                    kernel="tiles",
+                ) as sp:
+                    bits = ws.load_frontier(frontier)
+                    unvisited = ws.unvisited_ids(graph, parent)
+                    next_frontier, checked = bottom_up_tiles_step(
+                        graph,
+                        bits,
+                        parent,
+                        level,
+                        depth,
+                        tiles=tiles,
+                        unvisited=unvisited,
+                        workspace=ws,
+                        window=window,
+                    )
+                    sp.set("frontier_vertices", int(frontier.size))
+                    sp.set("edges_examined", checked)
+                    sp.set("claimed", int(next_frontier.size))
+                if san is not None:
+                    san.after_level(
+                        depth,
+                        frontier,
+                        next_frontier,
+                        parent,
+                        level,
+                        in_frontier=bits,
+                    )
+                ws.retire_claimed(parent)
+                directions.append(Direction.BOTTOM_UP)
+                edges_examined.append(checked)
+                frontier = next_frontier
+                depth += 1
+            root.set("levels", depth)
+        tr.count("bfs.levels", depth)
+        tr.count("bfs.edges_examined", sum(edges_examined))
+        tr.count("linalg.tile_passes", depth)
+        if san is not None:
+            san.finish(parent, level)
+    finally:
+        if san is not None:
+            san.__exit__()
+    return BFSResult(
+        source=source,
+        parent=parent,
+        level=level,
+        directions=directions,
+        edges_examined=edges_examined,
+    )

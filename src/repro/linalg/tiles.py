@@ -1,0 +1,243 @@
+"""Blocked bitmap-tile adjacency format for the linalg kernel tier.
+
+The CSR adjacency is re-expressed over a 64×64 tiling of the (square)
+adjacency matrix: vertices are grouped into *blocks* of 64 ids, and the
+neighbourhood of vertex ``v`` inside column block ``cb`` becomes one
+packed ``uint64`` word whose bit ``j`` is set iff the directed edge
+``(v, cb * 64 + j)`` is stored.  Only non-empty words are kept — the
+format is *word-compressed*, not dense: a dense tile store would cost
+``num_blocks² × 512`` bytes regardless of sparsity, while this layout
+costs 24 bytes per non-empty word and collapses each row's adjacency
+list by the per-block neighbour multiplicity (``compression()``).
+
+Layout (all arrays frozen read-only, like the CSR arrays they derive
+from):
+
+* ``row_ptr``/``word_cols``/``words`` — a word-level CSR: the stored
+  words of row ``v`` are ``words[row_ptr[v]:row_ptr[v+1]]`` and sit in
+  column blocks ``word_cols[...]``, *ascending within each row* because
+  CSR adjacency lists are sorted.  The bottom-up masked-SpMV kernel
+  streams these.
+* ``block_ptr``/``tile_cols`` — the sparse tile index: the distinct
+  non-empty 64×64 tiles of row block ``rb`` occupy column blocks
+  ``tile_cols[block_ptr[rb]:block_ptr[rb+1]]``, ascending.  This is the
+  blocked-CSR directory a tensor-core style backend would schedule
+  tiles from, and what :meth:`BitmapTileMatrix.tile` reconstructs.
+
+Construction is one vectorized pass with no sort: the per-entry key
+``src * num_blocks + (dst >> 6)`` is already ascending (rows ascend,
+lists ascend within rows), so word boundaries fall out of a ``diff``
+and the words themselves out of one ``np.bitwise_or.reduceat``.
+
+The matrix is built once per graph and cached on the frozen
+:class:`~repro.graph.csr.CSRGraph` exactly like ``degrees`` — use
+:func:`tile_matrix` (or ``graph``'s cache directly) rather than calling
+:meth:`BitmapTileMatrix.from_graph` per traversal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.bitmap import WORD_BITS
+from repro.graph.csr import CSRGraph
+
+__all__ = ["BitmapTileMatrix", "tile_matrix"]
+
+_WORD_SHIFT = 6  # log2(WORD_BITS)
+_WORD_MASK = WORD_BITS - 1
+
+#: Bytes the kernels stream per stored word: the word itself plus its
+#: column-block id and its share of ``row_ptr`` (uint64 + int64 + ~int64).
+BYTES_PER_TILE_WORD = 24
+
+
+class BitmapTileMatrix:
+    """Word-compressed 64×64 bitmap tiling of a CSR adjacency matrix.
+
+    Instances are immutable (all arrays frozen) and constructed via
+    :meth:`from_graph` / :func:`tile_matrix`; the attribute layout is
+    documented in the module docstring.
+    """
+
+    __slots__ = (
+        "num_vertices",
+        "num_blocks",
+        "num_entries",
+        "row_ptr",
+        "word_cols",
+        "words",
+        "block_ptr",
+        "tile_cols",
+    )
+
+    def __init__(
+        self,
+        num_vertices: int,
+        num_blocks: int,
+        num_entries: int,
+        row_ptr: np.ndarray,
+        word_cols: np.ndarray,
+        words: np.ndarray,
+        block_ptr: np.ndarray,
+        tile_cols: np.ndarray,
+    ) -> None:
+        self.num_vertices = int(num_vertices)
+        self.num_blocks = int(num_blocks)
+        self.num_entries = int(num_entries)
+        self.row_ptr = row_ptr
+        self.word_cols = word_cols
+        self.words = words
+        self.block_ptr = block_ptr
+        self.tile_cols = tile_cols
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_graph(cls, graph: CSRGraph) -> "BitmapTileMatrix":
+        """Build the tile format from a frozen CSR graph.
+
+        One vectorized pass over the adjacency entries; see the module
+        docstring for why no sort is needed.  Prefer :func:`tile_matrix`,
+        which caches the result on the graph.
+        """
+        if not isinstance(graph, CSRGraph):
+            raise GraphError(
+                f"expected CSRGraph, got {type(graph).__name__}"
+            )
+        n = graph.num_vertices
+        nblocks = (n + _WORD_MASK) >> _WORD_SHIFT
+        dst = graph.targets
+        m = dst.size
+        if m == 0:
+            return cls(
+                n,
+                nblocks,
+                0,
+                row_ptr=_frozen(np.zeros(n + 1, dtype=np.int64)),
+                word_cols=_frozen(np.zeros(0, dtype=np.int64)),
+                words=_frozen(np.zeros(0, dtype=np.uint64)),
+                block_ptr=_frozen(np.zeros(nblocks + 1, dtype=np.int64)),
+                tile_cols=_frozen(np.zeros(0, dtype=np.int64)),
+            )
+        src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees)
+        colblk = (dst >> _WORD_SHIFT).astype(np.int64)
+        # Ascending per-entry word key: rows ascend, and within a row the
+        # sorted adjacency list makes colblk non-decreasing.
+        key = src * np.int64(nblocks) + colblk
+        boundary = np.empty(m, dtype=bool)
+        boundary[0] = True
+        np.not_equal(key[1:], key[:-1], out=boundary[1:])
+        starts = np.flatnonzero(boundary)
+        bits = np.uint64(1) << (dst & _WORD_MASK).astype(np.uint64)
+        words = np.bitwise_or.reduceat(bits, starts)
+        word_cols = colblk[starts]
+        word_rows = src[starts]
+        row_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(word_rows, minlength=n), out=row_ptr[1:])
+        # Sparse tile index: distinct (row block, column block) pairs.
+        tile_key = np.unique(
+            (word_rows >> _WORD_SHIFT) * np.int64(nblocks) + word_cols
+        )
+        tile_rows = tile_key // nblocks
+        tile_cols = tile_key % nblocks
+        block_ptr = np.zeros(nblocks + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(tile_rows, minlength=nblocks), out=block_ptr[1:]
+        )
+        return cls(
+            n,
+            nblocks,
+            m,
+            row_ptr=_frozen(row_ptr),
+            word_cols=_frozen(word_cols),
+            words=_frozen(words),
+            block_ptr=_frozen(block_ptr),
+            tile_cols=_frozen(tile_cols),
+        )
+
+    # -- queries --------------------------------------------------------
+
+    @property
+    def num_words(self) -> int:
+        """Number of stored (non-empty) adjacency words."""
+        return self.words.size
+
+    @property
+    def num_tiles(self) -> int:
+        """Number of non-empty 64×64 tiles."""
+        return self.tile_cols.size
+
+    def compression(self) -> float:
+        """Mean adjacency entries per stored word (≥ 1.0 when non-empty).
+
+        The factor by which the bottom-up word scan shortens each row's
+        list relative to the entry-level CSR scan; 1.0 means every
+        neighbour landed in its own column block (no tile locality).
+        """
+        if self.words.size == 0:
+            return 1.0
+        return self.num_entries / self.words.size
+
+    def tile(self, row_block: int, col_block: int) -> np.ndarray:
+        """Reconstruct one dense 64×64 tile as ``uint64[64]``.
+
+        Row ``i`` of the result is the stored word of vertex
+        ``row_block * 64 + i`` in ``col_block`` (zero when absent).
+        Intended for tests and debugging, not kernels.
+        """
+        if not 0 <= row_block < self.num_blocks:
+            raise GraphError(
+                f"row block {row_block} out of range [0, {self.num_blocks})"
+            )
+        if not 0 <= col_block < self.num_blocks:
+            raise GraphError(
+                f"col block {col_block} out of range [0, {self.num_blocks})"
+            )
+        out = np.zeros(WORD_BITS, dtype=np.uint64)
+        lo_v = row_block << _WORD_SHIFT
+        hi_v = min(lo_v + WORD_BITS, self.num_vertices)
+        for v in range(lo_v, hi_v):
+            lo, hi = self.row_ptr[v], self.row_ptr[v + 1]
+            j = lo + np.searchsorted(self.word_cols[lo:hi], col_block)
+            if j < hi and self.word_cols[j] == col_block:
+                out[v - lo_v] = self.words[j]
+        return out
+
+    def nbytes(self) -> int:
+        """Bytes of tile storage — what a full masked-SpMV sweep streams."""
+        return int(
+            self.row_ptr.nbytes
+            + self.word_cols.nbytes
+            + self.words.nbytes
+            + self.block_ptr.nbytes
+            + self.tile_cols.nbytes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BitmapTileMatrix(|V|={self.num_vertices}, "
+            f"words={self.num_words}, tiles={self.num_tiles}, "
+            f"compression={self.compression():.2f})"
+        )
+
+
+def _frozen(arr: np.ndarray) -> np.ndarray:
+    """Freeze an owned array (tile storage is shared by traversals)."""
+    arr.flags.writeable = False
+    return arr
+
+
+def tile_matrix(graph: CSRGraph) -> BitmapTileMatrix:
+    """The graph's :class:`BitmapTileMatrix`, built once and cached.
+
+    Cached on the frozen graph exactly like ``CSRGraph.degrees``: every
+    tile-kernel traversal needs it, construction is ``O(E)``, and the
+    frozen CSR arrays guarantee the cache can never go stale.
+    """
+    cached = graph.__dict__.get("_tile_matrix")
+    if cached is None:
+        cached = BitmapTileMatrix.from_graph(graph)
+        object.__setattr__(graph, "_tile_matrix", cached)
+    return cached

@@ -43,6 +43,8 @@ METRIC_CATALOG = (
     "teps",
     "graph500.bfs_seconds",
     "tuning.drift_alerts",
+    "linalg.tile_passes",
+    "linalg.tile_words",
 )
 
 

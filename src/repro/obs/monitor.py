@@ -107,6 +107,11 @@ DEFAULT_POLICIES: dict[str, MetricPolicy] = {
     # committed kernel speedups vs the frozen legacy baselines
     "bench.claim_speedup": MetricPolicy(higher_is_better=True, threshold=0.3),
     "bench.hybrid_speedup": MetricPolicy(higher_is_better=True, threshold=0.3),
+    # tile-kernel ratios vs the reference kernels (see bench_kernels)
+    "bench.tile_bu_ratio": MetricPolicy(higher_is_better=True, threshold=0.3),
+    "bench.tile_msbfs_speedup": MetricPolicy(
+        higher_is_better=True, threshold=0.3
+    ),
     # simulated mistuning cost: going from ~1.0x to >1.25x is drift
     "audit.slowdown": MetricPolicy(higher_is_better=False, threshold=0.25),
     # deterministic per-workload counters: any real movement is a change

@@ -49,7 +49,12 @@ class TestTableII:
         assert GPU_K20X.rcmb_dp == pytest.approx(7.02, abs=0.05)
 
     def test_presets_dict(self):
-        assert set(PRESETS) == {"cpu", "gpu", "mic"}
+        assert set(PRESETS) == {"cpu", "gpu", "mic", "tensor-tile"}
+
+    def test_paper_presets_use_scan_kernel(self):
+        for key in ("cpu", "gpu", "mic"):
+            assert PRESETS[key].bu_kernel == "scan"
+        assert PRESETS["tensor-tile"].bu_kernel == "tile"
 
 
 class TestValidation:

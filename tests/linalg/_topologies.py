@@ -1,0 +1,49 @@
+"""Adversarial graph topologies shared by the linalg test modules."""
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat
+
+
+def star_graph(n=300):
+    """Hub 0 connected to every other vertex."""
+    hub = np.zeros(n - 1, dtype=np.int64)
+    spokes = np.arange(1, n, dtype=np.int64)
+    return CSRGraph.from_edges(hub, spokes, n)
+
+
+def long_chain(n=257):
+    """A single path: maximal depth, frontier size 1, words of 1-2 bits."""
+    src = np.arange(n - 1, dtype=np.int64)
+    return CSRGraph.from_edges(src, src + 1, n)
+
+
+def disconnected(n=120):
+    """Two cliques with no path between them."""
+    k = 9
+    a, b = np.meshgrid(np.arange(k), np.arange(k))
+    sel = a != b
+    src = np.concatenate([a[sel], a[sel] + 60])
+    dst = np.concatenate([b[sel], b[sel] + 60])
+    return CSRGraph.from_edges(src, dst, n)
+
+
+def zero_degree_tail(n=100):
+    """A clique in the low ids followed by a block of isolated vertices
+    (their rows store no words at all)."""
+    k = 8
+    a, b = np.meshgrid(np.arange(k), np.arange(k))
+    sel = a != b
+    return CSRGraph.from_edges(a[sel], b[sel], n)
+
+
+ADVERSARIAL = {
+    "star": (star_graph(), 0),
+    "star-leaf": (star_graph(), 131),
+    "chain": (long_chain(), 0),
+    "chain-middle": (long_chain(), 128),
+    "disconnected": (disconnected(), 2),
+    "zero-degree-tail": (zero_degree_tail(), 1),
+    "rmat": (rmat(10, 8, seed=7), 0),
+}

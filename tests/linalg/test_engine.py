@@ -1,0 +1,115 @@
+"""Whole-traversal identity and workspace reuse for the tile engines."""
+
+import numpy as np
+import pytest
+
+from _topologies import ADVERSARIAL
+
+from repro.bfs.bottomup import bfs_bottom_up
+from repro.bfs.hybrid import BOTTOM_UP_KERNELS, bfs_hybrid
+from repro.bfs.workspace import BFSWorkspace
+from repro.errors import BFSError
+from repro.graph.generators import rmat
+from repro.linalg import bfs_bottom_up_tiles
+
+
+class TestBottomUpTilesEngine:
+    @pytest.mark.parametrize("name", sorted(ADVERSARIAL))
+    def test_matches_reference_engine(self, name):
+        graph, source = ADVERSARIAL[name]
+        ref = bfs_bottom_up(graph, source)
+        res = bfs_bottom_up_tiles(graph, source)
+        np.testing.assert_array_equal(res.parent, ref.parent)
+        np.testing.assert_array_equal(res.level, ref.level)
+        assert res.directions == ref.directions
+        res.validate(graph)
+
+    def test_sanitized_run(self):
+        graph, source = ADVERSARIAL["rmat"]
+        res = bfs_bottom_up_tiles(graph, source, sanitize=True)
+        res.validate(graph)
+
+    def test_rejects_bad_source(self):
+        graph, _ = ADVERSARIAL["star"]
+        with pytest.raises(BFSError):
+            bfs_bottom_up_tiles(graph, graph.num_vertices)
+
+
+class TestHybridTiles:
+    @pytest.mark.parametrize("name", sorted(ADVERSARIAL))
+    def test_bit_identical_to_scan_hybrid(self, name):
+        """Same parents, levels, directions — the kernel family is an
+        implementation detail of the bottom-up levels."""
+        graph, source = ADVERSARIAL[name]
+        ref = bfs_hybrid(graph, source, m=20, n=100)
+        res = bfs_hybrid(graph, source, m=20, n=100, bottom_up="tiles")
+        np.testing.assert_array_equal(res.parent, ref.parent)
+        np.testing.assert_array_equal(res.level, ref.level)
+        assert res.directions == ref.directions
+        res.validate(graph)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bit_identical_on_rmat_scales(self, seed):
+        graph = rmat(11, 8, seed=seed)
+        for source in (0, 5, graph.num_vertices - 1):
+            ref = bfs_hybrid(graph, source, m=20, n=100)
+            res = bfs_hybrid(
+                graph, source, m=20, n=100, bottom_up="tiles"
+            )
+            np.testing.assert_array_equal(res.parent, ref.parent)
+            np.testing.assert_array_equal(res.level, ref.level)
+            assert res.directions == ref.directions
+
+    def test_kernel_catalog(self):
+        assert BOTTOM_UP_KERNELS == ("scan", "tiles")
+        graph, source = ADVERSARIAL["star"]
+        with pytest.raises(BFSError, match="bottom-up kernel"):
+            bfs_hybrid(graph, source, m=20, n=100, bottom_up="blas")
+
+
+class TestAllocationFreedom:
+    def test_no_scratch_growth_after_warmup_tiles_hybrid(self):
+        """Warm tile traversals must not grow the workspace pool: every
+        recurring scratch array (including the lin-* kernel buffers) is
+        grown once and reused."""
+        graph = rmat(11, 8, seed=3)
+        ws = BFSWorkspace.for_graph(graph)
+        sources = (1, 2, 3, 4, 5, 6)
+        for s in sources:
+            bfs_hybrid(graph, s, m=20, n=100, bottom_up="tiles",
+                       workspace=ws)
+
+        def pool_bytes():
+            total = sum(b.nbytes for b in ws._buffers.values())
+            for arr in (ws._iota, ws._claim_slot, ws._unv_backing,
+                        ws._unv_spare):
+                if arr is not None:
+                    total += arr.nbytes
+            return total
+
+        before = pool_bytes()
+        for _ in range(3):
+            for s in sources:
+                bfs_hybrid(graph, s, m=20, n=100, bottom_up="tiles",
+                           workspace=ws)
+        assert pool_bytes() == before
+
+    def test_no_scratch_growth_warm_bottom_up_tiles(self):
+        graph = rmat(10, 8, seed=4)
+        ws = BFSWorkspace.for_graph(graph)
+        for s in (1, 2, 3):
+            bfs_bottom_up_tiles(graph, s, workspace=ws)
+        before = sum(b.nbytes for b in ws._buffers.values())
+        for _ in range(3):
+            for s in (1, 2, 3):
+                bfs_bottom_up_tiles(graph, s, workspace=ws)
+        assert sum(b.nbytes for b in ws._buffers.values()) == before
+
+    def test_workspace_result_aliases_and_detaches(self):
+        graph = rmat(9, 8, seed=5)
+        ws = BFSWorkspace.for_graph(graph)
+        first = bfs_bottom_up_tiles(graph, 1, workspace=ws).detach()
+        second = bfs_bottom_up_tiles(graph, 2, workspace=ws)
+        assert second.parent is not first.parent
+        ref = bfs_bottom_up(graph, 2)
+        np.testing.assert_array_equal(second.level, ref.level)

@@ -1,0 +1,243 @@
+"""Bit-identity and contract tests for the masked tile kernels."""
+
+import numpy as np
+import pytest
+
+from _topologies import ADVERSARIAL
+
+from repro.bfs.bottomup import bottom_up_step
+from repro.bfs.multisource import msbfs
+from repro.bfs.topdown import top_down_step
+from repro.bfs.workspace import BFSWorkspace
+from repro.errors import BFSError
+from repro.graph.generators import rmat
+from repro.linalg import bottom_up_tiles_step, msbfs_tiles_step, tile_matrix
+
+
+def _bu_level_state(graph, source, td_levels=1):
+    """Parent/level/frontier after ``td_levels`` top-down steps."""
+    ws = BFSWorkspace.for_graph(graph)
+    parent, level = ws.begin(source)
+    frontier = np.array([source], dtype=np.int64)
+    for depth in range(td_levels):
+        frontier, _ = top_down_step(
+            graph, frontier, parent, level, depth, workspace=ws
+        )
+        ws.retire_claimed(parent)
+    return ws, parent, level, frontier
+
+
+class TestBottomUpStepIdentity:
+    @pytest.mark.parametrize("name", sorted(ADVERSARIAL))
+    def test_matches_row_scan(self, name):
+        """Winners, parents and levels must be bit-identical to the
+        reference entry scan at every level of the traversal."""
+        graph, source = ADVERSARIAL[name]
+        ws, parent, level, frontier = _bu_level_state(graph, source)
+        ws2, parent2, level2, frontier2 = _bu_level_state(graph, source)
+        depth = 1
+        while frontier.size:
+            bits = ws.load_frontier(frontier)
+            unv = ws.unvisited_ids(graph, parent)
+            win_scan, _ = bottom_up_step(
+                graph, bits, parent, level, depth,
+                unvisited=unv, workspace=ws,
+            )
+            ws.retire_claimed(parent)
+
+            bits2 = ws2.load_frontier(frontier2)
+            unv2 = ws2.unvisited_ids(graph, parent2)
+            win_tile, _ = bottom_up_tiles_step(
+                graph, bits2, parent2, level2, depth,
+                unvisited=unv2, workspace=ws2,
+            )
+            ws2.retire_claimed(parent2)
+
+            np.testing.assert_array_equal(win_tile, win_scan)
+            np.testing.assert_array_equal(parent2, parent)
+            np.testing.assert_array_equal(level2, level)
+            frontier, frontier2 = win_scan, win_tile
+            depth += 1
+
+    @pytest.mark.parametrize("window", [1, 2, 3, 64])
+    def test_window_invariance(self, window):
+        """Any positive word window gives the same winners/parents —
+        the two-phase split is a pure optimization."""
+        graph, source = ADVERSARIAL["rmat"]
+        ws, parent, level, frontier = _bu_level_state(graph, source)
+        bits = ws.load_frontier(frontier)
+        unv = ws.unvisited_ids(graph, parent)
+        pw, lw = parent.copy(), level.copy()
+        win_ref, ex_ref = bottom_up_tiles_step(
+            graph, bits, pw, lw, 1, unvisited=unv, workspace=ws, window=64
+        )
+        pv, lv = parent.copy(), level.copy()
+        win, ex = bottom_up_tiles_step(
+            graph, bits, pv, lv, 1,
+            unvisited=unv, workspace=ws, window=window,
+        )
+        np.testing.assert_array_equal(win, win_ref)
+        np.testing.assert_array_equal(pv, pw)
+        assert ex == ex_ref, "examined accounting is window-independent"
+
+    def test_parent_is_min_id_frontier_neighbour(self):
+        """The tile claim rule must pick the same parent the reference
+        scan defines: the smallest-id frontier neighbour."""
+        graph, source = ADVERSARIAL["rmat"]
+        ws, parent, level, frontier = _bu_level_state(graph, source)
+        bits = ws.load_frontier(frontier)
+        unv = ws.unvisited_ids(graph, parent)
+        fset = set(frontier.tolist())
+        winners, _ = bottom_up_tiles_step(
+            graph, bits, parent, level, 1, unvisited=unv, workspace=ws
+        )
+        for v in winners[:50]:
+            hits = [u for u in graph.neighbors(int(v)).tolist() if u in fset]
+            assert parent[v] == min(hits)
+
+    def test_examined_matches_independent_recomputation(self):
+        """Word-granular accounting: every probed word charges its
+        stored popcount, stopping at each row's winning word."""
+        graph, source = ADVERSARIAL["rmat"]
+        tiles = tile_matrix(graph)
+        ws, parent, level, frontier = _bu_level_state(graph, source)
+        bits = ws.load_frontier(frontier)
+        unv = ws.unvisited_ids(graph, parent)
+        _, examined = bottom_up_tiles_step(
+            graph, bits, parent.copy(), level.copy(), 1,
+            unvisited=unv, workspace=ws,
+        )
+        fwords = bits.words
+        expect = 0
+        for v in unv:
+            for i in range(tiles.row_ptr[v], tiles.row_ptr[v + 1]):
+                expect += int(np.bitwise_count(tiles.words[i]))
+                if tiles.words[i] & fwords[tiles.word_cols[i]]:
+                    break
+        assert examined == expect
+
+    def test_empty_unvisited(self):
+        graph, source = ADVERSARIAL["star"]
+        ws, parent, level, frontier = _bu_level_state(graph, source)
+        bits = ws.load_frontier(frontier)
+        empty = np.zeros(0, dtype=np.int64)
+        winners, examined = bottom_up_tiles_step(
+            graph, bits, parent, level, 1, unvisited=empty, workspace=ws
+        )
+        assert winners.size == 0 and examined == 0
+
+    def test_rejects_dense_frontier(self):
+        graph, source = ADVERSARIAL["star"]
+        mask = np.zeros(graph.num_vertices, dtype=bool)
+        mask[source] = True
+        with pytest.raises(BFSError, match="packed Bitmap"):
+            bottom_up_tiles_step(
+                graph, mask,
+                np.full(graph.num_vertices, -1, dtype=np.int64),
+                np.full(graph.num_vertices, -1, dtype=np.int64),
+                0,
+            )
+
+    def test_rejects_bad_window(self):
+        graph, source = ADVERSARIAL["star"]
+        ws, parent, level, frontier = _bu_level_state(graph, source)
+        bits = ws.load_frontier(frontier)
+        with pytest.raises(BFSError, match="window"):
+            bottom_up_tiles_step(
+                graph, bits, parent, level, 1, workspace=ws, window=0
+            )
+
+
+class TestMsbfsTilesIdentity:
+    @pytest.mark.parametrize("name", sorted(ADVERSARIAL))
+    def test_matches_scatter(self, name):
+        graph, source = ADVERSARIAL[name]
+        k = min(17, graph.num_vertices)
+        sources = np.arange(k, dtype=np.int64) * (graph.num_vertices // k)
+        sources[0] = source
+        a = msbfs(graph, sources)
+        b = msbfs(graph, sources, kernel="tiles")
+        np.testing.assert_array_equal(b.levels, a.levels)
+
+    def test_full_batch_rmat(self):
+        graph = rmat(10, 8, seed=11)
+        rng = np.random.default_rng(0)
+        sources = rng.choice(graph.num_vertices, size=64, replace=False)
+        a = msbfs(graph, sources)
+        b = msbfs(graph, sources, kernel="tiles")
+        np.testing.assert_array_equal(b.levels, a.levels)
+
+    def test_single_step_or_of_neighbour_masks(self):
+        """One sweep computes incoming[v] = OR of frontier[u] over u in
+        adj(v), verified against a per-vertex recomputation."""
+        graph = rmat(8, 6, seed=3)
+        tiles = tile_matrix(graph)
+        n = graph.num_vertices
+        rng = np.random.default_rng(1)
+        frontier = rng.integers(0, 2**63, n, dtype=np.int64).astype(np.uint64)
+        frontier[rng.random(n) < 0.6] = 0
+        incoming = np.empty(n, dtype=np.uint64)
+        msbfs_tiles_step(tiles, frontier, incoming)
+        for v in range(0, n, 13):
+            expect = np.uint64(0)
+            for u in graph.neighbors(v):
+                expect |= frontier[u]
+            assert incoming[v] == expect
+
+    def test_row_mask_skips_saturated_rows(self):
+        """Saturated rows (all 64 searches done) keep incoming == 0 —
+        the caller's ¬visited mask annihilates them anyway."""
+        graph = rmat(8, 6, seed=3)
+        tiles = tile_matrix(graph)
+        n = graph.num_vertices
+        rng = np.random.default_rng(2)
+        frontier = rng.integers(0, 2**63, n, dtype=np.int64).astype(np.uint64)
+        row_mask = np.zeros(n, dtype=np.uint64)
+        row_mask[: n // 2] = ~np.uint64(0)
+        incoming = np.empty(n, dtype=np.uint64)
+        msbfs_tiles_step(tiles, frontier, incoming, row_mask=row_mask)
+        assert not incoming[: n // 2].any()
+        reference = np.empty(n, dtype=np.uint64)
+        msbfs_tiles_step(tiles, frontier, reference)
+        np.testing.assert_array_equal(incoming[n // 2 :], reference[n // 2 :])
+
+    def test_zero_frontier_returns_zero_words(self):
+        graph = rmat(7, 4, seed=0)
+        tiles = tile_matrix(graph)
+        n = graph.num_vertices
+        incoming = np.empty(n, dtype=np.uint64)
+        streamed = msbfs_tiles_step(
+            tiles, np.zeros(n, dtype=np.uint64), incoming
+        )
+        assert streamed == 0
+        assert not incoming.any()
+
+    def test_streamed_words_bounded_by_storage(self):
+        graph = rmat(9, 8, seed=5)
+        tiles = tile_matrix(graph)
+        n = graph.num_vertices
+        frontier = np.zeros(n, dtype=np.uint64)
+        frontier[:64] = 1
+        incoming = np.empty(n, dtype=np.uint64)
+        streamed = msbfs_tiles_step(tiles, frontier, incoming)
+        assert 0 < streamed <= tiles.num_words
+
+    def test_rejects_bad_shapes(self):
+        graph = rmat(7, 4, seed=0)
+        tiles = tile_matrix(graph)
+        n = graph.num_vertices
+        good = np.zeros(n, dtype=np.uint64)
+        with pytest.raises(BFSError, match="frontier"):
+            msbfs_tiles_step(tiles, np.zeros(n, dtype=np.int64), good.copy())
+        with pytest.raises(BFSError, match="incoming"):
+            msbfs_tiles_step(tiles, good, np.zeros(n - 1, dtype=np.uint64))
+        with pytest.raises(BFSError, match="row_mask"):
+            msbfs_tiles_step(
+                tiles, good, good.copy(),
+                row_mask=np.zeros(n, dtype=np.int64),
+            )
+
+    def test_unknown_kernel_rejected(self):
+        graph = rmat(7, 4, seed=0)
+        with pytest.raises(BFSError, match="kernel"):
+            msbfs(graph, np.array([0]), kernel="cuda")

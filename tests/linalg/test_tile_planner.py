@@ -1,0 +1,112 @@
+"""The tensor-tile preset must be priceable and worth picking.
+
+Acceptance for the linalg tier: the cost model prices the tile kernel
+family (``bu_kernel="tile"``), the cross-architecture planner can place
+levels on a tensor-tile device, and on a large-frontier workload the
+oracle actually *prefers* it to the paper's CPU/GPU for the bottom-up
+middle of the traversal.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    CPU_SANDY_BRIDGE,
+    GPU_K20X,
+    TENSOR_TILE,
+    CostModel,
+    SimulatedMachine,
+)
+from repro.bfs import pick_sources, profile_bfs
+from repro.bfs.result import Direction
+from repro.graph.generators import rmat
+from repro.hetero.planner import oracle_plan
+
+
+@pytest.fixture(scope="module")
+def profile():
+    graph = rmat(13, 16, seed=0)
+    source = int(pick_sources(graph, 1, seed=0)[0])
+    prof, _ = profile_bfs(graph, source)
+    return prof
+
+
+class TestTensorTilePricing:
+    def test_priced_finite_and_positive(self, profile):
+        model = CostModel(TENSOR_TILE)
+        n = profile.num_vertices
+        for rec in profile.records:
+            for cost in (model.top_down_seconds(rec, n),
+                         model.bottom_up_seconds(rec, n)):
+                assert np.isfinite(cost.seconds)
+                assert cost.seconds > 0
+
+    def test_tile_branch_differs_from_scan(self, profile):
+        """bu_kernel is not cosmetic: the same catalog numbers priced
+        through the scan branch give different bottom-up costs."""
+        import dataclasses
+
+        scan_twin = dataclasses.replace(TENSOR_TILE, bu_kernel="scan")
+        tile_model = CostModel(TENSOR_TILE)
+        scan_model = CostModel(scan_twin)
+        n = profile.num_vertices
+        rec = max(profile.records, key=lambda r: r.frontier_edges)
+        assert (
+            tile_model.bottom_up_seconds(rec, n).seconds
+            != scan_model.bottom_up_seconds(rec, n).seconds
+        )
+
+    def test_top_down_unaffected_by_kernel_family(self, profile):
+        import dataclasses
+
+        scan_twin = dataclasses.replace(TENSOR_TILE, bu_kernel="scan")
+        n = profile.num_vertices
+        rec = max(profile.records, key=lambda r: r.frontier_edges)
+        assert (
+            CostModel(TENSOR_TILE).top_down_seconds(rec, n).seconds
+            == CostModel(scan_twin).top_down_seconds(rec, n).seconds
+        )
+
+
+class TestPlannerSelectsTensorTile:
+    def test_wins_large_frontier_bottom_up_levels(self, profile):
+        """On the scale-13 R-MAT profile the oracle must hand the
+        peak-frontier level to the tensor-tile device, bottom-up."""
+        machine = SimulatedMachine(
+            {
+                "cpu": CPU_SANDY_BRIDGE,
+                "gpu": GPU_K20X,
+                "tile": TENSOR_TILE,
+            }
+        )
+        plan = oracle_plan(machine, profile)
+        peak = int(
+            max(
+                range(len(profile)),
+                key=lambda i: profile.records[i].frontier_edges,
+            )
+        )
+        step = plan[peak]
+        assert step.device == "tile"
+        assert step.direction == Direction.BOTTOM_UP
+        # And the plan as a whole must be priceable end to end.
+        report = machine.run(profile, plan)
+        assert np.isfinite(report.total_seconds)
+        assert report.total_seconds > 0
+
+    def test_beats_cpu_gpu_only_machine(self, profile):
+        """Adding the tensor-tile device can only improve the oracle's
+        total: it wins levels, so the three-device plan is faster."""
+        two = SimulatedMachine(
+            {"cpu": CPU_SANDY_BRIDGE, "gpu": GPU_K20X}
+        )
+        three = SimulatedMachine(
+            {
+                "cpu": CPU_SANDY_BRIDGE,
+                "gpu": GPU_K20X,
+                "tile": TENSOR_TILE,
+            }
+        )
+        t2 = two.run(profile, oracle_plan(two, profile)).total_seconds
+        t3 = three.run(profile, oracle_plan(three, profile)).total_seconds
+        assert t3 < t2

@@ -1,0 +1,135 @@
+"""Construction invariants of the BitmapTileMatrix format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat
+from repro.linalg import BitmapTileMatrix, tile_matrix
+
+
+def star_graph(n=200):
+    hub = np.zeros(n - 1, dtype=np.int64)
+    spokes = np.arange(1, n, dtype=np.int64)
+    return CSRGraph.from_edges(hub, spokes, n)
+
+
+def empty_graph(n=70):
+    return CSRGraph.from_edges(
+        np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), n
+    )
+
+
+class TestConstruction:
+    def test_popcounts_sum_to_degrees(self):
+        """Every stored adjacency entry is exactly one set bit."""
+        g = rmat(9, 8, seed=1)
+        t = tile_matrix(g)
+        # num_entries counts stored (directed) adjacency entries: both
+        # directions of each undirected edge.
+        assert t.num_entries == g.targets.size
+        pops = np.bitwise_count(t.words).astype(np.int64)
+        per_row = np.add.reduceat(
+            pops, t.row_ptr[:-1][t.row_ptr[:-1] < t.row_ptr[1:]]
+        )
+        rows = np.flatnonzero(g.degrees > 0)
+        np.testing.assert_array_equal(per_row, g.degrees[rows])
+
+    def test_words_match_adjacency_bits(self):
+        """Bit j of row v's word in column block cb <=> edge (v, cb*64+j)."""
+        g = rmat(8, 6, seed=2)
+        t = tile_matrix(g)
+        for v in (0, 1, 17, g.num_vertices - 1):
+            neigh = set(g.neighbors(v).tolist())
+            rebuilt = set()
+            for i in range(t.row_ptr[v], t.row_ptr[v + 1]):
+                w = int(t.words[i])
+                cb = int(t.word_cols[i])
+                assert w != 0, "stored words must be non-empty"
+                for j in range(64):
+                    if w >> j & 1:
+                        rebuilt.add(cb * 64 + j)
+            assert rebuilt == neigh
+
+    def test_word_cols_ascend_within_rows(self):
+        g = rmat(9, 8, seed=3)
+        t = tile_matrix(g)
+        for v in range(0, g.num_vertices, 37):
+            cols = t.word_cols[t.row_ptr[v] : t.row_ptr[v + 1]]
+            assert (np.diff(cols) > 0).all()
+
+    def test_tile_reconstruction(self):
+        """The dense tile view must agree with the word-level storage."""
+        g = rmat(8, 8, seed=4)
+        t = tile_matrix(g)
+        for rb in range(t.num_blocks):
+            for cb in t.tile_cols[t.block_ptr[rb] : t.block_ptr[rb + 1]]:
+                tl = t.tile(rb, int(cb))
+                assert tl.any(), "indexed tiles are non-empty"
+        # A tile outside the index is all-zero.
+        full = {
+            (int(rb), int(cb))
+            for rb in range(t.num_blocks)
+            for cb in t.tile_cols[t.block_ptr[rb] : t.block_ptr[rb + 1]]
+        }
+        for rb in range(t.num_blocks):
+            for cb in range(t.num_blocks):
+                if (rb, cb) not in full:
+                    assert not t.tile(rb, cb).any()
+
+    def test_tile_index_counts_words(self):
+        """Each indexed tile holds >= 1 stored word; none are missed."""
+        g = rmat(8, 4, seed=5)
+        t = tile_matrix(g)
+        pairs = set(
+            zip(
+                (np.repeat(np.arange(g.num_vertices), np.diff(t.row_ptr))
+                 >> 6).tolist(),
+                t.word_cols.tolist(),
+            )
+        )
+        indexed = {
+            (rb, int(cb))
+            for rb in range(t.num_blocks)
+            for cb in t.tile_cols[t.block_ptr[rb] : t.block_ptr[rb + 1]]
+        }
+        assert pairs == indexed
+
+    def test_empty_graph(self):
+        t = tile_matrix(empty_graph())
+        assert t.num_words == 0
+        assert t.num_tiles == 0
+        assert t.compression() == 1.0
+        assert t.row_ptr.size == 71
+
+    def test_star_compression(self):
+        """The hub's 199 spokes pack into ceil(200/64) = 4 words."""
+        t = tile_matrix(star_graph())
+        hub_words = t.row_ptr[1] - t.row_ptr[0]
+        assert hub_words == 4
+        assert t.compression() > 1.0
+
+    def test_rejects_non_graph(self):
+        with pytest.raises(GraphError):
+            BitmapTileMatrix.from_graph(np.eye(3))
+
+
+class TestCachingAndImmutability:
+    def test_cached_like_degrees(self):
+        g = rmat(7, 4, seed=0)
+        assert tile_matrix(g) is tile_matrix(g)
+        assert g.tiles is tile_matrix(g)
+
+    def test_arrays_frozen(self):
+        t = tile_matrix(rmat(7, 4, seed=0))
+        for arr in (t.row_ptr, t.word_cols, t.words, t.block_ptr,
+                    t.tile_cols):
+            assert not arr.flags.writeable
+
+    def test_nbytes_counts_all_arrays(self):
+        t = tile_matrix(rmat(8, 8, seed=1))
+        assert t.nbytes() == (
+            t.row_ptr.nbytes + t.word_cols.nbytes + t.words.nbytes
+            + t.block_ptr.nbytes + t.tile_cols.nbytes
+        )
