@@ -1,4 +1,4 @@
-"""Concrete lint rules (``RPR001`` … ``RPR009``).
+"""Concrete lint rules (``RPR001`` … ``RPR009``, ``RPR020``).
 
 Each rule encodes an invariant this codebase depends on:
 
@@ -29,6 +29,11 @@ RPR009    metric names passed to the registry/tracer must be lowercase
           (:data:`repro.obs.metrics.METRIC_CATALOG`) — ad-hoc names
           fragment the run-history trajectory and the OpenMetrics
           exposition
+RPR020    no ``tracemalloc`` / ``sys.settrace`` / ``sys.setprofile``
+          outside ``repro/obs/`` — interpreter-level instrumentation
+          distorts the kernels being measured and belongs to the
+          profiling tier (:mod:`repro.obs.profile`), whose sampler and
+          allocation windows are overhead-bounded by the benchmarks
 ========  ==============================================================
 
 Rules yield ``(line, col, message)``; the engine applies suppression and
@@ -52,6 +57,7 @@ __all__ = [
     "check_kernel_allocations",
     "check_adhoc_perf_counter",
     "check_metric_names",
+    "check_adhoc_instrumentation",
 ]
 
 # Names whose iteration in a hot-path module almost certainly means a
@@ -501,3 +507,86 @@ def check_missing_all(ctx: ModuleContext) -> Iterator[tuple[int, int, str]]:
         ):
             return
     yield (1, 0, "public module does not declare __all__")
+
+
+#: ``sys`` functions that install interpreter-wide hooks: a per-call /
+#: per-line callback fires inside every kernel afterwards.
+_TRACE_HOOKS = {"settrace", "setprofile"}
+
+
+@rule(
+    "RPR020",
+    "tracemalloc / sys.settrace / sys.setprofile outside repro/obs/; "
+    "interpreter instrumentation belongs to the profiling tier",
+)
+def check_adhoc_instrumentation(
+    ctx: ModuleContext,
+) -> Iterator[tuple[int, int, str]]:
+    """Flag interpreter-level instrumentation outside :mod:`repro.obs`.
+
+    ``sys.settrace``/``sys.setprofile`` install a hook the interpreter
+    invokes on every call (or line) — exactly the overhead the sampling
+    profiler exists to avoid — and a stray ``tracemalloc.start()``
+    silently taxes every allocation in the process for as long as it
+    stays on.  Both are legitimate *inside* ``repro/obs/``, where the
+    profiling tier scopes them to windows and bounds their cost with
+    the overhead benchmark; anywhere else they distort the kernels the
+    paper's numbers depend on.
+    """
+    if "repro/obs/" in ctx.path.replace("\\", "/"):
+        return
+    for node in ctx.nodes(ast.Import, ast.ImportFrom, ast.Call):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "tracemalloc":
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        "importing tracemalloc outside repro/obs/; use "
+                        "repro.obs.profile.AllocationProfiler windows",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] == "tracemalloc":
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "importing from tracemalloc outside repro/obs/; use "
+                    "repro.obs.profile.AllocationProfiler windows",
+                )
+            elif node.module == "sys" and any(
+                alias.name in _TRACE_HOOKS for alias in node.names
+            ):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "importing sys.settrace/setprofile outside "
+                    "repro/obs/; use the sampling profiler "
+                    "(repro.obs.profile.StackSampler)",
+                )
+        else:
+            fn = node.func
+            if not isinstance(fn, ast.Attribute):
+                continue
+            if (
+                isinstance(fn.value, ast.Name)
+                and fn.value.id == "sys"
+                and fn.attr in _TRACE_HOOKS
+            ):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"sys.{fn.attr}() outside repro/obs/ hooks every "
+                    "call in the interpreter; use the sampling "
+                    "profiler (repro.obs.profile.StackSampler)",
+                )
+            elif (
+                isinstance(fn.value, ast.Name)
+                and fn.value.id == "tracemalloc"
+            ):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"tracemalloc.{fn.attr}() outside repro/obs/ taxes "
+                    "every allocation in the process; use "
+                    "repro.obs.profile.AllocationProfiler windows",
+                )

@@ -22,7 +22,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.bfs.bottomup import bottom_up_step
-from repro.bfs.hybrid import DirectionPolicy, LevelState, MNPolicy
+from repro.bfs.hybrid import (
+    BOTTOM_UP_KERNELS,
+    DirectionPolicy,
+    LevelState,
+    MNPolicy,
+)
 from repro.bfs.result import BFSResult, Direction
 from repro.bfs.topdown import top_down_step
 from repro.bfs.workspace import BFSWorkspace
@@ -42,6 +47,9 @@ class TimedLevel:
     frontier_vertices: int
     edges_examined: int
     seconds: float
+    #: Kernel family that executed the level: ``"td"`` for top-down
+    #: levels, else the bottom-up family (``"scan"``/``"tiles"``).
+    kernel: str = "td"
 
 
 @dataclass(frozen=True)
@@ -81,6 +89,7 @@ def timed_bfs(
     m: float | None = None,
     n: float | None = None,
     direction: str | None = None,
+    bottom_up: str = "scan",
     workspace: BFSWorkspace | None = None,
     tracer: Tracer | None = None,
 ) -> TimedRun:
@@ -88,6 +97,11 @@ def timed_bfs(
 
     Either force a ``direction`` (``'td'``/``'bu'``), pass a policy, or
     give (``m``, ``n``) thresholds; defaults to pure top-down.
+
+    ``bottom_up`` selects the kernel family for bottom-up levels
+    (``"scan"`` or ``"tiles"``, mirroring :func:`~repro.bfs.hybrid.
+    bfs_hybrid`); each level span is tagged with the family that
+    executed it, so the explain report prices the right one.
 
     Pass a warm ``workspace`` to keep allocation out of the timed
     region (the frontier-bitmap load stays inside it — that is the
@@ -106,6 +120,16 @@ def timed_bfs(
         raise BFSError(f"unknown direction {direction!r}")
     if policy is None and m is not None and n is not None:
         policy = MNPolicy(m, n)
+    if bottom_up not in BOTTOM_UP_KERNELS:
+        raise BFSError(
+            f"unknown bottom-up kernel family {bottom_up!r}; "
+            f"expected one of {BOTTOM_UP_KERNELS}"
+        )
+    bu_step = bottom_up_step
+    if bottom_up == "tiles":
+        from repro.linalg.kernels import bottom_up_tiles_step
+
+        bu_step = bottom_up_tiles_step
     tr = tracer if tracer is not None else get_tracer()
     if not tr.enabled:
         tr = Tracer()
@@ -145,7 +169,10 @@ def timed_bfs(
             else:
                 chosen = Direction.TOP_DOWN
             fv = int(frontier.size)
-            with tr.span("bfs.level", depth=depth, direction=chosen) as sp:
+            kernel = "td" if chosen == Direction.TOP_DOWN else bottom_up
+            with tr.span(
+                "bfs.level", depth=depth, direction=chosen, kernel=kernel
+            ) as sp:
                 if chosen == Direction.TOP_DOWN:
                     frontier, work = top_down_step(
                         graph, frontier, parent, level, depth, ws
@@ -153,7 +180,7 @@ def timed_bfs(
                 else:
                     bits = ws.load_frontier(frontier)
                     unvisited = ws.unvisited_ids(graph, parent)
-                    frontier, work = bottom_up_step(
+                    frontier, work = bu_step(
                         graph,
                         bits,
                         parent,
@@ -173,6 +200,7 @@ def timed_bfs(
                     frontier_vertices=fv,
                     edges_examined=work,
                     seconds=sp.duration,
+                    kernel=kernel,
                 )
             )
             directions.append(chosen)

@@ -8,6 +8,7 @@ Subcommands::
     repro-bfs bfs --scale 16 --edgefactor 16 [--m 64 --n 512] [--json]
     repro-bfs graph500 --scale 16 [--json]
     repro-bfs trace --scale 14 [--out PREFIX]
+    repro-bfs profile --scale 12 [--flight-recorder] [--out DIR]
     repro-bfs monitor record|check|report|drift [--history PATH]
     repro-bfs serve-metrics --scale 12 [--port 9464]
     repro-bfs info                       # architecture presets
@@ -18,6 +19,17 @@ this machine and reports wall-clock TEPS; ``trace`` runs a traversal
 with the :mod:`repro.obs` tracer enabled, writes a Perfetto-loadable
 ``.trace.json`` plus a JSONL event stream, and prints a span summary
 and the switching-point mistuning report.
+
+``profile`` is the continuous-profiling entry point
+(:mod:`repro.obs.profile`): it runs repeated traversals under the
+sampling stack profiler and per-span allocation windows, writes the
+collapsed-stack flamegraph and merged Perfetto trace, and prints the
+measured-vs-predicted *explain* report; ``--flight-recorder`` arms the
+anomaly ring (``--inject-anomaly`` forces a 3x-slow traversal so CI can
+assert a snapshot fires).  The ``bfs``/``graph500``/``trace`` commands
+accept ``--profile`` / ``--flight-recorder`` to run the same machinery
+around their normal flow; snapshot digests land in the run-history
+meta either way.
 
 ``monitor`` is the longitudinal layer (:mod:`repro.obs.history` /
 :mod:`repro.obs.monitor`): ``record`` appends an instrumented run to
@@ -31,6 +43,7 @@ registry as an OpenMetrics v1 endpoint.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from pathlib import Path
@@ -85,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the switching-point audit in the JSON/history output",
     )
+    _profile_args(g5_p)
     _history_arg(g5_p)
 
     lint_p = sub.add_parser(
@@ -253,6 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the switching-point audit in the JSON/history output",
     )
+    _profile_args(bfs_p)
     _history_arg(bfs_p)
 
     tr_p = sub.add_parser(
@@ -289,7 +304,85 @@ def build_parser() -> argparse.ArgumentParser:
         default=Path("bfs"),
         help="output prefix: writes PREFIX.trace.json and PREFIX.jsonl",
     )
+    _profile_args(tr_p)
     _history_arg(tr_p)
+
+    pf_p = sub.add_parser(
+        "profile",
+        help="profile repeated traversals: flamegraph, allocation "
+        "windows, explain report, flight recorder",
+    )
+    pf_p.add_argument("--scale", type=int, default=12)
+    pf_p.add_argument("--edgefactor", type=int, default=16)
+    pf_p.add_argument("--seed", type=int, default=0)
+    pf_p.add_argument(
+        "--engine", choices=("td", "bu", "hybrid"), default="hybrid"
+    )
+    pf_p.add_argument("--m", type=float, default=64.0, help="threshold M")
+    pf_p.add_argument("--n", type=float, default=512.0, help="threshold N")
+    pf_p.add_argument(
+        "--bottom-up",
+        choices=("scan", "tiles"),
+        default="scan",
+        dest="bottom_up",
+        help="bottom-up kernel family (tags levels for the explain report)",
+    )
+    pf_p.add_argument(
+        "--repeat",
+        type=int,
+        default=5,
+        help="traversals to run (later ones reuse a warm workspace; "
+        "the explain report describes the last)",
+    )
+    pf_p.add_argument(
+        "--hz",
+        type=float,
+        default=997.0,
+        help="sampling rate; the default resolves millisecond-scale "
+        "traversals (the always-on default is 97 Hz)",
+    )
+    pf_p.add_argument(
+        "--out",
+        type=Path,
+        default=Path("profile"),
+        help="directory for the .collapsed / .trace.json artifacts",
+    )
+    pf_p.add_argument(
+        "--no-sampler",
+        action="store_true",
+        help="skip the sampling stack profiler",
+    )
+    pf_p.add_argument(
+        "--no-alloc",
+        action="store_true",
+        help="skip the per-span allocation windows",
+    )
+    pf_p.add_argument(
+        "--flight-recorder",
+        action="store_true",
+        dest="flight_recorder",
+        help="arm the anomaly flight recorder",
+    )
+    pf_p.add_argument(
+        "--snapshot-dir",
+        type=Path,
+        default=None,
+        dest="snapshot_dir",
+        help="flight-recorder snapshot directory (default: OUT/snapshots)",
+    )
+    pf_p.add_argument(
+        "--inject-anomaly",
+        action="store_true",
+        dest="inject_anomaly",
+        help="record a synthetic 3x-slow traversal span after the real "
+        "runs (arms the recorder; nonzero exit if no snapshot fires)",
+    )
+    pf_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full profile payload as JSON on stdout",
+    )
+    _history_arg(pf_p)
 
     mon_p = sub.add_parser(
         "monitor",
@@ -376,6 +469,106 @@ def _history_arg(p: argparse.ArgumentParser) -> None:
         + ("" if is_monitor else "; omit to skip recording")
         + ")",
     )
+
+
+def _profile_args(p: argparse.ArgumentParser) -> None:
+    """The profiling ride-along flags shared by bfs/graph500/trace."""
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under the sampling profiler + allocation windows and "
+        "write flamegraph artifacts (see 'repro-bfs profile')",
+    )
+    p.add_argument(
+        "--flight-recorder",
+        action="store_true",
+        dest="flight_recorder",
+        help="arm the anomaly flight recorder around the run",
+    )
+    p.add_argument(
+        "--snapshot-dir",
+        type=Path,
+        default=None,
+        dest="snapshot_dir",
+        help="flight-recorder snapshot directory "
+        "(default: PROFILE_OUT/snapshots)",
+    )
+    p.add_argument(
+        "--profile-out",
+        type=Path,
+        default=Path("profile"),
+        dest="profile_out",
+        help="directory for profiling artifacts",
+    )
+
+
+def _make_profile_session(args: argparse.Namespace, tracer, **context):
+    """A :class:`~repro.obs.profile.ProfileSession` for the ride-along
+    flags, or ``None`` when neither was given."""
+    profiled = getattr(args, "profile", False)
+    recorded = getattr(args, "flight_recorder", False)
+    if not (profiled or recorded):
+        return None
+    from repro.obs.profile import ProfileSession
+
+    snapshot_dir = args.snapshot_dir
+    if recorded and snapshot_dir is None:
+        snapshot_dir = args.profile_out / "snapshots"
+    return ProfileSession(
+        tracer,
+        sampler=profiled,
+        alloc=profiled,
+        recorder=recorded,
+        snapshot_dir=snapshot_dir,
+        recorder_kwargs={"context": context},
+    )
+
+
+def _finish_profile(session, out_dir, stem: str, *, quiet: bool) -> dict:
+    """Write a finished session's artifacts and fold its summary into
+    history meta (the snapshot digests land in ``runs.jsonl`` here)."""
+    if session is None:
+        return {}
+    report = session.report()
+    meta: dict = {"profile": report}
+    if session.sampler is not None or session.recorder is not None:
+        paths = session.write_artifacts(out_dir, stem)
+    else:
+        paths = {}
+    if session.recorder is not None and session.recorder.snapshots:
+        meta["snapshots"] = [
+            s.as_dict() for s in session.recorder.snapshots
+        ]
+    if quiet:
+        return meta
+    if paths:
+        wrote = ", ".join(str(p) for p in paths.values())
+        print(f"profile: wrote {wrote}")
+    sampler = report.get("sampler")
+    if sampler is not None:
+        print(
+            f"profile: {sampler['samples']} stack sample(s) at "
+            f"{session.sampler.hz:g} Hz"
+        )
+    alloc = report.get("alloc")
+    if alloc is not None:
+        verdict = "clean" if alloc["clean"] else "ALLOCATING"
+        print(
+            f"profile: allocation windows {verdict} "
+            f"({alloc['windows']} window(s), floor {alloc['size_floor']} B)"
+        )
+    rec = report.get("flight_recorder")
+    if rec is not None:
+        print(
+            f"flight recorder: {len(rec['triggers'])} trigger(s), "
+            f"{len(rec['snapshots'])} snapshot(s)"
+        )
+        for snap in rec["snapshots"]:
+            print(
+                f"  snapshot {snap['digest'][:16]} ({snap['reason']}) "
+                f"-> {snap['path']}"
+            )
+    return meta
 
 
 def _common_bench_args(p: argparse.ArgumentParser) -> None:
@@ -751,8 +944,16 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
             graph, source, m=m, n=n, bottom_up=args.bottom_up
         )
 
+    workload = f"rmat-s{args.scale}-ef{args.edgefactor}-{args.engine}"
     tracer = Tracer()
-    with use_tracer(tracer):
+    session = _make_profile_session(
+        args, tracer, command="bfs", workload=workload, source=source
+    )
+    if session is not None and session.recorder is not None:
+        from repro.obs.profile import graph_fingerprint
+
+        session.recorder.context["graph"] = graph_fingerprint(graph)
+    with session or contextlib.nullcontext(), use_tracer(tracer):
         t0 = now()
         result = runner()
         took = now() - t0
@@ -778,6 +979,12 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
                 edgefactor=args.edgefactor,
             )
 
+    profile_meta = _finish_profile(
+        session,
+        getattr(args, "profile_out", Path("profile")),
+        f"bfs-s{args.scale}-{args.engine}",
+        quiet=quiet,
+    )
     teps = traversed / took if took > 0 else 0.0
     payload = {
         "scale": args.scale,
@@ -799,11 +1006,12 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
         # the registry snapshot and the audit verdict dict.
         "metrics": tracer.metrics.snapshot(),
         "audit": None if report is None else report.as_dict(),
+        **profile_meta,
     }
     _append_history(
         args.history,
         "bfs",
-        f"rmat-s{args.scale}-ef{args.edgefactor}-{args.engine}",
+        workload,
         tracer=tracer,
         teps=teps,
         audit=report,
@@ -811,6 +1019,7 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
         seed=args.seed,
         m=m,
         n=n,
+        **profile_meta,
     )
     if args.json:
         print(json.dumps(payload, indent=2))
@@ -874,8 +1083,12 @@ def _cmd_graph500(args: argparse.Namespace) -> int:
             f"edgefactor={args.edgefactor} NBFS={args.roots} "
             f"engine={args.engine} ..."
         )
+    workload = f"rmat-s{args.scale}-ef{args.edgefactor}-r{args.roots}"
     tracer = Tracer()
-    with use_tracer(tracer):
+    session = _make_profile_session(
+        args, tracer, command="graph500", workload=workload
+    )
+    with session or contextlib.nullcontext(), use_tracer(tracer):
         result = run_graph500(
             args.scale,
             args.edgefactor,
@@ -883,11 +1096,18 @@ def _cmd_graph500(args: argparse.Namespace) -> int:
             engine=engine,
             seed=args.seed,
             tracer=tracer,
+            recorder=None if session is None else session.recorder,
         )
         report = None
         if hybrid and not args.no_audit:
             report = _graph500_audit(args, tracer)
 
+    profile_meta = _finish_profile(
+        session,
+        getattr(args, "profile_out", Path("profile")),
+        f"graph500-s{args.scale}-{args.engine}",
+        quiet=args.json,
+    )
     payload = {
         "scale": result.scale,
         "edgefactor": result.edgefactor,
@@ -903,17 +1123,19 @@ def _cmd_graph500(args: argparse.Namespace) -> int:
         # Shared schema with history entries (see repro.obs.history).
         "metrics": tracer.metrics.snapshot(),
         "audit": None if report is None else report.as_dict(),
+        **profile_meta,
     }
     _append_history(
         args.history,
         "graph500",
-        f"rmat-s{args.scale}-ef{args.edgefactor}-r{args.roots}",
+        workload,
         tracer=tracer,
         teps=result.harmonic_mean_teps,
         audit=report,
         quiet=args.json,
         seed=args.seed,
         engine=args.engine,
+        **profile_meta,
     )
     if args.json:
         print(json.dumps(payload, indent=2))
@@ -986,8 +1208,16 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     source = int(pick_sources(graph, 1, seed=args.seed)[0])
     print(f"graph: {graph!r}, source {source}, engine {args.engine}")
 
+    workload = f"rmat-s{args.scale}-ef{args.edgefactor}-{args.engine}"
     tracer = Tracer()
-    with use_tracer(tracer):
+    session = _make_profile_session(
+        args, tracer, command="trace", workload=workload, source=source
+    )
+    if session is not None and session.recorder is not None:
+        from repro.obs.profile import graph_fingerprint
+
+        session.recorder.context["graph"] = graph_fingerprint(graph)
+    with session or contextlib.nullcontext(), use_tracer(tracer):
         if args.engine == "td":
             result = bfs_top_down(graph, source)
         elif args.engine == "bu":
@@ -1049,16 +1279,234 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         f"\nwrote {trace_path} ({events} trace events, validated) and "
         f"{jsonl_path} ({lines} lines)"
     )
+    profile_meta = _finish_profile(
+        session,
+        getattr(args, "profile_out", Path("profile")),
+        f"trace-s{args.scale}-{args.engine}",
+        quiet=False,
+    )
     _append_history(
         args.history,
         "trace",
-        f"rmat-s{args.scale}-ef{args.edgefactor}-{args.engine}",
+        workload,
         tracer=tracer,
         audit=report,
         seed=args.seed,
         m=args.m,
         n=args.n,
+        **profile_meta,
     )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.arch import CPU_SANDY_BRIDGE, TENSOR_TILE
+    from repro.arch.costmodel import CostModel
+    from repro.bench.metrics import gteps
+    from repro.bfs import pick_sources, profile_bfs
+    from repro.bfs.timing import timed_bfs
+    from repro.bfs.workspace import BFSWorkspace
+    from repro.graph import rmat
+    from repro.obs import use_tracer, validate_chrome_trace
+    from repro.obs.profile import (
+        ProfileSession,
+        explain_traversal,
+        graph_fingerprint,
+        validate_collapsed,
+        validate_snapshot,
+    )
+
+    quiet = args.json
+    if args.repeat < 1:
+        print(f"--repeat must be >= 1, got {args.repeat}", file=sys.stderr)
+        return 2
+    if not quiet:
+        print(
+            f"generating R-MAT scale={args.scale} ef={args.edgefactor} "
+            f"(seed {args.seed}) ..."
+        )
+    graph = rmat(args.scale, args.edgefactor, seed=args.seed)
+    source = int(pick_sources(graph, 1, seed=args.seed)[0])
+    workload = f"rmat-s{args.scale}-ef{args.edgefactor}-{args.engine}"
+    if not quiet:
+        print(
+            f"graph: {graph!r}, source {source}, engine {args.engine}, "
+            f"{args.repeat} traversal(s) at {args.hz:g} Hz"
+        )
+
+    recorder_on = args.flight_recorder or args.inject_anomaly
+    snapshot_dir = args.snapshot_dir
+    if recorder_on and snapshot_dir is None:
+        snapshot_dir = args.out / "snapshots"
+    session = ProfileSession(
+        sampler=not args.no_sampler,
+        hz=args.hz,
+        alloc=not args.no_alloc,
+        # "Graph-sized" is the allocation-freedom bar: anything smaller
+        # than one vertex-indexed array is per-level churn, not a
+        # falsification of the warm-workspace claim.
+        size_floor=8 * graph.num_vertices,
+        recorder=recorder_on,
+        snapshot_dir=snapshot_dir,
+        recorder_kwargs={
+            # The baseline must be learned before the injected span
+            # closes, so cap the warmup below the real-run count.
+            "warmup": min(3, args.repeat),
+            "context": {
+                "command": "profile",
+                "workload": workload,
+                "source": source,
+                "graph": graph_fingerprint(graph),
+            },
+        },
+    )
+
+    kwargs: dict = {"bottom_up": args.bottom_up}
+    if args.engine in ("td", "bu"):
+        kwargs["direction"] = args.engine
+    else:
+        kwargs["m"] = args.m
+        kwargs["n"] = args.n
+    ws = BFSWorkspace(graph.num_vertices)
+    # One untracked warm-up traversal grows the workspace's scratch
+    # buffers to their steady-state sizes, so the profiled windows
+    # measure the warm kernels (the allocation-freedom claim under
+    # test), not first-run buffer growth.
+    timed_bfs(graph, source, workspace=ws, **kwargs)
+    with session, use_tracer(session.tracer):
+        for _ in range(args.repeat):
+            run = timed_bfs(
+                graph,
+                source,
+                workspace=ws,
+                tracer=session.tracer,
+                **kwargs,
+            )
+        run.result.validate(graph)
+        if args.inject_anomaly:
+            # A synthetic traversal root 3x slower than the slowest
+            # real one: must clear the recorder's 2.5x-median bar.
+            worst = max(
+                r.duration
+                for r in session.tracer.spans()
+                if r.name == "bfs.timed"
+            )
+            session.tracer.add_span(
+                "bfs.timed", 0.0, 3.0 * worst, injected=True
+            )
+
+    # The explain join: profiled counters (model input) + the last
+    # run's measured level seconds.  The profile traversal runs after
+    # the session so it cannot pollute the allocation windows.
+    profile, _ = profile_bfs(graph, source)
+    model = CostModel(CPU_SANDY_BRIDGE)
+    tile_model = (
+        CostModel(TENSOR_TILE) if args.bottom_up == "tiles" else None
+    )
+    report = explain_traversal(
+        run,
+        profile,
+        model,
+        tile_model=tile_model,
+        tracer=session.tracer,
+    )
+
+    stem = f"profile-s{args.scale}-{args.engine}"
+    paths = session.write_artifacts(args.out, stem)
+    samples = None
+    if "collapsed" in paths:
+        samples = validate_collapsed(
+            paths["collapsed"].read_text(encoding="utf-8")
+        )
+    events = validate_chrome_trace(paths["trace"])
+    for snap in session.recorder.snapshots if session.recorder else ():
+        validate_snapshot(snap.path)
+
+    session_report = session.report()
+    traversed = run.result.traversed_edges(graph)
+    teps = (
+        traversed / run.total_seconds if run.total_seconds > 0 else 0.0
+    )
+    meta: dict = {
+        "engine": args.engine,
+        "kernel_family": args.bottom_up,
+        "repeat": args.repeat,
+        "hz": args.hz,
+        "profile": session_report,
+        "explain": report.as_dict(),
+    }
+    if session.recorder is not None and session.recorder.snapshots:
+        meta["snapshots"] = [
+            s.as_dict() for s in session.recorder.snapshots
+        ]
+    _append_history(
+        args.history,
+        "profile",
+        workload,
+        tracer=session.tracer,
+        teps=teps,
+        quiet=quiet,
+        seed=args.seed,
+        **meta,
+    )
+
+    if args.json:
+        payload = {
+            "scale": args.scale,
+            "edgefactor": args.edgefactor,
+            "seed": args.seed,
+            "source": source,
+            "levels": run.result.num_levels,
+            "reached": run.result.num_reached,
+            "gteps": gteps(traversed, run.total_seconds),
+            "samples": samples,
+            "trace_events": events,
+            "artifacts": {k: str(p) for k, p in paths.items()},
+            **meta,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print()
+        print(report.render())
+        print()
+        if samples is not None:
+            top = sorted(
+                session.sampler.span_seconds().items(),
+                key=lambda kv: kv[1],
+                reverse=True,
+            )[:4]
+            where = ", ".join(f"{tag} {s:.3f}s" for tag, s in top)
+            print(f"sampler: {samples} sample(s); hottest spans: {where}")
+        alloc = session_report.get("alloc")
+        if alloc is not None:
+            verdict = (
+                "clean — the warm workspace allocated nothing graph-sized"
+                if alloc["clean"]
+                else "ALLOCATING (see per-kernel rows in the history meta)"
+            )
+            print(f"alloc: {verdict} ({alloc['windows']} window(s))")
+        rec = session_report.get("flight_recorder")
+        if rec is not None:
+            print(
+                f"flight recorder: {len(rec['triggers'])} trigger(s), "
+                f"{len(rec['snapshots'])} snapshot(s)"
+            )
+            for snap in rec["snapshots"]:
+                print(
+                    f"  snapshot {snap['digest'][:16]} ({snap['reason']})"
+                    f" -> {snap['path']} (validated)"
+                )
+        wrote = ", ".join(str(p) for p in paths.values())
+        print(f"wrote {wrote} ({events} trace events, validated)")
+
+    if args.inject_anomaly and not (
+        session.recorder and session.recorder.snapshots
+    ):
+        print(
+            "inject-anomaly: no flight-recorder snapshot fired",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -1294,6 +1742,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_graph500(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "monitor":
         return _cmd_monitor(args)
     if args.command == "serve-metrics":

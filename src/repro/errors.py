@@ -30,6 +30,7 @@ __all__ = [
     "ExportError",
     "HistoryError",
     "MonitorError",
+    "ProfileError",
 ]
 
 
@@ -159,3 +160,9 @@ class MonitorError(ObsError):
     """Raised for invalid monitoring inputs (:mod:`repro.obs.monitor`):
     malformed metric policies, empty baselines where a verdict was
     demanded, direction sequences that do not match the profile."""
+
+
+class ProfileError(ObsError):
+    """Raised by the profiling tier (:mod:`repro.obs.profile`): sampler
+    lifecycle misuse, explain inputs that do not describe the same
+    traversal, malformed flight-recorder snapshots."""

@@ -178,6 +178,7 @@ def run_graph500(
     validate: bool = True,
     tracer: Tracer | None = None,
     history: str | Path | None = None,
+    recorder=None,
 ) -> Graph500Result:
     """Execute the full benchmark flow.
 
@@ -191,6 +192,11 @@ def run_graph500(
     ``teps`` histograms.  ``history`` names a JSONL run-history store
     (:mod:`repro.obs.history`); when set, the finished run — metrics
     snapshot, span aggregates, harmonic-mean TEPS — is appended to it.
+    ``recorder`` accepts an attached
+    :class:`~repro.obs.profile.FlightRecorder`: the benchmark stamps
+    the constructed graph's fingerprint and the workload into its
+    snapshot context (the graph only exists inside this function, so
+    the caller cannot).
     """
     if num_roots < 1:
         raise BenchError(f"num_roots must be >= 1, got {num_roots}")
@@ -200,6 +206,13 @@ def run_graph500(
         t0 = now()
         graph = CSRGraph.from_edges(src, dst, 1 << scale, symmetrize=True)
         construction = now() - t0
+    if recorder is not None:
+        from repro.obs.profile import graph_fingerprint
+
+        recorder.context.setdefault(
+            "workload", f"rmat-s{scale}-ef{edgefactor}-r{num_roots}"
+        )
+        recorder.context["graph"] = graph_fingerprint(graph)
 
     roots = pick_sources(graph, num_roots, seed=seed + 1)
     times = np.empty(num_roots, dtype=np.float64)

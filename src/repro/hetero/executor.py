@@ -109,6 +109,7 @@ def execute_plan(
                     f"level {depth + 1}"
                 )
             step = plan[depth]
+            fv = int(frontier.size)
             with tr.span(
                 "hetero.level",
                 track=f"dev:{step.device}",
@@ -133,6 +134,7 @@ def execute_plan(
                         workspace=ws,
                     )
                 ws.retire_claimed(parent)
+                sp.set("frontier_vertices", fv)
                 sp.set("edges_examined", work)
                 sp.set("claimed", int(frontier.size))
             directions.append(step.direction)

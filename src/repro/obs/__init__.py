@@ -14,7 +14,11 @@ repository:
   device/worker);
 * :mod:`repro.obs.audit` — per-run mistuning reports comparing the
   policy's predicted switching point against the post-hoc best one
-  priced on the measured :class:`~repro.bfs.trace.LevelProfile`.
+  priced on the measured :class:`~repro.bfs.trace.LevelProfile`;
+* :mod:`repro.obs.profile` — the continuous-profiling tier: sampling
+  stack profiler (span-tagged flamegraphs), per-span ``tracemalloc``
+  allocation windows, measured-vs-predicted explain reports and the
+  anomaly flight recorder.
 
 Nothing records unless a real :class:`Tracer` is installed
 (:func:`set_tracer` / :func:`use_tracer`) or passed explicitly; the
@@ -44,6 +48,7 @@ from repro.obs.tracer import (
     NullTracer,
     Span,
     SpanRecord,
+    TraceListener,
     Tracer,
     get_tracer,
     set_tracer,
@@ -82,6 +87,14 @@ _LAZY = {
     "render_openmetrics": "openmetrics",
     "validate_openmetrics": "openmetrics",
     "serve_metrics": "openmetrics",
+    "StackSampler": "profile",
+    "AllocationProfiler": "profile",
+    "ExplainReport": "profile",
+    "explain_traversal": "profile",
+    "FlightRecorder": "profile",
+    "graph_fingerprint": "profile",
+    "validate_snapshot": "profile",
+    "ProfileSession": "profile",
 }
 
 # The openmetrics module names its exports without the namespace prefix;
@@ -116,6 +129,7 @@ __all__ = [
     "Span",
     "SpanRecord",
     "EventRecord",
+    "TraceListener",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
@@ -154,6 +168,14 @@ __all__ = [
     "render_openmetrics",
     "validate_openmetrics",
     "serve_metrics",
+    "StackSampler",
+    "AllocationProfiler",
+    "ExplainReport",
+    "explain_traversal",
+    "FlightRecorder",
+    "graph_fingerprint",
+    "validate_snapshot",
+    "ProfileSession",
     "get_logger",
     "basic_config",
     "ROOT_LOGGER_NAME",

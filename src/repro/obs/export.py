@@ -216,7 +216,7 @@ def write_chrome_trace(tracer: Tracer, path: str | Path, **meta) -> dict:
     return trace
 
 
-_PHASES = {"X", "i", "M"}
+_PHASES = {"X", "i", "M", "P"}
 
 
 def validate_chrome_trace(trace: dict | str | Path) -> int:
@@ -225,6 +225,9 @@ def validate_chrome_trace(trace: dict | str | Path) -> int:
     Accepts the trace dict or a path to the ``.trace.json`` file.
     Returns the number of trace events; raises
     :class:`~repro.errors.ExportError` describing the first violation.
+    ``ph: "P"`` sample events (the profiler's flamegraph track) must
+    carry a timestamp and, when they reference a stack frame via
+    ``sf``, the id must resolve in the trace's ``stackFrames`` map.
     """
     if not isinstance(trace, dict):
         try:
@@ -236,6 +239,17 @@ def validate_chrome_trace(trace: dict | str | Path) -> int:
     events = trace["traceEvents"]
     if not isinstance(events, list):
         raise ExportError("'traceEvents' must be a list")
+    frames = trace.get("stackFrames", {})
+    if not isinstance(frames, dict):
+        raise ExportError("'stackFrames' must be an object")
+    for frame_id, frame in frames.items():
+        if not isinstance(frame, dict) or "name" not in frame:
+            raise ExportError(f"stackFrames[{frame_id}]: needs a 'name'")
+        parent = frame.get("parent")
+        if parent is not None and str(parent) not in frames:
+            raise ExportError(
+                f"stackFrames[{frame_id}]: parent {parent!r} not in map"
+            )
     for i, ev in enumerate(events):
         where = f"traceEvents[{i}]"
         if not isinstance(ev, dict):
@@ -246,7 +260,7 @@ def validate_chrome_trace(trace: dict | str | Path) -> int:
         for key in ("name", "pid", "tid"):
             if key not in ev:
                 raise ExportError(f"{where}: missing {key!r}")
-        if ph in ("X", "i"):
+        if ph in ("X", "i", "P"):
             ts = ev.get("ts")
             if not isinstance(ts, (int, float)) or ts < 0:
                 raise ExportError(f"{where}: ts must be a number >= 0, got {ts!r}")
@@ -254,6 +268,11 @@ def validate_chrome_trace(trace: dict | str | Path) -> int:
             dur = ev.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 raise ExportError(f"{where}: dur must be a number >= 0, got {dur!r}")
+        if ph == "P" and ev.get("sf") is not None:
+            if str(ev["sf"]) not in frames:
+                raise ExportError(
+                    f"{where}: sf {ev['sf']!r} not in stackFrames"
+                )
         if ph == "M" and ev.get("name") == "thread_name":
             if "name" not in ev.get("args", {}):
                 raise ExportError(f"{where}: thread_name metadata needs args.name")

@@ -45,6 +45,10 @@ METRIC_CATALOG = (
     "tuning.drift_alerts",
     "linalg.tile_passes",
     "linalg.tile_words",
+    "alloc.bytes",
+    "alloc.blocks",
+    "profile.samples",
+    "profile.anomalies",
 )
 
 
@@ -145,8 +149,12 @@ class Histogram:
     def quantile(self, q: float) -> float:
         """Exact quantile ``q`` in [0, 1] over the observations.
 
-        Raises :class:`~repro.errors.ObsError` on an empty histogram or
-        an out-of-range ``q`` — a quantile of nothing is not 0.
+        Defined on every histogram state: an empty histogram yields
+        ``nan`` (a quantile of nothing is not 0 — and ``nan`` survives
+        JSON round-trips as ``NaN`` while poisoning any arithmetic that
+        forgets to check), and a single-sample histogram yields that
+        sample for every ``q``.  Only an out-of-range ``q`` raises
+        :class:`~repro.errors.ObsError`.
         """
         if not 0.0 <= q <= 1.0:
             raise ObsError(
@@ -156,9 +164,9 @@ class Histogram:
         with self._lock:
             vals = list(self._values)
         if not vals:
-            raise ObsError(
-                f"histogram {self.name!r} has no observations to quantile"
-            )
+            return float("nan")
+        if len(vals) == 1:
+            return float(vals[0])
         return float(
             np.percentile(np.asarray(vals, dtype=np.float64), q * 100.0)
         )
@@ -169,12 +177,61 @@ class Histogram:
         OpenMetrics exposition report)."""
         return {float(q): self.quantile(q) for q in qs}
 
-    def snapshot(self) -> dict:
-        """JSON-ready summary: count/sum/min/max/mean/p50/p90/p99."""
+    def bucket_bounds(self, max_buckets: int = 10) -> tuple[float, ...]:
+        """Data-derived finite bucket upper bounds, strictly increasing.
+
+        Log-spaced between min and max when all observations are
+        positive (durations and TEPS span orders of magnitude),
+        linearly spaced otherwise; bounds that collapse after float
+        rounding are deduplicated.  The last bound equals the maximum
+        observation, so the final finite bucket is cumulative-complete
+        and the implicit ``+Inf`` bucket adds nothing new.
+        """
+        if max_buckets < 1:
+            raise ObsError(
+                f"histogram {self.name!r}: need max_buckets >= 1, "
+                f"got {max_buckets}"
+            )
         with self._lock:
             vals = list(self._values)
         if not vals:
-            return {"type": "histogram", "count": 0}
+            return ()
+        lo, hi = min(vals), max(vals)
+        if lo == hi:
+            return (float(hi),)
+        if lo > 0:
+            raw = np.geomspace(lo, hi, max_buckets)
+        else:
+            raw = np.linspace(lo, hi, max_buckets)
+        bounds: list[float] = []
+        for b in raw:
+            b = float(b)
+            if not bounds or b > bounds[-1]:
+                bounds.append(b)
+        bounds[-1] = max(bounds[-1], float(hi))
+        return tuple(bounds)
+
+    def buckets(self, max_buckets: int = 10) -> list[list[float]]:
+        """Cumulative ``[upper_bound, count]`` pairs (OpenMetrics-style).
+
+        Counts are cumulative (each bucket includes everything below
+        it) and the last pair's count equals :attr:`count`; the
+        ``+Inf`` bucket is implied.  Empty histogram → empty list.
+        """
+        bounds = self.bucket_bounds(max_buckets)
+        if not bounds:
+            return []
+        with self._lock:
+            arr = np.asarray(self._values, dtype=np.float64)
+        return [[b, int((arr <= b).sum())] for b in bounds]
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary: count/sum/min/max/mean/p50/p90/p99 plus
+        cumulative ``buckets`` for the OpenMetrics exposition."""
+        with self._lock:
+            vals = list(self._values)
+        if not vals:
+            return {"type": "histogram", "count": 0, "buckets": []}
         arr = np.asarray(vals, dtype=np.float64)
         p50, p90, p99 = np.percentile(arr, [50, 90, 99])
         return {
@@ -187,6 +244,7 @@ class Histogram:
             "p50": float(p50),
             "p90": float(p90),
             "p99": float(p99),
+            "buckets": self.buckets(),
         }
 
     def reset(self) -> None:
@@ -246,6 +304,29 @@ class MetricsRegistry:
         return {
             name: inst.snapshot() for name, inst in sorted(instruments.items())
         }
+
+    def flat(self) -> dict[str, float]:
+        """Cheap flat numeric view: counters and gauges by value,
+        histograms by ``.count``/``.sum`` only.  Unlike
+        :meth:`snapshot` this computes no quantiles or buckets, so it
+        is safe to call per span close (the flight recorder's metric
+        delta ring does)."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        out: dict[str, float] = {}
+        for name, inst in instruments.items():
+            if isinstance(inst, Histogram):
+                with self._lock:
+                    count = len(inst._values)
+                    total = sum(inst._values)
+                if count:
+                    out[f"{name}.count"] = float(count)
+                    out[f"{name}.sum"] = float(total)
+            else:
+                value = inst.value
+                if value is not None:
+                    out[name] = float(value)
+        return out
 
     def reset(self, names: Iterable[str] | None = None) -> None:
         """Reset all instruments (or just ``names``), keeping them

@@ -12,10 +12,14 @@ Mapping choices:
 * dotted repro metric names become underscore-separated OpenMetrics
   names (``bfs.edges_examined`` → ``bfs_edges_examined``);
 * counters gain the mandatory ``_total`` sample suffix;
-* histograms are exposed as **summaries** (exact ``quantile``-labelled
-  samples for p50/p90/p99 plus ``_count``/``_sum``) — the registry keeps
-  raw observations, so exact quantiles are available and no bucket
-  boundaries need inventing;
+* histograms are exposed as **real histograms**: cumulative
+  ``_bucket{le="..."}`` series over data-derived bounds (the registry
+  retains raw observations, so
+  :meth:`~repro.obs.metrics.Histogram.buckets` derives log- or
+  linear-spaced bounds from the data itself), always terminated by the
+  mandatory ``le="+Inf"`` bucket whose value equals ``_count``, plus
+  ``_sum``/``_count``; :func:`validate` checks le-monotonicity and
+  cumulative non-decreasing counts;
 * the exposition always ends with the required ``# EOF`` line.
 """
 
@@ -32,10 +36,8 @@ __all__ = ["CONTENT_TYPE", "render", "validate", "serve"]
 #: The HTTP ``Content-Type`` negotiated by OpenMetrics v1 scrapers.
 CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
 
-#: Quantiles exposed for each histogram-backed summary.
-SUMMARY_QUANTILES = (0.5, 0.9, 0.99)
-
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LE_RE = re.compile(r'le="([^"]*)"')
 
 
 def _openmetrics_name(name: str) -> str:
@@ -89,15 +91,17 @@ def render(metrics) -> str:
             lines.append(f"# TYPE {om_name} gauge")
             lines.append(f"{om_name} {_format_value(snap['value'])}")
         elif kind == "histogram":
-            lines.append(f"# TYPE {om_name} summary")
+            lines.append(f"# TYPE {om_name} histogram")
             count = int(snap.get("count", 0))
-            if count:
-                for q, stat in zip(SUMMARY_QUANTILES, ("p50", "p90", "p99")):
-                    lines.append(
-                        f'{om_name}{{quantile="{q}"}} '
-                        f"{_format_value(snap[stat])}"
-                    )
-                lines.append(f"{om_name}_sum {_format_value(snap['sum'])}")
+            for bound, cum in snap.get("buckets", []):
+                lines.append(
+                    f'{om_name}_bucket{{le="{_format_value(bound)}"}} '
+                    f"{int(cum)}"
+                )
+            lines.append(f'{om_name}_bucket{{le="+Inf"}} {count}')
+            lines.append(
+                f"{om_name}_sum {_format_value(snap.get('sum', 0.0))}"
+            )
             lines.append(f"{om_name}_count {count}")
         else:
             raise ExportError(
@@ -114,7 +118,11 @@ def validate(text: str) -> int:
     Raises :class:`~repro.errors.ExportError` on: missing/misplaced
     ``# EOF`` terminator, samples without a preceding ``# TYPE`` for
     their family, invalid sample names, counter samples missing the
-    ``_total`` suffix, or unparsable sample values.
+    ``_total`` suffix, unparsable sample values, or — for histogram
+    families — ``_bucket`` series whose ``le`` labels are unparsable or
+    not strictly increasing, cumulative counts that decrease, a missing
+    terminal ``le="+Inf"`` bucket, or an ``+Inf`` bucket that disagrees
+    with ``_count``.
     """
     if not text.endswith("\n"):
         raise ExportError("exposition must end with a newline")
@@ -122,6 +130,8 @@ def validate(text: str) -> int:
     if not lines or lines[-1] != "# EOF":
         raise ExportError("exposition must terminate with '# EOF'")
     types: dict[str, str] = {}
+    buckets: dict[str, list[tuple[float, float]]] = {}
+    hist_counts: dict[str, float] = {}
     samples = 0
     for lineno, line in enumerate(lines[:-1], 1):
         if line == "# EOF":
@@ -168,12 +178,60 @@ def validate(text: str) -> int:
                 "in _total"
             )
         try:
-            float(match.group(3))
+            value = float(match.group(3))
         except ValueError as exc:
             raise ExportError(
                 f"line {lineno}: unparsable value {match.group(3)!r}"
             ) from exc
+        if kind == "histogram":
+            if sample_name.endswith("_bucket"):
+                le_match = _LE_RE.search(match.group(2) or "")
+                if le_match is None:
+                    raise ExportError(
+                        f"line {lineno}: histogram bucket sample "
+                        f"{sample_name!r} has no le label"
+                    )
+                le_text = le_match.group(1)
+                try:
+                    le = float(le_text)
+                except ValueError as exc:
+                    raise ExportError(
+                        f"line {lineno}: unparsable le label {le_text!r}"
+                    ) from exc
+                series = buckets.setdefault(family, [])
+                if series:
+                    prev_le, prev_cum = series[-1]
+                    if not le > prev_le:
+                        raise ExportError(
+                            f"line {lineno}: bucket le labels for "
+                            f"{family!r} must be strictly increasing "
+                            f"({prev_le!r} then {le_text!r})"
+                        )
+                    if value < prev_cum:
+                        raise ExportError(
+                            f"line {lineno}: cumulative bucket count for "
+                            f"{family!r} decreased ({prev_cum} -> {value})"
+                        )
+                series.append((le, value))
+            elif sample_name.endswith("_count"):
+                hist_counts[family] = value
         samples += 1
+    for family, series in buckets.items():
+        if series[-1][0] != float("inf"):
+            raise ExportError(
+                f"histogram {family!r} is missing the terminal "
+                'le="+Inf" bucket'
+            )
+        if family in hist_counts and series[-1][1] != hist_counts[family]:
+            raise ExportError(
+                f"histogram {family!r}: +Inf bucket ({series[-1][1]}) "
+                f"disagrees with _count ({hist_counts[family]})"
+            )
+    for family, kind in types.items():
+        if kind == "histogram" and family not in buckets:
+            raise ExportError(
+                f"histogram {family!r} exposes no _bucket series"
+            )
     return samples
 
 

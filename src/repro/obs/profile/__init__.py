@@ -1,0 +1,70 @@
+"""Continuous profiling tier: sampler, allocation windows, explain,
+flight recorder.
+
+The observability stack (tracer/metrics/export/history/monitor)
+records *what* happened; this package answers *why*:
+
+* :mod:`~repro.obs.profile.sampler` — a ``sys._current_frames``-based
+  sampling profiler whose samples are tagged with the tracer's open
+  spans; collapsed-stack text and a Perfetto flamegraph track;
+* :mod:`~repro.obs.profile.alloc` — per-span ``tracemalloc`` windows
+  proving (or falsifying) the workspace's allocation-freedom claim;
+* :mod:`~repro.obs.profile.explain` — measured level times joined
+  against :class:`~repro.arch.costmodel.CostModel` predictions, per
+  level and per kernel family;
+* :mod:`~repro.obs.profile.recorder` — a bounded telemetry ring with
+  anomaly-triggered snapshot dumps;
+* :mod:`~repro.obs.profile.session` — one-call composition of the
+  above (what ``repro-bfs profile`` constructs).
+
+See the "Profiling & flight recorder" section of
+``docs/observability.md``.
+"""
+
+from repro.obs.profile.alloc import (
+    DEFAULT_SIZE_FLOOR,
+    DEFAULT_WATCHED_SPANS,
+    AllocationProfiler,
+)
+from repro.obs.profile.explain import (
+    DEFAULT_BAND,
+    ExplainReport,
+    LevelExplanation,
+    explain_traversal,
+)
+from repro.obs.profile.recorder import (
+    SNAPSHOT_SCHEMA,
+    FlightRecorder,
+    SnapshotInfo,
+    graph_fingerprint,
+    validate_snapshot,
+)
+from repro.obs.profile.sampler import (
+    DEFAULT_HZ,
+    StackSample,
+    StackSampler,
+    extend_chrome_trace,
+    validate_collapsed,
+)
+from repro.obs.profile.session import ProfileSession
+
+__all__ = [
+    "DEFAULT_HZ",
+    "StackSample",
+    "StackSampler",
+    "validate_collapsed",
+    "extend_chrome_trace",
+    "DEFAULT_SIZE_FLOOR",
+    "DEFAULT_WATCHED_SPANS",
+    "AllocationProfiler",
+    "DEFAULT_BAND",
+    "LevelExplanation",
+    "ExplainReport",
+    "explain_traversal",
+    "SNAPSHOT_SCHEMA",
+    "SnapshotInfo",
+    "FlightRecorder",
+    "graph_fingerprint",
+    "validate_snapshot",
+    "ProfileSession",
+]

@@ -1,0 +1,267 @@
+"""The explain report: measured level times vs cost-model predictions.
+
+:func:`~repro.obs.audit.audit_switching_point` answers *"did the policy
+pick the right directions?"* entirely inside the simulator.  This
+module is its runtime twin: it joins the **measured** per-level seconds
+of a :func:`~repro.bfs.timing.timed_bfs` run (read from the
+``bfs.level`` spans, so the report's measured totals equal the span
+sums exactly) against the :class:`~repro.arch.costmodel.CostModel`'s
+prediction for the same :class:`~repro.bfs.trace.LevelRecord` — per
+level and per kernel family (``td`` scatter vs ``scan``/``tiles``
+bottom-up).
+
+For each level the report carries the measured/predicted ratio, the
+model's *dominant term* (overhead, memory or compute — from the
+:class:`~repro.arch.costmodel.LevelCost` breakdown), and misattribution
+flags when the ratio falls outside the trust band.  A systematic
+per-family bias (e.g. every ``tiles`` level 4× slower than predicted)
+points at a miscalibrated family constant; a single outlying level
+points at interference — exactly the distinction the paper's Table IV
+analysis draws by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.costmodel import CostModel, LevelCost
+from repro.bfs.result import Direction
+from repro.bfs.timing import TimedRun
+from repro.bfs.trace import LevelProfile
+from repro.errors import ProfileError
+from repro.obs.tracer import Tracer, get_tracer
+
+__all__ = ["DEFAULT_BAND", "LevelExplanation", "ExplainReport", "explain_traversal"]
+
+#: Measured/predicted ratio band inside which a level is considered
+#: well-attributed.  Wide by design: the model is calibrated against
+#: the paper's 2014 hardware, so on any other host the *per-family
+#: consistency* of the ratio matters, not its absolute value.
+DEFAULT_BAND = (0.2, 5.0)
+
+
+def _dominant_term(cost: LevelCost) -> str:
+    terms = (
+        ("overhead", cost.overhead_s),
+        ("memory", cost.memory_s),
+        ("compute", cost.compute_s),
+    )
+    return max(terms, key=lambda kv: kv[1])[0]
+
+
+@dataclass(frozen=True)
+class LevelExplanation:
+    """One level's measured-vs-predicted row."""
+
+    level: int
+    direction: str
+    kernel: str
+    frontier_vertices: int
+    edges_examined: int
+    measured_s: float
+    predicted_s: float
+    dominant_term: str
+    flags: tuple[str, ...] = ()
+
+    @property
+    def ratio(self) -> float:
+        """Measured over predicted seconds (inf when the model says 0)."""
+        if self.predicted_s <= 0.0:
+            return float("inf")
+        return self.measured_s / self.predicted_s
+
+    def as_dict(self) -> dict:
+        """JSON-ready row."""
+        return {
+            "level": self.level,
+            "direction": self.direction,
+            "kernel": self.kernel,
+            "frontier_vertices": self.frontier_vertices,
+            "edges_examined": self.edges_examined,
+            "measured_s": self.measured_s,
+            "predicted_s": self.predicted_s,
+            "ratio": self.ratio,
+            "dominant_term": self.dominant_term,
+            "flags": list(self.flags),
+        }
+
+
+@dataclass(frozen=True)
+class ExplainReport:
+    """Measured vs predicted attribution for one traversal."""
+
+    arch: str
+    levels: tuple[LevelExplanation, ...]
+    band: tuple[float, float]
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def measured_total_s(self) -> float:
+        """Sum of measured level seconds — equals the ``bfs.level``
+        span sums of the run exactly (they are the same numbers)."""
+        return float(sum(lv.measured_s for lv in self.levels))
+
+    @property
+    def predicted_total_s(self) -> float:
+        """Sum of model-predicted level seconds."""
+        return float(sum(lv.predicted_s for lv in self.levels))
+
+    @property
+    def ratio(self) -> float:
+        """Whole-traversal measured/predicted ratio."""
+        if self.predicted_total_s <= 0.0:
+            return float("inf")
+        return self.measured_total_s / self.predicted_total_s
+
+    def by_kernel(self) -> dict[str, dict]:
+        """Per-kernel-family aggregation (the scan-vs-tiles verdict)."""
+        out: dict[str, dict] = {}
+        for lv in self.levels:
+            agg = out.setdefault(
+                lv.kernel,
+                {"levels": 0, "measured_s": 0.0, "predicted_s": 0.0},
+            )
+            agg["levels"] += 1
+            agg["measured_s"] += lv.measured_s
+            agg["predicted_s"] += lv.predicted_s
+        for agg in out.values():
+            agg["ratio"] = (
+                agg["measured_s"] / agg["predicted_s"]
+                if agg["predicted_s"] > 0
+                else float("inf")
+            )
+        return out
+
+    def flagged(self) -> tuple[LevelExplanation, ...]:
+        """Levels carrying at least one misattribution flag."""
+        return tuple(lv for lv in self.levels if lv.flags)
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (history / snapshot payload)."""
+        return {
+            "arch": self.arch,
+            "band": list(self.band),
+            "measured_total_s": self.measured_total_s,
+            "predicted_total_s": self.predicted_total_s,
+            "ratio": self.ratio,
+            "levels": [lv.as_dict() for lv in self.levels],
+            "by_kernel": self.by_kernel(),
+            "flagged_levels": [lv.level for lv in self.flagged()],
+            "meta": self.meta,
+        }
+
+    def render(self) -> str:
+        """Human-readable attribution table (the CLI explain block)."""
+        lines = [
+            f"explain report ({self.arch}, {len(self.levels)} levels, "
+            f"band [{self.band[0]:g}, {self.band[1]:g}]x)",
+            f"  measured {self.measured_total_s:.6f} s   predicted "
+            f"{self.predicted_total_s:.6f} s   ratio {self.ratio:.3f}x",
+            "  lvl dir kernel  measured_s  predicted_s   ratio dominant flags",
+        ]
+        for lv in self.levels:
+            lines.append(
+                f"  {lv.level:>3d} {lv.direction:<3s} {lv.kernel:<6s} "
+                f"{lv.measured_s:>10.6f}  {lv.predicted_s:>11.6f} "
+                f"{lv.ratio:>7.2f} {lv.dominant_term:<8s} "
+                f"{','.join(lv.flags) or '-'}"
+            )
+        for kernel, agg in sorted(self.by_kernel().items()):
+            lines.append(
+                f"  family {kernel:<6s} {agg['levels']:>2d} levels  "
+                f"measured {agg['measured_s']:.6f} s  "
+                f"ratio {agg['ratio']:.3f}x"
+            )
+        return "\n".join(lines)
+
+
+def explain_traversal(
+    run: TimedRun,
+    profile: LevelProfile,
+    model: CostModel,
+    *,
+    tile_model: CostModel | None = None,
+    band: tuple[float, float] = DEFAULT_BAND,
+    tracer: Tracer | None = None,
+) -> ExplainReport:
+    """Join a timed run against the cost model's per-level predictions.
+
+    ``run`` and ``profile`` must describe the *same traversal* (same
+    source, same depth) — the profile supplies the
+    architecture-independent counters the model prices, the run
+    supplies the measured seconds.  ``model`` prices top-down and
+    ``scan`` bottom-up levels; ``tiles`` levels are priced by
+    ``tile_model`` when given (a :class:`~repro.arch.costmodel.
+    CostModel` over a ``bu_kernel="tile"`` spec), else by ``model``
+    with a ``no-tile-model`` flag on the affected rows.
+
+    Emits a ``profile.explain`` instant event on the ambient (or
+    passed) tracer so the attribution lands in the decision-audit
+    channel next to ``bfs.direction``.
+    """
+    if len(run.levels) != len(profile):
+        raise ProfileError(
+            f"timed run has {len(run.levels)} levels but the profile has "
+            f"{len(profile)}; explain needs one traversal, not two"
+        )
+    if run.result.source != profile.source:
+        raise ProfileError(
+            f"timed run traversed source {run.result.source} but the "
+            f"profile describes source {profile.source}"
+        )
+    lo, hi = band
+    if not 0 < lo < hi:
+        raise ProfileError(f"band must satisfy 0 < lo < hi, got {band}")
+
+    rows: list[LevelExplanation] = []
+    for timed, rec in zip(run.levels, profile):
+        flags: list[str] = []
+        if timed.direction == Direction.TOP_DOWN:
+            cost = model.top_down_seconds(rec, profile.num_vertices)
+        elif timed.kernel == "tiles":
+            family_model = tile_model
+            if family_model is None and model.spec.bu_kernel == "tile":
+                family_model = model
+            if family_model is None:
+                family_model = model
+                flags.append("no-tile-model")
+            cost = family_model.bottom_up_seconds(rec, profile.num_vertices)
+        else:
+            cost = model.bottom_up_seconds(rec, profile.num_vertices)
+        ratio = (
+            timed.seconds / cost.seconds if cost.seconds > 0 else float("inf")
+        )
+        if ratio > hi:
+            flags.append("slower-than-model")
+        elif ratio < lo:
+            flags.append("faster-than-model")
+        rows.append(
+            LevelExplanation(
+                level=timed.level,
+                direction=timed.direction,
+                kernel=timed.kernel,
+                frontier_vertices=timed.frontier_vertices,
+                edges_examined=timed.edges_examined,
+                measured_s=timed.seconds,
+                predicted_s=cost.seconds,
+                dominant_term=_dominant_term(cost),
+                flags=tuple(flags),
+            )
+        )
+
+    report = ExplainReport(
+        arch=model.spec.name,
+        levels=tuple(rows),
+        band=(float(lo), float(hi)),
+        meta={"source": run.result.source, "num_vertices": profile.num_vertices},
+    )
+    tr = tracer if tracer is not None else get_tracer()
+    tr.instant(
+        "profile.explain",
+        arch=report.arch,
+        measured_total_s=report.measured_total_s,
+        predicted_total_s=report.predicted_total_s,
+        ratio=report.ratio,
+        flagged_levels=len(report.flagged()),
+    )
+    return report

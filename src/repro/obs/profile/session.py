@@ -1,0 +1,154 @@
+"""One-call orchestration of the profiling tier.
+
+:class:`ProfileSession` bundles the pieces every profiled run wants —
+a :class:`~repro.obs.tracer.Tracer`, the sampling stack profiler, the
+per-span allocation windows and (optionally) the flight recorder — and
+wires them together: the sampler tags samples with the tracer's open
+spans, the recorder serves the sampler's collapsed stacks and the
+allocation report as snapshot artifacts.  This is what the CLI's
+``--profile`` / ``--flight-recorder`` flags construct.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ProfileError
+from repro.obs.export import chrome_trace
+from repro.obs.profile.alloc import (
+    DEFAULT_SIZE_FLOOR,
+    AllocationProfiler,
+)
+from repro.obs.profile.recorder import FlightRecorder
+from repro.obs.profile.sampler import (
+    DEFAULT_HZ,
+    StackSampler,
+    extend_chrome_trace,
+)
+from repro.obs.tracer import Tracer
+
+__all__ = ["ProfileSession"]
+
+
+class ProfileSession:
+    """Compose tracer + sampler + allocation windows + flight recorder.
+
+    Use as a context manager around the run::
+
+        session = ProfileSession(recorder=True, snapshot_dir="snapshots")
+        with session:
+            run_graph500(scale=12, tracer=session.tracer, ...)
+        paths = session.write_artifacts("out", "graph500-s12")
+
+    Every piece is optional (``sampler=False`` / ``alloc=False`` /
+    ``recorder=False``); the tracer is created when not passed in.
+    """
+
+    def __init__(
+        self,
+        tracer: Tracer | None = None,
+        *,
+        sampler: bool = True,
+        hz: float = DEFAULT_HZ,
+        alloc: bool = True,
+        alloc_detailed: bool = True,
+        size_floor: int = DEFAULT_SIZE_FLOOR,
+        recorder: bool = False,
+        snapshot_dir: str | Path | None = None,
+        recorder_kwargs: dict | None = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.sampler: StackSampler | None = (
+            StackSampler(hz=hz, tracer=self.tracer) if sampler else None
+        )
+        self.alloc: AllocationProfiler | None = (
+            AllocationProfiler(
+                self.tracer, detailed=alloc_detailed, size_floor=size_floor
+            )
+            if alloc
+            else None
+        )
+        self.recorder: FlightRecorder | None = None
+        if recorder:
+            kwargs = dict(recorder_kwargs or {})
+            kwargs.setdefault("snapshot_dir", snapshot_dir)
+            self.recorder = FlightRecorder(self.tracer, **kwargs)
+        self._active = False
+
+    def __enter__(self) -> "ProfileSession":
+        if self._active:
+            raise ProfileError("profile session already active")
+        self._active = True
+        if self.recorder is not None:
+            self.recorder.__enter__()
+            if self.sampler is not None:
+                self.recorder.add_artifact_provider(
+                    "profile.collapsed", self.sampler.collapsed_text
+                )
+            if self.alloc is not None:
+                self.recorder.add_artifact_provider(
+                    "alloc.json",
+                    lambda: json.dumps(self.alloc.report(), indent=1),
+                )
+        if self.alloc is not None:
+            self.alloc.__enter__()
+        if self.sampler is not None:
+            self.sampler.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self.sampler is not None:
+            self.sampler.stop()
+        if self.alloc is not None:
+            self.alloc.__exit__(*exc)
+        if self.recorder is not None:
+            self.recorder.__exit__(*exc)
+        self._active = False
+
+    # -- outputs -------------------------------------------------------------
+
+    def chrome_trace(self, **meta) -> dict:
+        """The span trace with the sampler's flamegraph track merged."""
+        trace = chrome_trace(self.tracer, **meta)
+        if self.sampler is not None:
+            extend_chrome_trace(trace, self.sampler, self.tracer)
+        return trace
+
+    def write_artifacts(self, out_dir: str | Path, stem: str) -> dict[str, Path]:
+        """Write ``<stem>.collapsed`` and ``<stem>.trace.json`` under
+        ``out_dir``; returns ``{kind: path}``."""
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        paths: dict[str, Path] = {}
+        if self.sampler is not None:
+            collapsed = out / f"{stem}.collapsed"
+            self.sampler.write_collapsed(collapsed)
+            paths["collapsed"] = collapsed
+        trace_path = out / f"{stem}.trace.json"
+        trace_path.write_text(
+            json.dumps(self.chrome_trace(), indent=1), encoding="utf-8"
+        )
+        paths["trace"] = trace_path
+        return paths
+
+    def report(self) -> dict:
+        """JSON-ready summary of everything the session observed."""
+        out: dict = {}
+        if self.sampler is not None:
+            out["sampler"] = {
+                "hz": self.sampler.hz,
+                "samples": len(self.sampler.samples),
+                "truncated": self.sampler.truncated,
+                "span_seconds": self.sampler.span_seconds(),
+            }
+        if self.alloc is not None:
+            out["alloc"] = self.alloc.report()
+        if self.recorder is not None:
+            out["flight_recorder"] = {
+                "capacity": self.recorder.capacity,
+                "ring_entries": len(self.recorder.ring),
+                "triggers": list(self.recorder.triggers),
+                "snapshots": [s.as_dict() for s in self.recorder.snapshots],
+            }
+        return out

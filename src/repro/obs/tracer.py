@@ -30,6 +30,7 @@ start/end times — that is how the heterogeneous executor lays the
 
 from __future__ import annotations
 
+import collections
 import contextlib
 import itertools
 import logging
@@ -45,6 +46,7 @@ __all__ = [
     "SpanRecord",
     "EventRecord",
     "Span",
+    "TraceListener",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
@@ -181,6 +183,27 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+class TraceListener:
+    """No-op base class for tracer observers.
+
+    Listeners ride along the recording path (the flight recorder and
+    the allocation profiler are both listeners) and are invoked
+    *outside* the tracer lock, after the record has been appended.
+    Override only the callbacks you need; the defaults discard
+    everything, so a listener pays exactly one truthiness check on an
+    un-instrumented tracer (``if self._listeners:``).
+    """
+
+    def on_span_open(self, span: "Span") -> None:
+        """Called after ``span`` has been opened (start stamped)."""
+
+    def on_span_close(self, record: SpanRecord) -> None:
+        """Called after a finished span's record has been appended."""
+
+    def on_event(self, record: EventRecord) -> None:
+        """Called after an instant event has been appended."""
+
+
 class Tracer:
     """Collects spans, instant events and metrics for one recording.
 
@@ -197,6 +220,11 @@ class Tracer:
         logger, see :mod:`repro.obs.log`): every finished span and every
         instant event is mirrored as a DEBUG record with the structured
         payload under ``extra={"repro_event": ...}``.
+    capacity:
+        When given, retain only the most recent ``capacity`` finished
+        spans and the most recent ``capacity`` events (a bounded deque
+        each).  Long-lived service tracers use this so memory stays
+        flat; the flight recorder keeps its own independent ring.
     """
 
     enabled = True
@@ -207,6 +235,7 @@ class Tracer:
         clock: Callable[[], float] = now,
         metrics: MetricsRegistry | None = None,
         logger: logging.Logger | bool | None = None,
+        capacity: int | None = None,
     ) -> None:
         self.clock = clock
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -215,11 +244,25 @@ class Tracer:
 
             logger = get_logger("trace")
         self.logger: logging.Logger | None = logger or None
+        if capacity is not None and capacity < 1:
+            raise ObsError(f"tracer capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
         self._lock = threading.Lock()
-        self._spans: list[SpanRecord] = []
-        self._events: list[EventRecord] = []
+        if capacity is None:
+            self._spans: list[SpanRecord] | collections.deque = []
+            self._events: list[EventRecord] | collections.deque = []
+        else:
+            self._spans = collections.deque(maxlen=capacity)
+            self._events = collections.deque(maxlen=capacity)
         self._ids = itertools.count(1)
         self._local = threading.local()
+        # Thread id -> that thread's live span stack.  Stacks are only
+        # mutated by their owning thread; the registry lets the sampling
+        # profiler *peek* at the innermost open span of another thread
+        # (a racy read of the list tail, which is safe in CPython — the
+        # worst case is a one-sample-stale tag).
+        self._thread_stacks: dict[int, list[Span]] = {}
+        self._listeners: list[TraceListener] = []
 
     # -- span lifecycle -----------------------------------------------------
 
@@ -231,6 +274,9 @@ class Tracer:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
+            ident = threading.get_ident()
+            with self._lock:
+                self._thread_stacks[ident] = stack
         return stack
 
     def _open(self, span: Span) -> None:
@@ -239,6 +285,9 @@ class Tracer:
             span.parent_id = stack[-1].span_id
         stack.append(span)
         span.start = self.clock()
+        if self._listeners:
+            for listener in self._listeners:
+                listener.on_span_open(span)
 
     def _close(self, span: Span) -> None:
         span.end = self.clock()
@@ -262,6 +311,9 @@ class Tracer:
         )
         with self._lock:
             self._spans.append(record)
+        if self._listeners:
+            for listener in self._listeners:
+                listener.on_span_close(record)
         if self.logger is not None:
             self.logger.debug(
                 "span %s %.6fs",
@@ -304,6 +356,9 @@ class Tracer:
         )
         with self._lock:
             self._spans.append(record)
+        if self._listeners:
+            for listener in self._listeners:
+                listener.on_span_close(record)
         return record
 
     # -- instant events ------------------------------------------------------
@@ -321,12 +376,52 @@ class Tracer:
         )
         with self._lock:
             self._events.append(record)
+        if self._listeners:
+            for listener in self._listeners:
+                listener.on_event(record)
         if self.logger is not None:
             self.logger.debug(
                 "event %s",
                 record.name,
                 extra={"repro_event": record.as_dict()},
             )
+
+    # -- listeners and cross-thread inspection --------------------------------
+
+    def add_listener(self, listener: TraceListener) -> TraceListener:
+        """Attach a :class:`TraceListener`; returns it for chaining."""
+        if not isinstance(listener, TraceListener):
+            raise ObsError(
+                f"add_listener needs a TraceListener, got {type(listener).__name__}"
+            )
+        with self._lock:
+            if listener not in self._listeners:
+                # replace, don't mutate: callbacks iterate without the lock
+                self._listeners = self._listeners + [listener]
+        return listener
+
+    def remove_listener(self, listener: TraceListener) -> None:
+        """Detach a previously added listener (no-op if absent)."""
+        with self._lock:
+            self._listeners = [l for l in self._listeners if l is not listener]
+
+    def open_span_names(self, thread_id: int | None = None) -> tuple[str, ...]:
+        """Names of the live (open) spans, outermost first.
+
+        With ``thread_id`` given, the requested thread's stack;
+        otherwise the calling thread's.  This is the sampler's tagging
+        hook: it reads another thread's stack *racily* (list reads are
+        atomic in CPython), so a sample taken during a push/pop may see
+        the stack one frame stale — an acceptable error at sampling
+        resolution.
+        """
+        if thread_id is None:
+            thread_id = threading.get_ident()
+        stack = self._thread_stacks.get(thread_id)
+        if not stack:
+            return ()
+        # snapshot-copy first: the owning thread may pop concurrently
+        return tuple(span.name for span in list(stack))
 
     # -- metric shorthands ---------------------------------------------------
 

@@ -41,6 +41,7 @@ class TestRegistry:
             "RPR017",
             "RPR018",
             "RPR019",
+            "RPR020",
         }
 
     def test_deep_rules_flagged(self):
@@ -356,6 +357,59 @@ class TestRPR007KernelAllocations:
     def test_noqa_suppresses(self):
         v = self.in_kernel(
             "idx = np.arange(k)  # repro: noqa[RPR007]"
+        )
+        assert v == []
+
+
+class TestRPR020AdhocInstrumentation:
+    def test_fires_on_tracemalloc_import(self):
+        v = lint_source("import tracemalloc\n", select=["RPR020"])
+        assert codes(v) == ["RPR020"]
+
+    def test_fires_on_tracemalloc_from_import(self):
+        v = lint_source(
+            "from tracemalloc import take_snapshot\n", select=["RPR020"]
+        )
+        assert codes(v) == ["RPR020"]
+
+    def test_fires_on_tracemalloc_call(self):
+        v = lint_source(
+            "import tracemalloc\ntracemalloc.start()\n", select=["RPR020"]
+        )
+        assert codes(v) == ["RPR020", "RPR020"]
+
+    def test_fires_on_settrace_and_setprofile(self):
+        v = lint_source(
+            "import sys\nsys.settrace(None)\nsys.setprofile(None)\n",
+            select=["RPR020"],
+        )
+        assert codes(v) == ["RPR020", "RPR020"]
+
+    def test_fires_on_sys_from_import(self):
+        v = lint_source(
+            "from sys import setprofile\n", select=["RPR020"]
+        )
+        assert codes(v) == ["RPR020"]
+
+    def test_silent_inside_obs(self):
+        v = lint_source(
+            "import tracemalloc\nimport sys\nsys.setprofile(None)\n",
+            path="src/repro/obs/profile/alloc.py",
+            select=["RPR020"],
+        )
+        assert v == []
+
+    def test_silent_on_other_sys_calls(self):
+        v = lint_source(
+            "import sys\nsys.exit(0)\nfrom sys import argv\n",
+            select=["RPR020"],
+        )
+        assert v == []
+
+    def test_noqa_suppresses(self):
+        v = lint_source(
+            "import tracemalloc  # repro: noqa[RPR020]\n",
+            select=["RPR020"],
         )
         assert v == []
 

@@ -1,0 +1,203 @@
+"""The ``repro-bfs profile`` subcommand and the ``--profile`` /
+``--flight-recorder`` ride-along flags."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ProfileError
+from repro.obs.profile import validate_collapsed, validate_snapshot
+
+
+class TestParser:
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.command == "profile"
+        assert args.scale == 12
+        assert args.engine == "hybrid"
+        assert args.hz == 997.0
+        assert args.repeat == 5
+        assert not args.flight_recorder
+        assert not args.inject_anomaly
+
+    def test_ride_along_flags_on_bfs(self):
+        args = build_parser().parse_args(
+            ["bfs", "--profile", "--flight-recorder"]
+        )
+        assert args.profile and args.flight_recorder
+
+    def test_ride_along_flags_on_graph500_and_trace(self):
+        for cmd in ("graph500", "trace"):
+            args = build_parser().parse_args([cmd, "--profile"])
+            assert args.profile and not args.flight_recorder
+
+
+class TestProfileCommand:
+    def test_json_run_writes_validated_artifacts(self, capsys, tmp_path):
+        rc = main(
+            [
+                "profile",
+                "--scale", "8",
+                "--repeat", "2",
+                "--out", str(tmp_path),
+                "--history", str(tmp_path / "runs.jsonl"),
+                "--json",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scale"] == 8
+        assert payload["engine"] == "hybrid"
+        assert payload["samples"] >= 0
+        assert payload["profile"]["alloc"]["windows"] > 0
+        assert payload["explain"]["levels"]
+        # per-level measured totals equal the level sum exactly
+        assert payload["explain"]["measured_total_s"] == pytest.approx(
+            sum(lv["measured_s"] for lv in payload["explain"]["levels"])
+        )
+        collapsed = tmp_path / "profile-s8-hybrid.collapsed"
+        trace = tmp_path / "profile-s8-hybrid.trace.json"
+        assert collapsed.exists() and trace.exists()
+        validate_collapsed(collapsed.read_text())
+        history = (tmp_path / "runs.jsonl").read_text().splitlines()
+        assert len(history) == 1
+        record = json.loads(history[0])
+        assert record["kind"] == "profile"
+        assert "explain" in record["meta"]
+
+    def test_warm_kernels_report_clean(self, capsys, tmp_path):
+        """PR 2's claim, adjudicated on a real run: the warm workspace
+        allocates nothing graph-sized inside level kernels."""
+        rc = main(
+            [
+                "profile",
+                "--scale", "9",
+                "--repeat", "2",
+                "--no-sampler",
+                "--out", str(tmp_path),
+                "--history", str(tmp_path / "runs.jsonl"),
+                "--json",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["profile"]["alloc"]["clean"] is True
+
+    def test_inject_anomaly_fires_snapshot(self, capsys, tmp_path):
+        rc = main(
+            [
+                "profile",
+                "--scale", "8",
+                "--repeat", "3",
+                "--inject-anomaly",
+                "--no-sampler",
+                "--no-alloc",
+                "--out", str(tmp_path),
+                "--history", str(tmp_path / "runs.jsonl"),
+                "--json",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        snapshots = payload["snapshots"]
+        assert snapshots, "injected 3x slowdown must trigger a snapshot"
+        meta = validate_snapshot(snapshots[0]["path"])
+        assert meta["reason"].startswith("slow-span:")
+        # the digest is the handle that lands in runs.jsonl
+        record = json.loads(
+            (tmp_path / "runs.jsonl").read_text().splitlines()[0]
+        )
+        digests = [s["digest"] for s in record["meta"]["snapshots"]]
+        assert snapshots[0]["digest"] in digests
+
+    def test_tiles_engine_prices_tile_family(self, capsys, tmp_path):
+        rc = main(
+            [
+                "profile",
+                "--scale", "8",
+                "--repeat", "1",
+                "--bottom-up", "tiles",
+                "--no-sampler",
+                "--no-alloc",
+                "--out", str(tmp_path),
+                "--history", str(tmp_path / "runs.jsonl"),
+                "--json",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        families = payload["explain"]["by_kernel"]
+        assert "tiles" in families
+        tiles_rows = [
+            lv for lv in payload["explain"]["levels"]
+            if lv["kernel"] == "tiles"
+        ]
+        assert all("no-tile-model" not in lv["flags"] for lv in tiles_rows)
+
+    def test_text_output_renders_report(self, capsys, tmp_path):
+        rc = main(
+            [
+                "profile",
+                "--scale", "8",
+                "--repeat", "1",
+                "--no-sampler",
+                "--out", str(tmp_path),
+                "--history", str(tmp_path / "runs.jsonl"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "explain report" in out
+        assert "alloc:" in out
+
+    def test_rejects_bad_repeat(self, capsys, tmp_path):
+        rc = main(
+            [
+                "profile",
+                "--scale", "8",
+                "--repeat", "0",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert rc == 2
+
+
+class TestRideAlong:
+    def test_bfs_profile_lands_in_history(self, capsys, tmp_path):
+        rc = main(
+            [
+                "bfs",
+                "--scale", "8",
+                "--profile",
+                "--profile-out", str(tmp_path / "prof"),
+                "--history", str(tmp_path / "runs.jsonl"),
+                "--json",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "sampler" in payload["profile"]
+        assert "alloc" in payload["profile"]
+        record = json.loads(
+            (tmp_path / "runs.jsonl").read_text().splitlines()[0]
+        )
+        assert "profile" in record["meta"]
+        assert list((tmp_path / "prof").glob("bfs-s8-*.collapsed"))
+
+    def test_graph500_flight_recorder_only(self, capsys, tmp_path):
+        rc = main(
+            [
+                "graph500",
+                "--scale", "8",
+                "--roots", "2",
+                "--flight-recorder",
+                "--profile-out", str(tmp_path / "prof"),
+                "--history", str(tmp_path / "runs.jsonl"),
+                "--json",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "flight_recorder" in payload["profile"]
+        assert "sampler" not in payload["profile"]

@@ -1,0 +1,151 @@
+"""The explain report: measured level seconds vs cost-model predictions."""
+
+import pytest
+
+from repro.arch import CPU_SANDY_BRIDGE, TENSOR_TILE
+from repro.arch.costmodel import CostModel
+from repro.bfs import pick_sources, profile_bfs
+from repro.bfs.timing import timed_bfs
+from repro.bfs.workspace import BFSWorkspace
+from repro.errors import ProfileError
+from repro.graph.generators import rmat
+from repro.obs.profile import explain_traversal
+from repro.obs.tracer import Tracer
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = rmat(9, 8, seed=3)
+    source = int(pick_sources(graph, 1, seed=3)[0])
+    return graph, source
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CostModel(CPU_SANDY_BRIDGE)
+
+
+def _timed(graph, source, tracer, **kwargs):
+    ws = BFSWorkspace(graph.num_vertices)
+    kwargs.setdefault("m", 20.0)
+    kwargs.setdefault("n", 100.0)
+    return timed_bfs(graph, source, workspace=ws, tracer=tracer, **kwargs)
+
+
+class TestExplain:
+    def test_measured_totals_equal_span_sums_exactly(self, workload, model):
+        """The acceptance bar: the report's measured seconds ARE the
+        ``bfs.level`` span durations, not a re-measurement."""
+        graph, source = workload
+        tracer = Tracer()
+        run = _timed(graph, source, tracer)
+        profile, _ = profile_bfs(graph, source)
+        report = explain_traversal(run, profile, model, tracer=tracer)
+        span_sum = sum(
+            r.duration for r in tracer.spans() if r.name == "bfs.level"
+        )
+        assert report.measured_total_s == span_sum
+        assert [lv.measured_s for lv in report.levels] == [
+            r.duration for r in tracer.spans() if r.name == "bfs.level"
+        ]
+
+    def test_rows_carry_direction_kernel_and_counters(self, workload, model):
+        graph, source = workload
+        run = _timed(graph, source, Tracer())
+        profile, _ = profile_bfs(graph, source)
+        report = explain_traversal(run, profile, model, tracer=Tracer())
+        assert len(report.levels) == len(profile)
+        for lv, rec in zip(report.levels, profile):
+            assert lv.frontier_vertices == rec.frontier_vertices
+            assert lv.predicted_s > 0
+            assert lv.dominant_term in ("overhead", "memory", "compute")
+        assert {lv.direction for lv in report.levels} <= {"td", "bu"}
+
+    def test_by_kernel_aggregation_sums_levels(self, workload, model):
+        graph, source = workload
+        run = _timed(graph, source, Tracer())
+        profile, _ = profile_bfs(graph, source)
+        report = explain_traversal(run, profile, model, tracer=Tracer())
+        families = report.by_kernel()
+        assert sum(f["levels"] for f in families.values()) == len(report.levels)
+        assert sum(f["measured_s"] for f in families.values()) == pytest.approx(
+            report.measured_total_s
+        )
+
+    def test_tiles_levels_priced_by_tile_model(self, workload, model):
+        graph, source = workload
+        run = _timed(graph, source, Tracer(), bottom_up="tiles")
+        profile, _ = profile_bfs(graph, source)
+        tile_model = CostModel(TENSOR_TILE)
+        report = explain_traversal(
+            run, profile, model, tile_model=tile_model, tracer=Tracer()
+        )
+        tiles_rows = [lv for lv in report.levels if lv.kernel == "tiles"]
+        assert tiles_rows, "hybrid run must have bottom-up tile levels"
+        assert all("no-tile-model" not in lv.flags for lv in tiles_rows)
+
+    def test_tiles_without_tile_model_is_flagged(self, workload, model):
+        graph, source = workload
+        run = _timed(graph, source, Tracer(), bottom_up="tiles")
+        profile, _ = profile_bfs(graph, source)
+        report = explain_traversal(run, profile, model, tracer=Tracer())
+        tiles_rows = [lv for lv in report.levels if lv.kernel == "tiles"]
+        assert all("no-tile-model" in lv.flags for lv in tiles_rows)
+
+    def test_emits_explain_instant_event(self, workload, model):
+        graph, source = workload
+        tracer = Tracer()
+        run = _timed(graph, source, tracer)
+        profile, _ = profile_bfs(graph, source)
+        explain_traversal(run, profile, model, tracer=tracer)
+        events = [e for e in tracer.events() if e.name == "profile.explain"]
+        assert len(events) == 1
+        assert events[0].attrs["arch"] == model.spec.name
+
+    def test_render_contains_every_level(self, workload, model):
+        graph, source = workload
+        run = _timed(graph, source, Tracer())
+        profile, _ = profile_bfs(graph, source)
+        report = explain_traversal(run, profile, model, tracer=Tracer())
+        text = report.render()
+        assert "explain report" in text
+        assert "family" in text
+        assert len(text.splitlines()) >= 3 + len(report.levels)
+
+    def test_as_dict_round_trips_structure(self, workload, model):
+        import json
+
+        graph, source = workload
+        run = _timed(graph, source, Tracer())
+        profile, _ = profile_bfs(graph, source)
+        report = explain_traversal(run, profile, model, tracer=Tracer())
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["arch"] == model.spec.name
+        assert len(payload["levels"]) == len(report.levels)
+        assert payload["measured_total_s"] == report.measured_total_s
+
+
+class TestValidation:
+    def test_mismatched_level_counts_raise(self, workload, model):
+        graph, source = workload
+        run = _timed(graph, source, Tracer(), direction="td", m=None, n=None)
+        profile, _ = profile_bfs(graph, source, max_levels=1)
+        with pytest.raises(ProfileError, match="levels"):
+            explain_traversal(run, profile, model, tracer=Tracer())
+
+    def test_mismatched_sources_raise(self, workload, model):
+        graph, source = workload
+        run = _timed(graph, source, Tracer())
+        other = (source + 1) % graph.num_vertices
+        profile, _ = profile_bfs(graph, other)
+        with pytest.raises(ProfileError, match="source"):
+            explain_traversal(run, profile, model, tracer=Tracer())
+
+    def test_bad_band_raises(self, workload, model):
+        graph, source = workload
+        run = _timed(graph, source, Tracer())
+        profile, _ = profile_bfs(graph, source)
+        with pytest.raises(ProfileError, match="band"):
+            explain_traversal(
+                run, profile, model, band=(2.0, 1.0), tracer=Tracer()
+            )

@@ -1,0 +1,197 @@
+"""The flight recorder: telemetry ring, anomaly triggers, snapshots."""
+
+import json
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.graph.generators import rmat
+from repro.obs.profile import (
+    FlightRecorder,
+    graph_fingerprint,
+    validate_snapshot,
+)
+from repro.obs.profile.recorder import SNAPSHOT_SCHEMA
+from repro.obs.tracer import Tracer
+
+
+@pytest.fixture
+def tracer():
+    return Tracer()
+
+
+class TestConstruction:
+    def test_rejects_bad_capacity(self, tracer):
+        with pytest.raises(ProfileError, match="capacity"):
+            FlightRecorder(tracer, capacity=0)
+
+    def test_rejects_bad_slow_factor(self, tracer):
+        with pytest.raises(ProfileError, match="slow_factor"):
+            FlightRecorder(tracer, slow_factor=1.0)
+
+    def test_rejects_bad_warmup(self, tracer):
+        with pytest.raises(ProfileError, match="warmup"):
+            FlightRecorder(tracer, warmup=0)
+
+
+class TestRing:
+    def test_ring_is_bounded(self, tracer):
+        with FlightRecorder(tracer, capacity=4) as rec:
+            for i in range(10):
+                tracer.add_span("bfs.level", float(i), float(i) + 0.5)
+        assert len(rec.ring) == 4
+
+    def test_ring_holds_spans_and_events(self, tracer):
+        with FlightRecorder(tracer) as rec:
+            with tracer.span("bfs.level"):
+                pass
+            tracer.instant("bfs.direction", direction="bu")
+        names = [getattr(e, "name", None) for e in rec.ring]
+        assert "bfs.level" in names
+        assert "bfs.direction" in names
+
+    def test_metric_delta_ringed_on_root_close(self, tracer):
+        with FlightRecorder(tracer) as rec:
+            with tracer.span("bfs.timed"):
+                tracer.count("bfs.levels", 3)
+        deltas = [
+            e for e in rec.ring
+            if isinstance(e, dict) and e.get("kind") == "metrics"
+        ]
+        assert deltas and deltas[-1]["delta"]["bfs.levels"] == 3.0
+
+    def test_detaches_on_exit(self, tracer):
+        with FlightRecorder(tracer) as rec:
+            pass
+        with tracer.span("bfs.level"):
+            pass
+        assert len(rec.ring) == 0
+
+
+class TestTriggers:
+    def test_slow_span_fires_after_warmup(self, tracer, tmp_path):
+        rec = FlightRecorder(
+            tracer,
+            watch=("bfs.timed",),
+            warmup=3,
+            slow_factor=2.5,
+            snapshot_dir=tmp_path,
+        )
+        with rec:
+            for _ in range(3):
+                tracer.add_span("bfs.timed", 0.0, 1.0)
+            assert not rec.triggers  # still learning
+            tracer.add_span("bfs.timed", 0.0, 3.0)  # 3x the median
+        assert len(rec.triggers) == 1
+        assert rec.triggers[0]["reason"] == "slow-span:bfs.timed"
+        assert len(rec.snapshots) == 1
+
+    def test_within_threshold_does_not_fire(self, tracer):
+        with FlightRecorder(tracer, watch=("bfs.timed",), warmup=2) as rec:
+            for _ in range(2):
+                tracer.add_span("bfs.timed", 0.0, 1.0)
+            tracer.add_span("bfs.timed", 0.0, 2.0)  # 2x < slow_factor 2.5
+        assert not rec.triggers
+
+    def test_explicit_baseline_skips_learning(self, tracer):
+        rec = FlightRecorder(
+            tracer, watch=("bfs.timed",), baseline_s={"bfs.timed": 0.5}
+        )
+        with rec:
+            tracer.add_span("bfs.timed", 0.0, 1.0)  # first close already slow
+        assert len(rec.triggers) == 1
+
+    def test_alert_event_fires(self, tracer):
+        with FlightRecorder(tracer) as rec:
+            tracer.instant("tuning.drift_alert", metric="teps")
+        assert rec.triggers
+        assert rec.triggers[0]["reason"] == "alert-event:tuning.drift_alert"
+
+    def test_manual_trigger_counts_anomaly(self, tracer):
+        with FlightRecorder(tracer) as rec:
+            info = rec.trigger("manual-test")
+        assert info is None  # no snapshot dir
+        assert len(rec.triggers) == 1
+        snap = tracer.metrics.snapshot()
+        assert snap["profile.anomalies"]["value"] == 1
+
+
+class TestSnapshots:
+    def _triggered(self, tracer, tmp_path, **kwargs):
+        rec = FlightRecorder(
+            tracer, snapshot_dir=tmp_path, context={"workload": "t"}, **kwargs
+        )
+        with rec:
+            with tracer.span("bfs.level"):
+                pass
+            info = rec.trigger("manual-test", {"k": "v"})
+        return rec, info
+
+    def test_snapshot_validates(self, tracer, tmp_path):
+        _, info = self._triggered(tracer, tmp_path)
+        meta = validate_snapshot(info.path)
+        assert meta["schema"] == SNAPSHOT_SCHEMA
+        assert meta["reason"] == "manual-test"
+        assert meta["context"] == {"workload": "t"}
+        assert meta["digest"] == info.digest
+
+    def test_ring_jsonl_parses(self, tracer, tmp_path):
+        _, info = self._triggered(tracer, tmp_path)
+        lines = (info.path / "ring.jsonl").read_text().splitlines()
+        assert lines
+        assert any(json.loads(l).get("name") == "bfs.level" for l in lines)
+
+    def test_artifact_provider_content_included(self, tracer, tmp_path):
+        rec = FlightRecorder(tracer, snapshot_dir=tmp_path)
+        rec.add_artifact_provider("extra.txt", lambda: "hello\n")
+        with rec:
+            info = rec.trigger("manual-test")
+        assert (info.path / "extra.txt").read_text() == "hello\n"
+        validate_snapshot(info.path)
+
+    def test_broken_provider_does_not_eat_the_dump(self, tracer, tmp_path):
+        rec = FlightRecorder(tracer, snapshot_dir=tmp_path)
+        rec.add_artifact_provider(
+            "bad.txt", lambda: (_ for _ in ()).throw(RuntimeError("boom"))
+        )
+        with rec:
+            info = rec.trigger("manual-test")
+        assert "failed" in (info.path / "bad.txt").read_text()
+        validate_snapshot(info.path)
+
+    def test_provider_name_must_be_bare(self, tracer):
+        rec = FlightRecorder(tracer)
+        with pytest.raises(ProfileError, match="bare filename"):
+            rec.add_artifact_provider("a/b", lambda: "")
+
+    def test_tampering_breaks_validation(self, tracer, tmp_path):
+        _, info = self._triggered(tracer, tmp_path)
+        ring = info.path / "ring.jsonl"
+        ring.write_text(ring.read_text() + "{\"injected\": true}\n")
+        with pytest.raises(ProfileError, match="digest"):
+            validate_snapshot(info.path)
+
+    def test_missing_meta_fails_validation(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(ProfileError, match="meta.json"):
+            validate_snapshot(tmp_path / "empty")
+
+    def test_wrong_schema_fails_validation(self, tmp_path):
+        d = tmp_path / "bad"
+        d.mkdir()
+        (d / "meta.json").write_text(json.dumps({"schema": "other/9"}))
+        with pytest.raises(ProfileError, match="schema"):
+            validate_snapshot(d)
+
+
+class TestGraphFingerprint:
+    def test_stable_for_same_structure(self):
+        a = graph_fingerprint(rmat(7, 4, seed=5))
+        b = graph_fingerprint(rmat(7, 4, seed=5))
+        assert a == b
+        assert a["num_vertices"] == 1 << 7
+
+    def test_differs_across_seeds(self):
+        a = graph_fingerprint(rmat(7, 4, seed=5))
+        b = graph_fingerprint(rmat(7, 4, seed=6))
+        assert a["sha256"] != b["sha256"]

@@ -58,7 +58,35 @@ class TestHistogram:
         assert registry.histogram("h").snapshot() == {
             "type": "histogram",
             "count": 0,
+            "buckets": [],
         }
+
+    def test_empty_quantile_is_nan(self, registry):
+        import math
+
+        assert math.isnan(registry.histogram("h").quantile(0.5))
+
+    def test_single_sample_quantile_is_that_sample(self, registry):
+        h = registry.histogram("h")
+        h.observe(3.25)
+        for q in (0.0, 0.5, 1.0):
+            assert h.quantile(q) == 3.25
+
+    def test_quantile_out_of_range_raises(self, registry):
+        with pytest.raises(ObsError):
+            registry.histogram("h").quantile(1.5)
+
+    def test_buckets_cumulative_and_complete(self, registry):
+        h = registry.histogram("h")
+        for v in (0.001, 0.01, 0.1, 1.0, 10.0):
+            h.observe(v)
+        buckets = h.buckets()
+        bounds = [b for b, _ in buckets]
+        counts = [c for _, c in buckets]
+        assert bounds == sorted(bounds)
+        assert counts == sorted(counts)
+        assert counts[-1] == h.count  # final finite bucket covers max
+        assert bounds[-1] == 10.0
 
     def test_retains_values_in_order(self, registry):
         h = registry.histogram("h")
@@ -110,6 +138,29 @@ class TestRegistry:
         registry.reset(names=["a"])
         assert registry.counter("a").value == 0.0
         assert registry.counter("b").value == 1.0
+
+    def test_flat_view(self, registry):
+        registry.counter("c").add(2)
+        registry.gauge("g").set(7.5)
+        h = registry.histogram("h")
+        h.observe(1.0)
+        h.observe(3.0)
+        flat = registry.flat()
+        assert flat == {"c": 2.0, "g": 7.5, "h.count": 2.0, "h.sum": 4.0}
+
+    def test_flat_skips_unset_and_empty(self, registry):
+        registry.gauge("g")  # never set
+        registry.histogram("h")  # no observations
+        assert registry.flat() == {}
+
+    def test_flat_matches_snapshot_values(self, registry):
+        registry.counter("c").add(3)
+        registry.histogram("h").observe(2.5)
+        snap = registry.snapshot()
+        flat = registry.flat()
+        assert flat["c"] == snap["c"]["value"]
+        assert flat["h.count"] == snap["h"]["count"]
+        assert flat["h.sum"] == snap["h"]["sum"]
 
     def test_reset_unknown_name_raises(self, registry):
         with pytest.raises(ObsError):

@@ -17,8 +17,11 @@ def registry():
     reg.counter("bfs.levels").add(7)
     reg.gauge("frontier.size").set(17.5)
     hist = reg.histogram("graph500.bfs_seconds")
-    # Exact binary floats so the golden text is platform-independent.
-    for v in (0.25, 0.25, 0.5, 0.5):
+    # A single distinct value gives one exact finite bucket, so the
+    # golden text is platform-independent (multi-bucket bounds go
+    # through libm-dependent geomspace and are covered structurally
+    # below instead).
+    for v in (0.25, 0.25, 0.25, 0.25):
         hist.observe(v)
     return reg
 
@@ -32,14 +35,31 @@ class TestRender:
             "bfs_levels_total 7\n"
             "# TYPE frontier_size gauge\n"
             "frontier_size 17.5\n"
-            "# TYPE graph500_bfs_seconds summary\n"
-            'graph500_bfs_seconds{quantile="0.5"} 0.375\n'
-            'graph500_bfs_seconds{quantile="0.9"} 0.5\n'
-            'graph500_bfs_seconds{quantile="0.99"} 0.5\n'
-            "graph500_bfs_seconds_sum 1.5\n"
+            "# TYPE graph500_bfs_seconds histogram\n"
+            'graph500_bfs_seconds_bucket{le="0.25"} 4\n'
+            'graph500_bfs_seconds_bucket{le="+Inf"} 4\n'
+            "graph500_bfs_seconds_sum 1\n"
             "graph500_bfs_seconds_count 4\n"
             "# EOF\n"
         )
+
+    def test_multibucket_histogram(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("graph500.bfs_seconds")
+        for v in (0.001, 0.01, 0.1, 1.0, 10.0):
+            hist.observe(v)
+        text = render(reg)
+        assert validate(text)
+        bucket_lines = [
+            line for line in text.splitlines() if "_bucket" in line
+        ]
+        assert len(bucket_lines) > 3  # real series, not a single bucket
+        assert bucket_lines[-1] == 'graph500_bfs_seconds_bucket{le="+Inf"} 5'
+        # cumulative and complete: the last finite bucket already holds
+        # every observation (bounds end at the max)
+        assert bucket_lines[-2].endswith(" 5")
+        counts = [int(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+        assert counts == sorted(counts)
 
     def test_accepts_snapshot_dict(self, registry):
         assert render(registry.snapshot()) == render(registry)
@@ -49,9 +69,10 @@ class TestRender:
         reg.gauge("never.set")
         reg.histogram("no.observations")
         text = render(reg)
-        assert "never_set" not in text
+        assert "never_set" not in text  # no invented zero
         assert "no_observations_count 0" in text
-        assert "no_observations_sum" not in text  # no invented zero
+        assert 'no_observations_bucket{le="+Inf"} 0' in text
+        assert validate(text)
 
     def test_empty_registry_is_just_eof(self):
         assert render(MetricsRegistry()) == "# EOF\n"
@@ -67,7 +88,65 @@ class TestRender:
 
 class TestValidate:
     def test_accepts_own_output(self, registry):
-        assert validate(render(registry)) == 8
+        assert validate(render(registry)) == 7
+
+    def test_rejects_nonmonotonic_le(self):
+        with pytest.raises(ExportError, match="strictly increasing"):
+            validate(
+                "# TYPE x histogram\n"
+                'x_bucket{le="2"} 1\n'
+                'x_bucket{le="1"} 2\n'
+                'x_bucket{le="+Inf"} 2\n'
+                "x_count 2\n"
+                "# EOF\n"
+            )
+
+    def test_rejects_decreasing_cumulative_count(self):
+        with pytest.raises(ExportError, match="decreased"):
+            validate(
+                "# TYPE x histogram\n"
+                'x_bucket{le="1"} 3\n'
+                'x_bucket{le="2"} 1\n'
+                'x_bucket{le="+Inf"} 3\n'
+                "# EOF\n"
+            )
+
+    def test_rejects_missing_inf_bucket(self):
+        with pytest.raises(ExportError, match=r"\+Inf"):
+            validate(
+                "# TYPE x histogram\n"
+                'x_bucket{le="1"} 1\n'
+                'x_bucket{le="2"} 2\n'
+                "x_count 2\n"
+                "# EOF\n"
+            )
+
+    def test_rejects_inf_bucket_count_mismatch(self):
+        with pytest.raises(ExportError, match="disagrees"):
+            validate(
+                "# TYPE x histogram\n"
+                'x_bucket{le="1"} 1\n'
+                'x_bucket{le="+Inf"} 2\n'
+                "x_count 3\n"
+                "# EOF\n"
+            )
+
+    def test_rejects_bucket_without_le_label(self):
+        with pytest.raises(ExportError, match="le label"):
+            validate(
+                "# TYPE x histogram\n"
+                "x_bucket 1\n"
+                'x_bucket{le="+Inf"} 1\n'
+                "# EOF\n"
+            )
+
+    def test_rejects_histogram_without_buckets(self):
+        with pytest.raises(ExportError, match="no _bucket"):
+            validate(
+                "# TYPE x histogram\n"
+                "x_count 0\n"
+                "# EOF\n"
+            )
 
     def test_requires_eof_terminator(self):
         with pytest.raises(ExportError, match="EOF"):
@@ -102,7 +181,7 @@ class TestServe:
             thread.join(timeout=5)
             assert resp.headers["Content-Type"] == CONTENT_TYPE
             assert body == render(registry)
-            assert validate(body) == 8
+            assert validate(body) == 7
         finally:
             server.server_close()
 

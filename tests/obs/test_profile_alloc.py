@@ -1,0 +1,124 @@
+"""Allocation attribution: tracemalloc windows per watched span."""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.errors import ProfileError
+from repro.obs.profile import AllocationProfiler
+from repro.obs.tracer import Tracer
+
+
+@pytest.fixture
+def tracer():
+    return Tracer()
+
+
+class TestConstruction:
+    def test_rejects_bad_size_floor(self, tracer):
+        with pytest.raises(ProfileError, match="size_floor"):
+            AllocationProfiler(tracer, size_floor=0)
+
+    def test_lifecycle_owns_tracemalloc(self, tracer):
+        assert not tracemalloc.is_tracing()
+        with AllocationProfiler(tracer):
+            assert tracemalloc.is_tracing()
+        assert not tracemalloc.is_tracing()
+
+    def test_leaves_running_tracemalloc_alone(self, tracer):
+        tracemalloc.start()
+        try:
+            with AllocationProfiler(tracer):
+                pass
+            assert tracemalloc.is_tracing()
+        finally:
+            tracemalloc.stop()
+
+    def test_detaches_listener_on_exit(self, tracer):
+        profiler = AllocationProfiler(tracer)
+        with profiler:
+            pass
+        with tracer.span("bfs.level"):
+            pass
+        assert profiler.windows == 0
+
+
+class TestWindows:
+    def test_detailed_catches_graph_sized_retention(self, tracer):
+        keep = []
+        with AllocationProfiler(tracer, size_floor=4096):
+            with tracer.span("bfs.level", kernel="scan"):
+                keep.append(np.empty(100_000, dtype=np.int64))
+        record = tracer.spans()[-1]
+        assert record.attrs["alloc_bytes"] >= 100_000 * 8
+        assert record.attrs["alloc_blocks"] >= 1
+
+    def test_detailed_ignores_transients(self, tracer):
+        with AllocationProfiler(tracer, size_floor=4096) as profiler:
+            with tracer.span("bfs.level", kernel="scan"):
+                tmp = np.empty(100_000, dtype=np.int64)
+                del tmp
+        assert profiler.report()["clean"]
+
+    def test_detailed_ignores_sub_floor_churn(self, tracer):
+        keep = []
+        with AllocationProfiler(tracer, size_floor=1 << 20) as profiler:
+            with tracer.span("bfs.level"):
+                keep.append(np.empty(64, dtype=np.int64))
+        assert profiler.report()["clean"]
+
+    def test_cheap_mode_counts_net_bytes(self, tracer):
+        keep = []
+        with AllocationProfiler(tracer, detailed=False):
+            with tracer.span("bfs.level"):
+                keep.append(np.empty(100_000, dtype=np.int64))
+        record = tracer.spans()[-1]
+        assert record.attrs["alloc_bytes"] >= 100_000 * 8
+        assert record.attrs["alloc_blocks"] == 0  # cheap mode: bytes only
+
+    def test_unwatched_spans_are_not_windowed(self, tracer):
+        with AllocationProfiler(tracer) as profiler:
+            with tracer.span("graph500.construction"):
+                pass
+        assert profiler.windows == 0
+        assert "alloc_bytes" not in tracer.spans()[-1].attrs
+
+    def test_custom_watch_list(self, tracer):
+        with AllocationProfiler(
+            tracer, spans=("my.kernel",), detailed=False
+        ) as profiler:
+            with tracer.span("my.kernel"):
+                pass
+        assert profiler.windows == 1
+
+
+class TestReport:
+    def test_aggregates_per_kernel_attr(self, tracer):
+        keep = []
+        with AllocationProfiler(tracer, size_floor=4096) as profiler:
+            with tracer.span("bfs.level", kernel="tiles"):
+                keep.append(np.empty(100_000, dtype=np.int64))
+            with tracer.span("bfs.level", kernel="scan"):
+                pass
+        report = profiler.report()
+        assert report["windows"] == 2
+        assert report["per_kernel"]["tiles"]["bytes"] >= 100_000 * 8
+        assert report["per_kernel"]["scan"]["bytes"] == 0
+        assert not report["clean"]
+
+    def test_metrics_fed(self, tracer):
+        with AllocationProfiler(tracer, detailed=False):
+            with tracer.span("bfs.level"):
+                pass
+        snap = tracer.metrics.snapshot()
+        assert snap["alloc.bytes"]["count"] == 1
+        assert snap["alloc.blocks"]["count"] == 1
+
+    def test_report_mode_fields(self, tracer):
+        with AllocationProfiler(tracer, detailed=False, size_floor=123) as p:
+            pass
+        report = p.report()
+        assert report["mode"] == "cheap"
+        assert report["size_floor"] == 123
+        assert report["clean"]  # vacuously: no windows

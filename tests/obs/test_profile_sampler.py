@@ -1,0 +1,194 @@
+"""The sampling stack profiler: capture, tagging, exports."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.obs.export import chrome_trace
+from repro.obs.profile import (
+    StackSampler,
+    validate_collapsed,
+)
+from repro.obs.profile.sampler import extend_chrome_trace
+from repro.obs.tracer import Tracer
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_hz(self):
+        with pytest.raises(ProfileError, match="sampling rate"):
+            StackSampler(hz=0)
+        with pytest.raises(ProfileError, match="sampling rate"):
+            StackSampler(hz=-5)
+
+    def test_rejects_bad_max_samples(self):
+        with pytest.raises(ProfileError, match="max_samples"):
+            StackSampler(max_samples=0)
+
+    def test_start_twice_raises(self):
+        sampler = StackSampler(hz=50)
+        with sampler:
+            with pytest.raises(ProfileError, match="already running"):
+                sampler.start()
+
+    def test_stop_without_start_is_noop(self):
+        assert StackSampler().stop().samples == []
+
+
+class TestCapture:
+    """Deterministic single-capture tests (no sampler thread)."""
+
+    def test_capture_records_current_thread(self):
+        sampler = StackSampler()
+        assert sampler._capture()
+        mine = [s for s in sampler.samples
+                if s.thread_id == threading.get_ident()]
+        assert mine, "the calling thread must be sampled"
+        sample = mine[0]
+        assert sample.frames, "stack must not be empty"
+        # root-first: a synchronous capture sees the test function with
+        # the capture machinery innermost of it
+        assert any(
+            f.endswith(":test_capture_records_current_thread")
+            for f in sample.frames
+        )
+        assert sample.frames[-1].endswith(":_capture_inner")
+        assert all(":" in f for f in sample.frames)
+
+    def test_samples_tagged_with_innermost_open_span(self):
+        tracer = Tracer()
+        sampler = StackSampler(tracer=tracer)
+        with tracer.span("bfs.timed"):
+            with tracer.span("bfs.level", level=0):
+                sampler._capture()
+        tagged = [s for s in sampler.samples
+                  if s.thread_id == threading.get_ident()]
+        assert tagged[0].span == "bfs.level"
+        assert tagged[0].stack()[0] == "span:bfs.level"
+
+    def test_untagged_without_tracer_or_span(self):
+        sampler = StackSampler()
+        sampler._capture()
+        sample = [s for s in sampler.samples
+                  if s.thread_id == threading.get_ident()][0]
+        assert sample.span is None
+        assert sample.stack()[0] == "span:-"
+
+    def test_max_depth_truncates(self):
+        sampler = StackSampler(max_depth=2)
+        sampler._capture()
+        assert all(len(s.frames) <= 2 for s in sampler.samples)
+
+    def test_max_samples_sets_truncated(self):
+        sampler = StackSampler(max_samples=1)
+        sampler._capture()
+        assert not sampler._capture()
+        assert sampler.truncated
+
+    def test_frame_labels_are_cached(self):
+        sampler = StackSampler()
+        sampler._capture()
+        first = len(sampler._frame_labels)
+        assert first > 0
+        sampler._capture()
+        # same code path: no new labels, identical interned strings
+        s1, s2 = sampler.samples[0], sampler.samples[-1]
+        shared = set(s1.frames) & set(s2.frames)
+        assert shared
+
+    def test_busy_seconds_accumulates(self):
+        sampler = StackSampler()
+        assert sampler.busy_seconds == 0.0
+        sampler._capture()
+        assert sampler.busy_seconds > 0.0
+
+
+class TestSamplerThread:
+    def test_samples_a_busy_workload(self):
+        tracer = Tracer()
+        with StackSampler(hz=400, tracer=tracer) as sampler:
+            with tracer.span("bfs.timed"):
+                deadline = time.perf_counter() + 0.1
+                while time.perf_counter() < deadline:
+                    sum(range(500))
+        assert sampler.samples
+        assert not sampler.running
+        assert any(s.span == "bfs.timed" for s in sampler.samples)
+
+    def test_stop_publishes_sample_count(self):
+        tracer = Tracer()
+        with StackSampler(hz=400, tracer=tracer):
+            time.sleep(0.05)
+        snap = tracer.metrics.snapshot()
+        assert snap.get("profile.samples", {}).get("value", 0) > 0
+
+
+class TestExports:
+    def _sampled(self):
+        tracer = Tracer()
+        sampler = StackSampler(tracer=tracer)
+        with tracer.span("bfs.level", level=0):
+            sampler._capture()
+        sampler._capture()
+        return tracer, sampler
+
+    def test_collapsed_text_validates(self):
+        _, sampler = self._sampled()
+        text = sampler.collapsed_text()
+        assert validate_collapsed(text) == len(sampler.samples)
+
+    def test_collapsed_counts_sum_to_samples(self):
+        _, sampler = self._sampled()
+        assert sum(sampler.collapsed().values()) == len(sampler.samples)
+
+    def test_write_collapsed(self, tmp_path):
+        _, sampler = self._sampled()
+        path = tmp_path / "out.collapsed"
+        rows = sampler.write_collapsed(path)
+        assert rows == len(path.read_text().splitlines())
+
+    def test_span_seconds_totals(self):
+        _, sampler = self._sampled()
+        per_span = sampler.span_seconds()
+        expected = len(sampler.samples) / sampler.hz
+        assert sum(per_span.values()) == pytest.approx(expected)
+        assert "bfs.level" in per_span
+
+    def test_extend_chrome_trace_adds_sample_track(self):
+        tracer, sampler = self._sampled()
+        trace = chrome_trace(tracer)
+        extend_chrome_trace(trace, sampler, tracer)
+        events = trace["traceEvents"]
+        assert any(e.get("ph") == "P" for e in events)
+        assert trace["stackFrames"]
+        sample_events = [e for e in events if e.get("ph") == "P"]
+        for ev in sample_events:
+            assert ev["sf"] in trace["stackFrames"]
+            assert ev["ts"] >= 0.0
+
+    def test_extend_chrome_trace_requires_trace_events(self):
+        tracer, sampler = self._sampled()
+        with pytest.raises(ProfileError, match="traceEvents"):
+            extend_chrome_trace({}, sampler, tracer)
+
+
+class TestValidateCollapsed:
+    def test_accepts_empty(self):
+        assert validate_collapsed("") == 0
+
+    def test_rejects_missing_count(self):
+        with pytest.raises(ProfileError, match="frames count"):
+            validate_collapsed("justoneword\n")
+
+    def test_rejects_non_integer_count(self):
+        with pytest.raises(ProfileError, match="not an int"):
+            validate_collapsed("a;b xyz\n")
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ProfileError, match=">= 1"):
+            validate_collapsed("a;b 0\n")
+
+    def test_rejects_empty_frame(self):
+        with pytest.raises(ProfileError, match="empty frame"):
+            validate_collapsed("a;;b 3\n")

@@ -15,7 +15,7 @@ from repro.obs import (
     set_tracer,
     use_tracer,
 )
-from repro.obs.tracer import _NULL_SPAN
+from repro.obs.tracer import _NULL_SPAN, TraceListener
 
 
 @pytest.fixture()
@@ -249,3 +249,91 @@ class TestLoggerMirror:
     def test_logger_true_resolves_package_logger(self):
         tracer = Tracer(logger=True)
         assert tracer.logger is logging.getLogger("repro.obs.trace")
+
+
+class TestListeners:
+    class Recorder(TraceListener):
+        """A minimal listener capturing every callback."""
+
+        def __init__(self):
+            self.opened = []
+            self.closed = []
+            self.events = []
+
+        def on_span_open(self, span):
+            self.opened.append(span.name)
+
+        def on_span_close(self, record):
+            self.closed.append(record.name)
+
+        def on_event(self, record):
+            self.events.append(record.name)
+
+    def test_add_listener_rejects_non_listener(self, tracer):
+        with pytest.raises(ObsError, match="TraceListener"):
+            tracer.add_listener(object())
+
+    def test_listener_sees_opens_closes_and_events(self, tracer, clock):
+        listener = tracer.add_listener(self.Recorder())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                clock.advance(0.1)
+        tracer.instant("ping")
+        assert listener.opened == ["outer", "inner"]
+        assert listener.closed == ["inner", "outer"]
+        assert listener.events == ["ping"]
+
+    def test_add_span_notifies_close_only(self, tracer):
+        listener = tracer.add_listener(self.Recorder())
+        tracer.add_span("synthetic", 0.0, 1.0)
+        assert listener.opened == []
+        assert listener.closed == ["synthetic"]
+
+    def test_remove_listener_stops_delivery(self, tracer):
+        listener = tracer.add_listener(self.Recorder())
+        tracer.remove_listener(listener)
+        with tracer.span("quiet"):
+            pass
+        assert listener.closed == []
+
+    def test_remove_absent_listener_is_noop(self, tracer):
+        tracer.remove_listener(self.Recorder())
+
+    def test_duplicate_add_delivers_once(self, tracer):
+        listener = self.Recorder()
+        tracer.add_listener(listener)
+        tracer.add_listener(listener)
+        with tracer.span("once"):
+            pass
+        assert listener.closed == ["once"]
+
+
+class TestOpenSpanNames:
+    def test_own_thread_stack_outermost_first(self, tracer):
+        assert tracer.open_span_names() == ()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                assert tracer.open_span_names() == ("outer", "inner")
+            assert tracer.open_span_names() == ("outer",)
+        assert tracer.open_span_names() == ()
+
+    def test_cross_thread_read(self, tracer):
+        entered = threading.Event()
+        release = threading.Event()
+        seen = {}
+
+        def worker():
+            with tracer.span("worker.span"):
+                entered.set()
+                release.wait(timeout=5)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        try:
+            assert entered.wait(timeout=5)
+            seen["stack"] = tracer.open_span_names(t.ident)
+        finally:
+            release.set()
+            t.join(timeout=5)
+        assert seen["stack"] == ("worker.span",)
+        assert tracer.open_span_names(t.ident) == ()

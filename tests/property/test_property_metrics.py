@@ -1,0 +1,70 @@
+"""Property-based tests for histogram quantiles and bucket series.
+
+``Histogram.quantile`` is total over every histogram state (nan on
+empty, the sample itself on a singleton, otherwise bounded by the
+observed min/max and monotone in q), and the cumulative bucket series
+backing the OpenMetrics exposition is always monotone and complete.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry
+
+finite = st.floats(
+    min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+
+def hist(values):
+    h = MetricsRegistry().histogram("teps")
+    for v in values:
+        h.observe(v)
+    return h
+
+
+@given(q=st.floats(min_value=0.0, max_value=1.0))
+def test_empty_quantile_is_nan(q):
+    assert math.isnan(hist([]).quantile(q))
+
+
+@given(value=finite, q=st.floats(min_value=0.0, max_value=1.0))
+def test_single_sample_quantile_is_that_sample(value, q):
+    assert hist([value]).quantile(q) == value
+
+
+@settings(max_examples=50)
+@given(values=st.lists(finite, min_size=1, max_size=40))
+def test_quantile_bounded_by_observations(values):
+    h = hist(values)
+    for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+        assert min(values) <= h.quantile(q) <= max(values)
+    assert h.quantile(0.0) == min(values)
+    assert h.quantile(1.0) == max(values)
+
+
+@settings(max_examples=50)
+@given(
+    values=st.lists(finite, min_size=2, max_size=40),
+    qs=st.lists(
+        st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=6
+    ),
+)
+def test_quantile_monotone_in_q(values, qs):
+    h = hist(values)
+    out = [h.quantile(q) for q in sorted(qs)]
+    assert out == sorted(out)
+
+
+@settings(max_examples=50)
+@given(values=st.lists(finite, min_size=1, max_size=40))
+def test_buckets_monotone_and_complete(values):
+    h = hist(values)
+    buckets = h.buckets()
+    bounds = [b for b, _ in buckets]
+    counts = [c for _, c in buckets]
+    assert bounds == sorted(set(bounds))  # strictly increasing
+    assert counts == sorted(counts)  # cumulative
+    assert counts[-1] == len(values)  # last finite bound covers the max
