@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Live telemetry across two processes: stitch, watch, gate.
+
+Composes the whole ``repro.obs.live`` tier through the library API —
+the cross-process trace context (:func:`spawn_traced`), the telemetry
+:class:`Collector` with a burn-rate SLO policy, one plain-text
+dashboard frame, and a recorded capture replayed as a CI-style gate.
+This is the library-API version of ``repro-bfs top`` and
+``repro-bfs live record/check``.
+
+Run:  python examples/live_bfs.py [scale]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.obs import Tracer, use_tracer
+from repro.obs.export import validate_chrome_trace, write_chrome_trace
+from repro.obs.live import (
+    CaptureFile,
+    ChannelExporter,
+    Collector,
+    SLOPolicy,
+    read_capture,
+    render,
+    run_traced_pair,
+)
+
+CHILD_BIT = 1 << 32  # child span ids live above (child_index+1) << 32
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+
+    # 1. One policy: 90% of traversals must finish under a second.
+    #    The evaluator alerts only when both the fast and the slow
+    #    burn-rate windows exceed the threshold — a blip is not a page.
+    policy = SLOPolicy.parse("graph500.bfs<1.0@0.9")
+    print(f"SLO: {policy.spec()} (burn threshold {policy.burn_threshold}x)\n")
+
+    # 2. Parent + child Graph 500 runs through one collector.  The
+    #    capture tee persists every frame the way `live record` does.
+    tracer = Tracer(trace_id="live-bfs-example")
+    capture_path = Path("live_bfs.capture")
+    with use_tracer(tracer), CaptureFile(capture_path) as capture:
+        with Collector(tracer, policies=[policy]) as collector:
+            tee = ChannelExporter(capture, tracer, source="main")
+            tee.hello()
+            tracer.add_listener(tee)
+            run_traced_pair(
+                scale, num_roots=4, children=1, collector=collector
+            )
+            collector.close(timeout=10.0)
+            collector.evaluate()
+            tee.close()
+
+    # 3. The child's spans adopted into the parent's trace: same trace
+    #    id, disjoint span-id range, parented under live.workload.
+    spans = tracer.spans()
+    child_spans = [r for r in spans if r.span_id >= CHILD_BIT]
+    workload = tracer.spans("live.workload")[0]
+    child_roots = [
+        r for r in child_spans if r.parent_id == workload.span_id
+    ]
+    print(
+        f"Stitched: {len(spans)} spans total, {len(child_spans)} from "
+        f"the child ({len(child_roots)} rooted under live.workload)"
+    )
+    # metrics_final merged the child's observations into the parent:
+    # 4 parent roots + 4 child roots
+    print(f"Merged teps observations: {tracer.metrics.flat()['teps.count']:g}")
+
+    trace_path = Path("live_bfs.trace.json")
+    write_chrome_trace(tracer, trace_path)
+    validate_chrome_trace(trace_path)
+    print(f"Perfetto-loadable stitched trace: {trace_path}\n")
+
+    # 4. One dashboard frame — what `repro-bfs top --once` prints.
+    print(render(collector))
+
+    # 5. Replay the capture as the CI gate `live check` runs.  A fresh
+    #    collector reaches the same verdict from the file alone.
+    frames = list(read_capture(capture_path))
+    gate = Collector(Tracer(), policies=[policy])
+    with gate:
+        alerts = gate.replay(capture_path)
+    verdict = "FAIL" if alerts else "ok"
+    print(
+        f"\nReplay gate: {len(frames)} frames from {capture_path} "
+        f"-> {len(alerts)} alert(s) — {verdict}"
+    )
+
+
+if __name__ == "__main__":
+    main()

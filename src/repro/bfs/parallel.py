@@ -134,6 +134,7 @@ class ParallelBFS:
         workspace: BFSWorkspace,
         tracer: Tracer = NULL_TRACER,
         race=None,
+        parent_span: int | None = None,
     ) -> tuple[np.ndarray, int]:
         chunks = _split(frontier, self.num_threads)
 
@@ -143,11 +144,15 @@ class ParallelBFS:
             Read-only over shared state: proposals are returned to the
             main thread for the first-writer merge (ownership protocol
             rule 3).  The span lands on the worker thread's own track
-            (thread name), so the exported trace shows one row per
-            worker.
+            (thread name) but parents under the coordinating
+            ``bfs.level`` span, so the exported trace shows one row per
+            worker with real parent links instead of orphan stacks.
             """
             with tracer.span(
-                "worker.expand", depth=depth, chunk_vertices=int(chunk.size)
+                "worker.expand",
+                parent=parent_span,
+                depth=depth,
+                chunk_vertices=int(chunk.size),
             ):
                 if race is not None:
                     race.stamp_chunk(f"expand@{depth}")
@@ -179,6 +184,7 @@ class ParallelBFS:
         workspace: BFSWorkspace,
         tracer: Tracer = NULL_TRACER,
         race=None,
+        parent_span: int | None = None,
     ) -> tuple[np.ndarray, int]:
         # The caller maintains `unvisited` (degree > 0, retired each
         # level); each thread owns a contiguous slice, so claims are
@@ -197,7 +203,10 @@ class ParallelBFS:
             The span lands on the worker thread's own trace track.
             """
             with tracer.span(
-                "worker.scan", depth=depth, chunk_vertices=int(chunk.size)
+                "worker.scan",
+                parent=parent_span,
+                depth=depth,
+                chunk_vertices=int(chunk.size),
             ):
                 if race is not None:
                     race.stamp_chunk(f"scan@{depth}")
@@ -341,17 +350,23 @@ class ParallelBFS:
                     with tr.span(
                         "bfs.level", depth=depth, direction=chosen
                     ) as sp:
+                        # Worker spans open on pool threads whose span
+                        # stacks are empty; handing them the level
+                        # span's id keeps the trace tree connected
+                        # (a _NullSpan has no id — disabled tracing
+                        # stays parent-free and free of cost).
+                        level_span = getattr(sp, "span_id", None)
                         if chosen == Direction.TOP_DOWN:
                             frontier_next, work = self._top_down_level(
                                 graph, frontier, parent, level, depth, ws,
-                                tr, race,
+                                tr, race, level_span,
                             )
                         else:
                             bits = ws.load_frontier(frontier)
                             unvisited = ws.unvisited_ids(graph, parent)
                             frontier_next, work = self._bottom_up_level(
                                 graph, bits, parent, level, depth,
-                                unvisited, ws, tr, race,
+                                unvisited, ws, tr, race, level_span,
                             )
                         sp.set("frontier_vertices", int(frontier.size))
                         sp.set("edges_examined", work)

@@ -31,6 +31,7 @@ __all__ = [
     "HistoryError",
     "MonitorError",
     "ProfileError",
+    "LiveError",
 ]
 
 
@@ -166,3 +167,9 @@ class ProfileError(ObsError):
     """Raised by the profiling tier (:mod:`repro.obs.profile`): sampler
     lifecycle misuse, explain inputs that do not describe the same
     traversal, malformed flight-recorder snapshots."""
+
+
+class LiveError(ObsError):
+    """Raised by the live-telemetry tier (:mod:`repro.obs.live`):
+    malformed channel frames, collector lifecycle misuse, invalid SLO
+    policy specifications, capture files from a newer schema."""

@@ -18,7 +18,11 @@ repository:
 * :mod:`repro.obs.profile` — the continuous-profiling tier: sampling
   stack profiler (span-tagged flamegraphs), per-span ``tracemalloc``
   allocation windows, measured-vs-predicted explain reports and the
-  anomaly flight recorder.
+  anomaly flight recorder;
+* :mod:`repro.obs.live` — the cross-process live tier: trace-context
+  propagation into child processes (:func:`spawn_traced`), the frame
+  channel and :class:`Collector`, streaming window aggregation with
+  SLO burn-rate alerting, and the ``repro-bfs top`` dashboard.
 
 Nothing records unless a real :class:`Tracer` is installed
 (:func:`set_tracer` / :func:`use_tracer`) or passed explicitly; the
@@ -37,6 +41,7 @@ from repro.obs.export import (
 from repro.obs.log import ROOT_LOGGER_NAME, basic_config, get_logger
 from repro.obs.metrics import (
     METRIC_CATALOG,
+    METRICS_PAYLOAD_SCHEMA,
     Counter,
     Gauge,
     Histogram,
@@ -48,6 +53,7 @@ from repro.obs.tracer import (
     NullTracer,
     Span,
     SpanRecord,
+    TraceContext,
     TraceListener,
     Tracer,
     get_tracer,
@@ -95,6 +101,18 @@ _LAZY = {
     "graph_fingerprint": "profile",
     "validate_snapshot": "profile",
     "ProfileSession": "profile",
+    "FRAME_SCHEMA": "live",
+    "ChannelExporter": "live",
+    "CaptureFile": "live",
+    "read_capture": "live",
+    "spawn_traced": "live",
+    "Collector": "live",
+    "QuantileSketch": "live",
+    "LiveAggregator": "live",
+    "SLOPolicy": "live",
+    "SLOAlert": "live",
+    "BurnRateEvaluator": "live",
+    "Dashboard": "live",
 }
 
 # The openmetrics module names its exports without the namespace prefix;
@@ -122,6 +140,7 @@ __all__ = [
     "now",
     "ManualClock",
     "METRIC_CATALOG",
+    "METRICS_PAYLOAD_SCHEMA",
     "Counter",
     "Gauge",
     "Histogram",
@@ -129,6 +148,7 @@ __all__ = [
     "Span",
     "SpanRecord",
     "EventRecord",
+    "TraceContext",
     "TraceListener",
     "Tracer",
     "NullTracer",
@@ -176,6 +196,18 @@ __all__ = [
     "graph_fingerprint",
     "validate_snapshot",
     "ProfileSession",
+    "FRAME_SCHEMA",
+    "ChannelExporter",
+    "CaptureFile",
+    "read_capture",
+    "spawn_traced",
+    "Collector",
+    "QuantileSketch",
+    "LiveAggregator",
+    "SLOPolicy",
+    "SLOAlert",
+    "BurnRateEvaluator",
+    "Dashboard",
     "get_logger",
     "basic_config",
     "ROOT_LOGGER_NAME",

@@ -56,6 +56,7 @@ def write_jsonl(tracer: Tracer, path: str | Path, **meta) -> int:
     header = {
         "kind": "meta",
         "format": JSONL_FORMAT,
+        "trace_id": tracer.trace_id,
         "spans": len(spans),
         "events": len(events),
         "metrics": tracer.metrics.snapshot(),
@@ -203,6 +204,7 @@ def chrome_trace(tracer: Tracer, *, pid: int = 1, **meta) -> dict:
         "displayTimeUnit": "ms",
         "otherData": {
             "format": JSONL_FORMAT,
+            "trace_id": tracer.trace_id,
             "metrics": tracer.metrics.snapshot(),
             **{str(k): _json_safe(v) for k, v in meta.items()},
         },

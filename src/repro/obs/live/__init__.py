@@ -1,0 +1,68 @@
+"""Cross-process live telemetry: channels, collector, SLOs, dashboard.
+
+The live tier extends the observability stack across a process tree
+and forward in time:
+
+* :mod:`~repro.obs.live.channel` — the frame protocol
+  (:data:`~repro.obs.live.channel.FRAME_SCHEMA`), the child-side
+  :class:`ChannelExporter`, capture files and :func:`spawn_traced`;
+* :mod:`~repro.obs.live.collector` — the parent-side :class:`Collector`
+  that stitches child spans into the parent tracer, merges metrics and
+  runs SLO evaluation;
+* :mod:`~repro.obs.live.windows` — bounded streaming aggregation
+  (deterministic mergeable :class:`QuantileSketch`, window rings);
+* :mod:`~repro.obs.live.slo` — :class:`SLOPolicy` /
+  :class:`BurnRateEvaluator` multi-window burn-rate alerting;
+* :mod:`~repro.obs.live.dashboard` — the ``repro-bfs top`` renderer.
+
+See ``docs/observability.md`` ("Live telemetry, SLOs & the dashboard")
+for the end-to-end walkthrough.
+"""
+
+from repro.obs.live.channel import (
+    FRAME_KINDS,
+    FRAME_SCHEMA,
+    CaptureFile,
+    ChannelExporter,
+    TracedChild,
+    decode_frame,
+    encode_frame,
+    read_capture,
+    spawn_traced,
+)
+from repro.obs.live.collector import Channel, Collector
+from repro.obs.live.dashboard import Dashboard, render, sparkline
+from repro.obs.live.slo import BurnRateEvaluator, SLOAlert, SLOPolicy
+from repro.obs.live.windows import (
+    LiveAggregator,
+    QuantileSketch,
+    Window,
+    WindowRing,
+)
+from repro.obs.live.workload import child_workload, run_traced_pair
+
+__all__ = [
+    "FRAME_SCHEMA",
+    "FRAME_KINDS",
+    "encode_frame",
+    "decode_frame",
+    "CaptureFile",
+    "read_capture",
+    "ChannelExporter",
+    "TracedChild",
+    "spawn_traced",
+    "Channel",
+    "Collector",
+    "QuantileSketch",
+    "Window",
+    "WindowRing",
+    "LiveAggregator",
+    "SLOPolicy",
+    "SLOAlert",
+    "BurnRateEvaluator",
+    "Dashboard",
+    "render",
+    "sparkline",
+    "child_workload",
+    "run_traced_pair",
+]

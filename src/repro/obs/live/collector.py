@@ -1,0 +1,409 @@
+"""The telemetry collector: one sink for a whole process tree.
+
+A :class:`Collector` rides the parent tracer as a
+:class:`~repro.obs.tracer.TraceListener` (local telemetry arrives as
+callbacks) and watches any number of child channels (telemetry arrives
+as :mod:`~repro.obs.live.channel` frames).  Everything converges:
+
+* child **span**/**event** frames are rebuilt into records and adopted
+  into the parent tracer (:meth:`~repro.obs.tracer.Tracer.adopt_record`
+  preserves ids, so the exported Chrome trace shows one stitched tree)
+  — and because adoption notifies listeners, the same spans also flow
+  back into this collector's aggregation, exactly like local ones;
+* every span duration and metric observation lands in a
+  :class:`~repro.obs.live.windows.LiveAggregator` ring (span durations
+  under the span's name) and feeds each matching
+  :class:`~repro.obs.live.slo.BurnRateEvaluator`;
+* **metrics_final** payloads merge exactly into the parent registry;
+  periodic **metrics** frames just refresh the per-channel cumulative
+  view the dashboard shows;
+* malformed frames are counted (``live.frames_dropped``), not fatal —
+  a dying child must not take the run's telemetry down with it.
+
+:meth:`evaluate` runs the burn-rate evaluators and, on a rising edge,
+emits an ``slo.alert`` instant event into the tracer — the channel an
+attached :class:`~repro.obs.profile.FlightRecorder` snapshots on — and
+bumps the ``slo.alerts`` counter.
+"""
+
+from __future__ import annotations
+
+import threading
+from multiprocessing.connection import Connection, wait
+
+from repro.errors import LiveError, ObsError
+from repro.obs.clock import now
+from repro.obs.live.channel import (
+    FRAME_SCHEMA,
+    TracedChild,
+    decode_frame,
+    read_capture,
+)
+from repro.obs.live.slo import BurnRateEvaluator, SLOAlert, SLOPolicy
+from repro.obs.live.windows import LiveAggregator
+from repro.obs.tracer import (
+    EventRecord,
+    Span,
+    SpanRecord,
+    TraceListener,
+    Tracer,
+)
+
+__all__ = ["Channel", "Collector"]
+
+
+class Channel:
+    """Collector-side state for one child telemetry stream."""
+
+    __slots__ = (
+        "connection", "source", "process", "trace_id", "pid",
+        "frames", "last_flat", "done", "bye",
+    )
+
+    def __init__(self, connection, source: str, process=None) -> None:
+        self.connection = connection
+        self.source = source
+        self.process = process
+        self.trace_id: str | None = None
+        self.pid: int | None = None
+        self.frames = 0
+        self.last_flat: dict[str, float] = {}
+        self.done = False
+        self.bye: dict | None = None
+
+    def describe(self) -> dict:
+        """JSON-ready row for the dashboard's channels table."""
+        return {
+            "source": self.source,
+            "pid": self.pid,
+            "frames": self.frames,
+            "done": self.done,
+        }
+
+
+class Collector(TraceListener):
+    """Cross-process telemetry fan-in with streaming SLO evaluation.
+
+    Use as a context manager to attach/detach from the tracer::
+
+        policies = [SLOPolicy.parse("graph500.bfs<0.5@0.9")]
+        with Collector(tracer, policies=policies) as collector:
+            child = spawn_traced(work, (arg,), collector=collector)
+            run_graph500(...)          # parent-side work, traced
+            collector.close(timeout=10.0)   # drain the channel
+        assert not collector.alerts
+    """
+
+    def __init__(
+        self,
+        tracer: Tracer,
+        *,
+        policies: tuple[SLOPolicy, ...] | list[SLOPolicy] = (),
+        window_seconds: float = 1.0,
+        capacity: int = 120,
+        clock=now,
+    ) -> None:
+        self.tracer = tracer
+        self.clock = clock
+        self.aggregator = LiveAggregator(
+            window_seconds=window_seconds, capacity=capacity
+        )
+        self.evaluators = [BurnRateEvaluator(p) for p in policies]
+        self.alerts: list[SLOAlert] = []
+        self.channels: list[Channel] = []
+        self.frames = 0
+        self.dropped = 0
+        self.started_at = float(clock())
+        self._lock = threading.Lock()
+        # Serializes whole poll passes: pipe reads are not thread-safe,
+        # and both the dashboard loop and the workload thread drain.
+        self._poll_lock = threading.Lock()
+        # (source, thread_name) -> [(span name, span id), ...] open now
+        self._active: dict[tuple[str, str], list[tuple[str, int]]] = {}
+        self._events: list[EventRecord] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "Collector":
+        self.tracer.add_listener(self)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.tracer.remove_listener(self)
+
+    def watch(self, child) -> Channel:
+        """Register a child channel (a :class:`TracedChild` handle or a
+        readable pipe connection)."""
+        if isinstance(child, TracedChild):
+            channel = Channel(
+                child.connection, child.source, process=child.process
+            )
+        elif isinstance(child, Connection):
+            channel = Channel(child, f"conn-{len(self.channels)}")
+        else:
+            raise LiveError(
+                f"watch needs a TracedChild or Connection, "
+                f"got {type(child).__name__}"
+            )
+        with self._lock:
+            self.channels.append(channel)
+        return channel
+
+    # -- local telemetry (listener callbacks) --------------------------------
+
+    def on_span_open(self, span: Span) -> None:
+        """Track the parent process's live spans."""
+        key = ("main", threading.current_thread().name)
+        with self._lock:
+            self._active.setdefault(key, []).append(
+                (span.name, span.span_id)
+            )
+
+    def on_span_close(self, record: SpanRecord) -> None:
+        """Aggregate the duration; retire the active-span entry."""
+        with self._lock:
+            for stack in self._active.values():
+                for i, (_, span_id) in enumerate(stack):
+                    if span_id == record.span_id:
+                        del stack[i]
+                        break
+                else:
+                    continue
+                break
+        self._ingest(record.name, record.duration, record.end)
+
+    def on_event(self, record: EventRecord) -> None:
+        """Keep a short tail of events for the dashboard."""
+        with self._lock:
+            self._events.append(record)
+            del self._events[:-64]
+
+    def on_metric(self, name: str, kind: str, value: float) -> None:
+        """Stream parent-side metric updates into the windows."""
+        self._ingest(name, value, float(self.clock()))
+
+    def _ingest(self, name: str, value: float, t: float) -> None:
+        self.aggregator.observe(name, value, t)
+        for evaluator in self.evaluators:
+            if evaluator.policy.metric == name:
+                evaluator.record(t, value)
+
+    # -- channel draining ----------------------------------------------------
+
+    def poll(self, timeout: float = 0.0) -> int:
+        """Drain every readable frame; returns how many were processed.
+
+        Blocks at most ``timeout`` seconds waiting for the *first*
+        readable channel, then consumes without blocking.
+        """
+        with self._poll_lock:
+            return self._poll_locked(timeout)
+
+    def _poll_locked(self, timeout: float) -> int:
+        processed = 0
+        while True:
+            with self._lock:
+                open_conns = [
+                    ch.connection for ch in self.channels if not ch.done
+                ]
+            if not open_conns:
+                break
+            ready = wait(open_conns, timeout if processed == 0 else 0)
+            if not ready:
+                break
+            for conn in ready:
+                channel = self._channel_for(conn)
+                if channel is None:
+                    continue
+                try:
+                    data = conn.recv_bytes()
+                except (EOFError, OSError):
+                    channel.done = True
+                    continue
+                processed += 1
+                self._dispatch(channel, data)
+        if processed:
+            self.frames += processed
+            self.tracer.count("live.frames", processed)
+        return processed
+
+    def _channel_for(self, conn) -> Channel | None:
+        with self._lock:
+            for channel in self.channels:
+                if channel.connection is conn:
+                    return channel
+        return None
+
+    def _dispatch(self, channel: Channel, data: bytes) -> None:
+        try:
+            frame = decode_frame(data)
+        except LiveError:
+            self._drop(channel)
+            return
+        self.dispatch_frame(channel, frame)
+
+    def dispatch_frame(self, channel: Channel, frame: dict) -> None:
+        """Apply one decoded frame to collector state.
+
+        Tolerant: a frame with a bad payload is counted as dropped and
+        skipped, never raised out of the polling loop.
+        """
+        kind = frame.get("kind")
+        try:
+            if kind == "hello":
+                if frame.get("schema") != FRAME_SCHEMA:
+                    raise LiveError(
+                        f"channel {channel.source}: unsupported frame "
+                        f"schema {frame.get('schema')!r}"
+                    )
+                channel.trace_id = frame.get("trace_id")
+                channel.pid = frame.get("pid")
+            elif kind == "span_open":
+                key = (channel.source, str(frame.get("thread_name")))
+                with self._lock:
+                    self._active.setdefault(key, []).append(
+                        (str(frame.get("name")), int(frame.get("span_id")))
+                    )
+            elif kind == "span":
+                record = frame["record"]
+                self.tracer.adopt_record(
+                    SpanRecord(
+                        name=record["name"],
+                        start=record["start"],
+                        end=record["end"],
+                        span_id=record["span_id"],
+                        parent_id=record["parent_id"],
+                        thread_id=record["thread_id"],
+                        thread_name=record["thread_name"],
+                        track=record.get("track")
+                        or f"{channel.source}:{record['thread_name']}",
+                        attrs=record.get("attrs", {}),
+                    )
+                )
+            elif kind == "event":
+                record = frame["record"]
+                self.tracer.adopt_record(
+                    EventRecord(
+                        name=record["name"],
+                        timestamp=record["timestamp"],
+                        thread_id=record["thread_id"],
+                        thread_name=record["thread_name"],
+                        track=record.get("track")
+                        or f"{channel.source}:{record['thread_name']}",
+                        attrs=record.get("attrs", {}),
+                    )
+                )
+            elif kind == "metrics":
+                flat = frame.get("flat", {})
+                if not isinstance(flat, dict):
+                    raise LiveError("metrics frame 'flat' must be a dict")
+                channel.last_flat = {
+                    str(k): float(v) for k, v in flat.items()
+                }
+            elif kind == "metrics_final":
+                self.tracer.metrics.merge_payload(frame["payload"])
+            elif kind == "bye":
+                channel.bye = frame
+                channel.done = True
+            channel.frames += 1
+        except (ObsError, KeyError, TypeError, ValueError):
+            # LiveError subclasses ObsError; adoption errors (a span
+            # ending before it starts) land here too.
+            self._drop(channel)
+            return
+        # Adopted spans already re-entered through on_span_close (the
+        # tracer notifies its listeners, this collector included), so
+        # no direct aggregation happens here.
+        if kind == "span":
+            with self._lock:
+                key = (channel.source, str(frame["record"]["thread_name"]))
+                stack = self._active.get(key, [])
+                span_id = frame["record"]["span_id"]
+                self._active[key] = [
+                    entry for entry in stack if entry[1] != span_id
+                ]
+
+    def _drop(self, channel: Channel) -> None:
+        self.dropped += 1
+        channel.frames += 1
+        self.tracer.count("live.frames_dropped")
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Drain until every channel said ``bye`` (or hit EOF, or the
+        deadline passes).  Safe to call with no channels."""
+        deadline = float(self.clock()) + timeout
+        while any(not ch.done for ch in self.channels):
+            remaining = deadline - float(self.clock())
+            if remaining <= 0:
+                break
+            self.poll(timeout=min(remaining, 0.1))
+
+    # -- SLO evaluation ------------------------------------------------------
+
+    def evaluate(self, t: float | None = None) -> list[SLOAlert]:
+        """Run every evaluator; returns alerts that fired *this* call.
+
+        Rising-edge semantics: an evaluator that was already firing
+        does not re-alert, so the flight recorder dumps one snapshot
+        per violation episode, not one per dashboard refresh.
+        """
+        if t is None:
+            t = float(self.clock())
+        fired: list[SLOAlert] = []
+        for evaluator in self.evaluators:
+            was_firing = evaluator.firing
+            alert = evaluator.evaluate(t)
+            if alert is not None and not was_firing:
+                fired.append(alert)
+        for alert in fired:
+            self.alerts.append(alert)
+            self.tracer.count("slo.alerts")
+            self.tracer.instant("slo.alert", **alert.as_dict())
+        return fired
+
+    # -- replay --------------------------------------------------------------
+
+    def replay(self, path, *, strict: bool = True) -> list[SLOAlert]:
+        """Feed a :class:`~repro.obs.live.channel.CaptureFile` recording
+        through the collector, evaluating SLOs on the recorded clock.
+
+        Deterministic: window bucketing uses the capture's own span
+        timestamps, so a capture replays to the same verdict every
+        time.  Returns the full alert list (``repro-bfs live check``
+        exits nonzero when it is non-empty).
+        """
+        channel = Channel(None, "replay")
+        with self._lock:
+            self.channels.append(channel)
+        channel.done = True  # never polled, only fed
+        last_t: float | None = None
+        for frame in read_capture(path, strict=strict):
+            self.frames += 1
+            self.dispatch_frame(channel, frame)
+            if frame.get("kind") == "span":
+                last_t = float(frame["record"]["end"])
+                self.evaluate(last_t)
+        if last_t is not None:
+            self.evaluate(last_t)
+        return list(self.alerts)
+
+    # -- dashboard views -----------------------------------------------------
+
+    def active_spans(self) -> dict[tuple[str, str], list[str]]:
+        """Live span names per ``(source, thread)``, innermost last."""
+        with self._lock:
+            return {
+                key: [name for name, _ in stack]
+                for key, stack in self._active.items()
+                if stack
+            }
+
+    def recent_events(self, last: int = 8) -> list[EventRecord]:
+        """The newest ``last`` instant events seen."""
+        with self._lock:
+            return list(self._events[-last:])
+
+    def describe_channels(self) -> list[dict]:
+        """JSON-ready channel rows."""
+        with self._lock:
+            return [ch.describe() for ch in self.channels]

@@ -1,0 +1,190 @@
+"""The ``repro-bfs top`` renderer: a plain-ANSI live telemetry view.
+
+No curses — every refresh paints a complete frame (home + clear, then
+the full text), which survives odd terminals, tmux panes and CI logs
+alike, and degrades to a single plain-text frame for non-TTY output
+(``--once``).  Refresh is capped at 4 Hz; the work between frames is a
+:meth:`~repro.obs.live.collector.Collector.poll` +
+:meth:`~repro.obs.live.collector.Collector.evaluate`, so watching the
+dashboard *is* running the alerting loop.
+
+Sections: a header (trace id, uptime, frame/drop/alert totals), one
+row per policed or observed metric (count, mean, p50, p99 over the
+fast window, plus a sparkline of per-window means), the live span
+stack per process/thread, per-channel state, and the firing alerts.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.obs.clock import now
+from repro.obs.live.collector import Collector
+
+__all__ = ["sparkline", "render", "Dashboard"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+_CLEAR = "\x1b[H\x1b[2J"
+
+#: Hard refresh-rate cap (seconds between frames): 4 Hz.
+MIN_INTERVAL = 0.25
+
+
+def sparkline(values, width: int = 24) -> str:
+    """Render the last ``width`` values as unicode block bars.
+
+    ``nan`` values (empty windows) render as spaces; a flat non-empty
+    series renders mid-height so it is visibly present.
+    """
+    values = [v for v in list(values)[-width:]]
+    if not values:
+        return ""
+    finite = [v for v in values if not math.isnan(v)]
+    if not finite:
+        return " " * len(values)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    chars = []
+    for v in values:
+        if math.isnan(v):
+            chars.append(" ")
+        elif span <= 0:
+            chars.append(_BLOCKS[3])
+        else:
+            idx = int((v - lo) / span * (len(_BLOCKS) - 1))
+            chars.append(_BLOCKS[idx])
+    return "".join(chars)
+
+
+def _fmt(value: float) -> str:
+    """Compact numeric cell (handles nan and wide ranges)."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e5 or abs(value) < 1e-3:
+        return f"{value:.2e}"
+    return f"{value:.4g}"
+
+
+def render(collector: Collector, *, width: int = 100) -> str:
+    """One complete dashboard frame as plain text (no ANSI)."""
+    t = float(collector.clock())
+    lines: list[str] = []
+    uptime = t - collector.started_at
+    lines.append(
+        f"repro-bfs top — trace {collector.tracer.trace_id} — "
+        f"up {uptime:6.1f}s — frames {collector.frames} "
+        f"(dropped {collector.dropped}) — alerts {len(collector.alerts)}"
+    )
+    lines.append("=" * min(width, 100))
+
+    names = collector.aggregator.names()
+    policed = {ev.policy.metric for ev in collector.evaluators}
+    if names:
+        lines.append(
+            f"{'metric':<28} {'n':>6} {'mean':>10} {'p50':>10} "
+            f"{'p99':>10}  history"
+        )
+        fast = max(
+            (ev.policy.fast_windows for ev in collector.evaluators),
+            default=5,
+        )
+        for name in names:
+            ring = collector.aggregator.ring(name)
+            if ring is None:
+                continue
+            merged = ring.merged(fast)
+            snap = merged.snapshot()
+            marker = "*" if name in policed else " "
+            lines.append(
+                f"{marker}{name:<27} {snap.get('count', 0):>6} "
+                f"{_fmt(snap.get('mean')):>10} {_fmt(snap.get('p50')):>10} "
+                f"{_fmt(snap.get('p99')):>10}  {sparkline(ring.series())}"
+            )
+    else:
+        lines.append("(no telemetry yet)")
+
+    active = collector.active_spans()
+    lines.append("")
+    lines.append(f"active spans ({len(active)} busy threads)")
+    for (source, thread), stack in sorted(active.items()):
+        lines.append(f"  {source}/{thread}: {' > '.join(stack)}")
+    if not active:
+        lines.append("  (idle)")
+
+    channels = collector.describe_channels()
+    if channels:
+        lines.append("")
+        lines.append("channels")
+        for row in channels:
+            state = "done" if row["done"] else "live"
+            lines.append(
+                f"  {row['source']:<16} pid {row['pid'] or '-':<8} "
+                f"{row['frames']:>6} frames  [{state}]"
+            )
+
+    if collector.evaluators:
+        lines.append("")
+        lines.append("slo")
+        for ev in collector.evaluators:
+            fast_burn, slow_burn = ev.burn_rates(t)
+            state = "FIRING" if ev.firing else "ok"
+            lines.append(
+                f"  {ev.policy.spec():<36} burn fast {fast_burn:6.2f}x "
+                f"slow {slow_burn:6.2f}x  [{state}]"
+            )
+    for alert in collector.alerts[-4:]:
+        lines.append(f"  ! {alert.describe()}")
+    return "\n".join(lines) + "\n"
+
+
+class Dashboard:
+    """Drives poll → evaluate → render at a bounded refresh rate."""
+
+    def __init__(
+        self,
+        collector: Collector,
+        *,
+        out=None,
+        interval: float = 0.25,
+        ansi: bool = True,
+        width: int = 100,
+    ) -> None:
+        import sys
+
+        self.collector = collector
+        self.out = out if out is not None else sys.stdout
+        self.interval = max(float(interval), MIN_INTERVAL)
+        self.ansi = bool(ansi)
+        self.width = int(width)
+        self.frames_rendered = 0
+
+    def refresh(self) -> str:
+        """One poll/evaluate/render cycle; returns the frame text."""
+        self.collector.poll()
+        self.collector.evaluate()
+        frame = render(self.collector, width=self.width)
+        if self.ansi:
+            self.out.write(_CLEAR + frame)
+        else:
+            self.out.write(frame)
+        self.out.flush()
+        self.frames_rendered += 1
+        return frame
+
+    def run(self, done, *, max_seconds: float | None = None) -> int:
+        """Refresh until ``done()`` is true (plus one final frame).
+
+        ``max_seconds`` bounds the loop regardless; returns the number
+        of frames rendered.
+        """
+        deadline = None if max_seconds is None else now() + max_seconds
+        while not done():
+            if deadline is not None and now() >= deadline:
+                break
+            self.refresh()
+            time.sleep(self.interval)
+        self.refresh()  # final state, after the workload finished
+        return self.frames_rendered

@@ -1,0 +1,261 @@
+"""SLO policies and multi-window burn-rate alerting.
+
+An :class:`SLOPolicy` states an objective over a telemetry stream:
+"at least ``objective`` of observations of ``metric`` must satisfy
+``op threshold``" — e.g. ``graph500.bfs<0.5@0.9`` reads *90% of
+``graph500.bfs`` span durations stay under 0.5 s*.  The remaining
+``1 - objective`` is the error budget, and the **burn rate** is how
+fast a window is spending it::
+
+    burn = bad_fraction(window) / (1 - objective)
+
+``burn == 1`` consumes the budget exactly on schedule; ``burn == 10``
+spends it ten times too fast.  :class:`BurnRateEvaluator` applies the
+standard multi-window rule: alert only when *both* a fast window (last
+``fast_windows`` buckets — catches it quickly) and a slow window (last
+``slow_windows`` — proves it is not a blip) burn at or above
+``burn_threshold``.
+
+The evaluator counts exact per-window ``(count, bad)`` pairs rather
+than consulting a sketch, which buys a clean monotonicity property the
+property suite verifies: pointwise-worse observations can only raise
+both burn rates, so a worse stream never clears an alert a better
+stream would have raised.
+
+Alerts are delivered by the collector as ``slo.alert`` instant events
+— the same channel ``tuning.drift_alert`` uses — so an attached
+:class:`~repro.obs.profile.FlightRecorder` dumps a snapshot the moment
+one fires (``slo.alert`` is in its default alert-event set).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import LiveError
+
+__all__ = [
+    "SLOPolicy",
+    "SLOAlert",
+    "BurnRateEvaluator",
+]
+
+_SPEC_RE = re.compile(
+    r"^(?P<metric>[a-z0-9_.]+)(?P<op>[<>])(?P<threshold>[0-9.eE+-]+)"
+    r"@(?P<objective>[0-9.]+)$"
+)
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """One objective over one metric stream.
+
+    ``op`` is the *good* direction: ``"<"`` means an observation is
+    good when it is strictly below ``threshold`` (latencies), ``">"``
+    when strictly above (throughput floors).
+    """
+
+    metric: str
+    op: str
+    threshold: float
+    objective: float = 0.99
+    window_seconds: float = 1.0
+    fast_windows: int = 5
+    slow_windows: int = 60
+    burn_threshold: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.op not in ("<", ">"):
+            raise LiveError(f"SLO op must be '<' or '>', got {self.op!r}")
+        if not 0.0 < self.objective < 1.0:
+            raise LiveError(
+                f"SLO objective must be in (0, 1), got {self.objective}"
+            )
+        if self.window_seconds <= 0:
+            raise LiveError(
+                f"window_seconds must be > 0, got {self.window_seconds}"
+            )
+        if not 1 <= self.fast_windows <= self.slow_windows:
+            raise LiveError(
+                f"need 1 <= fast_windows <= slow_windows, got "
+                f"{self.fast_windows}/{self.slow_windows}"
+            )
+        if self.burn_threshold <= 0:
+            raise LiveError(
+                f"burn_threshold must be > 0, got {self.burn_threshold}"
+            )
+
+    @classmethod
+    def parse(cls, spec: str, **overrides) -> "SLOPolicy":
+        """Build a policy from a ``metric<threshold@objective`` spec.
+
+        Examples: ``graph500.bfs<0.5@0.9`` (90% of traversals under
+        half a second), ``teps>1e6@0.95`` (95% of roots above a TEPS
+        floor).  Window geometry comes from keyword overrides.
+        """
+        m = _SPEC_RE.match(spec.strip())
+        if m is None:
+            raise LiveError(
+                f"malformed SLO spec {spec!r} "
+                "(want metric<threshold@objective)"
+            )
+        try:
+            threshold = float(m.group("threshold"))
+            objective = float(m.group("objective"))
+        except ValueError as exc:
+            raise LiveError(f"malformed SLO spec {spec!r}: {exc}") from exc
+        return cls(
+            metric=m.group("metric"),
+            op=m.group("op"),
+            threshold=threshold,
+            objective=objective,
+            **overrides,
+        )
+
+    def spec(self) -> str:
+        """The canonical spec string (round-trips through :meth:`parse`)."""
+        return f"{self.metric}{self.op}{self.threshold:g}@{self.objective:g}"
+
+    def is_bad(self, value: float) -> bool:
+        """Whether one observation spends error budget."""
+        if self.op == "<":
+            return not value < self.threshold
+        return not value > self.threshold
+
+
+@dataclass(frozen=True)
+class SLOAlert:
+    """One burn-rate violation (both windows over threshold)."""
+
+    policy: str
+    metric: str
+    timestamp: float
+    fast_burn: float
+    slow_burn: float
+    fast_bad: int
+    fast_count: int
+    slow_bad: int
+    slow_count: int
+    baggage: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON-ready payload (the ``slo.alert`` event attrs)."""
+        return {
+            "policy": self.policy,
+            "metric": self.metric,
+            "timestamp": self.timestamp,
+            "fast_burn": self.fast_burn,
+            "slow_burn": self.slow_burn,
+            "fast_bad": self.fast_bad,
+            "fast_count": self.fast_count,
+            "slow_bad": self.slow_bad,
+            "slow_count": self.slow_count,
+            **({"baggage": dict(self.baggage)} if self.baggage else {}),
+        }
+
+    def describe(self) -> str:
+        """One human-readable line."""
+        return (
+            f"SLO {self.policy}: fast burn {self.fast_burn:.1f}x "
+            f"({self.fast_bad}/{self.fast_count} bad), "
+            f"slow burn {self.slow_burn:.1f}x "
+            f"({self.slow_bad}/{self.slow_count} bad)"
+        )
+
+
+class BurnRateEvaluator:
+    """Exact multi-window burn-rate state for one policy.
+
+    Feed observations with :meth:`record`; ask :meth:`evaluate` for the
+    current verdict.  ``firing`` latches between evaluations so the
+    collector can emit alerts on the rising edge only.
+    """
+
+    def __init__(self, policy: SLOPolicy) -> None:
+        if not isinstance(policy, SLOPolicy):
+            raise LiveError(
+                f"evaluator needs an SLOPolicy, got {type(policy).__name__}"
+            )
+        self.policy = policy
+        # (window_index, count, bad) triples, ascending, bounded by the
+        # slow window span.
+        self._windows: deque[list[int]] = deque()
+        self.firing = False
+        self.dropped = 0
+
+    def _index(self, t: float) -> int:
+        return int(math.floor(t / self.policy.window_seconds))
+
+    def record(self, t: float, value: float) -> None:
+        """Count one observation into its window."""
+        idx = self._index(t)
+        bad = 1 if self.policy.is_bad(value) else 0
+        if self._windows and idx < self._windows[0][0]:
+            self.dropped += 1  # older than anything retained
+            return
+        for entry in self._windows:
+            if entry[0] == idx:
+                entry[1] += 1
+                entry[2] += bad
+                break
+        else:
+            self._windows.append([idx, 1, bad])
+            if len(self._windows) > 1 and self._windows[-2][0] > idx:
+                # rare out-of-order arrival: indices are unique, so a
+                # plain sort restores ascending order
+                self._windows = deque(sorted(self._windows))
+        horizon = self._windows[-1][0] - self.policy.slow_windows
+        while self._windows and self._windows[0][0] <= horizon:
+            self._windows.popleft()
+
+    def _burn(self, t: float, span: int) -> tuple[float, int, int]:
+        end = self._index(t)
+        lo = end - span + 1
+        count = bad = 0
+        for idx, c, b in self._windows:
+            if lo <= idx <= end:
+                count += c
+                bad += b
+        if count == 0:
+            return 0.0, 0, 0
+        budget = 1.0 - self.policy.objective
+        return (bad / count) / budget, bad, count
+
+    def burn_rates(self, t: float) -> tuple[float, float]:
+        """Current ``(fast, slow)`` burn rates as of time ``t``."""
+        fast, _, _ = self._burn(t, self.policy.fast_windows)
+        slow, _, _ = self._burn(t, self.policy.slow_windows)
+        return fast, slow
+
+    def evaluate(self, t: float, **baggage) -> SLOAlert | None:
+        """Update ``firing`` and return an alert if both windows burn.
+
+        Returns the alert on *every* evaluation while the condition
+        holds (the collector keeps rising-edge bookkeeping); ``None``
+        otherwise.
+        """
+        fast, fast_bad, fast_count = self._burn(
+            t, self.policy.fast_windows
+        )
+        slow, slow_bad, slow_count = self._burn(
+            t, self.policy.slow_windows
+        )
+        threshold = self.policy.burn_threshold
+        self.firing = fast >= threshold and slow >= threshold
+        if not self.firing:
+            return None
+        return SLOAlert(
+            policy=self.policy.spec(),
+            metric=self.policy.metric,
+            timestamp=float(t),
+            fast_burn=fast,
+            slow_burn=slow,
+            fast_bad=fast_bad,
+            fast_count=fast_count,
+            slow_bad=slow_bad,
+            slow_count=slow_count,
+            baggage=dict(baggage),
+        )

@@ -1,0 +1,349 @@
+"""Streaming window aggregation: mergeable sketches and window rings.
+
+The live tier cannot afford the registry's retain-everything histograms
+for an unbounded stream, so it aggregates into a ring of fixed-duration
+:class:`Window` buckets per metric: exact ``count/sum/min/max`` plus a
+mergeable :class:`QuantileSketch` for the dashboard's percentile
+columns.  Windows merge associatively and commutatively (the property
+suite checks this), which is what makes the multi-window burn-rate
+views — "the last 5 windows" vs "the last 60" — cheap recombinations
+of the same ring rather than separate accounting.
+
+The sketch is a deterministic KLL-style compactor: level ``k`` holds
+items of weight ``2**k``; an overfull level is sorted and every other
+item promoted, alternating the starting offset between compactions so
+rank errors cancel rather than accumulate in one direction.  Each
+compaction of level ``k`` can move any rank estimate by at most
+``2**k``, and the sketch *self-certifies*: it sums those worst cases
+into :attr:`QuantileSketch.rank_error`, so the guarantee
+
+``|true_rank(quantile(q)) - q * n| <= error_bound()``
+
+is checkable against exact quantiles (the property suite does, on
+adversarial streams).  No randomness anywhere — replays reproduce.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+from collections import deque
+from typing import Iterable
+
+from repro.errors import LiveError
+
+__all__ = [
+    "QuantileSketch",
+    "Window",
+    "WindowRing",
+    "LiveAggregator",
+]
+
+
+class QuantileSketch:
+    """A deterministic mergeable quantile sketch with a certified bound.
+
+    ``k`` is the per-level buffer capacity: memory is ``O(k log(n/k))``
+    and the relative rank error roughly ``O(log(n/k) / k)``.  Streams
+    shorter than ``k`` are exact.
+    """
+
+    __slots__ = ("k", "_levels", "_offsets", "n", "rank_error")
+
+    def __init__(self, k: int = 64) -> None:
+        if k < 2:
+            raise LiveError(f"sketch capacity k must be >= 2, got {k}")
+        self.k = int(k)
+        self._levels: list[list[float]] = [[]]
+        self._offsets: list[int] = [0]
+        #: Total weight (number of values added, across merges).
+        self.n = 0
+        #: Certified worst-case absolute rank error accumulated so far.
+        self.rank_error = 0
+
+    def add(self, value: float) -> None:
+        """Insert one value (weight 1)."""
+        self._levels[0].append(float(value))
+        self.n += 1
+        self._compact_from(0)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Insert many values."""
+        for value in values:
+            self.add(value)
+
+    def _compact_from(self, level: int) -> None:
+        while level < len(self._levels) and len(self._levels[level]) > self.k:
+            buf = sorted(self._levels[level])
+            offset = self._offsets[level]
+            self._offsets[level] ^= 1  # alternate so errors cancel
+            promoted = buf[offset::2]
+            self._levels[level] = []
+            if level + 1 == len(self._levels):
+                self._levels.append([])
+                self._offsets.append(0)
+            self._levels[level + 1].extend(promoted)
+            # Halving a weight-2**level buffer moves any rank estimate
+            # by at most its item weight.
+            self.rank_error += 1 << level
+            level += 1
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other`` in (returns ``self``).  Errors add."""
+        if not isinstance(other, QuantileSketch):
+            raise LiveError(
+                f"cannot merge {type(other).__name__} into a QuantileSketch"
+            )
+        for level, buf in enumerate(other._levels):
+            while level >= len(self._levels):
+                self._levels.append([])
+                self._offsets.append(0)
+            self._levels[level].extend(buf)
+        self.n += other.n
+        self.rank_error += other.rank_error
+        for level in range(len(self._levels)):
+            self._compact_from(level)
+        return self
+
+    def error_bound(self) -> int:
+        """Certified absolute rank error of any quantile answer.
+
+        The accumulated compaction error plus one heaviest-item weight
+        (the answer's granularity: a query can never resolve ranks
+        finer than the weight of the item it lands on).
+        """
+        heaviest = 1
+        for level, buf in enumerate(self._levels):
+            if buf:
+                heaviest = 1 << level
+        return self.rank_error + heaviest
+
+    def _weighted(self) -> list[tuple[float, int]]:
+        pairs = [
+            (value, 1 << level)
+            for level, buf in enumerate(self._levels)
+            for value in buf
+        ]
+        pairs.sort(key=lambda p: p[0])
+        return pairs
+
+    def quantile(self, q: float) -> float:
+        """Estimated quantile ``q`` in [0, 1] (``nan`` when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise LiveError(f"quantile must be in [0, 1], got {q}")
+        pairs = self._weighted()
+        if not pairs:
+            return float("nan")
+        target = q * self.n
+        cum = 0
+        for value, weight in pairs:
+            cum += weight
+            if cum >= target:
+                return value
+        return pairs[-1][0]
+
+    def rank(self, value: float) -> int:
+        """Estimated number of inserted values ``<= value``."""
+        return sum(w for v, w in self._weighted() if v <= value)
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary (n, certified error, p50/p90/p99)."""
+        return {
+            "n": self.n,
+            "error_bound": self.error_bound() if self.n else 0,
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+            "p99": self.quantile(0.99),
+        }
+
+
+class Window:
+    """One fixed-duration aggregation bucket for one metric."""
+
+    __slots__ = ("count", "total", "minimum", "maximum", "sketch")
+
+    def __init__(self, sketch_k: int = 64) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.sketch = QuantileSketch(sketch_k)
+
+    def observe(self, value: float) -> None:
+        """Fold one observation in."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        self.sketch.add(value)
+
+    def merge(self, other: "Window") -> "Window":
+        """Fold another window in (returns ``self``).
+
+        Associative, and commutative on every exact field; the sketch's
+        certified bound is preserved under any merge order.
+        """
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        self.sketch.merge(other.sketch)
+        return self
+
+    @property
+    def mean(self) -> float:
+        """Mean of the window's observations (``nan`` when empty)."""
+        return self.total / self.count if self.count else float("nan")
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary."""
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "p50": self.sketch.quantile(0.5),
+            "p99": self.sketch.quantile(0.99),
+        }
+
+
+class WindowRing:
+    """A bounded ring of consecutive :class:`Window` buckets.
+
+    Observations are bucketed by ``floor(t / window_seconds)``; the ring
+    keeps the most recent ``capacity`` *non-empty* window indices.  An
+    observation older than the oldest retained window is dropped (and
+    counted), so memory stays flat no matter how long the stream runs.
+    """
+
+    def __init__(
+        self,
+        window_seconds: float = 1.0,
+        capacity: int = 120,
+        sketch_k: int = 64,
+    ) -> None:
+        if window_seconds <= 0:
+            raise LiveError(
+                f"window_seconds must be > 0, got {window_seconds}"
+            )
+        if capacity < 1:
+            raise LiveError(f"ring capacity must be >= 1, got {capacity}")
+        self.window_seconds = float(window_seconds)
+        self.capacity = int(capacity)
+        self.sketch_k = int(sketch_k)
+        self._ring: deque[tuple[int, Window]] = deque()
+        self.dropped = 0
+
+    def index_of(self, t: float) -> int:
+        """The window index timestamp ``t`` falls into."""
+        return int(math.floor(t / self.window_seconds))
+
+    def observe(self, value: float, t: float) -> bool:
+        """Bucket one observation; ``False`` if it was too old to keep."""
+        idx = self.index_of(t)
+        if self._ring and idx < self._ring[0][0]:
+            self.dropped += 1
+            return False
+        keys = [entry[0] for entry in self._ring]
+        pos = bisect.bisect_left(keys, idx)
+        if pos < len(keys) and keys[pos] == idx:
+            self._ring[pos][1].observe(value)
+            return True
+        window = Window(self.sketch_k)
+        window.observe(value)
+        self._ring.insert(pos, (idx, window))
+        while len(self._ring) > self.capacity:
+            self._ring.popleft()
+            self.dropped += 1
+        return True
+
+    def windows(self, last: int | None = None) -> list[tuple[int, Window]]:
+        """The retained ``(index, window)`` pairs, oldest first."""
+        items = list(self._ring)
+        if last is not None:
+            items = items[-last:]
+        return items
+
+    def merged(self, last_windows: int, *, end_index: int | None = None) -> Window:
+        """Merge of the ``last_windows`` consecutive indices ending at
+        ``end_index`` (the newest retained index by default).
+
+        Empty indices in the range contribute nothing, but the range is
+        positional in *time*, not in retained entries — a silent metric
+        really does age out of its fast window.
+        """
+        if last_windows < 1:
+            raise LiveError(f"need last_windows >= 1, got {last_windows}")
+        merged = Window(self.sketch_k)
+        if not self._ring:
+            return merged
+        if end_index is None:
+            end_index = self._ring[-1][0]
+        lo = end_index - last_windows + 1
+        for idx, window in self._ring:
+            if lo <= idx <= end_index:
+                merged.merge(window)
+        return merged
+
+    def series(self, last: int = 32) -> list[float]:
+        """Per-window means of the newest ``last`` retained windows
+        (sparkline feed), oldest first."""
+        return [w.mean for _, w in self.windows(last)]
+
+
+class LiveAggregator:
+    """Per-metric :class:`WindowRing` table — the collector's sink.
+
+    Every telemetry point the collector sees (span durations under the
+    span's name, metric observations under the metric's name) lands
+    here via :meth:`observe`.  Thread-safe: the dashboard reads while
+    listener callbacks write.
+    """
+
+    def __init__(
+        self,
+        window_seconds: float = 1.0,
+        capacity: int = 120,
+        sketch_k: int = 64,
+    ) -> None:
+        self.window_seconds = float(window_seconds)
+        self.capacity = int(capacity)
+        self.sketch_k = int(sketch_k)
+        self._lock = threading.Lock()
+        self._rings: dict[str, WindowRing] = {}
+
+    def observe(self, name: str, value: float, t: float) -> None:
+        """Route one point into its metric's ring."""
+        with self._lock:
+            ring = self._rings.get(name)
+            if ring is None:
+                ring = self._rings[name] = WindowRing(
+                    self.window_seconds, self.capacity, self.sketch_k
+                )
+            ring.observe(value, t)
+
+    def names(self) -> list[str]:
+        """Metric names seen so far, sorted."""
+        with self._lock:
+            return sorted(self._rings)
+
+    def ring(self, name: str) -> WindowRing | None:
+        """The ring for ``name`` (``None`` before its first point)."""
+        with self._lock:
+            return self._rings.get(name)
+
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-ready per-metric summary over the whole retained ring."""
+        with self._lock:
+            rings = dict(self._rings)
+        out: dict[str, dict] = {}
+        for name, ring in sorted(rings.items()):
+            merged = ring.merged(ring.capacity)
+            out[name] = merged.snapshot()
+            out[name]["dropped"] = ring.dropped
+        return out

@@ -1,0 +1,106 @@
+"""A two-process demo workload for the live-telemetry tier.
+
+``repro-bfs top`` / ``live record`` need something real to watch:
+:func:`run_traced_pair` runs a Graph 500 benchmark in the parent while
+``children`` traced child processes (:func:`~repro.obs.live.channel.
+spawn_traced`) run their own — the child traversals stitch under the
+parent's ``live.workload`` span in the exported trace, and their
+metrics merge back at close.
+
+``child_delay`` injects a per-root slowdown (a plain sleep inside the
+engine), the knob the acceptance run uses to trip an SLO like
+``graph500.bfs<0.25@0.9`` and prove the burn-rate → flight-recorder
+path end to end.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.graph500 import HybridEngine, run_graph500
+from repro.obs.live.channel import TracedChild, spawn_traced
+from repro.obs.tracer import Tracer, get_tracer
+
+__all__ = ["child_workload", "run_traced_pair"]
+
+
+def child_workload(
+    scale: int,
+    edgefactor: int = 8,
+    num_roots: int = 8,
+    delay: float = 0.0,
+    seed: int = 1,
+) -> None:
+    """One child's work: a Graph 500 run on the child's own tracer.
+
+    Module-level (picklable) on purpose — this is the
+    :func:`~repro.obs.live.channel.spawn_traced` target.  ``delay``
+    seconds of sleep per root simulate a degraded engine.
+    """
+    engine = HybridEngine()
+
+    def degraded(graph, source):
+        if delay:
+            time.sleep(delay)
+        return engine(graph, source)
+
+    run_graph500(
+        scale,
+        edgefactor,
+        num_roots=num_roots,
+        engine=degraded if delay else engine,
+        seed=seed,
+    )
+
+
+def run_traced_pair(
+    scale: int = 8,
+    *,
+    edgefactor: int = 8,
+    num_roots: int = 8,
+    children: int = 1,
+    child_delay: float = 0.0,
+    collector=None,
+    tracer: Tracer | None = None,
+    seed: int = 0,
+) -> list[TracedChild]:
+    """Run the parent benchmark and ``children`` traced child runs.
+
+    Spawns the children under the parent's ``live.workload`` span (so
+    their telemetry parents there), runs the parent's own benchmark
+    while they work, then joins them.  Returns the child handles; the
+    caller drains their channels (pass ``collector=`` to have
+    :func:`spawn_traced` register each one automatically).
+    """
+    tr = tracer if tracer is not None else get_tracer()
+    handles: list[TracedChild] = []
+    with tr.span("live.workload", scale=scale, children=children):
+        for index in range(children):
+            handles.append(
+                spawn_traced(
+                    child_workload,
+                    (scale, edgefactor, num_roots, child_delay, seed + index + 1),
+                    tracer=tr,
+                    child_index=index,
+                    baggage={"workload": f"rmat-s{scale}", "child": index},
+                    collector=collector,
+                )
+            )
+        run_graph500(
+            scale,
+            edgefactor,
+            num_roots=num_roots,
+            engine=HybridEngine(),
+            tracer=tr,
+            seed=seed,
+        )
+        for handle in handles:
+            if collector is not None:
+                # keep draining while waiting, so a chatty child never
+                # blocks on a full pipe
+                while handle.process.is_alive():
+                    collector.poll(timeout=0.05)
+                handle.join()
+            else:
+                handle.join()
+    return handles

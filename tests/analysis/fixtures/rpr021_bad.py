@@ -1,0 +1,31 @@
+"""Seeded RPR021 violation: a bare ``multiprocessing`` target whose
+spans and metric increments die with the child process.
+
+The target builds its own :class:`Tracer` and emits through a helper —
+one module-local hop — but nothing on that path installs a
+``ChannelExporter`` or ``TraceContext``, so the parent never sees any
+of it.
+"""
+
+import multiprocessing
+
+from repro.obs.tracer import Tracer
+
+__all__ = ["spawn_worker", "worker"]
+
+
+def _emit_levels(tracer, levels):
+    tracer.count("bfs.levels", levels)
+
+
+def worker(scale):
+    tracer = Tracer()
+    with tracer.span("graph500.bfs", scale=scale):
+        _emit_levels(tracer, 3)
+
+
+def spawn_worker():
+    proc = multiprocessing.Process(target=worker, args=(8,))
+    proc.start()
+    proc.join()
+    return proc

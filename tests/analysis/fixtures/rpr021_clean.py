@@ -1,0 +1,54 @@
+"""Clean twin for RPR021: the children's telemetry has a way home.
+
+Two compliant spawn idioms:
+
+* ``worker`` installs the parent's ``TraceContext`` and a
+  ``ChannelExporter`` itself — the hand-rolled wiring the rule's
+  installer check recognises on the target's call path;
+* ``spawn_traced_worker`` delegates to
+  :func:`repro.obs.live.spawn_traced`, which does the same wiring
+  without a raw ``Process(target=...)`` call site at all.
+"""
+
+import multiprocessing
+
+from repro.obs.live import ChannelExporter, spawn_traced
+from repro.obs.tracer import TraceContext, Tracer
+
+__all__ = ["spawn_traced_worker", "spawn_worker", "worker"]
+
+
+def worker(scale, context_payload, conn):
+    context = TraceContext.from_dict(context_payload)
+    tracer = Tracer(trace_id=context.trace_id)
+    exporter = ChannelExporter(conn, tracer, source="child")
+    tracer.add_listener(exporter)
+    try:
+        with tracer.use_context(context):
+            with tracer.span("graph500.bfs", scale=scale):
+                tracer.count("bfs.levels", 3)
+    finally:
+        exporter.close()
+
+
+def spawn_worker(tracer):
+    recv_conn, send_conn = multiprocessing.Pipe(duplex=False)
+    context = tracer.current_context()
+    proc = multiprocessing.Process(
+        target=worker, args=(8, context.as_dict(), send_conn)
+    )
+    proc.start()
+    send_conn.close()
+    return proc, recv_conn
+
+
+def spawn_traced_worker(tracer, collector):
+    return spawn_traced(
+        worker_traced, (8,), tracer=tracer, collector=collector
+    )
+
+
+def worker_traced(scale):
+    from repro.obs.tracer import get_tracer
+
+    get_tracer().count("bfs.levels", scale)

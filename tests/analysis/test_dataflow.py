@@ -82,9 +82,13 @@ class TestGoldenFixtures:
 
     def test_deep_registry_is_exactly_the_fixture_set(self):
         """Module-local deep rules plus the whole-program tier
-        (tests/analysis/test_program_rules.py covers the latter)."""
+        (tests/analysis/test_program_rules.py covers the latter) plus
+        the live-telemetry spawn rule (RPR021, fixtures covered in
+        tests/analysis/test_lint_rules.py)."""
         program_rules = ("RPR015", "RPR016", "RPR017", "RPR018", "RPR019")
-        assert deep_rule_codes() == sorted(DEEP_RULES + program_rules)
+        assert deep_rule_codes() == sorted(
+            DEEP_RULES + program_rules + ("RPR021",)
+        )
 
 
 class TestPromotionLattice:

@@ -212,3 +212,50 @@ class TestServeMetrics:
             assert "graph500_bfs_seconds" in body
         finally:
             server.server_close()
+
+    def test_sigint_shuts_down_gracefully(self):
+        """SIGINT during serve_forever() must end the process with exit
+        code 0 and the shutdown line — no KeyboardInterrupt traceback —
+        even when the signal lands inside accept()."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo / "src")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve-metrics",
+                "--scale", "6", "--edgefactor", "4", "--roots", "1",
+                "--port", "0",
+            ],
+            env=env,
+            cwd=repo,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            # wait until the server is inside serve_forever()
+            banner = []
+            for line in proc.stdout:
+                banner.append(line)
+                if "serving OpenMetrics" in line:
+                    break
+            else:
+                pytest.fail(f"server never came up: {''.join(banner)}")
+            time.sleep(0.2)
+            proc.send_signal(signal.SIGINT)
+            rest, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        output = "".join(banner) + rest
+        assert proc.returncode == 0, output
+        assert "serve-metrics: shutting down (SIGINT)" in output
+        assert "Traceback" not in output

@@ -1,0 +1,200 @@
+"""The frame protocol: encode/decode, capture files (tolerant and
+strict reads) and the ``ChannelExporter`` lifecycle."""
+
+import struct
+
+import pytest
+
+from repro.errors import LiveError
+from repro.obs.clock import ManualClock
+from repro.obs.live.channel import (
+    FRAME_KINDS,
+    FRAME_SCHEMA,
+    MAX_FRAME_BYTES,
+    CaptureFile,
+    ChannelExporter,
+    decode_frame,
+    encode_frame,
+    read_capture,
+)
+from repro.obs.tracer import TraceContext, Tracer
+
+
+class TestFrames:
+    def test_round_trip(self):
+        frame = {"kind": "hello", "schema": FRAME_SCHEMA, "pid": 123}
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_every_kind_encodes(self):
+        for kind in FRAME_KINDS:
+            assert decode_frame(encode_frame({"kind": kind}))["kind"] == kind
+
+    def test_unknown_kind_rejected_both_ways(self):
+        with pytest.raises(LiveError):
+            encode_frame({"kind": "nope"})
+        with pytest.raises(LiveError):
+            decode_frame(b'{"kind": "nope"}')
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(LiveError):
+            encode_frame(["kind", "hello"])
+        with pytest.raises(LiveError):
+            decode_frame(b"[1, 2]")
+
+    def test_undecodable_bytes_rejected(self):
+        with pytest.raises(LiveError):
+            decode_frame(b"\xff\xfe not json")
+
+
+class TestCaptureFile:
+    def test_write_read_round_trip(self, tmp_path):
+        path = tmp_path / "t.capture"
+        frames = [
+            {"kind": "hello", "schema": FRAME_SCHEMA},
+            {"kind": "metrics", "flat": {"teps": 1.5}},
+            {"kind": "bye", "frames": 2},
+        ]
+        with CaptureFile(path) as capture:
+            for frame in frames:
+                capture.send_bytes(encode_frame(frame))
+        assert capture.frames == 3
+        assert list(read_capture(path)) == frames
+
+    def test_closed_capture_refuses_writes(self, tmp_path):
+        capture = CaptureFile(tmp_path / "t.capture")
+        capture.close()
+        capture.close()  # idempotent
+        with pytest.raises(LiveError):
+            capture.send_bytes(b"x")
+
+    def test_truncated_tail_tolerated(self, tmp_path):
+        path = tmp_path / "t.capture"
+        with CaptureFile(path) as capture:
+            capture.send_bytes(encode_frame({"kind": "hello"}))
+        payload = encode_frame({"kind": "bye"})
+        with open(path, "ab") as fh:  # writer died mid-frame
+            fh.write(struct.pack(">I", len(payload)))
+            fh.write(payload[: len(payload) // 2])
+        assert [f["kind"] for f in read_capture(path)] == ["hello"]
+        with pytest.raises(LiveError):
+            list(read_capture(path, strict=True))
+
+    def test_truncated_length_prefix(self, tmp_path):
+        path = tmp_path / "t.capture"
+        with CaptureFile(path) as capture:
+            capture.send_bytes(encode_frame({"kind": "hello"}))
+        with open(path, "ab") as fh:
+            fh.write(b"\x00\x00")  # half a length prefix
+        assert [f["kind"] for f in read_capture(path)] == ["hello"]
+        with pytest.raises(LiveError):
+            list(read_capture(path, strict=True))
+
+    def test_undecodable_frame_skipped_unless_strict(self, tmp_path):
+        path = tmp_path / "t.capture"
+        with CaptureFile(path) as capture:
+            capture.send_bytes(encode_frame({"kind": "hello"}))
+            capture.send_bytes(b"garbage in the middle")
+            capture.send_bytes(encode_frame({"kind": "bye"}))
+        assert [f["kind"] for f in read_capture(path)] == ["hello", "bye"]
+        with pytest.raises(LiveError):
+            list(read_capture(path, strict=True))
+
+    def test_absurd_length_always_rejected(self, tmp_path):
+        path = tmp_path / "t.capture"
+        with open(path, "wb") as fh:
+            fh.write(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(LiveError):
+            list(read_capture(path))
+
+
+class _ListSink:
+    """A send_bytes sink collecting decoded frames."""
+
+    def __init__(self, broken=False):
+        self.frames = []
+        self.broken = broken
+
+    def send_bytes(self, data):
+        if self.broken:
+            raise BrokenPipeError("reader went away")
+        self.frames.append(decode_frame(data))
+
+
+class TestChannelExporter:
+    def _tracer(self):
+        return Tracer(clock=ManualClock(), trace_id="tid")
+
+    def test_sink_must_have_send_bytes(self):
+        with pytest.raises(LiveError):
+            ChannelExporter(object(), self._tracer(), source="c")
+
+    def test_hello_carries_schema_and_identity(self):
+        tracer = self._tracer()
+        sink = _ListSink()
+        ChannelExporter(sink, tracer, source="child-0").hello()
+        (frame,) = sink.frames
+        assert frame["kind"] == "hello"
+        assert frame["schema"] == FRAME_SCHEMA
+        assert frame["trace_id"] == "tid"
+        assert frame["source"] == "child-0"
+        assert frame["pid"] > 0
+
+    def test_span_lifecycle_frames(self):
+        tracer = self._tracer()
+        sink = _ListSink()
+        exporter = ChannelExporter(sink, tracer, source="c")
+        tracer.add_listener(exporter)
+        with tracer.span("work", scale=6):
+            tracer.instant("note", detail=1)
+        kinds = [f["kind"] for f in sink.frames]
+        # root span closed -> metrics flush rides along
+        assert kinds == ["span_open", "event", "span", "metrics"]
+        span = sink.frames[2]["record"]
+        assert span["name"] == "work"
+        assert span["attrs"] == {"scale": 6}
+
+    def test_metrics_flush_only_at_local_roots(self):
+        tracer = self._tracer()
+        sink = _ListSink()
+        context = TraceContext(trace_id="tid", parent_span_id=77)
+        exporter = ChannelExporter(
+            sink, tracer, source="c", root_parent=77
+        )
+        tracer.add_listener(exporter)
+        with tracer.use_context(context):
+            with tracer.span("root"):
+                with tracer.span("nested"):
+                    pass
+        kinds = [f["kind"] for f in sink.frames]
+        # one flush (after the root span), not one per span close
+        assert kinds.count("metrics") == 1
+        assert kinds[-1] == "metrics"
+
+    def test_close_handshake(self):
+        tracer = self._tracer()
+        sink = _ListSink()
+        exporter = ChannelExporter(sink, tracer, source="c")
+        tracer.add_listener(exporter)
+        tracer.count("bfs.levels", 2)
+        exporter.close()
+        exporter.close()  # idempotent
+        kinds = [f["kind"] for f in sink.frames]
+        assert kinds == ["metrics_final", "bye"]
+        payload = sink.frames[0]["payload"]
+        assert payload["instruments"]["bfs.levels"]["value"] == 2.0
+        assert sink.frames[1]["dropped"] == 0
+        # detached: further telemetry is not exported
+        with tracer.span("after"):
+            pass
+        assert len(sink.frames) == 2
+
+    def test_broken_sink_becomes_counting_noop(self):
+        tracer = self._tracer()
+        sink = _ListSink(broken=True)
+        exporter = ChannelExporter(sink, tracer, source="c")
+        tracer.add_listener(exporter)
+        with tracer.span("work"):
+            pass
+        # workload survived; drops were counted, nothing sent
+        assert exporter.sent == 0
+        assert exporter.dropped > 0

@@ -1,0 +1,152 @@
+"""The ``repro-bfs top`` renderer: sparklines, full frames and the
+dashboard loop (all driven on a manual clock, no real terminal)."""
+
+import io
+import math
+
+from repro.obs.clock import ManualClock
+from repro.obs.live import Collector, SLOPolicy
+from repro.obs.live.dashboard import MIN_INTERVAL, Dashboard, render, sparkline
+from repro.obs.tracer import Tracer
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_ramp_uses_full_range(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 4
+
+    def test_flat_series_is_visible(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▄▄▄"
+
+    def test_nan_renders_as_space(self):
+        line = sparkline([1.0, math.nan, 2.0])
+        assert line[1] == " "
+
+    def test_all_nan(self):
+        assert sparkline([math.nan, math.nan]) == "  "
+
+    def test_width_truncates_to_newest(self):
+        line = sparkline(list(range(100)), width=10)
+        assert len(line) == 10
+        assert line[-1] == "█"
+
+
+def _collector(policies=()):
+    clock = ManualClock()
+    tracer = Tracer(clock=clock, trace_id="feedface")
+    collector = Collector(
+        tracer, policies=policies, window_seconds=1.0, clock=clock
+    )
+    return clock, tracer, collector
+
+
+class TestRender:
+    def test_empty_collector_renders_header(self):
+        _, _, collector = _collector()
+        frame = render(collector)
+        assert "repro-bfs top" in frame
+        assert "trace feedface" in frame
+        assert "(no telemetry yet)" in frame
+        assert "(idle)" in frame
+
+    def test_metrics_rows_and_sparkline(self):
+        clock, tracer, collector = _collector(
+            policies=[SLOPolicy.parse("graph500.bfs<1.0@0.9")]
+        )
+        with collector:
+            for duration in (0.1, 0.2, 0.3):
+                clock.advance(1.0)
+                with tracer.span("graph500.bfs"):
+                    clock.advance(duration)
+        frame = render(collector)
+        assert "*graph500.bfs" in frame  # policed marker
+        assert "slo" in frame
+        assert "[ok]" in frame
+
+    def test_active_spans_section(self):
+        clock, tracer, collector = _collector()
+        with collector:
+            with tracer.span("graph500.run"):
+                with tracer.span("graph500.bfs"):
+                    frame = render(collector)
+        assert "graph500.run > graph500.bfs" in frame
+        assert "busy threads" in frame
+
+    def test_firing_alert_shown(self):
+        clock, tracer, collector = _collector(
+            policies=[
+                SLOPolicy.parse(
+                    "graph500.bfs<0.5@0.9", fast_windows=2, slow_windows=4
+                )
+            ]
+        )
+        with collector:
+            for _ in range(4):
+                clock.advance(1.0)
+                with tracer.span("graph500.bfs"):
+                    clock.advance(2.0)
+            collector.evaluate()
+        frame = render(collector)
+        assert "[FIRING]" in frame
+        assert "! SLO graph500.bfs<0.5@0.9" in frame
+
+
+class TestDashboard:
+    def test_refresh_writes_plain_frame(self):
+        _, _, collector = _collector()
+        out = io.StringIO()
+        dash = Dashboard(collector, out=out, ansi=False)
+        frame = dash.refresh()
+        assert out.getvalue() == frame
+        assert "\x1b[" not in out.getvalue()
+        assert dash.frames_rendered == 1
+
+    def test_ansi_mode_clears_between_frames(self):
+        _, _, collector = _collector()
+        out = io.StringIO()
+        dash = Dashboard(collector, out=out, ansi=True)
+        dash.refresh()
+        assert out.getvalue().startswith("\x1b[H\x1b[2J")
+
+    def test_interval_floor(self):
+        _, _, collector = _collector()
+        dash = Dashboard(collector, out=io.StringIO(), interval=0.0)
+        assert dash.interval == MIN_INTERVAL
+
+    def test_run_until_done_renders_final_frame(self):
+        _, _, collector = _collector()
+        out = io.StringIO()
+        dash = Dashboard(collector, out=out, interval=0.25, ansi=False)
+        calls = {"n": 0}
+
+        def done():
+            calls["n"] += 1
+            return calls["n"] > 2
+
+        frames = dash.run(done)
+        # two loop frames plus the final one
+        assert frames == 3
+        assert dash.frames_rendered == 3
+
+    def test_refresh_evaluates_slos(self):
+        clock, tracer, collector = _collector(
+            policies=[
+                SLOPolicy.parse(
+                    "graph500.bfs<0.5@0.9", fast_windows=2, slow_windows=4
+                )
+            ]
+        )
+        with collector:
+            for _ in range(4):
+                clock.advance(1.0)
+                with tracer.span("graph500.bfs"):
+                    clock.advance(2.0)
+            dash = Dashboard(collector, out=io.StringIO(), ansi=False)
+            dash.refresh()
+        # the refresh ran evaluate(): the alert latched
+        assert len(collector.alerts) == 1

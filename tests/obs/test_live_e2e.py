@@ -1,0 +1,181 @@
+"""End-to-end cross-process acceptance: a child spawned with
+``spawn_traced`` stitches into the parent's exported trace (same trace
+id, correct parent-span linkage, disjoint span-id range), its metric
+deltas merge into the parent registry, and an injected slowdown trips
+the burn-rate alert which triggers a flight-recorder snapshot."""
+
+import json
+
+from repro.obs.export import validate_chrome_trace, write_chrome_trace
+from repro.obs.live import Collector, SLOPolicy, run_traced_pair, spawn_traced
+from repro.obs.profile import FlightRecorder
+from repro.obs.tracer import Tracer, get_tracer, use_tracer
+
+CHILD_BIT = 1 << 32
+
+
+def _emitting_child(levels):
+    """Module-level (picklable) target: spans + metrics on the child's
+    process-global tracer, which spawn_traced installs."""
+    tracer = get_tracer()
+    with tracer.span("child.work", levels=levels):
+        with tracer.span("child.inner"):
+            pass
+        tracer.count("bfs.levels", levels)
+
+
+class TestSpawnTraced:
+    def test_child_telemetry_stitches_into_parent(self, tmp_path):
+        tracer = Tracer(trace_id="e2e-trace")
+        with use_tracer(tracer):
+            with Collector(tracer) as collector:
+                with tracer.span("parent.root"):
+                    handle = spawn_traced(
+                        _emitting_child,
+                        (3,),
+                        tracer=tracer,
+                        baggage={"case": "stitch"},
+                        collector=collector,
+                    )
+                    while handle.process.is_alive():
+                        collector.poll(timeout=0.05)
+                    assert handle.join(timeout=10.0) == 0
+                collector.close(timeout=10.0)
+
+        by_name = {r.name: r for r in tracer.spans()}
+        child_root = by_name["child.work"]
+        child_inner = by_name["child.inner"]
+        # disjoint id range: child ids live above (child_index+1) << 32
+        assert child_root.span_id >= CHILD_BIT
+        assert child_inner.span_id >= CHILD_BIT
+        # cross-process parent linkage: the child's root parents under
+        # the span that was open at spawn time
+        assert child_root.parent_id == by_name["parent.root"].span_id
+        assert child_inner.parent_id == child_root.span_id
+        # child track is namespaced by source
+        assert child_root.track.startswith("child-0:")
+        # metrics_final merged the child's counter into the parent
+        assert tracer.metrics.flat()["bfs.levels"] == 3.0
+        # the channel completed its close handshake
+        (channel,) = collector.channels
+        assert channel.done
+        assert channel.bye is not None
+        assert channel.trace_id == "e2e-trace"
+
+        # one Perfetto-loadable artifact for the whole tree
+        trace_path = tmp_path / "stitched.trace.json"
+        write_chrome_trace(tracer, trace_path)
+        validate_chrome_trace(trace_path)
+        events = json.loads(trace_path.read_text())["traceEvents"]
+        assert len(events) >= 3
+
+    def test_graph500_pair_merges_roots_and_baggage(self, tmp_path):
+        tracer = Tracer(trace_id="pair-trace")
+        with use_tracer(tracer):
+            with Collector(tracer) as collector:
+                run_traced_pair(
+                    scale=5,
+                    edgefactor=4,
+                    num_roots=2,
+                    children=1,
+                    collector=collector,
+                )
+                collector.close(timeout=10.0)
+
+        spans = tracer.spans()
+        child_spans = [r for r in spans if r.span_id >= CHILD_BIT]
+        assert child_spans, "no child spans were adopted"
+        workload = tracer.spans("live.workload")[0]
+        child_roots = [
+            r for r in child_spans if r.parent_id == workload.span_id
+        ]
+        assert child_roots, "child roots must parent under live.workload"
+        # parent ran 2 roots, the child ran 2 more: the teps histogram
+        # holds exactly 4 merged observations
+        assert tracer.metrics.flat()["teps.count"] == 4.0
+        # context baggage traveled into the child's construction span
+        constructions = [
+            r
+            for r in tracer.spans("graph500.construction")
+            if r.span_id >= CHILD_BIT
+        ]
+        assert constructions
+        assert constructions[0].attrs["baggage"]["child"] == 0
+
+        trace_path = tmp_path / "pair.trace.json"
+        write_chrome_trace(tracer, trace_path)
+        validate_chrome_trace(trace_path)
+
+
+class TestInjectedSlowdown:
+    def test_slo_alert_and_flight_recorder_snapshot(self, tmp_path):
+        policy = SLOPolicy.parse(
+            "graph500.bfs<0.05@0.9",
+            fast_windows=2,
+            slow_windows=5,
+            window_seconds=0.5,
+        )
+        tracer = Tracer(trace_id="slow-trace")
+        with use_tracer(tracer):
+            recorder = FlightRecorder(
+                tracer,
+                snapshot_dir=tmp_path,
+                context={"workload": "injected-slowdown"},
+            )
+            with recorder, Collector(
+                tracer, policies=[policy], window_seconds=0.5
+            ) as collector:
+                run_traced_pair(
+                    scale=5,
+                    edgefactor=4,
+                    num_roots=4,
+                    children=1,
+                    child_delay=0.2,  # 4x the SLO threshold, every root
+                    collector=collector,
+                )
+                collector.close(timeout=10.0)
+                collector.evaluate()
+        assert collector.alerts, "injected slowdown must trip the SLO"
+        alert = collector.alerts[0]
+        assert alert.metric == "graph500.bfs"
+        assert alert.fast_burn >= policy.burn_threshold
+        # the alert event triggered a snapshot dump
+        reasons = [s.reason for s in recorder.snapshots]
+        assert "alert-event:slo.alert" in reasons
+        snap = next(
+            s
+            for s in recorder.snapshots
+            if s.reason == "alert-event:slo.alert"
+        )
+        assert snap.path.exists()
+        from repro.obs.profile import validate_snapshot
+
+        meta = validate_snapshot(snap.path)
+        assert meta["context"]["workload"] == "injected-slowdown"
+        assert meta["reason"] == "alert-event:slo.alert"
+
+
+class TestChildFailure:
+    def test_dying_child_does_not_poison_the_collector(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with Collector(tracer) as collector:
+                handle = spawn_traced(
+                    _crashing_child, (), tracer=tracer, collector=collector
+                )
+                while handle.process.is_alive():
+                    collector.poll(timeout=0.05)
+                exit_code = handle.join(timeout=10.0)
+                collector.close(timeout=5.0)
+        assert exit_code != 0
+        # the spans recorded before the crash still made it across
+        assert tracer.spans("child.before_crash")
+        (channel,) = collector.channels
+        assert channel.done
+
+
+def _crashing_child():
+    tracer = get_tracer()
+    with tracer.span("child.before_crash"):
+        pass
+    raise SystemExit(3)

@@ -1,0 +1,264 @@
+"""SLO policies, burn-rate evaluation and the collector's alert path
+(rising edge, ``slo.alert`` events, flight-recorder hand-off, replay)."""
+
+import pytest
+
+from repro.errors import LiveError
+from repro.obs.clock import ManualClock
+from repro.obs.live import (
+    BurnRateEvaluator,
+    CaptureFile,
+    ChannelExporter,
+    Collector,
+    SLOPolicy,
+)
+from repro.obs.profile import FlightRecorder
+from repro.obs.tracer import Tracer
+
+
+class TestSLOPolicy:
+    def test_parse_round_trip(self):
+        policy = SLOPolicy.parse("graph500.bfs<0.5@0.9")
+        assert policy.metric == "graph500.bfs"
+        assert policy.op == "<"
+        assert policy.threshold == 0.5
+        assert policy.objective == 0.9
+        assert SLOPolicy.parse(policy.spec()) == policy
+
+    def test_parse_throughput_floor(self):
+        policy = SLOPolicy.parse("teps>1e6@0.95")
+        assert policy.op == ">"
+        assert policy.threshold == 1e6
+
+    def test_parse_overrides(self):
+        policy = SLOPolicy.parse(
+            "teps>1e6@0.95", fast_windows=2, slow_windows=4
+        )
+        assert (policy.fast_windows, policy.slow_windows) == (2, 4)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "not a spec",
+            "Metric<1@0.9",      # uppercase metric
+            "m=1@0.9",           # bad op
+            "m<1",               # no objective
+            "m<1@1.5",           # objective out of range
+            "m<x@0.9",           # unparsable threshold
+        ],
+    )
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(LiveError):
+            SLOPolicy.parse(spec)
+
+    def test_geometry_validation(self):
+        with pytest.raises(LiveError):
+            SLOPolicy("m", "<", 1.0, fast_windows=9, slow_windows=3)
+        with pytest.raises(LiveError):
+            SLOPolicy("m", "<", 1.0, window_seconds=0)
+        with pytest.raises(LiveError):
+            SLOPolicy("m", "<", 1.0, burn_threshold=0)
+
+    def test_is_bad_directions(self):
+        lat = SLOPolicy("m", "<", 1.0)
+        assert not lat.is_bad(0.5)
+        assert lat.is_bad(1.0)  # boundary spends budget
+        assert lat.is_bad(2.0)
+        thr = SLOPolicy("m", ">", 1.0)
+        assert thr.is_bad(0.5)
+        assert not thr.is_bad(2.0)
+
+
+def _policy(**over):
+    defaults = dict(
+        metric="graph500.bfs",
+        op="<",
+        threshold=1.0,
+        objective=0.9,
+        window_seconds=1.0,
+        fast_windows=2,
+        slow_windows=6,
+        burn_threshold=2.0,
+    )
+    defaults.update(over)
+    return SLOPolicy(**defaults)
+
+
+class TestBurnRateEvaluator:
+    def test_needs_a_policy(self):
+        with pytest.raises(LiveError):
+            BurnRateEvaluator("graph500.bfs<1@0.9")
+
+    def test_burn_math(self):
+        ev = BurnRateEvaluator(_policy())
+        # window 0: 1 bad of 2 -> bad_frac 0.5, budget 0.1 -> burn 5
+        ev.record(0.1, 0.2)
+        ev.record(0.2, 5.0)
+        fast, slow = ev.burn_rates(0.5)
+        assert fast == pytest.approx(5.0)
+        assert slow == pytest.approx(5.0)
+
+    def test_alert_needs_both_windows(self):
+        # a long good history keeps the slow burn under threshold even
+        # when the fast window is all-bad: no alert (it's a blip)
+        ev = BurnRateEvaluator(_policy())
+        for t in range(4):
+            for _ in range(20):
+                ev.record(t + 0.5, 0.1)
+        ev.record(5.2, 9.0)
+        ev.record(5.3, 9.0)
+        fast, slow = ev.burn_rates(5.5)
+        assert fast >= 2.0
+        assert slow < 2.0
+        assert ev.evaluate(5.5) is None
+        assert not ev.firing
+
+    def test_sustained_badness_alerts(self):
+        ev = BurnRateEvaluator(_policy())
+        for t in range(4):
+            ev.record(t + 0.5, 9.0)
+        alert = ev.evaluate(3.5)
+        assert alert is not None
+        assert ev.firing
+        assert alert.policy == _policy().spec()
+        assert alert.fast_bad == 2 and alert.fast_count == 2
+        assert alert.slow_bad == 4 and alert.slow_count == 4
+        assert "burn" in alert.describe()
+
+    def test_recovery_clears_firing(self):
+        ev = BurnRateEvaluator(_policy())
+        for t in range(4):
+            ev.record(t + 0.5, 9.0)
+        assert ev.evaluate(3.5) is not None
+        # two clean fast-windows later the fast burn is zero
+        for t in (4.5, 5.5):
+            for _ in range(10):
+                ev.record(t, 0.1)
+        assert ev.evaluate(5.9) is None
+        assert not ev.firing
+
+    def test_old_observations_dropped(self):
+        ev = BurnRateEvaluator(_policy())
+        ev.record(100.0, 0.1)
+        ev.record(1.0, 9.0)  # far older than the slow horizon
+        assert ev.dropped == 1
+        fast, slow = ev.burn_rates(100.0)
+        assert fast == 0.0
+
+    def test_out_of_order_within_horizon(self):
+        ev = BurnRateEvaluator(_policy())
+        ev.record(4.5, 9.0)
+        ev.record(2.5, 9.0)  # late but retained
+        _, slow = ev.burn_rates(4.9)
+        assert slow == pytest.approx(10.0)
+
+
+class TestCollectorAlerting:
+    def _collector(self, clock):
+        tracer = Tracer(clock=clock)
+        collector = Collector(
+            tracer,
+            policies=[_policy()],
+            window_seconds=1.0,
+            clock=clock,
+        )
+        return tracer, collector
+
+    def test_rising_edge_only(self):
+        clock = ManualClock()
+        tracer, collector = self._collector(clock)
+        with collector:
+            for _ in range(4):
+                clock.advance(1.0)
+                with tracer.span("graph500.bfs"):
+                    clock.advance(2.0)  # 2 s per traversal: all bad
+            fired = collector.evaluate()
+            assert len(fired) == 1
+            # still firing -> no re-alert while the episode lasts
+            assert collector.evaluate() == []
+            assert collector.alerts == fired
+
+    def test_alert_emits_event_and_counter(self):
+        clock = ManualClock()
+        tracer, collector = self._collector(clock)
+        with collector:
+            for _ in range(4):
+                clock.advance(1.0)
+                with tracer.span("graph500.bfs"):
+                    clock.advance(2.0)
+            collector.evaluate()
+        events = tracer.events("slo.alert")
+        assert len(events) == 1
+        assert events[0].attrs["policy"] == _policy().spec()
+        assert tracer.metrics.flat()["slo.alerts"] == 1.0
+
+    def test_alert_triggers_flight_recorder_snapshot(self, tmp_path):
+        clock = ManualClock()
+        tracer, collector = self._collector(clock)
+        recorder = FlightRecorder(
+            tracer, snapshot_dir=tmp_path, context={"workload": "t"}
+        )
+        with recorder, collector:
+            for _ in range(4):
+                clock.advance(1.0)
+                with tracer.span("graph500.bfs"):
+                    clock.advance(2.0)
+            collector.evaluate()
+        assert len(recorder.snapshots) == 1
+        snap = recorder.snapshots[0]
+        assert snap.reason == "alert-event:slo.alert"
+        assert snap.path.exists()
+
+    def test_clean_run_stays_quiet(self):
+        clock = ManualClock()
+        tracer, collector = self._collector(clock)
+        with collector:
+            for _ in range(8):
+                clock.advance(1.0)
+                with tracer.span("graph500.bfs"):
+                    clock.advance(0.01)
+            assert collector.evaluate() == []
+        assert collector.alerts == []
+
+
+class TestReplay:
+    def _record_capture(self, path, durations):
+        """Write a capture of one span per duration, a second apart."""
+        clock = ManualClock()
+        tracer = Tracer(clock=clock)
+        with CaptureFile(path) as capture:
+            exporter = ChannelExporter(capture, tracer, source="replayed")
+            exporter.hello()
+            tracer.add_listener(exporter)
+            for duration in durations:
+                clock.advance(1.0)
+                with tracer.span("graph500.bfs"):
+                    clock.advance(duration)
+            exporter.close()
+
+    def test_bad_capture_replays_to_alerts(self, tmp_path):
+        path = tmp_path / "bad.capture"
+        self._record_capture(path, [2.0] * 4)
+        collector = Collector(
+            Tracer(clock=ManualClock()), policies=[_policy()]
+        )
+        with collector:
+            alerts = collector.replay(path)
+        assert alerts
+        # deterministic: a fresh collector reaches the same verdict
+        again = Collector(
+            Tracer(clock=ManualClock()), policies=[_policy()]
+        )
+        with again:
+            assert [a.as_dict() for a in again.replay(path)] == [
+                a.as_dict() for a in alerts
+            ]
+
+    def test_clean_capture_replays_clean(self, tmp_path):
+        path = tmp_path / "ok.capture"
+        self._record_capture(path, [0.01] * 6)
+        collector = Collector(
+            Tracer(clock=ManualClock()), policies=[_policy()]
+        )
+        with collector:
+            assert collector.replay(path) == []

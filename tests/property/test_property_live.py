@@ -1,0 +1,230 @@
+"""Property-based tests for the live-telemetry aggregation tier.
+
+Three guarantees the dashboard and the SLO evaluator lean on:
+
+* :class:`~repro.obs.live.Window` merging is associative and
+  commutative — "last 5 windows" vs "last 60 windows" views are
+  recombinations of the same ring, so merge order must not matter;
+* the :class:`~repro.obs.live.QuantileSketch` self-certifies:
+  ``|true_rank(quantile(q)) - q*n| <= error_bound()`` even on
+  adversarial (sorted, duplicated, sawtooth) streams and across
+  merges;
+* :class:`~repro.obs.live.BurnRateEvaluator` is monotone: a
+  pointwise-worse stream never clears an alert a better stream raised
+  at the same evaluation time.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.live import BurnRateEvaluator, QuantileSketch, SLOPolicy, Window
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+value_lists = st.lists(finite_floats, max_size=80)
+
+
+def _window(values, k=8):
+    w = Window(sketch_k=k)
+    for v in values:
+        w.observe(v)
+    return w
+
+
+def _assert_windows_agree(x: Window, y: Window):
+    assert x.count == y.count
+    assert x.sketch.n == y.sketch.n
+    assert x.minimum == y.minimum
+    assert x.maximum == y.maximum
+    # float addition is not associative bit-for-bit; the totals must
+    # agree to rounding
+    assert math.isclose(x.total, y.total, rel_tol=1e-9, abs_tol=1e-6)
+
+
+def _assert_rank_bound(sketch: QuantileSketch, data):
+    """The certified guarantee, checked against the exact stream."""
+    if not data:
+        return
+    ordered = sorted(data)
+    n = len(ordered)
+    assert sketch.n == n
+    bound = sketch.error_bound()
+    for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+        v = sketch.quantile(q)
+        # with ties the true rank of v is an interval: anything from
+        # "strictly below" to "at or below" is a correct rank for v
+        rank_lo = sum(1 for x in ordered if x < v)
+        rank_hi = sum(1 for x in ordered if x <= v)
+        target = q * n
+        distance = max(rank_lo - target, target - rank_hi, 0.0)
+        assert distance <= bound, (
+            f"q={q}: rank interval [{rank_lo}, {rank_hi}] is {distance} "
+            f"from target {target}, certified {bound}"
+        )
+
+
+class TestWindowMergeAlgebra:
+    @given(value_lists, value_lists, value_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_associative(self, a, b, c):
+        left = _window(a).merge(_window(b)).merge(_window(c))
+        right = _window(a).merge(_window(b).merge(_window(c)))
+        _assert_windows_agree(left, right)
+        # either association keeps the certified sketch bound
+        _assert_rank_bound(left.sketch, a + b + c)
+        _assert_rank_bound(right.sketch, a + b + c)
+
+    @given(value_lists, value_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_commutative(self, a, b):
+        ab = _window(a).merge(_window(b))
+        ba = _window(b).merge(_window(a))
+        _assert_windows_agree(ab, ba)
+        _assert_rank_bound(ab.sketch, a + b)
+        _assert_rank_bound(ba.sketch, a + b)
+
+    @given(value_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_empty_window_is_identity(self, a):
+        merged = _window(a).merge(Window(sketch_k=8))
+        plain = _window(a)
+        _assert_windows_agree(merged, plain)
+
+
+@st.composite
+def adversarial_stream(draw):
+    """Streams built to stress the compactor: sorted runs, duplicates,
+    sawtooths — the orderings where a biased sketch drifts worst."""
+    shape = draw(
+        st.sampled_from(
+            ("ascending", "descending", "sawtooth", "duplicates", "random")
+        )
+    )
+    n = draw(st.integers(min_value=0, max_value=600))
+    if shape == "ascending":
+        return [float(i) for i in range(n)]
+    if shape == "descending":
+        return [float(n - i) for i in range(n)]
+    if shape == "sawtooth":
+        period = draw(st.integers(min_value=1, max_value=9))
+        return [float(i % period) for i in range(n)]
+    if shape == "duplicates":
+        v = draw(finite_floats)
+        return [v] * n
+    return draw(
+        st.lists(finite_floats, min_size=n, max_size=n)
+    )
+
+
+class TestQuantileSketchBound:
+    @given(adversarial_stream(), st.sampled_from((2, 4, 8, 16)))
+    @settings(max_examples=80, deadline=None)
+    def test_certified_rank_error_bound(self, data, k):
+        sketch = QuantileSketch(k)
+        sketch.extend(data)
+        _assert_rank_bound(sketch, data)
+
+    @given(adversarial_stream(), adversarial_stream())
+    @settings(max_examples=40, deadline=None)
+    def test_bound_survives_merge(self, a, b):
+        sa, sb = QuantileSketch(4), QuantileSketch(4)
+        sa.extend(a)
+        sb.extend(b)
+        sa.merge(sb)
+        _assert_rank_bound(sa, a + b)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=16))
+    @settings(max_examples=60, deadline=None)
+    def test_short_streams_are_exact(self, data):
+        # streams shorter than k never compact: error is one item weight
+        sketch = QuantileSketch(16)
+        sketch.extend(data)
+        assert sketch.rank_error == 0
+        assert sketch.error_bound() == 1
+        assert sketch.quantile(0.5) in data
+
+
+@st.composite
+def paired_streams(draw):
+    """One observation stream plus a pointwise-worse twin (op ``<``:
+    every value only ever gets larger)."""
+    n = draw(st.integers(min_value=1, max_value=60))
+    times = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=30.0,
+                          allow_nan=False, allow_infinity=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    values = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=4.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    bumps = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=4.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    worse = [v + d for v, d in zip(values, bumps)]
+    return times, values, worse
+
+
+class TestBurnRateMonotonicity:
+    @given(paired_streams())
+    @settings(max_examples=80, deadline=None)
+    def test_worse_stream_never_clears_an_alert(self, case):
+        times, values, worse = case
+        policy = SLOPolicy(
+            metric="graph500.bfs",
+            op="<",
+            threshold=1.0,
+            objective=0.9,
+            window_seconds=1.0,
+            fast_windows=3,
+            slow_windows=10,
+            burn_threshold=2.0,
+        )
+        better_eval = BurnRateEvaluator(policy)
+        worse_eval = BurnRateEvaluator(policy)
+        for t, v_good, v_bad in zip(times, values, worse):
+            better_eval.record(t, v_good)
+            worse_eval.record(t, v_bad)
+            better_alert = better_eval.evaluate(t)
+            worse_alert = worse_eval.evaluate(t)
+            if better_alert is not None:
+                assert worse_alert is not None, (
+                    f"better stream fired at t={t} but worse did not"
+                )
+                assert worse_alert.fast_burn >= better_alert.fast_burn
+                assert worse_alert.slow_burn >= better_alert.slow_burn
+
+    @given(paired_streams())
+    @settings(max_examples=40, deadline=None)
+    def test_burn_rates_are_pointwise_monotone(self, case):
+        times, values, worse = case
+        policy = SLOPolicy.parse(
+            "graph500.bfs<1.0@0.9", fast_windows=2, slow_windows=8
+        )
+        better_eval = BurnRateEvaluator(policy)
+        worse_eval = BurnRateEvaluator(policy)
+        for t, v_good, v_bad in zip(times, values, worse):
+            better_eval.record(t, v_good)
+            worse_eval.record(t, v_bad)
+            fast_b, slow_b = better_eval.burn_rates(t)
+            fast_w, slow_w = worse_eval.burn_rates(t)
+            assert fast_w >= fast_b
+            assert slow_w >= slow_b

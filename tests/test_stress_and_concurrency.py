@@ -124,7 +124,8 @@ class BrokenParallelBFS(ParallelBFS):
     needs, and it keeps the unsanitized run finite."""
 
     def _top_down_level(self, graph, frontier, parent, level, depth,
-                        workspace, tracer=None, race=None):
+                        workspace, tracer=None, race=None,
+                        parent_span=None):
         def scribble(chunk):
             if race is not None:
                 race.stamp_chunk(f"scribble@{depth}")
@@ -138,6 +139,7 @@ class BrokenParallelBFS(ParallelBFS):
         return super()._top_down_level(
             graph, frontier, parent, level, depth, workspace,
             tracer if tracer is not None else NULL_TRACER, race,
+            parent_span,
         )
 
 
