@@ -20,6 +20,14 @@ Four coordinated correctness tools (see ``docs/static_analysis.md``):
   lifecycle, interprocedural workspace escapes, cross-module worker
   writes, ownership gating and hot-path call cycles.  Exposed as
   ``repro-bfs callgraph`` and folded into ``lint --deep``.
+* :mod:`repro.analysis.typestate` — typestate & protocol verification:
+  a declarative registry of protocol state machines (live-channel
+  handshake, ``ChannelExporter``, ``Collector``, ``FlightRecorder``,
+  ``BFSWorkspace``, ``ParallelBFS``) plus an abstract interpreter that
+  checks each handle's lifecycle along the call graph.  Five more
+  ``lint --deep`` rules (``RPR022`` … ``RPR026``) and the machinery
+  behind the dynamic twin (:class:`repro.obs.live.ProtocolMonitor`,
+  strict capture conformance).  Exposed as ``repro-bfs protocols``.
 * :mod:`repro.analysis.sanitizer` — an opt-in runtime harness
   (``sanitize=True`` on the BFS engines) that freezes CSR arrays during
   traversal and checks per-level invariants, raising structured
@@ -61,11 +69,12 @@ from repro.analysis.units import (
     check_cost_model,
 )
 
-# Importing the rule modules registers RPR001..RPR019 in RULES.
+# Importing the rule modules registers RPR001..RPR026 in RULES.
 from repro.analysis import dataflow as _dataflow  # noqa: F401
 from repro.analysis import program as _program  # noqa: F401
 from repro.analysis import races as _races  # noqa: F401
 from repro.analysis import rules as _rules  # noqa: F401
+from repro.analysis.typestate import rules as _typestate_rules  # noqa: F401
 from repro.analysis.callgraph import (
     Project,
     SummaryCache,
@@ -87,6 +96,13 @@ from repro.analysis.effects import (
     propagate_one_level,
 )
 from repro.analysis.program import program_report
+from repro.analysis.typestate import (
+    PROTOCOLS,
+    ProtocolSpec,
+    TypestateAnalysis,
+    get_protocol,
+    typestate_report,
+)
 
 __all__ = [
     "RULES",
@@ -106,6 +122,11 @@ __all__ = [
     "build_project",
     "project_from_sources",
     "program_report",
+    "PROTOCOLS",
+    "ProtocolSpec",
+    "TypestateAnalysis",
+    "get_protocol",
+    "typestate_report",
     "AbstractValue",
     "DataflowReport",
     "analyze",

@@ -763,12 +763,28 @@ def record_from_dict(d: dict) -> ModuleRecord:
         raise CallGraphError(f"malformed summary-cache record: {exc}") from exc
 
 
+#: Version of the extraction/summary *semantics* (what the analyzer
+#: computes from a module, independent of the record wire format).
+#: Bump whenever extraction or summary rules change meaning — cache
+#: entries written under another version are treated as misses, so a
+#: rule upgrade can never be served stale summaries for unchanged
+#: files.
+ANALYSIS_VERSION = 2
+
+
+def _cache_key(sha: str) -> str:
+    """Cache key for one module: content hash + analysis version."""
+    return f"{sha}:v{ANALYSIS_VERSION}"
+
+
 class SummaryCache:
-    """Per-module extraction records keyed by file SHA-256.
+    """Per-module extraction records keyed by file SHA-256 plus the
+    :data:`ANALYSIS_VERSION` of the analyzer that produced them.
 
     Re-running the whole-program pass only re-extracts files whose
-    content hash changed; everything else deserializes.  The on-disk
-    format is a single JSON object ``{sha: record}``.
+    content hash changed (or whose cached record predates the current
+    analysis version); everything else deserializes.  The on-disk
+    format is a single JSON object ``{key: record}``.
     """
 
     SCHEMA = "repro.analysis.callgraph_cache/1"
@@ -793,7 +809,7 @@ class SummaryCache:
             self._records = dict(blob.get("records", {}))
 
     def get(self, sha: str) -> ModuleRecord | None:
-        raw = self._records.get(sha)
+        raw = self._records.get(_cache_key(sha))
         if raw is None:
             self.misses += 1
             return None
@@ -801,7 +817,7 @@ class SummaryCache:
         return record_from_dict(raw)
 
     def put(self, rec: ModuleRecord) -> None:
-        self._records[rec.sha] = record_to_dict(rec)
+        self._records[_cache_key(rec.sha)] = record_to_dict(rec)
 
     def save(self) -> None:
         if self.path is None:
@@ -1302,7 +1318,7 @@ def build_project(
         except (OSError, UnicodeDecodeError):
             continue
         sha = hashlib.sha256(source.encode("utf-8")).hexdigest()
-        rec = _MEMORY_CACHE.get(sha)
+        rec = _MEMORY_CACHE.get(_cache_key(sha))
         if rec is None and cache is not None:
             rec = cache.get(sha)
         if rec is None or rec.path != str(p):
@@ -1310,7 +1326,7 @@ def build_project(
                 rec = extract_module(p, source)
             except CallGraphError:
                 continue
-        _MEMORY_CACHE[sha] = rec
+        _MEMORY_CACHE[_cache_key(sha)] = rec
         if cache is not None:
             cache.put(rec)
         records.append(rec)

@@ -238,6 +238,7 @@ def _ensure_rules_loaded() -> None:
     # an empty registry would leave the set partial when a rule module
     # was imported directly first.
     from repro.analysis import dataflow, program, races, rules  # noqa: F401
+    from repro.analysis.typestate import rules as _typestate  # noqa: F401
 
 
 def deep_rule_codes() -> list[str]:
@@ -500,14 +501,24 @@ def lint_paths(
     *,
     select: Iterable[str] | None = None,
     deep: bool = False,
+    restrict_to: Iterable[str | Path] | None = None,
 ) -> tuple[list[Violation], int]:
     """Lint files and directories.
 
     When the selected rule set contains whole-program rules, one
     call-graph project is built over every file in the run and handed
-    to each per-file context.  Returns ``(violations, files_checked)``.
+    to each per-file context.  ``restrict_to`` narrows which files are
+    *reported on* without narrowing the analysis scope: the project is
+    still built over every file under ``paths``, so interprocedural
+    rules keep seeing callees in unchanged modules, but only findings
+    located in a restricted file surface (and only those files count
+    toward ``files_checked``).  Returns ``(violations, files_checked)``.
     """
     files = list(iter_python_files(paths))
+    report_files = files
+    if restrict_to is not None:
+        wanted = {Path(p).resolve() for p in restrict_to}
+        report_files = [f for f in files if Path(f).resolve() in wanted]
     project: object | None = None
     if any(r.whole_program for r in _resolve_select(select, deep=deep)):
         from repro.analysis.callgraph import build_project
@@ -519,7 +530,7 @@ def lint_paths(
             project = None  # nothing parsable; per-file diagnostics follow
     violations: list[Violation] = []
     checked = 0
-    for file in files:
+    for file in report_files:
         violations.extend(
             lint_file(file, select=select, deep=deep, project=project)
         )

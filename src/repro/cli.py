@@ -143,13 +143,15 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument(
         "--deep",
         action="store_true",
-        help="also run the deep dataflow/race rules (RPR010..RPR019)",
+        help="also run the deep dataflow/race/typestate rules "
+        "(RPR010..RPR026)",
     )
     lint_p.add_argument(
         "--changed",
         action="store_true",
-        help="lint only .py files changed vs HEAD (per git), scoped to "
-        "the given paths",
+        help="report only on .py files changed vs HEAD (per git), scoped "
+        "to the given paths; with --deep the whole project is still "
+        "analyzed so interprocedural rules keep their context",
     )
 
     cg_p = sub.add_parser(
@@ -525,7 +527,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lchk_p.add_argument("capture", type=Path, help="capture file to replay")
     lchk_p.add_argument("--json", action="store_true")
+    lchk_p.add_argument(
+        "--strict-protocol",
+        action="store_true",
+        dest="strict_protocol",
+        help="additionally replay the capture through the live-channel "
+        "protocol machines: out-of-order frames or an incomplete "
+        "hello→…→bye handshake fail the gate (exit 2)",
+    )
     _slo_args(lchk_p)
+
+    proto_p = sub.add_parser(
+        "protocols",
+        help="list the typestate protocol machines (RPR022..RPR026) "
+        "and export them as DOT",
+    )
+    proto_p.add_argument(
+        "--machine",
+        default=None,
+        help="show only this machine (e.g. channel-exporter)",
+    )
+    proto_p.add_argument(
+        "--format",
+        choices=("text", "json", "dot"),
+        default="text",
+        dest="fmt",
+        help="report format (dot requires --machine or --dot-dir)",
+    )
+    proto_p.add_argument(
+        "--dot-dir",
+        type=Path,
+        default=None,
+        dest="dot_dir",
+        help="write one Graphviz .dot file per machine into this "
+        "directory (the CI artifact export)",
+    )
     return parser
 
 
@@ -812,15 +848,24 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     select = getattr(args, "select", None)
     select = select.split(",") if select else None
     try:
+        restrict_to = None
         if getattr(args, "changed", False):
             from repro.analysis import changed_python_files
 
-            paths = changed_python_files(paths)
-            if not paths:
+            changed = changed_python_files(paths)
+            if not changed:
                 print("no changed Python files in scope")
                 return 0
+            # Analyze the full scope, report on the changed subset:
+            # narrowing the *analysis* to changed files would silently
+            # blind interprocedural rules (RPR015+) to violations whose
+            # other half lives in an unchanged module.
+            restrict_to = changed
         violations, checked = lint_paths(
-            paths, select=select, deep=getattr(args, "deep", False)
+            paths,
+            select=select,
+            deep=getattr(args, "deep", False),
+            restrict_to=restrict_to,
         )
     except LintError as exc:
         print(f"lint error: {exc}", file=sys.stderr)
@@ -1996,20 +2041,25 @@ def _cmd_live_record(args: argparse.Namespace) -> int:
             tracer, policies=policies, window_seconds=args.slo_window
         ) as collector:
             tee.hello()
-            tracer.add_listener(tee)
-            run_traced_pair(
-                args.scale,
-                edgefactor=args.edgefactor,
-                num_roots=args.roots,
-                children=args.children,
-                child_delay=args.child_delay,
-                collector=collector,
-                tracer=tracer,
-                seed=args.seed,
-            )
-            collector.close(timeout=10.0)
-            collector.evaluate()
-            tee.close()
+            try:
+                tracer.add_listener(tee)
+                run_traced_pair(
+                    args.scale,
+                    edgefactor=args.edgefactor,
+                    num_roots=args.roots,
+                    children=args.children,
+                    child_delay=args.child_delay,
+                    collector=collector,
+                    tracer=tracer,
+                    seed=args.seed,
+                )
+                collector.close(timeout=10.0)
+                collector.evaluate()
+            finally:
+                # An aborted run still writes the metrics_final/bye
+                # handshake into the capture before the file closes,
+                # so partial captures stay protocol-conformant.
+                tee.close()
     finally:
         writer.close()
         if flight is not None:
@@ -2033,8 +2083,18 @@ def _cmd_live_check(args: argparse.Namespace) -> int:
         tracer, policies=policies, window_seconds=args.slo_window
     ) as collector:
         try:
-            alerts = collector.replay(args.capture, strict=True)
+            alerts = collector.replay(
+                args.capture,
+                strict=True,
+                conformance=(
+                    "strict"
+                    if getattr(args, "strict_protocol", False)
+                    else None
+                ),
+            )
         except (OSError, LiveError) as exc:
+            # ProtocolError is a LiveError: a non-conformant handshake
+            # fails the gate the same way a corrupt capture does.
             print(f"live check: {exc}", file=sys.stderr)
             return 2
     if args.json:
@@ -2059,6 +2119,55 @@ def _cmd_live_check(args: argparse.Namespace) -> int:
     for alert in alerts:
         print(f"  {alert.describe()}")
     return 1 if alerts else 0
+
+
+def _cmd_protocols(args: argparse.Namespace) -> int:
+    """List/export the typestate protocol state machines."""
+    from repro.analysis.typestate import PROTOCOLS, get_protocol
+    from repro.errors import AnalysisError
+
+    try:
+        if args.machine is not None:
+            specs = [get_protocol(args.machine)]
+        else:
+            specs = [PROTOCOLS[name] for name in sorted(PROTOCOLS)]
+    except AnalysisError as exc:
+        print(f"protocols: {exc}", file=sys.stderr)
+        return 2
+    if args.dot_dir is not None:
+        args.dot_dir.mkdir(parents=True, exist_ok=True)
+        for spec in specs:
+            out = args.dot_dir / f"{spec.name}.dot"
+            out.write_text(spec.to_dot(), encoding="utf-8")
+            print(f"wrote {out}")
+        return 0
+    if args.fmt == "dot":
+        if len(specs) != 1:
+            print(
+                "protocols: --format dot needs --machine (or use "
+                "--dot-dir for all machines)",
+                file=sys.stderr,
+            )
+            return 2
+        print(specs[0].to_dot())
+        return 0
+    if args.fmt == "json":
+        print(json.dumps([spec.as_dict() for spec in specs], indent=2))
+        return 0
+    for spec in specs:
+        accepting = ", ".join(sorted(spec.accepting))
+        print(f"{spec.name} — {spec.subject}")
+        print(f"  {spec.description}")
+        print(
+            f"  states: {', '.join(spec.states)} "
+            f"(initial: {spec.initial}; accepting: {accepting})"
+        )
+        rules = [r for r in (spec.owner_rule, spec.raise_rule) if r]
+        if rules:
+            print(f"  lint rules: {', '.join(dict.fromkeys(rules))}")
+        for state, event, nxt in spec.transitions:
+            print(f"    {state} --{event}--> {nxt}")
+    return 0
 
 
 def _cmd_live(args: argparse.Namespace) -> int:
@@ -2098,6 +2207,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_top(args)
     if args.command == "live":
         return _cmd_live(args)
+    if args.command == "protocols":
+        return _cmd_protocols(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "callgraph":

@@ -173,3 +173,12 @@ class LiveError(ObsError):
     """Raised by the live-telemetry tier (:mod:`repro.obs.live`):
     malformed channel frames, collector lifecycle misuse, invalid SLO
     policy specifications, capture files from a newer schema."""
+
+
+class ProtocolError(LiveError):
+    """Raised on a protocol-state-machine conformance failure
+    (:mod:`repro.obs.live.protocol`, strict capture replay): an event
+    illegal in the subject's current state, or a stream/handle ending
+    outside an accepting state.  Subclasses :class:`LiveError` so the
+    existing live-gate error paths treat non-conformance as a failed
+    check."""

@@ -13,7 +13,10 @@ and forward in time:
   (deterministic mergeable :class:`QuantileSketch`, window rings);
 * :mod:`~repro.obs.live.slo` — :class:`SLOPolicy` /
   :class:`BurnRateEvaluator` multi-window burn-rate alerting;
-* :mod:`~repro.obs.live.dashboard` — the ``repro-bfs top`` renderer.
+* :mod:`~repro.obs.live.dashboard` — the ``repro-bfs top`` renderer;
+* :mod:`~repro.obs.live.protocol` — runtime protocol conformance
+  (:class:`ProtocolMonitor`, strict capture replay): the dynamic twin
+  of the ``repro.analysis.typestate`` lint tier.
 
 See ``docs/observability.md`` ("Live telemetry, SLOs & the dashboard")
 for the end-to-end walkthrough.
@@ -32,6 +35,11 @@ from repro.obs.live.channel import (
 )
 from repro.obs.live.collector import Channel, Collector
 from repro.obs.live.dashboard import Dashboard, render, sparkline
+from repro.obs.live.protocol import (
+    FrameConformance,
+    ProtocolMonitor,
+    ProtocolViolation,
+)
 from repro.obs.live.slo import BurnRateEvaluator, SLOAlert, SLOPolicy
 from repro.obs.live.windows import (
     LiveAggregator,
@@ -53,6 +61,9 @@ __all__ = [
     "spawn_traced",
     "Channel",
     "Collector",
+    "FrameConformance",
+    "ProtocolMonitor",
+    "ProtocolViolation",
     "QuantileSketch",
     "Window",
     "WindowRing",

@@ -150,7 +150,7 @@ class CaptureFile:
 
 
 def read_capture(
-    path: str | Path, *, strict: bool = False
+    path: str | Path, *, strict: bool = False, conformance: str | None = None
 ) -> Iterator[dict]:
     """Yield frames from a :class:`CaptureFile` recording.
 
@@ -158,16 +158,33 @@ def read_capture(
     mid-write) ends iteration silently and an undecodable frame is
     skipped; ``strict=True`` raises :class:`~repro.errors.LiveError`
     for either, which is what the CI schema gate wants.
+
+    ``conformance="strict"`` additionally replays every frame through
+    the live-channel protocol machine (one per frame source): an
+    out-of-order frame — or a stream that ends without completing the
+    hello→…→metrics_final→bye handshake — raises
+    :class:`~repro.errors.ProtocolError`.  This is the dynamic twin of
+    lint rule RPR022.
     """
+    checker = None
+    if conformance is not None:
+        if conformance != "strict":
+            raise LiveError(
+                f"unknown conformance mode {conformance!r} "
+                "(expected 'strict' or None)"
+            )
+        from repro.obs.live.protocol import FrameConformance
+
+        checker = FrameConformance(strict=True)
     with open(Path(path), "rb") as fh:
         while True:
             prefix = fh.read(_LENGTH.size)
             if not prefix:
-                return
+                break
             if len(prefix) < _LENGTH.size:
                 if strict:
                     raise LiveError(f"{path}: truncated length prefix")
-                return
+                break
             (length,) = _LENGTH.unpack(prefix)
             if length > MAX_FRAME_BYTES:
                 raise LiveError(
@@ -178,12 +195,18 @@ def read_capture(
             if len(data) < length:
                 if strict:
                     raise LiveError(f"{path}: truncated frame payload")
-                return
+                break
             try:
-                yield decode_frame(data)
+                frame = decode_frame(data)
             except LiveError:
                 if strict:
                     raise
+                continue
+            if checker is not None:
+                checker.feed(frame)
+            yield frame
+    if checker is not None:
+        checker.finish()
 
 
 class ChannelExporter(TraceListener):
@@ -340,10 +363,13 @@ def _traced_child_main(
     try:
         with tracer.use_context(context), use_tracer(tracer):
             exporter.hello()
-            tracer.add_listener(exporter)
             try:
+                tracer.add_listener(exporter)
                 target(*args, **kwargs)
             finally:
+                # close() still sends the metrics_final/bye handshake
+                # even when add_listener or the target raised, so the
+                # parent-side reader always sees a conformant stream.
                 exporter.close()
     finally:
         conn.close()

@@ -363,7 +363,9 @@ class Collector(TraceListener):
 
     # -- replay --------------------------------------------------------------
 
-    def replay(self, path, *, strict: bool = True) -> list[SLOAlert]:
+    def replay(
+        self, path, *, strict: bool = True, conformance: str | None = None
+    ) -> list[SLOAlert]:
         """Feed a :class:`~repro.obs.live.channel.CaptureFile` recording
         through the collector, evaluating SLOs on the recorded clock.
 
@@ -371,13 +373,19 @@ class Collector(TraceListener):
         timestamps, so a capture replays to the same verdict every
         time.  Returns the full alert list (``repro-bfs live check``
         exits nonzero when it is non-empty).
+
+        ``conformance="strict"`` additionally replays the stream
+        through the live-channel protocol machines (see
+        :func:`~repro.obs.live.channel.read_capture`), raising
+        :class:`~repro.errors.ProtocolError` on a non-conformant
+        handshake.
         """
         channel = Channel(None, "replay")
         with self._lock:
             self.channels.append(channel)
         channel.done = True  # never polled, only fed
         last_t: float | None = None
-        for frame in read_capture(path, strict=strict):
+        for frame in read_capture(path, strict=strict, conformance=conformance):
             self.frames += 1
             self.dispatch_frame(channel, frame)
             if frame.get("kind") == "span":

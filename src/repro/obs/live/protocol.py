@@ -1,0 +1,279 @@
+"""Runtime protocol conformance: the dynamic twin of the static tier.
+
+The same :class:`~repro.analysis.typestate.spec.ProtocolSpec` machines
+that power lint rules RPR022–RPR026 are replayed here against *live*
+objects and recorded captures:
+
+* :class:`ProtocolMonitor` — step machines as a program runs.  Attach
+  it to a handle (:meth:`ProtocolMonitor.attach` wraps the instance's
+  lifecycle methods), feed it events explicitly, or add it as a
+  :class:`~repro.obs.tracer.TraceListener` so ``protocol.transition``
+  instants emitted in other processes adopt into the same machines.
+* :class:`FrameConformance` — drive one live-channel machine per frame
+  source; :func:`~repro.obs.live.channel.read_capture` uses it for
+  ``conformance="strict"`` replay and ``repro-bfs live check
+  --strict-protocol`` rides on top.
+
+Every violation is a :class:`ProtocolViolation`; in strict mode the
+first one raises :class:`~repro.errors.ProtocolError` (a
+:class:`~repro.errors.LiveError`, so existing live gates fail closed).
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+from repro.analysis.typestate.spec import (
+    LIVE_CHANNEL,
+    ProtocolSpec,
+    get_protocol,
+    protocol_for_type,
+)
+from repro.errors import ProtocolError
+from repro.obs.tracer import EventRecord, TraceListener
+
+__all__ = [
+    "FrameConformance",
+    "ProtocolMonitor",
+    "ProtocolViolation",
+    "TRANSITION_EVENT",
+]
+
+#: Instant-event name carrying cross-process machine transitions.
+TRANSITION_EVENT = "protocol.transition"
+
+
+@dataclass(frozen=True)
+class ProtocolViolation:
+    """One runtime conformance failure."""
+
+    machine: str
+    subject: str
+    state: str
+    event: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return self.message
+
+
+class _Subject:
+    __slots__ = ("spec", "name", "state")
+
+    def __init__(self, spec: ProtocolSpec, name: str) -> None:
+        self.spec = spec
+        self.name = name
+        self.state = spec.initial
+
+
+class ProtocolMonitor(TraceListener):
+    """Steps protocol machines against a running program.
+
+    The monitor is the runtime counterpart of the typestate abstract
+    interpreter: where the static tier proves conformance over *all*
+    paths, the monitor witnesses the one path actually taken — the
+    twin tests in ``tests/analysis`` drive both against the same
+    scenario.  With ``strict=True`` the first violation raises
+    :class:`~repro.errors.ProtocolError`; otherwise violations
+    accumulate on :attr:`violations`.
+    """
+
+    def __init__(self, *, strict: bool = False, tracer=None) -> None:
+        self.strict = strict
+        self.tracer = tracer
+        self.violations: list[ProtocolViolation] = []
+        self._subjects: dict[str, _Subject] = {}
+
+    # -- core stepping -------------------------------------------------------
+
+    def begin(
+        self, machine: str | ProtocolSpec, subject: str
+    ) -> None:
+        """Start tracking ``subject`` under ``machine`` (fresh state)."""
+        spec = (
+            machine
+            if isinstance(machine, ProtocolSpec)
+            else get_protocol(machine)
+        )
+        self._subjects[subject] = _Subject(spec, subject)
+
+    def state_of(self, subject: str) -> str | None:
+        """Current machine state of ``subject`` (``None`` if unknown)."""
+        sub = self._subjects.get(subject)
+        return sub.state if sub is not None else None
+
+    def observe(self, subject: str, event: str) -> None:
+        """Step ``subject``'s machine on ``event``."""
+        sub = self._subjects.get(subject)
+        if sub is None:
+            return
+        nxt = sub.spec.step(sub.state, event)
+        if nxt is None:
+            self._violate(
+                sub, event,
+                f"{sub.spec.name} protocol violation on "
+                f"{subject!r}: event {event!r} is illegal in state "
+                f"{sub.state!r} (allowed: "
+                f"{', '.join(sub.spec.allowed(sub.state)) or 'none'})",
+            )
+            return
+        sub.state = nxt
+        if self.tracer is not None:
+            self.tracer.instant(
+                TRANSITION_EVENT,
+                machine=sub.spec.name,
+                subject=subject,
+                event=event,
+                state=nxt,
+            )
+
+    def finish(self) -> list[ProtocolViolation]:
+        """End of scenario: every subject must rest in an accepting
+        state.  Returns all accumulated violations."""
+        for sub in self._subjects.values():
+            if not sub.spec.is_accepting(sub.state):
+                self._violate(
+                    sub, "<end>",
+                    f"{sub.spec.name} protocol incomplete on "
+                    f"{sub.name!r}: ended in state {sub.state!r}, "
+                    "which is not an accepting state (accepting: "
+                    f"{', '.join(sorted(sub.spec.accepting))})",
+                )
+        return self.violations
+
+    def _violate(
+        self, sub: _Subject, event: str, message: str
+    ) -> None:
+        violation = ProtocolViolation(
+            machine=sub.spec.name,
+            subject=sub.name,
+            state=sub.state,
+            event=event,
+            message=message,
+        )
+        self.violations.append(violation)
+        if self.strict:
+            raise ProtocolError(message)
+
+    # -- instrumenting live objects ------------------------------------------
+
+    def attach(
+        self,
+        obj,
+        *,
+        machine: str | ProtocolSpec | None = None,
+        subject: str | None = None,
+    ):
+        """Instrument ``obj``: wrap its protocol methods so every call
+        steps the machine *before* delegating.  The machine is
+        auto-detected from the object's type when not given.  Returns
+        ``obj`` for chaining."""
+        if machine is None:
+            spec = protocol_for_type(type(obj).__name__)
+            if spec is None:
+                raise ProtocolError(
+                    f"no protocol machine registered for "
+                    f"{type(obj).__name__}"
+                )
+        else:
+            spec = (
+                machine
+                if isinstance(machine, ProtocolSpec)
+                else get_protocol(machine)
+            )
+        name = subject or f"{type(obj).__name__}@{id(obj):#x}"
+        self.begin(spec, name)
+        for method, event in spec.method_events:
+            original = getattr(obj, method, None)
+            if original is None:
+                continue
+
+            def wrapper(
+                *args,
+                _original=original,
+                _event=event,
+                _name=name,
+                **kwargs,
+            ):
+                self.observe(_name, _event)
+                return _original(*args, **kwargs)
+
+            functools.update_wrapper(wrapper, original)
+            setattr(obj, method, wrapper)
+        return obj
+
+    def lend(self, workspace_subject: str, result) -> None:
+        """Record that a traversal lent ``workspace_subject``'s arrays
+        to ``result``; wraps ``result.detach`` so detaching returns
+        the workspace to its reusable state.
+
+        The workspace machine has no transition *into* ``lent`` — only
+        this call moves a subject there, so a second lend without an
+        intervening detach observes ``traverse`` from ``lent``, which
+        is exactly the illegal event RPR024 proves statically."""
+        self.observe(workspace_subject, "traverse")
+        sub = self._subjects.get(workspace_subject)
+        if sub is not None and sub.state in ("idle", "active"):
+            sub.state = "lent"
+        original = getattr(result, "detach", None)
+        if original is None:
+            return
+
+        def wrapper(*args, _original=original, **kwargs):
+            self.observe(workspace_subject, "detach")
+            return _original(*args, **kwargs)
+
+        functools.update_wrapper(wrapper, original)
+        try:
+            object.__setattr__(result, "detach", wrapper)
+        except (AttributeError, TypeError):
+            pass  # frozen results: caller observes "detach" directly
+
+    # -- cross-process adoption ----------------------------------------------
+
+    def on_event(self, record: EventRecord) -> None:
+        """Adopt ``protocol.transition`` instants (e.g. re-exported
+        from a child process) into the local machines."""
+        if record.name != TRANSITION_EVENT:
+            return
+        attrs = record.attrs or {}
+        machine = attrs.get("machine")
+        subject = attrs.get("subject")
+        event = attrs.get("event")
+        if not (machine and subject and event):
+            return
+        if subject not in self._subjects:
+            try:
+                self.begin(machine, subject)
+            except Exception:  # unknown machine name: ignore
+                return
+        self.observe(subject, event)
+
+
+class FrameConformance:
+    """Replays a ``repro.obs.live/1`` frame stream through the
+    live-channel machine — one machine per frame source, strict by
+    default (the :func:`~repro.obs.live.channel.read_capture`
+    ``conformance="strict"`` engine)."""
+
+    def __init__(self, *, strict: bool = True) -> None:
+        self._monitor = ProtocolMonitor(strict=strict)
+
+    @property
+    def violations(self) -> list[ProtocolViolation]:
+        return self._monitor.violations
+
+    def feed(self, frame: dict) -> None:
+        """Step the frame's source-stream machine on its kind."""
+        kind = frame.get("kind")
+        if kind is None:
+            return
+        subject = str(frame.get("source") or "<main>")
+        if self._monitor.state_of(subject) is None:
+            self._monitor.begin(LIVE_CHANNEL, subject)
+        self._monitor.observe(subject, str(kind))
+
+    def finish(self) -> list[ProtocolViolation]:
+        """EOF: every stream must have completed hello→…→bye."""
+        return self._monitor.finish()

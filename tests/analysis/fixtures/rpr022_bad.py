@@ -1,0 +1,27 @@
+"""Seeded RPR022 bugs: the frame protocol driven out of order.
+
+``early_flush`` sends a ``metrics`` frame before ``hello`` opened the
+stream; ``leaky_stream`` helloes but no path ever sends the
+``metrics_final``/``bye`` close handshake.  The dynamic twin
+(:class:`repro.obs.live.ProtocolMonitor` / strict capture replay)
+catches both at runtime on the same scenario.
+"""
+
+from repro.obs.live import ChannelExporter
+
+__all__ = ["early_flush", "leaky_stream"]
+
+
+def early_flush(conn, tracer):
+    exporter = ChannelExporter(conn, tracer, source="demo")
+    exporter.flush()  # metrics frame before hello opened the stream
+    exporter.hello()
+    exporter.close()
+
+
+def leaky_stream(conn, tracer):
+    exporter = ChannelExporter(conn, tracer, source="demo")
+    exporter.hello()
+    exporter.flush()
+    # clean exit without metrics_final/bye: the collector never sees
+    # the final registry merge

@@ -1,0 +1,14 @@
+"""RPR022 control: the conformant hello → frames → close handshake."""
+
+from repro.obs.live import ChannelExporter
+
+__all__ = ["conformant_stream"]
+
+
+def conformant_stream(conn, tracer):
+    exporter = ChannelExporter(conn, tracer, source="demo")
+    exporter.hello()
+    try:
+        exporter.flush()
+    finally:
+        exporter.close()

@@ -1,0 +1,21 @@
+"""RPR023 control: run before the (transitive) close, never after."""
+
+from repro.bfs.parallel import ParallelBFS
+
+__all__ = ["finish"]
+
+
+def _stop(engine):
+    engine.close()
+
+
+def shutdown(engine):
+    _stop(engine)
+
+
+def finish(graph, source, threads):
+    engine = ParallelBFS(num_threads=threads)
+    try:
+        return engine.run(graph, source)
+    finally:
+        shutdown(engine)

@@ -1,0 +1,19 @@
+"""RPR024 control: detach the first result before re-lending."""
+
+from repro.bfs.parallel import ParallelBFS
+from repro.bfs.workspace import BFSWorkspace
+
+__all__ = ["compare_roots"]
+
+
+def compare_roots(graph, a, b, threads):
+    engine = ParallelBFS(num_threads=threads)
+    ws = BFSWorkspace(graph.num_vertices)
+    try:
+        first = engine.run(graph, a, workspace=ws)
+        root_parent = int(first.parent[0])
+        first.detach()  # workspace safe to re-lend from here
+        second = engine.run(graph, b, workspace=ws)
+        return root_parent + int(second.parent[0])
+    finally:
+        engine.close()

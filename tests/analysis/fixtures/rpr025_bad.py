@@ -1,0 +1,34 @@
+"""Seeded RPR025 bug: an open channel leaks when a helper raises two
+hops down.
+
+``stream`` does call ``exporter.close()`` — but ``_relay`` (which
+raises nothing itself) calls ``_deliver``, which raises ``LiveError``.
+Only the call-graph *fixpoint* marks ``_relay`` as raising; under
+one-level raise facts the risky path is invisible, which the
+blind-spot regression test asserts.  At runtime the same scenario
+leaves the monitor's channel-exporter machine outside its accepting
+states.
+"""
+
+from repro.errors import LiveError
+from repro.obs.live import ChannelExporter
+
+__all__ = ["stream"]
+
+
+def _deliver(frame):
+    if not frame:
+        raise LiveError("empty frame")
+
+
+def _relay(frames):
+    # no raise in sight: the LiveError lives one more hop down
+    for frame in frames:
+        _deliver(frame)
+
+
+def stream(conn, tracer, frames):
+    exporter = ChannelExporter(conn, tracer, source="demo")
+    exporter.hello()
+    _relay(frames)  # can raise with the stream open
+    exporter.close()

@@ -1,0 +1,26 @@
+"""RPR025 control: the raise-capable relay runs under a closing
+``finally``, so every path finalizes the stream."""
+
+from repro.errors import LiveError
+from repro.obs.live import ChannelExporter
+
+__all__ = ["stream"]
+
+
+def _deliver(frame):
+    if not frame:
+        raise LiveError("empty frame")
+
+
+def _relay(frames):
+    for frame in frames:
+        _deliver(frame)
+
+
+def stream(conn, tracer, frames):
+    exporter = ChannelExporter(conn, tracer, source="demo")
+    exporter.hello()
+    try:
+        _relay(frames)
+    finally:
+        exporter.close()

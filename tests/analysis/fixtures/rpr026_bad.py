@@ -1,0 +1,32 @@
+"""Seeded RPR026 bug: a spawned child whose call path drives the
+channel out of order.
+
+``launch`` spawns ``child_main``; two calls down, ``_stream`` sends a
+``metrics`` frame before ``hello``.  RPR021 is satisfied (the child
+*has* a channel) — RPR026 tightens it to "drives it in order".  The
+dynamic twin is strict capture conformance over the same frame
+sequence.
+"""
+
+import multiprocessing
+
+from repro.obs.live import ChannelExporter
+
+__all__ = ["launch"]
+
+
+def _stream(conn, tracer):
+    exporter = ChannelExporter(conn, tracer, source="child")
+    exporter.flush()  # metrics frame before hello
+    exporter.hello()
+    exporter.close()
+
+
+def child_main(conn, tracer):
+    _stream(conn, tracer)
+
+
+def launch(conn, tracer):
+    proc = multiprocessing.Process(target=child_main, args=(conn, tracer))
+    proc.start()
+    proc.join()

@@ -1,0 +1,26 @@
+"""RPR026 control: the spawned child's call path is conformant."""
+
+import multiprocessing
+
+from repro.obs.live import ChannelExporter
+
+__all__ = ["launch"]
+
+
+def _stream(conn, tracer):
+    exporter = ChannelExporter(conn, tracer, source="child")
+    exporter.hello()
+    try:
+        exporter.flush()
+    finally:
+        exporter.close()
+
+
+def child_main(conn, tracer):
+    _stream(conn, tracer)
+
+
+def launch(conn, tracer):
+    proc = multiprocessing.Process(target=child_main, args=(conn, tracer))
+    proc.start()
+    proc.join()

@@ -232,6 +232,40 @@ class TestCacheAndRecords:
         assert fresh.hits == 1 and fresh.misses == 0
         assert "parent" in p.summaries[f"{module_name_for(src_file)}.outer"].writes
 
+    def test_version_bump_invalidates_warm_cache(
+        self, tmp_path, monkeypatch
+    ):
+        """A rule/extraction upgrade (ANALYSIS_VERSION bump) must treat
+        every cached record as stale even when file hashes match —
+        stale summaries surviving a rule upgrade would silently pin the
+        old semantics."""
+        from repro.analysis import callgraph as cg
+
+        cache_file = tmp_path / "cache.json"
+        src_file = tmp_path / "m.py"
+        src_file.write_text(TestFixpoint.CHAIN, encoding="utf-8")
+
+        cache = SummaryCache(cache_file)
+        build_project([src_file], cache=cache)
+        cache.save()
+
+        cg._MEMORY_CACHE.clear()
+        warm = SummaryCache(cache_file)
+        build_project([src_file], cache=warm)
+        assert warm.hits == 1 and warm.misses == 0
+
+        # same content, newer analyzer: the warm cache must miss
+        cg._MEMORY_CACHE.clear()
+        monkeypatch.setattr(cg, "ANALYSIS_VERSION", cg.ANALYSIS_VERSION + 1)
+        bumped = SummaryCache(cache_file)
+        build_project([src_file], cache=bumped)
+        assert bumped.hits == 0 and bumped.misses == 1
+        # and the re-extracted record lands under the new key
+        bumped.save()
+        blob = json.loads(cache_file.read_text(encoding="utf-8"))
+        versions = {key.rsplit(":", 1)[1] for key in blob["records"]}
+        assert f"v{cg.ANALYSIS_VERSION}" in versions
+
     def test_build_project_skips_broken_files(self, tmp_path):
         good = tmp_path / "good.py"
         good.write_text("def f():\n    return 1\n", encoding="utf-8")

@@ -44,6 +44,11 @@ class TestRegistry:
             "RPR019",
             "RPR020",
             "RPR021",
+            "RPR022",
+            "RPR023",
+            "RPR024",
+            "RPR025",
+            "RPR026",
         }
 
     def test_deep_rules_flagged(self):
@@ -53,6 +58,7 @@ class TestRegistry:
             "RPR010", "RPR011", "RPR012", "RPR013", "RPR014",
             "RPR015", "RPR016", "RPR017", "RPR018", "RPR019",
             "RPR021",
+            "RPR022", "RPR023", "RPR024", "RPR025", "RPR026",
         ]
         for code in deep_rule_codes():
             assert RULES[code].deep
